@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # sgcr-attack
+//!
+//! The attack toolkit for the smart grid cyber range — the offensive
+//! tooling for the paper's §IV-B case studies, for use inside the emulated
+//! network only.
+//!
+//! * [`FciAttackApp`] — **False Command Injection**: a standard-compliant
+//!   MMS client (the paper's IEC61850bean stand-in) issuing forged breaker
+//!   controls from a compromised node;
+//! * [`MitmApp`] — **ARP-spoofing man-in-the-middle**: poisons two victims,
+//!   transparently forwards their traffic, and applies length-preserving
+//!   payload rewrites (false data injection on measurements — Figure 6);
+//! * [`ScannerApp`] — ARP sweep + TCP port probe (Nmap-style recon);
+//! * [`CaptureSummary`] — protocol classification of captured traffic.
+//!
+//! All tools run as regular [`sgcr_net::SocketApp`]s on emulated hosts:
+//! experiments attach them to any node, exactly as the paper attaches
+//! penetration-testing tools to cyber range nodes.
+
+mod capture;
+mod fci;
+mod mitm;
+mod scan;
+
+pub use capture::{classify, CaptureSummary, ProtocolClass};
+pub use fci::{FciAttackApp, FciHandle, FciPlan, FciReport};
+pub use mitm::{MitmApp, MitmHandle, MitmPlan, MitmReport, Transform};
+pub use scan::{ScanHandle, ScanPlan, ScanReport, ScannerApp};

@@ -1,0 +1,135 @@
+//! Network reconnaissance: ARP host sweep + TCP port probe (the Nmap-style
+//! tooling the paper notes users can run inside the range).
+
+use parking_lot::Mutex;
+use sgcr_net::{
+    ethertype, ArpPacket, ConnId, EthernetFrame, HostCtx, Ipv4Addr, MacAddr, SimDuration,
+    SocketApp,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Scan results: hosts discovered and their open TCP ports.
+#[derive(Debug, Clone, Default)]
+pub struct ScanReport {
+    /// Discovered `(ip, mac)` pairs, in discovery order.
+    pub hosts: Vec<(Ipv4Addr, MacAddr)>,
+    /// Open ports per IP.
+    pub open_ports: HashMap<Ipv4Addr, Vec<u16>>,
+    /// Whether the scan has finished.
+    pub finished: bool,
+}
+
+/// Shared handle to scan progress.
+pub type ScanHandle = Arc<Mutex<ScanReport>>;
+
+/// Scan plan: sweep `base.0 .. base.last` then probe `ports`.
+#[derive(Debug, Clone)]
+pub struct ScanPlan {
+    /// First IP of the sweep (inclusive).
+    pub first: Ipv4Addr,
+    /// Last IP of the sweep (inclusive, same /24 expected).
+    pub last: Ipv4Addr,
+    /// TCP ports probed on every discovered host.
+    pub ports: Vec<u16>,
+    /// Gap between ARP probes.
+    pub probe_interval: SimDuration,
+}
+
+const TOKEN_NEXT_ARP: u64 = 1;
+const TOKEN_PORTS: u64 = 2;
+const TOKEN_FINISH: u64 = 3;
+
+/// The scanner application.
+pub struct ScannerApp {
+    plan: ScanPlan,
+    next: u32,
+    report: ScanHandle,
+    conn_targets: HashMap<ConnId, (Ipv4Addr, u16)>,
+}
+
+impl ScannerApp {
+    /// Creates the scanner and its report handle.
+    pub fn new(plan: ScanPlan) -> (ScannerApp, ScanHandle) {
+        let report: ScanHandle = Arc::default();
+        let next = u32::from(plan.first);
+        (
+            ScannerApp {
+                plan,
+                next,
+                report: report.clone(),
+                conn_targets: HashMap::new(),
+            },
+            report,
+        )
+    }
+}
+
+impl SocketApp for ScannerApp {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        ctx.set_timer(self.plan.probe_interval, TOKEN_NEXT_ARP);
+    }
+
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_>, token: u64) {
+        match token {
+            TOKEN_NEXT_ARP => {
+                let last = u32::from(self.plan.last);
+                if self.next > last {
+                    // Sweep done: probe ports on everything found.
+                    ctx.set_timer(SimDuration::from_millis(50), TOKEN_PORTS);
+                    return;
+                }
+                let target = Ipv4Addr::from(self.next);
+                self.next += 1;
+                if target != ctx.ip() {
+                    let request = ArpPacket::request(ctx.mac(), ctx.ip(), target);
+                    ctx.send_frame(request.into_frame(MacAddr::BROADCAST));
+                }
+                ctx.set_timer(self.plan.probe_interval, TOKEN_NEXT_ARP);
+            }
+            TOKEN_PORTS => {
+                let hosts: Vec<Ipv4Addr> =
+                    self.report.lock().hosts.iter().map(|(ip, _)| *ip).collect();
+                for ip in hosts {
+                    for &port in &self.plan.ports {
+                        let conn = ctx.tcp_connect(ip, port);
+                        self.conn_targets.insert(conn, (ip, port));
+                    }
+                }
+                ctx.set_timer(SimDuration::from_millis(2000), TOKEN_FINISH);
+            }
+            TOKEN_FINISH => {
+                self.report.lock().finished = true;
+            }
+            _ => {}
+        }
+    }
+
+    fn on_raw_frame(&mut self, _ctx: &mut HostCtx<'_>, frame: &EthernetFrame) {
+        if frame.ethertype != ethertype::ARP {
+            return;
+        }
+        let Some(arp) = ArpPacket::decode(&frame.payload) else {
+            return;
+        };
+        if arp.operation == ArpPacket::REPLY {
+            let mut report = self.report.lock();
+            if !report.hosts.iter().any(|(ip, _)| *ip == arp.sender_ip) {
+                report.hosts.push((arp.sender_ip, arp.sender_mac));
+            }
+        }
+    }
+
+    fn on_tcp_connected(&mut self, ctx: &mut HostCtx<'_>, conn: ConnId) {
+        if let Some((ip, port)) = self.conn_targets.remove(&conn) {
+            let mut report = self.report.lock();
+            let ports = report.open_ports.entry(ip).or_default();
+            if !ports.contains(&port) {
+                ports.push(port);
+                ports.sort_unstable();
+            }
+            drop(report);
+            ctx.tcp_close(conn);
+        }
+    }
+}

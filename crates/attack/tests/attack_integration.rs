@@ -1,0 +1,230 @@
+//! End-to-end attack tests on the emulated network: FCI against a virtual
+//! IED, ARP-spoof MITM between a SCADA poller and a Modbus server, and a
+//! network scan.
+
+use sgcr_attack::{
+    CaptureSummary, FciAttackApp, FciPlan, MitmApp, MitmPlan, ProtocolClass, ScanPlan,
+    ScannerApp, Transform,
+};
+use sgcr_ied::{BreakerMap, IedSpec, VirtualIedApp};
+use sgcr_kvstore::{ProcessStore, Value};
+use sgcr_modbus::{ModbusServerApp, SharedRegisters};
+use sgcr_net::{Ipv4Addr, LinkSpec, Network, SimTime};
+use sgcr_scada::{ScadaApp, ScadaConfig};
+
+fn ied_spec() -> IedSpec {
+    let mut spec = IedSpec::new("GIED1", "S1");
+    spec.breakers.push(BreakerMap {
+        name: "CB1".into(),
+        xcbr: "XCBR1".into(),
+        cswi: "CSWI1".into(),
+        state_key: "meas/S1/cb/CB1/closed".into(),
+        cmd_key: "cmd/S1/cb/CB1/close".into(),
+        interlocked: false,
+    });
+    spec
+}
+
+#[test]
+fn fci_opens_breaker_through_forged_mms_command() {
+    let store = ProcessStore::new();
+    store.set("meas/S1/cb/CB1/closed", Value::Bool(true));
+
+    let mut net = Network::new();
+    let sw = net.add_switch("sw");
+    let ied = net.add_host("ied", Ipv4Addr::new(10, 0, 0, 1));
+    let compromised = net.add_host("engineering-ws", Ipv4Addr::new(10, 0, 0, 66));
+    net.connect(ied, sw, LinkSpec::default());
+    net.connect(compromised, sw, LinkSpec::default());
+
+    let (ied_app, ied_handle) = VirtualIedApp::new(ied_spec(), store.clone());
+    net.attach_app(ied, Box::new(ied_app));
+
+    let (attack, report) = FciAttackApp::new(FciPlan {
+        victim: Ipv4Addr::new(10, 0, 0, 1),
+        item: "GIED1LD0/CSWI1$CO$Pos$Oper$ctlVal".into(),
+        value: false, // open the breaker
+        at_ms: 500,
+        interrogate: true,
+    });
+    net.attach_app(compromised, Box::new(attack));
+
+    net.run_until(SimTime::from_millis(1500));
+
+    let report = report.lock().clone();
+    assert_eq!(report.command_accepted, Some(true), "victim accepted the forged command");
+    assert!(!report.discovered_items.is_empty(), "recon phase listed the data model");
+    assert!(report
+        .discovered_items
+        .iter()
+        .any(|i| i.contains("CSWI1$CO$Pos$Oper$ctlVal")));
+    // The breaker command reached the process side.
+    assert_eq!(store.get_bool("cmd/S1/cb/CB1/close"), Some(false));
+    assert_eq!(
+        ied_handle
+            .events_of(sgcr_ied::IedEventKind::ControlExecuted)
+            .len(),
+        1
+    );
+}
+
+/// Builds SCADA ↔ Modbus-server topology with an attacker on the same switch.
+fn mitm_testbed(plan: MitmPlan) -> (Network, SharedRegisters, sgcr_scada::ScadaHandle, sgcr_attack::MitmHandle) {
+    let mut net = Network::new();
+    let sw = net.add_switch("sw");
+    let plc = net.add_host("plc", Ipv4Addr::new(10, 0, 0, 1));
+    let hmi = net.add_host("hmi", Ipv4Addr::new(10, 0, 0, 2));
+    let attacker = net.add_host("attacker", Ipv4Addr::new(10, 0, 0, 99));
+    for h in [plc, hmi, attacker] {
+        net.connect(h, sw, LinkSpec::default());
+    }
+    let registers = SharedRegisters::with_size(16);
+    net.attach_app(plc, Box::new(ModbusServerApp::new(registers.clone())));
+    let config = ScadaConfig::parse(
+        r#"<ScadaConfig name="hmi">
+  <DataSource name="PLC" type="MODBUS" ip="10.0.0.1" pollMs="200">
+    <Point name="P_line" kind="input" address="0"/>
+  </DataSource>
+</ScadaConfig>"#,
+    )
+    .unwrap();
+    let (scada, handle) = ScadaApp::new(config);
+    net.attach_app(hmi, Box::new(scada));
+    let (mitm, mitm_handle) = MitmApp::new(plan);
+    net.attach_app(attacker, Box::new(mitm));
+    (net, registers, handle, mitm_handle)
+}
+
+#[test]
+fn mitm_rewrites_measurements_seen_by_scada() {
+    let (mut net, registers, scada, mitm) = mitm_testbed(MitmPlan {
+        victim_a: Ipv4Addr::new(10, 0, 0, 2), // HMI
+        victim_b: Ipv4Addr::new(10, 0, 0, 1), // PLC
+        start_ms: 1000,
+        stop_ms: u64::MAX,
+        transform: Transform::ScaleModbusRegisters(10.0),
+    });
+    // True value: 42.
+    registers.set_input(0, 42);
+
+    // Before the attack: SCADA sees the truth.
+    net.run_until(SimTime::from_millis(900));
+    assert_eq!(scada.tag_value("P_line"), Some(42.0));
+
+    // Attack active: SCADA sees the manipulated value; truth unchanged.
+    net.run_until(SimTime::from_millis(3000));
+    assert_eq!(
+        scada.tag_value("P_line"),
+        Some(420.0),
+        "HMI displays the falsified measurement"
+    );
+    let report = mitm.lock().clone();
+    assert!(report.position_established);
+    assert!(report.modified > 0, "responses were rewritten in flight");
+}
+
+#[test]
+fn mitm_passthrough_is_transparent() {
+    let (mut net, registers, scada, mitm) = mitm_testbed(MitmPlan {
+        victim_a: Ipv4Addr::new(10, 0, 0, 2),
+        victim_b: Ipv4Addr::new(10, 0, 0, 1),
+        start_ms: 500,
+        stop_ms: u64::MAX,
+        transform: Transform::PassThrough,
+    });
+    registers.set_input(0, 77);
+    net.run_until(SimTime::from_millis(3000));
+    // Interception is invisible at the application layer.
+    assert_eq!(scada.tag_value("P_line"), Some(77.0));
+    let report = mitm.lock().clone();
+    assert!(report.forwarded > 0, "traffic flowed through the attacker");
+    assert_eq!(report.modified, 0);
+}
+
+#[test]
+fn mitm_stop_repairs_the_path() {
+    let (mut net, registers, scada, _mitm) = mitm_testbed(MitmPlan {
+        victim_a: Ipv4Addr::new(10, 0, 0, 2),
+        victim_b: Ipv4Addr::new(10, 0, 0, 1),
+        start_ms: 500,
+        stop_ms: 2000,
+        transform: Transform::ScaleModbusRegisters(100.0),
+    });
+    registers.set_input(0, 5);
+    net.run_until(SimTime::from_millis(1500));
+    assert_eq!(scada.tag_value("P_line"), Some(500.0), "during attack");
+    net.run_until(SimTime::from_millis(4000));
+    assert_eq!(
+        scada.tag_value("P_line"),
+        Some(5.0),
+        "after repair SCADA sees the truth again"
+    );
+}
+
+#[test]
+fn scanner_discovers_hosts_and_ports() {
+    let mut net = Network::new();
+    let sw = net.add_switch("sw");
+    let ied = net.add_host("ied", Ipv4Addr::new(10, 0, 0, 1));
+    let plc = net.add_host("plc", Ipv4Addr::new(10, 0, 0, 2));
+    let attacker = net.add_host("attacker", Ipv4Addr::new(10, 0, 0, 99));
+    for h in [ied, plc, attacker] {
+        net.connect(h, sw, LinkSpec::default());
+    }
+    let store = ProcessStore::new();
+    let (ied_app, _) = VirtualIedApp::new(ied_spec(), store);
+    net.attach_app(ied, Box::new(ied_app));
+    let registers = SharedRegisters::with_size(8);
+    net.attach_app(plc, Box::new(ModbusServerApp::new(registers)));
+
+    let (scanner, report) = ScannerApp::new(ScanPlan {
+        first: Ipv4Addr::new(10, 0, 0, 1),
+        last: Ipv4Addr::new(10, 0, 0, 10),
+        ports: vec![102, 502],
+        probe_interval: sgcr_net::SimDuration::from_millis(20),
+    });
+    net.attach_app(attacker, Box::new(scanner));
+    net.run_until(SimTime::from_secs(5));
+
+    let report = report.lock().clone();
+    assert!(report.finished);
+    assert_eq!(report.hosts.len(), 2, "both live hosts found: {:?}", report.hosts);
+    assert_eq!(
+        report.open_ports.get(&Ipv4Addr::new(10, 0, 0, 1)),
+        Some(&vec![102]),
+        "IED exposes MMS"
+    );
+    assert_eq!(
+        report.open_ports.get(&Ipv4Addr::new(10, 0, 0, 2)),
+        Some(&vec![502]),
+        "PLC exposes Modbus"
+    );
+}
+
+#[test]
+fn capture_classifies_attack_traffic() {
+    let store = ProcessStore::new();
+    store.set("meas/S1/cb/CB1/closed", Value::Bool(true));
+    let mut net = Network::new();
+    let sw = net.add_switch("sw");
+    let ied = net.add_host("ied", Ipv4Addr::new(10, 0, 0, 1));
+    let attacker = net.add_host("attacker", Ipv4Addr::new(10, 0, 0, 66));
+    net.connect(ied, sw, LinkSpec::default());
+    net.connect(attacker, sw, LinkSpec::default());
+    net.enable_capture(ied);
+    let (ied_app, _) = VirtualIedApp::new(ied_spec(), store);
+    net.attach_app(ied, Box::new(ied_app));
+    let (attack, _) = FciAttackApp::new(FciPlan {
+        victim: Ipv4Addr::new(10, 0, 0, 1),
+        item: "GIED1LD0/CSWI1$CO$Pos$Oper$ctlVal".into(),
+        value: false,
+        at_ms: 200,
+        interrogate: false,
+    });
+    net.attach_app(attacker, Box::new(attack));
+    net.run_until(SimTime::from_millis(1000));
+
+    let summary = CaptureSummary::of(net.captured(ied));
+    assert!(summary.count(ProtocolClass::Mms) > 0, "{summary}");
+    assert!(summary.count(ProtocolClass::Arp) > 0, "{summary}");
+}

@@ -1,0 +1,129 @@
+//! Micro-benchmarks of the network emulator: event throughput for UDP
+//! exchanges and TCP streams — the cyber-side cost of each co-simulation
+//! step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sgcr_net::{
+    ConnId, HostCtx, Ipv4Addr, LinkSpec, Network, SimDuration, SimTime, SocketApp,
+};
+
+/// Sends a burst of UDP datagrams every 10 ms.
+struct UdpTalker {
+    peer: Ipv4Addr,
+}
+
+impl SocketApp for UdpTalker {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        ctx.bind_udp(9000);
+        ctx.set_timer(SimDuration::from_millis(10), 1);
+    }
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_>, _token: u64) {
+        for _ in 0..10 {
+            ctx.send_udp(self.peer, 9000, 9000, b"measurement-sample-payload");
+        }
+        ctx.set_timer(SimDuration::from_millis(10), 1);
+    }
+}
+
+struct UdpSink;
+impl SocketApp for UdpSink {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        ctx.bind_udp(9000);
+    }
+}
+
+/// Pumps a TCP stream: client sends 1 KiB every 5 ms, server echoes.
+struct TcpPump {
+    server: Ipv4Addr,
+    conn: Option<ConnId>,
+}
+impl SocketApp for TcpPump {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        self.conn = Some(ctx.tcp_connect(self.server, 5000));
+    }
+    fn on_tcp_connected(&mut self, ctx: &mut HostCtx<'_>, conn: ConnId) {
+        ctx.tcp_send(conn, &[0xabu8; 1024]);
+        ctx.set_timer(SimDuration::from_millis(5), 1);
+    }
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_>, _token: u64) {
+        if let Some(conn) = self.conn {
+            ctx.tcp_send(conn, &[0xabu8; 1024]);
+            ctx.set_timer(SimDuration::from_millis(5), 1);
+        }
+    }
+}
+struct TcpEcho;
+impl SocketApp for TcpEcho {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        ctx.tcp_listen(5000);
+    }
+    fn on_tcp_data(&mut self, ctx: &mut HostCtx<'_>, conn: ConnId, data: &[u8]) {
+        ctx.tcp_send(conn, data);
+    }
+}
+
+fn bench_emulator(c: &mut Criterion) {
+    c.bench_function("emulate_1s_udp_2hosts", |b| {
+        b.iter(|| {
+            let mut net = Network::new();
+            let sw = net.add_switch("sw");
+            let a = net.add_host("a", Ipv4Addr::new(10, 0, 0, 1));
+            let z = net.add_host("z", Ipv4Addr::new(10, 0, 0, 2));
+            net.connect(a, sw, LinkSpec::default());
+            net.connect(z, sw, LinkSpec::default());
+            net.attach_app(
+                a,
+                Box::new(UdpTalker {
+                    peer: Ipv4Addr::new(10, 0, 0, 2),
+                }),
+            );
+            net.attach_app(z, Box::new(UdpSink));
+            net.run_until(SimTime::from_secs(1));
+        });
+    });
+
+    c.bench_function("emulate_1s_tcp_stream", |b| {
+        b.iter(|| {
+            let mut net = Network::new();
+            let sw = net.add_switch("sw");
+            let a = net.add_host("a", Ipv4Addr::new(10, 0, 0, 1));
+            let z = net.add_host("z", Ipv4Addr::new(10, 0, 0, 2));
+            net.connect(a, sw, LinkSpec::default());
+            net.connect(z, sw, LinkSpec::default());
+            net.attach_app(z, Box::new(TcpEcho));
+            net.attach_app(
+                a,
+                Box::new(TcpPump {
+                    server: Ipv4Addr::new(10, 0, 0, 2),
+                    conn: None,
+                }),
+            );
+            net.run_until(SimTime::from_secs(1));
+        });
+    });
+
+    c.bench_function("emulate_1s_udp_20hosts_star", |b| {
+        b.iter(|| {
+            let mut net = Network::new();
+            let sw = net.add_switch("sw");
+            let mut peers = Vec::new();
+            for i in 0..20u8 {
+                let h = net.add_host(&format!("h{i}"), Ipv4Addr::new(10, 0, 0, i + 1));
+                net.connect(h, sw, LinkSpec::default());
+                peers.push(h);
+            }
+            for (i, &h) in peers.iter().enumerate() {
+                let peer = Ipv4Addr::new(10, 0, 0, ((i + 1) % 20 + 1) as u8);
+                net.attach_app(h, Box::new(UdpTalker { peer }));
+            }
+            net.run_until(SimTime::from_secs(1));
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_emulator
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Micro-benchmarks of the Structured Text interpreter: parse cost and
+//! per-scan execution cost of a CPLC-like mediation program.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sgcr_plc::{parse_program, Interpreter, StValue};
+
+const CPLC_LIKE: &str = r#"
+PROGRAM cplc
+VAR
+    p1 : REAL; p2 : REAL; p3 : REAL;
+    v1 : REAL; v2 : REAL;
+    cb1 : BOOL; cb2 : BOOL;
+    total AT %QW0 : INT;
+    alarm AT %QX0.0 : BOOL;
+    t1 : TON;
+    i : INT;
+    acc : REAL;
+END_VAR
+acc := 0.0;
+FOR i := 1 TO 10 DO
+    acc := acc + p1 * 0.1 + p2 * 0.2 + p3 * 0.3;
+END_FOR;
+total := TO_INT(acc * 100.0);
+t1(IN := v1 < 0.9 OR v2 < 0.9, PT := T#500ms);
+alarm := t1.Q AND (cb1 OR cb2);
+IF alarm THEN
+    total := -1;
+END_IF;
+END_PROGRAM
+"#;
+
+fn bench_st(c: &mut Criterion) {
+    c.bench_function("st_parse_cplc_program", |b| {
+        b.iter(|| parse_program(CPLC_LIKE).expect("parses"));
+    });
+
+    c.bench_function("st_scan_cplc_program", |b| {
+        let program = parse_program(CPLC_LIKE).expect("parses");
+        let mut interp = Interpreter::new(program).expect("instantiates");
+        interp.set("p1", StValue::Real(10.0));
+        interp.set("p2", StValue::Real(20.0));
+        interp.set("p3", StValue::Real(30.0));
+        interp.set("v1", StValue::Real(1.0));
+        interp.set("v2", StValue::Real(0.95));
+        interp.set("cb1", StValue::Bool(true));
+        interp.set("cb2", StValue::Bool(false));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 100_000_000;
+            interp.scan(t).expect("scans");
+        });
+    });
+}
+
+criterion_group!(benches, bench_st);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Regenerates the **§III-C timing argument**: the power flow is a snapshot
+//! solver stepped every 100 ms, while "SCADA HMI and PLCs are collecting
+//! data usually with second-level granularity", so the discrete physical
+//! update "is still acceptable in practice".
+//!
+//! Measures the end-to-end latency from a physical change (a load step
+//! applied to the power model) to the moment the change is visible at the
+//! SCADA HMI, through two paths: direct MMS polling and the PLC-mediated
+//! Modbus path.
+
+use sgcr_bench::render_table;
+use sgcr_core::CyberRange;
+use sgcr_models::epic_bundle;
+use sgcr_net::SimDuration;
+
+fn main() {
+    println!("== S2: physical-change -> SCADA-visible latency ==\n");
+    let trials = 10usize;
+    let mut direct_ms: Vec<u64> = Vec::new();
+    let mut plc_ms: Vec<u64> = Vec::new();
+
+    for trial in 0..trials {
+        let mut range = CyberRange::generate(&epic_bundle()).expect("EPIC compiles");
+        range.run_for(SimDuration::from_secs(3));
+        let scada = range.scada.as_ref().unwrap().clone();
+
+        let micro_before = scada.tag_value("MicroFeeder_MW").unwrap_or(0.0);
+        let gen_before = scada.tag_value("GenFeeder_kW").unwrap_or(0.0);
+
+        // Physical change: the micro-grid load steps up (varies per trial
+        // for de-synchronized sampling phases).
+        let t_change = range.now().as_millis();
+        let load = range.power.load_by_name("EPIC/MicroLoad").unwrap();
+        range.power.load[load.index()].p_mw = 0.012 + 0.001 * trial as f64;
+
+        let mut seen_direct: Option<u64> = None;
+        let mut seen_plc: Option<u64> = None;
+        for _ in 0..80 {
+            range.run_for(SimDuration::from_millis(50));
+            let now = range.now().as_millis();
+            if seen_direct.is_none() {
+                let v = scada.tag_value("MicroFeeder_MW").unwrap_or(micro_before);
+                if (v - micro_before).abs() > 1e-4 {
+                    seen_direct = Some(now - t_change);
+                }
+            }
+            if seen_plc.is_none() {
+                let v = scada.tag_value("GenFeeder_kW").unwrap_or(gen_before);
+                if (v - gen_before).abs() > 0.5 {
+                    seen_plc = Some(now - t_change);
+                }
+            }
+            if seen_direct.is_some() && seen_plc.is_some() {
+                break;
+            }
+        }
+        if let Some(latency) = seen_direct {
+            direct_ms.push(latency);
+        }
+        if let Some(latency) = seen_plc {
+            plc_ms.push(latency);
+        }
+    }
+
+    let stats = |v: &[u64]| -> (String, String, String) {
+        if v.is_empty() {
+            return ("-".into(), "-".into(), "-".into());
+        }
+        let mut sorted = v.to_vec();
+        sorted.sort_unstable();
+        let mean = sorted.iter().sum::<u64>() as f64 / sorted.len() as f64;
+        (
+            format!("{mean:.0}"),
+            sorted[sorted.len() / 2].to_string(),
+            sorted[sorted.len() - 1].to_string(),
+        )
+    };
+    let (d_mean, d_med, d_max) = stats(&direct_ms);
+    let (p_mean, p_med, p_max) = stats(&plc_ms);
+    println!(
+        "{}",
+        render_table(
+            &["path", "samples", "mean [ms]", "median [ms]", "max [ms]"],
+            &[
+                vec![
+                    "power flow -> IED -> MMS poll -> HMI (1 s poll)".into(),
+                    direct_ms.len().to_string(),
+                    d_mean,
+                    d_med,
+                    d_max,
+                ],
+                vec![
+                    "power flow -> IED -> CPLC scan -> Modbus poll -> HMI (0.5 s poll)".into(),
+                    plc_ms.len().to_string(),
+                    p_mean,
+                    p_med,
+                    p_max,
+                ],
+            ]
+        )
+    );
+    println!("\nexpected shape: latency is dominated by the polling cadence (0.5-1 s),");
+    println!("not the 100 ms power-flow interval - the paper's SIII-C argument that the");
+    println!("discrete physical update is acceptable for second-level SCADA collection.");
+}

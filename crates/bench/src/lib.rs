@@ -1,0 +1,85 @@
+//! # sgcr-bench
+//!
+//! The experiment harness regenerating every table and figure of the SG-ML
+//! paper, plus criterion micro-benchmarks of the substrates. Each artifact
+//! has a dedicated binary (see DESIGN.md's per-experiment index):
+//!
+//! | binary | paper artifact |
+//! |--------|----------------|
+//! | `table1_scl_roles` | Table I — SCL file types and their roles |
+//! | `table2_protection` | Table II — protection functions on the virtual IED |
+//! | `fig2_pipeline` | Figures 2–3 — SG-ML Processor pipeline, stage by stage |
+//! | `fig4_cyber_topology` | Figure 4 — generated cyber network topology (EPIC) |
+//! | `fig5_power_topology` | Figure 5 — generated power system topology (EPIC) |
+//! | `fig6_mitm` | Figure 6 — MITM manipulation of a measurement |
+//! | `cs1_fci` | §IV-B — false command injection case study |
+//! | `s1_scalability` | §IV-A — substation/IED scaling vs the 100 ms budget |
+//! | `s2_latency` | §III-C — physical-change→SCADA-visible latency |
+
+/// Renders an ASCII table with a header row.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| -> String {
+        let mut out = String::from("|");
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!(" {:<width$} |", cell, width = widths[i]));
+        }
+        out
+    };
+    let separator: String = {
+        let mut out = String::from("+");
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('+');
+        }
+        out
+    };
+    let mut out = String::new();
+    out.push_str(&separator);
+    out.push('\n');
+    out.push_str(&line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    out.push('\n');
+    out.push_str(&separator);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&line(row));
+        out.push('\n');
+    }
+    out.push_str(&separator);
+    out
+}
+
+/// Formats seconds as milliseconds with two decimals.
+pub fn ms(seconds: f64) -> String {
+    format!("{:.2}", seconds * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let table = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer-name".into(), "22".into()],
+            ],
+        );
+        assert!(table.contains("| name        | value |"));
+        assert!(table.contains("| longer-name | 22    |"));
+    }
+
+    #[test]
+    fn ms_formatting() {
+        assert_eq!(ms(0.01234), "12.34");
+    }
+}

@@ -1,0 +1,6 @@
+//! The SG-ML Processor compilation stages (the paper's Figure 3 modules):
+//! SSD → power model, SCD → network plan, ICD + config → IED spec.
+
+pub mod ied;
+pub mod network;
+pub mod power;

@@ -1,0 +1,135 @@
+//! Loading and saving SG-ML model bundles as directories of files — the
+//! form in which the paper's users hold their models ("power grid operators
+//! can recycle their own IEC 61850 SCL files").
+//!
+//! Naming conventions within a bundle directory:
+//!
+//! * `*.ssd.xml`, `*.scd.xml`, `*.icd.xml`, `*.sed.xml` — SCL files (any
+//!   number of each, loaded in lexicographic order);
+//! * `ied_config.xml`, `scada_config.xml`, `plc_config.xml`,
+//!   `power_config.xml` — the supplementary schemas (each optional).
+
+use crate::range::SgmlBundle;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// An error loading or saving a bundle directory.
+#[derive(Debug)]
+pub struct BundleIoError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for BundleIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for BundleIoError {}
+
+fn io_err(context: &str, e: std::io::Error) -> BundleIoError {
+    BundleIoError {
+        message: format!("{context}: {e}"),
+    }
+}
+
+impl SgmlBundle {
+    /// Loads a bundle from a directory using the naming conventions above.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BundleIoError`] on I/O failures or if the directory holds
+    /// no SCL files at all.
+    pub fn from_dir(dir: impl AsRef<Path>) -> Result<SgmlBundle, BundleIoError> {
+        let dir = dir.as_ref();
+        let mut bundle = SgmlBundle::default();
+        let mut names: Vec<_> = fs::read_dir(dir)
+            .map_err(|e| io_err(&format!("reading {}", dir.display()), e))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .collect();
+        names.sort();
+        for path in names {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let read = || {
+                fs::read_to_string(&path)
+                    .map_err(|e| io_err(&format!("reading {}", path.display()), e))
+            };
+            if name.ends_with(".ssd.xml") {
+                bundle.ssds.push(read()?);
+            } else if name.ends_with(".scd.xml") {
+                bundle.scds.push(read()?);
+            } else if name.ends_with(".icd.xml") {
+                bundle.icds.push(read()?);
+            } else if name.ends_with(".sed.xml") {
+                bundle.seds.push(read()?);
+            } else if name == "ied_config.xml" {
+                bundle.ied_config = Some(read()?);
+            } else if name == "scada_config.xml" {
+                bundle.scada_config = Some(read()?);
+            } else if name == "plc_config.xml" {
+                bundle.plc_config = Some(read()?);
+            } else if name == "power_config.xml" {
+                bundle.power_extra = Some(read()?);
+            }
+        }
+        if bundle.ssds.is_empty() && bundle.scds.is_empty() {
+            return Err(BundleIoError {
+                message: format!(
+                    "{} contains no SCL model files (*.ssd.xml / *.scd.xml)",
+                    dir.display()
+                ),
+            });
+        }
+        Ok(bundle)
+    }
+
+    /// Writes the bundle into a directory (created if needed) using the
+    /// same conventions, so a generated model can be inspected, edited, and
+    /// reloaded — the open-source sharing workflow the paper describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BundleIoError`] on I/O failures.
+    pub fn write_to_dir(&self, dir: impl AsRef<Path>) -> Result<(), BundleIoError> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir).map_err(|e| io_err(&format!("creating {}", dir.display()), e))?;
+        let write = |name: String, contents: &str| -> Result<(), BundleIoError> {
+            let path = dir.join(&name);
+            fs::write(&path, contents).map_err(|e| io_err(&format!("writing {}", path.display()), e))
+        };
+        for (i, text) in self.ssds.iter().enumerate() {
+            write(format!("substation{:02}.ssd.xml", i + 1), text)?;
+        }
+        for (i, text) in self.scds.iter().enumerate() {
+            write(format!("substation{:02}.scd.xml", i + 1), text)?;
+        }
+        for (i, text) in self.icds.iter().enumerate() {
+            // Use the IED name when parsable for self-documenting files.
+            let name = sgcr_scl::parse_icd(text)
+                .ok()
+                .and_then(|doc| doc.ieds.first().map(|ied| ied.name.clone()))
+                .unwrap_or_else(|| format!("ied{:03}", i + 1));
+            write(format!("{name}.icd.xml"), text)?;
+        }
+        for (i, text) in self.seds.iter().enumerate() {
+            write(format!("tie{:02}.sed.xml", i + 1), text)?;
+        }
+        if let Some(text) = &self.ied_config {
+            write("ied_config.xml".into(), text)?;
+        }
+        if let Some(text) = &self.scada_config {
+            write("scada_config.xml".into(), text)?;
+        }
+        if let Some(text) = &self.plc_config {
+            write("plc_config.xml".into(), text)?;
+        }
+        if let Some(text) = &self.power_extra {
+            write("power_config.xml".into(), text)?;
+        }
+        Ok(())
+    }
+}

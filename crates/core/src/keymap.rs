@@ -1,0 +1,103 @@
+//! The canonical mapping between power-model element names and process-store
+//! keys — the contract shared by the power-flow stepper (writer), the IED
+//! Config XML (reader bindings), and the experiment harness.
+//!
+//! Power-model element names are scoped `"{substation}/{name}"` by the SSD
+//! compiler; bus names are full connectivity-node paths
+//! (`"S1/VL1/B1/CN1"`). Keys replace inner slashes with dots so that key
+//! segments stay unambiguous.
+
+use sgcr_kvstore::Keys;
+
+/// Splits a scoped element name into `(substation, dotted-rest)`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(sgcr_core::split_scoped("S1/VL1/B1/CN1"), ("S1".to_string(), "VL1.B1.CN1".to_string()));
+/// assert_eq!(sgcr_core::split_scoped("CB1"), ("sys".to_string(), "CB1".to_string()));
+/// ```
+pub fn split_scoped(name: &str) -> (String, String) {
+    match name.split_once('/') {
+        Some((substation, rest)) => (substation.to_string(), rest.replace('/', ".")),
+        None => ("sys".to_string(), name.to_string()),
+    }
+}
+
+/// Key of a bus voltage magnitude, from the bus's path name.
+pub fn bus_vm_key(bus_path: &str) -> String {
+    let (substation, rest) = split_scoped(bus_path);
+    Keys::bus_voltage(&substation, &rest)
+}
+
+/// Key of a bus voltage angle.
+pub fn bus_va_key(bus_path: &str) -> String {
+    let (substation, rest) = split_scoped(bus_path);
+    Keys::bus_angle(&substation, &rest)
+}
+
+/// Key of a branch's active power (from side).
+pub fn branch_p_key(branch_name: &str) -> String {
+    let (substation, rest) = split_scoped(branch_name);
+    Keys::branch_p(&substation, &rest)
+}
+
+/// Key of a branch's reactive power.
+pub fn branch_q_key(branch_name: &str) -> String {
+    let (substation, rest) = split_scoped(branch_name);
+    Keys::branch_q(&substation, &rest)
+}
+
+/// Key of a branch's current (kA).
+pub fn branch_i_key(branch_name: &str) -> String {
+    let (substation, rest) = split_scoped(branch_name);
+    Keys::branch_i(&substation, &rest)
+}
+
+/// Key of a branch's loading percentage.
+pub fn branch_loading_key(branch_name: &str) -> String {
+    let (substation, rest) = split_scoped(branch_name);
+    Keys::branch_loading(&substation, &rest)
+}
+
+/// Key of a breaker's position feedback.
+pub fn breaker_state_key(switch_name: &str) -> String {
+    let (substation, rest) = split_scoped(switch_name);
+    Keys::breaker_state(&substation, &rest)
+}
+
+/// Key of a breaker's command.
+pub fn breaker_cmd_key(switch_name: &str) -> String {
+    let (substation, rest) = split_scoped(switch_name);
+    Keys::breaker_cmd(&substation, &rest)
+}
+
+/// Key of a source's (ext grid / generator) supplied active power.
+pub fn source_p_key(name: &str) -> String {
+    let (substation, rest) = split_scoped(name);
+    format!("meas/{substation}/src/{rest}/p_mw")
+}
+
+/// Key of a load's actual demand.
+pub fn load_p_key(name: &str) -> String {
+    let (substation, rest) = split_scoped(name);
+    format!("meas/{substation}/load/{rest}/p_mw")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoping() {
+        assert_eq!(
+            bus_vm_key("S1/VL1/B1/CN1"),
+            "meas/S1/bus/VL1.B1.CN1/vm_pu"
+        );
+        assert_eq!(branch_p_key("S2/l7"), "meas/S2/branch/l7/p_mw");
+        assert_eq!(breaker_cmd_key("S1/CB1"), "cmd/S1/cb/CB1/close");
+        assert_eq!(breaker_state_key("S1/CB1"), "meas/S1/cb/CB1/closed");
+        assert_eq!(source_p_key("S1/G1"), "meas/S1/src/G1/p_mw");
+        assert_eq!(load_p_key("S1/LOAD2"), "meas/S1/load/LOAD2/p_mw");
+    }
+}

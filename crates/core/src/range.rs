@@ -1,0 +1,640 @@
+//! The operational cyber range: the artifact the SG-ML Processor "compiles"
+//! a model set into, and the co-simulation loop that runs it.
+//!
+//! The runtime mirrors the paper's architecture exactly: an emulated cyber
+//! network hosting virtual IEDs, PLCs, and a SCADA HMI, coupled to a
+//! steady-state power-flow simulation through a key-value process cache.
+//! The power flow is re-solved periodically (default every 100 ms); each
+//! step applies load profiles and scenario events, executes breaker/set-point
+//! commands written by the cyber side, solves, and publishes fresh
+//! measurements for the virtual devices to sample.
+
+use crate::compile::ied::compile_ied;
+use crate::compile::network::{compile_network, NetworkPlan};
+use crate::compile::power::{compile_power, PowerCompilation};
+use crate::keymap;
+use crate::sgml::ied_config::IedConfig;
+use crate::sgml::plc_config::{PlcConfig, PlcLogic};
+use crate::sgml::power_extra::PowerExtraConfig;
+use sgcr_ied::{IedHandle, VirtualIedApp};
+use sgcr_kvstore::{ProcessStore, Value};
+use sgcr_net::{Ipv4Addr, LinkSpec, Network, NodeId, SimDuration, SimTime, SocketApp};
+use sgcr_plc::{MmsReadBinding, MmsWriteBinding, PlcApp, PlcHandle, PlcRuntime};
+use sgcr_powerflow::{
+    solve, PowerFlowError, PowerFlowResult, PowerNetwork, SimulationSchedule,
+};
+use sgcr_scada::{ScadaApp, ScadaConfig, ScadaHandle};
+use sgcr_scl::{consolidate_scd, consolidate_ssd, parse_icd, parse_scd, parse_sed, parse_ssd, Diagnostic, SclDocument};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The set of SG-ML model files a cyber range is generated from — the
+/// left-hand side of the paper's Figure 2.
+#[derive(Debug, Clone, Default)]
+pub struct SgmlBundle {
+    /// SSD files (one per substation).
+    pub ssds: Vec<String>,
+    /// SCD files (one per substation).
+    pub scds: Vec<String>,
+    /// ICD files (one per IED type/instance).
+    pub icds: Vec<String>,
+    /// SED files (one per substation pair).
+    pub seds: Vec<String>,
+    /// Supplementary IED Config XML.
+    pub ied_config: Option<String>,
+    /// Supplementary SCADA Config XML.
+    pub scada_config: Option<String>,
+    /// Supplementary PLC Config XML.
+    pub plc_config: Option<String>,
+    /// Supplementary Power System Extra Config XML.
+    pub power_extra: Option<String>,
+    /// Host name of the SCADA workstation in the SCD (default `SCADA`).
+    pub scada_host: Option<String>,
+}
+
+/// An error producing or running a cyber range.
+#[derive(Debug)]
+pub enum RangeError {
+    /// A model file failed to parse.
+    Model {
+        /// Which file kind.
+        what: &'static str,
+        /// The parse error text.
+        detail: String,
+    },
+    /// Cross-file validation failed.
+    Validation(Vec<Diagnostic>),
+    /// The initial power flow failed.
+    PowerFlow(PowerFlowError),
+    /// An IED/PLC/SCADA host named in a config is absent from the SCD.
+    UnknownHost {
+        /// The missing host.
+        host: String,
+        /// What referenced it.
+        referenced_by: &'static str,
+    },
+}
+
+impl fmt::Display for RangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RangeError::Model { what, detail } => write!(f, "cannot parse {what}: {detail}"),
+            RangeError::Validation(diagnostics) => {
+                write!(f, "model validation failed:")?;
+                for d in diagnostics {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
+            RangeError::PowerFlow(e) => write!(f, "initial power flow failed: {e}"),
+            RangeError::UnknownHost {
+                host,
+                referenced_by,
+            } => write!(f, "{referenced_by} references host {host:?} absent from the SCD"),
+        }
+    }
+}
+
+impl std::error::Error for RangeError {}
+
+/// Wall-clock statistics of one co-simulation step (for the paper's
+/// scalability experiment).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepStats {
+    /// Wall time spent in the power-flow solve.
+    pub solve_seconds: f64,
+    /// Wall time of the complete step (solve + event processing).
+    pub total_seconds: f64,
+    /// Newton–Raphson iterations.
+    pub iterations: usize,
+}
+
+/// A generated, operational smart grid cyber range.
+pub struct CyberRange {
+    /// The emulated network (attach attacker tools, capture traffic, …).
+    pub net: Network,
+    /// The cyber↔physical process cache.
+    pub store: ProcessStore,
+    /// The physical model.
+    pub power: PowerNetwork,
+    /// The compiled network plan (host IPs, Figure-4 dot rendering).
+    pub plan: NetworkPlan,
+    /// Simulation schedule from the Power Extra config.
+    pub schedule: SimulationSchedule,
+    /// Power-flow step interval.
+    pub interval: SimDuration,
+    /// Handles to every virtual IED, by name.
+    pub ieds: HashMap<String, IedHandle>,
+    /// Handles to every virtual PLC, by name.
+    pub plcs: HashMap<String, PlcHandle>,
+    /// Handle to the SCADA HMI, when configured.
+    pub scada: Option<ScadaHandle>,
+    /// All diagnostics accumulated while compiling.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The latest power-flow solution.
+    pub last_result: PowerFlowResult,
+    /// Per-step wall-clock statistics.
+    pub step_stats: Vec<StepStats>,
+    /// Errors from failed re-solves (range keeps running with stale state).
+    pub solve_errors: Vec<(u64, PowerFlowError)>,
+    cmd_cursor: u64,
+    node_by_name: HashMap<String, NodeId>,
+    /// Simulation time of the next due power-flow step.
+    next_step_at: SimTime,
+    /// Simulation time of the previous power-flow step (profile window start).
+    last_step_ms: u64,
+}
+
+impl CyberRange {
+    /// Generates an operational cyber range from an SG-ML model bundle —
+    /// the complete SG-ML Processor pipeline of the paper's Figures 2–3.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RangeError`] when any model file fails to parse, cross-file
+    /// validation fails, or the initial power flow cannot be solved.
+    pub fn generate(bundle: &SgmlBundle) -> Result<CyberRange, RangeError> {
+        let mut diagnostics: Vec<Diagnostic> = Vec::new();
+
+        // --- 1. Parse all SCL files ---------------------------------------
+        let model = |what: &'static str| {
+            move |e: sgcr_scl::SclError| RangeError::Model {
+                what,
+                detail: e.to_string(),
+            }
+        };
+        let ssds: Vec<SclDocument> = bundle
+            .ssds
+            .iter()
+            .map(|t| parse_ssd(t).map_err(model("SSD")))
+            .collect::<Result<_, _>>()?;
+        let scds: Vec<SclDocument> = bundle
+            .scds
+            .iter()
+            .map(|t| parse_scd(t).map_err(model("SCD")))
+            .collect::<Result<_, _>>()?;
+        let icds: Vec<SclDocument> = bundle
+            .icds
+            .iter()
+            .map(|t| parse_icd(t).map_err(model("ICD")))
+            .collect::<Result<_, _>>()?;
+        let seds: Vec<SclDocument> = bundle
+            .seds
+            .iter()
+            .map(|t| parse_sed(t).map_err(model("SED")))
+            .collect::<Result<_, _>>()?;
+
+        // --- 2. SED-driven consolidation -----------------------------------
+        let consolidated_ssd = consolidate_ssd(&ssds, &seds).map_err(model("consolidated SSD"))?;
+        let consolidated_scd = consolidate_scd(&scds).map_err(model("consolidated SCD"))?;
+
+        // --- 3. Compile the physical and cyber models ----------------------
+        let PowerCompilation {
+            network: power,
+            bus_by_path: _,
+            diagnostics: power_diags,
+        } = compile_power(&consolidated_ssd);
+        diagnostics.extend(power_diags);
+
+        let plan = compile_network(&consolidated_scd);
+        diagnostics.extend(plan.diagnostics.clone());
+        if diagnostics
+            .iter()
+            .any(|d| d.severity == sgcr_scl::Severity::Error)
+        {
+            return Err(RangeError::Validation(diagnostics));
+        }
+
+        // --- 4. Instantiate the emulated network ---------------------------
+        let mut net = Network::new();
+        let mut node_by_name: HashMap<String, NodeId> = HashMap::new();
+        let mut switch_by_name: HashMap<String, NodeId> = HashMap::new();
+        let mut wan: Option<NodeId> = None;
+        for sw in &plan.switches {
+            let id = net.add_switch(&sw.name);
+            switch_by_name.insert(sw.name.clone(), id);
+            if sw.is_wan {
+                wan = Some(id);
+            }
+        }
+        if let Some(wan) = wan {
+            for sw in &plan.switches {
+                if !sw.is_wan {
+                    net.connect(switch_by_name[&sw.name], wan, LinkSpec::wan());
+                }
+            }
+        }
+        for host in &plan.hosts {
+            let id = match host.mac {
+                Some(mac) => net.add_host_with_mac(&host.name, host.ip, mac),
+                None => net.add_host(&host.name, host.ip),
+            };
+            net.connect(id, switch_by_name[&host.switch], LinkSpec::default());
+            node_by_name.insert(host.name.clone(), id);
+        }
+
+        // --- 5. Process store + supplementary configs -----------------------
+        let store = ProcessStore::new();
+        let (interval, schedule) = match &bundle.power_extra {
+            Some(text) => {
+                let extra = PowerExtraConfig::parse(text).map_err(|e| RangeError::Model {
+                    what: "Power System Extra Config XML",
+                    detail: e.to_string(),
+                })?;
+                (
+                    SimDuration::from_millis(extra.interval_ms),
+                    extra.schedule,
+                )
+            }
+            None => (SimDuration::from_millis(100), SimulationSchedule::new()),
+        };
+
+        // --- 6. Virtual IEDs -------------------------------------------------
+        let mut ieds = HashMap::new();
+        if let Some(text) = &bundle.ied_config {
+            let config = IedConfig::parse(text).map_err(|e| RangeError::Model {
+                what: "IED Config XML",
+                detail: e.to_string(),
+            })?;
+            for config_spec in &config.ieds {
+                let icd = icds
+                    .iter()
+                    .find(|d| d.ied(&config_spec.name).is_some());
+                let spec = match icd {
+                    Some(icd) => {
+                        let compiled = compile_ied(config_spec, icd);
+                        diagnostics.extend(compiled.diagnostics);
+                        compiled.spec
+                    }
+                    None => {
+                        diagnostics.push(Diagnostic::warning(
+                            format!(
+                                "no ICD describes IED {:?}; instantiating from config alone",
+                                config_spec.name
+                            ),
+                            "generate".to_string(),
+                        ));
+                        config_spec.clone()
+                    }
+                };
+                let Some(&node) = node_by_name.get(&spec.name) else {
+                    return Err(RangeError::UnknownHost {
+                        host: spec.name.clone(),
+                        referenced_by: "IED Config XML",
+                    });
+                };
+                let (app, handle) = VirtualIedApp::new(spec.clone(), store.clone());
+                net.attach_app(node, Box::new(app));
+                ieds.insert(spec.name.clone(), handle);
+            }
+        }
+
+        // --- 7. Virtual PLCs ---------------------------------------------------
+        let mut plcs = HashMap::new();
+        if let Some(text) = &bundle.plc_config {
+            let config = PlcConfig::parse(text).map_err(|e| RangeError::Model {
+                what: "PLC Config XML",
+                detail: e.to_string(),
+            })?;
+            for def in &config.plcs {
+                let Some(&node) = node_by_name.get(&def.name) else {
+                    return Err(RangeError::UnknownHost {
+                        host: def.name.clone(),
+                        referenced_by: "PLC Config XML",
+                    });
+                };
+                let program = match &def.logic {
+                    PlcLogic::StructuredText(st) => {
+                        sgcr_plc::parse_program(st).map_err(|e| RangeError::Model {
+                            what: "PLC Structured Text",
+                            detail: e.to_string(),
+                        })?
+                    }
+                    PlcLogic::PlcOpenXml(xml) => {
+                        sgcr_plc::parse_plcopen(xml).map_err(|e| RangeError::Model {
+                            what: "PLCopen XML",
+                            detail: e.to_string(),
+                        })?
+                    }
+                };
+                let registers = sgcr_modbus::SharedRegisters::with_size(1024);
+                let runtime =
+                    PlcRuntime::new(program, registers.clone()).map_err(|e| RangeError::Model {
+                        what: "PLC program",
+                        detail: e.message,
+                    })?;
+                let resolve_ip = |server: &str| -> Result<Ipv4Addr, RangeError> {
+                    plan.host_ip(server).ok_or(RangeError::UnknownHost {
+                        host: server.to_string(),
+                        referenced_by: "PLC Config XML binding",
+                    })
+                };
+                let reads = def
+                    .reads
+                    .iter()
+                    .map(|r| {
+                        Ok(MmsReadBinding {
+                            server: resolve_ip(&r.server)?,
+                            item: r.item.clone(),
+                            variable: r.variable.clone(),
+                            scale: r.scale,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, RangeError>>()?;
+                let writes = def
+                    .writes
+                    .iter()
+                    .map(|w| {
+                        Ok(MmsWriteBinding {
+                            server: resolve_ip(&w.server)?,
+                            item: w.item.clone(),
+                            variable: w.variable.clone(),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, RangeError>>()?;
+                let (app, handle) = PlcApp::new(
+                    runtime,
+                    registers,
+                    SimDuration::from_millis(def.scan_ms),
+                    reads,
+                    writes,
+                );
+                net.attach_app(node, Box::new(app));
+                plcs.insert(def.name.clone(), handle);
+            }
+        }
+
+        // --- 8. SCADA HMI --------------------------------------------------------
+        let mut scada = None;
+        if let Some(text) = &bundle.scada_config {
+            let config = ScadaConfig::parse(text).map_err(|e| RangeError::Model {
+                what: "SCADA Config XML",
+                detail: e.to_string(),
+            })?;
+            let host = bundle
+                .scada_host
+                .clone()
+                .unwrap_or_else(|| "SCADA".to_string());
+            let Some(&node) = node_by_name.get(&host) else {
+                return Err(RangeError::UnknownHost {
+                    host,
+                    referenced_by: "SCADA Config XML",
+                });
+            };
+            let (app, handle) = ScadaApp::new(config);
+            net.attach_app(node, Box::new(app));
+            scada = Some(handle);
+        }
+
+        // --- 9. Initial physical state -------------------------------------------
+        let mut range = CyberRange {
+            net,
+            store,
+            power,
+            plan,
+            schedule,
+            interval,
+            ieds,
+            plcs,
+            scada,
+            diagnostics,
+            last_result: PowerFlowResult::default(),
+            step_stats: Vec::new(),
+            solve_errors: Vec::new(),
+            cmd_cursor: 0,
+            node_by_name,
+            next_step_at: SimTime::ZERO + interval,
+            last_step_ms: 0,
+        };
+        // Publish the initial switch states and solution before anything runs.
+        range.publish_switch_states();
+        let result = solve(&range.power).map_err(RangeError::PowerFlow)?;
+        range.publish_measurements(&result);
+        range.last_result = result;
+        range.cmd_cursor = range.store.version();
+        Ok(range)
+    }
+
+    /// The node id of a generated host (for captures, link failures, …).
+    pub fn node(&self, name: &str) -> Option<NodeId> {
+        self.node_by_name.get(name).copied()
+    }
+
+    /// Adds an extra host (e.g. an attacker machine) to a named switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the switch does not exist.
+    pub fn add_host(&mut self, name: &str, ip: Ipv4Addr, switch: &str) -> NodeId {
+        let switch_id = self
+            .net
+            .node_by_name(switch)
+            .unwrap_or_else(|| panic!("no such switch {switch:?}"));
+        let id = self.net.add_host(name, ip);
+        self.net.connect(id, switch_id, LinkSpec::default());
+        self.node_by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Attaches an application to a generated host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host does not exist.
+    pub fn attach_app(&mut self, host: &str, app: Box<dyn SocketApp>) {
+        let node = self
+            .node(host)
+            .unwrap_or_else(|| panic!("no such host {host:?}"));
+        self.net.attach_app(node, app);
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// Runs one co-simulation step: advances the cyber side to the next due
+    /// step time, then applies profiles/events → commands → solve → publish.
+    pub fn step(&mut self) {
+        let due = self.next_step_at.max(self.net.now());
+        self.net.run_until(due);
+        self.power_step(due);
+        self.next_step_at = due + self.interval;
+    }
+
+    /// The physical half of one step, executed with the clock at `now`.
+    fn power_step(&mut self, now: SimTime) {
+        let wall_start = std::time::Instant::now();
+        let t1 = now;
+        let t0_ms = self.last_step_ms;
+        self.last_step_ms = t1.as_millis();
+
+        // Profiles and scheduled disturbances.
+        self.schedule
+            .apply(&mut self.power, t0_ms, t1.as_millis());
+
+        // Commands written by the cyber side since the last step.
+        let changes = self.store.changes_since(self.cmd_cursor);
+        self.cmd_cursor = self.store.version();
+        for change in changes {
+            if !change.key.starts_with("cmd/") {
+                continue;
+            }
+            let segments: Vec<&str> = change.key.split('/').collect();
+            // cmd/<sub>/<class>/<name>/<field>
+            if segments.len() != 5 {
+                continue;
+            }
+            let scoped = format!("{}/{}", segments[1], segments[2 + 1]);
+            match (segments[2], segments[4]) {
+                ("cb", "close") => {
+                    if let Some(closed) = change.value.as_bool() {
+                        self.power.set_switch(&scoped, closed);
+                    }
+                }
+                ("load", "p_mw") => {
+                    if let (Some(p), Some(id)) =
+                        (change.value.as_float(), self.power.load_by_name(&scoped))
+                    {
+                        self.power.load[id.index()].p_mw = p;
+                    }
+                }
+                ("gen", "p_mw") => {
+                    if let Some(p) = change.value.as_float() {
+                        if let Some(id) = self.power.gen_by_name(&scoped) {
+                            self.power.gen[id.index()].p_mw = p;
+                        } else if let Some(id) = self.power.sgen_by_name(&scoped) {
+                            self.power.sgen[id.index()].p_mw = p;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Solve and publish.
+        let solve_start = std::time::Instant::now();
+        match solve(&self.power) {
+            Ok(result) => {
+                self.publish_switch_states();
+                self.publish_measurements(&result);
+                self.last_result = result;
+            }
+            Err(e) => {
+                self.solve_errors.push((t1.as_millis(), e));
+            }
+        }
+        let solve_seconds = solve_start.elapsed().as_secs_f64();
+
+        self.step_stats.push(StepStats {
+            solve_seconds,
+            total_seconds: wall_start.elapsed().as_secs_f64(),
+            iterations: self.last_result.iterations,
+        });
+    }
+
+    /// Runs the range for a duration. Power-flow steps fire at their due
+    /// times on the global schedule (every `interval`), interleaved with the
+    /// cyber side; any trailing remainder advances the cyber side alone, and
+    /// the pending step fires in a later call — so short durations compose
+    /// correctly.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let end = self.net.now() + duration;
+        while self.next_step_at <= end {
+            self.step();
+        }
+        if self.net.now() < end {
+            self.net.run_until(end);
+        }
+    }
+
+    fn publish_switch_states(&self) {
+        for switch in &self.power.switch {
+            self.store.set(
+                &keymap::breaker_state_key(&switch.name),
+                Value::Bool(switch.closed),
+            );
+        }
+    }
+
+    fn publish_measurements(&self, result: &PowerFlowResult) {
+        for (i, bus) in self.power.bus.iter().enumerate() {
+            let r = &result.bus[i];
+            self.store
+                .set(&keymap::bus_vm_key(&bus.name), Value::Float(r.vm_pu));
+            self.store
+                .set(&keymap::bus_va_key(&bus.name), Value::Float(r.va_degree));
+        }
+        for (i, line) in self.power.line.iter().enumerate() {
+            let r = &result.line[i];
+            self.store
+                .set(&keymap::branch_p_key(&line.name), Value::Float(r.p_from_mw));
+            self.store
+                .set(&keymap::branch_q_key(&line.name), Value::Float(r.q_from_mvar));
+            self.store
+                .set(&keymap::branch_i_key(&line.name), Value::Float(r.i_from_ka));
+            self.store.set(
+                &keymap::branch_loading_key(&line.name),
+                Value::Float(r.loading_percent),
+            );
+        }
+        for (i, trafo) in self.power.trafo.iter().enumerate() {
+            let r = &result.trafo[i];
+            self.store
+                .set(&keymap::branch_p_key(&trafo.name), Value::Float(r.p_from_mw));
+            self.store
+                .set(&keymap::branch_q_key(&trafo.name), Value::Float(r.q_from_mvar));
+            self.store
+                .set(&keymap::branch_i_key(&trafo.name), Value::Float(r.i_from_ka));
+            self.store.set(
+                &keymap::branch_loading_key(&trafo.name),
+                Value::Float(r.loading_percent),
+            );
+        }
+        for (i, eg) in self.power.ext_grid.iter().enumerate() {
+            self.store.set(
+                &keymap::source_p_key(&eg.name),
+                Value::Float(result.ext_grid[i].p_mw),
+            );
+        }
+        for (i, gen) in self.power.gen.iter().enumerate() {
+            self.store.set(
+                &keymap::source_p_key(&gen.name),
+                Value::Float(result.gen[i].p_mw),
+            );
+        }
+        for sgen in &self.power.sgen {
+            let p = if sgen.in_service {
+                sgen.p_mw * sgen.scaling
+            } else {
+                0.0
+            };
+            self.store
+                .set(&keymap::source_p_key(&sgen.name), Value::Float(p));
+        }
+        for load in &self.power.load {
+            let p = if load.in_service {
+                load.p_mw * load.scaling
+            } else {
+                0.0
+            };
+            self.store
+                .set(&keymap::load_p_key(&load.name), Value::Float(p));
+        }
+        self.store.set("sim/step", Value::Int(self.step_stats.len() as i64));
+    }
+
+    /// Summary line for logs and the pipeline demonstration binary.
+    pub fn summary(&self) -> String {
+        format!(
+            "cyber range: {} hosts, {} switches | {} | {} IEDs, {} PLCs, SCADA: {} | interval {} ms",
+            self.plan.hosts.len(),
+            self.plan.switches.len(),
+            self.power.summary(),
+            self.ieds.len(),
+            self.plcs.len(),
+            self.scada.is_some(),
+            self.interval.as_millis(),
+        )
+    }
+}

@@ -1,0 +1,6 @@
+//! The SG-ML supplementary XML schemas: IED Config, PLC Config, SCADA
+//! Config (in `sgcr-scada`), and Power System Extra Config.
+
+pub mod ied_config;
+pub mod plc_config;
+pub mod power_extra;

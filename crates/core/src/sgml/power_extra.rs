@@ -1,0 +1,229 @@
+//! The SG-ML *Power System Extra Config XML* supplementary schema.
+//!
+//! Per the paper, SCL cannot express dynamic behaviour: "load profile and
+//! disturbance scenarios … cannot be configured in the SCL files". This
+//! schema "specifies the amount of load and circuit breaker status in a
+//! time series for each component in the simulation model", read at each
+//! simulation step.
+
+use sgcr_powerflow::{Profile, ProfileTarget, ScenarioAction, ScenarioEvent, SimulationSchedule};
+use sgcr_xml::Document;
+use std::fmt;
+
+/// An error parsing Power System Extra Config XML.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerExtraError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for PowerExtraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for PowerExtraError {}
+
+fn err(message: impl Into<String>) -> PowerExtraError {
+    PowerExtraError {
+        message: message.into(),
+    }
+}
+
+/// The parsed extra configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerExtraConfig {
+    /// Power-flow step interval in milliseconds (paper default: 100 ms).
+    pub interval_ms: u64,
+    /// Profiles and scheduled disturbance events.
+    pub schedule: SimulationSchedule,
+}
+
+impl Default for PowerExtraConfig {
+    fn default() -> Self {
+        PowerExtraConfig {
+            interval_ms: 100,
+            schedule: SimulationSchedule::new(),
+        }
+    }
+}
+
+impl PowerExtraConfig {
+    /// Parses the XML.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerExtraError`] on malformed XML or unknown actions.
+    pub fn parse(text: &str) -> Result<PowerExtraConfig, PowerExtraError> {
+        let doc = Document::parse(text).map_err(|e| err(e.to_string()))?;
+        let root = doc.root_element();
+        if root.name() != "PowerSystemConfig" {
+            return Err(err(format!(
+                "expected <PowerSystemConfig>, found <{}>",
+                root.name()
+            )));
+        }
+        let mut config = PowerExtraConfig {
+            interval_ms: root.attr_parse("intervalMs").unwrap_or(100),
+            schedule: SimulationSchedule::new(),
+        };
+        for (element, make_target) in [
+            (
+                "LoadProfile",
+                Box::new(|name: String| ProfileTarget::LoadScaling(name))
+                    as Box<dyn Fn(String) -> ProfileTarget>,
+            ),
+            (
+                "SgenProfile",
+                Box::new(|name: String| ProfileTarget::SgenScaling(name)),
+            ),
+            (
+                "GenProfile",
+                Box::new(|name: String| ProfileTarget::GenSetpoint(name)),
+            ),
+        ] {
+            for profile_el in root.children_named(element) {
+                let target_name = profile_el
+                    .attr("target")
+                    .ok_or_else(|| err(format!("{element} missing target")))?
+                    .to_string();
+                let mut points = Vec::new();
+                for p in profile_el.children_named("P") {
+                    let t: u64 = p
+                        .attr_parse("t")
+                        .ok_or_else(|| err(format!("{element} point missing t")))?;
+                    let value: f64 = p
+                        .attr_parse("value")
+                        .ok_or_else(|| err(format!("{element} point missing value")))?;
+                    points.push((t, value));
+                }
+                points.sort_by_key(|(t, _)| *t);
+                config.schedule.profiles.push(Profile {
+                    target: make_target(target_name),
+                    points,
+                });
+            }
+        }
+        for event_el in root.children_named("Event") {
+            let at_ms: u64 = event_el
+                .attr_parse("t")
+                .ok_or_else(|| err("Event missing t"))?;
+            let target = event_el.attr_or("target", "").to_string();
+            let action = match event_el.attr_or("action", "") {
+                "openSwitch" => ScenarioAction::OpenSwitch(target),
+                "closeSwitch" => ScenarioAction::CloseSwitch(target),
+                "lineOutage" => ScenarioAction::LineOutage(target),
+                "lineRestore" => ScenarioAction::LineRestore(target),
+                "genLoss" => ScenarioAction::GenLoss(target),
+                "genRestore" => ScenarioAction::GenRestore(target),
+                "setLoad" => {
+                    let value: f64 = event_el
+                        .attr_parse("value")
+                        .ok_or_else(|| err("setLoad event missing value"))?;
+                    ScenarioAction::SetLoadP(target, value)
+                }
+                other => return Err(err(format!("unknown event action {other:?}"))),
+            };
+            config.schedule.events.push(ScenarioEvent { at_ms, action });
+        }
+        config.schedule.events.sort_by_key(|e| e.at_ms);
+        Ok(config)
+    }
+
+    /// Serializes back to XML.
+    pub fn to_xml(&self) -> String {
+        let mut doc = Document::new("PowerSystemConfig");
+        let root = doc.root_id();
+        doc.set_attr(root, "intervalMs", &self.interval_ms.to_string());
+        for profile in &self.schedule.profiles {
+            let (element, target) = match &profile.target {
+                ProfileTarget::LoadScaling(n) => ("LoadProfile", n),
+                ProfileTarget::SgenScaling(n) => ("SgenProfile", n),
+                ProfileTarget::GenSetpoint(n) => ("GenProfile", n),
+            };
+            let e = doc.add_element(root, element);
+            doc.set_attr(e, "target", target);
+            for (t, value) in &profile.points {
+                let p = doc.add_element(e, "P");
+                doc.set_attr(p, "t", &t.to_string());
+                doc.set_attr(p, "value", &value.to_string());
+            }
+        }
+        for event in &self.schedule.events {
+            let e = doc.add_element(root, "Event");
+            doc.set_attr(e, "t", &event.at_ms.to_string());
+            let (action, target, value) = match &event.action {
+                ScenarioAction::OpenSwitch(t) => ("openSwitch", t.clone(), None),
+                ScenarioAction::CloseSwitch(t) => ("closeSwitch", t.clone(), None),
+                ScenarioAction::LineOutage(t) => ("lineOutage", t.clone(), None),
+                ScenarioAction::LineRestore(t) => ("lineRestore", t.clone(), None),
+                ScenarioAction::GenLoss(t) => ("genLoss", t.clone(), None),
+                ScenarioAction::GenRestore(t) => ("genRestore", t.clone(), None),
+                ScenarioAction::SetLoadP(t, v) => ("setLoad", t.clone(), Some(*v)),
+            };
+            doc.set_attr(e, "action", action);
+            doc.set_attr(e, "target", &target);
+            if let Some(v) = value {
+                doc.set_attr(e, "value", &v.to_string());
+            }
+        }
+        doc.to_xml()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"<PowerSystemConfig intervalMs="100">
+  <LoadProfile target="S1/LOAD1">
+    <P t="0" value="1.0"/>
+    <P t="5000" value="1.4"/>
+  </LoadProfile>
+  <SgenProfile target="S1/PV1">
+    <P t="0" value="0.8"/>
+  </SgenProfile>
+  <GenProfile target="S1/G1">
+    <P t="0" value="10"/>
+    <P t="3000" value="12"/>
+  </GenProfile>
+  <Event t="8000" action="openSwitch" target="S1/CB2"/>
+  <Event t="6000" action="genLoss" target="S1/PV1"/>
+  <Event t="9000" action="setLoad" target="S1/LOAD1" value="25"/>
+</PowerSystemConfig>"#;
+
+    #[test]
+    fn parse_sample() {
+        let config = PowerExtraConfig::parse(SAMPLE).unwrap();
+        assert_eq!(config.interval_ms, 100);
+        assert_eq!(config.schedule.profiles.len(), 3);
+        assert_eq!(config.schedule.events.len(), 3);
+        // Events sorted by time.
+        assert_eq!(config.schedule.events[0].at_ms, 6000);
+        assert!(matches!(
+            &config.schedule.profiles[0].target,
+            ProfileTarget::LoadScaling(n) if n == "S1/LOAD1"
+        ));
+    }
+
+    #[test]
+    fn xml_roundtrip() {
+        let config = PowerExtraConfig::parse(SAMPLE).unwrap();
+        let text = config.to_xml();
+        assert_eq!(PowerExtraConfig::parse(&text).unwrap(), config);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(PowerExtraConfig::parse("<Nope/>").is_err());
+        assert!(PowerExtraConfig::parse(
+            r#"<PowerSystemConfig><Event t="1" action="teleport" target="x"/></PowerSystemConfig>"#
+        )
+        .is_err());
+        assert!(PowerExtraConfig::parse(
+            r#"<PowerSystemConfig><LoadProfile><P t="0" value="1"/></LoadProfile></PowerSystemConfig>"#
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,617 @@
+//! The IEC 61850 data model hosted by a virtual IED: logical devices,
+//! logical nodes, data objects, and functionally-constrained data attributes.
+
+use crate::ber::{self, BerError, Element, Tag};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Functional constraints (the subset the cyber range uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Fc {
+    /// Status information.
+    ST,
+    /// Measurands.
+    MX,
+    /// Control.
+    CO,
+    /// Configuration.
+    CF,
+    /// Set-points.
+    SP,
+    /// Description.
+    DC,
+}
+
+impl Fc {
+    /// Parses the two-letter mnemonic.
+    pub fn parse(s: &str) -> Option<Fc> {
+        Some(match s {
+            "ST" => Fc::ST,
+            "MX" => Fc::MX,
+            "CO" => Fc::CO,
+            "CF" => Fc::CF,
+            "SP" => Fc::SP,
+            "DC" => Fc::DC,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Fc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Fc::ST => "ST",
+            Fc::MX => "MX",
+            Fc::CO => "CO",
+            Fc::CF => "CF",
+            Fc::SP => "SP",
+            Fc::DC => "DC",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A value of an IEC 61850 data attribute — the MMS `Data` choice subset
+/// exchanged by the cyber range.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataValue {
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    Uint(u64),
+    /// 32-bit float (measurements).
+    Float(f32),
+    /// Visible string.
+    Str(String),
+    /// Bit string with a bit count (quality, double-point positions).
+    BitString {
+        /// Number of valid bits.
+        bits: u8,
+        /// Bit data, MSB-first.
+        data: Vec<u8>,
+    },
+    /// UTC timestamp in nanoseconds since the simulation epoch.
+    Timestamp(u64),
+    /// A structure of nested values.
+    Struct(Vec<DataValue>),
+}
+
+impl DataValue {
+    /// Double-point position "intermediate" (00).
+    pub fn dbpos_intermediate() -> DataValue {
+        DataValue::BitString {
+            bits: 2,
+            data: vec![0b0000_0000],
+        }
+    }
+
+    /// Double-point position "off / open" (01).
+    pub fn dbpos_off() -> DataValue {
+        DataValue::BitString {
+            bits: 2,
+            data: vec![0b0100_0000],
+        }
+    }
+
+    /// Double-point position "on / closed" (10).
+    pub fn dbpos_on() -> DataValue {
+        DataValue::BitString {
+            bits: 2,
+            data: vec![0b1000_0000],
+        }
+    }
+
+    /// Interprets a 2-bit double-point value: `Some(true)` closed,
+    /// `Some(false)` open, `None` intermediate/bad.
+    pub fn as_dbpos(&self) -> Option<bool> {
+        match self {
+            DataValue::BitString { bits: 2, data } => match data.first()? >> 6 {
+                0b01 => Some(false),
+                0b10 => Some(true),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// The boolean if this is `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            DataValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// A float view of `Float`/`Int`/`Uint`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            DataValue::Float(f) => Some(f64::from(*f)),
+            DataValue::Int(i) => Some(*i as f64),
+            DataValue::Uint(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// The string if this is `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            DataValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// BER-encodes using the MMS `Data` context tags.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            DataValue::Struct(fields) => {
+                let mut inner = Vec::new();
+                for f in fields {
+                    f.encode(&mut inner);
+                }
+                ber::write_tlv(out, Tag::context_constructed(2), &inner);
+            }
+            DataValue::Bool(b) => {
+                ber::write_tlv(out, Tag::context(3), &[u8::from(*b)]);
+            }
+            DataValue::BitString { bits, data } => {
+                let unused = (data.len() * 8).saturating_sub(*bits as usize) as u8;
+                let mut contents = vec![unused];
+                contents.extend_from_slice(data);
+                ber::write_tlv(out, Tag::context(4), &contents);
+            }
+            DataValue::Int(i) => {
+                ber::write_tlv(out, Tag::context(5), &ber::encode_integer(*i));
+            }
+            DataValue::Uint(u) => {
+                ber::write_tlv(out, Tag::context(6), &ber::encode_unsigned(*u));
+            }
+            DataValue::Float(f) => {
+                ber::write_tlv(out, Tag::context(7), &ber::encode_float32(*f));
+            }
+            DataValue::Str(s) => {
+                ber::write_tlv(out, Tag::context(10), s.as_bytes());
+            }
+            DataValue::Timestamp(ns) => {
+                // 8-byte UTC time: 4-byte seconds + 3-byte fraction + quality.
+                let secs = (ns / 1_000_000_000) as u32;
+                let frac_ns = ns % 1_000_000_000;
+                let frac = ((frac_ns as u128) << 24) / 1_000_000_000;
+                let mut contents = Vec::with_capacity(8);
+                contents.extend_from_slice(&secs.to_be_bytes());
+                contents.extend_from_slice(&(frac as u32).to_be_bytes()[1..4]);
+                contents.push(0x0a); // quality: clock not synchronised flags clear, 10 bits accuracy
+                ber::write_tlv(out, Tag::context(17), &contents);
+            }
+        }
+    }
+
+    /// Decodes one MMS `Data` element.
+    pub fn decode(el: &Element<'_>) -> Result<DataValue, BerError> {
+        match el.tag {
+            t if t == Tag::context_constructed(2) => {
+                let mut fields = Vec::new();
+                for child in el.children()? {
+                    fields.push(DataValue::decode(&child)?);
+                }
+                Ok(DataValue::Struct(fields))
+            }
+            t if t == Tag::context(3) => Ok(DataValue::Bool(el.as_bool()?)),
+            t if t == Tag::context(4) => {
+                let (unused, data) = el
+                    .contents
+                    .split_first()
+                    .ok_or(BerError::BadContent("empty bitstring"))?;
+                let bits = (data.len() * 8).saturating_sub(*unused as usize) as u8;
+                Ok(DataValue::BitString {
+                    bits,
+                    data: data.to_vec(),
+                })
+            }
+            t if t == Tag::context(5) => Ok(DataValue::Int(el.as_integer()?)),
+            t if t == Tag::context(6) => Ok(DataValue::Uint(el.as_unsigned()?)),
+            t if t == Tag::context(7) => Ok(DataValue::Float(el.as_float32()?)),
+            t if t == Tag::context(10) => Ok(DataValue::Str(el.as_str()?.to_string())),
+            t if t == Tag::context(17) => {
+                if el.contents.len() != 8 {
+                    return Err(BerError::BadContent("utc-time size"));
+                }
+                let secs = u32::from_be_bytes(el.contents[..4].try_into().expect("4 bytes"));
+                let frac = u32::from_be_bytes([
+                    0,
+                    el.contents[4],
+                    el.contents[5],
+                    el.contents[6],
+                ]);
+                let frac_ns = ((frac as u128) * 1_000_000_000) >> 24;
+                Ok(DataValue::Timestamp(
+                    u64::from(secs) * 1_000_000_000 + frac_ns as u64,
+                ))
+            }
+            other => Err(BerError::UnexpectedTag {
+                expected: 0x85,
+                found: other.0,
+            }),
+        }
+    }
+}
+
+/// A reference to a data attribute: `LD/LN$FC$DO[$DA…]` (MMS item-id form).
+///
+/// # Examples
+///
+/// ```
+/// use sgcr_iec61850::ObjectRef;
+///
+/// let r: ObjectRef = "IED1LD0/XCBR1$ST$Pos$stVal".parse().unwrap();
+/// assert_eq!(r.ld, "IED1LD0");
+/// assert_eq!(r.ln, "XCBR1");
+/// assert_eq!(r.fc_str, "ST");
+/// assert_eq!(r.path, vec!["Pos".to_string(), "stVal".to_string()]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ObjectRef {
+    /// Logical device name.
+    pub ld: String,
+    /// Logical node name (prefix + class + instance, e.g. `XCBR1`).
+    pub ln: String,
+    /// Functional constraint mnemonic.
+    pub fc_str: String,
+    /// Data object / attribute path components.
+    pub path: Vec<String>,
+}
+
+impl ObjectRef {
+    /// The functional constraint, if recognized.
+    pub fn fc(&self) -> Option<Fc> {
+        Fc::parse(&self.fc_str)
+    }
+
+    /// Formats back to `LD/LN$FC$a$b` form.
+    pub fn to_item_id(&self) -> String {
+        let mut s = format!("{}/{}${}", self.ld, self.ln, self.fc_str);
+        for p in &self.path {
+            s.push('$');
+            s.push_str(p);
+        }
+        s
+    }
+}
+
+impl std::str::FromStr for ObjectRef {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (ld, rest) = s
+            .split_once('/')
+            .ok_or_else(|| format!("missing '/' in object reference {s:?}"))?;
+        let mut parts = rest.split('$');
+        let ln = parts.next().filter(|p| !p.is_empty()).ok_or("missing LN")?;
+        let fc = parts.next().filter(|p| !p.is_empty()).ok_or("missing FC")?;
+        let path: Vec<String> = parts.map(str::to_string).collect();
+        if path.is_empty() || path.iter().any(String::is_empty) {
+            return Err(format!("missing data object path in {s:?}"));
+        }
+        Ok(ObjectRef {
+            ld: ld.to_string(),
+            ln: ln.to_string(),
+            fc_str: fc.to_string(),
+            path,
+        })
+    }
+}
+
+impl fmt::Display for ObjectRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_item_id())
+    }
+}
+
+/// A node in an IED's attribute tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrNode {
+    /// A leaf attribute holding a value.
+    Leaf(DataValue),
+    /// A composite data object with named children (ordered).
+    Composite(BTreeMap<String, AttrNode>),
+}
+
+impl AttrNode {
+    fn get(&self, path: &[String]) -> Option<&AttrNode> {
+        match path.split_first() {
+            None => Some(self),
+            Some((head, rest)) => match self {
+                AttrNode::Composite(children) => children.get(head)?.get(rest),
+                AttrNode::Leaf(_) => None,
+            },
+        }
+    }
+
+    fn get_mut(&mut self, path: &[String]) -> Option<&mut AttrNode> {
+        match path.split_first() {
+            None => Some(self),
+            Some((head, rest)) => match self {
+                AttrNode::Composite(children) => children.get_mut(head)?.get_mut(rest),
+                AttrNode::Leaf(_) => None,
+            },
+        }
+    }
+
+    /// Converts the subtree to a (possibly nested) [`DataValue`].
+    pub fn to_value(&self) -> DataValue {
+        match self {
+            AttrNode::Leaf(v) => v.clone(),
+            AttrNode::Composite(children) => {
+                DataValue::Struct(children.values().map(AttrNode::to_value).collect())
+            }
+        }
+    }
+}
+
+/// A logical node: a named bag of FC-partitioned data objects.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LogicalNode {
+    /// FC → attribute tree root.
+    pub by_fc: BTreeMap<String, BTreeMap<String, AttrNode>>,
+}
+
+/// A logical device: named logical nodes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LogicalDevice {
+    /// LN name → node.
+    pub nodes: BTreeMap<String, LogicalNode>,
+}
+
+/// The full data model of one virtual IED.
+///
+/// # Examples
+///
+/// ```
+/// use sgcr_iec61850::{DataModel, DataValue};
+///
+/// let mut model = DataModel::new("IED1");
+/// model.insert("LD0/XCBR1$ST$Pos$stVal", DataValue::dbpos_on());
+/// let r = model.read("LD0/XCBR1$ST$Pos$stVal").unwrap();
+/// assert_eq!(r.as_dbpos(), Some(true));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DataModel {
+    /// The IED name (MMS identity).
+    pub ied_name: String,
+    /// LD name → device.
+    pub devices: BTreeMap<String, LogicalDevice>,
+}
+
+impl DataModel {
+    /// Creates an empty model for an IED.
+    pub fn new(ied_name: &str) -> DataModel {
+        DataModel {
+            ied_name: ied_name.to_string(),
+            devices: BTreeMap::new(),
+        }
+    }
+
+    /// Inserts (or replaces) a leaf attribute, creating intermediate nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item_id` does not parse as an object reference.
+    pub fn insert(&mut self, item_id: &str, value: DataValue) {
+        let r: ObjectRef = item_id.parse().expect("valid object reference");
+        let ld = self.devices.entry(r.ld.clone()).or_default();
+        let ln = ld.nodes.entry(r.ln.clone()).or_default();
+        let root = ln.by_fc.entry(r.fc_str.clone()).or_default();
+
+        let (first, rest) = r.path.split_first().expect("non-empty path");
+        let mut node = root
+            .entry(first.clone())
+            .or_insert_with(|| AttrNode::Composite(BTreeMap::new()));
+        for part in rest {
+            let AttrNode::Composite(children) = node else {
+                // Replacing a leaf with a deeper path: rebuild as composite.
+                *node = AttrNode::Composite(BTreeMap::new());
+                let AttrNode::Composite(children) = node else {
+                    unreachable!()
+                };
+                node = children
+                    .entry(part.clone())
+                    .or_insert_with(|| AttrNode::Composite(BTreeMap::new()));
+                continue;
+            };
+            node = children
+                .entry(part.clone())
+                .or_insert_with(|| AttrNode::Composite(BTreeMap::new()));
+        }
+        *node = AttrNode::Leaf(value);
+    }
+
+    fn resolve(&self, item_id: &str) -> Option<(&AttrNode, ObjectRef)> {
+        let r: ObjectRef = item_id.parse().ok()?;
+        let ld = self.devices.get(&r.ld)?;
+        let ln = ld.nodes.get(&r.ln)?;
+        let root = ln.by_fc.get(&r.fc_str)?;
+        let (first, rest) = r.path.split_first()?;
+        let node = root.get(first)?.get(rest)?;
+        Some((node, r))
+    }
+
+    /// Reads an attribute (or whole data object as a struct).
+    pub fn read(&self, item_id: &str) -> Option<DataValue> {
+        self.resolve(item_id).map(|(node, _)| node.to_value())
+    }
+
+    /// Writes a leaf attribute; returns `false` if the path does not exist
+    /// or is not a leaf.
+    pub fn write(&mut self, item_id: &str, value: DataValue) -> bool {
+        let Ok(r) = item_id.parse::<ObjectRef>() else {
+            return false;
+        };
+        let Some(ld) = self.devices.get_mut(&r.ld) else {
+            return false;
+        };
+        let Some(ln) = ld.nodes.get_mut(&r.ln) else {
+            return false;
+        };
+        let Some(root) = ln.by_fc.get_mut(&r.fc_str) else {
+            return false;
+        };
+        let Some((first, rest)) = r.path.split_first() else {
+            return false;
+        };
+        let Some(node) = root.get_mut(first).and_then(|n| n.get_mut(rest)) else {
+            return false;
+        };
+        match node {
+            AttrNode::Leaf(v) => {
+                *v = value;
+                true
+            }
+            AttrNode::Composite(_) => false,
+        }
+    }
+
+    /// Whether an item exists (leaf or composite).
+    pub fn contains(&self, item_id: &str) -> bool {
+        self.resolve(item_id).is_some()
+    }
+
+    /// Logical device names.
+    pub fn device_names(&self) -> Vec<String> {
+        self.devices.keys().cloned().collect()
+    }
+
+    /// Logical node names within a device.
+    pub fn node_names(&self, ld: &str) -> Vec<String> {
+        self.devices
+            .get(ld)
+            .map(|d| d.nodes.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// All leaf item-ids in deterministic order (for name lists / tests).
+    pub fn leaf_item_ids(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (ld_name, ld) in &self.devices {
+            for (ln_name, ln) in &ld.nodes {
+                for (fc, root) in &ln.by_fc {
+                    for (do_name, node) in root {
+                        collect_leaves(
+                            node,
+                            &format!("{ld_name}/{ln_name}${fc}${do_name}"),
+                            &mut out,
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn collect_leaves(node: &AttrNode, prefix: &str, out: &mut Vec<String>) {
+    match node {
+        AttrNode::Leaf(_) => out.push(prefix.to_string()),
+        AttrNode::Composite(children) => {
+            for (name, child) in children {
+                collect_leaves(child, &format!("{prefix}${name}"), out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ber::Reader;
+
+    #[test]
+    fn object_ref_parse_and_format() {
+        let r: ObjectRef = "LD1/PTOC1$ST$Op$general".parse().unwrap();
+        assert_eq!(r.fc(), Some(Fc::ST));
+        assert_eq!(r.to_item_id(), "LD1/PTOC1$ST$Op$general");
+        assert!("no-slash".parse::<ObjectRef>().is_err());
+        assert!("LD/LN".parse::<ObjectRef>().is_err());
+        assert!("LD/LN$ST".parse::<ObjectRef>().is_err());
+    }
+
+    #[test]
+    fn model_insert_read_write() {
+        let mut m = DataModel::new("IED1");
+        m.insert("LD0/MMXU1$MX$TotW$mag$f", DataValue::Float(12.5));
+        m.insert("LD0/XCBR1$ST$Pos$stVal", DataValue::dbpos_on());
+        assert_eq!(
+            m.read("LD0/MMXU1$MX$TotW$mag$f"),
+            Some(DataValue::Float(12.5))
+        );
+        assert!(m.write("LD0/MMXU1$MX$TotW$mag$f", DataValue::Float(13.0)));
+        assert_eq!(
+            m.read("LD0/MMXU1$MX$TotW$mag$f"),
+            Some(DataValue::Float(13.0))
+        );
+        assert!(!m.write("LD0/NOPE1$MX$TotW$mag$f", DataValue::Float(0.0)));
+        assert!(!m.write("LD0/MMXU1$MX$TotW$mag", DataValue::Float(0.0)));
+    }
+
+    #[test]
+    fn composite_read_as_struct() {
+        let mut m = DataModel::new("IED1");
+        m.insert("LD0/MMXU1$MX$TotW$mag$f", DataValue::Float(1.0));
+        m.insert("LD0/MMXU1$MX$TotW$q", DataValue::BitString { bits: 13, data: vec![0, 0] });
+        let v = m.read("LD0/MMXU1$MX$TotW").unwrap();
+        assert!(matches!(v, DataValue::Struct(fields) if fields.len() == 2));
+    }
+
+    #[test]
+    fn leaf_item_ids_sorted() {
+        let mut m = DataModel::new("IED1");
+        m.insert("LD0/XCBR1$ST$Pos$stVal", DataValue::Bool(true));
+        m.insert("LD0/PTOC1$ST$Op$general", DataValue::Bool(false));
+        let ids = m.leaf_item_ids();
+        assert_eq!(
+            ids,
+            vec![
+                "LD0/PTOC1$ST$Op$general".to_string(),
+                "LD0/XCBR1$ST$Pos$stVal".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn dbpos_helpers() {
+        assert_eq!(DataValue::dbpos_on().as_dbpos(), Some(true));
+        assert_eq!(DataValue::dbpos_off().as_dbpos(), Some(false));
+        assert_eq!(DataValue::dbpos_intermediate().as_dbpos(), None);
+    }
+
+    #[test]
+    fn data_value_ber_roundtrip() {
+        let values = vec![
+            DataValue::Bool(true),
+            DataValue::Int(-42),
+            DataValue::Uint(65536),
+            DataValue::Float(2.5),
+            DataValue::Str("EPIC/GIED1".into()),
+            DataValue::dbpos_on(),
+            DataValue::Timestamp(1_234_567_890_123_456_789),
+            DataValue::Struct(vec![
+                DataValue::Float(1.0),
+                DataValue::Struct(vec![DataValue::Bool(false)]),
+            ]),
+        ];
+        for v in values {
+            let mut wire = Vec::new();
+            v.encode(&mut wire);
+            let mut reader = Reader::new(&wire);
+            let el = reader.read_element().unwrap();
+            let decoded = DataValue::decode(&el).unwrap();
+            match (&v, &decoded) {
+                // Timestamp fraction loses sub-2^-24-second precision.
+                (DataValue::Timestamp(a), DataValue::Timestamp(b)) => {
+                    assert!((*a as i128 - *b as i128).abs() < 100, "{a} vs {b}");
+                }
+                _ => assert_eq!(v, decoded),
+            }
+        }
+    }
+}

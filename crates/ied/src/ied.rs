@@ -1,0 +1,768 @@
+//! The virtual IED application: process sampling, protection, GOOSE/R-SV
+//! exchange, and an MMS server — one `SocketApp` per emulated IED host.
+
+use crate::protection::{
+    DifferentialRelay, Interlock, OvercurrentCurve, OvercurrentRelay, RelayEvent, VoltageRelay,
+};
+use crate::spec::{GooseEntry, IedSpec, ProtectionSpec};
+use parking_lot::Mutex;
+use sgcr_iec61850::{
+    ControlDecision, DataModel, DataValue, GooseConfig, GoosePublisher, GooseSubscriber,
+    MmsServer, MmsServerApp, SessionPacket, SessionPayloadType, SessionReceiver, SessionSender,
+    SharedModel, SvPublisher, SvSubscriber, RGOOSE_PORT,
+};
+use sgcr_kvstore::{ProcessStore, Value};
+use sgcr_net::{
+    ethertype, ConnId, EthernetFrame, HostCtx, Ipv4Addr, MacAddr, SimTime, SocketApp,
+};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const TOKEN_SAMPLE: u64 = 1;
+const TOKEN_GOOSE: u64 = 2;
+
+/// Kinds of events recorded by a virtual IED.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IedEventKind {
+    /// A protection element picked up (started timing).
+    ProtectionPickup,
+    /// A protection element operated and tripped its breaker.
+    ProtectionTrip,
+    /// A protection element dropped out before operating.
+    ProtectionDropout,
+    /// An MMS control was executed.
+    ControlExecuted,
+    /// An MMS control was rejected (interlock).
+    ControlRejected,
+}
+
+/// One event in the IED's sequence-of-events record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IedEvent {
+    /// Simulation time in milliseconds.
+    pub time_ms: u64,
+    /// Event kind.
+    pub kind: IedEventKind,
+    /// Human-readable detail (LN, breaker, value).
+    pub detail: String,
+}
+
+/// Observable handle to a running virtual IED (shared with the experiment
+/// harness and SCADA-side assertions).
+#[derive(Clone)]
+pub struct IedHandle {
+    /// The IED's live data model.
+    pub model: SharedModel,
+    events: Arc<Mutex<Vec<IedEvent>>>,
+}
+
+impl IedHandle {
+    /// Snapshot of the sequence-of-events record.
+    pub fn events(&self) -> Vec<IedEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of protection trips recorded.
+    pub fn trip_count(&self) -> usize {
+        self.events
+            .lock()
+            .iter()
+            .filter(|e| e.kind == IedEventKind::ProtectionTrip)
+            .count()
+    }
+
+    /// Events of a given kind.
+    pub fn events_of(&self, kind: IedEventKind) -> Vec<IedEvent> {
+        self.events
+            .lock()
+            .iter()
+            .filter(|e| e.kind == kind)
+            .cloned()
+            .collect()
+    }
+}
+
+enum ProtectionRuntime {
+    Ptoc {
+        ln: String,
+        key: String,
+        relay: OvercurrentRelay,
+        breaker: String,
+    },
+    Voltage {
+        ln: String,
+        key: String,
+        relay: VoltageRelay,
+        breaker: String,
+    },
+    Pdif {
+        ln: String,
+        key: String,
+        relay: DifferentialRelay,
+        breaker: String,
+    },
+    Cilo {
+        ln: String,
+        breaker: String,
+        interlock: Interlock,
+        /// monitored refs: (reference, gocb_ref, dataset_index)
+        monitored: Vec<(String, String, usize)>,
+    },
+}
+
+/// The virtual IED application.
+///
+/// Built from an [`IedSpec`]; construct with [`VirtualIedApp::new`] and
+/// attach to an emulated host. The returned [`IedHandle`] exposes the live
+/// data model and the sequence-of-events record.
+pub struct VirtualIedApp {
+    spec: IedSpec,
+    store: ProcessStore,
+    mms: MmsServerApp,
+    model: SharedModel,
+    protections: Vec<ProtectionRuntime>,
+    goose_pub: Option<GoosePublisher>,
+    goose_subs: Vec<GooseSubscriber>,
+    rsv_pub: Option<SvPublisher>,
+    rsv_sub: Option<SvSubscriber>,
+    session_tx: SessionSender,
+    session_rx: HashMap<Ipv4Addr, SessionReceiver>,
+    events: Arc<Mutex<Vec<IedEvent>>>,
+    /// Close-permit per interlocked breaker, shared with the control handler.
+    permits: Arc<Mutex<HashMap<String, bool>>>,
+    now_ms: Arc<AtomicU64>,
+}
+
+impl VirtualIedApp {
+    /// Builds the application and its data model from a resolved spec.
+    pub fn new(spec: IedSpec, store: ProcessStore) -> (VirtualIedApp, IedHandle) {
+        let model = SharedModel::new(build_model(&spec));
+        let events: Arc<Mutex<Vec<IedEvent>>> = Arc::default();
+        let permits: Arc<Mutex<HashMap<String, bool>>> = Arc::default();
+        let now_ms = Arc::new(AtomicU64::new(0));
+
+        let mut server = MmsServer::new(model.clone());
+        server.identity = (
+            "sgcr".to_string(),
+            "virtual-ied".to_string(),
+            spec.name.clone(),
+        );
+        // Control handler: map Oper writes onto breaker commands, gated by
+        // the interlock permits maintained by the protection scan.
+        {
+            let store = store.clone();
+            let events = events.clone();
+            let permits = permits.clone();
+            let now_ms = now_ms.clone();
+            let breakers = spec.breakers.clone();
+            let substation = spec.substation.clone();
+            server.set_control_handler(Box::new(move |object_ref, value| {
+                let Some(close) = value.as_bool() else {
+                    return ControlDecision::Reject;
+                };
+                let Some(breaker) = breakers
+                    .iter()
+                    .find(|b| object_ref.ln == b.cswi || object_ref.ln == b.xcbr)
+                else {
+                    return ControlDecision::Reject;
+                };
+                let time_ms = now_ms.load(Ordering::Relaxed);
+                if close && breaker.interlocked {
+                    let permitted = permits.lock().get(&breaker.name).copied().unwrap_or(false);
+                    if !permitted {
+                        events.lock().push(IedEvent {
+                            time_ms,
+                            kind: IedEventKind::ControlRejected,
+                            detail: format!(
+                                "close {} blocked by interlock (substation {substation})",
+                                breaker.name
+                            ),
+                        });
+                        return ControlDecision::Reject;
+                    }
+                }
+                store.set(&breaker.cmd_key, Value::Bool(close));
+                events.lock().push(IedEvent {
+                    time_ms,
+                    kind: IedEventKind::ControlExecuted,
+                    detail: format!(
+                        "{} {}",
+                        if close { "close" } else { "open" },
+                        breaker.name
+                    ),
+                });
+                ControlDecision::Accept
+            }));
+        }
+
+        let protections = spec
+            .protections
+            .iter()
+            .map(|p| match p {
+                ProtectionSpec::Ptoc {
+                    ln,
+                    measurement_key,
+                    pickup,
+                    delay_ms,
+                    breaker,
+                } => ProtectionRuntime::Ptoc {
+                    ln: ln.clone(),
+                    key: measurement_key.clone(),
+                    relay: OvercurrentRelay::new(
+                        *pickup,
+                        OvercurrentCurve::DefiniteTime {
+                            delay: sgcr_net::SimDuration::from_millis(*delay_ms),
+                        },
+                    ),
+                    breaker: breaker.clone(),
+                },
+                ProtectionSpec::Ptov {
+                    ln,
+                    voltage_key,
+                    threshold_pu,
+                    delay_ms,
+                    breaker,
+                } => ProtectionRuntime::Voltage {
+                    ln: ln.clone(),
+                    key: voltage_key.clone(),
+                    relay: VoltageRelay::over(
+                        *threshold_pu,
+                        sgcr_net::SimDuration::from_millis(*delay_ms),
+                    ),
+                    breaker: breaker.clone(),
+                },
+                ProtectionSpec::Ptuv {
+                    ln,
+                    voltage_key,
+                    threshold_pu,
+                    delay_ms,
+                    breaker,
+                } => ProtectionRuntime::Voltage {
+                    ln: ln.clone(),
+                    key: voltage_key.clone(),
+                    relay: VoltageRelay::under(
+                        *threshold_pu,
+                        sgcr_net::SimDuration::from_millis(*delay_ms),
+                    ),
+                    breaker: breaker.clone(),
+                },
+                ProtectionSpec::Pdif {
+                    ln,
+                    local_current_key,
+                    threshold,
+                    delay_ms,
+                    breaker,
+                } => ProtectionRuntime::Pdif {
+                    ln: ln.clone(),
+                    key: local_current_key.clone(),
+                    relay: DifferentialRelay::new(
+                        *threshold,
+                        sgcr_net::SimDuration::from_millis(*delay_ms),
+                    ),
+                    breaker: breaker.clone(),
+                },
+                ProtectionSpec::Cilo {
+                    ln,
+                    breaker,
+                    monitored,
+                } => ProtectionRuntime::Cilo {
+                    ln: ln.clone(),
+                    breaker: breaker.clone(),
+                    interlock: Interlock::new(
+                        monitored.iter().map(|m| m.reference.clone()).collect(),
+                    ),
+                    monitored: monitored
+                        .iter()
+                        .map(|m| (m.reference.clone(), m.gocb_ref.clone(), m.dataset_index))
+                        .collect(),
+                },
+            })
+            .collect::<Vec<_>>();
+
+        // Subscribe to every distinct gocbRef the interlocks reference.
+        let mut sub_refs: Vec<String> = protections
+            .iter()
+            .filter_map(|p| match p {
+                ProtectionRuntime::Cilo { monitored, .. } => {
+                    Some(monitored.iter().map(|(_, g, _)| g.clone()))
+                }
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        sub_refs.sort();
+        sub_refs.dedup();
+        let goose_subs = sub_refs.iter().map(|g| GooseSubscriber::new(g)).collect();
+
+        let goose_pub = spec.goose.as_ref().map(|g| {
+            GoosePublisher::new(
+                GooseConfig::new(&g.gocb_ref, &g.dataset, &g.gocb_ref, g.appid),
+                vec![DataValue::Bool(false); g.entries.len()],
+            )
+        });
+
+        let rsv_pub = spec.rsv.as_ref().map(|r| {
+            SvPublisher::new(&r.sv_id, 0x4000, spec.sample_period)
+        });
+        let rsv_sub = spec
+            .rsv
+            .as_ref()
+            .and_then(|r| r.subscribe_sv_id.as_ref())
+            .map(|id| SvSubscriber::new(id));
+
+        let app = VirtualIedApp {
+            spec,
+            store,
+            mms: MmsServerApp::new(server),
+            model: model.clone(),
+            protections,
+            goose_pub,
+            goose_subs,
+            rsv_pub,
+            rsv_sub,
+            session_tx: SessionSender::new(),
+            session_rx: HashMap::new(),
+            events: events.clone(),
+            permits,
+            now_ms,
+        };
+        (app, IedHandle { model, events })
+    }
+
+    fn record(&self, now: SimTime, kind: IedEventKind, detail: String) {
+        self.events.lock().push(IedEvent {
+            time_ms: now.as_millis(),
+            kind,
+            detail,
+        });
+    }
+
+    fn trip_breaker(&mut self, ctx: &mut HostCtx<'_>, ln: &str, breaker_name: &str) {
+        let now = ctx.now();
+        let Some(breaker) = self.spec.breaker(breaker_name).cloned() else {
+            return;
+        };
+        self.store.set(&breaker.cmd_key, Value::Bool(false));
+        let op_item = self.spec.item(&format!("{ln}$ST$Op$general"));
+        self.model.write(&op_item, DataValue::Bool(true));
+        self.record(
+            now,
+            IedEventKind::ProtectionTrip,
+            format!("{ln} tripped {breaker_name}"),
+        );
+        // Spontaneous reporting: push an InformationReport to every
+        // associated MMS client (SCADA/PLC learn of the trip immediately,
+        // without waiting for their next interrogation cycle).
+        let report = sgcr_iec61850::MmsPdu::InformationReport {
+            report_name: self.spec.item("LLN0$BR$brcb01"),
+            entries: vec![
+                (op_item, DataValue::Bool(true)),
+                (
+                    self.spec.item(&format!("{}$ST$Pos$stVal", breaker.xcbr)),
+                    DataValue::dbpos_off(),
+                ),
+            ],
+        };
+        let wire = sgcr_iec61850::tpkt_frame(&report.encode());
+        for conn in self.mms.connections() {
+            ctx.tcp_send(conn, &wire);
+        }
+    }
+
+    fn sample(&mut self, ctx: &mut HostCtx<'_>) {
+        let now = ctx.now();
+        self.now_ms.store(now.as_millis(), Ordering::Relaxed);
+
+        // 0. GOOSE supervision: when a monitored stream's TTL expires, its
+        //    interlock inputs degrade to Unknown (fail-safe close blocking),
+        //    exactly as a real CILO loses its GOOSE-supervised permissives.
+        let expired: Vec<String> = self
+            .goose_subs
+            .iter()
+            .filter(|s| s.is_expired(now))
+            .map(|s| s.gocb_ref.clone())
+            .collect();
+        if !expired.is_empty() {
+            for p in &mut self.protections {
+                if let ProtectionRuntime::Cilo {
+                    interlock,
+                    monitored,
+                    ..
+                } = p
+                {
+                    for (reference, gocb_ref, _) in monitored.iter() {
+                        if expired.contains(gocb_ref) {
+                            interlock.set_unknown(reference);
+                        }
+                    }
+                }
+            }
+        }
+
+        // 1. Measurements: process store → data model.
+        for m in &self.spec.measurements {
+            if let Some(v) = self.store.get_float(&m.kv_key) {
+                let item = self.spec.item(&m.item);
+                self.model.write(&item, DataValue::Float(v as f32));
+            }
+        }
+        // 2. Breaker positions.
+        for b in &self.spec.breakers {
+            let closed = self.store.get_bool(&b.state_key).unwrap_or(false);
+            let pos = if closed {
+                DataValue::dbpos_on()
+            } else {
+                DataValue::dbpos_off()
+            };
+            let xcbr_item = self.spec.item(&format!("{}$ST$Pos$stVal", b.xcbr));
+            let cswi_item = self.spec.item(&format!("{}$ST$Pos$stVal", b.cswi));
+            self.model.write(&xcbr_item, pos.clone());
+            self.model.write(&cswi_item, pos);
+        }
+
+        // 3. Protection scan.
+        let mut trips: Vec<(String, String)> = Vec::new();
+        for p in &mut self.protections {
+            match p {
+                ProtectionRuntime::Ptoc {
+                    ln,
+                    key,
+                    relay,
+                    breaker,
+                } => {
+                    if let Some(value) = self.store.get_float(key) {
+                        match relay.step(now, value.abs()) {
+                            Some(RelayEvent::Operate) => trips.push((ln.clone(), breaker.clone())),
+                            Some(RelayEvent::Pickup) => self.events.lock().push(IedEvent {
+                                time_ms: now.as_millis(),
+                                kind: IedEventKind::ProtectionPickup,
+                                detail: format!("{ln} pickup at {value:.3}"),
+                            }),
+                            Some(RelayEvent::Dropout) => self.events.lock().push(IedEvent {
+                                time_ms: now.as_millis(),
+                                kind: IedEventKind::ProtectionDropout,
+                                detail: format!("{ln} dropout"),
+                            }),
+                            None => {}
+                        }
+                    }
+                }
+                ProtectionRuntime::Voltage {
+                    ln,
+                    key,
+                    relay,
+                    breaker,
+                } => {
+                    if let Some(value) = self.store.get_float(key) {
+                        match relay.step(now, value) {
+                            Some(RelayEvent::Operate) => trips.push((ln.clone(), breaker.clone())),
+                            Some(RelayEvent::Pickup) => self.events.lock().push(IedEvent {
+                                time_ms: now.as_millis(),
+                                kind: IedEventKind::ProtectionPickup,
+                                detail: format!("{ln} pickup at {value:.3} pu"),
+                            }),
+                            Some(RelayEvent::Dropout) => self.events.lock().push(IedEvent {
+                                time_ms: now.as_millis(),
+                                kind: IedEventKind::ProtectionDropout,
+                                detail: format!("{ln} dropout"),
+                            }),
+                            None => {}
+                        }
+                    }
+                }
+                ProtectionRuntime::Pdif {
+                    ln,
+                    key,
+                    relay,
+                    breaker,
+                } => {
+                    if let Some(value) = self.store.get_float(key) {
+                        match relay.step(now, value) {
+                            Some(RelayEvent::Operate) => trips.push((ln.clone(), breaker.clone())),
+                            Some(RelayEvent::Pickup) => self.events.lock().push(IedEvent {
+                                time_ms: now.as_millis(),
+                                kind: IedEventKind::ProtectionPickup,
+                                detail: format!("{ln} differential pickup"),
+                            }),
+                            _ => {}
+                        }
+                    }
+                }
+                ProtectionRuntime::Cilo {
+                    ln,
+                    breaker,
+                    interlock,
+                    ..
+                } => {
+                    let permitted = interlock.close_permitted();
+                    self.permits.lock().insert(breaker.clone(), permitted);
+                    let ena_item = self.spec.item(&format!("{ln}$ST$EnaCls$stVal"));
+                    self.model.write(&ena_item, DataValue::Bool(permitted));
+                }
+            }
+        }
+        for (ln, breaker) in trips {
+            self.trip_breaker(ctx, &ln, &breaker);
+        }
+
+        // 4. GOOSE publication (update dataset; emit immediately on change).
+        if let Some(goose_spec) = self.spec.goose.clone() {
+            let values: Vec<DataValue> = goose_spec
+                .entries
+                .iter()
+                .map(|e| match e {
+                    GooseEntry::BreakerState(name) => {
+                        let closed = self
+                            .spec
+                            .breaker(name)
+                            .and_then(|b| self.store.get_bool(&b.state_key))
+                            .unwrap_or(false);
+                        DataValue::Bool(closed)
+                    }
+                    GooseEntry::ProtectionOp(ln) => {
+                        let operated = self.protections.iter().any(|p| match p {
+                            ProtectionRuntime::Ptoc { ln: l, relay, .. } => {
+                                l == ln && relay.has_operated()
+                            }
+                            ProtectionRuntime::Voltage { ln: l, relay, .. } => {
+                                l == ln && relay.has_operated()
+                            }
+                            ProtectionRuntime::Pdif { ln: l, relay, .. } => {
+                                l == ln && relay.has_operated()
+                            }
+                            ProtectionRuntime::Cilo { .. } => false,
+                        });
+                        DataValue::Bool(operated)
+                    }
+                })
+                .collect();
+            if let Some(publisher) = &mut self.goose_pub {
+                if publisher.update(now, values) {
+                    self.emit_goose(ctx);
+                }
+            }
+        }
+
+        // 5. R-SV publication.
+        if let Some(rsv) = self.spec.rsv.clone() {
+            let current = self.store.get_float(&rsv.current_key).unwrap_or(0.0) as f32;
+            if let Some(publisher) = &mut self.rsv_pub {
+                let frame = publisher.emit(now, ctx.mac(), vec![current]);
+                let packet = self
+                    .session_tx
+                    .wrap(SessionPayloadType::Sv, frame.payload.to_vec());
+                for peer in &rsv.peers {
+                    ctx.send_udp(*peer, RGOOSE_PORT, RGOOSE_PORT, &packet.encode());
+                }
+            }
+        }
+
+        ctx.set_timer(self.spec.sample_period, TOKEN_SAMPLE);
+    }
+
+    fn emit_goose(&mut self, ctx: &mut HostCtx<'_>) {
+        let now = ctx.now();
+        let mac = ctx.mac();
+        let Some(publisher) = &mut self.goose_pub else {
+            return;
+        };
+        let (frame, wait) = publisher.emit(now, mac);
+        // R-GOOSE to inter-substation peers.
+        if let Some(goose_spec) = &self.spec.goose {
+            if !goose_spec.rgoose_peers.is_empty() {
+                let packet = self
+                    .session_tx
+                    .wrap(SessionPayloadType::Goose, frame.payload.to_vec());
+                let wire = packet.encode();
+                for peer in goose_spec.rgoose_peers.clone() {
+                    ctx.send_udp(peer, RGOOSE_PORT, RGOOSE_PORT, &wire);
+                }
+            }
+        }
+        ctx.send_frame(frame);
+        ctx.set_timer(wait, TOKEN_GOOSE);
+    }
+
+    fn handle_goose_payload(&mut self, now: SimTime, frame: &EthernetFrame) {
+        for sub in &mut self.goose_subs {
+            if sub.process(now, frame).is_some() {
+                let gocb = sub.gocb_ref.clone();
+                let data = sub.data.clone();
+                for p in &mut self.protections {
+                    if let ProtectionRuntime::Cilo {
+                        interlock,
+                        monitored,
+                        ..
+                    } = p
+                    {
+                        for (reference, gocb_ref, index) in monitored.iter() {
+                            if *gocb_ref != gocb {
+                                continue;
+                            }
+                            let closed = data.get(*index).and_then(|v| match v {
+                                DataValue::Bool(b) => Some(*b),
+                                other => other.as_dbpos(),
+                            });
+                            if let Some(closed) = closed {
+                                interlock.update(reference, closed);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl SocketApp for VirtualIedApp {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        self.mms.on_start(ctx);
+        ctx.bind_udp(RGOOSE_PORT);
+        ctx.set_timer(self.spec.sample_period, TOKEN_SAMPLE);
+        if self.goose_pub.is_some() {
+            self.emit_goose(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_>, token: u64) {
+        match token {
+            TOKEN_SAMPLE => self.sample(ctx),
+            TOKEN_GOOSE => self.emit_goose(ctx),
+            _ => {}
+        }
+    }
+
+    fn on_tcp_accepted(&mut self, ctx: &mut HostCtx<'_>, conn: ConnId, peer: (Ipv4Addr, u16)) {
+        self.mms.on_tcp_accepted(ctx, conn, peer);
+    }
+
+    fn on_tcp_data(&mut self, ctx: &mut HostCtx<'_>, conn: ConnId, data: &[u8]) {
+        self.mms.on_tcp_data(ctx, conn, data);
+    }
+
+    fn on_tcp_closed(&mut self, ctx: &mut HostCtx<'_>, conn: ConnId) {
+        self.mms.on_tcp_closed(ctx, conn);
+    }
+
+    fn on_raw_frame(&mut self, ctx: &mut HostCtx<'_>, frame: &EthernetFrame) {
+        if frame.ethertype == ethertype::GOOSE {
+            self.handle_goose_payload(ctx.now(), frame);
+        }
+    }
+
+    fn on_udp(&mut self, ctx: &mut HostCtx<'_>, src: (Ipv4Addr, u16), dst_port: u16, data: &[u8]) {
+        if dst_port != RGOOSE_PORT {
+            return;
+        }
+        let Some(packet) = SessionPacket::decode(data) else {
+            return;
+        };
+        let now = ctx.now();
+        let receiver = self.session_rx.entry(src.0).or_default();
+        if receiver.accept(now, &packet).is_none() {
+            return;
+        }
+        match packet.payload_type {
+            SessionPayloadType::Goose => {
+                // Re-frame so the L2 subscriber machinery can process it.
+                let frame = EthernetFrame::new(
+                    MacAddr::goose_multicast(0),
+                    MacAddr::ZERO,
+                    ethertype::GOOSE,
+                    packet.payload.clone(),
+                );
+                self.handle_goose_payload(now, &frame);
+            }
+            SessionPayloadType::Sv => {
+                let frame = EthernetFrame::new(
+                    MacAddr::sv_multicast(0),
+                    MacAddr::ZERO,
+                    ethertype::SV,
+                    packet.payload.clone(),
+                );
+                if let Some(sub) = &mut self.rsv_sub {
+                    if sub.process(now, &frame) {
+                        let remote = sub.samples.first().copied().unwrap_or(0.0) as f64;
+                        for p in &mut self.protections {
+                            if let ProtectionRuntime::Pdif { relay, .. } = p {
+                                relay.update_remote(now, remote);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Builds the IEC 61850 data model implied by a spec: LLN0/LPHD plus the
+/// LNs for measurements, breakers, and protection functions.
+pub fn build_model(spec: &IedSpec) -> DataModel {
+    let mut model = DataModel::new(&spec.name);
+    let item = |rel: &str| format!("{}/{}", spec.ld, rel);
+    model.insert(&item("LLN0$ST$Beh$stVal"), DataValue::Int(1));
+    model.insert(&item("LPHD1$ST$PhyHealth$stVal"), DataValue::Int(1));
+    model.insert(
+        &item("LPHD1$DC$PhyNam$vendor"),
+        DataValue::Str("sgcr".to_string()),
+    );
+    for m in &spec.measurements {
+        model.insert(&item(&m.item), DataValue::Float(0.0));
+    }
+    for b in &spec.breakers {
+        model.insert(
+            &item(&format!("{}$ST$Pos$stVal", b.xcbr)),
+            DataValue::dbpos_off(),
+        );
+        model.insert(
+            &item(&format!("{}$CO$Pos$Oper$ctlVal", b.xcbr)),
+            DataValue::Bool(false),
+        );
+        model.insert(
+            &item(&format!("{}$ST$Pos$stVal", b.cswi)),
+            DataValue::dbpos_off(),
+        );
+        model.insert(
+            &item(&format!("{}$CO$Pos$Oper$ctlVal", b.cswi)),
+            DataValue::Bool(false),
+        );
+    }
+    for p in &spec.protections {
+        let ln = p.ln();
+        match p {
+            ProtectionSpec::Cilo { .. } => {
+                model.insert(
+                    &item(&format!("{ln}$ST$EnaCls$stVal")),
+                    DataValue::Bool(false),
+                );
+                model.insert(
+                    &item(&format!("{ln}$ST$EnaOpn$stVal")),
+                    DataValue::Bool(true),
+                );
+            }
+            _ => {
+                model.insert(
+                    &item(&format!("{ln}$ST$Str$general")),
+                    DataValue::Bool(false),
+                );
+                model.insert(
+                    &item(&format!("{ln}$ST$Op$general")),
+                    DataValue::Bool(false),
+                );
+                let threshold = match p {
+                    ProtectionSpec::Ptoc { pickup, .. } => *pickup,
+                    ProtectionSpec::Ptov { threshold_pu, .. }
+                    | ProtectionSpec::Ptuv { threshold_pu, .. } => *threshold_pu,
+                    ProtectionSpec::Pdif { threshold, .. } => *threshold,
+                    ProtectionSpec::Cilo { .. } => unreachable!(),
+                };
+                model.insert(
+                    &item(&format!("{ln}$SP$StrVal$setMag$f")),
+                    DataValue::Float(threshold as f32),
+                );
+            }
+        }
+    }
+    model
+}

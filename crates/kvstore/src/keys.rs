@@ -1,0 +1,113 @@
+//! Canonical key construction for the cyber range process cache.
+//!
+//! The SG-ML *IED Config XML* maps IEC 61850 data objects to power-simulation
+//! outputs; both sides must agree on key names. [`Keys`] is that contract.
+
+/// Builders for the canonical key namespace shared by the power-flow stepper
+/// (writer of `meas/*`, reader of `cmd/*`) and the virtual devices (readers
+/// of `meas/*`, writers of `cmd/*`).
+///
+/// # Examples
+///
+/// ```
+/// use sgcr_kvstore::Keys;
+///
+/// assert_eq!(Keys::bus_voltage("S1", "bus3"), "meas/S1/bus/bus3/vm_pu");
+/// assert_eq!(Keys::breaker_cmd("S1", "cb2"), "cmd/S1/cb/cb2/close");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Keys;
+
+impl Keys {
+    /// Bus voltage magnitude in per-unit: `meas/<sub>/bus/<bus>/vm_pu`.
+    pub fn bus_voltage(substation: &str, bus: &str) -> String {
+        format!("meas/{substation}/bus/{bus}/vm_pu")
+    }
+
+    /// Bus voltage angle in degrees: `meas/<sub>/bus/<bus>/va_deg`.
+    pub fn bus_angle(substation: &str, bus: &str) -> String {
+        format!("meas/{substation}/bus/{bus}/va_deg")
+    }
+
+    /// Active power through a branch (MW), from-side:
+    /// `meas/<sub>/branch/<branch>/p_mw`.
+    pub fn branch_p(substation: &str, branch: &str) -> String {
+        format!("meas/{substation}/branch/{branch}/p_mw")
+    }
+
+    /// Reactive power through a branch (Mvar): `meas/<sub>/branch/<branch>/q_mvar`.
+    pub fn branch_q(substation: &str, branch: &str) -> String {
+        format!("meas/{substation}/branch/{branch}/q_mvar")
+    }
+
+    /// Current through a branch (kA): `meas/<sub>/branch/<branch>/i_ka`.
+    pub fn branch_i(substation: &str, branch: &str) -> String {
+        format!("meas/{substation}/branch/{branch}/i_ka")
+    }
+
+    /// Branch loading percentage: `meas/<sub>/branch/<branch>/loading`.
+    pub fn branch_loading(substation: &str, branch: &str) -> String {
+        format!("meas/{substation}/branch/{branch}/loading")
+    }
+
+    /// Breaker position feedback (true = closed):
+    /// `meas/<sub>/cb/<cb>/closed`.
+    pub fn breaker_state(substation: &str, breaker: &str) -> String {
+        format!("meas/{substation}/cb/{breaker}/closed")
+    }
+
+    /// Breaker command (true = close, false = open):
+    /// `cmd/<sub>/cb/<cb>/close`.
+    pub fn breaker_cmd(substation: &str, breaker: &str) -> String {
+        format!("cmd/{substation}/cb/{breaker}/close")
+    }
+
+    /// Load set-point command (MW): `cmd/<sub>/load/<load>/p_mw`.
+    pub fn load_cmd(substation: &str, load: &str) -> String {
+        format!("cmd/{substation}/load/{load}/p_mw")
+    }
+
+    /// Generator set-point command (MW): `cmd/<sub>/gen/<gen>/p_mw`.
+    pub fn gen_cmd(substation: &str, gen: &str) -> String {
+        format!("cmd/{substation}/gen/{gen}/p_mw")
+    }
+
+    /// Grid frequency (Hz), system-wide: `meas/<sub>/freq_hz`.
+    pub fn frequency(substation: &str) -> String {
+        format!("meas/{substation}/freq_hz")
+    }
+
+    /// Simulation step counter: `sim/step`.
+    pub fn sim_step() -> String {
+        "sim/step".to_string()
+    }
+
+    /// Splits a key into its `/`-separated segments.
+    pub fn segments(key: &str) -> Vec<&str> {
+        key.split('/').collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_shapes() {
+        assert_eq!(Keys::bus_voltage("S1", "b1"), "meas/S1/bus/b1/vm_pu");
+        assert_eq!(Keys::bus_angle("S1", "b1"), "meas/S1/bus/b1/va_deg");
+        assert_eq!(Keys::branch_p("S1", "l1"), "meas/S1/branch/l1/p_mw");
+        assert_eq!(Keys::breaker_state("S1", "cb1"), "meas/S1/cb/cb1/closed");
+        assert_eq!(Keys::breaker_cmd("S1", "cb1"), "cmd/S1/cb/cb1/close");
+        assert_eq!(Keys::sim_step(), "sim/step");
+    }
+
+    #[test]
+    fn segments_split() {
+        let key = Keys::branch_q("S2", "line7");
+        assert_eq!(
+            Keys::segments(&key),
+            vec!["meas", "S2", "branch", "line7", "q_mvar"]
+        );
+    }
+}

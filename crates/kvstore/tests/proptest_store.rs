@@ -1,0 +1,71 @@
+//! Property tests on the process store: version monotonicity and
+//! change-feed completeness under arbitrary operation sequences.
+
+use proptest::prelude::*;
+use sgcr_kvstore::{ProcessStore, Value};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Set(u8, i64),
+    Remove(u8),
+    Mark,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<i64>()).prop_map(|(k, v)| Op::Set(k % 16, v)),
+        any::<u8>().prop_map(|k| Op::Remove(k % 16)),
+        Just(Op::Mark),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn change_feed_is_complete_and_ordered(ops in proptest::collection::vec(op_strategy(), 0..100)) {
+        let store = ProcessStore::new();
+        let mut marks: Vec<u64> = vec![0];
+        for op in &ops {
+            match op {
+                Op::Set(k, v) => {
+                    let version = store.set(&format!("k{k}"), Value::Int(*v));
+                    prop_assert_eq!(version, store.version());
+                }
+                Op::Remove(k) => {
+                    store.remove(&format!("k{k}"));
+                }
+                Op::Mark => {
+                    marks.push(store.version());
+                }
+            }
+        }
+        // Versions in the change feed are strictly increasing and all
+        // greater than the cursor.
+        for &mark in &marks {
+            let changes = store.changes_since(mark);
+            let mut last = mark;
+            for change in &changes {
+                prop_assert!(change.version > last);
+                last = change.version;
+                // The reported value matches the live value (unless since
+                // removed).
+                if let Some(live) = store.get(&change.key) {
+                    prop_assert_eq!(&live, &change.value);
+                }
+            }
+        }
+        // A cursor at the current version sees nothing.
+        prop_assert!(store.changes_since(store.version()).is_empty());
+    }
+
+    #[test]
+    fn snapshot_matches_gets(keys in proptest::collection::vec((any::<u8>(), any::<i64>()), 0..40)) {
+        let store = ProcessStore::new();
+        for (k, v) in &keys {
+            store.set(&format!("k{}", k % 8), Value::Int(*v));
+        }
+        for (key, value) in store.snapshot() {
+            prop_assert_eq!(store.get(&key), Some(value));
+        }
+        prop_assert_eq!(store.snapshot().len(), store.len());
+    }
+}

@@ -1,0 +1,611 @@
+//! Modbus TCP wire format: MBAP header + PDU encode/decode and a stream
+//! reassembler for TCP byte streams.
+
+use bytes::Bytes;
+
+/// Modbus function codes supported by the cyber range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum FunctionCode {
+    /// 0x01
+    ReadCoils = 1,
+    /// 0x02
+    ReadDiscreteInputs = 2,
+    /// 0x03
+    ReadHoldingRegisters = 3,
+    /// 0x04
+    ReadInputRegisters = 4,
+    /// 0x05
+    WriteSingleCoil = 5,
+    /// 0x06
+    WriteSingleRegister = 6,
+    /// 0x0F
+    WriteMultipleCoils = 15,
+    /// 0x10
+    WriteMultipleRegisters = 16,
+}
+
+impl FunctionCode {
+    /// Parses a function code byte.
+    pub fn from_u8(b: u8) -> Option<FunctionCode> {
+        match b {
+            1 => Some(FunctionCode::ReadCoils),
+            2 => Some(FunctionCode::ReadDiscreteInputs),
+            3 => Some(FunctionCode::ReadHoldingRegisters),
+            4 => Some(FunctionCode::ReadInputRegisters),
+            5 => Some(FunctionCode::WriteSingleCoil),
+            6 => Some(FunctionCode::WriteSingleRegister),
+            15 => Some(FunctionCode::WriteMultipleCoils),
+            16 => Some(FunctionCode::WriteMultipleRegisters),
+            _ => None,
+        }
+    }
+}
+
+/// Modbus exception codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ExceptionCode {
+    /// 0x01: function not supported.
+    IllegalFunction = 1,
+    /// 0x02: address out of range.
+    IllegalDataAddress = 2,
+    /// 0x03: value not allowed.
+    IllegalDataValue = 3,
+    /// 0x04: unrecoverable server error.
+    ServerDeviceFailure = 4,
+}
+
+/// A Modbus request PDU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Read `count` coils from `address`.
+    ReadCoils {
+        /// Starting address.
+        address: u16,
+        /// Number of coils.
+        count: u16,
+    },
+    /// Read `count` discrete inputs from `address`.
+    ReadDiscreteInputs {
+        /// Starting address.
+        address: u16,
+        /// Number of inputs.
+        count: u16,
+    },
+    /// Read `count` holding registers from `address`.
+    ReadHoldingRegisters {
+        /// Starting address.
+        address: u16,
+        /// Number of registers.
+        count: u16,
+    },
+    /// Read `count` input registers from `address`.
+    ReadInputRegisters {
+        /// Starting address.
+        address: u16,
+        /// Number of registers.
+        count: u16,
+    },
+    /// Write one coil.
+    WriteSingleCoil {
+        /// Coil address.
+        address: u16,
+        /// New value.
+        value: bool,
+    },
+    /// Write one holding register.
+    WriteSingleRegister {
+        /// Register address.
+        address: u16,
+        /// New value.
+        value: u16,
+    },
+    /// Write multiple coils.
+    WriteMultipleCoils {
+        /// Starting address.
+        address: u16,
+        /// Values.
+        values: Vec<bool>,
+    },
+    /// Write multiple holding registers.
+    WriteMultipleRegisters {
+        /// Starting address.
+        address: u16,
+        /// Values.
+        values: Vec<u16>,
+    },
+}
+
+/// A Modbus response PDU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Coil/discrete-input read result.
+    Bits(Vec<bool>),
+    /// Register read result.
+    Registers(Vec<u16>),
+    /// Echo of a single-coil write.
+    WroteSingleCoil {
+        /// Coil address.
+        address: u16,
+        /// Written value.
+        value: bool,
+    },
+    /// Echo of a single-register write.
+    WroteSingleRegister {
+        /// Register address.
+        address: u16,
+        /// Written value.
+        value: u16,
+    },
+    /// Acknowledgement of a multi-coil write.
+    WroteMultipleCoils {
+        /// Starting address.
+        address: u16,
+        /// Number written.
+        count: u16,
+    },
+    /// Acknowledgement of a multi-register write.
+    WroteMultipleRegisters {
+        /// Starting address.
+        address: u16,
+        /// Number written.
+        count: u16,
+    },
+    /// Exception response.
+    Exception {
+        /// The function that failed.
+        function: u8,
+        /// Why.
+        code: ExceptionCode,
+    },
+}
+
+/// A complete Modbus TCP ADU (MBAP header + PDU body).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Adu {
+    /// Transaction identifier (matches responses to requests).
+    pub transaction_id: u16,
+    /// Unit (slave) identifier.
+    pub unit_id: u8,
+    /// Raw PDU bytes (function code + data).
+    pub pdu: Bytes,
+}
+
+impl Adu {
+    /// Serializes to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(7 + self.pdu.len());
+        out.extend_from_slice(&self.transaction_id.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // protocol id
+        out.extend_from_slice(&((self.pdu.len() + 1) as u16).to_be_bytes());
+        out.push(self.unit_id);
+        out.extend_from_slice(&self.pdu);
+        out
+    }
+}
+
+/// Accumulates TCP stream bytes and yields complete ADUs.
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    buf: Vec<u8>,
+}
+
+impl StreamDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds stream bytes; returns every complete ADU now available.
+    pub fn feed(&mut self, data: &[u8]) -> Vec<Adu> {
+        self.buf.extend_from_slice(data);
+        let mut out = Vec::new();
+        loop {
+            if self.buf.len() < 7 {
+                break;
+            }
+            let len = u16::from_be_bytes([self.buf[4], self.buf[5]]) as usize;
+            if len < 1 || self.buf.len() < 6 + len {
+                break;
+            }
+            let adu = Adu {
+                transaction_id: u16::from_be_bytes([self.buf[0], self.buf[1]]),
+                unit_id: self.buf[6],
+                pdu: Bytes::copy_from_slice(&self.buf[7..6 + len]),
+            };
+            self.buf.drain(..6 + len);
+            out.push(adu);
+        }
+        out
+    }
+}
+
+fn pack_bits(values: &[bool]) -> Vec<u8> {
+    let mut bytes = vec![0u8; values.len().div_ceil(8)];
+    for (i, &v) in values.iter().enumerate() {
+        if v {
+            bytes[i / 8] |= 1 << (i % 8);
+        }
+    }
+    bytes
+}
+
+fn unpack_bits(bytes: &[u8], count: usize) -> Vec<bool> {
+    (0..count)
+        .map(|i| bytes.get(i / 8).is_some_and(|b| b & (1 << (i % 8)) != 0))
+        .collect()
+}
+
+/// Encodes a request PDU.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    match req {
+        Request::ReadCoils { address, count } => {
+            out.push(FunctionCode::ReadCoils as u8);
+            out.extend_from_slice(&address.to_be_bytes());
+            out.extend_from_slice(&count.to_be_bytes());
+        }
+        Request::ReadDiscreteInputs { address, count } => {
+            out.push(FunctionCode::ReadDiscreteInputs as u8);
+            out.extend_from_slice(&address.to_be_bytes());
+            out.extend_from_slice(&count.to_be_bytes());
+        }
+        Request::ReadHoldingRegisters { address, count } => {
+            out.push(FunctionCode::ReadHoldingRegisters as u8);
+            out.extend_from_slice(&address.to_be_bytes());
+            out.extend_from_slice(&count.to_be_bytes());
+        }
+        Request::ReadInputRegisters { address, count } => {
+            out.push(FunctionCode::ReadInputRegisters as u8);
+            out.extend_from_slice(&address.to_be_bytes());
+            out.extend_from_slice(&count.to_be_bytes());
+        }
+        Request::WriteSingleCoil { address, value } => {
+            out.push(FunctionCode::WriteSingleCoil as u8);
+            out.extend_from_slice(&address.to_be_bytes());
+            out.extend_from_slice(if *value { &[0xff, 0x00] } else { &[0x00, 0x00] });
+        }
+        Request::WriteSingleRegister { address, value } => {
+            out.push(FunctionCode::WriteSingleRegister as u8);
+            out.extend_from_slice(&address.to_be_bytes());
+            out.extend_from_slice(&value.to_be_bytes());
+        }
+        Request::WriteMultipleCoils { address, values } => {
+            out.push(FunctionCode::WriteMultipleCoils as u8);
+            out.extend_from_slice(&address.to_be_bytes());
+            out.extend_from_slice(&(values.len() as u16).to_be_bytes());
+            let bytes = pack_bits(values);
+            out.push(bytes.len() as u8);
+            out.extend_from_slice(&bytes);
+        }
+        Request::WriteMultipleRegisters { address, values } => {
+            out.push(FunctionCode::WriteMultipleRegisters as u8);
+            out.extend_from_slice(&address.to_be_bytes());
+            out.extend_from_slice(&(values.len() as u16).to_be_bytes());
+            out.push((values.len() * 2) as u8);
+            for v in values {
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a request PDU.
+pub fn decode_request(pdu: &[u8]) -> Option<Request> {
+    let fc = FunctionCode::from_u8(*pdu.first()?)?;
+    let body = &pdu[1..];
+    let rd = |b: &[u8]| -> Option<(u16, u16)> {
+        if b.len() < 4 {
+            return None;
+        }
+        Some((
+            u16::from_be_bytes([b[0], b[1]]),
+            u16::from_be_bytes([b[2], b[3]]),
+        ))
+    };
+    Some(match fc {
+        FunctionCode::ReadCoils => {
+            let (address, count) = rd(body)?;
+            Request::ReadCoils { address, count }
+        }
+        FunctionCode::ReadDiscreteInputs => {
+            let (address, count) = rd(body)?;
+            Request::ReadDiscreteInputs { address, count }
+        }
+        FunctionCode::ReadHoldingRegisters => {
+            let (address, count) = rd(body)?;
+            Request::ReadHoldingRegisters { address, count }
+        }
+        FunctionCode::ReadInputRegisters => {
+            let (address, count) = rd(body)?;
+            Request::ReadInputRegisters { address, count }
+        }
+        FunctionCode::WriteSingleCoil => {
+            let (address, raw) = rd(body)?;
+            Request::WriteSingleCoil {
+                address,
+                value: raw == 0xff00,
+            }
+        }
+        FunctionCode::WriteSingleRegister => {
+            let (address, value) = rd(body)?;
+            Request::WriteSingleRegister { address, value }
+        }
+        FunctionCode::WriteMultipleCoils => {
+            let (address, count) = rd(body)?;
+            let nbytes = *body.get(4)? as usize;
+            let bytes = body.get(5..5 + nbytes)?;
+            Request::WriteMultipleCoils {
+                address,
+                values: unpack_bits(bytes, count as usize),
+            }
+        }
+        FunctionCode::WriteMultipleRegisters => {
+            let (address, count) = rd(body)?;
+            let nbytes = *body.get(4)? as usize;
+            let bytes = body.get(5..5 + nbytes)?;
+            if nbytes != count as usize * 2 {
+                return None;
+            }
+            Request::WriteMultipleRegisters {
+                address,
+                values: bytes
+                    .chunks_exact(2)
+                    .map(|c| u16::from_be_bytes([c[0], c[1]]))
+                    .collect(),
+            }
+        }
+    })
+}
+
+/// Encodes a response PDU (needs the request function code for reads).
+pub fn encode_response(function: FunctionCode, resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    match resp {
+        Response::Bits(values) => {
+            out.push(function as u8);
+            let bytes = pack_bits(values);
+            out.push(bytes.len() as u8);
+            out.extend_from_slice(&bytes);
+        }
+        Response::Registers(values) => {
+            out.push(function as u8);
+            out.push((values.len() * 2) as u8);
+            for v in values {
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+        }
+        Response::WroteSingleCoil { address, value } => {
+            out.push(FunctionCode::WriteSingleCoil as u8);
+            out.extend_from_slice(&address.to_be_bytes());
+            out.extend_from_slice(if *value { &[0xff, 0x00] } else { &[0x00, 0x00] });
+        }
+        Response::WroteSingleRegister { address, value } => {
+            out.push(FunctionCode::WriteSingleRegister as u8);
+            out.extend_from_slice(&address.to_be_bytes());
+            out.extend_from_slice(&value.to_be_bytes());
+        }
+        Response::WroteMultipleCoils { address, count } => {
+            out.push(FunctionCode::WriteMultipleCoils as u8);
+            out.extend_from_slice(&address.to_be_bytes());
+            out.extend_from_slice(&count.to_be_bytes());
+        }
+        Response::WroteMultipleRegisters { address, count } => {
+            out.push(FunctionCode::WriteMultipleRegisters as u8);
+            out.extend_from_slice(&address.to_be_bytes());
+            out.extend_from_slice(&count.to_be_bytes());
+        }
+        Response::Exception { function, code } => {
+            out.push(function | 0x80);
+            out.push(*code as u8);
+        }
+    }
+    out
+}
+
+/// Decodes a response PDU given the request it answers.
+pub fn decode_response(request: &Request, pdu: &[u8]) -> Option<Response> {
+    let fc = *pdu.first()?;
+    if fc & 0x80 != 0 {
+        let code = match *pdu.get(1)? {
+            1 => ExceptionCode::IllegalFunction,
+            2 => ExceptionCode::IllegalDataAddress,
+            3 => ExceptionCode::IllegalDataValue,
+            _ => ExceptionCode::ServerDeviceFailure,
+        };
+        return Some(Response::Exception {
+            function: fc & 0x7f,
+            code,
+        });
+    }
+    let body = &pdu[1..];
+    Some(match request {
+        Request::ReadCoils { count, .. } | Request::ReadDiscreteInputs { count, .. } => {
+            let nbytes = *body.first()? as usize;
+            let bytes = body.get(1..1 + nbytes)?;
+            Response::Bits(unpack_bits(bytes, *count as usize))
+        }
+        Request::ReadHoldingRegisters { .. } | Request::ReadInputRegisters { .. } => {
+            let nbytes = *body.first()? as usize;
+            let bytes = body.get(1..1 + nbytes)?;
+            Response::Registers(
+                bytes
+                    .chunks_exact(2)
+                    .map(|c| u16::from_be_bytes([c[0], c[1]]))
+                    .collect(),
+            )
+        }
+        Request::WriteSingleCoil { .. } => {
+            if body.len() < 4 {
+                return None;
+            }
+            Response::WroteSingleCoil {
+                address: u16::from_be_bytes([body[0], body[1]]),
+                value: u16::from_be_bytes([body[2], body[3]]) == 0xff00,
+            }
+        }
+        Request::WriteSingleRegister { .. } => {
+            if body.len() < 4 {
+                return None;
+            }
+            Response::WroteSingleRegister {
+                address: u16::from_be_bytes([body[0], body[1]]),
+                value: u16::from_be_bytes([body[2], body[3]]),
+            }
+        }
+        Request::WriteMultipleCoils { .. } => {
+            if body.len() < 4 {
+                return None;
+            }
+            Response::WroteMultipleCoils {
+                address: u16::from_be_bytes([body[0], body[1]]),
+                count: u16::from_be_bytes([body[2], body[3]]),
+            }
+        }
+        Request::WriteMultipleRegisters { .. } => {
+            if body.len() < 4 {
+                return None;
+            }
+            Response::WroteMultipleRegisters {
+                address: u16::from_be_bytes([body[0], body[1]]),
+                count: u16::from_be_bytes([body[2], body[3]]),
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips() {
+        let reqs = vec![
+            Request::ReadCoils {
+                address: 0,
+                count: 16,
+            },
+            Request::ReadDiscreteInputs {
+                address: 5,
+                count: 3,
+            },
+            Request::ReadHoldingRegisters {
+                address: 100,
+                count: 10,
+            },
+            Request::ReadInputRegisters {
+                address: 30,
+                count: 2,
+            },
+            Request::WriteSingleCoil {
+                address: 7,
+                value: true,
+            },
+            Request::WriteSingleRegister {
+                address: 9,
+                value: 0xBEEF,
+            },
+            Request::WriteMultipleCoils {
+                address: 3,
+                values: vec![true, false, true, true, false, false, true, false, true],
+            },
+            Request::WriteMultipleRegisters {
+                address: 50,
+                values: vec![1, 2, 3, 65535],
+            },
+        ];
+        for req in reqs {
+            let encoded = encode_request(&req);
+            assert_eq!(decode_request(&encoded), Some(req.clone()), "req {req:?}");
+        }
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let req = Request::ReadHoldingRegisters {
+            address: 0,
+            count: 3,
+        };
+        let resp = Response::Registers(vec![10, 20, 30]);
+        let enc = encode_response(FunctionCode::ReadHoldingRegisters, &resp);
+        assert_eq!(decode_response(&req, &enc), Some(resp));
+
+        let req = Request::ReadCoils {
+            address: 0,
+            count: 10,
+        };
+        let resp = Response::Bits(vec![
+            true, false, true, false, true, false, true, false, true, false,
+        ]);
+        let enc = encode_response(FunctionCode::ReadCoils, &resp);
+        assert_eq!(decode_response(&req, &enc), Some(resp));
+    }
+
+    #[test]
+    fn exception_roundtrip() {
+        let req = Request::ReadCoils {
+            address: 9999,
+            count: 1,
+        };
+        let resp = Response::Exception {
+            function: FunctionCode::ReadCoils as u8,
+            code: ExceptionCode::IllegalDataAddress,
+        };
+        let enc = encode_response(FunctionCode::ReadCoils, &resp);
+        assert_eq!(decode_response(&req, &enc), Some(resp));
+    }
+
+    #[test]
+    fn adu_roundtrip_via_stream_decoder() {
+        let adu = Adu {
+            transaction_id: 42,
+            unit_id: 1,
+            pdu: Bytes::from(encode_request(&Request::ReadCoils {
+                address: 0,
+                count: 8,
+            })),
+        };
+        let wire = adu.encode();
+        let mut dec = StreamDecoder::new();
+        // Feed in two fragments: must reassemble.
+        let split = wire.len() / 2;
+        assert!(dec.feed(&wire[..split]).is_empty());
+        let adus = dec.feed(&wire[split..]);
+        assert_eq!(adus, vec![adu]);
+    }
+
+    #[test]
+    fn stream_decoder_handles_back_to_back_adus() {
+        let mk = |tid: u16| Adu {
+            transaction_id: tid,
+            unit_id: 1,
+            pdu: Bytes::from(encode_request(&Request::ReadCoils {
+                address: 0,
+                count: 1,
+            })),
+        };
+        let mut wire = mk(1).encode();
+        wire.extend(mk(2).encode());
+        let mut dec = StreamDecoder::new();
+        let adus = dec.feed(&wire);
+        assert_eq!(adus.len(), 2);
+        assert_eq!(adus[0].transaction_id, 1);
+        assert_eq!(adus[1].transaction_id, 2);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert_eq!(decode_request(&[]), None);
+        assert_eq!(decode_request(&[0x63]), None);
+        assert_eq!(decode_request(&[1, 0]), None);
+    }
+
+    #[test]
+    fn bit_packing() {
+        let bits = vec![true, true, false, false, true];
+        assert_eq!(pack_bits(&bits), vec![0b10011]);
+        assert_eq!(unpack_bits(&[0b10011], 5), bits);
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # sgcr-modbus
+//!
+//! Modbus TCP for the smart grid cyber range: wire codec, the four data
+//! tables, and emulated server/client applications for `sgcr-net` hosts.
+//!
+//! In the SG-ML architecture Modbus is the SCADA-facing protocol: the virtual
+//! PLC (OpenPLC61850 substitute) exposes a Modbus server that the SCADA HMI
+//! (ScadaBR substitute) polls, while the PLC's located variables map onto the
+//! Modbus tables. The attack toolkit also speaks this codec when intercepting
+//! or injecting master traffic.
+//!
+//! # Examples
+//!
+//! ```
+//! use sgcr_modbus::{Request, encode_request, decode_request};
+//!
+//! let req = Request::ReadHoldingRegisters { address: 0, count: 4 };
+//! let wire = encode_request(&req);
+//! assert_eq!(decode_request(&wire), Some(req));
+//! ```
+
+mod apps;
+mod codec;
+mod registers;
+
+pub use apps::{ModbusClient, ModbusServerApp, MODBUS_PORT};
+pub use codec::{
+    decode_request, decode_response, encode_request, encode_response, Adu, ExceptionCode,
+    FunctionCode, Request, Response, StreamDecoder,
+};
+pub use registers::{RegisterMap, SharedRegisters};

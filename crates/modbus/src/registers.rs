@@ -1,0 +1,309 @@
+//! The four Modbus data tables and a thread-safe handle shared between the
+//! Modbus server application and the device runtime (PLC scan cycle, SCADA).
+
+use crate::codec::{ExceptionCode, Request, Response};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The four Modbus data tables of one unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterMap {
+    /// Read/write single bits (outputs).
+    pub coils: Vec<bool>,
+    /// Read-only single bits (inputs).
+    pub discrete_inputs: Vec<bool>,
+    /// Read/write 16-bit registers.
+    pub holding_registers: Vec<u16>,
+    /// Read-only 16-bit registers.
+    pub input_registers: Vec<u16>,
+}
+
+impl Default for RegisterMap {
+    fn default() -> Self {
+        RegisterMap::with_size(1024)
+    }
+}
+
+impl RegisterMap {
+    /// Creates a map with `size` entries in every table.
+    pub fn with_size(size: usize) -> RegisterMap {
+        RegisterMap {
+            coils: vec![false; size],
+            discrete_inputs: vec![false; size],
+            holding_registers: vec![0; size],
+            input_registers: vec![0; size],
+        }
+    }
+
+    /// Executes a request against the tables, producing the response.
+    pub fn execute(&mut self, req: &Request) -> Response {
+        fn range_ok<T>(table: &[T], address: u16, count: u16) -> bool {
+            (address as usize + count as usize) <= table.len() && count > 0
+        }
+        match req {
+            Request::ReadCoils { address, count } => {
+                if !range_ok(&self.coils, *address, *count) {
+                    return exception(1, ExceptionCode::IllegalDataAddress);
+                }
+                Response::Bits(
+                    self.coils[*address as usize..(*address + *count) as usize].to_vec(),
+                )
+            }
+            Request::ReadDiscreteInputs { address, count } => {
+                if !range_ok(&self.discrete_inputs, *address, *count) {
+                    return exception(2, ExceptionCode::IllegalDataAddress);
+                }
+                Response::Bits(
+                    self.discrete_inputs[*address as usize..(*address + *count) as usize].to_vec(),
+                )
+            }
+            Request::ReadHoldingRegisters { address, count } => {
+                if !range_ok(&self.holding_registers, *address, *count) {
+                    return exception(3, ExceptionCode::IllegalDataAddress);
+                }
+                Response::Registers(
+                    self.holding_registers[*address as usize..(*address + *count) as usize]
+                        .to_vec(),
+                )
+            }
+            Request::ReadInputRegisters { address, count } => {
+                if !range_ok(&self.input_registers, *address, *count) {
+                    return exception(4, ExceptionCode::IllegalDataAddress);
+                }
+                Response::Registers(
+                    self.input_registers[*address as usize..(*address + *count) as usize].to_vec(),
+                )
+            }
+            Request::WriteSingleCoil { address, value } => {
+                let Some(slot) = self.coils.get_mut(*address as usize) else {
+                    return exception(5, ExceptionCode::IllegalDataAddress);
+                };
+                *slot = *value;
+                Response::WroteSingleCoil {
+                    address: *address,
+                    value: *value,
+                }
+            }
+            Request::WriteSingleRegister { address, value } => {
+                let Some(slot) = self.holding_registers.get_mut(*address as usize) else {
+                    return exception(6, ExceptionCode::IllegalDataAddress);
+                };
+                *slot = *value;
+                Response::WroteSingleRegister {
+                    address: *address,
+                    value: *value,
+                }
+            }
+            Request::WriteMultipleCoils { address, values } => {
+                if !range_ok(&self.coils, *address, values.len() as u16) {
+                    return exception(15, ExceptionCode::IllegalDataAddress);
+                }
+                for (i, v) in values.iter().enumerate() {
+                    self.coils[*address as usize + i] = *v;
+                }
+                Response::WroteMultipleCoils {
+                    address: *address,
+                    count: values.len() as u16,
+                }
+            }
+            Request::WriteMultipleRegisters { address, values } => {
+                if !range_ok(&self.holding_registers, *address, values.len() as u16) {
+                    return exception(16, ExceptionCode::IllegalDataAddress);
+                }
+                for (i, v) in values.iter().enumerate() {
+                    self.holding_registers[*address as usize + i] = *v;
+                }
+                Response::WroteMultipleRegisters {
+                    address: *address,
+                    count: values.len() as u16,
+                }
+            }
+        }
+    }
+}
+
+fn exception(function: u8, code: ExceptionCode) -> Response {
+    Response::Exception { function, code }
+}
+
+/// A cheaply cloneable, thread-safe handle to a [`RegisterMap`], shared
+/// between the Modbus server app (network side) and the device logic.
+#[derive(Debug, Clone, Default)]
+pub struct SharedRegisters {
+    inner: Arc<Mutex<RegisterMap>>,
+}
+
+impl SharedRegisters {
+    /// Creates a shared map with the default size.
+    pub fn new() -> SharedRegisters {
+        SharedRegisters::default()
+    }
+
+    /// Creates a shared map with `size` entries per table.
+    pub fn with_size(size: usize) -> SharedRegisters {
+        SharedRegisters {
+            inner: Arc::new(Mutex::new(RegisterMap::with_size(size))),
+        }
+    }
+
+    /// Runs `f` with exclusive access to the tables.
+    pub fn with<R>(&self, f: impl FnOnce(&mut RegisterMap) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+
+    /// Reads one holding register.
+    pub fn holding(&self, address: u16) -> u16 {
+        self.inner
+            .lock()
+            .holding_registers
+            .get(address as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Writes one holding register.
+    pub fn set_holding(&self, address: u16, value: u16) {
+        if let Some(slot) = self
+            .inner
+            .lock()
+            .holding_registers
+            .get_mut(address as usize)
+        {
+            *slot = value;
+        }
+    }
+
+    /// Reads one input register.
+    pub fn input(&self, address: u16) -> u16 {
+        self.inner
+            .lock()
+            .input_registers
+            .get(address as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Writes one input register.
+    pub fn set_input(&self, address: u16, value: u16) {
+        if let Some(slot) = self.inner.lock().input_registers.get_mut(address as usize) {
+            *slot = value;
+        }
+    }
+
+    /// Reads one coil.
+    pub fn coil(&self, address: u16) -> bool {
+        self.inner
+            .lock()
+            .coils
+            .get(address as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Writes one coil.
+    pub fn set_coil(&self, address: u16, value: bool) {
+        if let Some(slot) = self.inner.lock().coils.get_mut(address as usize) {
+            *slot = value;
+        }
+    }
+
+    /// Reads one discrete input.
+    pub fn discrete(&self, address: u16) -> bool {
+        self.inner
+            .lock()
+            .discrete_inputs
+            .get(address as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Writes one discrete input.
+    pub fn set_discrete(&self, address: u16, value: bool) {
+        if let Some(slot) = self.inner.lock().discrete_inputs.get_mut(address as usize) {
+            *slot = value;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_cycle() {
+        let mut map = RegisterMap::with_size(16);
+        let resp = map.execute(&Request::WriteSingleRegister {
+            address: 3,
+            value: 777,
+        });
+        assert_eq!(
+            resp,
+            Response::WroteSingleRegister {
+                address: 3,
+                value: 777
+            }
+        );
+        let resp = map.execute(&Request::ReadHoldingRegisters {
+            address: 2,
+            count: 3,
+        });
+        assert_eq!(resp, Response::Registers(vec![0, 777, 0]));
+    }
+
+    #[test]
+    fn out_of_range_is_exception() {
+        let mut map = RegisterMap::with_size(8);
+        let resp = map.execute(&Request::ReadCoils {
+            address: 6,
+            count: 5,
+        });
+        assert!(matches!(
+            resp,
+            Response::Exception {
+                code: ExceptionCode::IllegalDataAddress,
+                ..
+            }
+        ));
+        let resp = map.execute(&Request::ReadCoils {
+            address: 0,
+            count: 0,
+        });
+        assert!(matches!(resp, Response::Exception { .. }));
+    }
+
+    #[test]
+    fn multi_writes() {
+        let mut map = RegisterMap::with_size(16);
+        map.execute(&Request::WriteMultipleCoils {
+            address: 4,
+            values: vec![true, true, false, true],
+        });
+        assert_eq!(
+            map.execute(&Request::ReadCoils {
+                address: 4,
+                count: 4
+            }),
+            Response::Bits(vec![true, true, false, true])
+        );
+        map.execute(&Request::WriteMultipleRegisters {
+            address: 0,
+            values: vec![5, 6],
+        });
+        assert_eq!(map.holding_registers[0], 5);
+        assert_eq!(map.holding_registers[1], 6);
+    }
+
+    #[test]
+    fn shared_handle_is_shared() {
+        let shared = SharedRegisters::with_size(8);
+        let clone = shared.clone();
+        shared.set_holding(2, 99);
+        assert_eq!(clone.holding(2), 99);
+        clone.set_coil(1, true);
+        assert!(shared.coil(1));
+        shared.set_discrete(0, true);
+        assert!(clone.discrete(0));
+        shared.set_input(3, 1234);
+        assert_eq!(clone.input(3), 1234);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests: Modbus codec roundtrips, register-map semantics, and
+//! stream-decoder robustness against fragmentation and garbage.
+
+use proptest::prelude::*;
+use sgcr_modbus::{
+    decode_request, decode_response, encode_request, encode_response, Adu, FunctionCode,
+    RegisterMap, Request, Response, StreamDecoder,
+};
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (any::<u16>(), 1u16..100).prop_map(|(address, count)| Request::ReadCoils { address, count }),
+        (any::<u16>(), 1u16..100)
+            .prop_map(|(address, count)| Request::ReadDiscreteInputs { address, count }),
+        (any::<u16>(), 1u16..50)
+            .prop_map(|(address, count)| Request::ReadHoldingRegisters { address, count }),
+        (any::<u16>(), 1u16..50)
+            .prop_map(|(address, count)| Request::ReadInputRegisters { address, count }),
+        (any::<u16>(), any::<bool>())
+            .prop_map(|(address, value)| Request::WriteSingleCoil { address, value }),
+        (any::<u16>(), any::<u16>())
+            .prop_map(|(address, value)| Request::WriteSingleRegister { address, value }),
+        (any::<u16>(), proptest::collection::vec(any::<bool>(), 1..40))
+            .prop_map(|(address, values)| Request::WriteMultipleCoils { address, values }),
+        (any::<u16>(), proptest::collection::vec(any::<u16>(), 1..30))
+            .prop_map(|(address, values)| Request::WriteMultipleRegisters { address, values }),
+    ]
+}
+
+fn function_of(request: &Request) -> FunctionCode {
+    match request {
+        Request::ReadCoils { .. } => FunctionCode::ReadCoils,
+        Request::ReadDiscreteInputs { .. } => FunctionCode::ReadDiscreteInputs,
+        Request::ReadHoldingRegisters { .. } => FunctionCode::ReadHoldingRegisters,
+        Request::ReadInputRegisters { .. } => FunctionCode::ReadInputRegisters,
+        Request::WriteSingleCoil { .. } => FunctionCode::WriteSingleCoil,
+        Request::WriteSingleRegister { .. } => FunctionCode::WriteSingleRegister,
+        Request::WriteMultipleCoils { .. } => FunctionCode::WriteMultipleCoils,
+        Request::WriteMultipleRegisters { .. } => FunctionCode::WriteMultipleRegisters,
+    }
+}
+
+proptest! {
+    #[test]
+    fn request_roundtrip(request in request_strategy()) {
+        let wire = encode_request(&request);
+        prop_assert_eq!(decode_request(&wire), Some(request));
+    }
+
+    #[test]
+    fn request_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = decode_request(&bytes);
+    }
+
+    #[test]
+    fn execute_then_decode_response(request in request_strategy()) {
+        // Run the request against a real map and roundtrip the response.
+        let mut map = RegisterMap::with_size(65536);
+        let response = map.execute(&request);
+        let wire = encode_response(function_of(&request), &response);
+        let decoded = decode_response(&request, &wire).expect("response decodes");
+        prop_assert_eq!(decoded, response);
+    }
+
+    #[test]
+    fn write_then_read_coils(address in 0u16..1000, values in proptest::collection::vec(any::<bool>(), 1..32)) {
+        let mut map = RegisterMap::with_size(2048);
+        map.execute(&Request::WriteMultipleCoils { address, values: values.clone() });
+        let response = map.execute(&Request::ReadCoils { address, count: values.len() as u16 });
+        prop_assert_eq!(response, Response::Bits(values));
+    }
+
+    #[test]
+    fn write_then_read_registers(address in 0u16..1000, values in proptest::collection::vec(any::<u16>(), 1..32)) {
+        let mut map = RegisterMap::with_size(2048);
+        map.execute(&Request::WriteMultipleRegisters { address, values: values.clone() });
+        let response = map.execute(&Request::ReadHoldingRegisters { address, count: values.len() as u16 });
+        prop_assert_eq!(response, Response::Registers(values));
+    }
+
+    #[test]
+    fn stream_decoder_reassembles_any_fragmentation(
+        requests in proptest::collection::vec(request_strategy(), 1..6),
+        cuts in proptest::collection::vec(1usize..16, 1..10),
+    ) {
+        let adus: Vec<Adu> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, r)| Adu {
+                transaction_id: i as u16,
+                unit_id: 1,
+                pdu: encode_request(r).into(),
+            })
+            .collect();
+        let mut stream: Vec<u8> = Vec::new();
+        for adu in &adus {
+            stream.extend(adu.encode());
+        }
+        // Deliver in arbitrary fragment sizes.
+        let mut decoder = StreamDecoder::new();
+        let mut received = Vec::new();
+        let mut offset = 0usize;
+        let mut cut_iter = cuts.iter().cycle();
+        while offset < stream.len() {
+            let step = (*cut_iter.next().expect("cycle")).min(stream.len() - offset);
+            received.extend(decoder.feed(&stream[offset..offset + step]));
+            offset += step;
+        }
+        prop_assert_eq!(received, adus);
+    }
+
+    #[test]
+    fn stream_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let mut decoder = StreamDecoder::new();
+        let _ = decoder.feed(&bytes);
+    }
+}

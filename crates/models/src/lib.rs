@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # sgcr-models
+//!
+//! Model generators for the smart grid cyber range: the **EPIC testbed**
+//! replica the paper demonstrates on (§IV-A), and a parameterized
+//! **multi-substation** generator for the scalability experiments —
+//! including the paper's 5-substation / 104-IED configuration.
+//!
+//! Generators emit real SG-ML file sets (SSD/SCD/ICD/SED XML plus the
+//! supplementary configs) so the complete SG-ML Processor pipeline runs
+//! from files, exactly as a user of the framework would drive it.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use sgcr_models::epic_bundle;
+//! use sgcr_core::CyberRange;
+//!
+//! let bundle = epic_bundle();
+//! let range = CyberRange::generate(&bundle)?;
+//! assert_eq!(range.ieds.len(), 8);
+//! # Ok::<(), sgcr_core::RangeError>(())
+//! ```
+
+pub mod assets;
+pub mod epic;
+pub mod multisub;
+pub mod profiles;
+
+pub use epic::{epic_bundle, IED_NAMES as EPIC_IED_NAMES, SEGMENTS as EPIC_SEGMENTS};
+pub use multisub::{ieds_in_substation, ied_name, multisub_bundle, substation_name, MultiSubParams};

@@ -1,0 +1,76 @@
+//! Load and generation profile shapes, sampled into the piecewise-constant
+//! `(time_ms, value)` points the Power System Extra Config consumes.
+
+/// A residential daily load shape (morning/evening peaks), compressed so
+/// one "day" spans `points * step_ms` of simulated time.
+pub fn residential(points: usize, step_ms: u64) -> Vec<(u64, f64)> {
+    sample(points, step_ms, |x| {
+        // Two bumps around 1/3 and 3/4 of the day over a 0.6 baseline.
+        let morning = 0.35 * (-((x - 0.33) * 9.0).powi(2)).exp();
+        let evening = 0.55 * (-((x - 0.78) * 8.0).powi(2)).exp();
+        0.6 + morning + evening
+    })
+}
+
+/// An industrial load shape (flat high during working hours).
+pub fn industrial(points: usize, step_ms: u64) -> Vec<(u64, f64)> {
+    sample(points, step_ms, |x| {
+        if (0.3..0.7).contains(&x) {
+            1.0
+        } else {
+            0.45
+        }
+    })
+}
+
+/// A solar generation shape (bell around midday, zero at night).
+pub fn solar(points: usize, step_ms: u64) -> Vec<(u64, f64)> {
+    sample(points, step_ms, |x| {
+        let v = (-((x - 0.5) * 5.0).powi(2)).exp();
+        if v < 0.05 {
+            0.0
+        } else {
+            v
+        }
+    })
+}
+
+fn sample(points: usize, step_ms: u64, f: impl Fn(f64) -> f64) -> Vec<(u64, f64)> {
+    (0..points)
+        .map(|i| {
+            let x = i as f64 / points.max(1) as f64;
+            // Round to 3 decimals for stable XML roundtrips.
+            ((i as u64) * step_ms, (f(x) * 1000.0).round() / 1000.0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_are_sane() {
+        let r = residential(24, 3_600_000);
+        assert_eq!(r.len(), 24);
+        assert!(r.iter().all(|(_, v)| (0.3..=1.4).contains(v)));
+        // Evening peak exceeds midnight baseline.
+        assert!(r[18].1 > r[0].1);
+
+        let i = industrial(24, 3_600_000);
+        assert!(i[12].1 > i[0].1);
+
+        let s = solar(24, 3_600_000);
+        assert_eq!(s[0].1, 0.0, "no sun at midnight");
+        assert!(s[12].1 > 0.9, "midday peak");
+    }
+
+    #[test]
+    fn timestamps_progress() {
+        let p = residential(4, 250);
+        assert_eq!(
+            p.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            vec![0, 250, 500, 750]
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Link-layer and network-layer addresses.
+
+use std::fmt;
+use std::str::FromStr;
+
+pub use std::net::Ipv4Addr;
+
+/// A 48-bit Ethernet MAC address.
+///
+/// # Examples
+///
+/// ```
+/// use sgcr_net::MacAddr;
+///
+/// let mac: MacAddr = "01:0C:CD:01:00:05".parse().unwrap();
+/// assert!(mac.is_multicast());
+/// assert_eq!(mac.to_string(), "01:0c:cd:01:00:05");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+    /// The all-zero address (unassigned).
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// IEC 61850 GOOSE multicast base (`01:0C:CD:01:xx:xx`).
+    pub fn goose_multicast(appid: u16) -> MacAddr {
+        let [hi, lo] = appid.to_be_bytes();
+        MacAddr([0x01, 0x0c, 0xcd, 0x01, hi, lo])
+    }
+
+    /// IEC 61850 Sampled Values multicast base (`01:0C:CD:04:xx:xx`).
+    pub fn sv_multicast(appid: u16) -> MacAddr {
+        let [hi, lo] = appid.to_be_bytes();
+        MacAddr([0x01, 0x0c, 0xcd, 0x04, hi, lo])
+    }
+
+    /// Deterministic locally-administered unicast address from an index.
+    pub fn from_index(index: u64) -> MacAddr {
+        let b = index.to_be_bytes();
+        // 0x02 = locally administered, unicast.
+        MacAddr([0x02, b[3], b[4], b[5], b[6], b[7]])
+    }
+
+    /// Deterministic auto-assigned address in a prefix distinct from
+    /// [`MacAddr::from_index`] and from the `02-…` range commonly written in
+    /// SCD files, so emulator-assigned MACs never collide with model MACs.
+    pub fn auto_assigned(index: u64) -> MacAddr {
+        let b = index.to_be_bytes();
+        // 0x06 = locally administered, unicast, distinct prefix.
+        MacAddr([0x06, b[3], b[4], b[5], b[6], b[7]])
+    }
+
+    /// Whether the group (multicast) bit is set.
+    pub fn is_multicast(self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// Whether this is the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == Self::BROADCAST
+    }
+
+    /// The raw bytes.
+    pub fn octets(self) -> [u8; 6] {
+        self.0
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+/// Error parsing a MAC address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMacError;
+
+impl fmt::Display for ParseMacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid MAC address syntax")
+    }
+}
+
+impl std::error::Error for ParseMacError {}
+
+impl FromStr for MacAddr {
+    type Err = ParseMacError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut bytes = [0u8; 6];
+        let mut count = 0;
+        for part in s.split([':', '-']) {
+            if count >= 6 {
+                return Err(ParseMacError);
+            }
+            bytes[count] = u8::from_str_radix(part, 16).map_err(|_| ParseMacError)?;
+            count += 1;
+        }
+        if count != 6 {
+            return Err(ParseMacError);
+        }
+        Ok(MacAddr(bytes))
+    }
+}
+
+/// Well-known EtherType values used by the cyber range.
+pub mod ethertype {
+    /// IPv4.
+    pub const IPV4: u16 = 0x0800;
+    /// ARP.
+    pub const ARP: u16 = 0x0806;
+    /// IEC 61850 GOOSE.
+    pub const GOOSE: u16 = 0x88b8;
+    /// IEC 61850 Sampled Values.
+    pub const SV: u16 = 0x88ba;
+    /// 802.1Q VLAN tag.
+    pub const VLAN: u16 = 0x8100;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let mac: MacAddr = "00:1A-2b:3C:4d:5E".parse().unwrap();
+        assert_eq!(mac.to_string(), "00:1a:2b:3c:4d:5e");
+        assert!("00:11:22:33:44".parse::<MacAddr>().is_err());
+        assert!("00:11:22:33:44:55:66".parse::<MacAddr>().is_err());
+        assert!("zz:11:22:33:44:55".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn multicast_detection() {
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(MacAddr::goose_multicast(1).is_multicast());
+        assert!(!MacAddr::from_index(5).is_multicast());
+    }
+
+    #[test]
+    fn deterministic_indexing() {
+        assert_eq!(MacAddr::from_index(7), MacAddr::from_index(7));
+        assert_ne!(MacAddr::from_index(7), MacAddr::from_index(8));
+    }
+
+    #[test]
+    fn goose_mac_shape() {
+        let mac = MacAddr::goose_multicast(0x0102);
+        assert_eq!(mac.octets(), [0x01, 0x0c, 0xcd, 0x01, 0x01, 0x02]);
+    }
+}

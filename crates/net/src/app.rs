@@ -1,0 +1,145 @@
+//! The application trait hosted on emulated nodes and its context API.
+
+use crate::addr::{Ipv4Addr, MacAddr};
+use crate::frame::EthernetFrame;
+use crate::host::ConnId;
+use crate::sim::{Network, NodeId};
+use crate::time::{SimDuration, SimTime};
+
+/// An application running on an emulated host (virtual IED, PLC, SCADA,
+/// attacker tool, …).
+///
+/// All methods have no-op defaults; implement the ones the application needs.
+/// Methods receive a [`HostCtx`] giving access to the host's sockets, timers,
+/// and raw frame transmission. Everything is driven by the deterministic
+/// event loop — there are no threads and no wall-clock time.
+#[allow(unused_variables)]
+pub trait SocketApp: Send {
+    /// Called once when the simulation starts (or when the app is attached).
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {}
+
+    /// A timer set via [`HostCtx::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_>, token: u64) {}
+
+    /// A UDP datagram arrived on a bound port.
+    fn on_udp(&mut self, ctx: &mut HostCtx<'_>, src: (Ipv4Addr, u16), dst_port: u16, data: &[u8]) {
+    }
+
+    /// An outbound TCP connection completed its handshake.
+    fn on_tcp_connected(&mut self, ctx: &mut HostCtx<'_>, conn: ConnId) {}
+
+    /// An inbound TCP connection was accepted on a listening port.
+    fn on_tcp_accepted(&mut self, ctx: &mut HostCtx<'_>, conn: ConnId, peer: (Ipv4Addr, u16)) {}
+
+    /// In-order TCP data arrived.
+    fn on_tcp_data(&mut self, ctx: &mut HostCtx<'_>, conn: ConnId, data: &[u8]) {}
+
+    /// A TCP connection closed (FIN exchange completed or RST received).
+    fn on_tcp_closed(&mut self, ctx: &mut HostCtx<'_>, conn: ConnId) {}
+
+    /// A frame arrived at this host's port. Called for frames addressed to
+    /// the host (unicast/broadcast/multicast) and, when promiscuous mode is
+    /// on, for every frame on the wire. GOOSE/SV subscribers and sniffers
+    /// live here.
+    fn on_raw_frame(&mut self, ctx: &mut HostCtx<'_>, frame: &EthernetFrame) {}
+
+    /// An IPv4 packet addressed to this host's MAC but a *different* IP
+    /// address arrived, and transit delivery is enabled: the
+    /// man-in-the-middle position. The app decides whether to forward,
+    /// modify, or drop.
+    fn on_transit_ip(&mut self, ctx: &mut HostCtx<'_>, frame: &EthernetFrame) {}
+}
+
+/// Handle given to applications for interacting with their host and network.
+pub struct HostCtx<'a> {
+    pub(crate) net: &'a mut Network,
+    pub(crate) node: NodeId,
+}
+
+impl<'a> HostCtx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// This host's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// This host's name.
+    pub fn name(&self) -> &str {
+        self.net.node_name(self.node)
+    }
+
+    /// This host's IPv4 address.
+    pub fn ip(&self) -> Ipv4Addr {
+        self.net.host_ip(self.node)
+    }
+
+    /// This host's MAC address.
+    pub fn mac(&self) -> MacAddr {
+        self.net.host_mac(self.node)
+    }
+
+    /// Binds a UDP port so datagrams to it are delivered to the app.
+    pub fn bind_udp(&mut self, port: u16) {
+        self.net.host_bind_udp(self.node, port);
+    }
+
+    /// Sends a UDP datagram (ARP resolution happens automatically).
+    pub fn send_udp(&mut self, dst: Ipv4Addr, dst_port: u16, src_port: u16, data: &[u8]) {
+        self.net.host_send_udp(self.node, dst, dst_port, src_port, data);
+    }
+
+    /// Starts listening for TCP connections on a port.
+    pub fn tcp_listen(&mut self, port: u16) {
+        self.net.host_tcp_listen(self.node, port);
+    }
+
+    /// Opens a TCP connection; completion is signalled via
+    /// [`SocketApp::on_tcp_connected`].
+    pub fn tcp_connect(&mut self, dst: Ipv4Addr, dst_port: u16) -> ConnId {
+        self.net.host_tcp_connect(self.node, dst, dst_port)
+    }
+
+    /// Sends bytes on an established connection.
+    pub fn tcp_send(&mut self, conn: ConnId, data: &[u8]) {
+        self.net.host_tcp_send(self.node, conn, data);
+    }
+
+    /// Closes a connection (orderly FIN).
+    pub fn tcp_close(&mut self, conn: ConnId) {
+        self.net.host_tcp_close(self.node, conn);
+    }
+
+    /// Transmits a raw Ethernet frame out of the host's port.
+    pub fn send_frame(&mut self, frame: EthernetFrame) {
+        self.net.host_send_frame(self.node, frame);
+    }
+
+    /// Schedules [`SocketApp::on_timer`] with `token` after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.net.host_set_timer(self.node, delay, token);
+    }
+
+    /// Enables or disables promiscuous frame delivery.
+    pub fn set_promiscuous(&mut self, on: bool) {
+        self.net.host_set_promiscuous(self.node, on);
+    }
+
+    /// Enables or disables transit-IP delivery (the MITM hook).
+    pub fn set_deliver_transit(&mut self, on: bool) {
+        self.net.host_set_deliver_transit(self.node, on);
+    }
+
+    /// Inserts an entry into this host's ARP cache.
+    pub fn arp_insert(&mut self, ip: Ipv4Addr, mac: MacAddr) {
+        self.net.host_arp_insert(self.node, ip, mac);
+    }
+
+    /// Looks up this host's ARP cache.
+    pub fn arp_lookup(&self, ip: Ipv4Addr) -> Option<MacAddr> {
+        self.net.host_arp_lookup(self.node, ip)
+    }
+}

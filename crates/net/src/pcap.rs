@@ -1,0 +1,105 @@
+//! Export of captured traffic in the classic libpcap file format, so
+//! captures taken inside the cyber range open directly in Wireshark/tcpdump
+//! — the workflow security trainees expect from a range.
+
+use crate::sim::CapturedFrame;
+
+/// Magic for microsecond-resolution pcap, little-endian.
+const PCAP_MAGIC: u32 = 0xa1b2_c3d4;
+/// LINKTYPE_ETHERNET.
+const LINKTYPE_ETHERNET: u32 = 1;
+
+/// Serializes captured frames to a pcap file image.
+///
+/// Timestamps are simulated time interpreted as seconds/microseconds since
+/// the epoch; relative timings in Wireshark are therefore exact.
+///
+/// # Examples
+///
+/// ```
+/// use sgcr_net::{pcap, Network, LinkSpec, SimTime, Ipv4Addr};
+///
+/// let mut net = Network::new();
+/// let sw = net.add_switch("sw");
+/// let h = net.add_host("h", Ipv4Addr::new(10, 0, 0, 1));
+/// net.connect(h, sw, LinkSpec::default());
+/// net.enable_capture(h);
+/// net.run_until(SimTime::from_millis(5));
+/// let file = pcap::to_pcap(net.captured(h));
+/// assert_eq!(&file[..4], &0xa1b2c3d4u32.to_le_bytes());
+/// ```
+pub fn to_pcap(frames: &[CapturedFrame]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + frames.len() * 64);
+    // Global header.
+    out.extend_from_slice(&PCAP_MAGIC.to_le_bytes());
+    out.extend_from_slice(&2u16.to_le_bytes()); // version major
+    out.extend_from_slice(&4u16.to_le_bytes()); // version minor
+    out.extend_from_slice(&0i32.to_le_bytes()); // thiszone
+    out.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
+    out.extend_from_slice(&65535u32.to_le_bytes()); // snaplen
+    out.extend_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
+    for captured in frames {
+        let bytes = captured.frame.encode();
+        let ns = captured.time.as_nanos();
+        let secs = (ns / 1_000_000_000) as u32;
+        let micros = ((ns % 1_000_000_000) / 1_000) as u32;
+        out.extend_from_slice(&secs.to_le_bytes());
+        out.extend_from_slice(&micros.to_le_bytes());
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&bytes);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{ethertype, MacAddr};
+    use crate::frame::EthernetFrame;
+    use crate::time::SimTime;
+
+    #[test]
+    fn pcap_layout() {
+        let frames = vec![
+            CapturedFrame {
+                time: SimTime::from_millis(1),
+                frame: EthernetFrame::new(
+                    MacAddr::from_index(1),
+                    MacAddr::from_index(2),
+                    ethertype::IPV4,
+                    vec![1, 2, 3, 4],
+                ),
+            },
+            CapturedFrame {
+                time: SimTime::from_millis(2),
+                frame: EthernetFrame::new(
+                    MacAddr::BROADCAST,
+                    MacAddr::from_index(2),
+                    ethertype::ARP,
+                    vec![9; 28],
+                ),
+            },
+        ];
+        let file = to_pcap(&frames);
+        // Global header is 24 bytes.
+        assert_eq!(&file[..4], &PCAP_MAGIC.to_le_bytes());
+        assert_eq!(u32::from_le_bytes(file[20..24].try_into().unwrap()), 1);
+        // First record: ts 0.001000, length 18 (14 hdr + 4 payload).
+        let record = &file[24..];
+        assert_eq!(u32::from_le_bytes(record[0..4].try_into().unwrap()), 0);
+        assert_eq!(u32::from_le_bytes(record[4..8].try_into().unwrap()), 1000);
+        assert_eq!(u32::from_le_bytes(record[8..12].try_into().unwrap()), 18);
+        // Second record follows after 16 + 18 bytes.
+        let second = &record[16 + 18..];
+        assert_eq!(u32::from_le_bytes(second[4..8].try_into().unwrap()), 2000);
+        assert_eq!(u32::from_le_bytes(second[8..12].try_into().unwrap()), 42);
+        // Total size adds up exactly.
+        assert_eq!(file.len(), 24 + 16 + 18 + 16 + 42);
+    }
+
+    #[test]
+    fn empty_capture_is_just_the_header() {
+        assert_eq!(to_pcap(&[]).len(), 24);
+    }
+}

@@ -1,0 +1,940 @@
+//! The deterministic discrete-event network: nodes, links, switches, and the
+//! event loop gluing host stacks to applications.
+
+use crate::addr::{ethertype, Ipv4Addr, MacAddr};
+use crate::app::{HostCtx, SocketApp};
+use crate::frame::{ipproto, ArpPacket, EthernetFrame, Ipv4Packet, TcpSegment, UdpDatagram};
+use crate::host::{ConnId, HostState, SocketEvent, TcpOut};
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Identifier of a node (host or switch) in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Physical properties of a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// One-way propagation latency.
+    pub latency: SimDuration,
+    /// Transmission rate in bits per second.
+    pub rate_bps: u64,
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        // 100 Mbit/s switched Ethernet with 50 µs latency: the class of LAN
+        // the EPIC testbed's substation network uses.
+        LinkSpec {
+            latency: SimDuration::from_micros(50),
+            rate_bps: 100_000_000,
+        }
+    }
+}
+
+impl LinkSpec {
+    /// A wide-area link profile (higher latency), for inter-substation WAN.
+    pub fn wan() -> LinkSpec {
+        LinkSpec {
+            latency: SimDuration::from_millis(5),
+            rate_bps: 100_000_000,
+        }
+    }
+}
+
+/// A captured frame (time of arrival at the capturing node).
+#[derive(Debug, Clone)]
+pub struct CapturedFrame {
+    /// Arrival time.
+    pub time: SimTime,
+    /// The frame.
+    pub frame: EthernetFrame,
+}
+
+struct Link {
+    a: (NodeId, usize),
+    b: (NodeId, usize),
+    spec: LinkSpec,
+    busy_until_ab: SimTime,
+    busy_until_ba: SimTime,
+    /// Administratively down links drop all frames (failure injection).
+    up: bool,
+}
+
+struct HostNode {
+    state: HostState,
+    app: Option<Box<dyn SocketApp>>,
+}
+
+struct SwitchNode {
+    mac_table: HashMap<MacAddr, usize>,
+}
+
+enum NodeKind {
+    Host(HostNode),
+    Switch(SwitchNode),
+}
+
+struct Node {
+    name: String,
+    kind: NodeKind,
+    /// Port index → link index.
+    ports: Vec<usize>,
+    capture: Option<Vec<CapturedFrame>>,
+}
+
+#[derive(Debug)]
+enum Event {
+    Frame {
+        node: NodeId,
+        port: usize,
+        frame: EthernetFrame,
+    },
+    AppStart {
+        node: NodeId,
+    },
+    AppTimer {
+        node: NodeId,
+        token: u64,
+    },
+    TcpTimer {
+        node: NodeId,
+        conn: ConnId,
+    },
+}
+
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The TCP retransmission timeout used by the emulated stacks.
+const TCP_RTO: SimDuration = SimDuration::from_millis(200);
+
+/// The emulated network: a deterministic discrete-event simulator hosting
+/// switches, hosts, and the applications attached to them.
+///
+/// # Examples
+///
+/// ```
+/// use sgcr_net::{Network, LinkSpec, SimTime};
+///
+/// let mut net = Network::new();
+/// let sw = net.add_switch("sw0");
+/// let h1 = net.add_host("h1", "10.0.0.1".parse().unwrap());
+/// let h2 = net.add_host("h2", "10.0.0.2".parse().unwrap());
+/// net.connect(h1, sw, LinkSpec::default());
+/// net.connect(h2, sw, LinkSpec::default());
+/// net.run_until(SimTime::from_millis(10));
+/// assert_eq!(net.now(), SimTime::from_millis(10));
+/// ```
+#[derive(Default)]
+pub struct Network {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    mac_counter: u64,
+    tcp_timer_armed: HashSet<(NodeId, ConnId)>,
+    names: HashMap<String, NodeId>,
+}
+
+impl Network {
+    /// Creates an empty network at time zero.
+    pub fn new() -> Network {
+        Network::default()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Adds a learning switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken.
+    pub fn add_switch(&mut self, name: &str) -> NodeId {
+        self.add_node(
+            name,
+            NodeKind::Switch(SwitchNode {
+                mac_table: HashMap::new(),
+            }),
+        )
+    }
+
+    /// Adds a host with an auto-assigned MAC address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken.
+    pub fn add_host(&mut self, name: &str, ip: Ipv4Addr) -> NodeId {
+        self.mac_counter += 1;
+        let mac = MacAddr::auto_assigned(self.mac_counter);
+        self.add_host_with_mac(name, ip, mac)
+    }
+
+    /// Adds a host with an explicit MAC address (from an SCD file).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken.
+    pub fn add_host_with_mac(&mut self, name: &str, ip: Ipv4Addr, mac: MacAddr) -> NodeId {
+        self.add_node(
+            name,
+            NodeKind::Host(HostNode {
+                state: HostState::new(mac, ip),
+                app: None,
+            }),
+        )
+    }
+
+    fn add_node(&mut self, name: &str, kind: NodeKind) -> NodeId {
+        assert!(
+            !self.names.contains_key(name),
+            "duplicate node name {name:?}"
+        );
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            name: name.to_string(),
+            kind,
+            ports: Vec::new(),
+            capture: None,
+        });
+        self.names.insert(name.to_string(), id);
+        id
+    }
+
+    /// Connects two nodes with a link.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
+        let link_id = self.links.len();
+        let port_a = self.nodes[a.index()].ports.len();
+        self.nodes[a.index()].ports.push(link_id);
+        let port_b = self.nodes[b.index()].ports.len();
+        self.nodes[b.index()].ports.push(link_id);
+        self.links.push(Link {
+            a: (a, port_a),
+            b: (b, port_b),
+            spec,
+            busy_until_ab: SimTime::ZERO,
+            busy_until_ba: SimTime::ZERO,
+            up: true,
+        });
+    }
+
+    /// Takes a link between two nodes up or down (failure injection).
+    /// Returns `false` if no direct link exists.
+    pub fn set_link_state(&mut self, a: NodeId, b: NodeId, up: bool) -> bool {
+        for link in &mut self.links {
+            let ends = (link.a.0, link.b.0);
+            if ends == (a, b) || ends == (b, a) {
+                link.up = up;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Attaches an application to a host; `on_start` fires at the current
+    /// time (before any later event).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a host or already has an app.
+    pub fn attach_app(&mut self, node: NodeId, app: Box<dyn SocketApp>) {
+        match &mut self.nodes[node.index()].kind {
+            NodeKind::Host(h) => {
+                assert!(h.app.is_none(), "host already has an app");
+                h.app = Some(app);
+            }
+            NodeKind::Switch(_) => panic!("cannot attach an app to a switch"),
+        }
+        self.schedule(SimDuration::ZERO, Event::AppStart { node });
+    }
+
+    /// Looks up a node by name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.names.get(name).copied()
+    }
+
+    /// A node's name.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.nodes[node.index()].name
+    }
+
+    /// Names of all nodes, in creation order.
+    pub fn node_names(&self) -> Vec<&str> {
+        self.nodes.iter().map(|n| n.name.as_str()).collect()
+    }
+
+    /// Whether a node is a host.
+    pub fn is_host(&self, node: NodeId) -> bool {
+        matches!(self.nodes[node.index()].kind, NodeKind::Host(_))
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// `(node_a, node_b)` endpoints of every link, in creation order.
+    pub fn link_endpoints(&self) -> Vec<(NodeId, NodeId)> {
+        self.links.iter().map(|l| (l.a.0, l.b.0)).collect()
+    }
+
+    /// Enables frame capture at a node (host or switch).
+    pub fn enable_capture(&mut self, node: NodeId) {
+        self.nodes[node.index()].capture.get_or_insert_with(Vec::new);
+    }
+
+    /// Frames captured at a node since capture was enabled.
+    pub fn captured(&self, node: NodeId) -> &[CapturedFrame] {
+        self.nodes[node.index()]
+            .capture
+            .as_deref()
+            .unwrap_or(&[])
+    }
+
+    // ----- host accessors used by HostCtx --------------------------------
+
+    fn host(&self, node: NodeId) -> &HostNode {
+        match &self.nodes[node.index()].kind {
+            NodeKind::Host(h) => h,
+            NodeKind::Switch(_) => panic!("node {node:?} is not a host"),
+        }
+    }
+
+    fn host_mut(&mut self, node: NodeId) -> &mut HostNode {
+        match &mut self.nodes[node.index()].kind {
+            NodeKind::Host(h) => h,
+            NodeKind::Switch(_) => panic!("node {node:?} is not a host"),
+        }
+    }
+
+    /// A host's IPv4 address.
+    pub fn host_ip(&self, node: NodeId) -> Ipv4Addr {
+        self.host(node).state.ip
+    }
+
+    /// A host's MAC address.
+    pub fn host_mac(&self, node: NodeId) -> MacAddr {
+        self.host(node).state.mac
+    }
+
+    pub(crate) fn host_bind_udp(&mut self, node: NodeId, port: u16) {
+        let s = &mut self.host_mut(node).state;
+        if !s.udp_bound.contains(&port) {
+            s.udp_bound.push(port);
+        }
+    }
+
+    pub(crate) fn host_tcp_listen(&mut self, node: NodeId, port: u16) {
+        let s = &mut self.host_mut(node).state;
+        if !s.tcp_listen.contains(&port) {
+            s.tcp_listen.push(port);
+        }
+    }
+
+    pub(crate) fn host_tcp_connect(&mut self, node: NodeId, dst: Ipv4Addr, dst_port: u16) -> ConnId {
+        let (id, out) = self.host_mut(node).state.tcp_connect(dst, dst_port);
+        self.send_tcp_out(node, out);
+        self.arm_tcp_timer(node, id);
+        id
+    }
+
+    pub(crate) fn host_tcp_send(&mut self, node: NodeId, conn: ConnId, data: &[u8]) {
+        let outs = self.host_mut(node).state.tcp_send(conn, data);
+        for out in outs {
+            self.send_tcp_out(node, out);
+        }
+        self.arm_tcp_timer(node, conn);
+    }
+
+    pub(crate) fn host_tcp_close(&mut self, node: NodeId, conn: ConnId) {
+        let outs = self.host_mut(node).state.tcp_close(conn);
+        for out in outs {
+            self.send_tcp_out(node, out);
+        }
+        self.arm_tcp_timer(node, conn);
+    }
+
+    pub(crate) fn host_send_udp(
+        &mut self,
+        node: NodeId,
+        dst: Ipv4Addr,
+        dst_port: u16,
+        src_port: u16,
+        data: &[u8],
+    ) {
+        let payload = UdpDatagram {
+            src_port,
+            dst_port,
+            payload: bytes::Bytes::copy_from_slice(data),
+        }
+        .encode();
+        self.host_send_ip(node, dst, ipproto::UDP, payload);
+    }
+
+    pub(crate) fn host_send_frame(&mut self, node: NodeId, frame: EthernetFrame) {
+        self.transmit(node, 0, frame);
+    }
+
+    pub(crate) fn host_set_timer(&mut self, node: NodeId, delay: SimDuration, token: u64) {
+        self.schedule(delay, Event::AppTimer { node, token });
+    }
+
+    pub(crate) fn host_set_promiscuous(&mut self, node: NodeId, on: bool) {
+        self.host_mut(node).state.promiscuous = on;
+    }
+
+    pub(crate) fn host_set_deliver_transit(&mut self, node: NodeId, on: bool) {
+        self.host_mut(node).state.deliver_transit = on;
+    }
+
+    pub(crate) fn host_arp_insert(&mut self, node: NodeId, ip: Ipv4Addr, mac: MacAddr) {
+        self.host_mut(node).state.arp_cache.insert(ip, mac);
+    }
+
+    pub(crate) fn host_arp_lookup(&self, node: NodeId, ip: Ipv4Addr) -> Option<MacAddr> {
+        self.host(node).state.arp_cache.get(&ip).copied()
+    }
+
+    // ----- IP / frame transmission ----------------------------------------
+
+    fn send_tcp_out(&mut self, node: NodeId, out: TcpOut) {
+        self.host_send_ip(node, out.dst, ipproto::TCP, out.segment.encode());
+    }
+
+    fn host_send_ip(&mut self, node: NodeId, dst: Ipv4Addr, proto: u8, transport: Vec<u8>) {
+        let state = &mut self.host_mut(node).state;
+        let src_ip = state.ip;
+        match state.arp_cache.get(&dst).copied() {
+            Some(dst_mac) => {
+                let packet = Ipv4Packet::new(src_ip, dst, proto, transport);
+                let frame =
+                    EthernetFrame::new(dst_mac, state.mac, ethertype::IPV4, packet.encode());
+                self.transmit(node, 0, frame);
+            }
+            None => {
+                state.arp_pending.entry(dst).or_default().push((proto, transport));
+                let req = ArpPacket::request(state.mac, src_ip, dst);
+                let frame = req.into_frame(MacAddr::BROADCAST);
+                self.transmit(node, 0, frame);
+            }
+        }
+    }
+
+    fn arm_tcp_timer(&mut self, node: NodeId, conn: ConnId) {
+        if !self.host(node).state.tcp_needs_timer(conn) {
+            return;
+        }
+        if self.tcp_timer_armed.insert((node, conn)) {
+            self.schedule(TCP_RTO, Event::TcpTimer { node, conn });
+        }
+    }
+
+    /// Transmits a frame out of `node`'s `port`, modelling serialization
+    /// delay, link propagation latency, and FIFO queueing per direction.
+    fn transmit(&mut self, node: NodeId, port: usize, frame: EthernetFrame) {
+        let Some(&link_id) = self.nodes[node.index()].ports.get(port) else {
+            return; // unconnected port: frame vanishes
+        };
+        let wire_bits = (frame.wire_len() * 8) as u64;
+        let link = &mut self.links[link_id];
+        if !link.up {
+            return;
+        }
+        let (peer, busy) = if link.a == (node, port) {
+            (link.b, &mut link.busy_until_ab)
+        } else {
+            (link.a, &mut link.busy_until_ba)
+        };
+        let ser = SimDuration::from_nanos(wire_bits.saturating_mul(1_000_000_000) / link.spec.rate_bps);
+        let start = (*busy).max(self.now);
+        *busy = start + ser;
+        let arrival = start + ser + link.spec.latency;
+        let delay = arrival - self.now;
+        self.schedule(
+            delay,
+            Event::Frame {
+                node: peer.0,
+                port: peer.1,
+                frame,
+            },
+        );
+    }
+
+    fn schedule(&mut self, delay: SimDuration, event: Event) {
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            time: self.now + delay,
+            seq: self.seq,
+            event,
+        }));
+    }
+
+    // ----- event loop ------------------------------------------------------
+
+    /// Runs the simulation until `t` (inclusive of events at `t`), then sets
+    /// the clock to `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.time > t {
+                break;
+            }
+            let Reverse(scheduled) = self.queue.pop().expect("peeked");
+            self.now = scheduled.time;
+            self.process(scheduled.event);
+        }
+        self.now = t;
+    }
+
+    /// Runs the simulation for `d` beyond the current time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t = self.now + d;
+        self.run_until(t);
+    }
+
+    fn process(&mut self, event: Event) {
+        match event {
+            Event::Frame { node, port, frame } => self.process_frame(node, port, frame),
+            Event::AppStart { node } => {
+                self.with_app(node, |app, ctx| app.on_start(ctx));
+            }
+            Event::AppTimer { node, token } => {
+                self.with_app(node, |app, ctx| app.on_timer(ctx, token));
+            }
+            Event::TcpTimer { node, conn } => {
+                self.tcp_timer_armed.remove(&(node, conn));
+                if !self.is_host(node) {
+                    return;
+                }
+                let outs = self.host_mut(node).state.tcp_retransmit(conn);
+                for out in outs {
+                    self.send_tcp_out(node, out);
+                }
+                self.arm_tcp_timer(node, conn);
+            }
+        }
+    }
+
+    fn process_frame(&mut self, node: NodeId, port: usize, frame: EthernetFrame) {
+        if let Some(cap) = &mut self.nodes[node.index()].capture {
+            cap.push(CapturedFrame {
+                time: self.now,
+                frame: frame.clone(),
+            });
+        }
+        match &mut self.nodes[node.index()].kind {
+            NodeKind::Switch(sw) => {
+                // Learn the source, then forward.
+                if !frame.src.is_multicast() {
+                    sw.mac_table.insert(frame.src, port);
+                }
+                let out_ports: Vec<usize> = if frame.dst.is_multicast() || frame.dst.is_broadcast()
+                {
+                    (0..self.nodes[node.index()].ports.len())
+                        .filter(|&p| p != port)
+                        .collect()
+                } else if let Some(&p) = sw.mac_table.get(&frame.dst) {
+                    if p == port {
+                        Vec::new()
+                    } else {
+                        vec![p]
+                    }
+                } else {
+                    (0..self.nodes[node.index()].ports.len())
+                        .filter(|&p| p != port)
+                        .collect()
+                };
+                for p in out_ports {
+                    self.transmit(node, p, frame.clone());
+                }
+            }
+            NodeKind::Host(host) => {
+                let mac = host.state.mac;
+                let promiscuous = host.state.promiscuous;
+                let for_us =
+                    frame.dst == mac || frame.dst.is_broadcast() || frame.dst.is_multicast();
+                if !for_us && !promiscuous {
+                    return;
+                }
+                // Stack processing for frames addressed to our MAC/broadcast.
+                let mut events: Vec<SocketEvent> = Vec::new();
+                let mut transit = false;
+                if frame.dst == mac || frame.dst.is_broadcast() {
+                    match frame.ethertype {
+                        ethertype::ARP => self.process_arp(node, &frame),
+                        ethertype::IPV4 => {
+                            transit = self.process_ipv4(node, &frame, &mut events);
+                        }
+                        _ => {}
+                    }
+                }
+                // Raw delivery (after stack, so ARP replies are already
+                // usable from within on_raw_frame).
+                let frame_clone = frame.clone();
+                self.with_app(node, |app, ctx| app.on_raw_frame(ctx, &frame_clone));
+                if transit {
+                    self.with_app(node, |app, ctx| app.on_transit_ip(ctx, &frame_clone));
+                }
+                for ev in events {
+                    self.deliver_socket_event(node, ev);
+                }
+            }
+        }
+    }
+
+    fn process_arp(&mut self, node: NodeId, frame: &EthernetFrame) {
+        let Some(arp) = ArpPacket::decode(&frame.payload) else {
+            return;
+        };
+        let (our_ip, our_mac) = {
+            let s = &self.host(node).state;
+            (s.ip, s.mac)
+        };
+        // Learn the sender unconditionally — including unsolicited replies.
+        // This is standard ARP behaviour and exactly what ARP spoofing
+        // (the paper's MITM case study) exploits.
+        {
+            let s = &mut self.host_mut(node).state;
+            s.arp_cache.insert(arp.sender_ip, arp.sender_mac);
+        }
+        // Flush packets that were waiting on this resolution.
+        let pending = self
+            .host_mut(node)
+            .state
+            .arp_pending
+            .remove(&arp.sender_ip)
+            .unwrap_or_default();
+        for (proto, transport) in pending {
+            self.host_send_ip(node, arp.sender_ip, proto, transport);
+        }
+        // Answer requests for our address.
+        if arp.operation == ArpPacket::REQUEST && arp.target_ip == our_ip {
+            let reply = ArpPacket::reply(our_mac, our_ip, arp.sender_mac, arp.sender_ip);
+            let frame = reply.into_frame(arp.sender_mac);
+            self.transmit(node, 0, frame);
+        }
+    }
+
+    /// Returns `true` if the packet is transit (for the MITM hook).
+    fn process_ipv4(
+        &mut self,
+        node: NodeId,
+        frame: &EthernetFrame,
+        events: &mut Vec<SocketEvent>,
+    ) -> bool {
+        let Some(packet) = Ipv4Packet::decode(&frame.payload) else {
+            return false;
+        };
+        let our_ip = self.host(node).state.ip;
+        if packet.dst != our_ip {
+            return self.host(node).state.deliver_transit;
+        }
+        match packet.protocol {
+            ipproto::UDP => {
+                if let Some(dgram) = UdpDatagram::decode(&packet.payload) {
+                    if self.host(node).state.udp_bound.contains(&dgram.dst_port) {
+                        events.push(SocketEvent::Udp {
+                            src: (packet.src, dgram.src_port),
+                            dst_port: dgram.dst_port,
+                            data: dgram.payload,
+                        });
+                    }
+                }
+            }
+            ipproto::TCP => {
+                if let Some(seg) = TcpSegment::decode(&packet.payload) {
+                    let (outs, evs) = self.host_mut(node).state.tcp_input(packet.src, &seg);
+                    let conns: Vec<ConnId> = self
+                        .host(node)
+                        .state
+                        .conns
+                        .keys()
+                        .copied()
+                        .collect();
+                    for out in outs {
+                        self.send_tcp_out(node, out);
+                    }
+                    for c in conns {
+                        self.arm_tcp_timer(node, c);
+                    }
+                    events.extend(evs);
+                }
+            }
+            _ => {}
+        }
+        false
+    }
+
+    fn deliver_socket_event(&mut self, node: NodeId, ev: SocketEvent) {
+        self.with_app(node, |app, ctx| match ev {
+            SocketEvent::TcpConnected(c) => app.on_tcp_connected(ctx, c),
+            SocketEvent::TcpAccepted(c, peer) => app.on_tcp_accepted(ctx, c, peer),
+            SocketEvent::TcpData(c, data) => app.on_tcp_data(ctx, c, &data),
+            SocketEvent::TcpClosed(c) => app.on_tcp_closed(ctx, c),
+            SocketEvent::Udp {
+                src,
+                dst_port,
+                data,
+            } => app.on_udp(ctx, src, dst_port, &data),
+        });
+    }
+
+    fn with_app<F>(&mut self, node: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn SocketApp, &mut HostCtx<'_>),
+    {
+        let mut app = match &mut self.nodes[node.index()].kind {
+            NodeKind::Host(h) => h.app.take(),
+            NodeKind::Switch(_) => None,
+        };
+        if let Some(a) = app.as_mut() {
+            let mut ctx = HostCtx { net: self, node };
+            f(a.as_mut(), &mut ctx);
+        }
+        if let NodeKind::Host(h) = &mut self.nodes[node.index()].kind {
+            if h.app.is_none() {
+                h.app = app;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    /// Simple app: on start, sends a UDP "ping" to a peer; logs everything.
+    struct Pinger {
+        peer: Ipv4Addr,
+        log: Arc<Mutex<Vec<String>>>,
+    }
+
+    impl SocketApp for Pinger {
+        fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+            ctx.bind_udp(9000);
+            ctx.send_udp(self.peer, 9000, 9000, b"ping");
+        }
+        fn on_udp(
+            &mut self,
+            ctx: &mut HostCtx<'_>,
+            src: (Ipv4Addr, u16),
+            _dst_port: u16,
+            data: &[u8],
+        ) {
+            self.log.lock().push(format!(
+                "{} got {:?} from {} at {}",
+                ctx.name(),
+                std::str::from_utf8(data).unwrap(),
+                src.0,
+                ctx.now()
+            ));
+            if data == b"ping" {
+                ctx.send_udp(src.0, src.1, 9000, b"pong");
+            }
+        }
+    }
+
+    struct Echo {
+        log: Arc<Mutex<Vec<String>>>,
+    }
+
+    impl SocketApp for Echo {
+        fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+            ctx.bind_udp(9000);
+        }
+        fn on_udp(
+            &mut self,
+            ctx: &mut HostCtx<'_>,
+            src: (Ipv4Addr, u16),
+            _dst_port: u16,
+            data: &[u8],
+        ) {
+            self.log
+                .lock()
+                .push(format!("echo got {:?}", std::str::from_utf8(data).unwrap()));
+            if data == b"ping" {
+                ctx.send_udp(src.0, src.1, 9000, b"pong");
+            }
+        }
+    }
+
+    fn star(n_hosts: usize) -> (Network, Vec<NodeId>) {
+        let mut net = Network::new();
+        let sw = net.add_switch("sw0");
+        let mut hosts = Vec::new();
+        for i in 0..n_hosts {
+            let h = net.add_host(
+                &format!("h{i}"),
+                Ipv4Addr::new(10, 0, 0, (i + 1) as u8),
+            );
+            net.connect(h, sw, LinkSpec::default());
+            hosts.push(h);
+        }
+        (net, hosts)
+    }
+
+    #[test]
+    fn udp_ping_pong_with_arp_resolution() {
+        let (mut net, hosts) = star(2);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        net.attach_app(
+            hosts[0],
+            Box::new(Pinger {
+                peer: Ipv4Addr::new(10, 0, 0, 2),
+                log: log.clone(),
+            }),
+        );
+        net.attach_app(hosts[1], Box::new(Echo { log: log.clone() }));
+        net.run_until(SimTime::from_millis(100));
+        let entries = log.lock();
+        assert!(entries.iter().any(|e| e.contains("echo got \"ping\"")));
+        assert!(entries.iter().any(|e| e.contains("h0 got \"pong\"")));
+    }
+
+    #[test]
+    fn arp_caches_populated_after_exchange() {
+        let (mut net, hosts) = star(2);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        net.attach_app(
+            hosts[0],
+            Box::new(Pinger {
+                peer: Ipv4Addr::new(10, 0, 0, 2),
+                log: log.clone(),
+            }),
+        );
+        net.attach_app(hosts[1], Box::new(Echo { log }));
+        net.run_until(SimTime::from_millis(100));
+        assert_eq!(
+            net.host_arp_lookup(hosts[0], Ipv4Addr::new(10, 0, 0, 2)),
+            Some(net.host_mac(hosts[1]))
+        );
+        assert_eq!(
+            net.host_arp_lookup(hosts[1], Ipv4Addr::new(10, 0, 0, 1)),
+            Some(net.host_mac(hosts[0]))
+        );
+    }
+
+    #[test]
+    fn switch_learns_and_stops_flooding() {
+        let (mut net, hosts) = star(3);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        net.enable_capture(hosts[2]);
+        net.attach_app(
+            hosts[0],
+            Box::new(Pinger {
+                peer: Ipv4Addr::new(10, 0, 0, 2),
+                log: log.clone(),
+            }),
+        );
+        net.attach_app(hosts[1], Box::new(Echo { log }));
+        net.run_until(SimTime::from_millis(100));
+        // h2 sees the ARP broadcast but no unicast IP traffic once learned.
+        let captured = net.captured(hosts[2]);
+        assert!(captured
+            .iter()
+            .any(|c| c.frame.ethertype == ethertype::ARP));
+        let unicast_ip = captured
+            .iter()
+            .filter(|c| c.frame.ethertype == ethertype::IPV4)
+            .count();
+        assert_eq!(unicast_ip, 0, "switch must not flood learned unicast");
+    }
+
+    #[test]
+    fn determinism_identical_logs() {
+        let run = || {
+            let (mut net, hosts) = star(2);
+            let log = Arc::new(Mutex::new(Vec::new()));
+            net.attach_app(
+                hosts[0],
+                Box::new(Pinger {
+                    peer: Ipv4Addr::new(10, 0, 0, 2),
+                    log: log.clone(),
+                }),
+            );
+            net.attach_app(hosts[1], Box::new(Echo { log: log.clone() }));
+            net.run_until(SimTime::from_millis(100));
+            let entries = log.lock().clone();
+            entries
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn link_down_drops_traffic() {
+        let (mut net, hosts) = star(2);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let sw = net.node_by_name("sw0").unwrap();
+        net.attach_app(
+            hosts[0],
+            Box::new(Pinger {
+                peer: Ipv4Addr::new(10, 0, 0, 2),
+                log: log.clone(),
+            }),
+        );
+        net.attach_app(hosts[1], Box::new(Echo { log: log.clone() }));
+        net.set_link_state(hosts[0], sw, false);
+        net.run_until(SimTime::from_millis(100));
+        assert!(log.lock().is_empty());
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerApp {
+            log: Arc<Mutex<Vec<u64>>>,
+        }
+        impl SocketApp for TimerApp {
+            fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+                ctx.set_timer(SimDuration::from_millis(30), 3);
+                ctx.set_timer(SimDuration::from_millis(10), 1);
+                ctx.set_timer(SimDuration::from_millis(20), 2);
+            }
+            fn on_timer(&mut self, _ctx: &mut HostCtx<'_>, token: u64) {
+                self.log.lock().push(token);
+            }
+        }
+        let (mut net, hosts) = star(1);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        net.attach_app(hosts[0], Box::new(TimerApp { log: log.clone() }));
+        net.run_until(SimTime::from_millis(100));
+        assert_eq!(*log.lock(), vec![1, 2, 3]);
+    }
+}

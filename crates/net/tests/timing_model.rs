@@ -1,0 +1,154 @@
+//! Timing-model tests: propagation latency, serialization delay, per-link
+//! FIFO queueing, and simulated-time determinism of deliveries.
+
+use parking_lot::Mutex;
+use sgcr_net::{
+    ethertype, EthernetFrame, HostCtx, Ipv4Addr, LinkSpec, MacAddr, Network, SimDuration,
+    SimTime, SocketApp,
+};
+use std::sync::Arc;
+
+/// Sends raw frames at t=0 and records nothing (the receiver records).
+struct BurstSender {
+    frames: Vec<EthernetFrame>,
+}
+
+impl SocketApp for BurstSender {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        for frame in self.frames.drain(..) {
+            ctx.send_frame(frame);
+        }
+    }
+}
+
+/// Records arrival times of raw frames.
+struct ArrivalLogger {
+    arrivals: Arc<Mutex<Vec<(u64, usize)>>>,
+}
+
+impl SocketApp for ArrivalLogger {
+    fn on_raw_frame(&mut self, ctx: &mut HostCtx<'_>, frame: &EthernetFrame) {
+        self.arrivals
+            .lock()
+            .push((ctx.now().as_nanos(), frame.payload.len()));
+    }
+}
+
+fn direct_pair(spec: LinkSpec) -> (Network, Arc<Mutex<Vec<(u64, usize)>>>, MacAddr) {
+    let mut net = Network::new();
+    let a = net.add_host("a", Ipv4Addr::new(10, 0, 0, 1));
+    let b = net.add_host("b", Ipv4Addr::new(10, 0, 0, 2));
+    net.connect(a, b, spec);
+    let arrivals: Arc<Mutex<Vec<(u64, usize)>>> = Arc::default();
+    let dst = net.host_mac(b);
+    net.attach_app(
+        b,
+        Box::new(ArrivalLogger {
+            arrivals: arrivals.clone(),
+        }),
+    );
+    (net, arrivals, dst)
+}
+
+#[test]
+fn propagation_plus_serialization() {
+    // 1 Mbit/s link, 1 ms latency: a 1000-byte payload frame is
+    // 1018 wire bytes = 8144 bits → 8.144 ms serialization + 1 ms latency.
+    let spec = LinkSpec {
+        latency: SimDuration::from_millis(1),
+        rate_bps: 1_000_000,
+    };
+    let (mut net, arrivals, dst) = direct_pair(spec);
+    let a = net.node_by_name("a").unwrap();
+    let src = net.host_mac(a);
+    net.attach_app(
+        a,
+        Box::new(BurstSender {
+            frames: vec![EthernetFrame::new(dst, src, ethertype::IPV4, vec![0u8; 1000])],
+        }),
+    );
+    net.run_until(SimTime::from_millis(50));
+    let arrivals = arrivals.lock();
+    assert_eq!(arrivals.len(), 1);
+    let expected_ns = 1_000_000 + (1018 * 8) as u64 * 1000; // latency + bits·(ns/bit)
+    assert_eq!(arrivals[0].0, expected_ns);
+}
+
+#[test]
+fn back_to_back_frames_are_spaced_by_serialization_time() {
+    let spec = LinkSpec {
+        latency: SimDuration::from_micros(100),
+        rate_bps: 10_000_000, // 10 Mbit/s
+    };
+    let (mut net, arrivals, dst) = direct_pair(spec);
+    let a = net.node_by_name("a").unwrap();
+    let src = net.host_mac(a);
+    // Three 500-byte-payload frames queued at t=0.
+    let frame = EthernetFrame::new(dst, src, ethertype::IPV4, vec![0u8; 500]);
+    net.attach_app(
+        a,
+        Box::new(BurstSender {
+            frames: vec![frame.clone(), frame.clone(), frame],
+        }),
+    );
+    net.run_until(SimTime::from_millis(20));
+    let arrivals = arrivals.lock();
+    assert_eq!(arrivals.len(), 3);
+    // Wire size 518 bytes → 4144 bits → 414.4 µs at 10 Mbit/s.
+    let ser_ns = (518 * 8) as u64 * 100; // bits · (ns per bit at 10 Mb/s)
+    assert_eq!(arrivals[1].0 - arrivals[0].0, ser_ns, "FIFO spacing = serialization");
+    assert_eq!(arrivals[2].0 - arrivals[1].0, ser_ns);
+    // First arrival = serialization + latency.
+    assert_eq!(arrivals[0].0, ser_ns + 100_000);
+}
+
+#[test]
+fn directions_do_not_queue_against_each_other() {
+    // Full duplex: simultaneous opposite-direction frames arrive at the
+    // same time, not serialized against each other.
+    let spec = LinkSpec {
+        latency: SimDuration::from_micros(50),
+        rate_bps: 1_000_000,
+    };
+    let mut net = Network::new();
+    let a = net.add_host("a", Ipv4Addr::new(10, 0, 0, 1));
+    let b = net.add_host("b", Ipv4Addr::new(10, 0, 0, 2));
+    net.connect(a, b, spec);
+    let log_a: Arc<Mutex<Vec<(u64, usize)>>> = Arc::default();
+    let log_b: Arc<Mutex<Vec<(u64, usize)>>> = Arc::default();
+    let mac_a = net.host_mac(a);
+    let mac_b = net.host_mac(b);
+
+    struct SendAndLog {
+        frame: EthernetFrame,
+        arrivals: Arc<Mutex<Vec<(u64, usize)>>>,
+    }
+    impl SocketApp for SendAndLog {
+        fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+            ctx.send_frame(self.frame.clone());
+        }
+        fn on_raw_frame(&mut self, ctx: &mut HostCtx<'_>, frame: &EthernetFrame) {
+            self.arrivals
+                .lock()
+                .push((ctx.now().as_nanos(), frame.payload.len()));
+        }
+    }
+    net.attach_app(
+        a,
+        Box::new(SendAndLog {
+            frame: EthernetFrame::new(mac_b, mac_a, ethertype::IPV4, vec![1u8; 200]),
+            arrivals: log_a.clone(),
+        }),
+    );
+    net.attach_app(
+        b,
+        Box::new(SendAndLog {
+            frame: EthernetFrame::new(mac_a, mac_b, ethertype::IPV4, vec![2u8; 200]),
+            arrivals: log_b.clone(),
+        }),
+    );
+    net.run_until(SimTime::from_millis(10));
+    let ta = log_a.lock()[0].0;
+    let tb = log_b.lock()[0].0;
+    assert_eq!(ta, tb, "full-duplex directions are independent");
+}

@@ -1,0 +1,273 @@
+//! The virtual PLC network application: Modbus server towards SCADA, MMS
+//! client towards IEDs, scan cycle in between — the OpenPLC61850
+//! architecture on an emulated host.
+
+use crate::runtime::PlcRuntime;
+use crate::st::interp::StValue;
+use parking_lot::Mutex;
+use sgcr_iec61850::{DataValue, MmsClient, MmsPdu, MmsRequest, MmsResponse, MMS_PORT};
+use sgcr_modbus::{ModbusServerApp, SharedRegisters};
+use sgcr_net::{ConnId, HostCtx, Ipv4Addr, SimDuration, SocketApp};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const TOKEN_SCAN: u64 = 1;
+
+/// A point polled from an IED into a PLC variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MmsReadBinding {
+    /// IED server address.
+    pub server: Ipv4Addr,
+    /// MMS item id (`GIED1LD0/MMXU1$MX$TotW$mag$f`).
+    pub item: String,
+    /// PLC variable receiving the value.
+    pub variable: String,
+    /// Multiply the read value by this before storing (unit scaling).
+    pub scale: f64,
+}
+
+/// A PLC boolean variable driving an IED control on change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MmsWriteBinding {
+    /// IED server address.
+    pub server: Ipv4Addr,
+    /// Control item (`GIED1LD0/CSWI1$CO$Pos$Oper$ctlVal`).
+    pub item: String,
+    /// PLC variable watched for changes.
+    pub variable: String,
+}
+
+/// Status snapshot shared with the experiment harness.
+#[derive(Debug, Default)]
+pub struct PlcStatus {
+    /// Completed scans.
+    pub scans: u64,
+    /// Fault message if the program faulted.
+    pub fault: Option<String>,
+    /// MMS reads completed.
+    pub reads_ok: u64,
+    /// MMS controls issued.
+    pub controls_sent: u64,
+}
+
+/// Shared observable handle to a running PLC.
+pub type PlcHandle = Arc<Mutex<PlcStatus>>;
+
+struct MmsLink {
+    client: MmsClient,
+    conn: Option<ConnId>,
+    /// invoke id → items of the outstanding read.
+    outstanding: HashMap<u32, Vec<String>>,
+}
+
+/// The virtual PLC application.
+pub struct PlcApp {
+    runtime: PlcRuntime,
+    modbus: ModbusServerApp,
+    scan_period: SimDuration,
+    reads: Vec<MmsReadBinding>,
+    writes: Vec<MmsWriteBinding>,
+    links: HashMap<Ipv4Addr, MmsLink>,
+    conn_to_server: HashMap<ConnId, Ipv4Addr>,
+    last_written: HashMap<String, bool>,
+    status: PlcHandle,
+}
+
+impl PlcApp {
+    /// Builds the app. `registers` is the Modbus image shared with the
+    /// embedded server; `reads`/`writes` bind IED points to PLC variables.
+    pub fn new(
+        runtime: PlcRuntime,
+        registers: SharedRegisters,
+        scan_period: SimDuration,
+        reads: Vec<MmsReadBinding>,
+        writes: Vec<MmsWriteBinding>,
+    ) -> (PlcApp, PlcHandle) {
+        let status: PlcHandle = Arc::default();
+        (
+            PlcApp {
+                runtime,
+                modbus: ModbusServerApp::new(registers),
+                scan_period,
+                reads,
+                writes,
+                links: HashMap::new(),
+                conn_to_server: HashMap::new(),
+                last_written: HashMap::new(),
+                status: status.clone(),
+            },
+            status,
+        )
+    }
+
+    /// The servers this PLC needs MMS sessions to.
+    fn servers(&self) -> Vec<Ipv4Addr> {
+        let mut servers: Vec<Ipv4Addr> = self
+            .reads
+            .iter()
+            .map(|r| r.server)
+            .chain(self.writes.iter().map(|w| w.server))
+            .collect();
+        servers.sort();
+        servers.dedup();
+        servers
+    }
+
+    fn scan(&mut self, ctx: &mut HostCtx<'_>) {
+        let now = ctx.now();
+        self.runtime.scan(now.as_nanos());
+        {
+            let mut status = self.status.lock();
+            status.scans = self.runtime.scan_count();
+            status.fault = self.runtime.fault().map(|f| f.message.clone());
+        }
+
+        // Poll IED reads.
+        let reads = self.reads.clone();
+        let mut per_server: HashMap<Ipv4Addr, Vec<String>> = HashMap::new();
+        for r in &reads {
+            per_server.entry(r.server).or_default().push(r.item.clone());
+        }
+        for (server, items) in per_server {
+            if let Some(link) = self.links.get_mut(&server) {
+                if let Some(conn) = link.conn {
+                    let (invoke_id, wire) =
+                        link.client.request(MmsRequest::Read { items: items.clone() });
+                    link.outstanding.insert(invoke_id, items);
+                    ctx.tcp_send(conn, &wire);
+                }
+            }
+        }
+
+        // Issue controls for changed output variables. The first observation
+        // of a variable only records its value: controls are edge-triggered,
+        // so startup defaults never emit a spurious open/close.
+        let writes = self.writes.clone();
+        for w in &writes {
+            let Some(value) = self.runtime.get(&w.variable).and_then(StValue::as_bool) else {
+                continue;
+            };
+            let changed = match self.last_written.get(&w.variable) {
+                None => {
+                    self.last_written.insert(w.variable.clone(), value);
+                    false
+                }
+                Some(prev) => *prev != value,
+            };
+            if !changed {
+                continue;
+            }
+            if let Some(link) = self.links.get_mut(&w.server) {
+                if let Some(conn) = link.conn {
+                    let (_, wire) = link.client.request(MmsRequest::Write {
+                        items: vec![w.item.clone()],
+                        values: vec![DataValue::Bool(value)],
+                    });
+                    ctx.tcp_send(conn, &wire);
+                    self.last_written.insert(w.variable.clone(), value);
+                    self.status.lock().controls_sent += 1;
+                }
+            }
+        }
+
+        ctx.set_timer(self.scan_period, TOKEN_SCAN);
+    }
+
+    fn handle_mms_data(&mut self, server: Ipv4Addr, data: &[u8]) {
+        let Some(link) = self.links.get_mut(&server) else {
+            return;
+        };
+        let pdus = link.client.feed(data);
+        for pdu in pdus {
+            if let MmsPdu::ConfirmedResponse {
+                invoke_id,
+                response: MmsResponse::Read { results },
+            } = pdu
+            {
+                let Some(items) = link.outstanding.remove(&invoke_id) else {
+                    continue;
+                };
+                for (item, result) in items.iter().zip(results) {
+                    let Ok(value) = result else { continue };
+                    let binding = self
+                        .reads
+                        .iter()
+                        .find(|r| r.server == server && r.item == *item);
+                    if let Some(binding) = binding {
+                        let st_value = match &value {
+                            DataValue::Bool(b) => StValue::Bool(*b),
+                            DataValue::Float(f) => {
+                                StValue::Real(f64::from(*f) * binding.scale)
+                            }
+                            DataValue::Int(i) => StValue::Int(*i),
+                            DataValue::Uint(u) => StValue::Int(*u as i64),
+                            other => match other.as_dbpos() {
+                                Some(b) => StValue::Bool(b),
+                                None => continue,
+                            },
+                        };
+                        self.runtime.set(&binding.variable, st_value);
+                        self.status.lock().reads_ok += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl SocketApp for PlcApp {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        self.modbus.on_start(ctx);
+        for server in self.servers() {
+            let conn = ctx.tcp_connect(server, MMS_PORT);
+            self.links.insert(
+                server,
+                MmsLink {
+                    client: MmsClient::new(),
+                    conn: None,
+                    outstanding: HashMap::new(),
+                },
+            );
+            self.conn_to_server.insert(conn, server);
+        }
+        ctx.set_timer(self.scan_period, TOKEN_SCAN);
+    }
+
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_>, token: u64) {
+        if token == TOKEN_SCAN {
+            self.scan(ctx);
+        }
+    }
+
+    fn on_tcp_connected(&mut self, ctx: &mut HostCtx<'_>, conn: ConnId) {
+        if let Some(&server) = self.conn_to_server.get(&conn) {
+            if let Some(link) = self.links.get_mut(&server) {
+                link.conn = Some(conn);
+                let init = link.client.initiate();
+                ctx.tcp_send(conn, &init);
+            }
+        }
+    }
+
+    fn on_tcp_accepted(&mut self, ctx: &mut HostCtx<'_>, conn: ConnId, peer: (Ipv4Addr, u16)) {
+        self.modbus.on_tcp_accepted(ctx, conn, peer);
+    }
+
+    fn on_tcp_data(&mut self, ctx: &mut HostCtx<'_>, conn: ConnId, data: &[u8]) {
+        if let Some(&server) = self.conn_to_server.get(&conn) {
+            self.handle_mms_data(server, data);
+        } else {
+            self.modbus.on_tcp_data(ctx, conn, data);
+        }
+    }
+
+    fn on_tcp_closed(&mut self, ctx: &mut HostCtx<'_>, conn: ConnId) {
+        if let Some(server) = self.conn_to_server.remove(&conn) {
+            if let Some(link) = self.links.get_mut(&server) {
+                link.conn = None;
+            }
+        } else {
+            self.modbus.on_tcp_closed(ctx, conn);
+        }
+    }
+}

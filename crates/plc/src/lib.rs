@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # sgcr-plc
+//!
+//! The virtual PLC of the smart grid cyber range — the Rust substitute for
+//! OpenPLC61850.
+//!
+//! Mirroring the paper's §III-B "Virtual PLC Configuration":
+//!
+//! * control logic is written in **IEC 61131-3 Structured Text** — this crate
+//!   contains a complete lexer/parser/interpreter ([`st`]) with the standard
+//!   function blocks (TON/TOF/TP, CTU/CTD, R_TRIG/F_TRIG, SR/RS);
+//! * programs are imported from **PLCopen XML** ([`parse_plcopen`]);
+//! * the runtime executes a classic **scan cycle** with located variables
+//!   (`%QX`, `%IX`, `%QW`, `%IW`) bound to Modbus tables
+//!   ([`PlcRuntime`], [`IoPoint`]);
+//! * on the network, the PLC is a **Modbus TCP server towards SCADA** and an
+//!   **MMS client towards IEDs** ([`PlcApp`], [`MmsReadBinding`],
+//!   [`MmsWriteBinding`]) — OpenPLC61850's dual-protocol architecture.
+//!
+//! # Examples
+//!
+//! ```
+//! use sgcr_plc::{parse_program, PlcRuntime};
+//! use sgcr_modbus::SharedRegisters;
+//!
+//! let program = parse_program(
+//!     "PROGRAM demo VAR level AT %IW0 : INT; alarm AT %QX0.0 : BOOL; END_VAR \
+//!      alarm := level > 100; END_PROGRAM",
+//! )?;
+//! let registers = SharedRegisters::with_size(16);
+//! let mut plc = PlcRuntime::new(program, registers.clone()).map_err(|e| e.message)?;
+//! registers.set_input(0, 150);
+//! plc.scan(0);
+//! assert!(registers.coil(0));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod st;
+
+mod app;
+mod plcopen;
+mod runtime;
+
+pub use app::{MmsReadBinding, MmsWriteBinding, PlcApp, PlcHandle, PlcStatus};
+pub use plcopen::{parse_plcopen, write_plcopen, PlcOpenError};
+pub use runtime::{IoPoint, PlcRuntime};
+pub use st::ast::{DataType, FbType, Program, VarClass};
+pub use st::interp::{Interpreter, RuntimeError, StValue};
+pub use st::parser::{parse_expression, parse_program, parse_statements, ParseError};

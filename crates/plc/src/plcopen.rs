@@ -1,0 +1,249 @@
+//! IEC 61131-3 PLCopen XML (TC6) import: extracts the program POU —
+//! interface variables and the Structured Text body — as used by SG-ML's
+//! *"IEC 61131-3 PLCopen XML file that contains control logic"*.
+
+use crate::st::ast::{DataType, FbDecl, FbType, Program, VarClass, VarDecl};
+use crate::st::parser::{parse_expression, parse_statements, ParseError};
+use sgcr_xml::{Document, ElementRef};
+use std::fmt;
+
+/// An error importing PLCopen XML.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlcOpenError {
+    /// Not well-formed XML.
+    Xml(String),
+    /// No `<pou pouType="program">` found.
+    NoProgramPou,
+    /// A variable had an unknown type.
+    UnknownType {
+        /// Variable name.
+        variable: String,
+        /// Type name found.
+        type_name: String,
+    },
+    /// The ST body failed to parse.
+    Body(ParseError),
+}
+
+impl fmt::Display for PlcOpenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlcOpenError::Xml(e) => write!(f, "not well-formed XML: {e}"),
+            PlcOpenError::NoProgramPou => write!(f, "no program POU in PLCopen project"),
+            PlcOpenError::UnknownType {
+                variable,
+                type_name,
+            } => write!(f, "variable {variable:?} has unknown type {type_name:?}"),
+            PlcOpenError::Body(e) => write!(f, "structured text body: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlcOpenError {}
+
+/// Parses a PLCopen XML project, returning the first program POU.
+///
+/// # Errors
+///
+/// Returns [`PlcOpenError`] when the XML is malformed, no program POU
+/// exists, or its declarations/body do not parse.
+pub fn parse_plcopen(text: &str) -> Result<Program, PlcOpenError> {
+    let doc = Document::parse(text).map_err(|e| PlcOpenError::Xml(e.to_string()))?;
+    let root = doc.root_element();
+    let pous = root
+        .descendant("pous")
+        .ok_or(PlcOpenError::NoProgramPou)?;
+    let pou = pous
+        .children_named("pou")
+        .into_iter()
+        .find(|p| {
+            p.attr("pouType")
+                .is_some_and(|t| t.eq_ignore_ascii_case("program"))
+        })
+        .ok_or(PlcOpenError::NoProgramPou)?;
+
+    let mut program = Program {
+        name: pou.attr_or("name", "main").to_string(),
+        ..Program::default()
+    };
+
+    if let Some(interface) = pou.child("interface") {
+        for (section, class) in [
+            ("localVars", VarClass::Local),
+            ("inputVars", VarClass::Input),
+            ("outputVars", VarClass::Output),
+            ("inOutVars", VarClass::InOut),
+            ("globalVars", VarClass::Global),
+        ] {
+            for vars in interface.children_named(section) {
+                for variable in vars.children_named("variable") {
+                    parse_variable(&variable, class, &mut program)?;
+                }
+            }
+        }
+    }
+
+    let body = pou
+        .child("body")
+        .and_then(|b| b.child("ST"))
+        .map(|st| st.deep_text())
+        .unwrap_or_default();
+    program.body = parse_statements(&body).map_err(PlcOpenError::Body)?;
+    Ok(program)
+}
+
+fn parse_variable(
+    variable: &ElementRef<'_>,
+    class: VarClass,
+    program: &mut Program,
+) -> Result<(), PlcOpenError> {
+    let name = variable.attr_or("name", "").to_string();
+    let location = variable
+        .attr("address")
+        .map(|a| a.trim_start_matches('%').to_uppercase());
+    let type_el = variable.child("type");
+    // <type><BOOL/></type> or <type><derived name="TON"/></type>
+    let type_name = type_el
+        .and_then(|t| {
+            t.child_elements().next().map(|c| {
+                if c.name() == "derived" {
+                    c.attr_or("name", "").to_string()
+                } else {
+                    c.name().to_string()
+                }
+            })
+        })
+        .unwrap_or_default();
+
+    if let Some(fb_type) = FbType::parse(&type_name) {
+        program.fbs.push(FbDecl { name, fb_type });
+        return Ok(());
+    }
+    let Some(ty) = DataType::parse(&type_name) else {
+        return Err(PlcOpenError::UnknownType {
+            variable: name,
+            type_name,
+        });
+    };
+    let initial = variable
+        .child("initialValue")
+        .and_then(|iv| iv.child("simpleValue"))
+        .and_then(|sv| sv.attr("value"))
+        .and_then(|v| parse_expression(v).ok());
+    program.vars.push(VarDecl {
+        name,
+        ty,
+        initial,
+        location,
+        class,
+    });
+    Ok(())
+}
+
+/// Generates PLCopen XML wrapping the given ST body and variables — used by
+/// the model generators to ship control logic as standard files.
+pub fn write_plcopen(program_name: &str, vars: &[(String, String, Option<String>)], st_body: &str) -> String {
+    let mut doc = Document::new("project");
+    let root = doc.root_id();
+    doc.set_attr(root, "xmlns", "http://www.plcopen.org/xml/tc6_0201");
+    let types = doc.add_element(root, "types");
+    doc.add_element(types, "dataTypes");
+    let pous = doc.add_element(types, "pous");
+    let pou = doc.add_element(pous, "pou");
+    doc.set_attr(pou, "name", program_name);
+    doc.set_attr(pou, "pouType", "program");
+    let interface = doc.add_element(pou, "interface");
+    let local = doc.add_element(interface, "localVars");
+    for (name, type_name, address) in vars {
+        let v = doc.add_element(local, "variable");
+        doc.set_attr(v, "name", name);
+        if let Some(addr) = address {
+            doc.set_attr(v, "address", addr);
+        }
+        let t = doc.add_element(v, "type");
+        if FbType::parse(type_name).is_some() {
+            let d = doc.add_element(t, "derived");
+            doc.set_attr(d, "name", type_name);
+        } else {
+            doc.add_element(t, type_name);
+        }
+    }
+    let body = doc.add_element(pou, "body");
+    let st = doc.add_element(body, "ST");
+    doc.add_cdata(st, st_body);
+    doc.to_xml()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"<?xml version="1.0"?>
+<project xmlns="http://www.plcopen.org/xml/tc6_0201">
+  <types>
+    <pous>
+      <pou name="cplc" pouType="program">
+        <interface>
+          <localVars>
+            <variable name="cmd" address="%QX0.0"><type><BOOL/></type></variable>
+            <variable name="level" address="%IW0"><type><INT/></type>
+              <initialValue><simpleValue value="0"/></initialValue></variable>
+            <variable name="t1"><type><derived name="TON"/></type></variable>
+            <variable name="gain"><type><REAL/></type>
+              <initialValue><simpleValue value="1.5"/></initialValue></variable>
+          </localVars>
+        </interface>
+        <body><ST><![CDATA[
+          IF level > 100 THEN cmd := TRUE; ELSE cmd := FALSE; END_IF;
+        ]]></ST></body>
+      </pou>
+    </pous>
+  </types>
+</project>"#;
+
+    #[test]
+    fn parse_sample_project() {
+        let program = parse_plcopen(SAMPLE).unwrap();
+        assert_eq!(program.name, "cplc");
+        assert_eq!(program.vars.len(), 3);
+        assert_eq!(program.vars[0].location.as_deref(), Some("QX0.0"));
+        assert_eq!(program.fbs.len(), 1);
+        assert_eq!(program.body.len(), 1);
+    }
+
+    #[test]
+    fn roundtrip_via_writer() {
+        let xml = write_plcopen(
+            "demo",
+            &[
+                ("run".into(), "BOOL".into(), Some("%QX0.1".into())),
+                ("timer".into(), "TON".into(), None),
+            ],
+            "timer(IN := run, PT := T#1s);",
+        );
+        let program = parse_plcopen(&xml).unwrap();
+        assert_eq!(program.name, "demo");
+        assert_eq!(program.vars.len(), 1);
+        assert_eq!(program.fbs.len(), 1);
+        assert_eq!(program.body.len(), 1);
+    }
+
+    #[test]
+    fn missing_pou_rejected() {
+        assert_eq!(
+            parse_plcopen("<project><types><pous/></types></project>"),
+            Err(PlcOpenError::NoProgramPou)
+        );
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let xml = r#"<project><types><pous><pou name="p" pouType="program">
+            <interface><localVars><variable name="x"><type><QUATERNION/></type></variable></localVars></interface>
+            <body><ST></ST></body></pou></pous></types></project>"#;
+        assert!(matches!(
+            parse_plcopen(xml),
+            Err(PlcOpenError::UnknownType { .. })
+        ));
+    }
+}

@@ -1,0 +1,296 @@
+//! Abstract syntax tree for IEC 61131-3 Structured Text.
+
+/// Elementary IEC data types supported by the interpreter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataType {
+    /// BOOL
+    Bool,
+    /// INT (16-bit signed; stored as i64)
+    Int,
+    /// DINT (32-bit signed; stored as i64)
+    Dint,
+    /// UINT / UDINT (stored as i64, clamped non-negative)
+    Uint,
+    /// REAL / LREAL
+    Real,
+    /// TIME
+    Time,
+    /// STRING
+    Str,
+}
+
+impl DataType {
+    /// Parses an IEC type name (case-insensitive).
+    pub fn parse(name: &str) -> Option<DataType> {
+        Some(match name.to_uppercase().as_str() {
+            "BOOL" => DataType::Bool,
+            "INT" | "SINT" => DataType::Int,
+            "DINT" | "LINT" => DataType::Dint,
+            "UINT" | "USINT" | "UDINT" | "ULINT" | "WORD" | "DWORD" | "BYTE" => DataType::Uint,
+            "REAL" | "LREAL" => DataType::Real,
+            "TIME" => DataType::Time,
+            "STRING" => DataType::Str,
+            _ => return None,
+        })
+    }
+}
+
+/// Standard function-block types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FbType {
+    /// On-delay timer.
+    Ton,
+    /// Off-delay timer.
+    Tof,
+    /// Pulse timer.
+    Tp,
+    /// Up counter.
+    Ctu,
+    /// Down counter.
+    Ctd,
+    /// Rising-edge detector.
+    RTrig,
+    /// Falling-edge detector.
+    FTrig,
+    /// Set-dominant bistable.
+    Sr,
+    /// Reset-dominant bistable.
+    Rs,
+}
+
+impl FbType {
+    /// Parses an FB type name (case-insensitive).
+    pub fn parse(name: &str) -> Option<FbType> {
+        Some(match name.to_uppercase().as_str() {
+            "TON" => FbType::Ton,
+            "TOF" => FbType::Tof,
+            "TP" => FbType::Tp,
+            "CTU" => FbType::Ctu,
+            "CTD" => FbType::Ctd,
+            "R_TRIG" => FbType::RTrig,
+            "F_TRIG" => FbType::FTrig,
+            "SR" => FbType::Sr,
+            "RS" => FbType::Rs,
+            _ => return None,
+        })
+    }
+}
+
+/// Variable storage class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarClass {
+    /// `VAR`
+    Local,
+    /// `VAR_INPUT`
+    Input,
+    /// `VAR_OUTPUT`
+    Output,
+    /// `VAR_IN_OUT`
+    InOut,
+    /// `VAR_GLOBAL`
+    Global,
+}
+
+/// A variable declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: DataType,
+    /// Optional initializer.
+    pub initial: Option<Expr>,
+    /// Direct address (`AT %QX0.0`) for located variables.
+    pub location: Option<String>,
+    /// Storage class.
+    pub class: VarClass,
+}
+
+/// A function-block instance declaration (`timer1 : TON;`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FbDecl {
+    /// Instance name.
+    pub name: String,
+    /// FB type.
+    pub fb_type: FbType,
+}
+
+/// Literal values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// BOOL
+    Bool(bool),
+    /// Integer
+    Int(i64),
+    /// Real
+    Real(f64),
+    /// TIME in nanoseconds
+    Time(u64),
+    /// STRING
+    Str(String),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Logical/bitwise NOT.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Logical/bitwise OR
+    Or,
+    /// Logical/bitwise XOR
+    Xor,
+    /// Logical/bitwise AND
+    And,
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `MOD`
+    Mod,
+    /// `**`-less power not supported; EXPT is a function.
+    Pow,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal.
+    Lit(Literal),
+    /// A plain variable reference.
+    Var(String),
+    /// Member access (`timer1.Q`).
+    Member(String, String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Builtin function call (`MAX(a, b)`).
+    Call {
+        /// Function name, uppercased.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+/// Assignment target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LValue {
+    /// A plain variable.
+    Var(String),
+    /// An FB input (`timer1.IN`) — rarely assigned directly, but legal.
+    Member(String, String),
+}
+
+/// A CASE arm label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseLabel {
+    /// A single value.
+    Value(i64),
+    /// An inclusive range.
+    Range(i64, i64),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `target := value;`
+    Assign {
+        /// Assignment target.
+        target: LValue,
+        /// Value expression.
+        value: Expr,
+    },
+    /// IF / ELSIF / ELSE.
+    If {
+        /// `(condition, body)` for IF and each ELSIF.
+        branches: Vec<(Expr, Vec<Stmt>)>,
+        /// ELSE body.
+        else_body: Vec<Stmt>,
+    },
+    /// CASE … OF.
+    Case {
+        /// Selector expression.
+        selector: Expr,
+        /// `(labels, body)` per arm.
+        arms: Vec<(Vec<CaseLabel>, Vec<Stmt>)>,
+        /// ELSE body.
+        else_body: Vec<Stmt>,
+    },
+    /// FOR loop.
+    For {
+        /// Loop variable.
+        var: String,
+        /// Start value.
+        from: Expr,
+        /// End value (inclusive).
+        to: Expr,
+        /// Step (default 1).
+        by: Option<Expr>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// WHILE loop.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// REPEAT … UNTIL.
+    Repeat {
+        /// Body.
+        body: Vec<Stmt>,
+        /// Exit condition.
+        until: Expr,
+    },
+    /// Function-block invocation (`timer1(IN := x, PT := T#5s);`).
+    FbCall {
+        /// Instance name.
+        instance: String,
+        /// Input assignments.
+        inputs: Vec<(String, Expr)>,
+        /// Output captures (`Q => done`).
+        outputs: Vec<(String, String)>,
+    },
+    /// EXIT (innermost loop).
+    Exit,
+    /// RETURN.
+    Return,
+}
+
+/// A complete program (POU of type Program).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Program name.
+    pub name: String,
+    /// Variable declarations.
+    pub vars: Vec<VarDecl>,
+    /// FB instance declarations.
+    pub fbs: Vec<FbDecl>,
+    /// Statement body.
+    pub body: Vec<Stmt>,
+}

@@ -1,0 +1,515 @@
+//! Lexer for IEC 61131-3 Structured Text.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords matched case-insensitively upstream).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// Time literal in nanoseconds (`T#5s`, `TIME#100ms`).
+    Time(u64),
+    /// String literal (single quotes in ST).
+    Str(String),
+    /// `:=`
+    Assign,
+    /// `=>` (output connection in FB calls)
+    Arrow,
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semicolon,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `..` (CASE ranges)
+    DotDot,
+    /// `%QX0.0`-style direct address.
+    DirectAddress(String),
+    /// `#` (unused alone, kept for diagnostics)
+    Hash,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Real(v) => write!(f, "{v}"),
+            Token::Time(ns) => write!(f, "T#{}ms", ns / 1_000_000),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::DirectAddress(a) => write!(f, "%{a}"),
+            other => {
+                let s = match other {
+                    Token::Assign => ":=",
+                    Token::Arrow => "=>",
+                    Token::Eq => "=",
+                    Token::Neq => "<>",
+                    Token::Le => "<=",
+                    Token::Ge => ">=",
+                    Token::Lt => "<",
+                    Token::Gt => ">",
+                    Token::Plus => "+",
+                    Token::Minus => "-",
+                    Token::Star => "*",
+                    Token::Slash => "/",
+                    Token::LParen => "(",
+                    Token::RParen => ")",
+                    Token::Semicolon => ";",
+                    Token::Colon => ":",
+                    Token::Comma => ",",
+                    Token::Dot => ".",
+                    Token::DotDot => "..",
+                    Token::Hash => "#",
+                    _ => unreachable!(),
+                };
+                write!(f, "{s}")
+            }
+        }
+    }
+}
+
+/// A lexing error with position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at line {}", self.message, self.line)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes ST source. Comments `(* … *)` and `// …` are skipped.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let err = |message: &str, line: u32| LexError {
+        message: message.to_string(),
+        line,
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '(' if chars.get(i + 1) == Some(&'*') => {
+                // Block comment.
+                i += 2;
+                loop {
+                    if i + 1 >= chars.len() {
+                        return Err(err("unterminated comment", line));
+                    }
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    if chars[i] == '*' && chars[i + 1] == ')' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.get(i) {
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some('$') => {
+                            // ST escape: $' $$ $L $N $R $T
+                            i += 1;
+                            match chars.get(i) {
+                                Some('\'') => s.push('\''),
+                                Some('$') => s.push('$'),
+                                Some('N') | Some('n') | Some('L') | Some('l') => s.push('\n'),
+                                Some('T') | Some('t') => s.push('\t'),
+                                Some('R') | Some('r') => s.push('\r'),
+                                other => {
+                                    s.push('$');
+                                    if let Some(&ch) = other {
+                                        s.push(ch);
+                                    }
+                                }
+                            }
+                            i += 1;
+                        }
+                        Some(&ch) => {
+                            if ch == '\n' {
+                                line += 1;
+                            }
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => return Err(err("unterminated string literal", line)),
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '%' => {
+                // Direct address: %QX0.0, %IW3, %MD2 …
+                i += 1;
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '.')
+                {
+                    i += 1;
+                }
+                if start == i {
+                    return Err(err("empty direct address after '%'", line));
+                }
+                tokens.push(Token::DirectAddress(
+                    chars[start..i].iter().collect::<String>().to_uppercase(),
+                ));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                // Radix literal: base '#' digits (16#FF, 2#1010, 8#17).
+                if i < chars.len() && chars[i] == '#' {
+                    i += 1;
+                    while i < chars.len()
+                        && (chars[i].is_ascii_alphanumeric() || chars[i] == '_')
+                    {
+                        i += 1;
+                    }
+                }
+                // Real part: digits '.' digits (but not '..').
+                let mut text: String = chars[start..i].iter().collect();
+                if i < chars.len()
+                    && chars[i] == '.'
+                    && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    i += 1;
+                    let fraction_start = i;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    text.push('.');
+                    text.extend(&chars[fraction_start..i]);
+                    let value: f64 = text
+                        .replace('_', "")
+                        .parse()
+                        .map_err(|_| err("invalid real literal", line))?;
+                    tokens.push(Token::Real(value));
+                } else {
+                    let cleaned = text.replace('_', "");
+                    // Typed literals like 16#FF.
+                    if let Some(rest) = cleaned.strip_prefix("16#") {
+                        let value = i64::from_str_radix(rest, 16)
+                            .map_err(|_| err("invalid hex literal", line))?;
+                        tokens.push(Token::Int(value));
+                    } else if let Some(rest) = cleaned.strip_prefix("2#") {
+                        let value = i64::from_str_radix(rest, 2)
+                            .map_err(|_| err("invalid binary literal", line))?;
+                        tokens.push(Token::Int(value));
+                    } else {
+                        let value: i64 = cleaned
+                            .parse()
+                            .map_err(|_| err("invalid integer literal", line))?;
+                        tokens.push(Token::Int(value));
+                    }
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                let upper = word.to_uppercase();
+                // Time literal: T#…, TIME#…
+                if (upper == "T" || upper == "TIME") && chars.get(i) == Some(&'#') {
+                    i += 1;
+                    let lit_start = i;
+                    while i < chars.len()
+                        && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+                    {
+                        i += 1;
+                    }
+                    let lit: String = chars[lit_start..i].iter().collect();
+                    let ns = parse_time_literal(&lit)
+                        .ok_or_else(|| err(&format!("invalid time literal T#{lit}"), line))?;
+                    tokens.push(Token::Time(ns));
+                } else {
+                    tokens.push(Token::Ident(word));
+                }
+            }
+            ':' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Assign);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Colon);
+                    i += 1;
+                }
+            }
+            '=' => {
+                if chars.get(i + 1) == Some(&'>') {
+                    tokens.push(Token::Arrow);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Eq);
+                    i += 1;
+                }
+            }
+            '<' => {
+                match chars.get(i + 1) {
+                    Some('>') => {
+                        tokens.push(Token::Neq);
+                        i += 2;
+                    }
+                    Some('=') => {
+                        tokens.push(Token::Le);
+                        i += 2;
+                    }
+                    _ => {
+                        tokens.push(Token::Lt);
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '.' => {
+                if chars.get(i + 1) == Some(&'.') {
+                    tokens.push(Token::DotDot);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Dot);
+                    i += 1;
+                }
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '#' => {
+                tokens.push(Token::Hash);
+                i += 1;
+            }
+            other => {
+                return Err(err(&format!("unexpected character {other:?}"), line));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Parses `5s`, `100ms`, `1m30s`, `0.5s`, `2h` into nanoseconds.
+fn parse_time_literal(lit: &str) -> Option<u64> {
+    let lit = lit.replace('_', "").to_lowercase();
+    let mut total_ns: f64 = 0.0;
+    let mut number = String::new();
+    let mut unit = String::new();
+    let mut parts: Vec<(f64, String)> = Vec::new();
+    for c in lit.chars() {
+        if c.is_ascii_digit() || c == '.' {
+            if !unit.is_empty() {
+                parts.push((number.parse().ok()?, unit.clone()));
+                number.clear();
+                unit.clear();
+            }
+            number.push(c);
+        } else {
+            unit.push(c);
+        }
+    }
+    if number.is_empty() {
+        return None;
+    }
+    parts.push((number.parse().ok()?, unit));
+    for (value, unit) in parts {
+        let factor: f64 = match unit.as_str() {
+            "d" => 86_400e9,
+            "h" => 3_600e9,
+            "m" => 60e9,
+            "s" => 1e9,
+            "ms" => 1e6,
+            "us" => 1e3,
+            "ns" => 1.0,
+            _ => return None,
+        };
+        total_ns += value * factor;
+    }
+    Some(total_ns as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let tokens = tokenize("x := (a + 2) * 3.5; // done").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("x".into()),
+                Token::Assign,
+                Token::LParen,
+                Token::Ident("a".into()),
+                Token::Plus,
+                Token::Int(2),
+                Token::RParen,
+                Token::Star,
+                Token::Real(3.5),
+                Token::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let tokens = tokenize("a <> b <= c >= d < e > f = g").unwrap();
+        let ops: Vec<&Token> = tokens.iter().filter(|t| !matches!(t, Token::Ident(_))).collect();
+        assert_eq!(
+            ops,
+            vec![&Token::Neq, &Token::Le, &Token::Ge, &Token::Lt, &Token::Gt, &Token::Eq]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let tokens = tokenize("(* multi\nline *) x // trailing\n := 1;").unwrap();
+        assert_eq!(tokens.len(), 4);
+    }
+
+    #[test]
+    fn time_literals() {
+        assert_eq!(tokenize("T#5s").unwrap(), vec![Token::Time(5_000_000_000)]);
+        assert_eq!(tokenize("T#100ms").unwrap(), vec![Token::Time(100_000_000)]);
+        assert_eq!(
+            tokenize("TIME#1m30s").unwrap(),
+            vec![Token::Time(90_000_000_000)]
+        );
+        assert_eq!(tokenize("t#0.5s").unwrap(), vec![Token::Time(500_000_000)]);
+        assert!(tokenize("T#5parsecs").is_err());
+    }
+
+    #[test]
+    fn direct_addresses() {
+        assert_eq!(
+            tokenize("%QX0.0 %IW3").unwrap(),
+            vec![
+                Token::DirectAddress("QX0.0".into()),
+                Token::DirectAddress("IW3".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        assert_eq!(
+            tokenize("'it$'s$$ok'").unwrap(),
+            vec![Token::Str("it's$ok".into())]
+        );
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn hex_and_binary() {
+        assert_eq!(tokenize("16#FF").unwrap(), vec![Token::Int(255)]);
+        assert_eq!(tokenize("2#1010").unwrap(), vec![Token::Int(10)]);
+    }
+
+    #[test]
+    fn dotdot_for_ranges() {
+        assert_eq!(
+            tokenize("1..5").unwrap(),
+            vec![Token::Int(1), Token::DotDot, Token::Int(5)]
+        );
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = tokenize("x := 1;\n?").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

@@ -1,0 +1,6 @@
+//! IEC 61131-3 Structured Text: lexer, parser, AST, and interpreter.
+
+pub mod ast;
+pub mod interp;
+pub mod lexer;
+pub mod parser;

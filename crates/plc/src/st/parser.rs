@@ -1,0 +1,758 @@
+//! Recursive-descent parser for Structured Text.
+
+use super::ast::*;
+use super::lexer::{tokenize, LexError, Token};
+use std::fmt;
+
+/// A parse error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.to_string(),
+        }
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// Parses a complete program: either `PROGRAM name … END_PROGRAM` or a bare
+/// declaration + statement sequence.
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut program = Program::default();
+
+    if p.eat_keyword("PROGRAM") {
+        program.name = p.expect_ident()?;
+    }
+    // Declarations.
+    while let Some(class) = p.peek_var_section() {
+        p.advance();
+        p.parse_var_section(class, &mut program)?;
+    }
+    // Body.
+    program.body = p.parse_statements(&["END_PROGRAM"])?;
+    p.eat_keyword("END_PROGRAM");
+    if !p.is_done() {
+        return Err(p.error("unexpected tokens after program end"));
+    }
+    Ok(program)
+}
+
+/// Parses just a statement list (no declarations) — handy for tests.
+pub fn parse_statements(source: &str) -> Result<Vec<Stmt>, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let body = p.parse_statements(&[])?;
+    if !p.is_done() {
+        return Err(p.error("unexpected trailing tokens"));
+    }
+    Ok(body)
+}
+
+/// Parses an expression — used by configuration surfaces.
+pub fn parse_expression(source: &str) -> Result<Expr, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let expr = p.parse_expr()?;
+    if !p.is_done() {
+        return Err(p.error("unexpected trailing tokens"));
+    }
+    Ok(expr)
+}
+
+impl Parser {
+    fn is_done(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn error(&self, message: &str) -> ParseError {
+        let near = self
+            .peek()
+            .map(|t| format!("{t}"))
+            .unwrap_or_else(|| "end of input".to_string());
+        ParseError {
+            message: format!("{message} (near {near:?})"),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {kw}")))
+        }
+    }
+
+    fn expect_token(&mut self, token: &Token) -> Result<(), ParseError> {
+        if self.peek() == Some(token) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {token}")))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.advance() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error("expected identifier"))
+            }
+        }
+    }
+
+    fn peek_var_section(&self) -> Option<VarClass> {
+        let Token::Ident(s) = self.peek()? else {
+            return None;
+        };
+        match s.to_uppercase().as_str() {
+            "VAR" => Some(VarClass::Local),
+            "VAR_INPUT" => Some(VarClass::Input),
+            "VAR_OUTPUT" => Some(VarClass::Output),
+            "VAR_IN_OUT" => Some(VarClass::InOut),
+            "VAR_GLOBAL" => Some(VarClass::Global),
+            _ => None,
+        }
+    }
+
+    fn parse_var_section(
+        &mut self,
+        class: VarClass,
+        program: &mut Program,
+    ) -> Result<(), ParseError> {
+        loop {
+            if self.eat_keyword("END_VAR") {
+                return Ok(());
+            }
+            if self.is_done() {
+                return Err(self.error("unterminated VAR section"));
+            }
+            // name [AT %addr] : TYPE [:= init] ;
+            let name = self.expect_ident()?;
+            let mut location = None;
+            if self.eat_keyword("AT") {
+                match self.advance() {
+                    Some(Token::DirectAddress(addr)) => location = Some(addr),
+                    _ => return Err(self.error("expected direct address after AT")),
+                }
+            }
+            self.expect_token(&Token::Colon)?;
+            let type_name = self.expect_ident()?;
+            if let Some(fb_type) = FbType::parse(&type_name) {
+                self.expect_token(&Token::Semicolon)?;
+                program.fbs.push(FbDecl { name, fb_type });
+                continue;
+            }
+            let Some(ty) = DataType::parse(&type_name) else {
+                return Err(self.error(&format!("unknown type {type_name:?}")));
+            };
+            let initial = if self.peek() == Some(&Token::Assign) {
+                self.advance();
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            self.expect_token(&Token::Semicolon)?;
+            program.vars.push(VarDecl {
+                name,
+                ty,
+                initial,
+                location,
+                class,
+            });
+        }
+    }
+
+    /// Parses statements until one of `terminators` (not consumed) or EOF.
+    fn parse_statements(&mut self, terminators: &[&str]) -> Result<Vec<Stmt>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            if self.is_done() {
+                return Ok(out);
+            }
+            if terminators.iter().any(|t| self.peek_keyword(t)) {
+                return Ok(out);
+            }
+            // Other block terminators bubble up too.
+            for t in [
+                "ELSIF", "ELSE", "END_IF", "END_CASE", "END_FOR", "END_WHILE", "UNTIL",
+                "END_REPEAT", "END_PROGRAM",
+            ] {
+                if self.peek_keyword(t) {
+                    return Ok(out);
+                }
+            }
+            // Stray semicolon.
+            if self.peek() == Some(&Token::Semicolon) {
+                self.advance();
+                continue;
+            }
+            out.push(self.parse_statement()?);
+        }
+    }
+
+    fn parse_statement(&mut self) -> Result<Stmt, ParseError> {
+        if self.peek_keyword("IF") {
+            return self.parse_if();
+        }
+        if self.peek_keyword("CASE") {
+            return self.parse_case();
+        }
+        if self.peek_keyword("FOR") {
+            return self.parse_for();
+        }
+        if self.peek_keyword("WHILE") {
+            return self.parse_while();
+        }
+        if self.peek_keyword("REPEAT") {
+            return self.parse_repeat();
+        }
+        if self.eat_keyword("EXIT") {
+            self.expect_token(&Token::Semicolon)?;
+            return Ok(Stmt::Exit);
+        }
+        if self.eat_keyword("RETURN") {
+            self.expect_token(&Token::Semicolon)?;
+            return Ok(Stmt::Return);
+        }
+        // Assignment or FB call.
+        let name = self.expect_ident()?;
+        match self.peek() {
+            Some(Token::LParen) => {
+                // FB call.
+                self.advance();
+                let mut inputs = Vec::new();
+                let mut outputs = Vec::new();
+                if self.peek() != Some(&Token::RParen) {
+                    loop {
+                        let param = self.expect_ident()?;
+                        match self.advance() {
+                            Some(Token::Assign) => {
+                                let value = self.parse_expr()?;
+                                inputs.push((param, value));
+                            }
+                            Some(Token::Arrow) => {
+                                let target = self.expect_ident()?;
+                                outputs.push((param, target));
+                            }
+                            _ => return Err(self.error("expected := or => in FB call")),
+                        }
+                        if self.peek() == Some(&Token::Comma) {
+                            self.advance();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect_token(&Token::RParen)?;
+                self.expect_token(&Token::Semicolon)?;
+                Ok(Stmt::FbCall {
+                    instance: name,
+                    inputs,
+                    outputs,
+                })
+            }
+            Some(Token::Dot) => {
+                self.advance();
+                let member = self.expect_ident()?;
+                self.expect_token(&Token::Assign)?;
+                let value = self.parse_expr()?;
+                self.expect_token(&Token::Semicolon)?;
+                Ok(Stmt::Assign {
+                    target: LValue::Member(name, member),
+                    value,
+                })
+            }
+            Some(Token::Assign) => {
+                self.advance();
+                let value = self.parse_expr()?;
+                self.expect_token(&Token::Semicolon)?;
+                Ok(Stmt::Assign {
+                    target: LValue::Var(name),
+                    value,
+                })
+            }
+            _ => Err(self.error("expected :=, ( or . after identifier")),
+        }
+    }
+
+    fn parse_if(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_keyword("IF")?;
+        let mut branches = Vec::new();
+        let cond = self.parse_expr()?;
+        self.expect_keyword("THEN")?;
+        let body = self.parse_statements(&[])?;
+        branches.push((cond, body));
+        let mut else_body = Vec::new();
+        loop {
+            if self.eat_keyword("ELSIF") {
+                let cond = self.parse_expr()?;
+                self.expect_keyword("THEN")?;
+                let body = self.parse_statements(&[])?;
+                branches.push((cond, body));
+            } else if self.eat_keyword("ELSE") {
+                else_body = self.parse_statements(&[])?;
+            } else if self.eat_keyword("END_IF") {
+                // Optional trailing semicolon.
+                if self.peek() == Some(&Token::Semicolon) {
+                    self.advance();
+                }
+                return Ok(Stmt::If {
+                    branches,
+                    else_body,
+                });
+            } else {
+                return Err(self.error("expected ELSIF/ELSE/END_IF"));
+            }
+        }
+    }
+
+    fn parse_case(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_keyword("CASE")?;
+        let selector = self.parse_expr()?;
+        self.expect_keyword("OF")?;
+        let mut arms = Vec::new();
+        let mut else_body = Vec::new();
+        loop {
+            if self.eat_keyword("ELSE") {
+                else_body = self.parse_statements(&[])?;
+                self.expect_keyword("END_CASE")?;
+                break;
+            }
+            if self.eat_keyword("END_CASE") {
+                break;
+            }
+            // Labels: int [.. int] {, int [.. int]} ':'
+            let mut labels = Vec::new();
+            loop {
+                let value = match self.advance() {
+                    Some(Token::Int(v)) => v,
+                    Some(Token::Minus) => match self.advance() {
+                        Some(Token::Int(v)) => -v,
+                        _ => return Err(self.error("expected integer label")),
+                    },
+                    _ => return Err(self.error("expected CASE label")),
+                };
+                if self.peek() == Some(&Token::DotDot) {
+                    self.advance();
+                    let end = match self.advance() {
+                        Some(Token::Int(v)) => v,
+                        _ => return Err(self.error("expected range end")),
+                    };
+                    labels.push(CaseLabel::Range(value, end));
+                } else {
+                    labels.push(CaseLabel::Value(value));
+                }
+                if self.peek() == Some(&Token::Comma) {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+            self.expect_token(&Token::Colon)?;
+            // Arm bodies end where the next label (integer / minus) or the
+            // ELSE/END_CASE keywords begin.
+            let mut body = Vec::new();
+            loop {
+                if self.is_done()
+                    || matches!(self.peek(), Some(Token::Int(_)) | Some(Token::Minus))
+                    || self.peek_keyword("ELSE")
+                    || self.peek_keyword("END_CASE")
+                {
+                    break;
+                }
+                if self.peek() == Some(&Token::Semicolon) {
+                    self.advance();
+                    continue;
+                }
+                body.push(self.parse_statement()?);
+            }
+            arms.push((labels, body));
+        }
+        if self.peek() == Some(&Token::Semicolon) {
+            self.advance();
+        }
+        Ok(Stmt::Case {
+            selector,
+            arms,
+            else_body,
+        })
+    }
+
+    fn parse_for(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_keyword("FOR")?;
+        let var = self.expect_ident()?;
+        self.expect_token(&Token::Assign)?;
+        let from = self.parse_expr()?;
+        self.expect_keyword("TO")?;
+        let to = self.parse_expr()?;
+        let by = if self.eat_keyword("BY") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        self.expect_keyword("DO")?;
+        let body = self.parse_statements(&[])?;
+        self.expect_keyword("END_FOR")?;
+        if self.peek() == Some(&Token::Semicolon) {
+            self.advance();
+        }
+        Ok(Stmt::For {
+            var,
+            from,
+            to,
+            by,
+            body,
+        })
+    }
+
+    fn parse_while(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_keyword("WHILE")?;
+        let cond = self.parse_expr()?;
+        self.expect_keyword("DO")?;
+        let body = self.parse_statements(&[])?;
+        self.expect_keyword("END_WHILE")?;
+        if self.peek() == Some(&Token::Semicolon) {
+            self.advance();
+        }
+        Ok(Stmt::While { cond, body })
+    }
+
+    fn parse_repeat(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_keyword("REPEAT")?;
+        let body = self.parse_statements(&[])?;
+        self.expect_keyword("UNTIL")?;
+        let until = self.parse_expr()?;
+        self.expect_keyword("END_REPEAT")?;
+        if self.peek() == Some(&Token::Semicolon) {
+            self.advance();
+        }
+        Ok(Stmt::Repeat { body, until })
+    }
+
+    // --- expressions, precedence climbing ---------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_xor()?;
+        while self.eat_keyword("OR") {
+            let right = self.parse_xor()?;
+            left = Expr::Binary(BinOp::Or, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_xor(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword("XOR") {
+            let right = self.parse_and()?;
+            left = Expr::Binary(BinOp::Xor, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_comparison()?;
+        while self.eat_keyword("AND") || self.peek_keyword("&") {
+            let right = self.parse_comparison()?;
+            left = Expr::Binary(BinOp::And, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr, ParseError> {
+        let left = self.parse_additive()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => BinOp::Eq,
+            Some(Token::Neq) => BinOp::Neq,
+            Some(Token::Lt) => BinOp::Lt,
+            Some(Token::Gt) => BinOp::Gt,
+            Some(Token::Le) => BinOp::Le,
+            Some(Token::Ge) => BinOp::Ge,
+            _ => return Ok(left),
+        };
+        self.advance();
+        let right = self.parse_additive()?;
+        Ok(Expr::Binary(op, Box::new(left), Box::new(right)))
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => return Ok(left),
+            };
+            self.advance();
+            let right = self.parse_multiplicative()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::Ident(s)) if s.eq_ignore_ascii_case("MOD") => BinOp::Mod,
+                _ => return Ok(left),
+            };
+            self.advance();
+            let right = self.parse_unary()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_keyword("NOT") {
+            let inner = self.parse_unary()?;
+            return Ok(Expr::Unary(UnOp::Not, Box::new(inner)));
+        }
+        if self.peek() == Some(&Token::Minus) {
+            self.advance();
+            let inner = self.parse_unary()?;
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(inner)));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.advance() {
+            Some(Token::Int(v)) => Ok(Expr::Lit(Literal::Int(v))),
+            Some(Token::Real(v)) => Ok(Expr::Lit(Literal::Real(v))),
+            Some(Token::Time(ns)) => Ok(Expr::Lit(Literal::Time(ns))),
+            Some(Token::Str(s)) => Ok(Expr::Lit(Literal::Str(s))),
+            Some(Token::LParen) => {
+                let inner = self.parse_expr()?;
+                self.expect_token(&Token::RParen)?;
+                Ok(inner)
+            }
+            Some(Token::Ident(name)) => {
+                let upper = name.to_uppercase();
+                if upper == "TRUE" {
+                    return Ok(Expr::Lit(Literal::Bool(true)));
+                }
+                if upper == "FALSE" {
+                    return Ok(Expr::Lit(Literal::Bool(false)));
+                }
+                match self.peek() {
+                    Some(Token::LParen) => {
+                        // Builtin function call.
+                        self.advance();
+                        let mut args = Vec::new();
+                        if self.peek() != Some(&Token::RParen) {
+                            loop {
+                                args.push(self.parse_expr()?);
+                                if self.peek() == Some(&Token::Comma) {
+                                    self.advance();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect_token(&Token::RParen)?;
+                        Ok(Expr::Call { name: upper, args })
+                    }
+                    Some(Token::Dot) if matches!(self.peek2(), Some(Token::Ident(_))) => {
+                        self.advance();
+                        let member = self.expect_ident()?;
+                        Ok(Expr::Member(name, member))
+                    }
+                    _ => Ok(Expr::Var(name)),
+                }
+            }
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error("expected expression"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_program_with_vars_and_fbs() {
+        let src = r#"
+PROGRAM demo
+VAR
+    x : INT := 5;
+    run AT %QX0.0 : BOOL;
+    timer1 : TON;
+END_VAR
+VAR_INPUT
+    setpoint : REAL;
+END_VAR
+x := x + 1;
+timer1(IN := run, PT := T#5s);
+run := timer1.Q;
+END_PROGRAM
+"#;
+        let program = parse_program(src).unwrap();
+        assert_eq!(program.name, "demo");
+        assert_eq!(program.vars.len(), 3);
+        assert_eq!(program.vars[1].location.as_deref(), Some("QX0.0"));
+        assert_eq!(program.vars[2].class, VarClass::Input);
+        assert_eq!(program.fbs, vec![FbDecl { name: "timer1".into(), fb_type: FbType::Ton }]);
+        assert_eq!(program.body.len(), 3);
+        assert!(matches!(
+            &program.body[1],
+            Stmt::FbCall { instance, inputs, .. } if instance == "timer1" && inputs.len() == 2
+        ));
+    }
+
+    #[test]
+    fn precedence() {
+        let e = parse_expression("1 + 2 * 3").unwrap();
+        assert_eq!(
+            e,
+            Expr::Binary(
+                BinOp::Add,
+                Box::new(Expr::Lit(Literal::Int(1))),
+                Box::new(Expr::Binary(
+                    BinOp::Mul,
+                    Box::new(Expr::Lit(Literal::Int(2))),
+                    Box::new(Expr::Lit(Literal::Int(3)))
+                ))
+            )
+        );
+        // AND binds tighter than OR; comparison tighter than AND.
+        let e = parse_expression("a OR b AND c = 1").unwrap();
+        assert!(matches!(e, Expr::Binary(BinOp::Or, _, _)));
+    }
+
+    #[test]
+    fn if_elsif_else() {
+        let body = parse_statements(
+            "IF a > 1 THEN x := 1; ELSIF a > 0 THEN x := 2; ELSE x := 3; END_IF;",
+        )
+        .unwrap();
+        match &body[0] {
+            Stmt::If {
+                branches,
+                else_body,
+            } => {
+                assert_eq!(branches.len(), 2);
+                assert_eq!(else_body.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_with_ranges() {
+        let body = parse_statements(
+            "CASE sel OF 1: x := 1; 2, 3: x := 2; 4..6: x := 3; ELSE x := 0; END_CASE;",
+        )
+        .unwrap();
+        match &body[0] {
+            Stmt::Case { arms, else_body, .. } => {
+                assert_eq!(arms.len(), 3);
+                assert_eq!(arms[1].0.len(), 2);
+                assert_eq!(arms[2].0, vec![CaseLabel::Range(4, 6)]);
+                assert_eq!(else_body.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loops() {
+        let body = parse_statements(
+            "FOR i := 1 TO 10 BY 2 DO s := s + i; END_FOR; \
+             WHILE s > 0 DO s := s - 1; END_WHILE; \
+             REPEAT s := s + 1; UNTIL s >= 5 END_REPEAT;",
+        )
+        .unwrap();
+        assert_eq!(body.len(), 3);
+        assert!(matches!(body[0], Stmt::For { .. }));
+        assert!(matches!(body[1], Stmt::While { .. }));
+        assert!(matches!(body[2], Stmt::Repeat { .. }));
+    }
+
+    #[test]
+    fn fb_output_connections() {
+        let body = parse_statements("c1(CU := pulse, PV := 10, Q => done, CV => count);").unwrap();
+        match &body[0] {
+            Stmt::FbCall { inputs, outputs, .. } => {
+                assert_eq!(inputs.len(), 2);
+                assert_eq!(outputs.len(), 2);
+                assert_eq!(outputs[0], ("Q".to_string(), "done".to_string()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_statements("x := ;").is_err());
+        assert!(parse_statements("IF a THEN x := 1;").is_err()); // missing END_IF
+        assert!(parse_program("PROGRAM p VAR x : FLOAT32; END_VAR END_PROGRAM").is_err());
+        assert!(parse_statements("x + 1;").is_err());
+    }
+
+    #[test]
+    fn builtin_calls() {
+        let e = parse_expression("MAX(a, MIN(b, 3))").unwrap();
+        match e {
+            Expr::Call { name, args } => {
+                assert_eq!(name, "MAX");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

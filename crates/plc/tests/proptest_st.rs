@@ -1,0 +1,166 @@
+//! Property tests on the Structured Text engine: randomly generated integer
+//! expressions must evaluate identically to a Rust reference evaluator, and
+//! the lexer/parser must never panic on arbitrary input.
+
+use proptest::prelude::*;
+use sgcr_plc::{parse_program, parse_statements, Interpreter, StValue};
+
+/// An integer expression tree we can render as ST and evaluate in Rust.
+#[derive(Debug, Clone)]
+enum IntExpr {
+    Lit(i32),
+    Var(usize),
+    Add(Box<IntExpr>, Box<IntExpr>),
+    Sub(Box<IntExpr>, Box<IntExpr>),
+    Mul(Box<IntExpr>, Box<IntExpr>),
+    Neg(Box<IntExpr>),
+    Max(Box<IntExpr>, Box<IntExpr>),
+    Abs(Box<IntExpr>),
+}
+
+fn expr_strategy() -> impl Strategy<Value = IntExpr> {
+    let leaf = prop_oneof![
+        (-1000i32..1000).prop_map(IntExpr::Lit),
+        (0usize..4).prop_map(IntExpr::Var),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| IntExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| IntExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| IntExpr::Mul(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| IntExpr::Neg(Box::new(a))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| IntExpr::Max(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| IntExpr::Abs(Box::new(a))),
+        ]
+    })
+}
+
+fn to_st(e: &IntExpr) -> String {
+    match e {
+        IntExpr::Lit(v) => {
+            if *v < 0 {
+                format!("({v})")
+            } else {
+                v.to_string()
+            }
+        }
+        IntExpr::Var(i) => format!("v{i}"),
+        IntExpr::Add(a, b) => format!("({} + {})", to_st(a), to_st(b)),
+        IntExpr::Sub(a, b) => format!("({} - {})", to_st(a), to_st(b)),
+        IntExpr::Mul(a, b) => format!("({} * {})", to_st(a), to_st(b)),
+        IntExpr::Neg(a) => format!("(-{})", to_st(a)),
+        IntExpr::Max(a, b) => format!("TO_INT(MAX({}, {}))", to_st(a), to_st(b)),
+        IntExpr::Abs(a) => format!("ABS({})", to_st(a)),
+    }
+}
+
+fn reference_eval(e: &IntExpr, vars: &[i64; 4]) -> i64 {
+    match e {
+        IntExpr::Lit(v) => i64::from(*v),
+        IntExpr::Var(i) => vars[*i],
+        IntExpr::Add(a, b) => reference_eval(a, vars).wrapping_add(reference_eval(b, vars)),
+        IntExpr::Sub(a, b) => reference_eval(a, vars).wrapping_sub(reference_eval(b, vars)),
+        IntExpr::Mul(a, b) => reference_eval(a, vars).wrapping_mul(reference_eval(b, vars)),
+        IntExpr::Neg(a) => -reference_eval(a, vars),
+        // MAX promotes through f64 in the interpreter; mirror that.
+        IntExpr::Max(a, b) => {
+            let (x, y) = (reference_eval(a, vars) as f64, reference_eval(b, vars) as f64);
+            x.max(y) as i64
+        }
+        IntExpr::Abs(a) => reference_eval(a, vars).abs(),
+    }
+}
+
+/// Expressions whose float detours stay exactly representable.
+fn small_enough(e: &IntExpr, vars: &[i64; 4]) -> bool {
+    fn walk(e: &IntExpr, vars: &[i64; 4]) -> Option<i64> {
+        let v = match e {
+            IntExpr::Lit(v) => i64::from(*v),
+            IntExpr::Var(i) => vars[*i],
+            IntExpr::Add(a, b) => walk(a, vars)?.checked_add(walk(b, vars)?)?,
+            IntExpr::Sub(a, b) => walk(a, vars)?.checked_sub(walk(b, vars)?)?,
+            IntExpr::Mul(a, b) => walk(a, vars)?.checked_mul(walk(b, vars)?)?,
+            IntExpr::Neg(a) => walk(a, vars)?.checked_neg()?,
+            IntExpr::Max(a, b) => walk(a, vars)?.max(walk(b, vars)?),
+            IntExpr::Abs(a) => walk(a, vars)?.checked_abs()?,
+        };
+        (v.abs() < (1i64 << 50)).then_some(v)
+    }
+    walk(e, vars).is_some()
+}
+
+proptest! {
+    #[test]
+    fn interpreter_matches_reference(
+        e in expr_strategy(),
+        vars in any::<[i16; 4]>(),
+    ) {
+        let vars64 = [i64::from(vars[0]), i64::from(vars[1]), i64::from(vars[2]), i64::from(vars[3])];
+        prop_assume!(small_enough(&e, &vars64));
+        let src = format!(
+            "PROGRAM p VAR v0 : DINT; v1 : DINT; v2 : DINT; v3 : DINT; out : DINT; END_VAR \
+             out := {}; END_PROGRAM",
+            to_st(&e)
+        );
+        let program = parse_program(&src).expect("generated ST parses");
+        let mut interp = Interpreter::new(program).expect("instantiates");
+        for (i, v) in vars64.iter().enumerate() {
+            interp.set(&format!("v{i}"), StValue::Int(*v));
+        }
+        interp.scan(0).expect("scans");
+        let got = interp.get("out").and_then(StValue::as_i64).expect("out set");
+        prop_assert_eq!(got, reference_eval(&e, &vars64), "expr: {}", to_st(&e));
+    }
+
+    #[test]
+    fn comparison_chain_matches(
+        a in -100i64..100,
+        b in -100i64..100,
+    ) {
+        let src = format!(
+            "PROGRAM p VAR r1 : BOOL; r2 : BOOL; r3 : BOOL; END_VAR \
+             r1 := {a} < {b}; r2 := {a} >= {b}; r3 := {a} = {b}; END_PROGRAM"
+        );
+        let program = parse_program(&src).expect("parses");
+        let mut interp = Interpreter::new(program).expect("instantiates");
+        interp.scan(0).expect("scans");
+        prop_assert_eq!(interp.get("r1").and_then(StValue::as_bool), Some(a < b));
+        prop_assert_eq!(interp.get("r2").and_then(StValue::as_bool), Some(a >= b));
+        prop_assert_eq!(interp.get("r3").and_then(StValue::as_bool), Some(a == b));
+    }
+
+    #[test]
+    fn for_loop_sum_matches(
+        from in -20i64..20,
+        to in -20i64..20,
+        by in prop_oneof![Just(1i64), Just(2), Just(-1), Just(3)],
+    ) {
+        let src = format!(
+            "PROGRAM p VAR s : DINT; i : DINT; END_VAR \
+             FOR i := {from} TO {to} BY {by} DO s := s + i; END_FOR; END_PROGRAM"
+        );
+        let program = parse_program(&src).expect("parses");
+        let mut interp = Interpreter::new(program).expect("instantiates");
+        interp.scan(0).expect("scans");
+        let mut expected = 0i64;
+        let mut i = from;
+        loop {
+            if (by > 0 && i > to) || (by < 0 && i < to) {
+                break;
+            }
+            expected += i;
+            i += by;
+        }
+        prop_assert_eq!(interp.get("s").and_then(StValue::as_i64), Some(expected));
+    }
+
+    #[test]
+    fn parser_never_panics(src in "[a-zA-Z0-9 :=;()<>+*/._$#'%-]{0,200}") {
+        let _ = parse_statements(&src);
+        let _ = parse_program(&src);
+    }
+}

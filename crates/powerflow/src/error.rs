@@ -1,0 +1,56 @@
+//! Error type for power-flow calculations.
+
+use std::fmt;
+
+/// An error produced while solving a power flow.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PowerFlowError {
+    /// Newton–Raphson did not converge within the iteration limit.
+    DidNotConverge {
+        /// Iterations performed.
+        iterations: usize,
+        /// Largest remaining power mismatch in per-unit.
+        max_mismatch: f64,
+    },
+    /// The Jacobian was singular (typically an unsolvable island).
+    SingularJacobian {
+        /// Island index (by topology order) that failed.
+        island: usize,
+    },
+    /// An element references a bus index that does not exist.
+    InvalidReference {
+        /// Description of the offending element.
+        element: String,
+    },
+    /// An element has a parameter that makes the model ill-defined.
+    InvalidParameter {
+        /// Description of the offending element and parameter.
+        detail: String,
+    },
+}
+
+impl fmt::Display for PowerFlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerFlowError::DidNotConverge {
+                iterations,
+                max_mismatch,
+            } => write!(
+                f,
+                "power flow did not converge after {iterations} iterations (max mismatch {max_mismatch:.3e} pu)"
+            ),
+            PowerFlowError::SingularJacobian { island } => {
+                write!(f, "singular jacobian while solving island {island}")
+            }
+            PowerFlowError::InvalidReference { element } => {
+                write!(f, "invalid bus reference on {element}")
+            }
+            PowerFlowError::InvalidParameter { detail } => {
+                write!(f, "invalid parameter: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PowerFlowError {}

@@ -1,0 +1,271 @@
+#![allow(clippy::needless_range_loop)] // index loops mirror the textbook algorithms
+
+//! Dense real linear algebra: matrix storage and LU factorization with
+//! partial pivoting, sized for the Jacobians of substation-scale networks.
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero-filled `rows x cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix of order `n`.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            out[i] = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Error returned when a linear system cannot be solved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SingularMatrix {
+    /// Pivot column at which factorization broke down.
+    pub column: usize,
+}
+
+impl std::fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is singular at pivot column {}", self.column)
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+/// An LU factorization (with partial pivoting) of a square matrix.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    lu: Matrix,
+    pivots: Vec<usize>,
+}
+
+impl Lu {
+    /// Factorizes `a` in place (a copy is taken).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrix`] if a pivot column has no usable pivot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn factorize(a: &Matrix) -> Result<Lu, SingularMatrix> {
+        assert_eq!(a.rows, a.cols, "LU factorization requires a square matrix");
+        let n = a.rows;
+        let mut lu = a.clone();
+        let mut pivots = vec![0usize; n];
+
+        for k in 0..n {
+            // Partial pivoting: largest |value| in column k at/below diagonal.
+            let mut max_val = 0.0;
+            let mut max_row = k;
+            for i in k..n {
+                let v = lu[(i, k)].abs();
+                if v > max_val {
+                    max_val = v;
+                    max_row = i;
+                }
+            }
+            if max_val < 1e-13 {
+                return Err(SingularMatrix { column: k });
+            }
+            pivots[k] = max_row;
+            if max_row != k {
+                for c in 0..n {
+                    let tmp = lu[(k, c)];
+                    lu[(k, c)] = lu[(max_row, c)];
+                    lu[(max_row, c)] = tmp;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for i in k + 1..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in k + 1..n {
+                    let delta = factor * lu[(k, j)];
+                    lu[(i, j)] -= delta;
+                }
+            }
+        }
+        Ok(Lu { lu, pivots })
+    }
+
+    /// Solves `A x = b` for `x` using the stored factorization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the matrix order.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.rows;
+        assert_eq!(b.len(), n, "dimension mismatch");
+        let mut x = b.to_vec();
+        // Apply row permutations.
+        for k in 0..n {
+            x.swap(k, self.pivots[k]);
+        }
+        // Forward substitution (L has implicit unit diagonal).
+        for i in 1..n {
+            let mut sum = x[i];
+            for j in 0..i {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in i + 1..n {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        x
+    }
+}
+
+/// Convenience: factorize-and-solve in one call.
+///
+/// # Errors
+///
+/// Returns [`SingularMatrix`] when `a` cannot be factorized.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SingularMatrix> {
+    Ok(Lu::factorize(a)?.solve(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_small_system() {
+        // 2x + y = 5 ; x - y = 1  =>  x = 2, y = 1
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 2.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        a[(1, 1)] = -1.0;
+        let x = solve(&a, &[5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 0.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        a[(1, 1)] = 0.0;
+        let x = solve(&a, &[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 1.0;
+        a[(0, 1)] = 2.0;
+        a[(1, 0)] = 2.0;
+        a[(1, 1)] = 4.0;
+        assert!(solve(&a, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn identity_solution() {
+        let a = Matrix::identity(5);
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(solve(&a, &b).unwrap(), b.to_vec());
+    }
+
+    #[test]
+    fn residual_small_for_random_like_matrix() {
+        let n = 12;
+        let mut a = Matrix::zeros(n, n);
+        // Deterministic, diagonally-dominant pseudo-random matrix.
+        let mut seed = 42u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            a[(i, i)] += n as f64;
+        }
+        let b: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+        let x = solve(&a, &b).unwrap();
+        let r = a.mul_vec(&x);
+        for i in 0..n {
+            assert!((r[i] - b[i]).abs() < 1e-9, "residual too large at {i}");
+        }
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let mut a = Matrix::zeros(2, 3);
+        a[(0, 0)] = 1.0;
+        a[(0, 1)] = 2.0;
+        a[(0, 2)] = 3.0;
+        a[(1, 0)] = 4.0;
+        a[(1, 1)] = 5.0;
+        a[(1, 2)] = 6.0;
+        assert_eq!(a.mul_vec(&[1.0, 1.0, 1.0]), vec![6.0, 15.0]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests on power-flow physics invariants: for any solvable radial
+//! feeder, power balances, losses are non-negative, and voltages lie below
+//! the slack set-point.
+
+use proptest::prelude::*;
+use sgcr_powerflow::{solve, PowerFlowError, PowerNetwork};
+
+/// A radial feeder: slack — line — bus — line — bus … with a load per bus.
+fn radial_feeder(
+    n_buses: usize,
+    loads_mw: &[f64],
+    line_km: f64,
+    vm_slack: f64,
+) -> PowerNetwork {
+    let mut net = PowerNetwork::new("prop-feeder");
+    let mut prev = net.add_bus("b0", 110.0);
+    net.add_ext_grid("grid", prev, vm_slack, 0.0);
+    for i in 1..=n_buses {
+        let bus = net.add_bus(&format!("b{i}"), 110.0);
+        net.add_line(
+            &format!("l{i}"),
+            prev,
+            bus,
+            line_km,
+            0.06,
+            0.12,
+            // No shunt charging: keeps the voltage profile strictly
+            // monotone (the Ferranti effect would otherwise raise lightly
+            // loaded bus voltages and break the monotonicity property).
+            0.0,
+            1.0,
+        );
+        net.add_load(&format!("ld{i}"), bus, loads_mw[i - 1], loads_mw[i - 1] * 0.3);
+        prev = bus;
+    }
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn radial_feeder_invariants(
+        n in 1usize..8,
+        load in 0.1f64..8.0,
+        km in 0.5f64..20.0,
+        vm in 0.98f64..1.05,
+    ) {
+        let loads: Vec<f64> = vec![load; n];
+        let net = radial_feeder(n, &loads, km, vm);
+        let res = match solve(&net) {
+            Ok(r) => r,
+            // Extreme combinations may be infeasible; that is a valid outcome.
+            Err(PowerFlowError::DidNotConverge { .. }) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+        };
+
+        let total_load: f64 = loads.iter().sum();
+        let supplied = res.total_ext_grid_p_mw();
+
+        // 1. Losses are non-negative and slack covers load + losses.
+        prop_assert!(res.total_losses_mw >= -1e-9, "negative losses");
+        prop_assert!((supplied - total_load - res.total_losses_mw).abs() < 1e-6,
+            "power balance violated: supplied={supplied}, load={total_load}, losses={}",
+            res.total_losses_mw);
+
+        // 2. Voltage profile decreases monotonically along a uniform feeder.
+        for i in 1..=n {
+            prop_assert!(res.bus[i].vm_pu <= res.bus[i-1].vm_pu + 1e-9,
+                "voltage must not rise along a loaded radial feeder");
+        }
+
+        // 3. Slack holds its set-point.
+        prop_assert!((res.bus[0].vm_pu - vm).abs() < 1e-9);
+
+        // 4. Line flow decreases downstream (each bus consumes some power).
+        for i in 1..n {
+            prop_assert!(res.line[i].p_from_mw < res.line[i-1].p_from_mw + 1e-9);
+        }
+    }
+
+    #[test]
+    fn scaling_load_scales_supply(
+        load in 1.0f64..10.0,
+        scale in 0.1f64..2.0,
+    ) {
+        let mut net = radial_feeder(2, &[load, load], 5.0, 1.0);
+        let base = solve(&net).unwrap().total_ext_grid_p_mw();
+        for l in net.load.iter_mut() {
+            l.scaling = scale;
+        }
+        let scaled = solve(&net).unwrap().total_ext_grid_p_mw();
+        // Supply scales in the same direction as the load (superlinearly in
+        // losses, so only check direction + rough magnitude).
+        if scale > 1.0 {
+            prop_assert!(scaled > base);
+        } else if scale < 1.0 {
+            prop_assert!(scaled < base);
+        }
+        prop_assert!(scaled > 2.0 * load * scale * 0.99);
+    }
+
+    #[test]
+    fn disconnected_tail_is_deenergized(
+        n in 2usize..6,
+        cut in 1usize..5,
+    ) {
+        let cut = cut.min(n);
+        let loads: Vec<f64> = vec![1.0; n];
+        let mut net = radial_feeder(n, &loads, 5.0, 1.0);
+        // Cut line `cut` (1-based in construction order).
+        let id = net.line_by_name(&format!("l{cut}")).unwrap();
+        net.line[id.index()].in_service = false;
+        let res = solve(&net).unwrap();
+        for i in 0..n + 1 {
+            if i < cut {
+                prop_assert!(res.bus[i].energized, "bus {i} upstream of cut must stay energized");
+            } else {
+                prop_assert!(!res.bus[i].energized, "bus {i} downstream of cut must be dark");
+            }
+        }
+        // Supply equals the energized load (plus losses).
+        let energized_load = (cut - 1) as f64;
+        let supplied = res.total_ext_grid_p_mw();
+        prop_assert!((supplied - energized_load - res.total_losses_mw).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # sgcr-scada
+//!
+//! The virtual SCADA HMI of the smart grid cyber range — the Rust
+//! substitute for ScadaBR.
+//!
+//! Mirroring the paper's §III-B "Virtual SCADA Configuration": data sources
+//! (a Modbus poller towards the PLC, MMS pollers towards IEDs) and data
+//! points are configured from the SG-ML *SCADA Config XML* — information
+//! that "is not part of the SCL files" — and the same configuration can be
+//! translated to the ScadaBR-style import JSON the paper's script produces
+//! ([`ScadaConfig::to_scadabr_json`]).
+//!
+//! The running HMI ([`ScadaApp`]) maintains a tag database with scaling,
+//! deadbands and quality, evaluates alarm rules into an event log, and
+//! executes operator commands (the manual-control path of Figure 1) via its
+//! [`ScadaHandle`].
+//!
+//! # Examples
+//!
+//! ```
+//! use sgcr_scada::ScadaConfig;
+//!
+//! let config = ScadaConfig::parse(r#"<ScadaConfig name="HMI">
+//!   <DataSource name="PLC" type="MODBUS" ip="10.0.1.20" pollMs="500">
+//!     <Point name="P_total" kind="input" address="0" scale="0.1"/>
+//!   </DataSource>
+//! </ScadaConfig>"#)?;
+//! assert_eq!(config.sources.len(), 1);
+//! let _json = config.to_scadabr_json();
+//! # Ok::<(), sgcr_scada::ScadaConfigError>(())
+//! ```
+
+mod config;
+mod hmi;
+
+pub use config::{
+    AlarmKind, AlarmRule, DataPoint, DataSource, ModbusPointKind, PointAddress, ScadaConfig,
+    ScadaConfigError, SourceProtocol,
+};
+pub use hmi::{HmiEvent, OperatorCommand, Quality, ScadaApp, ScadaHandle, TagValue};

@@ -1,0 +1,105 @@
+//! Structural validation of the ScadaBR-style JSON translation — the
+//! paper's "script to translate the SCADA Config XML into a JSON format
+//! that SCADABR can import". We validate with a minimal JSON reader so the
+//! output is guaranteed parseable by a real importer.
+
+use sgcr_scada::ScadaConfig;
+
+/// A tiny JSON structural validator: checks balanced braces/brackets,
+/// quoted strings, and `"key": value` shapes. Returns the number of objects.
+fn validate_json(text: &str) -> Result<usize, String> {
+    let mut depth_obj = 0i32;
+    let mut depth_arr = 0i32;
+    let mut objects = 0usize;
+    let mut in_string = false;
+    let mut prev = ' ';
+    for c in text.chars() {
+        if in_string {
+            if c == '"' && prev != '\\' {
+                in_string = false;
+            }
+            prev = c;
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => {
+                depth_obj += 1;
+                objects += 1;
+            }
+            '}' => depth_obj -= 1,
+            '[' => depth_arr += 1,
+            ']' => depth_arr -= 1,
+            _ => {}
+        }
+        if depth_obj < 0 || depth_arr < 0 {
+            return Err(format!("unbalanced at {c:?}"));
+        }
+        prev = c;
+    }
+    if in_string {
+        return Err("unterminated string".into());
+    }
+    if depth_obj != 0 || depth_arr != 0 {
+        return Err(format!("unbalanced: obj={depth_obj} arr={depth_arr}"));
+    }
+    Ok(objects)
+}
+
+const CONFIG: &str = r#"<ScadaConfig name="json-test">
+  <DataSource name="PLC &quot;main&quot;" type="MODBUS" ip="10.0.0.1" pollMs="500">
+    <Point name="P1" kind="holding" address="0" scale="0.1"/>
+    <Point name="C1" kind="coil" address="3" writable="true"/>
+  </DataSource>
+  <DataSource name="IED1" type="MMS" ip="10.0.0.2" pollMs="1000">
+    <Point name="V1" item="IED1LD0/MMXU1$MX$PhV$mag$f"/>
+  </DataSource>
+</ScadaConfig>"#;
+
+#[test]
+fn json_is_structurally_valid() {
+    let config = ScadaConfig::parse(CONFIG).unwrap();
+    let json = config.to_scadabr_json();
+    let objects = validate_json(&json).expect("valid JSON structure");
+    // Root + 2 sources + 3 points.
+    assert_eq!(objects, 6, "{json}");
+}
+
+#[test]
+fn json_escapes_quotes_in_names() {
+    let config = ScadaConfig::parse(CONFIG).unwrap();
+    let json = config.to_scadabr_json();
+    assert!(json.contains(r#"PLC \"main\""#), "{json}");
+    validate_json(&json).expect("escaped JSON still valid");
+}
+
+#[test]
+fn json_carries_addressing_for_both_protocols() {
+    let config = ScadaConfig::parse(CONFIG).unwrap();
+    let json = config.to_scadabr_json();
+    assert!(json.contains("\"range\": \"HOLDING_REGISTER\", \"offset\": 0"));
+    assert!(json.contains("\"range\": \"COIL_STATUS\", \"offset\": 3"));
+    assert!(json.contains("\"objectReference\": \"IED1LD0/MMXU1$MX$PhV$mag$f\""));
+    assert!(json.contains("\"settable\": true"));
+    assert!(json.contains("\"multiplier\": 0.1"));
+}
+
+#[test]
+fn every_point_references_an_emitted_source() {
+    let config = ScadaConfig::parse(CONFIG).unwrap();
+    let json = config.to_scadabr_json();
+    for i in 1..=2 {
+        assert!(json.contains(&format!("\"xid\": \"DS_{i}\"")));
+    }
+    for i in 1..=3 {
+        assert!(json.contains(&format!("\"xid\": \"DP_{i}\"")));
+    }
+    // Data points only reference defined sources.
+    for line in json.lines().filter(|l| l.contains("dataSourceXid")) {
+        assert!(
+            line.contains("\"dataSourceXid\": \"DS_1\"")
+                || line.contains("\"dataSourceXid\": \"DS_2\""),
+            "{line}"
+        );
+    }
+}

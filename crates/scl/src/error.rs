@@ -1,0 +1,104 @@
+//! Errors and diagnostics for SCL processing.
+
+use crate::types::SclFileKind;
+use std::fmt;
+
+/// Severity of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational note.
+    Info,
+    /// Suspicious but processable.
+    Warning,
+    /// The document cannot be used.
+    Error,
+}
+
+/// One finding produced while parsing or validating an SCL document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How bad it is.
+    pub severity: Severity,
+    /// Human-readable message.
+    pub message: String,
+    /// Context (element path or name).
+    pub context: String,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(message: impl Into<String>, context: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            context: context.into(),
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(message: impl Into<String>, context: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            context: context.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        write!(f, "{sev}: {} ({})", self.message, self.context)
+    }
+}
+
+/// An error produced while parsing an SCL file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SclError {
+    /// The underlying bytes are not well-formed XML.
+    Xml(String),
+    /// The XML is not an SCL document at all.
+    NotScl {
+        /// Root element name found.
+        root: String,
+    },
+    /// The document is SCL but lacks sections required for its kind.
+    MissingSection {
+        /// The file kind being parsed.
+        kind: SclFileKind,
+        /// Which section is missing.
+        section: &'static str,
+    },
+    /// Structural errors were found (details in the diagnostics).
+    Invalid {
+        /// The findings, at least one of `Severity::Error`.
+        diagnostics: Vec<Diagnostic>,
+    },
+}
+
+impl fmt::Display for SclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SclError::Xml(msg) => write!(f, "not well-formed XML: {msg}"),
+            SclError::NotScl { root } => {
+                write!(f, "root element is <{root}>, expected <SCL>")
+            }
+            SclError::MissingSection { kind, section } => {
+                write!(f, "{kind} file is missing its required <{section}> section")
+            }
+            SclError::Invalid { diagnostics } => {
+                write!(f, "invalid SCL document:")?;
+                for d in diagnostics {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SclError {}

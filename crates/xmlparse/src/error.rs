@@ -1,0 +1,84 @@
+//! Error type for XML parsing.
+
+use std::fmt;
+
+/// The category of an [`XmlError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum XmlErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A character that is not allowed at this position.
+    UnexpectedChar(char),
+    /// An end tag did not match the open element.
+    MismatchedTag {
+        /// The element that was open.
+        open: String,
+        /// The end-tag name actually found.
+        close: String,
+    },
+    /// A construct (tag name, attribute, entity, …) is malformed.
+    Malformed(String),
+    /// A named entity other than the five predefined ones.
+    UnknownEntity(String),
+    /// The same attribute appears twice on one element.
+    DuplicateAttribute(String),
+    /// The document has no root element, or trailing content after it.
+    InvalidDocumentStructure(String),
+    /// A namespace prefix could not be resolved.
+    UnboundPrefix(String),
+}
+
+/// An error produced while parsing an XML document, carrying the 1-based
+/// line and column where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    kind: XmlErrorKind,
+    line: u32,
+    column: u32,
+}
+
+impl XmlError {
+    pub(crate) fn new(kind: XmlErrorKind, line: u32, column: u32) -> Self {
+        XmlError { kind, line, column }
+    }
+
+    /// The category of the error.
+    pub fn kind(&self) -> &XmlErrorKind {
+        &self.kind
+    }
+
+    /// 1-based line where the error was detected.
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// 1-based column where the error was detected.
+    pub fn column(&self) -> u32 {
+        self.column
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            XmlErrorKind::UnexpectedEof => write!(f, "unexpected end of input")?,
+            XmlErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}")?,
+            XmlErrorKind::MismatchedTag { open, close } => {
+                write!(f, "mismatched end tag </{close}> for element <{open}>")?
+            }
+            XmlErrorKind::Malformed(what) => write!(f, "malformed {what}")?,
+            XmlErrorKind::UnknownEntity(name) => write!(f, "unknown entity &{name};")?,
+            XmlErrorKind::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute {name:?}")?
+            }
+            XmlErrorKind::InvalidDocumentStructure(what) => {
+                write!(f, "invalid document structure: {what}")?
+            }
+            XmlErrorKind::UnboundPrefix(p) => write!(f, "unbound namespace prefix {p:?}")?,
+        }
+        write!(f, " at line {}, column {}", self.line, self.column)
+    }
+}
+
+impl std::error::Error for XmlError {}

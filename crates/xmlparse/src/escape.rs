@@ -1,0 +1,126 @@
+//! Escaping and entity expansion for XML character data and attributes.
+
+/// Escapes a string for use as XML character data (`<`, `&`, and `>` for
+/// robustness against `]]>`).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(sgcr_xml::escape_text("a < b && c"), "a &lt; b &amp;&amp; c");
+/// ```
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a string for use inside a double-quoted XML attribute value.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(sgcr_xml::escape_attr(r#"say "hi"<now>"#), "say &quot;hi&quot;&lt;now&gt;");
+/// ```
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            '\r' => out.push_str("&#13;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Expands the five predefined entities and numeric character references.
+///
+/// Returns `None` if the string contains a malformed or unknown reference.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(sgcr_xml::unescape("1 &lt; 2 &#65;"), Some("1 < 2 A".to_string()));
+/// assert_eq!(sgcr_xml::unescape("&bogus;"), None);
+/// ```
+pub fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        let rest = &s[i + 1..];
+        let end = rest.find(';')?;
+        let name = &rest[..end];
+        out.push(expand_entity(name)?);
+        // Skip the entity body plus the trailing ';'.
+        for _ in 0..end + 1 {
+            chars.next();
+        }
+    }
+    Some(out)
+}
+
+/// Expands a single entity body (without `&` and `;`) to its character.
+pub(crate) fn expand_entity(name: &str) -> Option<char> {
+    match name {
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "amp" => Some('&'),
+        "apos" => Some('\''),
+        "quot" => Some('"'),
+        _ => {
+            let code = if let Some(hex) = name.strip_prefix("#x").or_else(|| name.strip_prefix("#X")) {
+                u32::from_str_radix(hex, 16).ok()?
+            } else if let Some(dec) = name.strip_prefix('#') {
+                dec.parse::<u32>().ok()?
+            } else {
+                return None;
+            };
+            char::from_u32(code)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_roundtrip_text() {
+        let original = "a < b > c & \"d\" 'e'";
+        assert_eq!(unescape(&escape_text(original)).unwrap(), original);
+    }
+
+    #[test]
+    fn escape_roundtrip_attr() {
+        let original = "line1\nline2\t<&\">";
+        assert_eq!(unescape(&escape_attr(original)).unwrap(), original);
+    }
+
+    #[test]
+    fn numeric_references() {
+        assert_eq!(unescape("&#x41;&#66;"), Some("AB".to_string()));
+    }
+
+    #[test]
+    fn invalid_references() {
+        assert_eq!(unescape("&#xZZ;"), None);
+        assert_eq!(unescape("&unterminated"), None);
+        assert_eq!(unescape("&#1114112;"), None); // beyond char::MAX
+    }
+}

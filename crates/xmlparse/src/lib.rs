@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # sgcr-xml
+//!
+//! A self-contained XML 1.0 parser, DOM, and writer used throughout the SG-ML
+//! toolchain to read and emit IEC 61850 SCL files, IEC 61131-3 PLCopen XML,
+//! and the SG-ML supplementary configuration schemas.
+//!
+//! The crate deliberately implements the subset of XML that configuration
+//! schemas require: elements, attributes, namespace declarations and prefix
+//! resolution, character data, CDATA sections, comments, processing
+//! instructions, the XML declaration, the five predefined entities, and
+//! numeric character references. DTDs are tolerated (skipped), not processed.
+//!
+//! # Examples
+//!
+//! ```
+//! use sgcr_xml::Document;
+//!
+//! # fn main() -> Result<(), sgcr_xml::XmlError> {
+//! let doc = Document::parse(r#"<SCL xmlns="http://www.iec.ch/61850/2003/SCL">
+//!     <Header id="demo" version="1"/>
+//! </SCL>"#)?;
+//! let root = doc.root_element();
+//! assert_eq!(root.name(), "SCL");
+//! let header = root.child("Header").expect("header present");
+//! assert_eq!(header.attr("id"), Some("demo"));
+//! # Ok(())
+//! # }
+//! ```
+
+mod dom;
+mod error;
+mod escape;
+mod parser;
+mod writer;
+
+pub use dom::{Attribute, Document, ElementRef, Node, NodeId, NodeKind};
+pub use error::{XmlError, XmlErrorKind};
+pub use escape::{escape_attr, escape_text, unescape};
+pub use writer::WriteOptions;

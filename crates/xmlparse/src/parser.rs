@@ -1,0 +1,496 @@
+//! Recursive-descent XML parser producing a [`Document`].
+
+use crate::dom::{Attribute, Document, Node, NodeId, NodeKind};
+use crate::error::{XmlError, XmlErrorKind};
+use crate::escape::expand_entity;
+
+struct Cursor<'a> {
+    input: &'a str,
+    /// Byte offset into `input`.
+    pos: usize,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(input: &'a str) -> Self {
+        Cursor {
+            input,
+            pos: 0,
+            line: 1,
+            column: 1,
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.rest().starts_with(s)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn bump_str(&mut self, s: &str) {
+        debug_assert!(self.starts_with(s));
+        for _ in s.chars() {
+            self.bump();
+        }
+    }
+
+    fn err(&self, kind: XmlErrorKind) -> XmlError {
+        XmlError::new(kind, self.line, self.column)
+    }
+
+    fn eof_err(&self) -> XmlError {
+        self.err(XmlErrorKind::UnexpectedEof)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_ascii_whitespace()) {
+            self.bump();
+        }
+    }
+
+    /// Consumes until `delim` is found; returns the skipped text (exclusive).
+    fn take_until(&mut self, delim: &str) -> Result<&'a str, XmlError> {
+        let start = self.pos;
+        match self.rest().find(delim) {
+            Some(rel) => {
+                let end = start + rel;
+                while self.pos < end {
+                    self.bump();
+                }
+                self.bump_str(delim);
+                Ok(&self.input[start..end])
+            }
+            None => Err(self.eof_err()),
+        }
+    }
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || c == ':'
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | ':' | '-' | '.')
+}
+
+fn parse_name(cur: &mut Cursor<'_>) -> Result<String, XmlError> {
+    match cur.peek() {
+        Some(c) if is_name_start(c) => {}
+        Some(c) => return Err(cur.err(XmlErrorKind::UnexpectedChar(c))),
+        None => return Err(cur.eof_err()),
+    }
+    let start = cur.pos;
+    while matches!(cur.peek(), Some(c) if is_name_char(c)) {
+        cur.bump();
+    }
+    Ok(cur.input[start..cur.pos].to_string())
+}
+
+/// Expands entity and character references within already-extracted raw text.
+fn expand_references(cur: &Cursor<'_>, raw: &str) -> Result<String, XmlError> {
+    if !raw.contains('&') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        let semi = after
+            .find(';')
+            .ok_or_else(|| cur.err(XmlErrorKind::Malformed("entity reference".into())))?;
+        let name = &after[..semi];
+        let c = expand_entity(name)
+            .ok_or_else(|| cur.err(XmlErrorKind::UnknownEntity(name.to_string())))?;
+        out.push(c);
+        rest = &after[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+fn parse_attributes(cur: &mut Cursor<'_>) -> Result<Vec<Attribute>, XmlError> {
+    let mut attrs: Vec<Attribute> = Vec::new();
+    loop {
+        cur.skip_ws();
+        match cur.peek() {
+            Some('/') | Some('>') | Some('?') | None => return Ok(attrs),
+            Some(c) if is_name_start(c) => {}
+            Some(c) => return Err(cur.err(XmlErrorKind::UnexpectedChar(c))),
+        }
+        let name = parse_name(cur)?;
+        cur.skip_ws();
+        if cur.peek() != Some('=') {
+            return Err(cur.err(XmlErrorKind::Malformed(format!(
+                "attribute {name:?} missing '='"
+            ))));
+        }
+        cur.bump();
+        cur.skip_ws();
+        let quote = match cur.peek() {
+            Some(q @ ('"' | '\'')) => q,
+            Some(c) => return Err(cur.err(XmlErrorKind::UnexpectedChar(c))),
+            None => return Err(cur.eof_err()),
+        };
+        cur.bump();
+        let raw = cur.take_until(&quote.to_string())?;
+        let value = expand_references(cur, raw)?;
+        if attrs.iter().any(|a| a.name == name) {
+            return Err(cur.err(XmlErrorKind::DuplicateAttribute(name)));
+        }
+        attrs.push(Attribute { name, value });
+    }
+}
+
+enum Misc {
+    Comment(String),
+    Pi { target: String, data: String },
+    Nothing,
+}
+
+/// Parses `<!-- -->`, `<? ?>`, or `<!DOCTYPE …>` when positioned at `<`.
+fn parse_misc(cur: &mut Cursor<'_>) -> Result<Option<Misc>, XmlError> {
+    if cur.starts_with("<!--") {
+        cur.bump_str("<!--");
+        let text = cur.take_until("-->")?;
+        return Ok(Some(Misc::Comment(text.to_string())));
+    }
+    if cur.starts_with("<?") {
+        cur.bump_str("<?");
+        let target = parse_name(cur)?;
+        cur.skip_ws();
+        let data = cur.take_until("?>")?;
+        // The XML declaration is consumed but not stored as a PI node.
+        if target.eq_ignore_ascii_case("xml") {
+            return Ok(Some(Misc::Nothing));
+        }
+        return Ok(Some(Misc::Pi {
+            target,
+            data: data.trim_end().to_string(),
+        }));
+    }
+    if cur.starts_with("<!DOCTYPE") {
+        // Skip the doctype, matching nested [ ... ] internal subsets.
+        cur.bump_str("<!DOCTYPE");
+        let mut depth = 0i32;
+        loop {
+            match cur.bump() {
+                Some('[') => depth += 1,
+                Some(']') => depth -= 1,
+                Some('>') if depth <= 0 => break,
+                Some(_) => {}
+                None => return Err(cur.eof_err()),
+            }
+        }
+        return Ok(Some(Misc::Nothing));
+    }
+    Ok(None)
+}
+
+/// Parses one complete element (opening tag through matching end tag),
+/// appending all nodes into `doc`. Returns the element's id.
+fn parse_element(cur: &mut Cursor<'_>, doc: &mut Document, parent: Option<NodeId>) -> Result<NodeId, XmlError> {
+    debug_assert_eq!(cur.peek(), Some('<'));
+    cur.bump();
+    let name = parse_name(cur)?;
+    let attributes = parse_attributes(cur)?;
+    let id = doc.push_node(Node {
+        kind: NodeKind::Element {
+            name: name.clone(),
+            attributes,
+        },
+        parent,
+        children: Vec::new(),
+    });
+
+    match cur.peek() {
+        Some('/') => {
+            cur.bump();
+            if cur.peek() != Some('>') {
+                return Err(cur.err(XmlErrorKind::Malformed("empty-element tag".into())));
+            }
+            cur.bump();
+            return Ok(id);
+        }
+        Some('>') => {
+            cur.bump();
+        }
+        Some(c) => return Err(cur.err(XmlErrorKind::UnexpectedChar(c))),
+        None => return Err(cur.eof_err()),
+    }
+
+    // Content until matching end tag.
+    loop {
+        if cur.starts_with("</") {
+            cur.bump_str("</");
+            let close = parse_name(cur)?;
+            cur.skip_ws();
+            if cur.peek() != Some('>') {
+                return Err(cur.err(XmlErrorKind::Malformed("end tag".into())));
+            }
+            cur.bump();
+            if close != name {
+                return Err(cur.err(XmlErrorKind::MismatchedTag { open: name, close }));
+            }
+            return Ok(id);
+        }
+        if cur.starts_with("<![CDATA[") {
+            cur.bump_str("<![CDATA[");
+            let data = cur.take_until("]]>")?.to_string();
+            let child = doc.push_node(Node {
+                kind: NodeKind::Cdata(data),
+                parent: Some(id),
+                children: Vec::new(),
+            });
+            doc.nodes[id.index()].children.push(child);
+            continue;
+        }
+        match parse_misc(cur)? {
+            Some(Misc::Comment(text)) => {
+                let child = doc.push_node(Node {
+                    kind: NodeKind::Comment(text),
+                    parent: Some(id),
+                    children: Vec::new(),
+                });
+                doc.nodes[id.index()].children.push(child);
+                continue;
+            }
+            Some(Misc::Pi { target, data }) => {
+                let child = doc.push_node(Node {
+                    kind: NodeKind::ProcessingInstruction { target, data },
+                    parent: Some(id),
+                    children: Vec::new(),
+                });
+                doc.nodes[id.index()].children.push(child);
+                continue;
+            }
+            Some(Misc::Nothing) => continue,
+            None => {}
+        }
+        match cur.peek() {
+            Some('<') => {
+                let child = parse_element(cur, doc, Some(id))?;
+                doc.nodes[id.index()].children.push(child);
+            }
+            Some(_) => {
+                // Character data up to the next markup.
+                let start = cur.pos;
+                while matches!(cur.peek(), Some(c) if c != '<') {
+                    cur.bump();
+                }
+                let raw = &cur.input[start..cur.pos];
+                let text = expand_references(cur, raw)?;
+                // Whitespace-only runs between elements are not stored; the
+                // pretty-printer regenerates layout. Mixed content keeps its
+                // significant text.
+                if !text.trim().is_empty() {
+                    let child = doc.push_node(Node {
+                        kind: NodeKind::Text(text),
+                        parent: Some(id),
+                        children: Vec::new(),
+                    });
+                    doc.nodes[id.index()].children.push(child);
+                }
+            }
+            None => return Err(cur.eof_err()),
+        }
+    }
+}
+
+pub(crate) fn parse_document(input: &str) -> Result<Document, XmlError> {
+    // Strip a UTF-8 BOM if present.
+    let input = input.strip_prefix('\u{feff}').unwrap_or(input);
+    let mut cur = Cursor::new(input);
+    let mut doc = Document {
+        nodes: Vec::new(),
+        root: NodeId(0),
+        prolog: Vec::new(),
+    };
+    let mut prolog: Vec<NodeId> = Vec::new();
+
+    // Prolog: declaration, comments, PIs, doctype.
+    loop {
+        cur.skip_ws();
+        if cur.peek().is_none() {
+            return Err(cur.err(XmlErrorKind::InvalidDocumentStructure(
+                "no root element".into(),
+            )));
+        }
+        match parse_misc(&mut cur)? {
+            Some(Misc::Comment(text)) => {
+                let id = doc.push_node(Node {
+                    kind: NodeKind::Comment(text),
+                    parent: None,
+                    children: Vec::new(),
+                });
+                prolog.push(id);
+            }
+            Some(Misc::Pi { target, data }) => {
+                let id = doc.push_node(Node {
+                    kind: NodeKind::ProcessingInstruction { target, data },
+                    parent: None,
+                    children: Vec::new(),
+                });
+                prolog.push(id);
+            }
+            Some(Misc::Nothing) => {}
+            None => break,
+        }
+    }
+
+    if cur.peek() != Some('<') {
+        let c = cur.peek().unwrap_or('\0');
+        return Err(cur.err(XmlErrorKind::UnexpectedChar(c)));
+    }
+    let root = parse_element(&mut cur, &mut doc, None)?;
+    doc.root = root;
+    doc.prolog = prolog;
+
+    // Trailing misc only.
+    loop {
+        cur.skip_ws();
+        if cur.peek().is_none() {
+            break;
+        }
+        match parse_misc(&mut cur)? {
+            Some(_) => continue,
+            None => {
+                return Err(cur.err(XmlErrorKind::InvalidDocumentStructure(
+                    "content after root element".into(),
+                )))
+            }
+        }
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Document, XmlErrorKind};
+
+    #[test]
+    fn minimal() {
+        let doc = Document::parse("<a/>").unwrap();
+        assert_eq!(doc.root_element().name(), "a");
+    }
+
+    #[test]
+    fn declaration_comment_doctype() {
+        let doc = Document::parse(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<!-- hi -->\n<!DOCTYPE a [ <!ELEMENT a EMPTY> ]>\n<a/>",
+        )
+        .unwrap();
+        assert_eq!(doc.root_element().name(), "a");
+    }
+
+    #[test]
+    fn nested_with_text_and_entities() {
+        let doc = Document::parse("<a><b>1 &lt; 2</b><b>x&amp;y</b></a>").unwrap();
+        let bs = doc.root_element().children_named("b");
+        assert_eq!(bs[0].text(), "1 < 2");
+        assert_eq!(bs[1].text(), "x&y");
+    }
+
+    #[test]
+    fn cdata() {
+        let doc = Document::parse("<a><![CDATA[if x < 1 && y > 2]]></a>").unwrap();
+        assert_eq!(doc.root_element().text(), "if x < 1 && y > 2");
+    }
+
+    #[test]
+    fn attributes_single_and_double_quotes() {
+        let doc = Document::parse(r#"<a x="1" y='two words' z="a&amp;b"/>"#).unwrap();
+        let r = doc.root_element();
+        assert_eq!(r.attr("x"), Some("1"));
+        assert_eq!(r.attr("y"), Some("two words"));
+        assert_eq!(r.attr("z"), Some("a&b"));
+    }
+
+    #[test]
+    fn mismatched_tag_rejected() {
+        let err = Document::parse("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = Document::parse(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::DuplicateAttribute(_)));
+    }
+
+    #[test]
+    fn unknown_entity_rejected() {
+        let err = Document::parse("<a>&nbsp;</a>").unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::UnknownEntity(_)));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        for s in ["<a", "<a>", "<a x=", "<a><!-- ", "<a><![CDATA[x", "<a>text"] {
+            let err = Document::parse(s).unwrap_err();
+            assert!(
+                matches!(
+                    err.kind(),
+                    XmlErrorKind::UnexpectedEof | XmlErrorKind::Malformed(_)
+                ),
+                "input {s:?} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn content_after_root_rejected() {
+        let err = Document::parse("<a/><b/>").unwrap_err();
+        assert!(matches!(
+            err.kind(),
+            XmlErrorKind::InvalidDocumentStructure(_)
+        ));
+    }
+
+    #[test]
+    fn error_position_reported() {
+        let err = Document::parse("<a>\n  <b x=></b>\n</a>").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.column() > 1);
+    }
+
+    #[test]
+    fn bom_is_stripped() {
+        let doc = Document::parse("\u{feff}<a/>").unwrap();
+        assert_eq!(doc.root_element().name(), "a");
+    }
+
+    #[test]
+    fn processing_instruction_in_content() {
+        let doc = Document::parse("<a><?target some data?></a>").unwrap();
+        assert_eq!(doc.len(), 2);
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped_mixed_kept() {
+        let doc = Document::parse("<a>\n  <b/>\n  tail\n</a>").unwrap();
+        let root = doc.root_element();
+        // one element child + one significant text child
+        assert_eq!(root.child_elements().count(), 1);
+        assert!(root.text().contains("tail"));
+    }
+}

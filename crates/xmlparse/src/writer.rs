@@ -1,0 +1,165 @@
+//! Serialization of a [`Document`] back to XML text.
+
+use crate::dom::{Document, NodeId, NodeKind};
+use crate::escape::{escape_attr, escape_text};
+
+/// Options controlling XML serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteOptions {
+    /// Number of spaces per indentation level; `None` writes compact output
+    /// with no inter-element whitespace.
+    pub indent: Option<usize>,
+    /// Whether to emit `<?xml version="1.0" encoding="UTF-8"?>`.
+    pub declaration: bool,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions {
+            indent: Some(2),
+            declaration: true,
+        }
+    }
+}
+
+impl WriteOptions {
+    /// Compact output: no declaration, no indentation.
+    pub fn compact() -> Self {
+        WriteOptions {
+            indent: None,
+            declaration: false,
+        }
+    }
+}
+
+pub(crate) fn write_document(doc: &Document, options: &WriteOptions) -> String {
+    let mut out = String::new();
+    if options.declaration {
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        if options.indent.is_some() {
+            out.push('\n');
+        }
+    }
+    for &id in &doc.prolog {
+        write_node(doc, id, 0, options, &mut out);
+        if options.indent.is_some() {
+            out.push('\n');
+        }
+    }
+    write_node(doc, doc.root, 0, options, &mut out);
+    if options.indent.is_some() {
+        out.push('\n');
+    }
+    out
+}
+
+fn has_element_children(doc: &Document, id: NodeId) -> bool {
+    doc.node(id).children().iter().any(|&c| {
+        matches!(
+            doc.node(c).kind(),
+            NodeKind::Element { .. } | NodeKind::Comment(_) | NodeKind::ProcessingInstruction { .. }
+        )
+    })
+}
+
+fn write_node(doc: &Document, id: NodeId, depth: usize, options: &WriteOptions, out: &mut String) {
+    match doc.node(id).kind() {
+        NodeKind::Element { name, attributes } => {
+            out.push('<');
+            out.push_str(name);
+            for a in attributes {
+                out.push(' ');
+                out.push_str(&a.name);
+                out.push_str("=\"");
+                out.push_str(&escape_attr(&a.value));
+                out.push('"');
+            }
+            let children = doc.node(id).children();
+            if children.is_empty() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            let block = has_element_children(doc, id);
+            for &child in children {
+                if block {
+                    if let Some(n) = options.indent {
+                        out.push('\n');
+                        out.push_str(&" ".repeat(n * (depth + 1)));
+                    }
+                }
+                write_node(doc, child, depth + 1, options, out);
+            }
+            if block {
+                if let Some(n) = options.indent {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(n * depth));
+                }
+            }
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
+        }
+        NodeKind::Text(t) => out.push_str(&escape_text(t)),
+        NodeKind::Cdata(t) => {
+            out.push_str("<![CDATA[");
+            out.push_str(t);
+            out.push_str("]]>");
+        }
+        NodeKind::Comment(t) => {
+            out.push_str("<!--");
+            out.push_str(t);
+            out.push_str("-->");
+        }
+        NodeKind::ProcessingInstruction { target, data } => {
+            out.push_str("<?");
+            out.push_str(target);
+            if !data.is_empty() {
+                out.push(' ');
+                out.push_str(data);
+            }
+            out.push_str("?>");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Document, WriteOptions};
+
+    #[test]
+    fn roundtrip_simple() {
+        let src = r#"<a x="1"><b>text &amp; more</b><c/></a>"#;
+        let doc = Document::parse(src).unwrap();
+        let emitted = doc.to_xml_with(&WriteOptions::compact());
+        let redoc = Document::parse(&emitted).unwrap();
+        assert_eq!(doc, redoc);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let doc = Document::parse("<a><b><c/></b></a>").unwrap();
+        let pretty = doc.to_xml();
+        assert!(pretty.contains("\n  <b>"));
+        assert!(pretty.contains("\n    <c/>"));
+        assert!(pretty.starts_with("<?xml"));
+    }
+
+    #[test]
+    fn attribute_escaping_roundtrip() {
+        let mut doc = Document::new("a");
+        let root = doc.root_id();
+        doc.set_attr(root, "v", "a<b>&\"c\"\nd");
+        let text = doc.to_xml();
+        let redoc = Document::parse(&text).unwrap();
+        assert_eq!(redoc.root_element().attr("v"), Some("a<b>&\"c\"\nd"));
+    }
+
+    #[test]
+    fn cdata_preserved() {
+        let src = "<a><![CDATA[x < y && z]]></a>";
+        let doc = Document::parse(src).unwrap();
+        let emitted = doc.to_xml_with(&WriteOptions::compact());
+        assert!(emitted.contains("<![CDATA[x < y && z]]>"));
+    }
+}

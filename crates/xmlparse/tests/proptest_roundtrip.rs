@@ -1,0 +1,110 @@
+//! Property tests: arbitrary documents survive a write→parse roundtrip, and
+//! arbitrary byte soup never panics the parser.
+
+use proptest::prelude::*;
+use sgcr_xml::{Document, NodeId, WriteOptions};
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z_][A-Za-z0-9_.-]{0,12}"
+}
+
+/// Text without leading/trailing whitespace ambiguity (parser drops
+/// whitespace-only runs and the writer reformats), so use visible chars.
+fn text_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z0-9 ,.:;()+*_-]{1,40}".prop_map(|s| s.trim().to_string()).prop_filter("non-empty", |s| !s.is_empty())
+}
+
+#[derive(Debug, Clone)]
+enum Tree {
+    Leaf { name: String, attrs: Vec<(String, String)>, text: Option<String> },
+    Node { name: String, attrs: Vec<(String, String)>, children: Vec<Tree> },
+}
+
+fn attrs_strategy() -> impl Strategy<Value = Vec<(String, String)>> {
+    proptest::collection::vec((name_strategy(), "[A-Za-z0-9 ,.:<>&'\"_-]{0,20}"), 0..4).prop_map(|mut v| {
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v.dedup_by(|a, b| a.0 == b.0);
+        v
+    })
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = (name_strategy(), attrs_strategy(), proptest::option::of(text_strategy()))
+        .prop_map(|(name, attrs, text)| Tree::Leaf { name, attrs, text });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (name_strategy(), attrs_strategy(), proptest::collection::vec(inner, 1..4))
+            .prop_map(|(name, attrs, children)| Tree::Node { name, attrs, children })
+    })
+}
+
+fn build(doc: &mut Document, parent: Option<NodeId>, tree: &Tree) {
+    match tree {
+        Tree::Leaf { name, attrs, text } => {
+            let id = match parent {
+                Some(p) => doc.add_element(p, name),
+                None => doc.root_id(),
+            };
+            for (k, v) in attrs {
+                doc.set_attr(id, k, v);
+            }
+            if let Some(t) = text {
+                doc.add_text(id, t);
+            }
+        }
+        Tree::Node { name, attrs, children } => {
+            let id = match parent {
+                Some(p) => doc.add_element(p, name),
+                None => doc.root_id(),
+            };
+            for (k, v) in attrs {
+                doc.set_attr(id, k, v);
+            }
+            for c in children {
+                build(doc, Some(id), c);
+            }
+        }
+    }
+}
+
+fn root_name(tree: &Tree) -> &str {
+    match tree {
+        Tree::Leaf { name, .. } | Tree::Node { name, .. } => name,
+    }
+}
+
+proptest! {
+    #[test]
+    fn write_parse_roundtrip_pretty(tree in tree_strategy()) {
+        let mut doc = Document::new(root_name(&tree));
+        build(&mut doc, None, &tree);
+        let text = doc.to_xml();
+        let reparsed = Document::parse(&text).expect("emitted XML must reparse");
+        prop_assert_eq!(&doc, &reparsed);
+    }
+
+    #[test]
+    fn write_parse_roundtrip_compact(tree in tree_strategy()) {
+        let mut doc = Document::new(root_name(&tree));
+        build(&mut doc, None, &tree);
+        let text = doc.to_xml_with(&WriteOptions::compact());
+        let reparsed = Document::parse(&text).expect("emitted XML must reparse");
+        prop_assert_eq!(&doc, &reparsed);
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(input in "[a-z <>&;!?/=-]{0,200}") {
+        let _ = Document::parse(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_mutated_valid(doc_text in tree_strategy().prop_map(|t| {
+        let mut d = Document::new(root_name(&t));
+        build(&mut d, None, &t);
+        d.to_xml()
+    }), cut in 0usize..100) {
+        // Truncate at an arbitrary point: must error or succeed, never panic.
+        let cut = cut.min(doc_text.len());
+        let truncated = &doc_text[..doc_text.floor_char_boundary(cut)];
+        let _ = Document::parse(truncated);
+    }
+}

@@ -1,0 +1,19 @@
+//! Exports the EPIC SG-ML model set to a directory, for use with the
+//! `sgml_processor` CLI or for manual editing and sharing.
+//!
+//! ```text
+//! cargo run --example export_epic_model -- /tmp/epic-bundle
+//! ```
+
+use sg_cyber_range::models::epic_bundle;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "epic-bundle".to_string());
+    epic_bundle().write_to_dir(&dir)?;
+    println!("wrote the EPIC SG-ML model set to {dir}/");
+    for entry in std::fs::read_dir(&dir)? {
+        println!("  {}", entry?.file_name().to_string_lossy());
+    }
+    println!("try: cargo run -p sgcr-core --bin sgml_processor -- {dir} --run 3");
+    Ok(())
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # sg-cyber-range
+//!
+//! Automated generation of smart grid cyber ranges from SG-ML models — a
+//! from-scratch Rust reproduction of *"Towards Automated Generation of Smart
+//! Grid Cyber Range for Cybersecurity Experiments and Training"* (DSN 2023),
+//! including every substrate the original system glued together from
+//! third-party software.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | role (paper component) |
+//! |--------|-------|------------------------|
+//! | [`core`] | `sgcr-core` | SG-ML language + processor + cyber-range runtime (**the contribution**) |
+//! | [`scl`] | `sgcr-scl` | IEC 61850 SCL: SSD/SCD/ICD/SED parsing, writing, consolidation |
+//! | [`powerflow`] | `sgcr-powerflow` | steady-state AC power flow (Pandapower substitute) |
+//! | [`net`] | `sgcr-net` | discrete-event network emulator (Mininet substitute) |
+//! | [`iec61850`] | `sgcr-iec61850` | MMS/GOOSE/SV/R-GOOSE stack (libiec61850 substitute) |
+//! | [`ied`] | `sgcr-ied` | virtual IED with Table-II protection functions |
+//! | [`plc`] | `sgcr-plc` | virtual PLC: ST interpreter + PLCopen XML (OpenPLC61850 substitute) |
+//! | [`scada`] | `sgcr-scada` | virtual SCADA HMI (ScadaBR substitute) |
+//! | [`modbus`] | `sgcr-modbus` | Modbus TCP |
+//! | [`kvstore`] | `sgcr-kvstore` | cyber↔physical process cache (MySQL substitute) |
+//! | [`attack`] | `sgcr-attack` | FCI, ARP-spoof MITM, scanning, capture analysis |
+//! | [`models`] | `sgcr-models` | EPIC testbed + synthetic multi-substation model generators |
+//! | [`xml`] | `sgcr-xml` | self-contained XML parser/writer |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sg_cyber_range::core::CyberRange;
+//! use sg_cyber_range::models::epic_bundle;
+//! use sg_cyber_range::net::SimDuration;
+//!
+//! // "Compile" the EPIC model set into an operational cyber range…
+//! let mut range = CyberRange::generate(&epic_bundle())?;
+//! // …and run two seconds of co-simulated cyber + physical time.
+//! range.run_for(SimDuration::from_secs(2));
+//! assert!(range.scada.as_ref().unwrap().polls_completed() > 0);
+//! # Ok::<(), sg_cyber_range::core::RangeError>(())
+//! ```
+
+pub use sgcr_attack as attack;
+pub use sgcr_core as core;
+pub use sgcr_iec61850 as iec61850;
+pub use sgcr_ied as ied;
+pub use sgcr_kvstore as kvstore;
+pub use sgcr_models as models;
+pub use sgcr_modbus as modbus;
+pub use sgcr_net as net;
+pub use sgcr_plc as plc;
+pub use sgcr_powerflow as powerflow;
+pub use sgcr_scada as scada;
+pub use sgcr_scl as scl;
+pub use sgcr_xml as xml;
