@@ -1,7 +1,9 @@
 //! Traffic capture analysis: classify captured frames by smart grid
 //! protocol, for experiment reporting and intrusion-detection exercises.
 
-use sgcr_net::{ethertype, ipproto, CapturedFrame, EthernetFrame, Ipv4Packet, TcpSegment, UdpDatagram};
+use sgcr_net::{
+    ethertype, ipproto, CapturedFrame, EthernetFrame, Ipv4Packet, TcpSegment, UdpDatagram,
+};
 use std::collections::BTreeMap;
 
 /// Protocols the classifier recognizes.

@@ -117,20 +117,20 @@ impl SocketApp for FciAttackApp {
                     MmsResponse::GetNameList { identifiers, .. } => {
                         self.report.lock().discovered_items = identifiers;
                     }
-                    MmsResponse::Write { results }
-                        if Some(invoke_id) == self.write_invoke => {
-                            let mut report = self.report.lock();
-                            report.command_accepted = Some(results[0].is_ok());
-                            report.completed_at_ms = Some(ctx.now().as_millis());
-                        }
+                    MmsResponse::Write { results } if Some(invoke_id) == self.write_invoke => {
+                        let mut report = self.report.lock();
+                        report.command_accepted = Some(results[0].is_ok());
+                        report.completed_at_ms = Some(ctx.now().as_millis());
+                    }
                     _ => {}
                 },
                 MmsPdu::ConfirmedError { invoke_id, .. }
-                    if Some(invoke_id) == self.write_invoke => {
-                        let mut report = self.report.lock();
-                        report.command_accepted = Some(false);
-                        report.completed_at_ms = Some(ctx.now().as_millis());
-                    }
+                    if Some(invoke_id) == self.write_invoke =>
+                {
+                    let mut report = self.report.lock();
+                    report.command_accepted = Some(false);
+                    report.completed_at_ms = Some(ctx.now().as_millis());
+                }
                 _ => {}
             }
         }

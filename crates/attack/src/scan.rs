@@ -3,8 +3,7 @@
 
 use parking_lot::Mutex;
 use sgcr_net::{
-    ethertype, ArpPacket, ConnId, EthernetFrame, HostCtx, Ipv4Addr, MacAddr, SimDuration,
-    SocketApp,
+    ethertype, ArpPacket, ConnId, EthernetFrame, HostCtx, Ipv4Addr, MacAddr, SimDuration, SocketApp,
 };
 use std::collections::HashMap;
 use std::sync::Arc;

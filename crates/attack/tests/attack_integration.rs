@@ -3,8 +3,8 @@
 //! network scan.
 
 use sgcr_attack::{
-    CaptureSummary, FciAttackApp, FciPlan, MitmApp, MitmPlan, ProtocolClass, ScanPlan,
-    ScannerApp, Transform,
+    CaptureSummary, FciAttackApp, FciPlan, MitmApp, MitmPlan, ProtocolClass, ScanPlan, ScannerApp,
+    Transform,
 };
 use sgcr_ied::{BreakerMap, IedSpec, VirtualIedApp};
 use sgcr_kvstore::{ProcessStore, Value};
@@ -52,8 +52,15 @@ fn fci_opens_breaker_through_forged_mms_command() {
     net.run_until(SimTime::from_millis(1500));
 
     let report = report.lock().clone();
-    assert_eq!(report.command_accepted, Some(true), "victim accepted the forged command");
-    assert!(!report.discovered_items.is_empty(), "recon phase listed the data model");
+    assert_eq!(
+        report.command_accepted,
+        Some(true),
+        "victim accepted the forged command"
+    );
+    assert!(
+        !report.discovered_items.is_empty(),
+        "recon phase listed the data model"
+    );
     assert!(report
         .discovered_items
         .iter()
@@ -69,7 +76,14 @@ fn fci_opens_breaker_through_forged_mms_command() {
 }
 
 /// Builds SCADA ↔ Modbus-server topology with an attacker on the same switch.
-fn mitm_testbed(plan: MitmPlan) -> (Network, SharedRegisters, sgcr_scada::ScadaHandle, sgcr_attack::MitmHandle) {
+fn mitm_testbed(
+    plan: MitmPlan,
+) -> (
+    Network,
+    SharedRegisters,
+    sgcr_scada::ScadaHandle,
+    sgcr_attack::MitmHandle,
+) {
     let mut net = Network::new();
     let sw = net.add_switch("sw");
     let plc = net.add_host("plc", Ipv4Addr::new(10, 0, 0, 1));
@@ -188,7 +202,12 @@ fn scanner_discovers_hosts_and_ports() {
 
     let report = report.lock().clone();
     assert!(report.finished);
-    assert_eq!(report.hosts.len(), 2, "both live hosts found: {:?}", report.hosts);
+    assert_eq!(
+        report.hosts.len(),
+        2,
+        "both live hosts found: {:?}",
+        report.hosts
+    );
     assert_eq!(
         report.open_ports.get(&Ipv4Addr::new(10, 0, 0, 1)),
         Some(&vec![102]),

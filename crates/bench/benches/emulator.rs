@@ -3,9 +3,7 @@
 //! step.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sgcr_net::{
-    ConnId, HostCtx, Ipv4Addr, LinkSpec, Network, SimDuration, SimTime, SocketApp,
-};
+use sgcr_net::{ConnId, HostCtx, Ipv4Addr, LinkSpec, Network, SimDuration, SimTime, SocketApp};
 
 /// Sends a burst of UDP datagrams every 10 ms.
 struct UdpTalker {

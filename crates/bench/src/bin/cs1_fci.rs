@@ -36,17 +36,29 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["t [s]", "LGen P [MW]", "CB_GEN closed (truth)", "CB_GEN feedback at HMI"],
+            &[
+                "t [s]",
+                "LGen P [MW]",
+                "CB_GEN closed (truth)",
+                "CB_GEN feedback at HMI"
+            ],
             &rows
         )
     );
 
     let report = report.lock().clone();
-    println!("\nattacker: interrogation items={}, command accepted={:?} at t={:?} ms",
-        report.discovered_items.len(), report.command_accepted, report.completed_at_ms);
+    println!(
+        "\nattacker: interrogation items={}, command accepted={:?} at t={:?} ms",
+        report.discovered_items.len(),
+        report.command_accepted,
+        report.completed_at_ms
+    );
     println!("victim's sequence of events:");
     for event in range.ieds["GIED1"].events() {
-        println!("  [{:>6} ms] {:?} {}", event.time_ms, event.kind, event.detail);
+        println!(
+            "  [{:>6} ms] {:?} {}",
+            event.time_ms, event.kind, event.detail
+        );
     }
     println!("\nexpected shape: command fires at t=2 s; feeder power collapses to 0 and the");
     println!("breaker opens within one 100 ms power-flow interval of the injection.");

@@ -12,14 +12,39 @@ fn main() {
     let bundle = epic_bundle();
 
     println!("[inputs]   (Figure 2, left)");
-    println!("  {} SSD, {} SCD, {} ICD, {} SED", bundle.ssds.len(), bundle.scds.len(), bundle.icds.len(), bundle.seds.len());
-    println!("  + IED Config XML, SCADA Config XML, PLC Config XML, Power System Extra Config XML\n");
+    println!(
+        "  {} SSD, {} SCD, {} ICD, {} SED",
+        bundle.ssds.len(),
+        bundle.scds.len(),
+        bundle.icds.len(),
+        bundle.seds.len()
+    );
+    println!(
+        "  + IED Config XML, SCADA Config XML, PLC Config XML, Power System Extra Config XML\n"
+    );
 
     println!("[stage 1]  parse SCL files");
-    let ssds: Vec<_> = bundle.ssds.iter().map(|t| parse_ssd(t).expect("ssd")).collect();
-    let scds: Vec<_> = bundle.scds.iter().map(|t| parse_scd(t).expect("scd")).collect();
-    let icds: Vec<_> = bundle.icds.iter().map(|t| parse_icd(t).expect("icd")).collect();
-    println!("  parsed {} SSD, {} SCD, {} ICD documents\n", ssds.len(), scds.len(), icds.len());
+    let ssds: Vec<_> = bundle
+        .ssds
+        .iter()
+        .map(|t| parse_ssd(t).expect("ssd"))
+        .collect();
+    let scds: Vec<_> = bundle
+        .scds
+        .iter()
+        .map(|t| parse_scd(t).expect("scd"))
+        .collect();
+    let icds: Vec<_> = bundle
+        .icds
+        .iter()
+        .map(|t| parse_icd(t).expect("icd"))
+        .collect();
+    println!(
+        "  parsed {} SSD, {} SCD, {} ICD documents\n",
+        ssds.len(),
+        scds.len(),
+        icds.len()
+    );
 
     println!("[stage 2]  combine SSD/SCD files using SED connectivity (Fig. 3: 'combine')");
     let consolidated_ssd = consolidate_ssd(&ssds, &[]).expect("consolidate ssd");
@@ -27,7 +52,12 @@ fn main() {
     println!(
         "  consolidated SSD: {} substation(s); consolidated SCD: {} subnetworks\n",
         consolidated_ssd.substations.len(),
-        consolidated_scd.communication.as_ref().unwrap().subnetworks.len()
+        consolidated_scd
+            .communication
+            .as_ref()
+            .unwrap()
+            .subnetworks
+            .len()
     );
 
     println!("[stage 3]  generate the power system simulation model (Fig. 3: 'SSD -> Pandapower')");
@@ -68,7 +98,11 @@ fn main() {
     println!("[output]   operational cyber range (Figure 2, right)");
     let start = std::time::Instant::now();
     let mut range = CyberRange::generate(&bundle).expect("generate");
-    println!("  generated in {:.1} ms: {}", start.elapsed().as_secs_f64() * 1e3, range.summary());
+    println!(
+        "  generated in {:.1} ms: {}",
+        start.elapsed().as_secs_f64() * 1e3,
+        range.summary()
+    );
 
     range.run_for(SimDuration::from_secs(2));
     println!(

@@ -17,7 +17,12 @@ fn main() {
         rows.push(vec![
             sw.name.clone(),
             "switch".into(),
-            if sw.is_wan { "WAN backbone (paper: single-switch abstraction)" } else { "station bus segment" }.into(),
+            if sw.is_wan {
+                "WAN backbone (paper: single-switch abstraction)"
+            } else {
+                "station bus segment"
+            }
+            .into(),
             String::new(),
         ]);
     }
@@ -29,7 +34,9 @@ fn main() {
             format!(
                 "{} / {}",
                 host.ip,
-                host.mac.map(|m| m.to_string()).unwrap_or_else(|| "auto".into())
+                host.mac
+                    .map(|m| m.to_string())
+                    .unwrap_or_else(|| "auto".into())
             ),
         ]);
     }

@@ -16,7 +16,11 @@ fn main() {
 
     let mut rows = Vec::new();
     for bus in &net.bus {
-        rows.push(vec!["bus".into(), bus.name.clone(), format!("{} kV", bus.vn_kv)]);
+        rows.push(vec![
+            "bus".into(),
+            bus.name.clone(),
+            format!("{} kV", bus.vn_kv),
+        ]);
     }
     for line in &net.line {
         rows.push(vec![
@@ -36,15 +40,30 @@ fn main() {
         ]);
     }
     for gen in &net.gen {
-        rows.push(vec!["gen".into(), gen.name.clone(), format!("{} MW @ {} pu", gen.p_mw, gen.vm_pu)]);
+        rows.push(vec![
+            "gen".into(),
+            gen.name.clone(),
+            format!("{} MW @ {} pu", gen.p_mw, gen.vm_pu),
+        ]);
     }
     for sgen in &net.sgen {
-        rows.push(vec!["sgen".into(), sgen.name.clone(), format!("{} MW (PV/battery)", sgen.p_mw)]);
+        rows.push(vec![
+            "sgen".into(),
+            sgen.name.clone(),
+            format!("{} MW (PV/battery)", sgen.p_mw),
+        ]);
     }
     for load in &net.load {
-        rows.push(vec!["load".into(), load.name.clone(), format!("{} MW / {} Mvar", load.p_mw, load.q_mvar)]);
+        rows.push(vec![
+            "load".into(),
+            load.name.clone(),
+            format!("{} MW / {} Mvar", load.p_mw, load.q_mvar),
+        ]);
     }
-    println!("{}", render_table(&["element", "name", "parameters"], &rows));
+    println!(
+        "{}",
+        render_table(&["element", "name", "parameters"], &rows)
+    );
 
     println!("\nbase-case power flow:");
     let result = solve(net).expect("base case solves");
@@ -68,7 +87,10 @@ fn main() {
             format!("{:.1}%", r.loading_percent),
         ]);
     }
-    println!("{}", render_table(&["line", "P [MW]", "Q [Mvar]", "I [kA]", "loading"], &rows));
+    println!(
+        "{}",
+        render_table(&["line", "P [MW]", "Q [Mvar]", "I [kA]", "loading"], &rows)
+    );
     println!(
         "\nconverged in {} NR iterations, total losses {:.5} MW",
         result.iterations, result.total_losses_mw

@@ -52,7 +52,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["t [s]", "true MicroFeeder P [MW]", "SCADA-displayed [MW]", "phase"],
+            &[
+                "t [s]",
+                "true MicroFeeder P [MW]",
+                "SCADA-displayed [MW]",
+                "phase"
+            ],
             &rows
         )
     );

@@ -13,7 +13,9 @@ use sgcr_models::{multisub_bundle, MultiSubParams};
 use sgcr_net::SimDuration;
 
 fn main() {
-    println!("== S1: scalability sweep (paper SIV-A claim: 5 substations / 104 IEDs @ 100 ms) ==\n");
+    println!(
+        "== S1: scalability sweep (paper SIV-A claim: 5 substations / 104 IEDs @ 100 ms) ==\n"
+    );
     let sim_seconds = 3u64;
     let mut rows = Vec::new();
 

@@ -21,7 +21,11 @@ fn main() {
     let ssd_extract = format!(
         "{} voltage levels, {} bays, {} equipment, {} connectivity nodes",
         substation.voltage_levels.len(),
-        substation.voltage_levels.iter().map(|v| v.bays.len()).sum::<usize>(),
+        substation
+            .voltage_levels
+            .iter()
+            .map(|v| v.bays.len())
+            .sum::<usize>(),
         equipment,
         ssd.connectivity_node_paths().len()
     );
@@ -32,7 +36,10 @@ fn main() {
     let scd_extract = format!(
         "{} subnetworks, {} connected APs (IP/MAC), {} IED descriptions",
         comm.subnetworks.len(),
-        comm.subnetworks.iter().map(|s| s.connected_aps.len()).sum::<usize>(),
+        comm.subnetworks
+            .iter()
+            .map(|s| s.connected_aps.len())
+            .sum::<usize>(),
         scd.ieds.len()
     );
 
@@ -40,11 +47,7 @@ fn main() {
     let icds = epic::epic_icds();
     let icd = parse_icd(&icds[0]).expect("GIED1 ICD parses");
     let ied = icd.ieds.first().expect("one IED");
-    let icd_extract = format!(
-        "IED {:?}: LN classes {:?}",
-        ied.name,
-        ied.ln_classes()
-    );
+    let icd_extract = format!("IED {:?}: LN classes {:?}", ied.name, ied.ln_classes());
 
     // SED: inter-substation connectivity (from the multi-substation model).
     let bundle = multisub::multisub_bundle(&MultiSubParams {
@@ -92,7 +95,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["file", "contents (paper Table I)", "used to generate", "extracted from the EPIC / multisub models"],
+            &[
+                "file",
+                "contents (paper Table I)",
+                "used to generate",
+                "extracted from the EPIC / multisub models"
+            ],
             &rows
         )
     );

@@ -17,13 +17,20 @@ fn epic() -> CyberRange {
 fn run_ptoc() -> (String, String) {
     let mut range = epic();
     range.run_for(SimDuration::from_secs(1));
-    let nominal = range.store.get_float("meas/EPIC/branch/LHome/i_ka").unwrap();
+    let nominal = range
+        .store
+        .get_float("meas/EPIC/branch/LHome/i_ka")
+        .unwrap();
     let load = range.power.load_by_name("EPIC/Load1").unwrap();
     range.power.load[load.index()].p_mw = 0.2;
     range.run_for(SimDuration::from_secs(3));
     let trips = range.ieds["TIED2"].trip_count();
     (
-        format!("threshold 0.120 kA (~{:.0}x nominal {:.4} kA)", 0.12 / nominal, nominal),
+        format!(
+            "threshold 0.120 kA (~{:.0}x nominal {:.4} kA)",
+            0.12 / nominal,
+            nominal
+        ),
         format!(
             "{} trip(s); CB_HOME open: {}",
             trips,
@@ -171,11 +178,31 @@ fn main() {
     let mut rows = Vec::new();
     type Case = (&'static str, &'static str, fn() -> (String, String));
     let cases: [Case; 5] = [
-        ("PTOC", "opens CB when current exceeds the threshold", run_ptoc),
-        ("PTOV", "opens CB when bus voltage exceeds the threshold", run_ptov),
-        ("PTUV", "opens CB when bus voltage drops below the threshold", run_ptuv),
-        ("PDIF", "opens CB when local/remote currents diverge", run_pdif),
-        ("CILO", "prevents closing a CB while a monitored CB is open", run_cilo),
+        (
+            "PTOC",
+            "opens CB when current exceeds the threshold",
+            run_ptoc,
+        ),
+        (
+            "PTOV",
+            "opens CB when bus voltage exceeds the threshold",
+            run_ptov,
+        ),
+        (
+            "PTUV",
+            "opens CB when bus voltage drops below the threshold",
+            run_ptuv,
+        ),
+        (
+            "PDIF",
+            "opens CB when local/remote currents diverge",
+            run_pdif,
+        ),
+        (
+            "CILO",
+            "prevents closing a CB while a monitored CB is open",
+            run_cilo,
+        ),
     ];
     for (ln, description, run) in cases {
         eprintln!("running {ln}…");
@@ -185,7 +212,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["LN (Table II)", "description", "threshold from IED Config XML", "observed in the live range"],
+            &[
+                "LN (Table II)",
+                "description",
+                "threshold from IED Config XML",
+                "observed in the live range"
+            ],
             &rows
         )
     );

@@ -44,7 +44,9 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
     out.push_str(&separator);
     out.push('\n');
-    out.push_str(&line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    out.push_str(&line(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    ));
     out.push('\n');
     out.push_str(&separator);
     out.push('\n');

@@ -9,7 +9,7 @@
 //! for each protection function is not specified"*.
 
 use sgcr_ied::IedSpec;
-use sgcr_scl::{Diagnostic, SclDocument};
+use sgcr_scl::{codes, Diagnostic, SclDocument};
 
 /// The outcome of resolving one IED against its ICD.
 #[derive(Debug)]
@@ -29,6 +29,7 @@ pub fn compile_ied(config_spec: &IedSpec, icd: &SclDocument) -> IedCompilation {
 
     let Some(ied) = icd.ied(&spec.name).or_else(|| icd.ieds.first()) else {
         diagnostics.push(Diagnostic::error(
+            codes::ORPHAN_ICD,
             format!("ICD does not describe IED {:?}", spec.name),
             "compile_ied".to_string(),
         ));
@@ -44,6 +45,7 @@ pub fn compile_ied(config_spec: &IedSpec, icd: &SclDocument) -> IedCompilation {
             true
         } else {
             diagnostics.push(Diagnostic::warning(
+                codes::FEATURE_NO_LN,
                 format!(
                     "{}: protection {} configured but ICD declares no {class} — disabled",
                     spec.name,
@@ -58,32 +60,42 @@ pub fn compile_ied(config_spec: &IedSpec, icd: &SclDocument) -> IedCompilation {
     // Breakers need an XCBR; measurements an MMXU (warn only).
     if !spec.breakers.is_empty() && !ied.has_ln_class("XCBR") {
         diagnostics.push(Diagnostic::warning(
+            codes::FEATURE_NO_LN,
             format!("{}: breakers mapped but ICD declares no XCBR", spec.name),
             "compile_ied".to_string(),
         ));
     }
     if !spec.measurements.is_empty() && !ied.has_ln_class("MMXU") {
         diagnostics.push(Diagnostic::warning(
-            format!("{}: measurements mapped but ICD declares no MMXU", spec.name),
+            codes::FEATURE_NO_LN,
+            format!(
+                "{}: measurements mapped but ICD declares no MMXU",
+                spec.name
+            ),
             "compile_ied".to_string(),
         ));
     }
     if spec.goose.is_some() && !ied.has_ln_class("LLN0") {
         diagnostics.push(Diagnostic::warning(
-            format!("{}: GOOSE configured but ICD declares no LLN0 — disabled", spec.name),
+            codes::FEATURE_NO_LN,
+            format!(
+                "{}: GOOSE configured but ICD declares no LLN0 — disabled",
+                spec.name
+            ),
             "compile_ied".to_string(),
         ));
         spec.goose = None;
     }
     // R-SV / PDIF pairing: the paper enables inter-substation comms when the
     // relevant LNs exist.
-    let has_pdif = spec
-        .protections
-        .iter()
-        .any(|p| p.ln_class() == "PDIF");
+    let has_pdif = spec.protections.iter().any(|p| p.ln_class() == "PDIF");
     if spec.rsv.is_some() && !has_pdif && !ied.has_ln_class("PDIF") {
         diagnostics.push(Diagnostic::warning(
-            format!("{}: R-SV configured without PDIF — kept for streaming only", spec.name),
+            codes::FEATURE_NO_LN,
+            format!(
+                "{}: R-SV configured without PDIF — kept for streaming only",
+                spec.name
+            ),
             "compile_ied".to_string(),
         ));
     }

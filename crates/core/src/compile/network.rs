@@ -6,7 +6,7 @@
 //! switch connected to all substations"*.
 
 use sgcr_net::{Ipv4Addr, MacAddr};
-use sgcr_scl::{Diagnostic, SclDocument};
+use sgcr_scl::{codes, Diagnostic, SclDocument};
 
 /// A switch to instantiate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,6 +91,7 @@ pub fn compile_network(doc: &SclDocument) -> NetworkPlan {
     let mut plan = NetworkPlan::default();
     let Some(comm) = &doc.communication else {
         plan.diagnostics.push(Diagnostic::error(
+            codes::MISSING_SECTION,
             "SCD has no <Communication> section".to_string(),
             "compile_network".to_string(),
         ));
@@ -105,6 +106,7 @@ pub fn compile_network(doc: &SclDocument) -> NetworkPlan {
         for ap in &subnetwork.connected_aps {
             let Ok(ip) = ap.ip.parse::<Ipv4Addr>() else {
                 plan.diagnostics.push(Diagnostic::error(
+                    codes::INVALID_IP,
                     format!("connected AP {:?} has invalid IP {:?}", ap.ied_name, ap.ip),
                     subnetwork.name.clone(),
                 ));
@@ -113,12 +115,14 @@ pub fn compile_network(doc: &SclDocument) -> NetworkPlan {
             let mac = ap.mac.as_deref().and_then(|m| m.parse::<MacAddr>().ok());
             if ap.mac.is_some() && mac.is_none() {
                 plan.diagnostics.push(Diagnostic::warning(
+                    codes::INVALID_MAC,
                     format!("connected AP {:?} has unparsable MAC", ap.ied_name),
                     subnetwork.name.clone(),
                 ));
             }
             if plan.hosts.iter().any(|h| h.name == ap.ied_name) {
                 plan.diagnostics.push(Diagnostic::error(
+                    codes::DUPLICATE_HOST,
                     format!("duplicate host name {:?}", ap.ied_name),
                     subnetwork.name.clone(),
                 ));
@@ -178,10 +182,7 @@ mod tests {
         assert_eq!(plan.switches.len(), 3); // two buses + WAN
         assert!(plan.switches.iter().any(|s| s.is_wan));
         assert_eq!(plan.hosts.len(), 3);
-        assert_eq!(
-            plan.host_ip("IED1"),
-            Some("10.0.1.11".parse().unwrap())
-        );
+        assert_eq!(plan.host_ip("IED1"), Some("10.0.1.11".parse().unwrap()));
         assert_eq!(
             plan.host("IED1").unwrap().mac,
             Some("02:00:00:00:01:0b".parse().unwrap())

@@ -20,7 +20,7 @@
 //! models stay unambiguous; the process-store key scheme relies on this.
 
 use sgcr_powerflow::{BusId, PowerNetwork, SwitchTarget};
-use sgcr_scl::{Diagnostic, EquipmentType, SclDocument};
+use sgcr_scl::{codes, Diagnostic, EquipmentType, SclDocument};
 use std::collections::HashMap;
 
 /// Default line parameters when an SSD carries no electrical `Private`
@@ -53,6 +53,7 @@ pub fn compile_power(doc: &SclDocument) -> PowerCompilation {
                 for cn in &bay.connectivity_nodes {
                     if bus_by_path.contains_key(&cn.path_name) {
                         diagnostics.push(Diagnostic::warning(
+                            codes::DUPLICATE_NODE_PATH,
                             format!("duplicate connectivity node {:?}", cn.path_name),
                             substation.name.clone(),
                         ));
@@ -74,6 +75,7 @@ pub fn compile_power(doc: &SclDocument) -> PowerCompilation {
             Some(&id) => Some(id),
             None => {
                 diagnostics.push(Diagnostic::error(
+                    codes::TERMINAL_UNKNOWN_NODE,
                     format!("terminal references unknown connectivity node {path:?}"),
                     context.to_string(),
                 ));
@@ -106,8 +108,8 @@ pub fn compile_power(doc: &SclDocument) -> PowerCompilation {
                                 (terminal_buses.first(), terminal_buses.get(1))
                             else {
                                 diagnostics.push(Diagnostic::warning(
-                                    "switching equipment needs two connected terminals"
-                                        .to_string(),
+                                    codes::WRONG_TERMINAL_COUNT,
+                                    "switching equipment needs two connected terminals".to_string(),
                                     scoped.clone(),
                                 ));
                                 continue;
@@ -124,6 +126,7 @@ pub fn compile_power(doc: &SclDocument) -> PowerCompilation {
                                 (terminal_buses.first(), terminal_buses.get(1))
                             else {
                                 diagnostics.push(Diagnostic::warning(
+                                    codes::WRONG_TERMINAL_COUNT,
                                     "line needs two connected terminals".to_string(),
                                     scoped.clone(),
                                 ));
@@ -192,12 +195,12 @@ pub fn compile_power(doc: &SclDocument) -> PowerCompilation {
                                 eq.params.q_mvar.unwrap_or(0.0),
                             );
                         }
-                        EquipmentType::CurrentTransformer
-                        | EquipmentType::VoltageTransformer => {
+                        EquipmentType::CurrentTransformer | EquipmentType::VoltageTransformer => {
                             // Instrumentation only: no power-flow element.
                         }
                         EquipmentType::Other => {
                             diagnostics.push(Diagnostic::warning(
+                                codes::NO_POWER_MAPPING,
                                 format!(
                                     "equipment type {:?} has no power-flow mapping",
                                     eq.type_code
@@ -213,6 +216,7 @@ pub fn compile_power(doc: &SclDocument) -> PowerCompilation {
             let scoped = format!("{}/{}", substation.name, transformer.name);
             if transformer.windings.len() != 2 {
                 diagnostics.push(Diagnostic::error(
+                    codes::WRONG_TERMINAL_COUNT,
                     format!(
                         "transformer has {} windings (2 supported)",
                         transformer.windings.len()

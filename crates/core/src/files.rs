@@ -99,7 +99,8 @@ impl SgmlBundle {
         fs::create_dir_all(dir).map_err(|e| io_err(&format!("creating {}", dir.display()), e))?;
         let write = |name: String, contents: &str| -> Result<(), BundleIoError> {
             let path = dir.join(&name);
-            fs::write(&path, contents).map_err(|e| io_err(&format!("writing {}", path.display()), e))
+            fs::write(&path, contents)
+                .map_err(|e| io_err(&format!("writing {}", path.display()), e))
         };
         for (i, text) in self.ssds.iter().enumerate() {
             write(format!("substation{:02}.ssd.xml", i + 1), text)?;

@@ -90,10 +90,7 @@ mod tests {
 
     #[test]
     fn scoping() {
-        assert_eq!(
-            bus_vm_key("S1/VL1/B1/CN1"),
-            "meas/S1/bus/VL1.B1.CN1/vm_pu"
-        );
+        assert_eq!(bus_vm_key("S1/VL1/B1/CN1"), "meas/S1/bus/VL1.B1.CN1/vm_pu");
         assert_eq!(branch_p_key("S2/l7"), "meas/S2/branch/l7/p_mw");
         assert_eq!(breaker_cmd_key("S1/CB1"), "cmd/S1/cb/CB1/close");
         assert_eq!(breaker_state_key("S1/CB1"), "meas/S1/cb/CB1/closed");

@@ -20,11 +20,12 @@ use sgcr_ied::{IedHandle, VirtualIedApp};
 use sgcr_kvstore::{ProcessStore, Value};
 use sgcr_net::{Ipv4Addr, LinkSpec, Network, NodeId, SimDuration, SimTime, SocketApp};
 use sgcr_plc::{MmsReadBinding, MmsWriteBinding, PlcApp, PlcHandle, PlcRuntime};
-use sgcr_powerflow::{
-    solve, PowerFlowError, PowerFlowResult, PowerNetwork, SimulationSchedule,
-};
+use sgcr_powerflow::{solve, PowerFlowError, PowerFlowResult, PowerNetwork, SimulationSchedule};
 use sgcr_scada::{ScadaApp, ScadaConfig, ScadaHandle};
-use sgcr_scl::{consolidate_scd, consolidate_ssd, parse_icd, parse_scd, parse_sed, parse_ssd, Diagnostic, SclDocument};
+use sgcr_scl::{
+    consolidate_scd, consolidate_ssd, parse_icd, parse_scd, parse_sed, parse_ssd, Diagnostic,
+    SclDocument,
+};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -90,7 +91,10 @@ impl fmt::Display for RangeError {
             RangeError::UnknownHost {
                 host,
                 referenced_by,
-            } => write!(f, "{referenced_by} references host {host:?} absent from the SCD"),
+            } => write!(
+                f,
+                "{referenced_by} references host {host:?} absent from the SCD"
+            ),
         }
     }
 }
@@ -241,10 +245,7 @@ impl CyberRange {
                     what: "Power System Extra Config XML",
                     detail: e.to_string(),
                 })?;
-                (
-                    SimDuration::from_millis(extra.interval_ms),
-                    extra.schedule,
-                )
+                (SimDuration::from_millis(extra.interval_ms), extra.schedule)
             }
             None => (SimDuration::from_millis(100), SimulationSchedule::new()),
         };
@@ -257,9 +258,7 @@ impl CyberRange {
                 detail: e.to_string(),
             })?;
             for config_spec in &config.ieds {
-                let icd = icds
-                    .iter()
-                    .find(|d| d.ied(&config_spec.name).is_some());
+                let icd = icds.iter().find(|d| d.ied(&config_spec.name).is_some());
                 let spec = match icd {
                     Some(icd) => {
                         let compiled = compile_ied(config_spec, icd);
@@ -268,6 +267,7 @@ impl CyberRange {
                     }
                     None => {
                         diagnostics.push(Diagnostic::warning(
+                            sgcr_scl::codes::ORPHAN_ICD,
                             format!(
                                 "no ICD describes IED {:?}; instantiating from config alone",
                                 config_spec.name
@@ -470,8 +470,7 @@ impl CyberRange {
         self.last_step_ms = t1.as_millis();
 
         // Profiles and scheduled disturbances.
-        self.schedule
-            .apply(&mut self.power, t0_ms, t1.as_millis());
+        self.schedule.apply(&mut self.power, t0_ms, t1.as_millis());
 
         // Commands written by the cyber side since the last step.
         let changes = self.store.changes_since(self.cmd_cursor);
@@ -569,8 +568,10 @@ impl CyberRange {
             let r = &result.line[i];
             self.store
                 .set(&keymap::branch_p_key(&line.name), Value::Float(r.p_from_mw));
-            self.store
-                .set(&keymap::branch_q_key(&line.name), Value::Float(r.q_from_mvar));
+            self.store.set(
+                &keymap::branch_q_key(&line.name),
+                Value::Float(r.q_from_mvar),
+            );
             self.store
                 .set(&keymap::branch_i_key(&line.name), Value::Float(r.i_from_ka));
             self.store.set(
@@ -580,12 +581,18 @@ impl CyberRange {
         }
         for (i, trafo) in self.power.trafo.iter().enumerate() {
             let r = &result.trafo[i];
-            self.store
-                .set(&keymap::branch_p_key(&trafo.name), Value::Float(r.p_from_mw));
-            self.store
-                .set(&keymap::branch_q_key(&trafo.name), Value::Float(r.q_from_mvar));
-            self.store
-                .set(&keymap::branch_i_key(&trafo.name), Value::Float(r.i_from_ka));
+            self.store.set(
+                &keymap::branch_p_key(&trafo.name),
+                Value::Float(r.p_from_mw),
+            );
+            self.store.set(
+                &keymap::branch_q_key(&trafo.name),
+                Value::Float(r.q_from_mvar),
+            );
+            self.store.set(
+                &keymap::branch_i_key(&trafo.name),
+                Value::Float(r.i_from_ka),
+            );
             self.store.set(
                 &keymap::branch_loading_key(&trafo.name),
                 Value::Float(r.loading_percent),
@@ -621,7 +628,8 @@ impl CyberRange {
             self.store
                 .set(&keymap::load_p_key(&load.name), Value::Float(p));
         }
-        self.store.set("sim/step", Value::Int(self.step_stats.len() as i64));
+        self.store
+            .set("sim/step", Value::Int(self.step_stats.len() as i64));
     }
 
     /// Summary line for logs and the pipeline demonstration binary.

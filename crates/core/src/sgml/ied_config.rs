@@ -59,7 +59,10 @@ impl IedConfig {
         let doc = Document::parse(text).map_err(|e| err(e.to_string()))?;
         let root = doc.root_element();
         if root.name() != "IEDConfig" {
-            return Err(err(format!("expected <IEDConfig>, found <{}>", root.name())));
+            return Err(err(format!(
+                "expected <IEDConfig>, found <{}>",
+                root.name()
+            )));
         }
         let mut config = IedConfig::default();
         for ied_el in root.children_named("IED") {
@@ -77,7 +80,11 @@ impl IedConfig {
             doc.set_attr(i, "name", &spec.name);
             doc.set_attr(i, "substation", &spec.substation);
             doc.set_attr(i, "ld", &spec.ld);
-            doc.set_attr(i, "samplePeriodMs", &spec.sample_period.as_millis().to_string());
+            doc.set_attr(
+                i,
+                "samplePeriodMs",
+                &spec.sample_period.as_millis().to_string(),
+            );
             for m in &spec.measurements {
                 let e = doc.add_element(i, "Measurement");
                 doc.set_attr(e, "item", &m.item);

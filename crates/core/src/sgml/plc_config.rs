@@ -92,7 +92,10 @@ impl PlcConfig {
         let doc = Document::parse(text).map_err(|e| err(e.to_string()))?;
         let root = doc.root_element();
         if root.name() != "PLCConfig" {
-            return Err(err(format!("expected <PLCConfig>, found <{}>", root.name())));
+            return Err(err(format!(
+                "expected <PLCConfig>, found <{}>",
+                root.name()
+            )));
         }
         let mut config = PlcConfig::default();
         for plc_el in root.children_named("PLC") {

@@ -85,7 +85,11 @@ pub struct MmsPollerApp {
 
 impl MmsPollerApp {
     /// Creates a poller against `server_ip` reading `items` every `period_ms`.
-    pub fn new(server_ip: Ipv4Addr, items: Vec<String>, period_ms: u64) -> (MmsPollerApp, PollResults) {
+    pub fn new(
+        server_ip: Ipv4Addr,
+        items: Vec<String>,
+        period_ms: u64,
+    ) -> (MmsPollerApp, PollResults) {
         let results: PollResults = Arc::default();
         (
             MmsPollerApp {
@@ -169,7 +173,10 @@ mod tests {
         let mut model = DataModel::new("IED1");
         model.insert("IED1LD0/MMXU1$MX$TotW$mag$f", DataValue::Float(10.0));
         let shared = SharedModel::new(model);
-        net.attach_app(ied, Box::new(MmsServerApp::new(MmsServer::new(shared.clone()))));
+        net.attach_app(
+            ied,
+            Box::new(MmsServerApp::new(MmsServer::new(shared.clone()))),
+        );
 
         let (poller, results) = MmsPollerApp::new(
             Ipv4Addr::new(10, 0, 0, 1),
@@ -194,6 +201,10 @@ mod tests {
         assert!(values.contains(&10.0), "early polls see 10.0: {values:?}");
         assert!(values.contains(&20.0), "later polls see 20.0: {values:?}");
         // Poll cadence ≈ every 100 ms over 600 ms.
-        assert!(observed.len() >= 4, "expected several polls, got {}", observed.len());
+        assert!(
+            observed.len() >= 4,
+            "expected several polls, got {}",
+            observed.len()
+        );
     }
 }

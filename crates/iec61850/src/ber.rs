@@ -315,7 +315,19 @@ mod tests {
 
     #[test]
     fn integer_roundtrip() {
-        for v in [0i64, 1, -1, 127, 128, -128, -129, 65535, -65536, i64::MAX, i64::MIN] {
+        for v in [
+            0i64,
+            1,
+            -1,
+            127,
+            128,
+            -128,
+            -129,
+            65535,
+            -65536,
+            i64::MAX,
+            i64::MIN,
+        ] {
             let enc = encode_integer(v);
             assert_eq!(decode_integer(&enc), Ok(v), "value {v}");
             // Minimal form: no redundant leading bytes.

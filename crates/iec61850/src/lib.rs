@@ -43,21 +43,17 @@ pub mod ber;
 
 mod apps;
 mod goose;
-mod model;
 mod mms;
+mod model;
 mod rgoose;
 mod sv;
 
 pub use apps::{MmsPollerApp, MmsServerApp, PollResults};
-pub use goose::{
-    GooseConfig, GooseObservation, GoosePdu, GoosePublisher, GooseSubscriber,
-};
-pub use model::{AttrNode, DataModel, DataValue, Fc, LogicalDevice, LogicalNode, ObjectRef};
+pub use goose::{GooseConfig, GooseObservation, GoosePdu, GoosePublisher, GooseSubscriber};
 pub use mms::{
     tpkt_frame, ControlDecision, ControlHandler, DataAccessError, MmsClient, MmsPdu, MmsRequest,
     MmsResponse, MmsServer, SharedModel, TpktDecoder, MMS_PORT,
 };
-pub use rgoose::{
-    SessionPacket, SessionPayloadType, SessionReceiver, SessionSender, RGOOSE_PORT,
-};
+pub use model::{AttrNode, DataModel, DataValue, Fc, LogicalDevice, LogicalNode, ObjectRef};
+pub use rgoose::{SessionPacket, SessionPayloadType, SessionReceiver, SessionSender, RGOOSE_PORT};
 pub use sv::{SvAsdu, SvPdu, SvPublisher, SvSubscriber};

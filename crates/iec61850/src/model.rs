@@ -218,12 +218,7 @@ impl DataValue {
                     return Err(BerError::BadContent("utc-time size"));
                 }
                 let secs = u32::from_be_bytes(el.contents[..4].try_into().expect("4 bytes"));
-                let frac = u32::from_be_bytes([
-                    0,
-                    el.contents[4],
-                    el.contents[5],
-                    el.contents[6],
-                ]);
+                let frac = u32::from_be_bytes([0, el.contents[4], el.contents[5], el.contents[6]]);
                 let frac_ns = ((frac as u128) * 1_000_000_000) >> 24;
                 Ok(DataValue::Timestamp(
                     u64::from(secs) * 1_000_000_000 + frac_ns as u64,
@@ -557,7 +552,13 @@ mod tests {
     fn composite_read_as_struct() {
         let mut m = DataModel::new("IED1");
         m.insert("LD0/MMXU1$MX$TotW$mag$f", DataValue::Float(1.0));
-        m.insert("LD0/MMXU1$MX$TotW$q", DataValue::BitString { bits: 13, data: vec![0, 0] });
+        m.insert(
+            "LD0/MMXU1$MX$TotW$q",
+            DataValue::BitString {
+                bits: 13,
+                data: vec![0, 0],
+            },
+        );
         let v = m.read("LD0/MMXU1$MX$TotW").unwrap();
         assert!(matches!(v, DataValue::Struct(fields) if fields.len() == 2));
     }

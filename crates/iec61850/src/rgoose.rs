@@ -149,7 +149,10 @@ mod tests {
     #[test]
     fn malformed_rejected() {
         assert_eq!(SessionPacket::decode(&[]), None);
-        assert_eq!(SessionPacket::decode(&[0x01, 0x40, 0x99, 1, 0, 0, 0, 1, 0, 0]), None);
+        assert_eq!(
+            SessionPacket::decode(&[0x01, 0x40, 0x99, 1, 0, 0, 0, 1, 0, 0]),
+            None
+        );
         // Truncated payload.
         let packet = SessionPacket {
             payload_type: SessionPayloadType::Sv,

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use sgcr_iec61850::ber::{self, Reader, Tag};
 use sgcr_iec61850::{
-    DataValue, GoosePdu, MmsPdu, MmsRequest, MmsResponse, SessionPacket, SvPdu, SvAsdu,
+    DataValue, GoosePdu, MmsPdu, MmsRequest, MmsResponse, SessionPacket, SvAsdu, SvPdu,
 };
 
 fn item_id_strategy() -> impl Strategy<Value = String> {
@@ -18,10 +18,16 @@ fn data_value_strategy() -> impl Strategy<Value = DataValue> {
         any::<bool>().prop_map(DataValue::Bool),
         any::<i64>().prop_map(DataValue::Int),
         any::<u64>().prop_map(DataValue::Uint),
-        any::<f32>().prop_filter("finite", |f| f.is_finite()).prop_map(DataValue::Float),
+        any::<f32>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(DataValue::Float),
         "[ -~]{0,24}".prop_map(DataValue::Str),
-        (1u8..16, proptest::collection::vec(any::<u8>(), 1..2))
-            .prop_map(|(bits, data)| DataValue::BitString { bits: bits.min(8), data }),
+        (1u8..16, proptest::collection::vec(any::<u8>(), 1..2)).prop_map(|(bits, data)| {
+            DataValue::BitString {
+                bits: bits.min(8),
+                data,
+            }
+        }),
     ];
     leaf.prop_recursive(2, 8, 3, |inner| {
         proptest::collection::vec(inner, 0..3).prop_map(DataValue::Struct)

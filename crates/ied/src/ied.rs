@@ -7,14 +7,12 @@ use crate::protection::{
 use crate::spec::{GooseEntry, IedSpec, ProtectionSpec};
 use parking_lot::Mutex;
 use sgcr_iec61850::{
-    ControlDecision, DataModel, DataValue, GooseConfig, GoosePublisher, GooseSubscriber,
-    MmsServer, MmsServerApp, SessionPacket, SessionPayloadType, SessionReceiver, SessionSender,
-    SharedModel, SvPublisher, SvSubscriber, RGOOSE_PORT,
+    ControlDecision, DataModel, DataValue, GooseConfig, GoosePublisher, GooseSubscriber, MmsServer,
+    MmsServerApp, SessionPacket, SessionPayloadType, SessionReceiver, SessionSender, SharedModel,
+    SvPublisher, SvSubscriber, RGOOSE_PORT,
 };
 use sgcr_kvstore::{ProcessStore, Value};
-use sgcr_net::{
-    ethertype, ConnId, EthernetFrame, HostCtx, Ipv4Addr, MacAddr, SimTime, SocketApp,
-};
+use sgcr_net::{ethertype, ConnId, EthernetFrame, HostCtx, Ipv4Addr, MacAddr, SimTime, SocketApp};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -186,11 +184,7 @@ impl VirtualIedApp {
                 events.lock().push(IedEvent {
                     time_ms,
                     kind: IedEventKind::ControlExecuted,
-                    detail: format!(
-                        "{} {}",
-                        if close { "close" } else { "open" },
-                        breaker.name
-                    ),
+                    detail: format!("{} {}", if close { "close" } else { "open" }, breaker.name),
                 });
                 ControlDecision::Accept
             }));
@@ -302,9 +296,10 @@ impl VirtualIedApp {
             )
         });
 
-        let rsv_pub = spec.rsv.as_ref().map(|r| {
-            SvPublisher::new(&r.sv_id, 0x4000, spec.sample_period)
-        });
+        let rsv_pub = spec
+            .rsv
+            .as_ref()
+            .map(|r| SvPublisher::new(&r.sv_id, 0x4000, spec.sample_period));
         let rsv_sub = spec
             .rsv
             .as_ref()

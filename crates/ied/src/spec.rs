@@ -229,7 +229,10 @@ mod tests {
     fn spec_helpers() {
         let mut spec = IedSpec::new("GIED1", "S1");
         assert_eq!(spec.ld, "GIED1LD0");
-        assert_eq!(spec.item("XCBR1$ST$Pos$stVal"), "GIED1LD0/XCBR1$ST$Pos$stVal");
+        assert_eq!(
+            spec.item("XCBR1$ST$Pos$stVal"),
+            "GIED1LD0/XCBR1$ST$Pos$stVal"
+        );
         spec.breakers.push(BreakerMap {
             name: "CB1".into(),
             xcbr: "XCBR1".into(),

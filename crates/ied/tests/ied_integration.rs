@@ -1,14 +1,14 @@
 //! Integration tests: virtual IEDs on an emulated network, coupled to the
 //! process store — protection trips, MMS control, GOOSE exchange, interlocks.
 
+use parking_lot::Mutex;
+use sgcr_iec61850::{DataValue, MmsClient, MmsPdu, MmsRequest, MmsResponse, MMS_PORT};
 use sgcr_ied::{
     BreakerMap, GooseEntry, GooseSpec, IedEventKind, IedSpec, MeasurementMap, MonitoredBreaker,
     ProtectionSpec, VirtualIedApp,
 };
-use sgcr_iec61850::{DataValue, MmsClient, MmsPdu, MmsRequest, MmsResponse, MMS_PORT};
 use sgcr_kvstore::{ProcessStore, Value};
 use sgcr_net::{ConnId, HostCtx, Ipv4Addr, LinkSpec, Network, SimTime, SocketApp};
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 fn base_spec() -> IedSpec {
@@ -102,9 +102,7 @@ fn ptoc_trips_breaker_via_process_store() {
 
 #[test]
 fn ptov_and_ptuv_trip_on_voltage_violations() {
-    for (threshold, voltage, protection_is_over) in
-        [(1.1, 1.2, true), (0.9, 0.7, false)]
-    {
+    for (threshold, voltage, protection_is_over) in [(1.1, 1.2, true), (0.9, 0.7, false)] {
         let mut spec = base_spec();
         let protection = if protection_is_over {
             ProtectionSpec::Ptov {
@@ -132,7 +130,11 @@ fn ptov_and_ptuv_trip_on_voltage_violations() {
         assert_eq!(handle.trip_count(), 0);
         store.set("meas/S1/bus/b1/vm_pu", Value::Float(voltage));
         net.run_until(SimTime::from_millis(800));
-        assert_eq!(handle.trip_count(), 1, "threshold {threshold} voltage {voltage}");
+        assert_eq!(
+            handle.trip_count(),
+            1,
+            "threshold {threshold} voltage {voltage}"
+        );
     }
 }
 
@@ -165,10 +167,7 @@ impl SocketApp for ControlClient {
                 ..
             } = pdu
             {
-                *self.result.lock() = Some(
-                    results[0]
-                        .map_err(|e| format!("{e:?}")),
-                );
+                *self.result.lock() = Some(results[0].map_err(|e| format!("{e:?}")));
             }
         }
     }
@@ -275,7 +274,10 @@ fn goose_interlock_blocks_close_until_peer_closed() {
         }),
     );
     net.run_until(SimTime::from_millis(1000));
-    assert!(matches!(*result.lock(), Some(Err(_))), "close must be interlock-blocked");
+    assert!(
+        matches!(*result.lock(), Some(Err(_))),
+        "close must be interlock-blocked"
+    );
     assert_eq!(handle_b.events_of(IedEventKind::ControlRejected).len(), 1);
     assert_eq!(store.get_bool("cmd/S1/cb/CBB/close"), None);
     // EnaCls mirrors the interlock in the model.

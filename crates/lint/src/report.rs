@@ -1,0 +1,146 @@
+//! The rustc-style text renderer: one block per diagnostic, with the source
+//! line and a caret when the span's file is part of the loaded bundle.
+//!
+//! ```text
+//! error[SG0201]: IP address 10.0.1.5 is already assigned to GIED1
+//!   --> substation01.scd.xml:14:7
+//!    |
+//! 14 |       <ConnectedAP iedName="GIED2" apName="AP1">
+//!    |       ^
+//!    = context: SubNetwork StationBus, ConnectedAP GIED2
+//!    = note: two access points share one IP address
+//! ```
+
+use crate::source::LoadedBundle;
+use crate::LintReport;
+use sgcr_scl::{codes, Diagnostic};
+use std::fmt::Write as _;
+
+/// Renders the whole report, one block per diagnostic plus a summary line.
+pub fn render_text(report: &LintReport, bundle: &LoadedBundle) -> String {
+    let mut out = String::new();
+    for diagnostic in &report.diagnostics {
+        render_diagnostic(&mut out, diagnostic, bundle);
+        out.push('\n');
+    }
+    let errors = report.error_count();
+    let warnings = report.warning_count();
+    if errors == 0 && warnings == 0 {
+        out.push_str("no findings\n");
+    } else {
+        let _ = writeln!(
+            out,
+            "{errors} error{}, {warnings} warning{}",
+            plural(errors),
+            plural(warnings)
+        );
+    }
+    out
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// Renders one diagnostic block.
+pub fn render_diagnostic(out: &mut String, diagnostic: &Diagnostic, bundle: &LoadedBundle) {
+    let _ = writeln!(
+        out,
+        "{}[{}]: {}",
+        diagnostic.severity.label(),
+        diagnostic.code,
+        diagnostic.message
+    );
+    if let Some(span) = &diagnostic.span {
+        let _ = writeln!(out, "  --> {span}");
+        if let Some(line) = source_line(bundle, &span.file, span.line) {
+            let gutter = span.line.to_string();
+            let pad = " ".repeat(gutter.len());
+            let caret_indent = " ".repeat(span.column.saturating_sub(1) as usize);
+            let _ = writeln!(out, "{pad} |");
+            let _ = writeln!(out, "{gutter} | {line}");
+            let _ = writeln!(out, "{pad} | {caret_indent}^");
+        }
+    }
+    if !diagnostic.context.is_empty() {
+        let _ = writeln!(out, "   = context: {}", diagnostic.context);
+    }
+    if let Some(info) = codes::lookup(diagnostic.code) {
+        let _ = writeln!(out, "   = note: {}", info.summary);
+    }
+}
+
+fn source_line(bundle: &LoadedBundle, file: &str, line: u32) -> Option<String> {
+    let text = bundle.source_text(file)?;
+    let line = text.lines().nth(line.checked_sub(1)? as usize)?;
+    // Tabs would desynchronize the caret column; render them as one space.
+    Some(line.replace('\t', " "))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::source::{FileRole, LoadedBundle};
+    use sgcr_scl::{Severity, Span};
+
+    fn bundle_with(name: &str, text: &str) -> LoadedBundle {
+        let mut bundle = LoadedBundle::default();
+        bundle.add_file(name.to_string(), FileRole::Scd, text.to_string());
+        bundle
+    }
+
+    #[test]
+    fn renders_block_with_snippet_and_caret() {
+        let bundle = bundle_with(
+            "s.scd.xml",
+            "<SCL xmlns=\"http://www.iec.ch/61850/2003/SCL\">\n  <Header id=\"x\"/>\n</SCL>",
+        );
+        let report = LintReport {
+            diagnostics: vec![Diagnostic::error(
+                codes::DUPLICATE_IP,
+                "IP address 10.0.1.5 is already assigned to GIED1",
+                "SubNetwork bus",
+            )
+            .with_span(Span::new("s.scd.xml", 2, 3))],
+        };
+        let text = render_text(&report, &bundle);
+        assert!(
+            text.contains("error[SG0201]: IP address 10.0.1.5"),
+            "{text}"
+        );
+        assert!(text.contains("--> s.scd.xml:2:3"), "{text}");
+        assert!(text.contains("2 |   <Header id=\"x\"/>"), "{text}");
+        assert!(text.contains("  |   ^"), "{text}");
+        assert!(text.contains("= context: SubNetwork bus"), "{text}");
+        assert!(text.contains("1 error, 0 warnings"), "{text}");
+    }
+
+    #[test]
+    fn renders_clean_report() {
+        let bundle = bundle_with("s.scd.xml", "<x/>");
+        let report = LintReport {
+            diagnostics: Vec::new(),
+        };
+        assert_eq!(render_text(&report, &bundle), "no findings\n");
+        assert_eq!(report.max_severity(), None);
+    }
+
+    #[test]
+    fn span_outside_sources_still_renders() {
+        let bundle = LoadedBundle::default();
+        let report = LintReport {
+            diagnostics: vec![
+                Diagnostic::new(codes::ORPHAN_ICD, Severity::Warning, "msg", "ctx")
+                    .with_span(Span::new("missing.icd.xml", 9, 1)),
+            ],
+        };
+        let text = render_text(&report, &bundle);
+        assert!(text.contains("--> missing.icd.xml:9:1"), "{text}");
+        assert!(text.contains("0 errors, 1 warning"), "{text}");
+    }
+}

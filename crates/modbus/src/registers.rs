@@ -45,9 +45,7 @@ impl RegisterMap {
                 if !range_ok(&self.coils, *address, *count) {
                     return exception(1, ExceptionCode::IllegalDataAddress);
                 }
-                Response::Bits(
-                    self.coils[*address as usize..(*address + *count) as usize].to_vec(),
-                )
+                Response::Bits(self.coils[*address as usize..(*address + *count) as usize].to_vec())
             }
             Request::ReadDiscreteInputs { address, count } => {
                 if !range_ok(&self.discrete_inputs, *address, *count) {

@@ -9,7 +9,8 @@ use sgcr_modbus::{
 
 fn request_strategy() -> impl Strategy<Value = Request> {
     prop_oneof![
-        (any::<u16>(), 1u16..100).prop_map(|(address, count)| Request::ReadCoils { address, count }),
+        (any::<u16>(), 1u16..100)
+            .prop_map(|(address, count)| Request::ReadCoils { address, count }),
         (any::<u16>(), 1u16..100)
             .prop_map(|(address, count)| Request::ReadDiscreteInputs { address, count }),
         (any::<u16>(), 1u16..50)
@@ -20,7 +21,10 @@ fn request_strategy() -> impl Strategy<Value = Request> {
             .prop_map(|(address, value)| Request::WriteSingleCoil { address, value }),
         (any::<u16>(), any::<u16>())
             .prop_map(|(address, value)| Request::WriteSingleRegister { address, value }),
-        (any::<u16>(), proptest::collection::vec(any::<bool>(), 1..40))
+        (
+            any::<u16>(),
+            proptest::collection::vec(any::<bool>(), 1..40)
+        )
             .prop_map(|(address, values)| Request::WriteMultipleCoils { address, values }),
         (any::<u16>(), proptest::collection::vec(any::<u16>(), 1..30))
             .prop_map(|(address, values)| Request::WriteMultipleRegisters { address, values }),

@@ -3,8 +3,8 @@
 
 use sgcr_scl::{
     AccessPoint, Bay, Communication, ConductingEquipment, ConnectedAp, ConnectivityNode,
-    DataTypeTemplates, ElectricalParams, EquipmentType, Header, Ied, LDevice, Ln, LNodeType,
-    SclDocument, SubNetwork, Substation, Terminal, VoltageLevel,
+    DataTypeTemplates, ElectricalParams, EquipmentType, Header, Ied, LDevice, LNodeType, Ln,
+    SclDocument, SourcePos, SubNetwork, Substation, Terminal, VoltageLevel,
 };
 
 /// Fluent builder for an SSD-style [`SclDocument`].
@@ -23,8 +23,7 @@ pub fn ssd_builder(substation: &str) -> SsdBuilder {
             },
             substations: vec![Substation {
                 name: substation.to_string(),
-                voltage_levels: vec![],
-                transformers: vec![],
+                ..Substation::default()
             }],
             ..SclDocument::default()
         },
@@ -76,6 +75,7 @@ impl SsdBuilder {
         bay.connectivity_nodes.push(ConnectivityNode {
             name: cn.to_string(),
             path_name: path,
+            ..ConnectivityNode::default()
         });
         self
     }
@@ -104,6 +104,7 @@ impl SsdBuilder {
             .collect();
         let bay = self.bay(vl, bay);
         bay.equipment.push(ConductingEquipment {
+            pos: SourcePos::default(),
             name: name.to_string(),
             eq_type,
             type_code: eq_type.code().to_string(),
@@ -155,6 +156,7 @@ impl SsdBuilder {
         let to_path = self.find_cn_path(vl, to);
         let bay = self.bay(vl, bay);
         bay.equipment.push(ConductingEquipment {
+            pos: SourcePos::default(),
             name: name.to_string(),
             eq_type: EquipmentType::Line,
             type_code: "LIN".into(),
@@ -312,7 +314,7 @@ impl ScdBuilder {
             .push(SubNetwork {
                 name: name.to_string(),
                 net_type: "8-MMS".into(),
-                connected_aps: vec![],
+                ..SubNetwork::default()
             });
         self
     }
@@ -326,6 +328,7 @@ impl ScdBuilder {
             .find(|s| s.name == subnetwork)
             .expect("subnetwork declared before hosts");
         sn.connected_aps.push(ConnectedAp {
+            pos: SourcePos::default(),
             ied_name: name.to_string(),
             ap_name: "AP1".into(),
             ip: ip.to_string(),
@@ -369,11 +372,16 @@ fn build_ied(name: &str, ln_classes: &[&str]) -> Ied {
         lns.push(Ln {
             prefix: String::new(),
             ln_class: class.to_string(),
-            inst: if *class == "LLN0" { String::new() } else { "1".into() },
+            inst: if *class == "LLN0" {
+                String::new()
+            } else {
+                "1".into()
+            },
             ln_type: format!("{class}_T"),
         });
     }
     Ied {
+        pos: SourcePos::default(),
         name: name.to_string(),
         manufacturer: "sgcr".into(),
         ied_type: "virtual-ied".into(),
@@ -428,7 +436,12 @@ mod tests {
             .finish();
         let text = sgcr_scl::write_scl(&doc);
         let reparsed = parse_ssd(&text).unwrap();
-        assert_eq!(reparsed.substations[0].voltage_levels[0].bays[0].equipment.len(), 3);
+        assert_eq!(
+            reparsed.substations[0].voltage_levels[0].bays[0]
+                .equipment
+                .len(),
+            3
+        );
         assert_eq!(reparsed.connectivity_node_paths().len(), 2);
     }
 

@@ -14,8 +14,10 @@
 //! public descriptions, per the paper.
 
 use crate::assets;
-use sgcr_core::{IedConfig, PlcConfig, PlcDef, PlcLogic, PlcReadRule, PlcWriteRule, PowerExtraConfig, SgmlBundle};
 use sgcr_core::{branch_i_key, branch_p_key, bus_vm_key};
+use sgcr_core::{
+    IedConfig, PlcConfig, PlcDef, PlcLogic, PlcReadRule, PlcWriteRule, PowerExtraConfig, SgmlBundle,
+};
 use sgcr_ied::{
     BreakerMap, GooseEntry, GooseSpec, IedSpec, MeasurementMap, MonitoredBreaker, ProtectionSpec,
 };
@@ -61,12 +63,31 @@ pub fn epic_ssd() -> String {
         .breaker("LV", "GenBay", "CB_GEN", "CN_GEN", "CN_GEN_T", false)
         // Transmission segment.
         .bus("LV", "TransBay", "CN_TRANS")
-        .line("LV", "TransBay", "LGen", "CN_GEN_T", "CN_TRANS", 0.05, 0.3, 0.08, 0.2)
+        .line(
+            "LV", "TransBay", "LGen", "CN_GEN_T", "CN_TRANS", 0.05, 0.3, 0.08, 0.2,
+        )
         // Micro-grid segment.
         .bus("LV", "MicroBay", "CN_MICRO")
         .bus("LV", "MicroBay", "CN_MICRO_T")
-        .breaker("LV", "MicroBay", "CB_MICRO", "CN_MICRO", "CN_MICRO_T", false)
-        .line("LV", "MicroBay", "LMicro", "CN_MICRO_T", "CN_TRANS", 0.08, 0.3, 0.08, 0.15)
+        .breaker(
+            "LV",
+            "MicroBay",
+            "CB_MICRO",
+            "CN_MICRO",
+            "CN_MICRO_T",
+            false,
+        )
+        .line(
+            "LV",
+            "MicroBay",
+            "LMicro",
+            "CN_MICRO_T",
+            "CN_TRANS",
+            0.08,
+            0.3,
+            0.08,
+            0.15,
+        )
         .sgen("LV", "MicroBay", "PV1", "CN_MICRO", 0.008)
         .sgen("LV", "MicroBay", "Battery1", "CN_MICRO", 0.004)
         .load("LV", "MicroBay", "MicroLoad", "CN_MICRO", 0.006, 0.002)
@@ -74,7 +95,17 @@ pub fn epic_ssd() -> String {
         .bus("LV", "HomeBay", "CN_HOME")
         .bus("LV", "HomeBay", "CN_HOME_T")
         .breaker("LV", "HomeBay", "CB_HOME", "CN_HOME", "CN_HOME_T", false)
-        .line("LV", "HomeBay", "LHome", "CN_HOME_T", "CN_TRANS", 0.10, 0.3, 0.08, 0.15)
+        .line(
+            "LV",
+            "HomeBay",
+            "LHome",
+            "CN_HOME_T",
+            "CN_TRANS",
+            0.10,
+            0.3,
+            0.08,
+            0.15,
+        )
         .load("LV", "HomeBay", "Load1", "CN_HOME", 0.015, 0.005)
         .load("LV", "HomeBay", "Load2", "CN_HOME", 0.010, 0.003)
         .finish();
@@ -119,7 +150,7 @@ fn ied_ln_classes(name: &str) -> Vec<&'static str> {
         "MIED1" => classes.extend(["XCBR", "CSWI", "PTUV"]),
         "MIED2" => {}
         "SIED1" => classes.extend(["XCBR", "CSWI", "CILO"]),
-        "SIED2" => classes.extend(["PTUV"]),
+        "SIED2" => classes.extend(["XCBR", "CSWI", "PTUV"]),
         _ => {}
     }
     classes
@@ -155,10 +186,9 @@ pub fn epic_ied_config() -> IedConfig {
 
     // GIED1: generation feeder — measures LGen, controls CB_GEN, PTOC.
     let mut gied1 = IedSpec::new("GIED1", sub);
-    gied1.measurements.push(meas(
-        "MMXU1$MX$TotW$mag$f",
-        branch_p_key(&scoped("LGen")),
-    ));
+    gied1
+        .measurements
+        .push(meas("MMXU1$MX$TotW$mag$f", branch_p_key(&scoped("LGen"))));
     gied1.measurements.push(meas(
         "MMXU1$MX$A$phsA$cVal$mag$f",
         branch_i_key(&scoped("LGen")),
@@ -202,10 +232,9 @@ pub fn epic_ied_config() -> IedConfig {
 
     // TIED1: micro-grid feeder protection at the transmission side.
     let mut tied1 = IedSpec::new("TIED1", sub);
-    tied1.measurements.push(meas(
-        "MMXU1$MX$TotW$mag$f",
-        branch_p_key(&scoped("LMicro")),
-    ));
+    tied1
+        .measurements
+        .push(meas("MMXU1$MX$TotW$mag$f", branch_p_key(&scoped("LMicro"))));
     tied1.measurements.push(meas(
         "MMXU1$MX$A$phsA$cVal$mag$f",
         branch_i_key(&scoped("LMicro")),
@@ -222,10 +251,9 @@ pub fn epic_ied_config() -> IedConfig {
 
     // TIED2: smart-home feeder protection + undervoltage.
     let mut tied2 = IedSpec::new("TIED2", sub);
-    tied2.measurements.push(meas(
-        "MMXU1$MX$TotW$mag$f",
-        branch_p_key(&scoped("LHome")),
-    ));
+    tied2
+        .measurements
+        .push(meas("MMXU1$MX$TotW$mag$f", branch_p_key(&scoped("LHome"))));
     tied2.measurements.push(meas(
         "MMXU1$MX$A$phsA$cVal$mag$f",
         branch_i_key(&scoped("LHome")),
@@ -290,12 +318,14 @@ pub fn epic_ied_config() -> IedConfig {
     });
     ieds.push(sied1);
 
-    // SIED2: home bus voltage.
+    // SIED2: home bus voltage. Maps CB_HOME itself (the keys are shared per
+    // breaker name) so its undervoltage function can actually open it.
     let mut sied2 = IedSpec::new("SIED2", sub);
     sied2.measurements.push(meas(
         "MMXU1$MX$PhV$phsA$cVal$mag$f",
         bus_vm_key(&bus_path("CN_HOME", "HomeBay")),
     ));
+    sied2.breakers.push(b("CB_HOME", false));
     sied2.protections.push(ProtectionSpec::Ptuv {
         ln: "PTUV1".into(),
         voltage_key: bus_vm_key(&bus_path("CN_HOME", "HomeBay")),
@@ -379,7 +409,8 @@ pub fn epic_scada_config() -> String {
   </DataSource>
   <Alarm point="MicroVolt_pu" kind="low" limit="0.9" message="Micro-grid undervoltage"/>
   <Alarm point="GenFeeder_kW" kind="high" limit="40" message="Generation feeder overload"/>
-</ScadaConfig>"#.to_string()
+</ScadaConfig>"#
+        .to_string()
 }
 
 /// The power extra config: 100 ms interval and a residential-ish smart-home

@@ -29,4 +29,6 @@ pub mod multisub;
 pub mod profiles;
 
 pub use epic::{epic_bundle, IED_NAMES as EPIC_IED_NAMES, SEGMENTS as EPIC_SEGMENTS};
-pub use multisub::{ieds_in_substation, ied_name, multisub_bundle, substation_name, MultiSubParams};
+pub use multisub::{
+    ied_name, ieds_in_substation, multisub_bundle, substation_name, MultiSubParams,
+};

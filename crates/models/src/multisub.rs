@@ -12,7 +12,7 @@ use crate::assets;
 use sgcr_core::{branch_i_key, branch_p_key, IedConfig, PowerExtraConfig, SgmlBundle};
 use sgcr_ied::{BreakerMap, IedSpec, MeasurementMap, ProtectionSpec};
 use sgcr_kvstore::Keys;
-use sgcr_scl::{ElectricalParams, Header, InterSubstationLine, SclDocument, write_scl};
+use sgcr_scl::{write_scl, ElectricalParams, Header, InterSubstationLine, SclDocument, SourcePos};
 
 /// Parameters of a synthetic multi-substation model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,7 +110,8 @@ pub fn multisub_bundle(params: &MultiSubParams) -> SgmlBundle {
         ssds.push(write_scl(&builder.finish()));
 
         // --- SCD: one station bus, all IEDs + (S1 only) SCADA ------------
-        let mut scd = assets::scd_builder(&sub, &format!("{sub}-scd")).subnetwork(&format!("{sub}Bus"));
+        let mut scd =
+            assets::scd_builder(&sub, &format!("{sub}-scd")).subnetwork(&format!("{sub}Bus"));
         for f in 0..n_ieds {
             let name = ied_name(s, f);
             let ip = format!("10.{}.{}.{}", s + 1, f / 200, 10 + (f % 200));
@@ -171,6 +172,7 @@ pub fn multisub_bundle(params: &MultiSubParams) -> SgmlBundle {
                 revision: String::new(),
             },
             inter_substation_lines: vec![InterSubstationLine {
+                pos: SourcePos::default(),
                 name: format!("TIE{}{}", s, s + 1),
                 from_substation: from.clone(),
                 from_node: format!("{from}/MV/Main/CNMAIN"),
@@ -202,7 +204,8 @@ pub fn multisub_bundle(params: &MultiSubParams) -> SgmlBundle {
 "#
         ));
     }
-    let scada_config = format!("<ScadaConfig name=\"multisub-HMI\">\n{scada_sources}</ScadaConfig>");
+    let scada_config =
+        format!("<ScadaConfig name=\"multisub-HMI\">\n{scada_sources}</ScadaConfig>");
 
     let power_extra = PowerExtraConfig {
         interval_ms: params.interval_ms,

@@ -22,8 +22,7 @@ pub trait SocketApp: Send {
     fn on_timer(&mut self, ctx: &mut HostCtx<'_>, token: u64) {}
 
     /// A UDP datagram arrived on a bound port.
-    fn on_udp(&mut self, ctx: &mut HostCtx<'_>, src: (Ipv4Addr, u16), dst_port: u16, data: &[u8]) {
-    }
+    fn on_udp(&mut self, ctx: &mut HostCtx<'_>, src: (Ipv4Addr, u16), dst_port: u16, data: &[u8]) {}
 
     /// An outbound TCP connection completed its handshake.
     fn on_tcp_connected(&mut self, ctx: &mut HostCtx<'_>, conn: ConnId) {}
@@ -89,7 +88,8 @@ impl<'a> HostCtx<'a> {
 
     /// Sends a UDP datagram (ARP resolution happens automatically).
     pub fn send_udp(&mut self, dst: Ipv4Addr, dst_port: u16, src_port: u16, data: &[u8]) {
-        self.net.host_send_udp(self.node, dst, dst_port, src_port, data);
+        self.net
+            .host_send_udp(self.node, dst, dst_port, src_port, data);
     }
 
     /// Starts listening for TCP connections on a port.

@@ -442,7 +442,11 @@ mod tests {
 
     #[test]
     fn arp_roundtrip() {
-        let req = ArpPacket::request(mac(1), Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
+        let req = ArpPacket::request(
+            mac(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+        );
         assert_eq!(ArpPacket::decode(&req.encode()), Some(req));
         let rep = ArpPacket::reply(
             mac(2),

@@ -195,13 +195,7 @@ impl HostState {
             payload: Bytes::new(),
         };
         self.conns.insert(id, conn);
-        (
-            id,
-            TcpOut {
-                dst,
-                segment: syn,
-            },
-        )
+        (id, TcpOut { dst, segment: syn })
     }
 
     /// Queues application data for sending; returns segments ready to go.
@@ -370,7 +364,8 @@ impl HostState {
             .conns
             .iter()
             .find(|(_, c)| {
-                c.local_port == seg.dst_port && c.remote == (src_ip, seg.src_port)
+                c.local_port == seg.dst_port
+                    && c.remote == (src_ip, seg.src_port)
                     && c.state != TcpState::Closed
             })
             .map(|(&id, _)| id);

@@ -317,15 +317,14 @@ impl Network {
 
     /// Enables frame capture at a node (host or switch).
     pub fn enable_capture(&mut self, node: NodeId) {
-        self.nodes[node.index()].capture.get_or_insert_with(Vec::new);
+        self.nodes[node.index()]
+            .capture
+            .get_or_insert_with(Vec::new);
     }
 
     /// Frames captured at a node since capture was enabled.
     pub fn captured(&self, node: NodeId) -> &[CapturedFrame] {
-        self.nodes[node.index()]
-            .capture
-            .as_deref()
-            .unwrap_or(&[])
+        self.nodes[node.index()].capture.as_deref().unwrap_or(&[])
     }
 
     // ----- host accessors used by HostCtx --------------------------------
@@ -368,7 +367,12 @@ impl Network {
         }
     }
 
-    pub(crate) fn host_tcp_connect(&mut self, node: NodeId, dst: Ipv4Addr, dst_port: u16) -> ConnId {
+    pub(crate) fn host_tcp_connect(
+        &mut self,
+        node: NodeId,
+        dst: Ipv4Addr,
+        dst_port: u16,
+    ) -> ConnId {
         let (id, out) = self.host_mut(node).state.tcp_connect(dst, dst_port);
         self.send_tcp_out(node, out);
         self.arm_tcp_timer(node, id);
@@ -449,7 +453,11 @@ impl Network {
                 self.transmit(node, 0, frame);
             }
             None => {
-                state.arp_pending.entry(dst).or_default().push((proto, transport));
+                state
+                    .arp_pending
+                    .entry(dst)
+                    .or_default()
+                    .push((proto, transport));
                 let req = ArpPacket::request(state.mac, src_ip, dst);
                 let frame = req.into_frame(MacAddr::BROADCAST);
                 self.transmit(node, 0, frame);
@@ -482,7 +490,8 @@ impl Network {
         } else {
             (link.a, &mut link.busy_until_ba)
         };
-        let ser = SimDuration::from_nanos(wire_bits.saturating_mul(1_000_000_000) / link.spec.rate_bps);
+        let ser =
+            SimDuration::from_nanos(wire_bits.saturating_mul(1_000_000_000) / link.spec.rate_bps);
         let start = (*busy).max(self.now);
         *busy = start + ser;
         let arrival = start + ser + link.spec.latency;
@@ -680,13 +689,7 @@ impl Network {
             ipproto::TCP => {
                 if let Some(seg) = TcpSegment::decode(&packet.payload) {
                     let (outs, evs) = self.host_mut(node).state.tcp_input(packet.src, &seg);
-                    let conns: Vec<ConnId> = self
-                        .host(node)
-                        .state
-                        .conns
-                        .keys()
-                        .copied()
-                        .collect();
+                    let conns: Vec<ConnId> = self.host(node).state.conns.keys().copied().collect();
                     for out in outs {
                         self.send_tcp_out(node, out);
                     }
@@ -801,10 +804,7 @@ mod tests {
         let sw = net.add_switch("sw0");
         let mut hosts = Vec::new();
         for i in 0..n_hosts {
-            let h = net.add_host(
-                &format!("h{i}"),
-                Ipv4Addr::new(10, 0, 0, (i + 1) as u8),
-            );
+            let h = net.add_host(&format!("h{i}"), Ipv4Addr::new(10, 0, 0, (i + 1) as u8));
             net.connect(h, sw, LinkSpec::default());
             hosts.push(h);
         }
@@ -868,9 +868,7 @@ mod tests {
         net.run_until(SimTime::from_millis(100));
         // h2 sees the ARP broadcast but no unicast IP traffic once learned.
         let captured = net.captured(hosts[2]);
-        assert!(captured
-            .iter()
-            .any(|c| c.frame.ethertype == ethertype::ARP));
+        assert!(captured.iter().any(|c| c.frame.ethertype == ethertype::ARP));
         let unicast_ip = captured
             .iter()
             .filter(|c| c.frame.ethertype == ethertype::IPV4)

@@ -3,8 +3,8 @@
 
 use parking_lot::Mutex;
 use sgcr_net::{
-    ethertype, EthernetFrame, HostCtx, Ipv4Addr, LinkSpec, MacAddr, Network, SimDuration,
-    SimTime, SocketApp,
+    ethertype, EthernetFrame, HostCtx, Ipv4Addr, LinkSpec, MacAddr, Network, SimDuration, SimTime,
+    SocketApp,
 };
 use std::sync::Arc;
 
@@ -34,7 +34,9 @@ impl SocketApp for ArrivalLogger {
     }
 }
 
-fn direct_pair(spec: LinkSpec) -> (Network, Arc<Mutex<Vec<(u64, usize)>>>, MacAddr) {
+type Arrivals = Arc<Mutex<Vec<(u64, usize)>>>;
+
+fn direct_pair(spec: LinkSpec) -> (Network, Arrivals, MacAddr) {
     let mut net = Network::new();
     let a = net.add_host("a", Ipv4Addr::new(10, 0, 0, 1));
     let b = net.add_host("b", Ipv4Addr::new(10, 0, 0, 2));
@@ -64,7 +66,12 @@ fn propagation_plus_serialization() {
     net.attach_app(
         a,
         Box::new(BurstSender {
-            frames: vec![EthernetFrame::new(dst, src, ethertype::IPV4, vec![0u8; 1000])],
+            frames: vec![EthernetFrame::new(
+                dst,
+                src,
+                ethertype::IPV4,
+                vec![0u8; 1000],
+            )],
         }),
     );
     net.run_until(SimTime::from_millis(50));
@@ -96,7 +103,11 @@ fn back_to_back_frames_are_spaced_by_serialization_time() {
     assert_eq!(arrivals.len(), 3);
     // Wire size 518 bytes → 4144 bits → 414.4 µs at 10 Mbit/s.
     let ser_ns = (518 * 8) as u64 * 100; // bits · (ns per bit at 10 Mb/s)
-    assert_eq!(arrivals[1].0 - arrivals[0].0, ser_ns, "FIFO spacing = serialization");
+    assert_eq!(
+        arrivals[1].0 - arrivals[0].0,
+        ser_ns,
+        "FIFO spacing = serialization"
+    );
     assert_eq!(arrivals[2].0 - arrivals[1].0, ser_ns);
     // First arrival = serialization + latency.
     assert_eq!(arrivals[0].0, ser_ns + 100_000);

@@ -131,8 +131,9 @@ impl PlcApp {
         for (server, items) in per_server {
             if let Some(link) = self.links.get_mut(&server) {
                 if let Some(conn) = link.conn {
-                    let (invoke_id, wire) =
-                        link.client.request(MmsRequest::Read { items: items.clone() });
+                    let (invoke_id, wire) = link.client.request(MmsRequest::Read {
+                        items: items.clone(),
+                    });
                     link.outstanding.insert(invoke_id, items);
                     ctx.tcp_send(conn, &wire);
                 }
@@ -196,9 +197,7 @@ impl PlcApp {
                     if let Some(binding) = binding {
                         let st_value = match &value {
                             DataValue::Bool(b) => StValue::Bool(*b),
-                            DataValue::Float(f) => {
-                                StValue::Real(f64::from(*f) * binding.scale)
-                            }
+                            DataValue::Float(f) => StValue::Real(f64::from(*f) * binding.scale),
                             DataValue::Int(i) => StValue::Int(*i),
                             DataValue::Uint(u) => StValue::Int(*u as i64),
                             other => match other.as_dbpos() {

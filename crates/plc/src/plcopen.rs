@@ -50,9 +50,7 @@ impl std::error::Error for PlcOpenError {}
 pub fn parse_plcopen(text: &str) -> Result<Program, PlcOpenError> {
     let doc = Document::parse(text).map_err(|e| PlcOpenError::Xml(e.to_string()))?;
     let root = doc.root_element();
-    let pous = root
-        .descendant("pous")
-        .ok_or(PlcOpenError::NoProgramPou)?;
+    let pous = root.descendant("pous").ok_or(PlcOpenError::NoProgramPou)?;
     let pou = pous
         .children_named("pou")
         .into_iter()
@@ -142,7 +140,11 @@ fn parse_variable(
 
 /// Generates PLCopen XML wrapping the given ST body and variables — used by
 /// the model generators to ship control logic as standard files.
-pub fn write_plcopen(program_name: &str, vars: &[(String, String, Option<String>)], st_body: &str) -> String {
+pub fn write_plcopen(
+    program_name: &str,
+    vars: &[(String, String, Option<String>)],
+    st_body: &str,
+) -> String {
     let mut doc = Document::new("project");
     let root = doc.root_id();
     doc.set_attr(root, "xmlns", "http://www.plcopen.org/xml/tc6_0201");

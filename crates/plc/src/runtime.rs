@@ -280,9 +280,7 @@ mod tests {
 
     #[test]
     fn bad_address_rejected_at_construction() {
-        let program = parse_program(
-            "PROGRAM p VAR x AT %ZZ0 : INT; END_VAR x := 1; END_PROGRAM",
-        );
+        let program = parse_program("PROGRAM p VAR x AT %ZZ0 : INT; END_VAR x := 1; END_PROGRAM");
         // The lexer accepts %ZZ0 (alphanumeric); construction must reject it.
         let program = program.unwrap();
         let registers = SharedRegisters::with_size(8);

@@ -211,8 +211,14 @@ impl FbInstance {
                 q: false,
                 prev: false,
             },
-            FbType::RTrig => FbInstance::RTrig { q: false, prev: false },
-            FbType::FTrig => FbInstance::FTrig { q: false, prev: false },
+            FbType::RTrig => FbInstance::RTrig {
+                q: false,
+                prev: false,
+            },
+            FbType::FTrig => FbInstance::FTrig {
+                q: false,
+                prev: false,
+            },
             FbType::Sr => FbInstance::Sr { q: false },
             FbType::Rs => FbInstance::Rs { q: false },
         }
@@ -220,12 +226,8 @@ impl FbInstance {
 
     /// Invokes the block with named inputs at simulation time `now_ns`.
     fn call(&mut self, now_ns: u64, inputs: &HashMap<String, StValue>) -> Result<(), RuntimeError> {
-        let get_bool = |name: &str| -> bool {
-            inputs
-                .get(name)
-                .and_then(StValue::as_bool)
-                .unwrap_or(false)
-        };
+        let get_bool =
+            |name: &str| -> bool { inputs.get(name).and_then(StValue::as_bool).unwrap_or(false) };
         let get_time = |name: &str| -> Option<u64> {
             match inputs.get(name) {
                 Some(StValue::Time(t)) => Some(*t),
@@ -358,13 +360,11 @@ impl FbInstance {
                 "ET" => Some(StValue::Time(*et)),
                 _ => None,
             },
-            FbInstance::Ctu { cv, q, .. } | FbInstance::Ctd { cv, q, .. } => {
-                match upper.as_str() {
-                    "Q" => Some(StValue::Bool(*q)),
-                    "CV" => Some(StValue::Int(*cv)),
-                    _ => None,
-                }
-            }
+            FbInstance::Ctu { cv, q, .. } | FbInstance::Ctd { cv, q, .. } => match upper.as_str() {
+                "Q" => Some(StValue::Bool(*q)),
+                "CV" => Some(StValue::Int(*cv)),
+                _ => None,
+            },
             FbInstance::RTrig { q, .. }
             | FbInstance::FTrig { q, .. }
             | FbInstance::Sr { q }
@@ -630,7 +630,9 @@ impl Interpreter {
                         .get(instance)
                         .and_then(|fb| fb.output(member))
                         .ok_or_else(|| {
-                            rt(format!("function block {instance:?} has no output {member:?}"))
+                            rt(format!(
+                                "function block {instance:?} has no output {member:?}"
+                            ))
                         })?;
                     self.vars.insert(target.clone(), value);
                 }
@@ -925,7 +927,11 @@ mod tests {
                    ELSE out := -1; END_CASE; END_PROGRAM";
         for (sel, expected) in [(1, 10), (2, 20), (3, 20), (5, 30), (9, -1)] {
             let interp = run(src, &[(0, &[("sel", StValue::Int(sel))])]);
-            assert_eq!(interp.get("out"), Some(&StValue::Int(expected)), "sel={sel}");
+            assert_eq!(
+                interp.get("out"),
+                Some(&StValue::Int(expected)),
+                "sel={sel}"
+            );
         }
     }
 
@@ -1016,10 +1022,8 @@ mod tests {
 
     #[test]
     fn runtime_errors() {
-        let program = parse_program(
-            "PROGRAM p VAR x : INT; END_VAR x := 1 / 0; END_PROGRAM",
-        )
-        .unwrap();
+        let program =
+            parse_program("PROGRAM p VAR x : INT; END_VAR x := 1 / 0; END_PROGRAM").unwrap();
         let mut interp = Interpreter::new(program).unwrap();
         assert!(interp.scan(0).is_err());
 

@@ -199,9 +199,7 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                 // Direct address: %QX0.0, %IW3, %MD2 …
                 i += 1;
                 let start = i;
-                while i < chars.len()
-                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '.')
-                {
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '.') {
                     i += 1;
                 }
                 if start == i {
@@ -219,9 +217,7 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                 // Radix literal: base '#' digits (16#FF, 2#1010, 8#17).
                 if i < chars.len() && chars[i] == '#' {
                     i += 1;
-                    while i < chars.len()
-                        && (chars[i].is_ascii_alphanumeric() || chars[i] == '_')
-                    {
+                    while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
                         i += 1;
                     }
                 }
@@ -304,22 +300,20 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
             }
-            '<' => {
-                match chars.get(i + 1) {
-                    Some('>') => {
-                        tokens.push(Token::Neq);
-                        i += 2;
-                    }
-                    Some('=') => {
-                        tokens.push(Token::Le);
-                        i += 2;
-                    }
-                    _ => {
-                        tokens.push(Token::Lt);
-                        i += 1;
-                    }
+            '<' => match chars.get(i + 1) {
+                Some('>') => {
+                    tokens.push(Token::Neq);
+                    i += 2;
                 }
-            }
+                Some('=') => {
+                    tokens.push(Token::Le);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            },
             '>' => {
                 if chars.get(i + 1) == Some(&'=') {
                     tokens.push(Token::Ge);
@@ -448,10 +442,20 @@ mod tests {
     #[test]
     fn comparison_operators() {
         let tokens = tokenize("a <> b <= c >= d < e > f = g").unwrap();
-        let ops: Vec<&Token> = tokens.iter().filter(|t| !matches!(t, Token::Ident(_))).collect();
+        let ops: Vec<&Token> = tokens
+            .iter()
+            .filter(|t| !matches!(t, Token::Ident(_)))
+            .collect();
         assert_eq!(
             ops,
-            vec![&Token::Neq, &Token::Le, &Token::Ge, &Token::Lt, &Token::Gt, &Token::Eq]
+            vec![
+                &Token::Neq,
+                &Token::Le,
+                &Token::Ge,
+                &Token::Lt,
+                &Token::Gt,
+                &Token::Eq
+            ]
         );
     }
 

@@ -221,8 +221,15 @@ impl Parser {
             }
             // Other block terminators bubble up too.
             for t in [
-                "ELSIF", "ELSE", "END_IF", "END_CASE", "END_FOR", "END_WHILE", "UNTIL",
-                "END_REPEAT", "END_PROGRAM",
+                "ELSIF",
+                "ELSE",
+                "END_IF",
+                "END_CASE",
+                "END_FOR",
+                "END_WHILE",
+                "UNTIL",
+                "END_REPEAT",
+                "END_PROGRAM",
             ] {
                 if self.peek_keyword(t) {
                     return Ok(out);
@@ -646,7 +653,13 @@ END_PROGRAM
         assert_eq!(program.vars.len(), 3);
         assert_eq!(program.vars[1].location.as_deref(), Some("QX0.0"));
         assert_eq!(program.vars[2].class, VarClass::Input);
-        assert_eq!(program.fbs, vec![FbDecl { name: "timer1".into(), fb_type: FbType::Ton }]);
+        assert_eq!(
+            program.fbs,
+            vec![FbDecl {
+                name: "timer1".into(),
+                fb_type: FbType::Ton
+            }]
+        );
         assert_eq!(program.body.len(), 3);
         assert!(matches!(
             &program.body[1],
@@ -676,10 +689,9 @@ END_PROGRAM
 
     #[test]
     fn if_elsif_else() {
-        let body = parse_statements(
-            "IF a > 1 THEN x := 1; ELSIF a > 0 THEN x := 2; ELSE x := 3; END_IF;",
-        )
-        .unwrap();
+        let body =
+            parse_statements("IF a > 1 THEN x := 1; ELSIF a > 0 THEN x := 2; ELSE x := 3; END_IF;")
+                .unwrap();
         match &body[0] {
             Stmt::If {
                 branches,
@@ -699,7 +711,9 @@ END_PROGRAM
         )
         .unwrap();
         match &body[0] {
-            Stmt::Case { arms, else_body, .. } => {
+            Stmt::Case {
+                arms, else_body, ..
+            } => {
                 assert_eq!(arms.len(), 3);
                 assert_eq!(arms[1].0.len(), 2);
                 assert_eq!(arms[2].0, vec![CaseLabel::Range(4, 6)]);
@@ -727,7 +741,9 @@ END_PROGRAM
     fn fb_output_connections() {
         let body = parse_statements("c1(CU := pulse, PV := 10, Q => done, CV => count);").unwrap();
         match &body[0] {
-            Stmt::FbCall { inputs, outputs, .. } => {
+            Stmt::FbCall {
+                inputs, outputs, ..
+            } => {
                 assert_eq!(inputs.len(), 2);
                 assert_eq!(outputs.len(), 2);
                 assert_eq!(outputs[0], ("Q".to_string(), "done".to_string()));

@@ -68,7 +68,10 @@ fn reference_eval(e: &IntExpr, vars: &[i64; 4]) -> i64 {
         IntExpr::Neg(a) => -reference_eval(a, vars),
         // MAX promotes through f64 in the interpreter; mirror that.
         IntExpr::Max(a, b) => {
-            let (x, y) = (reference_eval(a, vars) as f64, reference_eval(b, vars) as f64);
+            let (x, y) = (
+                reference_eval(a, vars) as f64,
+                reference_eval(b, vars) as f64,
+            );
             x.max(y) as i64
         }
         IntExpr::Abs(a) => reference_eval(a, vars).abs(),

@@ -52,7 +52,5 @@ pub use network::{
 };
 pub use results::{BranchResult, BusResult, ExtGridResult, GenResult, PowerFlowResult};
 pub use solver::{solve, solve_with, SolveOptions};
-pub use timeseries::{
-    Profile, ProfileTarget, ScenarioAction, ScenarioEvent, SimulationSchedule,
-};
+pub use timeseries::{Profile, ProfileTarget, ScenarioAction, ScenarioEvent, SimulationSchedule};
 pub use topology::{Island, SlackSource, Topology};

@@ -398,7 +398,13 @@ impl PowerNetwork {
     }
 
     /// Adds an external grid (slack) and returns its id.
-    pub fn add_ext_grid(&mut self, name: &str, bus: BusId, vm_pu: f64, va_degree: f64) -> ExtGridId {
+    pub fn add_ext_grid(
+        &mut self,
+        name: &str,
+        bus: BusId,
+        vm_pu: f64,
+        va_degree: f64,
+    ) -> ExtGridId {
         self.ext_grid.push(ExtGrid {
             name: name.to_string(),
             bus,
@@ -422,7 +428,13 @@ impl PowerNetwork {
     }
 
     /// Adds a switch and returns its id.
-    pub fn add_switch(&mut self, name: &str, bus: BusId, target: SwitchTarget, closed: bool) -> SwitchId {
+    pub fn add_switch(
+        &mut self,
+        name: &str,
+        bus: BusId,
+        target: SwitchTarget,
+        closed: bool,
+    ) -> SwitchId {
         self.switch.push(Switch {
             name: name.to_string(),
             bus,
@@ -444,7 +456,10 @@ impl PowerNetwork {
 
     /// Finds a switch id by name.
     pub fn switch_by_name(&self, name: &str) -> Option<SwitchId> {
-        self.switch.iter().position(|s| s.name == name).map(SwitchId)
+        self.switch
+            .iter()
+            .position(|s| s.name == name)
+            .map(SwitchId)
     }
 
     /// Finds a load id by name.

@@ -384,8 +384,9 @@ fn solve_state(
                 }
             }
 
-            let lu = Lu::factorize(&jac)
-                .map_err(|_| PowerFlowError::SingularJacobian { island: island_index })?;
+            let lu = Lu::factorize(&jac).map_err(|_| PowerFlowError::SingularJacobian {
+                island: island_index,
+            })?;
             let dx = lu.solve(&f);
             for (r, &i) in angle_nodes.iter().enumerate() {
                 va[i] += dx[r];
@@ -642,7 +643,12 @@ mod tests {
     fn open_breaker_deenergizes_load_bus() {
         let mut net = two_bus();
         let b1 = net.bus_by_name("b1").unwrap();
-        net.add_switch("cb", b1, SwitchTarget::Line(crate::network::LineId(0)), true);
+        net.add_switch(
+            "cb",
+            b1,
+            SwitchTarget::Line(crate::network::LineId(0)),
+            true,
+        );
         let res = solve(&net).unwrap();
         assert!(res.bus[1].energized);
         net.set_switch("cb", false);

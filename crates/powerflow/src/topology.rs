@@ -186,10 +186,7 @@ impl Topology {
                 }
             }
             nodes.sort_unstable();
-            islands.push(Island {
-                nodes,
-                slack: None,
-            });
+            islands.push(Island { nodes, slack: None });
         }
 
         // 4. Assign a slack source per island: prefer ext_grid, else promote

@@ -6,12 +6,7 @@ use proptest::prelude::*;
 use sgcr_powerflow::{solve, PowerFlowError, PowerNetwork};
 
 /// A radial feeder: slack — line — bus — line — bus … with a load per bus.
-fn radial_feeder(
-    n_buses: usize,
-    loads_mw: &[f64],
-    line_km: f64,
-    vm_slack: f64,
-) -> PowerNetwork {
+fn radial_feeder(n_buses: usize, loads_mw: &[f64], line_km: f64, vm_slack: f64) -> PowerNetwork {
     let mut net = PowerNetwork::new("prop-feeder");
     let mut prev = net.add_bus("b0", 110.0);
     net.add_ext_grid("grid", prev, vm_slack, 0.0);
@@ -30,7 +25,12 @@ fn radial_feeder(
             0.0,
             1.0,
         );
-        net.add_load(&format!("ld{i}"), bus, loads_mw[i - 1], loads_mw[i - 1] * 0.3);
+        net.add_load(
+            &format!("ld{i}"),
+            bus,
+            loads_mw[i - 1],
+            loads_mw[i - 1] * 0.3,
+        );
         prev = bus;
     }
     net

@@ -207,12 +207,10 @@ impl ScadaConfig {
                     }
                 } else {
                     let kind = ModbusPointKind::parse(point_el.attr_or("kind", ""))
-                        .ok_or_else(|| {
-                            err(format!("point {point_name:?} has invalid kind"))
-                        })?;
-                    let address = point_el.attr_parse("address").ok_or_else(|| {
-                        err(format!("point {point_name:?} missing address"))
-                    })?;
+                        .ok_or_else(|| err(format!("point {point_name:?} has invalid kind")))?;
+                    let address = point_el
+                        .attr_parse("address")
+                        .ok_or_else(|| err(format!("point {point_name:?} missing address")))?;
                     PointAddress::Modbus { kind, address }
                 };
                 points.push(DataPoint {

@@ -1,9 +1,7 @@
 //! The SCADA HMI application: polls data sources, maintains the tag
 //! database, evaluates alarms, and executes operator commands.
 
-use crate::config::{
-    AlarmKind, ModbusPointKind, PointAddress, ScadaConfig, SourceProtocol,
-};
+use crate::config::{AlarmKind, ModbusPointKind, PointAddress, ScadaConfig, SourceProtocol};
 use parking_lot::Mutex;
 use sgcr_iec61850::{DataValue, MmsClient, MmsPdu, MmsRequest, MmsResponse};
 use sgcr_modbus::{ModbusClient, Request as ModbusRequest, Response as ModbusResponse};
@@ -261,8 +259,9 @@ impl ScadaApp {
                         })
                         .collect();
                     if !items.is_empty() {
-                        let (invoke_id, wire) =
-                            client.request(MmsRequest::Read { items: items.clone() });
+                        let (invoke_id, wire) = client.request(MmsRequest::Read {
+                            items: items.clone(),
+                        });
                         outstanding.insert(invoke_id, items);
                         ctx.tcp_send(conn, &wire);
                     }
@@ -286,8 +285,8 @@ impl ScadaApp {
                 updated_ms: 0,
                 quality: Quality::Uninitialized,
             });
-            let significant = entry.quality == Quality::Uninitialized
-                || (scaled - entry.value).abs() > deadband;
+            let significant =
+                entry.quality == Quality::Uninitialized || (scaled - entry.value).abs() > deadband;
             entry.updated_ms = now_ms;
             entry.quality = Quality::Good;
             if significant {
@@ -472,12 +471,8 @@ impl SocketApp for ScadaApp {
                         continue;
                     };
                     let raw = match response {
-                        ModbusResponse::Bits(bits) =>
-
-                            bits.first().map(|b| f64::from(u8::from(*b))),
-                        ModbusResponse::Registers(regs) => {
-                            regs.first().map(|r| f64::from(*r))
-                        }
+                        ModbusResponse::Bits(bits) => bits.first().map(|b| f64::from(u8::from(*b))),
+                        ModbusResponse::Registers(regs) => regs.first().map(|r| f64::from(*r)),
                         _ => None,
                     };
                     if let Some(raw) = raw {

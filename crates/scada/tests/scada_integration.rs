@@ -73,7 +73,11 @@ fn polls_both_protocols_with_scaling() {
     assert!(bed.handle.polls_completed() > 5);
     // All tags good quality.
     for name in bed.handle.tag_names() {
-        assert_eq!(bed.handle.tag(&name).unwrap().quality, Quality::Good, "{name}");
+        assert_eq!(
+            bed.handle.tag(&name).unwrap().quality,
+            Quality::Good,
+            "{name}"
+        );
     }
 }
 

@@ -8,6 +8,7 @@
 //! multiple SCD files … WAN … is abstracted as a single switch connected to
 //! all substations."*
 
+use crate::codes;
 use crate::error::{Diagnostic, SclError, Severity};
 use crate::types::{Communication, SclDocument, SubNetwork};
 
@@ -36,7 +37,11 @@ pub fn consolidate_ssd(
         for substation in &ssd.substations {
             if combined.substation(&substation.name).is_some() {
                 diagnostics.push(Diagnostic::error(
-                    format!("duplicate substation {:?} across SSD files", substation.name),
+                    codes::DUPLICATE_SUBSTATION,
+                    format!(
+                        "duplicate substation {:?} across SSD files",
+                        substation.name
+                    ),
                     "consolidate",
                 ));
                 continue;
@@ -54,6 +59,7 @@ pub fn consolidate_ssd(
             ] {
                 if combined.substation(substation).is_none() {
                     diagnostics.push(Diagnostic::error(
+                        codes::SED_UNKNOWN_SUBSTATION,
                         format!(
                             "SED tie {:?} references unknown substation {substation:?}",
                             tie.name
@@ -62,6 +68,7 @@ pub fn consolidate_ssd(
                     ));
                 } else if !all_nodes.contains(node) {
                     diagnostics.push(Diagnostic::error(
+                        codes::SED_UNKNOWN_NODE,
                         format!(
                             "SED tie {:?} references unknown connectivity node {node:?}",
                             tie.name
@@ -112,6 +119,7 @@ pub fn consolidate_scd(scds: &[SclDocument]) -> Result<SclDocument, SclError> {
         for ied in &scd.ieds {
             if combined.ied(&ied.name).is_some() {
                 diagnostics.push(Diagnostic::error(
+                    codes::DUPLICATE_HOST,
                     format!("duplicate IED name {:?} across SCD files", ied.name),
                     "consolidate",
                 ));
@@ -126,11 +134,14 @@ pub fn consolidate_scd(scds: &[SclDocument]) -> Result<SclDocument, SclError> {
         if let Some(comm) = &scd.communication {
             let target = combined
                 .communication
-                .as_mut()
-                .expect("communication initialized");
+                .get_or_insert_with(Communication::default);
             for sn in &comm.subnetworks {
                 let mut sn = sn.clone();
-                if target.subnetworks.iter().any(|existing| existing.name == sn.name) {
+                if target
+                    .subnetworks
+                    .iter()
+                    .any(|existing| existing.name == sn.name)
+                {
                     let prefix = scd
                         .substations
                         .first()
@@ -141,6 +152,7 @@ pub fn consolidate_scd(scds: &[SclDocument]) -> Result<SclDocument, SclError> {
                 for ap in &sn.connected_aps {
                     if let Some((other, _)) = seen_ips.iter().find(|(_, ip)| *ip == ap.ip) {
                         diagnostics.push(Diagnostic::error(
+                            codes::DUPLICATE_IP,
                             format!(
                                 "IP address {} assigned to both {:?} and {:?}",
                                 ap.ip, other, ap.ied_name
@@ -155,7 +167,10 @@ pub fn consolidate_scd(scds: &[SclDocument]) -> Result<SclDocument, SclError> {
             }
         }
     }
-    combined.templates.lnode_types.sort_by(|a, b| a.id.cmp(&b.id));
+    combined
+        .templates
+        .lnode_types
+        .sort_by(|a, b| a.id.cmp(&b.id));
     combined.templates.lnode_types.dedup();
 
     if diagnostics.iter().any(|d| d.severity == Severity::Error) {
@@ -176,7 +191,10 @@ pub fn station_buses(doc: &SclDocument) -> Vec<(String, Vec<String>)> {
                 .map(|sn: &SubNetwork| {
                     (
                         sn.name.clone(),
-                        sn.connected_aps.iter().map(|ap| ap.ied_name.clone()).collect(),
+                        sn.connected_aps
+                            .iter()
+                            .map(|ap| ap.ied_name.clone())
+                            .collect(),
                     )
                 })
                 .collect()
@@ -201,11 +219,13 @@ mod tests {
                         connectivity_nodes: vec![ConnectivityNode {
                             name: "CN1".into(),
                             path_name: format!("{name}/VL1/B1/CN1"),
+                            ..ConnectivityNode::default()
                         }],
                         ..Bay::default()
                     }],
                 }],
                 transformers: vec![],
+                ..Substation::default()
             }],
             ..SclDocument::default()
         }
@@ -219,8 +239,7 @@ mod tests {
                 from_node: format!("{a}/VL1/B1/CN1"),
                 to_substation: b.to_string(),
                 to_node: format!("{b}/VL1/B1/CN1"),
-                params: ElectricalParams::default(),
-                protection_ieds: vec![],
+                ..InterSubstationLine::default()
             }],
             ..SclDocument::default()
         }
@@ -241,9 +260,9 @@ mod tests {
                         ap_name: "AP1".into(),
                         ip: ip.to_string(),
                         ip_subnet: "255.255.0.0".into(),
-                        mac: None,
-                        gse: vec![],
+                        ..ConnectedAp::default()
                     }],
+                    ..SubNetwork::default()
                 }],
             }),
             ieds: vec![Ied {

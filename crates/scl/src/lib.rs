@@ -35,6 +35,7 @@
 //! # Ok::<(), sgcr_scl::SclError>(())
 //! ```
 
+pub mod codes;
 mod consolidate;
 mod error;
 mod parse;
@@ -42,7 +43,7 @@ mod types;
 mod write;
 
 pub use consolidate::{consolidate_scd, consolidate_ssd, station_buses};
-pub use error::{Diagnostic, SclError, Severity};
-pub use parse::{parse_icd, parse_scd, parse_scl, parse_sed, parse_ssd};
+pub use error::{Diagnostic, SclError, Severity, Span};
+pub use parse::{parse_icd, parse_scd, parse_scl, parse_scl_lenient, parse_sed, parse_ssd};
 pub use types::*;
 pub use write::write_scl;

@@ -1,8 +1,17 @@
 //! Parsers from XML to the typed SCL model, one entry point per file kind.
 
+use crate::codes;
 use crate::error::{Diagnostic, SclError};
 use crate::types::*;
 use sgcr_xml::{Document, ElementRef};
+
+/// The source position of an element, or the unknown position for documents
+/// built in memory.
+fn pos_of(el: &ElementRef<'_>) -> SourcePos {
+    el.position()
+        .map(|p| SourcePos::new(p.line, p.column))
+        .unwrap_or_default()
+}
 
 /// Parses any SCL document without kind-specific requirements.
 ///
@@ -10,6 +19,25 @@ use sgcr_xml::{Document, ElementRef};
 ///
 /// Returns [`SclError`] if the text is not well-formed XML or not SCL.
 pub fn parse_scl(text: &str) -> Result<SclDocument, SclError> {
+    let (parsed, diagnostics) = parse_scl_lenient(text)?;
+    if diagnostics
+        .iter()
+        .any(|d| d.severity == crate::error::Severity::Error)
+    {
+        return Err(SclError::Invalid { diagnostics });
+    }
+    Ok(parsed)
+}
+
+/// Parses any SCL document, returning the model alongside *all* structural
+/// diagnostics (warnings and errors) instead of failing on errors — the
+/// entry point analyzers use so a flawed document can still be inspected.
+///
+/// # Errors
+///
+/// Returns [`SclError`] only when the text is not well-formed XML or the
+/// root element is not `<SCL>`.
+pub fn parse_scl_lenient(text: &str) -> Result<(SclDocument, Vec<Diagnostic>), SclError> {
     let doc = Document::parse(text).map_err(|e| SclError::Xml(e.to_string()))?;
     let root = doc.root_element();
     if root.name() != "SCL" {
@@ -19,13 +47,7 @@ pub fn parse_scl(text: &str) -> Result<SclDocument, SclError> {
     }
     let mut diagnostics = Vec::new();
     let parsed = parse_document(&root, &mut diagnostics);
-    if diagnostics
-        .iter()
-        .any(|d| d.severity == crate::error::Severity::Error)
-    {
-        return Err(SclError::Invalid { diagnostics });
-    }
-    Ok(parsed)
+    Ok((parsed, diagnostics))
 }
 
 /// Parses an SSD: requires at least one `Substation`.
@@ -107,7 +129,11 @@ fn parse_document(root: &ElementRef<'_>, diagnostics: &mut Vec<Diagnostic>) -> S
             revision: h.attr_or("revision", "").to_string(),
         })
         .unwrap_or_else(|| {
-            diagnostics.push(Diagnostic::warning("missing <Header>", "SCL"));
+            diagnostics.push(Diagnostic::warning(
+                codes::MISSING_HEADER,
+                "missing <Header>",
+                "SCL",
+            ));
             Header::default()
         });
 
@@ -171,7 +197,11 @@ fn parse_params(parent: &ElementRef<'_>) -> ElectricalParams {
 fn parse_substation(s: &ElementRef<'_>, diagnostics: &mut Vec<Diagnostic>) -> Substation {
     let name = s.attr_or("name", "").to_string();
     if name.is_empty() {
-        diagnostics.push(Diagnostic::error("substation without a name", "Substation"));
+        diagnostics.push(Diagnostic::error(
+            codes::UNNAMED_ELEMENT,
+            "substation without a name",
+            "Substation",
+        ));
     }
     let voltage_levels = s
         .children_named("VoltageLevel")
@@ -184,6 +214,7 @@ fn parse_substation(s: &ElementRef<'_>, diagnostics: &mut Vec<Diagnostic>) -> Su
         .map(|t| parse_transformer(t, diagnostics))
         .collect();
     Substation {
+        pos: pos_of(s),
         name,
         voltage_levels,
         transformers,
@@ -202,6 +233,7 @@ fn parse_voltage_level(
         .map(|v| {
             let value: f64 = v.text().trim().parse().unwrap_or_else(|_| {
                 diagnostics.push(Diagnostic::error(
+                    codes::UNPARSABLE_VALUE,
                     "unparsable <Voltage> value",
                     format!("{substation}/{name}"),
                 ));
@@ -213,6 +245,7 @@ fn parse_voltage_level(
                 "" | "none" => value / 1000.0,
                 other => {
                     diagnostics.push(Diagnostic::warning(
+                        codes::UNKNOWN_MULTIPLIER,
                         format!("unknown voltage multiplier {other:?}, assuming kV"),
                         format!("{substation}/{name}"),
                     ));
@@ -222,6 +255,7 @@ fn parse_voltage_level(
         })
         .unwrap_or_else(|| {
             diagnostics.push(Diagnostic::warning(
+                codes::UNPARSABLE_VALUE,
                 "voltage level without <Voltage>, assuming 20 kV",
                 format!("{substation}/{name}"),
             ));
@@ -250,13 +284,14 @@ fn parse_bay(
         .children_named("ConnectivityNode")
         .iter()
         .map(|cn| ConnectivityNode {
+            pos: pos_of(cn),
             name: cn.attr_or("name", "").to_string(),
-            path_name: cn
-                .attr("pathName")
-                .map(str::to_string)
-                .unwrap_or_else(|| {
-                    format!("{substation}/{voltage_level}/{name}/{}", cn.attr_or("name", ""))
-                }),
+            path_name: cn.attr("pathName").map(str::to_string).unwrap_or_else(|| {
+                format!(
+                    "{substation}/{voltage_level}/{name}/{}",
+                    cn.attr_or("name", "")
+                )
+            }),
         })
         .collect();
     let equipment = b
@@ -278,11 +313,16 @@ fn parse_bay(
                 .collect::<Vec<_>>();
             if terminals.is_empty() {
                 diagnostics.push(Diagnostic::warning(
+                    codes::EQUIPMENT_NO_TERMINAL,
                     "equipment without terminals",
-                    format!("{substation}/{voltage_level}/{name}/{}", ce.attr_or("name", "")),
+                    format!(
+                        "{substation}/{voltage_level}/{name}/{}",
+                        ce.attr_or("name", "")
+                    ),
                 ));
             }
             ConductingEquipment {
+                pos: pos_of(ce),
                 name: ce.attr_or("name", "").to_string(),
                 eq_type: EquipmentType::parse(&type_code),
                 type_code,
@@ -296,6 +336,7 @@ fn parse_bay(
         .children_named("LNode")
         .iter()
         .map(|ln| LNodeRef {
+            pos: pos_of(ln),
             ied_name: ln.attr_or("iedName", "").to_string(),
             ln_class: ln.attr_or("lnClass", "").to_string(),
             ln_inst: ln.attr_or("lnInst", "").to_string(),
@@ -328,6 +369,7 @@ fn parse_transformer(t: &ElementRef<'_>, diagnostics: &mut Vec<Diagnostic>) -> P
                 })
                 .unwrap_or_else(|| {
                     diagnostics.push(Diagnostic::error(
+                        codes::WINDING_NO_TERMINAL,
                         "transformer winding without a terminal",
                         name.clone(),
                     ));
@@ -345,11 +387,13 @@ fn parse_transformer(t: &ElementRef<'_>, diagnostics: &mut Vec<Diagnostic>) -> P
         .collect();
     if windings.len() != 2 {
         diagnostics.push(Diagnostic::warning(
+            codes::WINDING_COUNT,
             format!("transformer has {} windings, expected 2", windings.len()),
             name.clone(),
         ));
     }
     PowerTransformer {
+        pos: pos_of(t),
         name,
         windings,
         params: parse_params(t),
@@ -411,6 +455,7 @@ fn parse_communication(c: &ElementRef<'_>) -> Communication {
                         })
                         .collect();
                     ConnectedAp {
+                        pos: pos_of(ap),
                         ied_name: ap.attr_or("iedName", "").to_string(),
                         ap_name: ap.attr_or("apName", "").to_string(),
                         ip,
@@ -421,6 +466,7 @@ fn parse_communication(c: &ElementRef<'_>) -> Communication {
                 })
                 .collect();
             SubNetwork {
+                pos: pos_of(sn),
                 name: sn.attr_or("name", "").to_string(),
                 net_type: sn.attr_or("type", "").to_string(),
                 connected_aps,
@@ -433,7 +479,11 @@ fn parse_communication(c: &ElementRef<'_>) -> Communication {
 fn parse_ied(i: &ElementRef<'_>, diagnostics: &mut Vec<Diagnostic>) -> Ied {
     let name = i.attr_or("name", "").to_string();
     if name.is_empty() {
-        diagnostics.push(Diagnostic::error("IED without a name", "IED"));
+        diagnostics.push(Diagnostic::error(
+            codes::UNNAMED_ELEMENT,
+            "IED without a name",
+            "IED",
+        ));
     }
     let access_points = i
         .children_named("AccessPoint")
@@ -473,6 +523,7 @@ fn parse_ied(i: &ElementRef<'_>, diagnostics: &mut Vec<Diagnostic>) -> Ied {
         })
         .collect();
     Ied {
+        pos: pos_of(i),
         name,
         manufacturer: i.attr_or("manufacturer", "").to_string(),
         ied_type: i.attr_or("type", "").to_string(),
@@ -507,6 +558,7 @@ fn parse_tie_line(
     let to_substation = line.attr_or("toSubstation", "").to_string();
     if from_substation.is_empty() || to_substation.is_empty() {
         diagnostics.push(Diagnostic::error(
+            codes::TIE_MISSING_REFS,
             "tie line missing substation references",
             name.clone(),
         ));
@@ -518,6 +570,7 @@ fn parse_tie_line(
         .map(|e| e.attr_or("name", "").to_string())
         .collect();
     Some(InterSubstationLine {
+        pos: pos_of(&line),
         name,
         from_node: line.attr_or("fromNode", "").to_string(),
         to_node: line.attr_or("toNode", "").to_string(),
@@ -662,7 +715,10 @@ mod tests {
         let text = r#"<SCL><Header id="x"/></SCL>"#;
         assert!(matches!(
             parse_ssd(text),
-            Err(SclError::MissingSection { section: "Substation", .. })
+            Err(SclError::MissingSection {
+                section: "Substation",
+                ..
+            })
         ));
     }
 
@@ -670,7 +726,10 @@ mod tests {
     fn scd_without_communication_rejected() {
         assert!(matches!(
             parse_scd(MINI_SSD),
-            Err(SclError::MissingSection { section: "Communication", .. })
+            Err(SclError::MissingSection {
+                section: "Communication",
+                ..
+            })
         ));
     }
 
@@ -712,6 +771,35 @@ mod tests {
             parse_sed(MINI_SSD),
             Err(SclError::MissingSection { .. })
         ));
+    }
+
+    #[test]
+    fn parsed_elements_carry_positions() {
+        let doc = parse_ssd(MINI_SSD).unwrap();
+        let s = &doc.substations[0];
+        assert!(s.pos.is_known());
+        assert_eq!(s.pos.line, 4); // <Substation> on line 4 of MINI_SSD
+        let cb = &s.voltage_levels[1].bays[0].equipment[0];
+        assert!(cb.pos.is_known());
+        assert!(cb.pos.line > s.pos.line);
+        let scd = parse_scd(MINI_SCD).unwrap();
+        let comm = scd.communication.as_ref().unwrap();
+        assert!(comm.subnetworks[0].pos.is_known());
+        assert!(comm.subnetworks[0].connected_aps[0].pos.is_known());
+        assert!(scd.ieds[0].pos.is_known());
+    }
+
+    #[test]
+    fn lenient_parse_reports_errors_without_failing() {
+        // Unnamed substation is an error for parse_scl, but lenient parsing
+        // still yields the document plus the diagnostic.
+        let text = r#"<SCL><Header id="x"/><Substation/></SCL>"#;
+        assert!(matches!(parse_scl(text), Err(SclError::Invalid { .. })));
+        let (doc, diags) = parse_scl_lenient(text).unwrap();
+        assert_eq!(doc.substations.len(), 1);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == crate::codes::UNNAMED_ELEMENT));
     }
 
     #[test]

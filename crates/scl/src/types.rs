@@ -1,6 +1,47 @@
 //! Typed model of IEC 61850 SCL (System Configuration description Language)
 //! documents — the subset the SG-ML toolchain consumes and produces.
 
+/// The 1-based source position of the element an SCL value was parsed from.
+///
+/// Positions are advisory metadata for diagnostics: two values that differ
+/// only in position compare **equal** (and hash identically), so documents
+/// survive write→reparse round-trips and synthesized test fixtures compare
+/// cleanly against parsed ones. `line == 0` (the [`Default`]) means the value
+/// was built in memory rather than parsed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SourcePos {
+    /// 1-based line, or 0 when unknown.
+    pub line: u32,
+    /// 1-based column, or 0 when unknown.
+    pub column: u32,
+}
+
+impl SourcePos {
+    /// Creates a known position.
+    pub fn new(line: u32, column: u32) -> SourcePos {
+        SourcePos { line, column }
+    }
+
+    /// Whether this position refers to an actual source location.
+    pub fn is_known(self) -> bool {
+        self.line != 0
+    }
+}
+
+impl PartialEq for SourcePos {
+    fn eq(&self, _other: &SourcePos) -> bool {
+        true // positions are metadata, not model content
+    }
+}
+
+impl Eq for SourcePos {}
+
+impl std::hash::Hash for SourcePos {
+    fn hash<H: std::hash::Hasher>(&self, _state: &mut H) {
+        // consistent with PartialEq: all positions hash alike
+    }
+}
+
 /// SCL file kinds, per Table I of the SG-ML paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SclFileKind {
@@ -39,7 +80,7 @@ pub struct Header {
 
 /// Conducting-equipment categories used by the cyber range, following the
 /// SCL common equipment type codes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum EquipmentType {
     /// Circuit breaker.
     CircuitBreaker,
@@ -60,6 +101,7 @@ pub enum EquipmentType {
     /// Voltage transformer (instrumentation; no power-flow effect).
     VoltageTransformer,
     /// Anything else (kept verbatim).
+    #[default]
     Other,
 }
 
@@ -138,8 +180,10 @@ pub struct ElectricalParams {
 }
 
 /// A piece of primary equipment in a bay.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ConductingEquipment {
+    /// Source position of the element.
+    pub pos: SourcePos,
     /// Equipment name (unique within the substation by convention).
     pub name: String,
     /// Equipment category.
@@ -155,8 +199,10 @@ pub struct ConductingEquipment {
 }
 
 /// A connectivity node (electrical junction → power-flow bus).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ConnectivityNode {
+    /// Source position of the element.
+    pub pos: SourcePos,
     /// Local name.
     pub name: String,
     /// Full path name (`Substation/VoltageLevel/Bay/Name`).
@@ -164,8 +210,10 @@ pub struct ConnectivityNode {
 }
 
 /// A reference from primary equipment to a logical node on an IED.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct LNodeRef {
+    /// Source position of the element.
+    pub pos: SourcePos,
     /// IED name.
     pub ied_name: String,
     /// LN class (e.g. `XCBR`, `PTOC`).
@@ -203,6 +251,8 @@ pub struct TransformerWinding {
 /// A power transformer (may span voltage levels).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PowerTransformer {
+    /// Source position of the element.
+    pub pos: SourcePos,
     /// Transformer name.
     pub name: String,
     /// Windings (2 supported).
@@ -225,6 +275,8 @@ pub struct VoltageLevel {
 /// A substation: the single-line diagram of the SSD.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Substation {
+    /// Source position of the element.
+    pub pos: SourcePos,
     /// Substation name.
     pub name: String,
     /// Voltage levels.
@@ -249,8 +301,10 @@ pub struct GseAddress {
 }
 
 /// One IED access point on a subnetwork, with its addressing.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ConnectedAp {
+    /// Source position of the element.
+    pub pos: SourcePos,
     /// IED name.
     pub ied_name: String,
     /// Access point name.
@@ -268,6 +322,8 @@ pub struct ConnectedAp {
 /// A communication subnetwork.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SubNetwork {
+    /// Source position of the element.
+    pub pos: SourcePos,
     /// Subnetwork name.
     pub name: String,
     /// Subnetwork type (e.g. `8-MMS`).
@@ -324,6 +380,8 @@ pub struct AccessPoint {
 /// An IED.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Ied {
+    /// Source position of the element.
+    pub pos: SourcePos,
     /// IED name.
     pub name: String,
     /// Manufacturer string.
@@ -378,8 +436,10 @@ pub struct DataTypeTemplates {
 }
 
 /// An inter-substation tie declared by an SED file.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct InterSubstationLine {
+    /// Source position of the element.
+    pub pos: SourcePos,
     /// Tie line name.
     pub name: String,
     /// From substation name.

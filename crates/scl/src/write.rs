@@ -247,6 +247,7 @@ mod tests {
                 revision: "B".into(),
             },
             substations: vec![Substation {
+                pos: SourcePos::default(),
                 name: "S1".into(),
                 voltage_levels: vec![VoltageLevel {
                     name: "VL1".into(),
@@ -254,10 +255,12 @@ mod tests {
                     bays: vec![Bay {
                         name: "B1".into(),
                         connectivity_nodes: vec![ConnectivityNode {
+                            pos: SourcePos::default(),
                             name: "CN1".into(),
                             path_name: "S1/VL1/B1/CN1".into(),
                         }],
                         equipment: vec![ConductingEquipment {
+                            pos: SourcePos::default(),
                             name: "CB1".into(),
                             eq_type: EquipmentType::CircuitBreaker,
                             type_code: "CBR".into(),
@@ -272,6 +275,7 @@ mod tests {
                             normally_open: true,
                         }],
                         lnodes: vec![LNodeRef {
+                            pos: SourcePos::default(),
                             ied_name: "IED1".into(),
                             ln_class: "XCBR".into(),
                             ln_inst: "1".into(),
@@ -283,9 +287,11 @@ mod tests {
             }],
             communication: Some(Communication {
                 subnetworks: vec![SubNetwork {
+                    pos: SourcePos::default(),
                     name: "bus1".into(),
                     net_type: "8-MMS".into(),
                     connected_aps: vec![ConnectedAp {
+                        pos: SourcePos::default(),
                         ied_name: "IED1".into(),
                         ap_name: "AP1".into(),
                         ip: "10.0.0.1".into(),
@@ -302,6 +308,7 @@ mod tests {
                 }],
             }),
             ieds: vec![Ied {
+                pos: SourcePos::default(),
                 name: "IED1".into(),
                 manufacturer: "sgcr".into(),
                 ied_type: "virtual".into(),
@@ -353,6 +360,7 @@ mod tests {
                 ..Header::default()
             },
             inter_substation_lines: vec![InterSubstationLine {
+                pos: SourcePos::default(),
                 name: "tie12".into(),
                 from_substation: "S1".into(),
                 from_node: "S1/VL1/B1/CN1".into(),

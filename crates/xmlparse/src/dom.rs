@@ -72,16 +72,37 @@ impl Node {
     }
 }
 
+/// Line/column (both 1-based) where a node's markup starts in parsed source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TextPosition {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub column: u32,
+}
+
 /// A parsed or programmatically built XML document.
 ///
 /// Nodes are stored in an arena and addressed by [`NodeId`]; the convenience
 /// wrapper [`ElementRef`] provides ergonomic read-only traversal.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Eq)]
 pub struct Document {
     pub(crate) nodes: Vec<Node>,
     pub(crate) root: NodeId,
     /// Leading comments / PIs that appear before the root element.
     pub(crate) prolog: Vec<NodeId>,
+    /// Source position per node, parallel to `nodes`; `None` for nodes built
+    /// programmatically rather than parsed.
+    pub(crate) positions: Vec<Option<TextPosition>>,
+}
+
+/// Positions are metadata about where markup happened to sit in one source
+/// rendering; two documents with identical structure and content are equal
+/// regardless of original layout (write → reparse must round-trip).
+impl PartialEq for Document {
+    fn eq(&self, other: &Document) -> bool {
+        self.nodes == other.nodes && self.root == other.root && self.prolog == other.prolog
+    }
 }
 
 impl Document {
@@ -125,6 +146,7 @@ impl Document {
             }],
             root: NodeId(0),
             prolog: Vec::new(),
+            positions: vec![None],
         }
     }
 
@@ -172,7 +194,21 @@ impl Document {
     pub(crate) fn push_node(&mut self, node: Node) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(node);
+        self.positions.push(None);
         id
+    }
+
+    pub(crate) fn push_node_at(&mut self, node: Node, pos: TextPosition) -> NodeId {
+        let id = self.push_node(node);
+        self.positions[id.index()] = Some(pos);
+        id
+    }
+
+    /// Where `id`'s markup started in the parsed source, if this document was
+    /// produced by [`Document::parse`]. Programmatically built nodes have no
+    /// position.
+    pub fn position(&self, id: NodeId) -> Option<TextPosition> {
+        self.positions.get(id.index()).copied().flatten()
     }
 
     /// Appends a child element to `parent` and returns its id.
@@ -273,6 +309,21 @@ impl<'a> ElementRef<'a> {
         self.doc
     }
 
+    /// Where this element's `<` sat in the parsed source, if known.
+    pub fn position(&self) -> Option<TextPosition> {
+        self.doc.position(self.id)
+    }
+
+    /// 1-based source line of this element's start tag, if known.
+    pub fn line(&self) -> Option<u32> {
+        self.position().map(|p| p.line)
+    }
+
+    /// 1-based source column of this element's start tag, if known.
+    pub fn column(&self) -> Option<u32> {
+        self.position().map(|p| p.column)
+    }
+
     fn node(&self) -> &'a Node {
         &self.doc.nodes[self.id.index()]
     }
@@ -340,12 +391,13 @@ impl<'a> ElementRef<'a> {
     /// Iterator over child *elements* (skipping text/comments) in order.
     pub fn child_elements(&self) -> impl Iterator<Item = ElementRef<'a>> + '_ {
         let doc = self.doc;
-        self.node().children.iter().filter_map(move |&cid| {
-            match doc.nodes[cid.index()].kind {
+        self.node()
+            .children
+            .iter()
+            .filter_map(move |&cid| match doc.nodes[cid.index()].kind {
                 NodeKind::Element { .. } => Some(ElementRef { doc, id: cid }),
                 _ => None,
-            }
-        })
+            })
     }
 
     /// First child element with the given local name.
@@ -413,13 +465,11 @@ impl<'a> ElementRef<'a> {
         for &cid in self.node().children.iter() {
             match &self.doc.nodes[cid.index()].kind {
                 NodeKind::Text(t) | NodeKind::Cdata(t) => out.push_str(t),
-                NodeKind::Element { .. } => {
-                    ElementRef {
-                        doc: self.doc,
-                        id: cid,
-                    }
-                    .collect_text(out)
+                NodeKind::Element { .. } => ElementRef {
+                    doc: self.doc,
+                    id: cid,
                 }
+                .collect_text(out),
                 _ => {}
             }
         }
@@ -488,8 +538,7 @@ mod tests {
 
     #[test]
     fn prefixed_names() {
-        let doc =
-            Document::parse(r#"<p:a xmlns:p="urn:x"><p:b/></p:a>"#).expect("parse prefixed");
+        let doc = Document::parse(r#"<p:a xmlns:p="urn:x"><p:b/></p:a>"#).expect("parse prefixed");
         let root = doc.root_element();
         assert_eq!(root.name(), "a");
         assert_eq!(root.prefix(), Some("p"));

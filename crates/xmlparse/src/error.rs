@@ -69,9 +69,7 @@ impl fmt::Display for XmlError {
             }
             XmlErrorKind::Malformed(what) => write!(f, "malformed {what}")?,
             XmlErrorKind::UnknownEntity(name) => write!(f, "unknown entity &{name};")?,
-            XmlErrorKind::DuplicateAttribute(name) => {
-                write!(f, "duplicate attribute {name:?}")?
-            }
+            XmlErrorKind::DuplicateAttribute(name) => write!(f, "duplicate attribute {name:?}")?,
             XmlErrorKind::InvalidDocumentStructure(what) => {
                 write!(f, "invalid document structure: {what}")?
             }

@@ -35,7 +35,7 @@ mod escape;
 mod parser;
 mod writer;
 
-pub use dom::{Attribute, Document, ElementRef, Node, NodeId, NodeKind};
+pub use dom::{Attribute, Document, ElementRef, Node, NodeId, NodeKind, TextPosition};
 pub use error::{XmlError, XmlErrorKind};
 pub use escape::{escape_attr, escape_text, unescape};
 pub use writer::WriteOptions;

@@ -1,6 +1,6 @@
 //! Recursive-descent XML parser producing a [`Document`].
 
-use crate::dom::{Attribute, Document, Node, NodeId, NodeKind};
+use crate::dom::{Attribute, Document, Node, NodeId, NodeKind, TextPosition};
 use crate::error::{XmlError, XmlErrorKind};
 use crate::escape::expand_entity;
 
@@ -50,6 +50,13 @@ impl<'a> Cursor<'a> {
         debug_assert!(self.starts_with(s));
         for _ in s.chars() {
             self.bump();
+        }
+    }
+
+    fn position(&self) -> TextPosition {
+        TextPosition {
+            line: self.line,
+            column: self.column,
         }
     }
 
@@ -208,19 +215,27 @@ fn parse_misc(cur: &mut Cursor<'_>) -> Result<Option<Misc>, XmlError> {
 
 /// Parses one complete element (opening tag through matching end tag),
 /// appending all nodes into `doc`. Returns the element's id.
-fn parse_element(cur: &mut Cursor<'_>, doc: &mut Document, parent: Option<NodeId>) -> Result<NodeId, XmlError> {
+fn parse_element(
+    cur: &mut Cursor<'_>,
+    doc: &mut Document,
+    parent: Option<NodeId>,
+) -> Result<NodeId, XmlError> {
     debug_assert_eq!(cur.peek(), Some('<'));
+    let pos = cur.position();
     cur.bump();
     let name = parse_name(cur)?;
     let attributes = parse_attributes(cur)?;
-    let id = doc.push_node(Node {
-        kind: NodeKind::Element {
-            name: name.clone(),
-            attributes,
+    let id = doc.push_node_at(
+        Node {
+            kind: NodeKind::Element {
+                name: name.clone(),
+                attributes,
+            },
+            parent,
+            children: Vec::new(),
         },
-        parent,
-        children: Vec::new(),
-    });
+        pos,
+    );
 
     match cur.peek() {
         Some('/') => {
@@ -254,32 +269,43 @@ fn parse_element(cur: &mut Cursor<'_>, doc: &mut Document, parent: Option<NodeId
             return Ok(id);
         }
         if cur.starts_with("<![CDATA[") {
+            let pos = cur.position();
             cur.bump_str("<![CDATA[");
             let data = cur.take_until("]]>")?.to_string();
-            let child = doc.push_node(Node {
-                kind: NodeKind::Cdata(data),
-                parent: Some(id),
-                children: Vec::new(),
-            });
+            let child = doc.push_node_at(
+                Node {
+                    kind: NodeKind::Cdata(data),
+                    parent: Some(id),
+                    children: Vec::new(),
+                },
+                pos,
+            );
             doc.nodes[id.index()].children.push(child);
             continue;
         }
+        let misc_pos = cur.position();
         match parse_misc(cur)? {
             Some(Misc::Comment(text)) => {
-                let child = doc.push_node(Node {
-                    kind: NodeKind::Comment(text),
-                    parent: Some(id),
-                    children: Vec::new(),
-                });
+                let child = doc.push_node_at(
+                    Node {
+                        kind: NodeKind::Comment(text),
+                        parent: Some(id),
+                        children: Vec::new(),
+                    },
+                    misc_pos,
+                );
                 doc.nodes[id.index()].children.push(child);
                 continue;
             }
             Some(Misc::Pi { target, data }) => {
-                let child = doc.push_node(Node {
-                    kind: NodeKind::ProcessingInstruction { target, data },
-                    parent: Some(id),
-                    children: Vec::new(),
-                });
+                let child = doc.push_node_at(
+                    Node {
+                        kind: NodeKind::ProcessingInstruction { target, data },
+                        parent: Some(id),
+                        children: Vec::new(),
+                    },
+                    misc_pos,
+                );
                 doc.nodes[id.index()].children.push(child);
                 continue;
             }
@@ -293,6 +319,7 @@ fn parse_element(cur: &mut Cursor<'_>, doc: &mut Document, parent: Option<NodeId
             }
             Some(_) => {
                 // Character data up to the next markup.
+                let pos = cur.position();
                 let start = cur.pos;
                 while matches!(cur.peek(), Some(c) if c != '<') {
                     cur.bump();
@@ -303,11 +330,14 @@ fn parse_element(cur: &mut Cursor<'_>, doc: &mut Document, parent: Option<NodeId
                 // pretty-printer regenerates layout. Mixed content keeps its
                 // significant text.
                 if !text.trim().is_empty() {
-                    let child = doc.push_node(Node {
-                        kind: NodeKind::Text(text),
-                        parent: Some(id),
-                        children: Vec::new(),
-                    });
+                    let child = doc.push_node_at(
+                        Node {
+                            kind: NodeKind::Text(text),
+                            parent: Some(id),
+                            children: Vec::new(),
+                        },
+                        pos,
+                    );
                     doc.nodes[id.index()].children.push(child);
                 }
             }
@@ -324,6 +354,7 @@ pub(crate) fn parse_document(input: &str) -> Result<Document, XmlError> {
         nodes: Vec::new(),
         root: NodeId(0),
         prolog: Vec::new(),
+        positions: Vec::new(),
     };
     let mut prolog: Vec<NodeId> = Vec::new();
 
@@ -335,21 +366,28 @@ pub(crate) fn parse_document(input: &str) -> Result<Document, XmlError> {
                 "no root element".into(),
             )));
         }
+        let pos = cur.position();
         match parse_misc(&mut cur)? {
             Some(Misc::Comment(text)) => {
-                let id = doc.push_node(Node {
-                    kind: NodeKind::Comment(text),
-                    parent: None,
-                    children: Vec::new(),
-                });
+                let id = doc.push_node_at(
+                    Node {
+                        kind: NodeKind::Comment(text),
+                        parent: None,
+                        children: Vec::new(),
+                    },
+                    pos,
+                );
                 prolog.push(id);
             }
             Some(Misc::Pi { target, data }) => {
-                let id = doc.push_node(Node {
-                    kind: NodeKind::ProcessingInstruction { target, data },
-                    parent: None,
-                    children: Vec::new(),
-                });
+                let id = doc.push_node_at(
+                    Node {
+                        kind: NodeKind::ProcessingInstruction { target, data },
+                        parent: None,
+                        children: Vec::new(),
+                    },
+                    pos,
+                );
                 prolog.push(id);
             }
             Some(Misc::Nothing) => {}
@@ -471,6 +509,41 @@ mod tests {
         let err = Document::parse("<a>\n  <b x=></b>\n</a>").unwrap_err();
         assert_eq!(err.line(), 2);
         assert!(err.column() > 1);
+    }
+
+    #[test]
+    fn node_positions_reported() {
+        let doc = Document::parse(
+            "<?xml version=\"1.0\"?>\n<SCL>\n  <Header id=\"h\"/>\n  <IED name=\"P1\"/> <IED name=\"P2\"/>\n</SCL>",
+        )
+        .unwrap();
+        let root = doc.root_element();
+        assert_eq!(root.position().map(|p| (p.line, p.column)), Some((2, 1)));
+        let header = root.child("Header").unwrap();
+        assert_eq!(header.line(), Some(3));
+        assert_eq!(header.column(), Some(3));
+        let ieds = root.children_named("IED");
+        assert_eq!(ieds[0].position().map(|p| (p.line, p.column)), Some((4, 3)));
+        assert_eq!(
+            ieds[1].position().map(|p| (p.line, p.column)),
+            Some((4, 20))
+        );
+    }
+
+    #[test]
+    fn built_nodes_have_no_position() {
+        let mut doc = Document::new("a");
+        let root = doc.root_id();
+        let b = doc.add_element(root, "b");
+        assert_eq!(doc.position(root), None);
+        assert_eq!(doc.position(b), None);
+    }
+
+    #[test]
+    fn positions_ignored_by_equality() {
+        let a = Document::parse("<a><b/></a>").unwrap();
+        let b = Document::parse("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -57,7 +57,9 @@ fn has_element_children(doc: &Document, id: NodeId) -> bool {
     doc.node(id).children().iter().any(|&c| {
         matches!(
             doc.node(c).kind(),
-            NodeKind::Element { .. } | NodeKind::Comment(_) | NodeKind::ProcessingInstruction { .. }
+            NodeKind::Element { .. }
+                | NodeKind::Comment(_)
+                | NodeKind::ProcessingInstruction { .. }
         )
     })
 }

@@ -11,29 +11,53 @@ fn name_strategy() -> impl Strategy<Value = String> {
 /// Text without leading/trailing whitespace ambiguity (parser drops
 /// whitespace-only runs and the writer reformats), so use visible chars.
 fn text_strategy() -> impl Strategy<Value = String> {
-    "[A-Za-z0-9 ,.:;()+*_-]{1,40}".prop_map(|s| s.trim().to_string()).prop_filter("non-empty", |s| !s.is_empty())
+    "[A-Za-z0-9 ,.:;()+*_-]{1,40}"
+        .prop_map(|s| s.trim().to_string())
+        .prop_filter("non-empty", |s| !s.is_empty())
 }
 
 #[derive(Debug, Clone)]
 enum Tree {
-    Leaf { name: String, attrs: Vec<(String, String)>, text: Option<String> },
-    Node { name: String, attrs: Vec<(String, String)>, children: Vec<Tree> },
+    Leaf {
+        name: String,
+        attrs: Vec<(String, String)>,
+        text: Option<String>,
+    },
+    Node {
+        name: String,
+        attrs: Vec<(String, String)>,
+        children: Vec<Tree>,
+    },
 }
 
 fn attrs_strategy() -> impl Strategy<Value = Vec<(String, String)>> {
-    proptest::collection::vec((name_strategy(), "[A-Za-z0-9 ,.:<>&'\"_-]{0,20}"), 0..4).prop_map(|mut v| {
-        v.sort_by(|a, b| a.0.cmp(&b.0));
-        v.dedup_by(|a, b| a.0 == b.0);
-        v
-    })
+    proptest::collection::vec((name_strategy(), "[A-Za-z0-9 ,.:<>&'\"_-]{0,20}"), 0..4).prop_map(
+        |mut v| {
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v.dedup_by(|a, b| a.0 == b.0);
+            v
+        },
+    )
 }
 
 fn tree_strategy() -> impl Strategy<Value = Tree> {
-    let leaf = (name_strategy(), attrs_strategy(), proptest::option::of(text_strategy()))
+    let leaf = (
+        name_strategy(),
+        attrs_strategy(),
+        proptest::option::of(text_strategy()),
+    )
         .prop_map(|(name, attrs, text)| Tree::Leaf { name, attrs, text });
     leaf.prop_recursive(3, 24, 4, |inner| {
-        (name_strategy(), attrs_strategy(), proptest::collection::vec(inner, 1..4))
-            .prop_map(|(name, attrs, children)| Tree::Node { name, attrs, children })
+        (
+            name_strategy(),
+            attrs_strategy(),
+            proptest::collection::vec(inner, 1..4),
+        )
+            .prop_map(|(name, attrs, children)| Tree::Node {
+                name,
+                attrs,
+                children,
+            })
     })
 }
 
@@ -51,7 +75,11 @@ fn build(doc: &mut Document, parent: Option<NodeId>, tree: &Tree) {
                 doc.add_text(id, t);
             }
         }
-        Tree::Node { name, attrs, children } => {
+        Tree::Node {
+            name,
+            attrs,
+            children,
+        } => {
             let id = match parent {
                 Some(p) => doc.add_element(p, name),
                 None => doc.root_id(),

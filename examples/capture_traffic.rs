@@ -5,6 +5,8 @@
 //! cargo run --example capture_traffic -- /tmp/epic.pcap
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
+
 use sg_cyber_range::attack::CaptureSummary;
 use sg_cyber_range::core::CyberRange;
 use sg_cyber_range::models::epic_bundle;

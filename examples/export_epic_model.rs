@@ -8,7 +8,9 @@
 use sg_cyber_range::models::epic_bundle;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let dir = std::env::args().nth(1).unwrap_or_else(|| "epic-bundle".to_string());
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "epic-bundle".to_string());
     epic_bundle().write_to_dir(&dir)?;
     println!("wrote the EPIC SG-ML model set to {dir}/");
     for entry in std::fs::read_dir(&dir)? {

@@ -6,6 +6,8 @@
 //! cargo run --example fci_attack
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
+
 use sg_cyber_range::attack::{FciAttackApp, FciPlan};
 use sg_cyber_range::core::CyberRange;
 use sg_cyber_range::models::epic_bundle;
@@ -56,10 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         range.last_result.line[0].in_service
     );
     let cb = range.power.switch_by_name("EPIC/CB_GEN").unwrap();
-    println!(
-        "  CB_GEN closed: {}",
-        range.power.switch[cb.index()].closed
-    );
+    println!("  CB_GEN closed: {}", range.power.switch[cb.index()].closed);
 
     let scada = range.scada.as_ref().unwrap();
     println!("\noperator's view (SCADA):");
@@ -67,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  Gen feeder kW:   {:?}", scada.tag_value("GenFeeder_kW"));
     println!("\nGIED1 sequence of events:");
     for event in range.ieds["GIED1"].events() {
-        println!("  [{:>6} ms] {:?} {}", event.time_ms, event.kind, event.detail);
+        println!(
+            "  [{:>6} ms] {:?} {}",
+            event.time_ms, event.kind, event.detail
+        );
     }
     Ok(())
 }

@@ -6,6 +6,8 @@
 //! cargo run --example mitm_attack
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
+
 use sg_cyber_range::attack::{MitmApp, MitmPlan, Transform};
 use sg_cyber_range::core::CyberRange;
 use sg_cyber_range::models::epic_bundle;
@@ -29,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("attacker at 10.0.5.66; poisoning SCADA<->TIED1 from t=4s to t=10s");
     println!("transform: scale every MMS float x10 (false data injection)\n");
 
-    println!("{:>6}  {:>12}  {:>12}  phase", "t [s]", "true [MW]", "HMI [MW]");
+    println!(
+        "{:>6}  {:>12}  {:>12}  phase",
+        "t [s]", "true [MW]", "HMI [MW]"
+    );
     let scada = range.scada.as_ref().unwrap().clone();
     for step in 1..=14 {
         range.run_for(SimDuration::from_secs(1));

@@ -6,6 +6,8 @@
 //! cargo run --release --example multi_substation
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
+
 use sg_cyber_range::core::CyberRange;
 use sg_cyber_range::models::{multisub_bundle, MultiSubParams};
 use sg_cyber_range::net::SimDuration;
@@ -31,8 +33,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let wall = wall.elapsed().as_secs_f64();
 
     let steps = range.step_stats.len();
-    let mean_step: f64 =
-        range.step_stats.iter().map(|s| s.total_seconds).sum::<f64>() / steps.max(1) as f64;
+    let mean_step: f64 = range
+        .step_stats
+        .iter()
+        .map(|s| s.total_seconds)
+        .sum::<f64>()
+        / steps.max(1) as f64;
     let max_step = range
         .step_stats
         .iter()
@@ -40,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .fold(0.0f64, f64::max);
     let budget = params.interval_ms as f64 / 1000.0;
     println!("\n{steps} steps in {wall:.2} s wall clock");
-    println!("  mean step: {:.2} ms (budget {} ms)", mean_step * 1e3, params.interval_ms);
+    println!(
+        "  mean step: {:.2} ms (budget {} ms)",
+        mean_step * 1e3,
+        params.interval_ms
+    );
     println!("  max step:  {:.2} ms", max_step * 1e3);
     println!(
         "  real-time factor: {:.1}x (>1 means faster than real time)",

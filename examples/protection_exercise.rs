@@ -6,6 +6,8 @@
 //! cargo run --example protection_exercise
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
+
 use sg_cyber_range::core::CyberRange;
 use sg_cyber_range::ied::IedEventKind;
 use sg_cyber_range::models::epic_bundle;
@@ -23,13 +25,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .store
             .get_float("meas/EPIC/branch/LHome/i_ka")
             .unwrap_or(0.0);
-        println!("  nominal feeder current: {:.4} kA (pickup 0.120 kA)", i_before);
+        println!(
+            "  nominal feeder current: {:.4} kA (pickup 0.120 kA)",
+            i_before
+        );
         let load = range.power.load_by_name("EPIC/Load1").unwrap();
         range.power.load[load.index()].p_mw = 0.2;
         println!("  t=1s: load jumps to 0.2 MW…");
         range.run_for(SimDuration::from_secs(3));
         for event in range.ieds["TIED2"].events() {
-            println!("  TIED2 [{:>6} ms] {:?} {}", event.time_ms, event.kind, event.detail);
+            println!(
+                "  TIED2 [{:>6} ms] {:?} {}",
+                event.time_ms, event.kind, event.detail
+            );
         }
         let home = range.power.bus_by_name("EPIC/LV/HomeBay/CN_HOME").unwrap();
         println!(
@@ -49,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  t=1s: generator set-points forced to 1.15 pu (limit 1.10)…");
         range.run_for(SimDuration::from_secs(2));
         for event in range.ieds["GIED2"].events() {
-            println!("  GIED2 [{:>6} ms] {:?} {}", event.time_ms, event.kind, event.detail);
+            println!(
+                "  GIED2 [{:>6} ms] {:?} {}",
+                event.time_ms, event.kind, event.detail
+            );
         }
         println!();
     }
@@ -65,7 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  t=1s: source voltage forced to 0.86 pu (limit 0.88)…");
         range.run_for(SimDuration::from_secs(2));
         for event in range.ieds["MIED1"].events() {
-            println!("  MIED1 [{:>6} ms] {:?} {}", event.time_ms, event.kind, event.detail);
+            println!(
+                "  MIED1 [{:>6} ms] {:?} {}",
+                event.time_ms, event.kind, event.detail
+            );
         }
         println!();
     }
@@ -75,13 +89,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut range = CyberRange::generate(&epic_bundle())?;
         println!("scenario 4: SIED1 close command blocked by CILO until CB_HOME closes");
         // Open CB_HOME first.
-        range.store.set("cmd/EPIC/cb/CB_HOME/close", sg_cyber_range::kvstore::Value::Bool(false));
+        range.store.set(
+            "cmd/EPIC/cb/CB_HOME/close",
+            sg_cyber_range::kvstore::Value::Bool(false),
+        );
         range.run_for(SimDuration::from_secs(2));
         let ena = range.ieds["SIED1"]
             .model
             .read("SIED1LD0/CILO1$ST$EnaCls$stVal");
         println!("  with CB_HOME open: EnaCls = {ena:?}");
-        range.store.set("cmd/EPIC/cb/CB_HOME/close", sg_cyber_range::kvstore::Value::Bool(true));
+        range.store.set(
+            "cmd/EPIC/cb/CB_HOME/close",
+            sg_cyber_range::kvstore::Value::Bool(true),
+        );
         range.run_for(SimDuration::from_secs(3));
         let ena = range.ieds["SIED1"]
             .model

@@ -5,6 +5,8 @@
 //! cargo run --example quickstart
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
+
 use sg_cyber_range::core::CyberRange;
 use sg_cyber_range::models::epic_bundle;
 use sg_cyber_range::net::SimDuration;
@@ -25,7 +27,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("cyber topology (hosts):");
     for host in &range.plan.hosts {
-        println!("  {:10} {:12} on {}", host.name, host.ip.to_string(), host.switch);
+        println!(
+            "  {:10} {:12} on {}",
+            host.name,
+            host.ip.to_string(),
+            host.switch
+        );
     }
     println!("\npower model:");
     for bus in &range.power.bus {

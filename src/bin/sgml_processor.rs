@@ -1,45 +1,108 @@
-//! `sgml-processor` — the command-line face of the SG-ML Processor: loads a
+//! `sgml_processor` — the command-line face of the SG-ML Processor: loads a
 //! bundle directory of SG-ML model files, compiles it into an operational
 //! cyber range, reports the generated inventory, and optionally runs it.
 //!
 //! ```text
-//! sgml_processor <bundle-dir> [--run <seconds>] [--dot] [--validate-only]
+//! sgml_processor <bundle-dir> [--run <seconds>] [--dot] [--validate-only] [--format text|json]
+//! sgml_processor lint <bundle-dir> [--format text|json]
 //! ```
+//!
+//! `lint` (and `--validate-only`, which is its alias on the main form) runs
+//! the `sgcr-lint` static analyzer over the bundle *without* constructing a
+//! cyber range: files are parsed leniently, cross-file references, network
+//! addressing, power topology, protection sanity, and bundle hygiene are
+//! checked, and findings are printed as coded, span-carrying diagnostics.
+//! The exit code is nonzero when any finding is an error.
 
 use sgcr_core::{CyberRange, SgmlBundle};
+use sgcr_lint::source::LoadedBundle;
+use sgcr_lint::{json, lint_bundle, report};
 use sgcr_net::SimDuration;
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: sgml_processor <bundle-dir> [--run <seconds>] [--dot] \
+                     [--validate-only] [--format text|json]\n       \
+                     sgml_processor lint <bundle-dir> [--format text|json]";
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
 fn usage() -> ExitCode {
-    eprintln!("usage: sgml_processor <bundle-dir> [--run <seconds>] [--dot] [--validate-only]");
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(dir) = args.first() else {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let lint_mode = args.first().map(String::as_str) == Some("lint");
+    if lint_mode {
+        args.remove(0);
+    }
+    let Some(dir) = args.first().cloned() else {
         return usage();
     };
+
     let mut run_seconds: Option<u64> = None;
     let mut dot = false;
-    let mut validate_only = false;
+    let mut validate_only = lint_mode;
+    let mut format = Format::Text;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
-            "--run" => {
+            "--run" if !lint_mode => {
                 i += 1;
                 let Some(value) = args.get(i).and_then(|s| s.parse().ok()) else {
                     return usage();
                 };
                 run_seconds = Some(value);
             }
-            "--dot" => dot = true,
-            "--validate-only" => validate_only = true,
+            "--dot" if !lint_mode => dot = true,
+            "--validate-only" if !lint_mode => validate_only = true,
+            "--format" => {
+                i += 1;
+                format = match args.get(i).map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    _ => return usage(),
+                };
+            }
             _ => return usage(),
         }
         i += 1;
     }
 
+    if validate_only {
+        return lint(&dir, format);
+    }
+    generate(&dir, run_seconds, dot)
+}
+
+/// Statically analyzes the bundle; never constructs a `CyberRange`.
+fn lint(dir: &str, format: Format) -> ExitCode {
+    let bundle = match LoadedBundle::from_dir(dir) {
+        Ok(bundle) => bundle,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let lint_report = lint_bundle(&bundle);
+    match format {
+        Format::Text => print!("{}", report::render_text(&lint_report, &bundle)),
+        Format::Json => print!("{}", json::to_json(&lint_report)),
+    }
+    if lint_report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Generates (and optionally runs) the cyber range.
+fn generate(dir: &str, run_seconds: Option<u64>, dot: bool) -> ExitCode {
     let bundle = match SgmlBundle::from_dir(dir) {
         Ok(bundle) => bundle,
         Err(e) => {
@@ -73,9 +136,6 @@ fn main() -> ExitCode {
     println!("{}", range.summary());
     if dot {
         println!("{}", range.plan.to_dot());
-    }
-    if validate_only {
-        return ExitCode::SUCCESS;
     }
     if let Some(seconds) = run_seconds {
         eprintln!("running {seconds} s of co-simulated time…");

@@ -46,8 +46,8 @@ pub use sgcr_core as core;
 pub use sgcr_iec61850 as iec61850;
 pub use sgcr_ied as ied;
 pub use sgcr_kvstore as kvstore;
-pub use sgcr_models as models;
 pub use sgcr_modbus as modbus;
+pub use sgcr_models as models;
 pub use sgcr_net as net;
 pub use sgcr_plc as plc;
 pub use sgcr_powerflow as powerflow;

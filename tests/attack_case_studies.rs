@@ -1,9 +1,11 @@
 //! The paper's §IV-B attack case studies, executed against the *generated*
 //! EPIC cyber range: false command injection and ARP-spoofing MITM.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
+
 use sg_cyber_range::attack::{
-    CaptureSummary, FciAttackApp, FciPlan, MitmApp, MitmPlan, ProtocolClass, ScanPlan,
-    ScannerApp, Transform,
+    CaptureSummary, FciAttackApp, FciPlan, MitmApp, MitmPlan, ProtocolClass, ScanPlan, ScannerApp,
+    Transform,
 };
 use sg_cyber_range::core::CyberRange;
 use sg_cyber_range::models::epic_bundle;
@@ -36,14 +38,21 @@ fn fci_attack_opens_breaker_and_changes_power_flow() {
 
     let report = report.lock().clone();
     assert_eq!(report.command_accepted, Some(true));
-    assert!(!report.discovered_items.is_empty(), "recon listed the victim's model");
+    assert!(
+        !report.discovered_items.is_empty(),
+        "recon listed the victim's model"
+    );
     // Physical impact: the generation feeder is de-energized.
     assert!(!range.last_result.line[0].in_service);
     let cb = range.power.switch_by_name("EPIC/CB_GEN").unwrap();
     assert!(!range.power.switch[cb.index()].closed);
     // SCADA sees the consequence through the PLC-mediated feedback.
     let scada = range.scada.as_ref().unwrap();
-    assert_eq!(scada.tag_value("CB_GEN_fb"), Some(0.0), "HMI shows CB_GEN open");
+    assert_eq!(
+        scada.tag_value("CB_GEN_fb"),
+        Some(0.0),
+        "HMI shows CB_GEN open"
+    );
 }
 
 #[test]

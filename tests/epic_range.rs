@@ -2,6 +2,8 @@
 //! through the paper's workflows — monitoring, operator control, protection,
 //! and load profiles.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
+
 use sg_cyber_range::core::CyberRange;
 use sg_cyber_range::kvstore::Value;
 use sg_cyber_range::models::epic_bundle;
@@ -80,7 +82,10 @@ fn measurements_flow_to_ied_models_and_scada() {
     // The CPLC chain: IED → MMS → PLC program → Modbus → SCADA.
     let via_plc = scada.tag_value("GenFeeder_kW").expect("PLC-mediated tag");
     assert!(via_plc > 0.0, "PLC-mediated feeder power, got {via_plc}");
-    assert!(scada.tag_value("CB_GEN_fb").unwrap_or(0.0) > 0.0, "breaker feedback closed");
+    assert!(
+        scada.tag_value("CB_GEN_fb").unwrap_or(0.0) > 0.0,
+        "breaker feedback closed"
+    );
 
     // PLC is scanning without faults.
     let plc = range.plcs["CPLC"].lock();
@@ -108,9 +113,12 @@ fn operator_command_travels_scada_plc_ied_power() {
         !range.last_result.line[0].in_service,
         "generation feeder de-energized after operator open"
     );
-    let gied1_events = range.ieds["GIED1"]
-        .events_of(sg_cyber_range::ied::IedEventKind::ControlExecuted);
-    assert!(!gied1_events.is_empty(), "GIED1 executed the relayed command");
+    let gied1_events =
+        range.ieds["GIED1"].events_of(sg_cyber_range::ied::IedEventKind::ControlExecuted);
+    assert!(
+        !gied1_events.is_empty(),
+        "GIED1 executed the relayed command"
+    );
     // The physical switch actually opened.
     let cb = range.power.switch_by_name("EPIC/CB_GEN").unwrap();
     assert!(!range.power.switch[cb.index()].closed);
@@ -144,10 +152,7 @@ fn load_profile_modulates_demand() {
     let mut range = epic_range();
     // The EPIC profile scales Load1 over a compressed "day" (8 points x 60 s).
     range.run_for(SimDuration::from_secs(2));
-    let early = range
-        .store
-        .get_float("meas/EPIC/load/Load1/p_mw")
-        .unwrap();
+    let early = range.store.get_float("meas/EPIC/load/Load1/p_mw").unwrap();
     // Jump ahead by injecting the profile value directly: run to a later
     // profile segment (61 s in sim time).
     range.run_for(SimDuration::from_secs(60));

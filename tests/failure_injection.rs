@@ -2,6 +2,8 @@
 //! program faults, link failures, and hostile/garbage traffic — the range
 //! must degrade gracefully, never panic.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
+
 use sg_cyber_range::core::{CyberRange, PlcConfig, PlcLogic, SgmlBundle};
 use sg_cyber_range::models::epic_bundle;
 use sg_cyber_range::net::{HostCtx, Ipv4Addr, SimDuration, SocketApp};
@@ -34,8 +36,7 @@ fn plc_program_fault_latches_and_reports() {
     // be zero at runtime.
     let mut config = PlcConfig::parse(bundle.plc_config.as_ref().unwrap()).unwrap();
     config.plcs[0].logic = PlcLogic::StructuredText(
-        "PROGRAM bad VAR x AT %QW0 : INT; d : INT; END_VAR x := 100 / d; END_PROGRAM"
-            .to_string(),
+        "PROGRAM bad VAR x AT %QW0 : INT; d : INT; END_VAR x := 100 / d; END_PROGRAM".to_string(),
     );
     config.plcs[0].reads.clear();
     config.plcs[0].writes.clear();
@@ -87,7 +88,10 @@ fn link_failure_stalls_scada_but_not_the_grid() {
     // The physical side and other tags keep flowing.
     assert!(range.solve_errors.is_empty());
     let gen_tag = scada.tag("GenFeeder_kW").unwrap();
-    assert!(gen_tag.updated_ms > after.updated_ms, "other sources still update");
+    assert!(
+        gen_tag.updated_ms > after.updated_ms,
+        "other sources still update"
+    );
 
     // Repair: polling resumes (TCP retransmission recovers the session or a
     // fresh poll round reads again).
@@ -137,13 +141,17 @@ fn garbage_traffic_does_not_kill_the_ied() {
 #[test]
 fn breaker_command_for_unknown_target_is_ignored() {
     let mut range = epic_range();
+    range.store.set(
+        "cmd/EPIC/cb/NO_SUCH_CB/close",
+        sg_cyber_range::kvstore::Value::Bool(false),
+    );
+    range.store.set(
+        "cmd/EPIC/load/NO_SUCH_LOAD/p_mw",
+        sg_cyber_range::kvstore::Value::Float(1.0),
+    );
     range
         .store
-        .set("cmd/EPIC/cb/NO_SUCH_CB/close", sg_cyber_range::kvstore::Value::Bool(false));
-    range
-        .store
-        .set("cmd/EPIC/load/NO_SUCH_LOAD/p_mw", sg_cyber_range::kvstore::Value::Float(1.0));
-    range.store.set("cmd/garbage", sg_cyber_range::kvstore::Value::Bool(true));
+        .set("cmd/garbage", sg_cyber_range::kvstore::Value::Bool(true));
     range.run_for(SimDuration::from_secs(1));
     assert!(range.solve_errors.is_empty());
     // Real breakers untouched.

@@ -1,6 +1,8 @@
 //! The file-driven workflow the paper's users follow: model files on disk →
 //! SG-ML Processor → operational range; plus pcap export of range traffic.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
+
 use sg_cyber_range::attack::{CaptureSummary, ProtocolClass};
 use sg_cyber_range::core::{CyberRange, SgmlBundle};
 use sg_cyber_range::models::epic_bundle;
@@ -23,7 +25,10 @@ fn bundle_roundtrips_through_a_directory() {
         .unwrap()
         .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
         .collect();
-    assert!(names.contains(&"substation01.ssd.xml".to_string()), "{names:?}");
+    assert!(
+        names.contains(&"substation01.ssd.xml".to_string()),
+        "{names:?}"
+    );
     assert!(names.contains(&"GIED1.icd.xml".to_string()), "{names:?}");
     assert!(names.contains(&"ied_config.xml".to_string()));
     assert!(names.contains(&"power_config.xml".to_string()));

@@ -1,0 +1,119 @@
+//! Golden tests for `sgcr-lint` over the fixture bundles in
+//! `tests/fixtures/lint/`: each bundle is crafted to trip one specific
+//! diagnostic code, and the tests pin the code, severity, and span.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
+
+use sgcr_lint::source::LoadedBundle;
+use sgcr_lint::{json, lint_bundle, report, LintReport};
+use sgcr_scl::codes;
+use std::path::PathBuf;
+
+fn load_fixture(name: &str) -> (LoadedBundle, LintReport) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/lint")
+        .join(name);
+    let bundle = LoadedBundle::from_dir(&dir).expect("fixture bundle loads");
+    let report = lint_bundle(&bundle);
+    (bundle, report)
+}
+
+#[test]
+fn dangling_ied_reference_is_flagged() {
+    let (_, report) = load_fixture("dangling_ied");
+    let finding = report
+        .with_code(codes::LNODE_UNKNOWN_IED)
+        .next()
+        .unwrap_or_else(|| panic!("expected SG0103, got {:#?}", report.diagnostics));
+    assert!(finding.message.contains("GHOST"));
+    let span = finding.span.as_ref().expect("SG0103 carries a span");
+    assert_eq!(span.file, "substation01.ssd.xml");
+    assert_eq!(span.line, 19, "LNode element line");
+    // A dangling diagram reference is suspicious, not fatal.
+    assert!(!report.has_errors(), "{:#?}", report.diagnostics);
+}
+
+#[test]
+fn duplicate_ip_is_an_error_with_span() {
+    let (_, report) = load_fixture("dup_ip");
+    assert!(report.has_errors());
+    let finding = report
+        .with_code(codes::DUPLICATE_IP)
+        .next()
+        .unwrap_or_else(|| panic!("expected SG0201, got {:#?}", report.diagnostics));
+    assert!(finding.message.contains("10.0.1.11"));
+    let span = finding.span.as_ref().expect("SG0201 carries a span");
+    assert_eq!(span.file, "substation01.scd.xml");
+    assert_eq!(span.line, 17, "second ConnectedAP element line");
+    // The duplicate is the only defect in this bundle.
+    assert_eq!(report.error_count(), 1, "{:#?}", report.diagnostics);
+}
+
+#[test]
+fn island_without_infeed_is_an_error() {
+    let (_, report) = load_fixture("island");
+    assert!(report.has_errors());
+    let finding = report
+        .with_code(codes::ISLAND_NO_SLACK)
+        .next()
+        .unwrap_or_else(|| panic!("expected SG0302, got {:#?}", report.diagnostics));
+    let span = finding.span.as_ref().expect("SG0302 carries a span");
+    assert_eq!(span.file, "substation01.ssd.xml");
+}
+
+#[test]
+fn orphan_icd_is_a_warning_only() {
+    let (_, report) = load_fixture("orphan_icd");
+    assert!(!report.has_errors(), "{:#?}", report.diagnostics);
+    let finding = report
+        .with_code(codes::ORPHAN_ICD)
+        .next()
+        .unwrap_or_else(|| panic!("expected SG0501, got {:#?}", report.diagnostics));
+    assert!(finding.message.contains("ORPHAN1"));
+    assert_eq!(
+        finding.span.as_ref().map(|s| s.file.as_str()),
+        Some("orphan1.icd.xml")
+    );
+}
+
+#[test]
+fn text_rendering_includes_snippet_and_caret() {
+    let (bundle, report) = load_fixture("dup_ip");
+    let text = report::render_text(&report, &bundle);
+    assert!(text.contains("error[SG0201]"), "{text}");
+    assert!(text.contains("--> substation01.scd.xml:17:"), "{text}");
+    assert!(text.contains("<ConnectedAP iedName=\"GIED2\""), "{text}");
+    assert!(
+        text.contains("= note: two access points share one IP address"),
+        "{text}"
+    );
+}
+
+#[test]
+fn json_output_round_trips() {
+    for fixture in ["dangling_ied", "dup_ip", "island", "orphan_icd"] {
+        let (_, report) = load_fixture(fixture);
+        let encoded = json::to_json(&report);
+        let decoded = json::from_json(&encoded)
+            .unwrap_or_else(|e| panic!("{fixture}: JSON round trip failed: {e}\n{encoded}"));
+        assert_eq!(decoded, report, "{fixture}");
+    }
+}
+
+#[test]
+fn every_emitted_code_is_registered() {
+    for fixture in ["dangling_ied", "dup_ip", "island", "orphan_icd"] {
+        let (_, report) = load_fixture(fixture);
+        assert!(
+            !report.diagnostics.is_empty(),
+            "{fixture} should trip its lint"
+        );
+        for diagnostic in &report.diagnostics {
+            assert!(
+                codes::lookup(diagnostic.code).is_some(),
+                "{fixture}: unregistered code {}",
+                diagnostic.code
+            );
+        }
+    }
+}

@@ -2,8 +2,10 @@
 //! cross-substation energization, and inter-substation protection (PDIF over
 //! R-SV, CILO over R-GOOSE).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
+
 use sg_cyber_range::core::{CyberRange, IedConfig, SgmlBundle};
-use sg_cyber_range::ied::{IedSpec, MeasurementMap, ProtectionSpec, RsvSpec, BreakerMap};
+use sg_cyber_range::ied::{BreakerMap, IedSpec, MeasurementMap, ProtectionSpec, RsvSpec};
 use sg_cyber_range::kvstore::{Keys, Value};
 use sg_cyber_range::models::{multisub_bundle, MultiSubParams};
 use sg_cyber_range::net::SimDuration;
@@ -97,11 +99,7 @@ fn pdif_bundle() -> SgmlBundle {
     let s2_ct_key = "meas/S2/ct/TIE12/i_ka".to_string();
 
     {
-        let s1 = config
-            .ieds
-            .iter_mut()
-            .find(|s| s.name == "S1IED1")
-            .unwrap();
+        let s1 = config.ieds.iter_mut().find(|s| s.name == "S1IED1").unwrap();
         s1.protections.push(ProtectionSpec::Pdif {
             ln: "PDIF1".into(),
             local_current_key: s1_tie_key.clone(),
@@ -121,11 +119,7 @@ fn pdif_bundle() -> SgmlBundle {
         });
     }
     {
-        let s2 = config
-            .ieds
-            .iter_mut()
-            .find(|s| s.name == "S2IED1")
-            .unwrap();
+        let s2 = config.ieds.iter_mut().find(|s| s.name == "S2IED1").unwrap();
         s2.rsv = Some(RsvSpec {
             sv_id: "S2IED1-SV".into(),
             current_key: s2_ct_key.clone(),
@@ -162,14 +156,22 @@ fn pdif_over_rsv_trips_on_current_divergence() {
             .store
             .get_float("meas/S1/branch/TIE12/i_ka")
             .unwrap_or(0.0);
-        range.store.set("meas/S2/ct/TIE12/i_ka", Value::Float(tie_i));
+        range
+            .store
+            .set("meas/S2/ct/TIE12/i_ka", Value::Float(tie_i));
         range.run_for(SimDuration::from_millis(100));
     }
-    assert_eq!(range.ieds["S1IED1"].trip_count(), 0, "healthy line: no trip");
+    assert_eq!(
+        range.ieds["S1IED1"].trip_count(),
+        0,
+        "healthy line: no trip"
+    );
 
     // Internal fault: S2's end stops seeing the through-current.
     for _ in 0..15 {
-        range.store.set("meas/S2/ct/TIE12/i_ka", Value::Float(0.0001));
+        range
+            .store
+            .set("meas/S2/ct/TIE12/i_ka", Value::Float(0.0001));
         range.run_for(SimDuration::from_millis(100));
     }
     assert!(
@@ -189,7 +191,7 @@ fn paper_profile_dimensions() {
     let range = CyberRange::generate(&bundle).expect("paper profile compiles");
     assert_eq!(range.ieds.len(), 104);
     assert_eq!(range.plan.hosts.len(), 105); // + SCADA
-    // Physical model scale: 104 feeders + 5 main buses…
+                                             // Physical model scale: 104 feeders + 5 main buses…
     assert_eq!(range.power.bus.len(), 104 * 2 + 5);
     assert_eq!(range.power.line.len(), 104 + 4);
     assert_eq!(range.power.load.len(), 104);

@@ -2,6 +2,8 @@
 //! exercises the HV/MV path of the SSD compiler and the trafo measurements
 //! end-to-end (no generated model uses a transformer).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
+
 use sg_cyber_range::core::{CyberRange, SgmlBundle};
 use sg_cyber_range::net::SimDuration;
 
@@ -104,13 +106,20 @@ fn transformer_substation_compiles_and_solves() {
     let mv = range.power.bus_by_name("HVMV/MV/Dist/CNF").unwrap();
     let hv_v = range.last_result.bus[hv.index()].vm_pu;
     let mv_v = range.last_result.bus[mv.index()].vm_pu;
-    assert!((hv_v - 1.02).abs() < 1e-6, "slack holds set-point, got {hv_v}");
+    assert!(
+        (hv_v - 1.02).abs() < 1e-6,
+        "slack holds set-point, got {hv_v}"
+    );
     assert!(mv_v < hv_v, "load side sags: {mv_v} < {hv_v}");
     assert!(mv_v > 0.9, "but stays healthy: {mv_v}");
 
     // Transformer flow ≈ load + losses; loading vs 40 MVA rating.
     let flow = &range.last_result.trafo[0];
-    assert!(flow.p_from_mw > 18.0 && flow.p_from_mw < 19.5, "{}", flow.p_from_mw);
+    assert!(
+        flow.p_from_mw > 18.0 && flow.p_from_mw < 19.5,
+        "{}",
+        flow.p_from_mw
+    );
     assert!(flow.loading_percent > 40.0 && flow.loading_percent < 60.0);
 }
 
@@ -136,7 +145,11 @@ fn overcurrent_on_mv_feeder_trips_and_unloads_the_transformer() {
     let load = range.power.load_by_name("HVMV/CITY").unwrap();
     range.power.load[load.index()].p_mw = 30.0;
     range.run_for(SimDuration::from_secs(2));
-    assert!(range.ieds["TRIED1"].trip_count() >= 1, "{:?}", range.ieds["TRIED1"].events());
+    assert!(
+        range.ieds["TRIED1"].trip_count() >= 1,
+        "{:?}",
+        range.ieds["TRIED1"].events()
+    );
     // Breaker CBF opened → transformer unloaded.
     assert!(range.last_result.trafo[0].p_from_mw.abs() < 0.5);
 }

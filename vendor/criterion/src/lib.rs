@@ -1,0 +1,218 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API the workspace's benches use —
+//! `bench_function`, `benchmark_group`/`bench_with_input`, `criterion_group!`
+//! and `criterion_main!` — with a simple wall-clock timer instead of
+//! criterion's statistical machinery. Good enough to run the benches and
+//! print per-iteration timings; not a measurement-quality harness.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Timer handed to bench closures; call [`Bencher::iter`] with the workload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the mean wall-clock time.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warm-up round so first-touch effects don't dominate.
+        hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark identifier; mirrors `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and parameter.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(name: S, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from just a parameter value.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Top-level benchmark driver; mirrors `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 100 }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, iters: u64, mut f: F) {
+    let mut b = Bencher {
+        iters: iters.max(1),
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b
+        .elapsed
+        .checked_div(b.iters as u32)
+        .unwrap_or(Duration::ZERO);
+    println!(
+        "bench {label:<40} {:>12}/iter  ({} iters)",
+        format_duration(per_iter),
+        b.iters
+    );
+}
+
+impl Criterion {
+    /// Sets the iteration count used per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Sets the target measurement time (accepted, unused in this stand-in).
+    pub fn measurement_time(self, _d: Duration) -> Criterion {
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Criterion {
+        run_one(name, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Final-summary hook; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.parent.sample_size = n as u64;
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.parent.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Runs an unparameterized benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, self.parent.sample_size, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group; mirrors `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut criterion: $crate::Criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench entry point; mirrors `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u32;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        // iter runs 1 warm-up + sample_size timed iterations
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        let mut total = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(5), &7u64, |b, &x| {
+            b.iter(|| total += x)
+        });
+        group.finish();
+        assert_eq!(total, 21);
+    }
+}

@@ -1,0 +1,814 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! A compact, deterministic property-testing framework implementing the
+//! subset of proptest's API that this workspace's test suites use:
+//! `proptest!`, `prop_oneof!`, the `Strategy` combinators (`prop_map`,
+//! `prop_filter`, `prop_recursive`, `boxed`), `any::<T>()`, range and
+//! regex-like string strategies, `collection::vec`, `option::of`, `Just`,
+//! and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from the real crate: generation is seeded deterministically
+//! from the test name (no wall clock in this environment), and failing
+//! cases are reported without shrinking.
+
+pub mod test_runner {
+    //! Deterministic case runner and configuration.
+
+    /// Per-test RNG (xorshift64*), seeded from the test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator seeded from an arbitrary byte string.
+        pub fn from_name(name: &str) -> TestRng {
+            let mut seed = 0xcbf29ce484222325u64; // FNV-1a
+            for b in name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x100000001b3);
+            }
+            TestRng { state: seed | 1 }
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545f4914f6cdd1d)
+        }
+
+        /// Uniform draw in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+    }
+
+    /// Runner configuration; mirrors `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property was violated; the test fails.
+        Fail(String),
+        /// The case was vetoed by `prop_assume!`; another case is drawn.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Constructs a failure.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Constructs a rejection.
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Runs `case` until `config.cases` cases pass; panics on the first
+    /// failure or when rejection dominates.
+    pub fn run<F>(config: &ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut rng = TestRng::from_name(name);
+        let mut passed = 0u32;
+        let mut rejected = 0u64;
+        let reject_cap = u64::from(config.cases) * 16 + 1024;
+        while passed < config.cases {
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= reject_cap,
+                        "proptest '{name}': too many rejected cases ({rejected})"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest '{name}' failed after {passed} passing cases: {msg}")
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait, combinators, and primitive strategies.
+
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Applies `f` to each generated value.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Discards generated values failing `pred`, redrawing instead.
+        fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason: reason.into(),
+                pred,
+            }
+        }
+
+        /// Builds a recursive strategy: `self` is the leaf case, `recurse`
+        /// wraps an inner strategy into the branching case, and `depth`
+        /// bounds nesting. `desired_size`/`expected_branch_size` are
+        /// accepted for API parity and unused.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(strat).boxed();
+                let shallow = leaf.clone();
+                strat = BoxedStrategy::new(move |rng| {
+                    // Occasionally cut to a leaf so trees vary in depth.
+                    if rng.below(4) == 0 {
+                        shallow.generate(rng)
+                    } else {
+                        deeper.generate(rng)
+                    }
+                });
+            }
+            strat
+        }
+
+        /// Type-erases this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            let this = self;
+            BoxedStrategy::new(move |rng| this.generate(rng))
+        }
+    }
+
+    /// A cloneable, type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        gen: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> BoxedStrategy<T> {
+        /// Wraps a generation function.
+        pub fn new(gen: impl Fn(&mut TestRng) -> T + 'static) -> BoxedStrategy<T> {
+            BoxedStrategy { gen: Rc::new(gen) }
+        }
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> BoxedStrategy<T> {
+            BoxedStrategy {
+                gen: Rc::clone(&self.gen),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.gen)(rng)
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_filter`].
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: String,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter '{}' rejected 10000 consecutive draws",
+                self.reason
+            )
+        }
+    }
+
+    /// Strategy always yielding a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between several strategies of one value type.
+    #[derive(Clone)]
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; `options` must be non-empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].generate(rng)
+        }
+    }
+
+    /// Types with a canonical strategy, used by [`any`].
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f32::from_bits(rng.next_u64() as u32)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Printable ASCII keeps generated text XML-safe by default.
+            (b' ' + rng.below(95) as u8) as char
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> [T; N] {
+            std::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct AnyStrategy<T> {
+        _marker: PhantomData<T>,
+    }
+
+    impl<T> Clone for AnyStrategy<T> {
+        fn clone(&self) -> AnyStrategy<T> {
+            AnyStrategy {
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`; mirrors `proptest::prelude::any`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy {
+            _marker: PhantomData,
+        }
+    }
+
+    macro_rules! strategy_for_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "empty range strategy {}..{}", self.start, self.end
+                    );
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! strategy_for_int_range_inclusive {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy {lo}..={hi}");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    strategy_for_int_range_inclusive!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! strategy_for_float_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                    self.start + (unit as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+    strategy_for_float_range!(f32, f64);
+
+    macro_rules! strategy_for_tuple {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    strategy_for_tuple! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    // --- regex-subset string strategies -----------------------------------
+    //
+    // String literals act as strategies generating matching strings. The
+    // supported grammar covers the patterns used in this workspace: a
+    // sequence of literal characters or `[...]` classes (with `a-z` ranges),
+    // each optionally quantified by `{n}` or `{n,m}`.
+
+    #[derive(Debug, Clone)]
+    struct PatternPiece {
+        choices: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+        let mut out = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            if chars[i] == '\\' && i + 1 < chars.len() {
+                out.push(chars[i + 1]);
+                i += 2;
+            } else if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                let (lo, hi) = (chars[i], chars[i + 2]);
+                assert!(lo <= hi, "bad range {lo}-{hi} in pattern class");
+                for c in lo..=hi {
+                    out.push(c);
+                }
+                i += 3;
+            } else {
+                out.push(chars[i]);
+                i += 1;
+            }
+        }
+        (out, i + 1) // skip ']'
+    }
+
+    fn parse_quantifier(chars: &[char], mut i: usize) -> (usize, usize, usize) {
+        if i >= chars.len() || chars[i] != '{' {
+            return (1, 1, i);
+        }
+        i += 1;
+        let mut min = 0usize;
+        while i < chars.len() && chars[i].is_ascii_digit() {
+            min = min * 10 + (chars[i] as usize - '0' as usize);
+            i += 1;
+        }
+        let max = if i < chars.len() && chars[i] == ',' {
+            i += 1;
+            let mut m = 0usize;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                m = m * 10 + (chars[i] as usize - '0' as usize);
+                i += 1;
+            }
+            m
+        } else {
+            min
+        };
+        assert!(
+            i < chars.len() && chars[i] == '}',
+            "unterminated quantifier in pattern"
+        );
+        (min, max, i + 1)
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<PatternPiece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let choices = if chars[i] == '[' {
+                let (set, next) = parse_class(&chars, i + 1);
+                i = next;
+                set
+            } else if chars[i] == '\\' && i + 1 < chars.len() {
+                i += 2;
+                vec![chars[i - 1]]
+            } else {
+                i += 1;
+                vec![chars[i - 1]]
+            };
+            assert!(
+                !choices.is_empty(),
+                "empty character class in pattern '{pattern}'"
+            );
+            let (min, max, next) = parse_quantifier(&chars, i);
+            i = next;
+            pieces.push(PatternPiece { choices, min, max });
+        }
+        pieces
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in parse_pattern(self) {
+                let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+                for _ in 0..count {
+                    out.push(piece.choices[rng.below(piece.choices.len() as u64) as usize]);
+                }
+            }
+            out
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            self.as_str().generate(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s of values from `element` with length in a range.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(
+                self.len.start < self.len.end,
+                "empty length range for vec strategy"
+            );
+            let span = (self.len.end - self.len.start) as u64;
+            let count = self.len.start + rng.below(span) as usize;
+            (0..count).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates `Vec`s whose length is drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding `None` a quarter of the time, else `Some(inner)`.
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    /// Wraps a strategy to produce optional values.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test usually imports.
+
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests; mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Internal recursion for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($config:expr)) => {};
+    (@cfg ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let config = $config;
+            $crate::test_runner::run(&config, stringify!($name), |rng| {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                let case = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                case()
+            });
+        }
+        $crate::__proptest_impl!(@cfg ($config) $($rest)*);
+    };
+}
+
+/// Uniform choice between strategies; mirrors `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `(left == right)`\n  left: `{left:?}`\n right: `{right:?}`"
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `(left == right)`\n  left: `{left:?}`\n right: `{right:?}`: {}",
+                    format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `(left != right)`\n  left: `{left:?}`\n right: `{right:?}`"
+            )));
+        }
+    }};
+}
+
+/// Discards the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_generates_matching_text() {
+        let mut rng = crate::test_runner::TestRng::from_name("pattern");
+        for _ in 0..64 {
+            let s = Strategy::generate(&"[A-Z]{4}[0-9]", &mut rng);
+            assert_eq!(s.len(), 5);
+            assert!(s[..4].chars().all(|c| c.is_ascii_uppercase()));
+            assert!(s[4..].chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn range_strategy_respects_bounds() {
+        let mut rng = crate::test_runner::TestRng::from_name("range");
+        for _ in 0..256 {
+            let v = Strategy::generate(&(-10i32..10), &mut rng);
+            assert!((-10..10).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        fn vec_lengths_in_range(v in crate::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        fn oneof_and_just(x in prop_oneof![Just(1i32), Just(2), 10i32..20]) {
+            prop_assert!(x == 1 || x == 2 || (10..20).contains(&x));
+        }
+
+        fn assume_rejects(x in 0u8..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    proptest! {
+        fn recursive_bounded(t in tree()) {
+            prop_assert!(depth(&t) <= 4);
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum T {
+        Leaf(#[allow(dead_code)] u8),
+        Node(Vec<T>),
+    }
+
+    fn tree() -> impl Strategy<Value = T> {
+        any::<u8>()
+            .prop_map(T::Leaf)
+            .prop_recursive(3, 16, 3, |inner| {
+                crate::collection::vec(inner, 1..3).prop_map(T::Node)
+            })
+    }
+
+    fn depth(t: &T) -> u32 {
+        match t {
+            T::Leaf(_) => 1,
+            T::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+}

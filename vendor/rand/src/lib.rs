@@ -1,0 +1,188 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides a deterministic xorshift64* generator behind a minimal subset of
+//! the `rand` API (`thread_rng`, `Rng::gen`/`gen_range`, `SeedableRng`).
+//! Nothing in the workspace draws cryptographic randomness from it.
+
+use std::cell::Cell;
+
+/// Minimal RNG trait mirroring the parts of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// Returns the next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Generates a value of a supported primitive type.
+    fn gen<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Generates a value uniformly in `[low, high)`.
+    fn gen_range<T: RangeSample>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample(self, range.start, range.end)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+/// Types producible directly from raw RNG output.
+pub trait FromRng {
+    /// Draws one value from the generator.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_from_rng_int {
+    ($($t:ty),*) => {$(
+        impl FromRng for $t {
+            fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_from_rng_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl FromRng for bool {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl FromRng for f64 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl FromRng for f32 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        f64::from_rng(rng) as f32
+    }
+}
+
+/// Types samplable uniformly from a half-open range.
+pub trait RangeSample: Copy {
+    /// Draws a value in `[low, high)`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_range_sample_int {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range called with empty range");
+                let span = (high as i128 - low as i128) as u128;
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (low as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl RangeSample for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        low + f64::from_rng(rng) * (high - low)
+    }
+}
+
+impl RangeSample for f32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        low + f32::from_rng(rng) * (high - low)
+    }
+}
+
+/// Mirror of `rand::SeedableRng` for the deterministic generator below.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Deterministic xorshift64* generator.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        StdRng {
+            state: seed.wrapping_mul(0x9e3779b97f4a7c15) | 1,
+        }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+}
+
+thread_local! {
+    static THREAD_SEED: Cell<u64> = const { Cell::new(0x853c49e6748fea9b) };
+}
+
+/// A per-thread generator; deterministic in this offline stand-in.
+#[derive(Debug)]
+pub struct ThreadRng {
+    inner: StdRng,
+}
+
+impl Rng for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+impl Drop for ThreadRng {
+    fn drop(&mut self) {
+        THREAD_SEED.with(|s| s.set(self.inner.state));
+    }
+}
+
+/// Returns the thread-local generator (deterministic sequence per thread).
+pub fn thread_rng() -> ThreadRng {
+    let seed = THREAD_SEED.with(|s| s.get());
+    ThreadRng {
+        inner: StdRng {
+            state: seed.wrapping_add(0x9e3779b9) | 1,
+        },
+    }
+}
+
+/// Namespace mirror of `rand::rngs`.
+pub mod rngs {
+    pub use super::{StdRng, ThreadRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_sampling_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..256 {
+            let v: i32 = rng.gen_range(-5..9);
+            assert!((-5..9).contains(&v));
+            let f: f64 = rng.gen_range(0.5..2.0);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+}

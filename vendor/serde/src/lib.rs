@@ -1,0 +1,27 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as type-level
+//! annotations — no serialization calls are made — so this stub provides
+//! marker traits and no-op derive macros that satisfy the derives.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Namespace mirror of `serde::de`.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Namespace mirror of `serde::ser`.
+pub mod ser {
+    pub use super::Serialize;
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as a
+//! type-level annotation; nothing in-tree calls serde's serialization APIs.
+//! These derives therefore expand to nothing, while still registering the
+//! `#[serde(...)]` helper attribute so annotated fields keep compiling.
+
+use proc_macro::TokenStream;
+
+/// No-op derive for `Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op derive for `Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
