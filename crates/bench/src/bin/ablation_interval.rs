@@ -42,7 +42,7 @@ fn main() {
             }
         }
         let wall = wall.elapsed().as_secs_f64();
-        let steps = range.step_stats.len();
+        let steps = range.step_stats().len();
         let sim_seconds = range.now().as_secs_f64() - 1.0;
         rows.push(vec![
             interval_ms.to_string(),

@@ -19,15 +19,23 @@ use crate::sgml::power_extra::PowerExtraConfig;
 use sgcr_ied::{IedHandle, VirtualIedApp};
 use sgcr_kvstore::{ProcessStore, Value};
 use sgcr_net::{Ipv4Addr, LinkSpec, Network, NodeId, SimDuration, SimTime, SocketApp};
+use sgcr_obs::{buckets, Counter, Event as ObsEvent, Gauge, Histogram, Telemetry};
 use sgcr_plc::{MmsReadBinding, MmsWriteBinding, PlcApp, PlcHandle, PlcRuntime};
-use sgcr_powerflow::{solve, PowerFlowError, PowerFlowResult, PowerNetwork, SimulationSchedule};
+use sgcr_powerflow::{
+    solve_telemetered, PowerFlowError, PowerFlowResult, PowerNetwork, SimulationSchedule,
+    SolveOptions,
+};
 use sgcr_scada::{ScadaApp, ScadaConfig, ScadaHandle};
 use sgcr_scl::{
     consolidate_scd, consolidate_ssd, parse_icd, parse_scd, parse_sed, parse_ssd, Diagnostic,
     SclDocument,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
+
+/// Default bound on retained per-step statistics — large enough for any of
+/// the paper's experiments, small enough to cap a long-running range.
+pub const DEFAULT_STEP_STATS_CAPACITY: usize = 65_536;
 
 /// The set of SG-ML model files a cyber range is generated from — the
 /// left-hand side of the paper's Figure 2.
@@ -137,10 +145,18 @@ pub struct CyberRange {
     pub diagnostics: Vec<Diagnostic>,
     /// The latest power-flow solution.
     pub last_result: PowerFlowResult,
-    /// Per-step wall-clock statistics.
-    pub step_stats: Vec<StepStats>,
+    /// Per-step wall-clock statistics, bounded to `step_stats_capacity`.
+    step_stats: VecDeque<StepStats>,
+    step_stats_capacity: usize,
+    /// Lifetime number of power-flow steps executed.
+    steps_total: u64,
     /// Errors from failed re-solves (range keeps running with stale state).
-    pub solve_errors: Vec<(u64, PowerFlowError)>,
+    solve_errors: Vec<(u64, PowerFlowError)>,
+    telemetry: Telemetry,
+    steps_counter: Counter,
+    step_seconds_hist: Histogram,
+    overrun_gauge: Gauge,
+    overrun_counter: Counter,
     cmd_cursor: u64,
     node_by_name: HashMap<String, NodeId>,
     /// Simulation time of the next due power-flow step.
@@ -149,15 +165,82 @@ pub struct CyberRange {
     last_step_ms: u64,
 }
 
-impl CyberRange {
-    /// Generates an operational cyber range from an SG-ML model bundle —
-    /// the complete SG-ML Processor pipeline of the paper's Figures 2–3.
+/// Configures and generates a [`CyberRange`] — the front door of the SG-ML
+/// Processor pipeline.
+///
+/// [`CyberRange::generate`] is the zero-configuration shortcut; the builder
+/// is how a step interval override, a [`Telemetry`] handle, or a different
+/// step-statistics retention bound are attached:
+///
+/// ```no_run
+/// use sgcr_core::{RangeBuilder, SgmlBundle};
+/// use sgcr_net::SimDuration;
+/// use sgcr_obs::Telemetry;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let bundle = SgmlBundle::from_dir("examples/epic_bundle")?;
+/// let telemetry = Telemetry::new();
+/// let mut range = RangeBuilder::new(&bundle)
+///     .interval(SimDuration::from_millis(50))
+///     .telemetry(telemetry.clone())
+///     .build()?;
+/// range.run_for(SimDuration::from_secs(2));
+/// println!("{}", telemetry.snapshot().to_text());
+/// # Ok(())
+/// # }
+/// ```
+pub struct RangeBuilder<'a> {
+    bundle: &'a SgmlBundle,
+    interval: Option<SimDuration>,
+    telemetry: Telemetry,
+    step_stats_capacity: usize,
+}
+
+impl<'a> RangeBuilder<'a> {
+    /// Starts a builder over a model bundle with defaults: interval from the
+    /// Power Extra config (100 ms absent one), telemetry disabled, and the
+    /// [default](DEFAULT_STEP_STATS_CAPACITY) step-statistics bound.
+    pub fn new(bundle: &'a SgmlBundle) -> RangeBuilder<'a> {
+        RangeBuilder {
+            bundle,
+            interval: None,
+            telemetry: Telemetry::disabled(),
+            step_stats_capacity: DEFAULT_STEP_STATS_CAPACITY,
+        }
+    }
+
+    /// Overrides the power-flow step interval (takes precedence over the
+    /// Power Extra config).
+    pub fn interval(mut self, interval: SimDuration) -> RangeBuilder<'a> {
+        self.interval = Some(interval);
+        self
+    }
+
+    /// Attaches a telemetry handle. It is threaded through the emulated
+    /// network, the power-flow solver, every virtual IED/PLC, the SCADA HMI,
+    /// and the co-simulation loop itself.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> RangeBuilder<'a> {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Bounds how many per-step [`StepStats`] records the range retains
+    /// (oldest evicted first; minimum 1). [`CyberRange::steps_total`] keeps
+    /// the lifetime count regardless.
+    pub fn step_stats_capacity(mut self, capacity: usize) -> RangeBuilder<'a> {
+        self.step_stats_capacity = capacity.max(1);
+        self
+    }
+
+    /// Generates the operational cyber range — the complete SG-ML Processor
+    /// pipeline of the paper's Figures 2–3.
     ///
     /// # Errors
     ///
     /// Returns [`RangeError`] when any model file fails to parse, cross-file
     /// validation fails, or the initial power flow cannot be solved.
-    pub fn generate(bundle: &SgmlBundle) -> Result<CyberRange, RangeError> {
+    pub fn build(self) -> Result<CyberRange, RangeError> {
+        let bundle = self.bundle;
         let mut diagnostics: Vec<Diagnostic> = Vec::new();
 
         // --- 1. Parse all SCL files ---------------------------------------
@@ -211,6 +294,7 @@ impl CyberRange {
 
         // --- 4. Instantiate the emulated network ---------------------------
         let mut net = Network::new();
+        net.set_telemetry(self.telemetry.clone());
         let mut node_by_name: HashMap<String, NodeId> = HashMap::new();
         let mut switch_by_name: HashMap<String, NodeId> = HashMap::new();
         let mut wan: Option<NodeId> = None;
@@ -249,6 +333,7 @@ impl CyberRange {
             }
             None => (SimDuration::from_millis(100), SimulationSchedule::new()),
         };
+        let interval = self.interval.unwrap_or(interval);
 
         // --- 6. Virtual IEDs -------------------------------------------------
         let mut ieds = HashMap::new();
@@ -283,7 +368,11 @@ impl CyberRange {
                         referenced_by: "IED Config XML",
                     });
                 };
-                let (app, handle) = VirtualIedApp::new(spec.clone(), store.clone());
+                let (app, handle) = VirtualIedApp::with_telemetry(
+                    spec.clone(),
+                    store.clone(),
+                    self.telemetry.clone(),
+                );
                 net.attach_app(node, Box::new(app));
                 ieds.insert(spec.name.clone(), handle);
             }
@@ -352,12 +441,13 @@ impl CyberRange {
                         })
                     })
                     .collect::<Result<Vec<_>, RangeError>>()?;
-                let (app, handle) = PlcApp::new(
+                let (app, handle) = PlcApp::with_telemetry(
                     runtime,
                     registers,
                     SimDuration::from_millis(def.scan_ms),
                     reads,
                     writes,
+                    self.telemetry.clone(),
                 );
                 net.attach_app(node, Box::new(app));
                 plcs.insert(def.name.clone(), handle);
@@ -381,7 +471,7 @@ impl CyberRange {
                     referenced_by: "SCADA Config XML",
                 });
             };
-            let (app, handle) = ScadaApp::new(config);
+            let (app, handle) = ScadaApp::with_telemetry(config, self.telemetry.clone());
             net.attach_app(node, Box::new(app));
             scada = Some(handle);
         }
@@ -399,8 +489,17 @@ impl CyberRange {
             scada,
             diagnostics,
             last_result: PowerFlowResult::default(),
-            step_stats: Vec::new(),
+            step_stats: VecDeque::new(),
+            step_stats_capacity: self.step_stats_capacity,
+            steps_total: 0,
             solve_errors: Vec::new(),
+            steps_counter: self.telemetry.counter("range.steps"),
+            step_seconds_hist: self
+                .telemetry
+                .histogram("range.step_seconds", &buckets::LATENCY_SECONDS),
+            overrun_gauge: self.telemetry.gauge("range.step_overrun_ratio"),
+            overrun_counter: self.telemetry.counter("range.step_overruns"),
+            telemetry: self.telemetry,
             cmd_cursor: 0,
             node_by_name,
             next_step_at: SimTime::ZERO + interval,
@@ -408,11 +507,25 @@ impl CyberRange {
         };
         // Publish the initial switch states and solution before anything runs.
         range.publish_switch_states();
-        let result = solve(&range.power).map_err(RangeError::PowerFlow)?;
+        let result = solve_telemetered(&range.power, &SolveOptions::default(), &range.telemetry, 0)
+            .map_err(RangeError::PowerFlow)?;
         range.publish_measurements(&result);
         range.last_result = result;
         range.cmd_cursor = range.store.version();
         Ok(range)
+    }
+}
+
+impl CyberRange {
+    /// Generates an operational cyber range from an SG-ML model bundle with
+    /// default settings — shorthand for `RangeBuilder::new(bundle).build()`.
+    /// Use [`RangeBuilder`] to attach telemetry or override the interval.
+    ///
+    /// # Errors
+    ///
+    /// See [`RangeBuilder::build`].
+    pub fn generate(bundle: &SgmlBundle) -> Result<CyberRange, RangeError> {
+        RangeBuilder::new(bundle).build()
     }
 
     /// The node id of a generated host (for captures, link failures, …).
@@ -513,7 +626,12 @@ impl CyberRange {
 
         // Solve and publish.
         let solve_start = std::time::Instant::now();
-        match solve(&self.power) {
+        match solve_telemetered(
+            &self.power,
+            &SolveOptions::default(),
+            &self.telemetry,
+            t1.as_nanos(),
+        ) {
             Ok(result) => {
                 self.publish_switch_states();
                 self.publish_measurements(&result);
@@ -524,12 +642,31 @@ impl CyberRange {
             }
         }
         let solve_seconds = solve_start.elapsed().as_secs_f64();
+        let total_seconds = wall_start.elapsed().as_secs_f64();
 
-        self.step_stats.push(StepStats {
+        if self.step_stats.len() == self.step_stats_capacity {
+            self.step_stats.pop_front();
+        }
+        self.step_stats.push_back(StepStats {
             solve_seconds,
-            total_seconds: wall_start.elapsed().as_secs_f64(),
+            total_seconds,
             iterations: self.last_result.iterations,
         });
+        self.steps_total += 1;
+
+        self.steps_counter.inc();
+        self.step_seconds_hist.observe(total_seconds);
+        let budget = self.interval.as_secs_f64();
+        if budget > 0.0 {
+            let ratio = total_seconds / budget;
+            self.overrun_gauge.set(ratio);
+            if ratio > 1.0 {
+                self.overrun_counter.inc();
+                let step = self.steps_total;
+                self.telemetry
+                    .record(t1.as_nanos(), || ObsEvent::StepOverrun { step, ratio });
+            }
+        }
     }
 
     /// Runs the range for a duration. Power-flow steps fire at their due
@@ -629,13 +766,39 @@ impl CyberRange {
                 .set(&keymap::load_p_key(&load.name), Value::Float(p));
         }
         self.store
-            .set("sim/step", Value::Int(self.step_stats.len() as i64));
+            .set("sim/step", Value::Int(self.steps_total as i64));
+    }
+
+    /// Retained per-step wall-clock statistics, oldest first. Retention is
+    /// bounded (see [`RangeBuilder::step_stats_capacity`]); use
+    /// [`steps_total`](CyberRange::steps_total) for the lifetime count.
+    pub fn step_stats(&self) -> impl ExactSizeIterator<Item = &StepStats> + '_ {
+        self.step_stats.iter()
+    }
+
+    /// Lifetime number of power-flow steps executed (monotonic even after
+    /// old [`StepStats`] records are evicted).
+    pub fn steps_total(&self) -> u64 {
+        self.steps_total
+    }
+
+    /// Errors from failed re-solves `(sim_time_ms, error)`. The range keeps
+    /// running on stale state after a failure.
+    pub fn solve_errors(&self) -> &[(u64, PowerFlowError)] {
+        &self.solve_errors
+    }
+
+    /// The telemetry handle the range was built with (disabled unless one
+    /// was attached through [`RangeBuilder::telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Summary line for logs and the pipeline demonstration binary.
     pub fn summary(&self) -> String {
+        let trips: usize = self.ieds.values().map(IedHandle::trip_count).sum();
         format!(
-            "cyber range: {} hosts, {} switches | {} | {} IEDs, {} PLCs, SCADA: {} | interval {} ms",
+            "cyber range: {} hosts, {} switches | {} | {} IEDs, {} PLCs, SCADA: {} | interval {} ms | {} solve errors, {} trips",
             self.plan.hosts.len(),
             self.plan.switches.len(),
             self.power.summary(),
@@ -643,6 +806,8 @@ impl CyberRange {
             self.plcs.len(),
             self.scada.is_some(),
             self.interval.as_millis(),
+            self.solve_errors.len(),
+            trips,
         )
     }
 }

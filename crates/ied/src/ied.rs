@@ -13,6 +13,7 @@ use sgcr_iec61850::{
 };
 use sgcr_kvstore::{ProcessStore, Value};
 use sgcr_net::{ethertype, ConnId, EthernetFrame, HostCtx, Ipv4Addr, MacAddr, SimTime, SocketApp};
+use sgcr_obs::{Counter, Event as ObsEvent, Telemetry};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -130,11 +131,30 @@ pub struct VirtualIedApp {
     /// Close-permit per interlocked breaker, shared with the control handler.
     permits: Arc<Mutex<HashMap<String, bool>>>,
     now_ms: Arc<AtomicU64>,
+    telemetry: Telemetry,
+    trips_counter: Counter,
+    goose_counter: Counter,
 }
 
 impl VirtualIedApp {
-    /// Builds the application and its data model from a resolved spec.
+    /// Builds the application and its data model from a resolved spec, with
+    /// telemetry disabled.
     pub fn new(spec: IedSpec, store: ProcessStore) -> (VirtualIedApp, IedHandle) {
+        VirtualIedApp::with_telemetry(spec, store, Telemetry::disabled())
+    }
+
+    /// Builds the application with a telemetry handle. Trips, controls, and
+    /// GOOSE publications feed the `ied.*` counters and journal
+    /// [`ProtectionTrip`](sgcr_obs::Event::ProtectionTrip),
+    /// [`ControlExecuted`](sgcr_obs::Event::ControlExecuted),
+    /// [`ControlRejected`](sgcr_obs::Event::ControlRejected), and
+    /// [`GooseSent`](sgcr_obs::Event::GooseSent) events tagged with this
+    /// IED's name.
+    pub fn with_telemetry(
+        spec: IedSpec,
+        store: ProcessStore,
+        telemetry: Telemetry,
+    ) -> (VirtualIedApp, IedHandle) {
         let model = SharedModel::new(build_model(&spec));
         let events: Arc<Mutex<Vec<IedEvent>>> = Arc::default();
         let permits: Arc<Mutex<HashMap<String, bool>>> = Arc::default();
@@ -155,6 +175,9 @@ impl VirtualIedApp {
             let now_ms = now_ms.clone();
             let breakers = spec.breakers.clone();
             let substation = spec.substation.clone();
+            let obs = telemetry.clone();
+            let controls_counter = telemetry.counter("ied.controls");
+            let ied_name = spec.name.clone();
             server.set_control_handler(Box::new(move |object_ref, value| {
                 let Some(close) = value.as_bool() else {
                     return ControlDecision::Reject;
@@ -169,22 +192,33 @@ impl VirtualIedApp {
                 if close && breaker.interlocked {
                     let permitted = permits.lock().get(&breaker.name).copied().unwrap_or(false);
                     if !permitted {
+                        let detail = format!(
+                            "close {} blocked by interlock (substation {substation})",
+                            breaker.name
+                        );
                         events.lock().push(IedEvent {
                             time_ms,
                             kind: IedEventKind::ControlRejected,
-                            detail: format!(
-                                "close {} blocked by interlock (substation {substation})",
-                                breaker.name
-                            ),
+                            detail: detail.clone(),
+                        });
+                        obs.record(time_ms * 1_000_000, || ObsEvent::ControlRejected {
+                            ied: ied_name.clone(),
+                            detail,
                         });
                         return ControlDecision::Reject;
                     }
                 }
                 store.set(&breaker.cmd_key, Value::Bool(close));
+                controls_counter.inc();
+                let detail = format!("{} {}", if close { "close" } else { "open" }, breaker.name);
                 events.lock().push(IedEvent {
                     time_ms,
                     kind: IedEventKind::ControlExecuted,
-                    detail: format!("{} {}", if close { "close" } else { "open" }, breaker.name),
+                    detail: detail.clone(),
+                });
+                obs.record(time_ms * 1_000_000, || ObsEvent::ControlExecuted {
+                    ied: ied_name.clone(),
+                    detail,
                 });
                 ControlDecision::Accept
             }));
@@ -321,6 +355,9 @@ impl VirtualIedApp {
             events: events.clone(),
             permits,
             now_ms,
+            trips_counter: telemetry.counter("ied.protection_trips"),
+            goose_counter: telemetry.counter("ied.goose_sent"),
+            telemetry,
         };
         (app, IedHandle { model, events })
     }
@@ -346,6 +383,12 @@ impl VirtualIedApp {
             IedEventKind::ProtectionTrip,
             format!("{ln} tripped {breaker_name}"),
         );
+        self.trips_counter.inc();
+        self.telemetry
+            .record(now.as_nanos(), || ObsEvent::ProtectionTrip {
+                ied: self.spec.name.clone(),
+                detail: format!("{ln} tripped {breaker_name}"),
+            });
         // Spontaneous reporting: push an InformationReport to every
         // associated MMS client (SCADA/PLC learn of the trip immediately,
         // without waiting for their next interrogation cycle).
@@ -575,6 +618,11 @@ impl VirtualIedApp {
                 }
             }
         }
+        self.goose_counter.inc();
+        self.telemetry
+            .record(now.as_nanos(), || ObsEvent::GooseSent {
+                ied: self.spec.name.clone(),
+            });
         ctx.send_frame(frame);
         ctx.set_timer(wait, TOKEN_GOOSE);
     }

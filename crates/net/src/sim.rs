@@ -6,6 +6,7 @@ use crate::app::{HostCtx, SocketApp};
 use crate::frame::{ipproto, ArpPacket, EthernetFrame, Ipv4Packet, TcpSegment, UdpDatagram};
 use crate::host::{ConnId, HostState, SocketEvent, TcpOut};
 use crate::time::{SimDuration, SimTime};
+use sgcr_obs::{buckets, Counter, Event as ObsEvent, Histogram, Telemetry};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
@@ -69,9 +70,19 @@ struct Link {
     up: bool,
 }
 
+/// Per-host instrument handles, resolved once when the host is added (or when
+/// telemetry is attached) so the hot path never touches the registry.
+#[derive(Default)]
+struct HostMeters {
+    tx: Counter,
+    rx: Counter,
+    dropped: Counter,
+}
+
 struct HostNode {
     state: HostState,
     app: Option<Box<dyn SocketApp>>,
+    meters: HostMeters,
 }
 
 struct SwitchNode {
@@ -79,7 +90,7 @@ struct SwitchNode {
 }
 
 enum NodeKind {
-    Host(HostNode),
+    Host(Box<HostNode>),
     Switch(SwitchNode),
 }
 
@@ -164,6 +175,11 @@ pub struct Network {
     mac_counter: u64,
     tcp_timer_armed: HashSet<(NodeId, ConnId)>,
     names: HashMap<String, NodeId>,
+    telemetry: Telemetry,
+    frames_sent: Counter,
+    frames_delivered: Counter,
+    frames_dropped: Counter,
+    link_latency: Histogram,
 }
 
 impl Network {
@@ -175,6 +191,53 @@ impl Network {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Attaches a telemetry handle. Global and per-host frame counters and
+    /// the link-latency histogram are resolved immediately, including for
+    /// hosts that already exist. A [`Telemetry::disabled`] handle (the
+    /// default) makes every instrument a no-op.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+        self.frames_sent = self.telemetry.counter("net.frames_sent");
+        self.frames_delivered = self.telemetry.counter("net.frames_delivered");
+        self.frames_dropped = self.telemetry.counter("net.frames_dropped");
+        self.link_latency = self
+            .telemetry
+            .histogram("net.link_latency_seconds", &buckets::LATENCY_SECONDS);
+        for i in 0..self.nodes.len() {
+            self.resolve_host_meters(NodeId(i));
+        }
+    }
+
+    /// The attached telemetry handle (disabled unless
+    /// [`set_telemetry`](Network::set_telemetry) was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    fn resolve_host_meters(&mut self, node: NodeId) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        if !self.is_host(node) {
+            return;
+        }
+        let name = self.nodes[node.index()].name.clone();
+        let meters = HostMeters {
+            tx: self
+                .telemetry
+                .counter(&format!("net.host.{name}.tx_frames")),
+            rx: self
+                .telemetry
+                .counter(&format!("net.host.{name}.rx_frames")),
+            dropped: self
+                .telemetry
+                .counter(&format!("net.host.{name}.dropped_frames")),
+        };
+        if let NodeKind::Host(h) = &mut self.nodes[node.index()].kind {
+            h.meters = meters;
+        }
     }
 
     /// Adds a learning switch.
@@ -208,13 +271,16 @@ impl Network {
     ///
     /// Panics if the name is already taken.
     pub fn add_host_with_mac(&mut self, name: &str, ip: Ipv4Addr, mac: MacAddr) -> NodeId {
-        self.add_node(
+        let id = self.add_node(
             name,
-            NodeKind::Host(HostNode {
+            NodeKind::Host(Box::new(HostNode {
                 state: HostState::new(mac, ip),
                 app: None,
-            }),
-        )
+                meters: HostMeters::default(),
+            })),
+        );
+        self.resolve_host_meters(id);
+        id
     }
 
     fn add_node(&mut self, name: &str, kind: NodeKind) -> NodeId {
@@ -477,12 +543,16 @@ impl Network {
     /// Transmits a frame out of `node`'s `port`, modelling serialization
     /// delay, link propagation latency, and FIFO queueing per direction.
     fn transmit(&mut self, node: NodeId, port: usize, frame: EthernetFrame) {
+        let wire_bytes = frame.wire_len() as u64;
         let Some(&link_id) = self.nodes[node.index()].ports.get(port) else {
-            return; // unconnected port: frame vanishes
+            // Unconnected port: frame vanishes.
+            self.note_drop(node, wire_bytes, "no-link");
+            return;
         };
-        let wire_bits = (frame.wire_len() * 8) as u64;
+        let wire_bits = wire_bytes * 8;
         let link = &mut self.links[link_id];
         if !link.up {
+            self.note_drop(node, wire_bytes, "link-down");
             return;
         }
         let (peer, busy) = if link.a == (node, port) {
@@ -496,6 +566,18 @@ impl Network {
         *busy = start + ser;
         let arrival = start + ser + link.spec.latency;
         let delay = arrival - self.now;
+        self.link_latency.observe(delay.as_secs_f64());
+        // Sends are counted at the originating host only; switch forwards of
+        // the same frame are not re-counted.
+        if let NodeKind::Host(h) = &self.nodes[node.index()].kind {
+            self.frames_sent.inc();
+            h.meters.tx.inc();
+            self.telemetry
+                .record(self.now.as_nanos(), || ObsEvent::PacketSent {
+                    host: self.nodes[node.index()].name.clone(),
+                    bytes: wire_bytes,
+                });
+        }
         self.schedule(
             delay,
             Event::Frame {
@@ -504,6 +586,22 @@ impl Network {
                 frame,
             },
         );
+    }
+
+    /// Accounts for a frame discarded before it reached a link. Drops by
+    /// switches count globally; drops at a host also feed its per-host
+    /// counter and journal a [`ObsEvent::PacketDropped`].
+    fn note_drop(&self, node: NodeId, bytes: u64, reason: &'static str) {
+        self.frames_dropped.inc();
+        if let NodeKind::Host(h) = &self.nodes[node.index()].kind {
+            h.meters.dropped.inc();
+            self.telemetry
+                .record(self.now.as_nanos(), || ObsEvent::PacketDropped {
+                    host: self.nodes[node.index()].name.clone(),
+                    bytes,
+                    reason: reason.to_string(),
+                });
+        }
     }
 
     fn schedule(&mut self, delay: SimDuration, event: Event) {
@@ -598,8 +696,20 @@ impl Network {
                 let promiscuous = host.state.promiscuous;
                 let for_us =
                     frame.dst == mac || frame.dst.is_broadcast() || frame.dst.is_multicast();
+                if for_us {
+                    self.frames_delivered.inc();
+                    host.meters.rx.inc();
+                }
                 if !for_us && !promiscuous {
                     return;
+                }
+                if for_us {
+                    let bytes = frame.wire_len() as u64;
+                    self.telemetry
+                        .record(self.now.as_nanos(), || ObsEvent::PacketDelivered {
+                            host: self.nodes[node.index()].name.clone(),
+                            bytes,
+                        });
                 }
                 // Stack processing for frames addressed to our MAC/broadcast.
                 let mut events: Vec<SocketEvent> = Vec::new();
@@ -912,6 +1022,59 @@ mod tests {
         net.set_link_state(hosts[0], sw, false);
         net.run_until(SimTime::from_millis(100));
         assert!(log.lock().is_empty());
+    }
+
+    #[test]
+    fn telemetry_counts_frames_and_journals_packets() {
+        let (mut net, hosts) = star(2);
+        let telemetry = Telemetry::new();
+        net.set_telemetry(telemetry.clone());
+        let log = Arc::new(Mutex::new(Vec::new()));
+        net.attach_app(
+            hosts[0],
+            Box::new(Pinger {
+                peer: Ipv4Addr::new(10, 0, 0, 2),
+                log: log.clone(),
+            }),
+        );
+        net.attach_app(hosts[1], Box::new(Echo { log }));
+        net.run_until(SimTime::from_millis(100));
+        let snap = telemetry.snapshot();
+        assert!(
+            snap.counter("net.frames_sent").unwrap() >= 4,
+            "arp + udp both ways"
+        );
+        assert!(snap.counter("net.frames_delivered").unwrap() >= 4);
+        assert!(snap.counter("net.host.h0.tx_frames").unwrap() > 0);
+        assert!(snap.counter("net.host.h1.rx_frames").unwrap() > 0);
+        assert!(snap.histogram("net.link_latency_seconds").unwrap().count > 0);
+        let events = telemetry.events();
+        assert!(events.iter().any(|r| r.event.kind() == "PacketSent"));
+        assert!(events.iter().any(|r| r.event.kind() == "PacketDelivered"));
+    }
+
+    #[test]
+    fn telemetry_journals_drops_on_downed_link() {
+        let (mut net, hosts) = star(2);
+        let telemetry = Telemetry::new();
+        net.set_telemetry(telemetry.clone());
+        let sw = net.node_by_name("sw0").unwrap();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        net.attach_app(
+            hosts[0],
+            Box::new(Pinger {
+                peer: Ipv4Addr::new(10, 0, 0, 2),
+                log: log.clone(),
+            }),
+        );
+        net.set_link_state(hosts[0], sw, false);
+        net.run_until(SimTime::from_millis(100));
+        let snap = telemetry.snapshot();
+        assert!(snap.counter("net.frames_dropped").unwrap() > 0);
+        assert!(snap.counter("net.host.h0.dropped_frames").unwrap() > 0);
+        assert!(telemetry.events().iter().any(
+            |r| matches!(&r.event, ObsEvent::PacketDropped { reason, .. } if reason == "link-down")
+        ));
     }
 
     #[test]

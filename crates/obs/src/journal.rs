@@ -1,0 +1,320 @@
+//! The event journal: a bounded ring buffer of typed simulation events.
+//!
+//! Unlike the metric registry (aggregates), the journal keeps *individual*
+//! occurrences — which packet was dropped, which relay tripped when — so an
+//! experiment can be reconstructed after the fact. The buffer is bounded:
+//! when full, the oldest records are evicted and counted in
+//! [`crate::Telemetry::events_dropped`].
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// A typed simulation event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A host handed a frame to its link.
+    PacketSent {
+        /// Sending host name.
+        host: String,
+        /// Frame length on the wire, in bytes.
+        bytes: u64,
+    },
+    /// A frame arrived at the host it was addressed to.
+    PacketDelivered {
+        /// Receiving host name.
+        host: String,
+        /// Frame length on the wire, in bytes.
+        bytes: u64,
+    },
+    /// A frame was discarded before delivery.
+    PacketDropped {
+        /// Host that attempted the send.
+        host: String,
+        /// Frame length on the wire, in bytes.
+        bytes: u64,
+        /// Why it was dropped (`link-down`, `no-link`).
+        reason: String,
+    },
+    /// A power-flow solve finished successfully.
+    SolveCompleted {
+        /// Newton–Raphson iterations used.
+        iters: u64,
+        /// Wall-clock solve time in seconds.
+        seconds: f64,
+    },
+    /// A power-flow solve failed; the range keeps running on stale state.
+    SolveFailed {
+        /// The solver error text.
+        detail: String,
+    },
+    /// A protection element operated and tripped its breaker.
+    ProtectionTrip {
+        /// The IED that tripped.
+        ied: String,
+        /// LN and breaker detail.
+        detail: String,
+    },
+    /// An MMS control was executed by an IED.
+    ControlExecuted {
+        /// The IED executing the control.
+        ied: String,
+        /// Command detail.
+        detail: String,
+    },
+    /// An MMS control was rejected (e.g. interlock).
+    ControlRejected {
+        /// The IED rejecting the control.
+        ied: String,
+        /// Rejection detail.
+        detail: String,
+    },
+    /// An IED published a GOOSE message.
+    GooseSent {
+        /// The publishing IED.
+        ied: String,
+    },
+    /// The SCADA HMI raised an alarm.
+    ScadaAlarm {
+        /// The alarmed point.
+        point: String,
+        /// Alarm message.
+        message: String,
+    },
+    /// The SCADA HMI cleared an alarm.
+    ScadaAlarmCleared {
+        /// The cleared point.
+        point: String,
+        /// Alarm message.
+        message: String,
+    },
+    /// An operator command left the SCADA HMI.
+    ScadaCommand {
+        /// Target tag.
+        tag: String,
+        /// Commanded value.
+        value: f64,
+    },
+    /// A PLC issued an MMS control towards an IED.
+    PlcControl {
+        /// The PLC variable that changed.
+        variable: String,
+        /// The commanded boolean.
+        value: bool,
+    },
+    /// A co-simulation step took longer than its real-time budget.
+    StepOverrun {
+        /// Step ordinal.
+        step: u64,
+        /// Wall time over interval (1.0 = exactly on budget).
+        ratio: f64,
+    },
+    /// An event from outside the built-in instrumentation.
+    Custom {
+        /// Event name.
+        name: String,
+        /// Free-form detail.
+        detail: String,
+    },
+}
+
+impl Event {
+    /// The event's type tag, as emitted in the JSON journal.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::PacketSent { .. } => "PacketSent",
+            Event::PacketDelivered { .. } => "PacketDelivered",
+            Event::PacketDropped { .. } => "PacketDropped",
+            Event::SolveCompleted { .. } => "SolveCompleted",
+            Event::SolveFailed { .. } => "SolveFailed",
+            Event::ProtectionTrip { .. } => "ProtectionTrip",
+            Event::ControlExecuted { .. } => "ControlExecuted",
+            Event::ControlRejected { .. } => "ControlRejected",
+            Event::GooseSent { .. } => "GooseSent",
+            Event::ScadaAlarm { .. } => "ScadaAlarm",
+            Event::ScadaAlarmCleared { .. } => "ScadaAlarmCleared",
+            Event::ScadaCommand { .. } => "ScadaCommand",
+            Event::PlcControl { .. } => "PlcControl",
+            Event::StepOverrun { .. } => "StepOverrun",
+            Event::Custom { .. } => "Custom",
+        }
+    }
+}
+
+/// One journal entry: an [`Event`] stamped with simulation time and a
+/// monotonic sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Sequence number (monotonic across the journal's lifetime, including
+    /// evicted records).
+    pub seq: u64,
+    /// Simulation time in nanoseconds.
+    pub t_ns: u64,
+    /// The event.
+    pub event: Event,
+}
+
+impl EventRecord {
+    /// Serializes the record as one JSON object (one JSONL journal line).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"t_ns\":{},\"type\":{}",
+            self.seq,
+            self.t_ns,
+            json_str(self.event.kind())
+        );
+        match &self.event {
+            Event::PacketSent { host, bytes } | Event::PacketDelivered { host, bytes } => {
+                let _ = write!(out, ",\"host\":{},\"bytes\":{bytes}", json_str(host));
+            }
+            Event::PacketDropped {
+                host,
+                bytes,
+                reason,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"host\":{},\"bytes\":{bytes},\"reason\":{}",
+                    json_str(host),
+                    json_str(reason)
+                );
+            }
+            Event::SolveCompleted { iters, seconds } => {
+                let _ = write!(out, ",\"iters\":{iters},\"seconds\":{}", json_f64(*seconds));
+            }
+            Event::SolveFailed { detail } => {
+                let _ = write!(out, ",\"detail\":{}", json_str(detail));
+            }
+            Event::ProtectionTrip { ied, detail }
+            | Event::ControlExecuted { ied, detail }
+            | Event::ControlRejected { ied, detail } => {
+                let _ = write!(
+                    out,
+                    ",\"ied\":{},\"detail\":{}",
+                    json_str(ied),
+                    json_str(detail)
+                );
+            }
+            Event::GooseSent { ied } => {
+                let _ = write!(out, ",\"ied\":{}", json_str(ied));
+            }
+            Event::ScadaAlarm { point, message } | Event::ScadaAlarmCleared { point, message } => {
+                let _ = write!(
+                    out,
+                    ",\"point\":{},\"message\":{}",
+                    json_str(point),
+                    json_str(message)
+                );
+            }
+            Event::ScadaCommand { tag, value } => {
+                let _ = write!(
+                    out,
+                    ",\"tag\":{},\"value\":{}",
+                    json_str(tag),
+                    json_f64(*value)
+                );
+            }
+            Event::PlcControl { variable, value } => {
+                let _ = write!(
+                    out,
+                    ",\"variable\":{},\"value\":{value}",
+                    json_str(variable)
+                );
+            }
+            Event::StepOverrun { step, ratio } => {
+                let _ = write!(out, ",\"step\":{step},\"ratio\":{}", json_f64(*ratio));
+            }
+            Event::Custom { name, detail } => {
+                let _ = write!(
+                    out,
+                    ",\"name\":{},\"detail\":{}",
+                    json_str(name),
+                    json_str(detail)
+                );
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Quotes a string as a JSON string literal.
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON value (non-finite values become strings, since
+/// bare `NaN`/`Infinity` are not legal JSON).
+pub(crate) fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        // `Display` prints integral floats without a dot; keep the type
+        // obvious to JSON consumers that distinguish int from float.
+        if !s.contains('.') && !s.contains('e') {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        json_str(&format!("{v}"))
+    }
+}
+
+#[derive(Debug, Default)]
+struct JournalState {
+    events: VecDeque<EventRecord>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// The bounded ring buffer behind an enabled [`crate::Telemetry`].
+#[derive(Debug)]
+pub(crate) struct Journal {
+    capacity: usize,
+    state: Mutex<JournalState>,
+}
+
+impl Journal {
+    pub(crate) fn new(capacity: usize) -> Journal {
+        Journal {
+            capacity: capacity.max(1),
+            state: Mutex::new(JournalState::default()),
+        }
+    }
+
+    pub(crate) fn push(&self, t_ns: u64, event: Event) {
+        let mut state = self.state.lock();
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        if state.events.len() == self.capacity {
+            state.events.pop_front();
+            state.dropped += 1;
+        }
+        state.events.push_back(EventRecord { seq, t_ns, event });
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<EventRecord> {
+        self.state.lock().events.iter().cloned().collect()
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.state.lock().dropped
+    }
+}

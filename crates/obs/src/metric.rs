@@ -1,0 +1,161 @@
+//! Metric instruments: monotonic counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! Instruments are cheap handles around atomics. A *disabled* instrument
+//! (what every [`crate::Telemetry::disabled`] registry hands out) carries no
+//! allocation at all; its operations are a single branch on `None` — safe to
+//! leave on the hottest paths of the simulator.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A detached no-op counter (what disabled telemetry hands out).
+    pub fn disabled() -> Counter {
+        Counter(None)
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A gauge holding the latest observed value.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// A detached no-op gauge.
+    pub fn disabled() -> Gauge {
+        Gauge(None)
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if let Some(cell) = &self.0 {
+            cell.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// The current value (0.0 when disabled).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |c| f64::from_bits(c.load(Ordering::Relaxed)))
+    }
+}
+
+/// Shared state of an enabled histogram.
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    /// Upper bounds of the finite buckets, ascending. An implicit `+Inf`
+    /// bucket always follows.
+    pub(crate) bounds: Box<[f64]>,
+    /// One cell per finite bound plus the overflow bucket.
+    pub(crate) buckets: Box<[AtomicU64]>,
+    pub(crate) count: AtomicU64,
+    /// Sum of observations, stored as f64 bits and updated with a CAS loop.
+    pub(crate) sum_bits: AtomicU64,
+}
+
+impl HistogramCore {
+    pub(crate) fn new(bounds: &[f64]) -> HistogramCore {
+        let mut sorted: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
+        sorted.sort_by(f64::total_cmp);
+        sorted.dedup();
+        let buckets = (0..=sorted.len()).map(|_| AtomicU64::new(0)).collect();
+        HistogramCore {
+            bounds: sorted.into_boxed_slice(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+/// A histogram with fixed bucket bounds chosen at creation.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// A detached no-op histogram.
+    pub fn disabled() -> Histogram {
+        Histogram(None)
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: f64) {
+        let Some(core) = &self.0 else {
+            return;
+        };
+        // First bound >= value, else the +Inf overflow bucket. Bounds are
+        // small fixed arrays, so a linear scan beats binary search here.
+        let index = core
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(core.bounds.len());
+        core.buckets[index].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        let mut current = core.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + value).to_bits();
+            match core.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Total number of observations (0 when disabled).
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+
+    /// Sum of all observations (0.0 when disabled).
+    pub fn sum(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |c| f64::from_bits(c.sum_bits.load(Ordering::Relaxed)))
+    }
+}
+
+/// Standard bucket bound sets used across the range's subsystems.
+pub mod buckets {
+    /// Wall-clock latency buckets in seconds: 1 µs … 10 s, roughly
+    /// logarithmic. Suits both power-flow solves and emulated link delays.
+    pub const LATENCY_SECONDS: [f64; 14] = [
+        1e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 10.0,
+    ];
+
+    /// Newton–Raphson iteration-count buckets.
+    pub const ITERATIONS: [f64; 8] = [1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 16.0, 32.0];
+}

@@ -8,6 +8,7 @@ use parking_lot::Mutex;
 use sgcr_iec61850::{DataValue, MmsClient, MmsPdu, MmsRequest, MmsResponse, MMS_PORT};
 use sgcr_modbus::{ModbusServerApp, SharedRegisters};
 use sgcr_net::{ConnId, HostCtx, Ipv4Addr, SimDuration, SocketApp};
+use sgcr_obs::{Counter, Event as ObsEvent, Telemetry};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -71,17 +72,41 @@ pub struct PlcApp {
     conn_to_server: HashMap<ConnId, Ipv4Addr>,
     last_written: HashMap<String, bool>,
     status: PlcHandle,
+    telemetry: Telemetry,
+    controls_counter: Counter,
 }
 
 impl PlcApp {
-    /// Builds the app. `registers` is the Modbus image shared with the
-    /// embedded server; `reads`/`writes` bind IED points to PLC variables.
+    /// Builds the app with telemetry disabled. `registers` is the Modbus
+    /// image shared with the embedded server; `reads`/`writes` bind IED
+    /// points to PLC variables.
     pub fn new(
         runtime: PlcRuntime,
         registers: SharedRegisters,
         scan_period: SimDuration,
         reads: Vec<MmsReadBinding>,
         writes: Vec<MmsWriteBinding>,
+    ) -> (PlcApp, PlcHandle) {
+        PlcApp::with_telemetry(
+            runtime,
+            registers,
+            scan_period,
+            reads,
+            writes,
+            Telemetry::disabled(),
+        )
+    }
+
+    /// Builds the app with a telemetry handle. Issued MMS controls feed the
+    /// `plc.controls_sent` counter and journal
+    /// [`PlcControl`](sgcr_obs::Event::PlcControl) events.
+    pub fn with_telemetry(
+        runtime: PlcRuntime,
+        registers: SharedRegisters,
+        scan_period: SimDuration,
+        reads: Vec<MmsReadBinding>,
+        writes: Vec<MmsWriteBinding>,
+        telemetry: Telemetry,
     ) -> (PlcApp, PlcHandle) {
         let status: PlcHandle = Arc::default();
         (
@@ -95,6 +120,8 @@ impl PlcApp {
                 conn_to_server: HashMap::new(),
                 last_written: HashMap::new(),
                 status: status.clone(),
+                controls_counter: telemetry.counter("plc.controls_sent"),
+                telemetry,
             },
             status,
         )
@@ -167,6 +194,12 @@ impl PlcApp {
                     ctx.tcp_send(conn, &wire);
                     self.last_written.insert(w.variable.clone(), value);
                     self.status.lock().controls_sent += 1;
+                    self.controls_counter.inc();
+                    self.telemetry
+                        .record(now.as_nanos(), || ObsEvent::PlcControl {
+                            variable: w.variable.clone(),
+                            value,
+                        });
                 }
             }
         }

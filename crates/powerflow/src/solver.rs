@@ -52,6 +52,57 @@ pub fn solve_with(
     Ok(extract_results(net, &topo, &state))
 }
 
+/// Solves the AC power flow and records the outcome into `telemetry`.
+///
+/// On top of [`solve_with`], this observes the wall-clock solve time in the
+/// `powerflow.solve_seconds` histogram, the Newton–Raphson iteration count in
+/// `powerflow.nr_iterations`, counts failures in
+/// `powerflow.convergence_failures`, and journals a
+/// [`SolveCompleted`](sgcr_obs::Event::SolveCompleted) or
+/// [`SolveFailed`](sgcr_obs::Event::SolveFailed) event stamped with the
+/// simulation time `t_ns`. With disabled telemetry this is exactly
+/// [`solve_with`] — not even the timer is started.
+///
+/// # Errors
+///
+/// See [`solve`].
+pub fn solve_telemetered(
+    net: &PowerNetwork,
+    options: &SolveOptions,
+    telemetry: &sgcr_obs::Telemetry,
+    t_ns: u64,
+) -> Result<PowerFlowResult, PowerFlowError> {
+    if !telemetry.is_enabled() {
+        return solve_with(net, options);
+    }
+    let start = std::time::Instant::now();
+    let result = solve_with(net, options);
+    let seconds = start.elapsed().as_secs_f64();
+    telemetry.counter("powerflow.solves").inc();
+    telemetry
+        .histogram(
+            "powerflow.solve_seconds",
+            &sgcr_obs::buckets::LATENCY_SECONDS,
+        )
+        .observe(seconds);
+    match &result {
+        Ok(r) => {
+            telemetry
+                .histogram("powerflow.nr_iterations", &sgcr_obs::buckets::ITERATIONS)
+                .observe(r.iterations as f64);
+            let iters = r.iterations as u64;
+            telemetry.record(t_ns, || sgcr_obs::Event::SolveCompleted { iters, seconds });
+        }
+        Err(e) => {
+            telemetry.counter("powerflow.convergence_failures").inc();
+            telemetry.record(t_ns, || sgcr_obs::Event::SolveFailed {
+                detail: e.to_string(),
+            });
+        }
+    }
+    result
+}
+
 /// Per-node complex voltages keyed by representative node index.
 struct SolvedState {
     voltage: HashMap<usize, Complex>,

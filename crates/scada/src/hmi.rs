@@ -6,6 +6,7 @@ use parking_lot::Mutex;
 use sgcr_iec61850::{DataValue, MmsClient, MmsPdu, MmsRequest, MmsResponse};
 use sgcr_modbus::{ModbusClient, Request as ModbusRequest, Response as ModbusResponse};
 use sgcr_net::{ConnId, HostCtx, Ipv4Addr, SimDuration, SocketApp};
+use sgcr_obs::{Counter, Event as ObsEvent, Telemetry};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -149,11 +150,24 @@ pub struct ScadaApp {
     links: Vec<SourceLink>,
     conn_to_source: HashMap<ConnId, usize>,
     shared: ScadaHandle,
+    telemetry: Telemetry,
+    alarms_counter: Counter,
+    commands_counter: Counter,
 }
 
 impl ScadaApp {
-    /// Builds the app from a parsed configuration.
+    /// Builds the app from a parsed configuration, with telemetry disabled.
     pub fn new(config: ScadaConfig) -> (ScadaApp, ScadaHandle) {
+        ScadaApp::with_telemetry(config, Telemetry::disabled())
+    }
+
+    /// Builds the app with a telemetry handle. Alarm raises feed the
+    /// `scada.alarms` counter and journal
+    /// [`ScadaAlarm`](sgcr_obs::Event::ScadaAlarm) /
+    /// [`ScadaAlarmCleared`](sgcr_obs::Event::ScadaAlarmCleared) events;
+    /// executed operator commands feed `scada.commands` and journal
+    /// [`ScadaCommand`](sgcr_obs::Event::ScadaCommand).
+    pub fn with_telemetry(config: ScadaConfig, telemetry: Telemetry) -> (ScadaApp, ScadaHandle) {
         let handle = ScadaHandle::default();
         {
             // Pre-register all tags as uninitialized.
@@ -194,6 +208,9 @@ impl ScadaApp {
                 links,
                 conn_to_source: HashMap::new(),
                 shared: handle.clone(),
+                alarms_counter: telemetry.counter("scada.alarms"),
+                commands_counter: telemetry.counter("scada.commands"),
+                telemetry,
             },
             handle,
         )
@@ -328,9 +345,20 @@ impl ScadaApp {
                     .active_alarms
                     .insert(rule.point.clone(), rule.message.clone());
                 self.log(now_ms, format!("ALARM {}: {}", rule.point, rule.message));
+                self.alarms_counter.inc();
+                self.telemetry
+                    .record(now_ms * 1_000_000, || ObsEvent::ScadaAlarm {
+                        point: rule.point.clone(),
+                        message: rule.message.clone(),
+                    });
             } else if !in_alarm && was_active {
                 self.shared.shared.lock().active_alarms.remove(&rule.point);
                 self.log(now_ms, format!("CLEARED {}: {}", rule.point, rule.message));
+                self.telemetry
+                    .record(now_ms * 1_000_000, || ObsEvent::ScadaAlarmCleared {
+                        point: rule.point.clone(),
+                        message: rule.message.clone(),
+                    });
             }
         }
     }
@@ -386,6 +414,12 @@ impl ScadaApp {
                         let wire = client.request(*unit, request);
                         ctx.tcp_send(conn, &wire);
                         self.log(now_ms, format!("COMMAND {tag} := {value}"));
+                        self.commands_counter.inc();
+                        self.telemetry
+                            .record(now_ms * 1_000_000, || ObsEvent::ScadaCommand {
+                                tag: tag.clone(),
+                                value,
+                            });
                     }
                 }
                 (SourceLink::Mms { client, conn, .. }, PointAddress::Mms { item }) => {
@@ -396,6 +430,12 @@ impl ScadaApp {
                         });
                         ctx.tcp_send(conn, &wire);
                         self.log(now_ms, format!("COMMAND {tag} := {value}"));
+                        self.commands_counter.inc();
+                        self.telemetry
+                            .record(now_ms * 1_000_000, || ObsEvent::ScadaCommand {
+                                tag: tag.clone(),
+                                value,
+                            });
                     }
                 }
                 _ => {}

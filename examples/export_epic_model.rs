@@ -16,6 +16,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for entry in std::fs::read_dir(&dir)? {
         println!("  {}", entry?.file_name().to_string_lossy());
     }
-    println!("try: cargo run -p sgcr-core --bin sgml_processor -- {dir} --run 3");
+    println!("try: cargo run --bin sgml_processor -- run {dir} --seconds 3");
     Ok(())
 }

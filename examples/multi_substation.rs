@@ -32,16 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     range.run_for(SimDuration::from_secs(5));
     let wall = wall.elapsed().as_secs_f64();
 
-    let steps = range.step_stats.len();
-    let mean_step: f64 = range
-        .step_stats
-        .iter()
-        .map(|s| s.total_seconds)
-        .sum::<f64>()
-        / steps.max(1) as f64;
+    let steps = range.step_stats().len();
+    let mean_step: f64 =
+        range.step_stats().map(|s| s.total_seconds).sum::<f64>() / steps.max(1) as f64;
     let max_step = range
-        .step_stats
-        .iter()
+        .step_stats()
         .map(|s| s.total_seconds)
         .fold(0.0f64, f64::max);
     let budget = params.interval_ms as f64 / 1000.0;

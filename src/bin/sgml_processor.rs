@@ -3,81 +3,279 @@
 //! cyber range, reports the generated inventory, and optionally runs it.
 //!
 //! ```text
-//! sgml_processor <bundle-dir> [--run <seconds>] [--dot] [--validate-only] [--format text|json]
-//! sgml_processor lint <bundle-dir> [--format text|json]
+//! sgml_processor build <bundle-dir> [--dot]
+//! sgml_processor run   <bundle-dir> [--seconds <n>] [--dot]
+//!                      [--metrics <file>] [--journal <file>]
+//! sgml_processor lint  <bundle-dir> [--format text|json]
 //! ```
 //!
-//! `lint` (and `--validate-only`, which is its alias on the main form) runs
-//! the `sgcr-lint` static analyzer over the bundle *without* constructing a
-//! cyber range: files are parsed leniently, cross-file references, network
-//! addressing, power topology, protection sanity, and bundle hygiene are
-//! checked, and findings are printed as coded, span-carrying diagnostics.
-//! The exit code is nonzero when any finding is an error.
+//! `build` compiles the bundle and prints the generated inventory without
+//! advancing simulated time. `run` additionally co-simulates `--seconds` of
+//! range time (default 10); with `--metrics` it enables the telemetry
+//! subsystem and writes a JSON metrics snapshot to the given file, and with
+//! `--journal` it writes the typed event journal as JSON Lines.
+//!
+//! `lint` runs the `sgcr-lint` static analyzer over the bundle *without*
+//! constructing a cyber range: files are parsed leniently, cross-file
+//! references, network addressing, power topology, protection sanity, and
+//! bundle hygiene are checked, and findings are printed as coded,
+//! span-carrying diagnostics. The exit code is nonzero when any finding is
+//! an error.
+//!
+//! The pre-subcommand invocation forms (`sgml_processor <bundle-dir>
+//! [--run <seconds>] [--validate-only] …`) keep working as deprecated
+//! aliases and print a one-line migration hint on stderr.
 
-use sgcr_core::{CyberRange, SgmlBundle};
+use sgcr_core::{RangeBuilder, SgmlBundle};
 use sgcr_lint::source::LoadedBundle;
 use sgcr_lint::{json, lint_bundle, report};
 use sgcr_net::SimDuration;
+use sgcr_obs::Telemetry;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: sgml_processor <bundle-dir> [--run <seconds>] [--dot] \
-                     [--validate-only] [--format text|json]\n       \
+const USAGE: &str = "usage: sgml_processor build <bundle-dir> [--dot]\n       \
+                     sgml_processor run <bundle-dir> [--seconds <n>] [--dot] \
+                     [--metrics <file>] [--journal <file>]\n       \
                      sgml_processor lint <bundle-dir> [--format text|json]";
 
-#[derive(Clone, Copy, PartialEq, Eq)]
+/// Default co-simulated duration for `run` when `--seconds` is omitted.
+const DEFAULT_RUN_SECONDS: u64 = 10;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Format {
     Text,
     Json,
 }
 
-fn usage() -> ExitCode {
-    eprintln!("{USAGE}");
-    ExitCode::from(2)
+/// A fully parsed invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Cmd {
+    Build {
+        dir: String,
+        dot: bool,
+    },
+    Run {
+        dir: String,
+        seconds: u64,
+        dot: bool,
+        metrics: Option<String>,
+        journal: Option<String>,
+    },
+    Lint {
+        dir: String,
+        format: Format,
+    },
 }
 
-fn main() -> ExitCode {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let lint_mode = args.first().map(String::as_str) == Some("lint");
-    if lint_mode {
-        args.remove(0);
-    }
-    let Some(dir) = args.first().cloned() else {
-        return usage();
-    };
+/// Parse result: the command plus an optional deprecation notice to print
+/// on stderr (set when a legacy pre-subcommand form was used).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Parsed {
+    cmd: Cmd,
+    deprecation: Option<String>,
+}
 
-    let mut run_seconds: Option<u64> = None;
+/// Parses command-line arguments (without the program name). Pure so the
+/// whole surface — subcommands, flags, and legacy aliases — is unit-testable.
+fn parse_args(args: &[String]) -> Result<Parsed, String> {
+    let Some(first) = args.first().map(String::as_str) else {
+        return Err(String::from("missing <bundle-dir> or subcommand"));
+    };
+    match first {
+        "build" => parse_build(&args[1..]),
+        "run" => parse_run(&args[1..]),
+        "lint" => parse_lint(&args[1..]),
+        "-h" | "--help" | "help" => Err(String::new()),
+        _ => parse_legacy(args),
+    }
+}
+
+fn take_dir(args: &[String]) -> Result<(String, &[String]), String> {
+    match args.first() {
+        Some(dir) if !dir.starts_with('-') => Ok((dir.clone(), &args[1..])),
+        Some(flag) => Err(format!("expected <bundle-dir>, found `{flag}`")),
+        None => Err(String::from("missing <bundle-dir>")),
+    }
+}
+
+/// Returns the value of a `--flag <value>` pair at `args[i]`, advancing `i`.
+fn flag_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
+    *i += 1;
+    args.get(*i)
+        .map(String::as_str)
+        .ok_or_else(|| format!("`{flag}` requires a value"))
+}
+
+fn parse_build(args: &[String]) -> Result<Parsed, String> {
+    let (dir, rest) = take_dir(args)?;
     let mut dot = false;
-    let mut validate_only = lint_mode;
-    let mut format = Format::Text;
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--run" if !lint_mode => {
-                i += 1;
-                let Some(value) = args.get(i).and_then(|s| s.parse().ok()) else {
-                    return usage();
-                };
-                run_seconds = Some(value);
+    for arg in rest {
+        match arg.as_str() {
+            "--dot" => dot = true,
+            other => return Err(format!("unknown argument `{other}` for `build`")),
+        }
+    }
+    Ok(Parsed {
+        cmd: Cmd::Build { dir, dot },
+        deprecation: None,
+    })
+}
+
+fn parse_run(args: &[String]) -> Result<Parsed, String> {
+    let (dir, rest) = take_dir(args)?;
+    let mut seconds = DEFAULT_RUN_SECONDS;
+    let mut dot = false;
+    let mut metrics = None;
+    let mut journal = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--seconds" => {
+                let value = flag_value(rest, &mut i, "--seconds")?;
+                seconds = value
+                    .parse()
+                    .map_err(|_| format!("`--seconds` expects an integer, found `{value}`"))?;
             }
-            "--dot" if !lint_mode => dot = true,
-            "--validate-only" if !lint_mode => validate_only = true,
-            "--format" => {
-                i += 1;
-                format = match args.get(i).map(String::as_str) {
-                    Some("text") => Format::Text,
-                    Some("json") => Format::Json,
-                    _ => return usage(),
-                };
-            }
-            _ => return usage(),
+            "--dot" => dot = true,
+            "--metrics" => metrics = Some(flag_value(rest, &mut i, "--metrics")?.to_string()),
+            "--journal" => journal = Some(flag_value(rest, &mut i, "--journal")?.to_string()),
+            other => return Err(format!("unknown argument `{other}` for `run`")),
         }
         i += 1;
     }
+    Ok(Parsed {
+        cmd: Cmd::Run {
+            dir,
+            seconds,
+            dot,
+            metrics,
+            journal,
+        },
+        deprecation: None,
+    })
+}
 
-    if validate_only {
-        return lint(&dir, format);
+fn parse_format(value: &str) -> Result<Format, String> {
+    match value {
+        "text" => Ok(Format::Text),
+        "json" => Ok(Format::Json),
+        other => Err(format!("`--format` expects text|json, found `{other}`")),
     }
-    generate(&dir, run_seconds, dot)
+}
+
+fn parse_lint(args: &[String]) -> Result<Parsed, String> {
+    let (dir, rest) = take_dir(args)?;
+    let mut format = Format::Text;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--format" => format = parse_format(flag_value(rest, &mut i, "--format")?)?,
+            other => return Err(format!("unknown argument `{other}` for `lint`")),
+        }
+        i += 1;
+    }
+    Ok(Parsed {
+        cmd: Cmd::Lint { dir, format },
+        deprecation: None,
+    })
+}
+
+/// The pre-subcommand form: `<bundle-dir> [--run <seconds>] [--dot]
+/// [--validate-only] [--format text|json]`. Mapped onto the subcommands
+/// with a one-line deprecation notice.
+fn parse_legacy(args: &[String]) -> Result<Parsed, String> {
+    let (dir, rest) = take_dir(args)?;
+    let mut run_seconds: Option<u64> = None;
+    let mut dot = false;
+    let mut validate_only = false;
+    let mut format = Format::Text;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--run" => {
+                let value = flag_value(rest, &mut i, "--run")?;
+                run_seconds = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("`--run` expects an integer, found `{value}`"))?,
+                );
+            }
+            "--dot" => dot = true,
+            "--validate-only" => validate_only = true,
+            "--format" => format = parse_format(flag_value(rest, &mut i, "--format")?)?,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    let (cmd, replacement) = if validate_only {
+        (
+            Cmd::Lint {
+                dir: dir.clone(),
+                format,
+            },
+            format!("lint {dir}"),
+        )
+    } else if let Some(seconds) = run_seconds {
+        (
+            Cmd::Run {
+                dir: dir.clone(),
+                seconds,
+                dot,
+                metrics: None,
+                journal: None,
+            },
+            format!("run {dir} --seconds {seconds}"),
+        )
+    } else {
+        (
+            Cmd::Build {
+                dir: dir.clone(),
+                dot,
+            },
+            format!("build {dir}"),
+        )
+    };
+    Ok(Parsed {
+        cmd,
+        deprecation: Some(format!(
+            "warning: bare `sgml_processor <bundle-dir>` forms are deprecated; \
+             use `sgml_processor {replacement}`"
+        )),
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("error: {message}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(notice) = &parsed.deprecation {
+        eprintln!("{notice}");
+    }
+    match parsed.cmd {
+        Cmd::Build { dir, dot } => generate(&dir, None, dot, None, None),
+        Cmd::Run {
+            dir,
+            seconds,
+            dot,
+            metrics,
+            journal,
+        } => generate(
+            &dir,
+            Some(seconds),
+            dot,
+            metrics.as_deref(),
+            journal.as_deref(),
+        ),
+        Cmd::Lint { dir, format } => lint(&dir, format),
+    }
 }
 
 /// Statically analyzes the bundle; never constructs a `CyberRange`.
@@ -101,8 +299,16 @@ fn lint(dir: &str, format: Format) -> ExitCode {
     }
 }
 
-/// Generates (and optionally runs) the cyber range.
-fn generate(dir: &str, run_seconds: Option<u64>, dot: bool) -> ExitCode {
+/// Generates (and for `run`, co-simulates) the cyber range. Telemetry is
+/// enabled only when a `--metrics` or `--journal` sink was requested, so a
+/// plain run keeps the zero-overhead disabled path.
+fn generate(
+    dir: &str,
+    run_seconds: Option<u64>,
+    dot: bool,
+    metrics_path: Option<&str>,
+    journal_path: Option<&str>,
+) -> ExitCode {
     let bundle = match SgmlBundle::from_dir(dir) {
         Ok(bundle) => bundle,
         Err(e) => {
@@ -123,7 +329,15 @@ fn generate(dir: &str, run_seconds: Option<u64>, dot: bool) -> ExitCode {
         bundle.power_extra.is_some(),
     );
 
-    let mut range = match CyberRange::generate(&bundle) {
+    let telemetry = if metrics_path.is_some() || journal_path.is_some() {
+        Telemetry::new()
+    } else {
+        Telemetry::disabled()
+    };
+    let mut range = match RangeBuilder::new(&bundle)
+        .telemetry(telemetry.clone())
+        .build()
+    {
         Ok(range) => range,
         Err(e) => {
             eprintln!("error: model set does not compile:\n{e}");
@@ -143,8 +357,8 @@ fn generate(dir: &str, run_seconds: Option<u64>, dot: bool) -> ExitCode {
         range.run_for(SimDuration::from_secs(seconds));
         eprintln!(
             "done: {} power-flow steps ({} solve errors) in {:.2} s wall clock",
-            range.step_stats.len(),
-            range.solve_errors.len(),
+            range.steps_total(),
+            range.solve_errors().len(),
             wall.elapsed().as_secs_f64()
         );
         if let Some(scada) = &range.scada {
@@ -163,5 +377,151 @@ fn generate(dir: &str, run_seconds: Option<u64>, dot: bool) -> ExitCode {
             }
         }
     }
+    if let Some(path) = metrics_path {
+        if let Err(e) = std::fs::write(path, telemetry.snapshot().to_json()) {
+            eprintln!("error: cannot write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("metrics snapshot written to {path}");
+    }
+    if let Some(path) = journal_path {
+        if let Err(e) = std::fs::write(path, telemetry.journal_jsonl()) {
+            eprintln!("error: cannot write journal to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "event journal written to {path} ({} events, {} evicted)",
+            telemetry.events().len(),
+            telemetry.events_dropped()
+        );
+    }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    fn argv(line: &str) -> Vec<String> {
+        line.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn build_subcommand_parses() {
+        let parsed = parse_args(&argv("build bundles/epic --dot")).unwrap();
+        assert_eq!(
+            parsed.cmd,
+            Cmd::Build {
+                dir: "bundles/epic".into(),
+                dot: true
+            }
+        );
+        assert!(parsed.deprecation.is_none());
+    }
+
+    #[test]
+    fn run_subcommand_parses_all_flags() {
+        let parsed = parse_args(&argv(
+            "run bundles/epic --seconds 30 --metrics m.json --journal j.jsonl",
+        ))
+        .unwrap();
+        assert_eq!(
+            parsed.cmd,
+            Cmd::Run {
+                dir: "bundles/epic".into(),
+                seconds: 30,
+                dot: false,
+                metrics: Some("m.json".into()),
+                journal: Some("j.jsonl".into()),
+            }
+        );
+        assert!(parsed.deprecation.is_none());
+    }
+
+    #[test]
+    fn run_defaults_seconds() {
+        let parsed = parse_args(&argv("run bundles/epic")).unwrap();
+        match parsed.cmd {
+            Cmd::Run {
+                seconds,
+                metrics,
+                journal,
+                ..
+            } => {
+                assert_eq!(seconds, DEFAULT_RUN_SECONDS);
+                assert!(metrics.is_none());
+                assert!(journal.is_none());
+            }
+            other => panic!("expected run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lint_subcommand_parses_format() {
+        let parsed = parse_args(&argv("lint bundles/epic --format json")).unwrap();
+        assert_eq!(
+            parsed.cmd,
+            Cmd::Lint {
+                dir: "bundles/epic".into(),
+                format: Format::Json
+            }
+        );
+    }
+
+    #[test]
+    fn legacy_bare_dir_maps_to_build_with_warning() {
+        let parsed = parse_args(&argv("bundles/epic --dot")).unwrap();
+        assert_eq!(
+            parsed.cmd,
+            Cmd::Build {
+                dir: "bundles/epic".into(),
+                dot: true
+            }
+        );
+        let notice = parsed.deprecation.unwrap();
+        assert!(notice.contains("deprecated"));
+        assert!(notice.contains("build bundles/epic"));
+    }
+
+    #[test]
+    fn legacy_run_flag_maps_to_run() {
+        let parsed = parse_args(&argv("bundles/epic --run 5")).unwrap();
+        assert_eq!(
+            parsed.cmd,
+            Cmd::Run {
+                dir: "bundles/epic".into(),
+                seconds: 5,
+                dot: false,
+                metrics: None,
+                journal: None,
+            }
+        );
+        assert!(parsed.deprecation.unwrap().contains("--seconds 5"));
+    }
+
+    #[test]
+    fn legacy_validate_only_maps_to_lint() {
+        let parsed = parse_args(&argv("bundles/epic --validate-only --format json")).unwrap();
+        assert_eq!(
+            parsed.cmd,
+            Cmd::Lint {
+                dir: "bundles/epic".into(),
+                format: Format::Json
+            }
+        );
+        assert!(parsed.deprecation.is_some());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&argv("run")).is_err());
+        assert!(parse_args(&argv("run bundles/epic --seconds abc")).is_err());
+        assert!(parse_args(&argv("run bundles/epic --metrics")).is_err());
+        assert!(parse_args(&argv("lint bundles/epic --format yaml")).is_err());
+        assert!(parse_args(&argv("build bundles/epic --bogus")).is_err());
+        assert!(parse_args(&argv("bundles/epic --bogus")).is_err());
+    }
 }

@@ -16,6 +16,7 @@
 //! | [`scl`] | `sgcr-scl` | IEC 61850 SCL: SSD/SCD/ICD/SED parsing, writing, consolidation |
 //! | [`powerflow`] | `sgcr-powerflow` | steady-state AC power flow (Pandapower substitute) |
 //! | [`net`] | `sgcr-net` | discrete-event network emulator (Mininet substitute) |
+//! | [`obs`] | `sgcr-obs` | telemetry: metrics registry + event journal, zero-overhead when off |
 //! | [`iec61850`] | `sgcr-iec61850` | MMS/GOOSE/SV/R-GOOSE stack (libiec61850 substitute) |
 //! | [`ied`] | `sgcr-ied` | virtual IED with Table-II protection functions |
 //! | [`plc`] | `sgcr-plc` | virtual PLC: ST interpreter + PLCopen XML (OpenPLC61850 substitute) |
@@ -49,6 +50,7 @@ pub use sgcr_kvstore as kvstore;
 pub use sgcr_modbus as modbus;
 pub use sgcr_models as models;
 pub use sgcr_net as net;
+pub use sgcr_obs as obs;
 pub use sgcr_plc as plc;
 pub use sgcr_powerflow as powerflow;
 pub use sgcr_scada as scada;

@@ -22,7 +22,7 @@ fn infeasible_power_flow_is_survived() {
     range.run_for(SimDuration::from_secs(1));
     // The step loop recorded solve errors but kept the range alive
     // (protection may legitimately have opened a breaker meanwhile).
-    assert!(!range.solve_errors.is_empty(), "solve failures recorded");
+    assert!(!range.solve_errors().is_empty(), "solve failures recorded");
     // Cyber side kept running: SCADA still polls the (stale or post-trip)
     // state without crashing.
     range.run_for(SimDuration::from_secs(1));
@@ -86,7 +86,7 @@ fn link_failure_stalls_scada_but_not_the_grid() {
         before.updated_ms
     );
     // The physical side and other tags keep flowing.
-    assert!(range.solve_errors.is_empty());
+    assert!(range.solve_errors().is_empty());
     let gen_tag = scada.tag("GenFeeder_kW").unwrap();
     assert!(
         gen_tag.updated_ms > after.updated_ms,
@@ -153,7 +153,7 @@ fn breaker_command_for_unknown_target_is_ignored() {
         .store
         .set("cmd/garbage", sg_cyber_range::kvstore::Value::Bool(true));
     range.run_for(SimDuration::from_secs(1));
-    assert!(range.solve_errors.is_empty());
+    assert!(range.solve_errors().is_empty());
     // Real breakers untouched.
     assert!(range.power.switch.iter().all(|s| s.closed));
 }

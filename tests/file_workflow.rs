@@ -51,7 +51,7 @@ fn bundle_roundtrips_through_a_directory() {
     // The reloaded bundle compiles and runs.
     let mut range = CyberRange::generate(&reloaded).expect("reloaded bundle compiles");
     range.run_for(SimDuration::from_secs(1));
-    assert!(range.solve_errors.is_empty());
+    assert!(range.solve_errors().is_empty());
     let _ = std::fs::remove_dir_all(&dir);
 }
 
