@@ -60,7 +60,7 @@ pub use range::{
 };
 pub use sgml::ied_config::{IedConfig, IedConfigError};
 pub use sgml::plc_config::{
-    PlcConfig, PlcConfigError, PlcDef, PlcLogic, PlcReadRule, PlcWriteRule,
+    PlcConfig, PlcConfigError, PlcDef, PlcGooseRule, PlcLogic, PlcReadRule, PlcWriteRule,
 };
 pub use sgml::power_extra::{PowerExtraConfig, PowerExtraError};
 

@@ -19,11 +19,10 @@ use crate::sgml::power_extra::PowerExtraConfig;
 use sgcr_ied::{IedHandle, VirtualIedApp};
 use sgcr_kvstore::{ProcessStore, Value};
 use sgcr_net::{Ipv4Addr, LinkSpec, Network, NodeId, SimDuration, SimTime, SocketApp};
-use sgcr_obs::{buckets, Counter, Event as ObsEvent, Gauge, Histogram, Telemetry};
-use sgcr_plc::{MmsReadBinding, MmsWriteBinding, PlcApp, PlcHandle, PlcRuntime};
+use sgcr_obs::{buckets, Counter, Event as ObsEvent, Gauge, Histogram, Plane, Telemetry};
+use sgcr_plc::{GooseBinding, MmsReadBinding, MmsWriteBinding, PlcApp, PlcHandle, PlcRuntime};
 use sgcr_powerflow::{
-    solve_telemetered, PowerFlowError, PowerFlowResult, PowerNetwork, SimulationSchedule,
-    SolveOptions,
+    solve_traced, PowerFlowError, PowerFlowResult, PowerNetwork, SimulationSchedule, SolveOptions,
 };
 use sgcr_scada::{ScadaApp, ScadaConfig, ScadaHandle};
 use sgcr_scl::{
@@ -441,7 +440,7 @@ impl<'a> RangeBuilder<'a> {
                         })
                     })
                     .collect::<Result<Vec<_>, RangeError>>()?;
-                let (app, handle) = PlcApp::with_telemetry(
+                let (mut app, handle) = PlcApp::with_telemetry(
                     runtime,
                     registers,
                     SimDuration::from_millis(def.scan_ms),
@@ -449,6 +448,18 @@ impl<'a> RangeBuilder<'a> {
                     writes,
                     self.telemetry.clone(),
                 );
+                if !def.gooses.is_empty() {
+                    app.set_goose_bindings(
+                        def.gooses
+                            .iter()
+                            .map(|g| GooseBinding {
+                                gocb_ref: g.gocb_ref.clone(),
+                                index: g.index,
+                                variable: g.variable.clone(),
+                            })
+                            .collect(),
+                    );
+                }
                 net.attach_app(node, Box::new(app));
                 plcs.insert(def.name.clone(), handle);
             }
@@ -507,8 +518,21 @@ impl<'a> RangeBuilder<'a> {
         };
         // Publish the initial switch states and solution before anything runs.
         range.publish_switch_states();
-        let result = solve_telemetered(&range.power, &SolveOptions::default(), &range.telemetry, 0)
-            .map_err(RangeError::PowerFlow)?;
+        let tracer = range.telemetry.tracer();
+        let init_span = tracer.open("range.init", Plane::Range, None, 0u64);
+        let (result, solve_ctx) = solve_traced(
+            &range.power,
+            &SolveOptions::default(),
+            &range.telemetry,
+            0,
+            init_span.ctx(),
+        );
+        let result = result.map_err(RangeError::PowerFlow)?;
+        if let Some(solve_ctx) = solve_ctx {
+            // Device samples taken before the first step trace to this solve.
+            tracer.set_provenance("power.solve", solve_ctx);
+        }
+        init_span.end(0u64);
         range.publish_measurements(&result);
         range.last_result = result;
         range.cmd_cursor = range.store.version();
@@ -582,6 +606,15 @@ impl CyberRange {
         let t0_ms = self.last_step_ms;
         self.last_step_ms = t1.as_millis();
 
+        // Root span of this step's trace: everything the solve causes —
+        // device samples, protection operations, GOOSE, SCADA updates —
+        // hangs transitively below it.
+        let tracer = self.telemetry.tracer();
+        let mut step_span = tracer.open("range.step", Plane::Range, None, t1);
+        if step_span.is_recording() {
+            step_span.attr("step", (self.steps_total + 1).to_string());
+        }
+
         // Profiles and scheduled disturbances.
         self.schedule.apply(&mut self.power, t0_ms, t1.as_millis());
 
@@ -626,13 +659,20 @@ impl CyberRange {
 
         // Solve and publish.
         let solve_start = std::time::Instant::now();
-        match solve_telemetered(
+        let (solved, solve_ctx) = solve_traced(
             &self.power,
             &SolveOptions::default(),
             &self.telemetry,
             t1.as_nanos(),
-        ) {
+            step_span.ctx(),
+        );
+        match solved {
             Ok(result) => {
+                if let Some(solve_ctx) = solve_ctx {
+                    // Until the next solve, IED samples are caused by this
+                    // one: they read the measurements it publishes.
+                    tracer.set_provenance("power.solve", solve_ctx);
+                }
                 self.publish_switch_states();
                 self.publish_measurements(&result);
                 self.last_result = result;
@@ -667,6 +707,7 @@ impl CyberRange {
                     .record(t1.as_nanos(), || ObsEvent::StepOverrun { step, ratio });
             }
         }
+        step_span.end(t1);
     }
 
     /// Runs the range for a duration. Power-flow steps fire at their due

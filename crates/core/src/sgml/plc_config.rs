@@ -39,6 +39,19 @@ pub struct PlcWriteRule {
     pub variable: String,
 }
 
+/// A GOOSE dataset entry mapped into a PLC variable: the PLC subscribes to
+/// the control block on the station bus and copies the entry's value into
+/// the variable whenever a publication is accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlcGooseRule {
+    /// Control block reference (`GIED1LD0/LLN0$GO$gcb01`).
+    pub gocb_ref: String,
+    /// Dataset entry index.
+    pub index: usize,
+    /// PLC variable receiving the value.
+    pub variable: String,
+}
+
 /// One PLC's configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlcDef {
@@ -52,6 +65,8 @@ pub struct PlcDef {
     pub reads: Vec<PlcReadRule>,
     /// IED write bindings.
     pub writes: Vec<PlcWriteRule>,
+    /// GOOSE subscription bindings.
+    pub gooses: Vec<PlcGooseRule>,
 }
 
 /// The parsed PLC Config file.
@@ -153,12 +168,32 @@ impl PlcConfig {
                     })
                 })
                 .collect::<Result<Vec<_>, PlcConfigError>>()?;
+            let gooses = plc_el
+                .children_named("Goose")
+                .iter()
+                .map(|g| {
+                    Ok(PlcGooseRule {
+                        gocb_ref: g
+                            .attr("gocb")
+                            .ok_or_else(|| err("Goose missing gocb"))?
+                            .to_string(),
+                        index: g
+                            .attr_parse("index")
+                            .ok_or_else(|| err("Goose missing index"))?,
+                        variable: g
+                            .attr("variable")
+                            .ok_or_else(|| err("Goose missing variable"))?
+                            .to_string(),
+                    })
+                })
+                .collect::<Result<Vec<_>, PlcConfigError>>()?;
             config.plcs.push(PlcDef {
                 name,
                 scan_ms: plc_el.attr_parse("scanMs").unwrap_or(100),
                 logic,
                 reads,
                 writes,
+                gooses,
             });
         }
         Ok(config)
@@ -198,6 +233,12 @@ impl PlcConfig {
                 doc.set_attr(e, "item", &w.item);
                 doc.set_attr(e, "variable", &w.variable);
             }
+            for g in &plc.gooses {
+                let e = doc.add_element(p, "Goose");
+                doc.set_attr(e, "gocb", &g.gocb_ref);
+                doc.set_attr(e, "index", &g.index.to_string());
+                doc.set_attr(e, "variable", &g.variable);
+            }
         }
         doc.to_xml()
     }
@@ -216,6 +257,7 @@ mod tests {
     ]]></Logic>
     <Read server="GIED1" item="GIED1LD0/MMXU1$MX$TotW$mag$f" variable="p1" scale="10"/>
     <Write server="GIED1" item="GIED1LD0/CSWI1$CO$Pos$Oper$ctlVal" variable="cb_cmd"/>
+    <Goose gocb="GIED1LD0/LLN0$GO$gcb01" index="1" variable="prot_op"/>
   </PLC>
 </PLCConfig>"#;
 
@@ -228,6 +270,14 @@ mod tests {
         assert!(matches!(&plc.logic, PlcLogic::StructuredText(st) if st.contains("PROGRAM cplc")));
         assert_eq!(plc.reads[0].scale, 10.0);
         assert_eq!(plc.writes[0].variable, "cb_cmd");
+        assert_eq!(
+            plc.gooses[0],
+            PlcGooseRule {
+                gocb_ref: "GIED1LD0/LLN0$GO$gcb01".to_string(),
+                index: 1,
+                variable: "prot_op".to_string(),
+            }
+        );
     }
 
     #[test]
@@ -238,6 +288,7 @@ mod tests {
         // Whitespace in CDATA is preserved exactly, so compare parsed forms.
         assert_eq!(reparsed.plcs[0].reads, config.plcs[0].reads);
         assert_eq!(reparsed.plcs[0].writes, config.plcs[0].writes);
+        assert_eq!(reparsed.plcs[0].gooses, config.plcs[0].gooses);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use sgcr_iec61850::{
 };
 use sgcr_kvstore::{ProcessStore, Value};
 use sgcr_net::{ethertype, ConnId, EthernetFrame, HostCtx, Ipv4Addr, MacAddr, SimTime, SocketApp};
-use sgcr_obs::{Counter, Event as ObsEvent, Telemetry};
+use sgcr_obs::{Counter, Event as ObsEvent, Plane, Telemetry, TimeNs, TraceCtx};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -134,6 +134,9 @@ pub struct VirtualIedApp {
     telemetry: Telemetry,
     trips_counter: Counter,
     goose_counter: Counter,
+    /// Causal parent for the next GOOSE publication: the trip (or sample)
+    /// span that changed the dataset. Retransmissions keep chaining to it.
+    goose_cause: Option<TraceCtx>,
 }
 
 impl VirtualIedApp {
@@ -201,7 +204,7 @@ impl VirtualIedApp {
                             kind: IedEventKind::ControlRejected,
                             detail: detail.clone(),
                         });
-                        obs.record(time_ms * 1_000_000, || ObsEvent::ControlRejected {
+                        obs.record(TimeNs::from_millis(time_ms), || ObsEvent::ControlRejected {
                             ied: ied_name.clone(),
                             detail,
                         });
@@ -216,7 +219,7 @@ impl VirtualIedApp {
                     kind: IedEventKind::ControlExecuted,
                     detail: detail.clone(),
                 });
-                obs.record(time_ms * 1_000_000, || ObsEvent::ControlExecuted {
+                obs.record(TimeNs::from_millis(time_ms), || ObsEvent::ControlExecuted {
                     ied: ied_name.clone(),
                     detail,
                 });
@@ -358,6 +361,7 @@ impl VirtualIedApp {
             trips_counter: telemetry.counter("ied.protection_trips"),
             goose_counter: telemetry.counter("ied.goose_sent"),
             telemetry,
+            goose_cause: None,
         };
         (app, IedHandle { model, events })
     }
@@ -370,11 +374,22 @@ impl VirtualIedApp {
         });
     }
 
-    fn trip_breaker(&mut self, ctx: &mut HostCtx<'_>, ln: &str, breaker_name: &str) {
+    fn trip_breaker(
+        &mut self,
+        ctx: &mut HostCtx<'_>,
+        ln: &str,
+        breaker_name: &str,
+        parent: Option<TraceCtx>,
+    ) -> Option<TraceCtx> {
         let now = ctx.now();
-        let Some(breaker) = self.spec.breaker(breaker_name).cloned() else {
-            return;
-        };
+        let breaker = self.spec.breaker(breaker_name).cloned()?;
+        let mut span = ctx.tracer().open("ied.trip", Plane::Control, parent, now);
+        if span.is_recording() {
+            span.attr("ied", self.spec.name.as_str());
+            span.attr("ln", ln);
+            span.attr("breaker", breaker_name);
+        }
+        let trip_ctx = span.ctx();
         self.store.set(&breaker.cmd_key, Value::Bool(false));
         let op_item = self.spec.item(&format!("{ln}$ST$Op$general"));
         self.model.write(&op_item, DataValue::Bool(true));
@@ -403,14 +418,41 @@ impl VirtualIedApp {
             ],
         };
         let wire = sgcr_iec61850::tpkt_frame(&report.encode());
+        // Spontaneous reports are caused by the trip: frames they generate
+        // chain to the trip span, not to the enclosing sample.
+        if trip_ctx.is_some() {
+            ctx.set_trace_parent(trip_ctx);
+        }
         for conn in self.mms.connections() {
             ctx.tcp_send(conn, &wire);
         }
+        span.end(now);
+        trip_ctx
     }
 
     fn sample(&mut self, ctx: &mut HostCtx<'_>) {
         let now = ctx.now();
         self.now_ms.store(now.as_millis(), Ordering::Relaxed);
+
+        // The sample reads process values produced by the most recent
+        // power-flow solve: parent it to that solve's span so protection
+        // operations triggered by the sampled values join the solve's trace.
+        let tracer = ctx.tracer();
+        let mut sample_span = tracer.open(
+            "ied.sample",
+            Plane::Control,
+            tracer.provenance("power.solve"),
+            now,
+        );
+        if sample_span.is_recording() {
+            sample_span.attr("ied", self.spec.name.as_str());
+        }
+        let sample_ctx = sample_span.ctx();
+        if sample_ctx.is_some() {
+            // Frames emitted while sampling (R-SV, spontaneous reports, …)
+            // default to the sample as their causal parent.
+            ctx.set_trace_parent(sample_ctx);
+        }
 
         // 0. GOOSE supervision: when a monitored stream's TTL expires, its
         //    interlock inputs degrade to Unknown (fail-safe close blocking),
@@ -540,8 +582,11 @@ impl VirtualIedApp {
                 }
             }
         }
+        let mut goose_cause = sample_ctx;
         for (ln, breaker) in trips {
-            self.trip_breaker(ctx, &ln, &breaker);
+            if let Some(trip_ctx) = self.trip_breaker(ctx, &ln, &breaker, sample_ctx) {
+                goose_cause = Some(trip_ctx);
+            }
         }
 
         // 4. GOOSE publication (update dataset; emit immediately on change).
@@ -577,6 +622,10 @@ impl VirtualIedApp {
                 .collect();
             if let Some(publisher) = &mut self.goose_pub {
                 if publisher.update(now, values) {
+                    // The dataset changed this sample: the publication (and
+                    // its retransmissions) are caused by the trip if one
+                    // occurred, else by the sample itself.
+                    self.goose_cause = goose_cause;
                     self.emit_goose(ctx);
                 }
             }
@@ -596,15 +645,29 @@ impl VirtualIedApp {
             }
         }
 
+        sample_span.end(now);
         ctx.set_timer(self.spec.sample_period, TOKEN_SAMPLE);
     }
 
     fn emit_goose(&mut self, ctx: &mut HostCtx<'_>) {
         let now = ctx.now();
         let mac = ctx.mac();
+        let mut span = ctx
+            .tracer()
+            .open("ied.goose_pub", Plane::Control, self.goose_cause, now);
         let Some(publisher) = &mut self.goose_pub else {
             return;
         };
+        if span.is_recording() {
+            span.attr("ied", self.spec.name.as_str());
+            span.attr("gocb", publisher.config.gocb_ref.as_str());
+        }
+        let pub_ctx = span.ctx();
+        if pub_ctx.is_some() {
+            // The multicast frame (and its R-GOOSE copies) chain to this
+            // publication span as they traverse the network.
+            ctx.set_trace_parent(pub_ctx);
+        }
         let (frame, wait) = publisher.emit(now, mac);
         // R-GOOSE to inter-substation peers.
         if let Some(goose_spec) = &self.spec.goose {
@@ -624,14 +687,24 @@ impl VirtualIedApp {
                 ied: self.spec.name.clone(),
             });
         ctx.send_frame(frame);
+        span.end(now);
         ctx.set_timer(wait, TOKEN_GOOSE);
     }
 
-    fn handle_goose_payload(&mut self, now: SimTime, frame: &EthernetFrame) {
+    fn handle_goose_payload(&mut self, ctx: &mut HostCtx<'_>, frame: &EthernetFrame) {
+        let now = ctx.now();
         for sub in &mut self.goose_subs {
             if sub.process(now, frame).is_some() {
                 let gocb = sub.gocb_ref.clone();
                 let data = sub.data.clone();
+                let mut span =
+                    ctx.tracer()
+                        .open("ied.goose_rx", Plane::Control, ctx.trace_parent(), now);
+                if span.is_recording() {
+                    span.attr("ied", self.spec.name.as_str());
+                    span.attr("gocb", gocb.as_str());
+                }
+                span.end(now);
                 for p in &mut self.protections {
                     if let ProtectionRuntime::Cilo {
                         interlock,
@@ -690,7 +763,7 @@ impl SocketApp for VirtualIedApp {
 
     fn on_raw_frame(&mut self, ctx: &mut HostCtx<'_>, frame: &EthernetFrame) {
         if frame.ethertype == ethertype::GOOSE {
-            self.handle_goose_payload(ctx.now(), frame);
+            self.handle_goose_payload(ctx, frame);
         }
     }
 
@@ -715,7 +788,7 @@ impl SocketApp for VirtualIedApp {
                     ethertype::GOOSE,
                     packet.payload.clone(),
                 );
-                self.handle_goose_payload(now, &frame);
+                self.handle_goose_payload(ctx, &frame);
             }
             SessionPayloadType::Sv => {
                 let frame = EthernetFrame::new(

@@ -24,6 +24,7 @@
 //! round-trip — which is the point of having a registry.
 
 use crate::LintReport;
+use sgcr_obs::json::quote;
 use sgcr_scl::{codes, Diagnostic, Severity, Span};
 use std::fmt::Write as _;
 
@@ -58,26 +59,6 @@ pub fn to_json(report: &LintReport) -> String {
         out.push_str("\n  ");
     }
     out.push_str("]\n}\n");
-    out
-}
-
-fn quote(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
     out
 }
 

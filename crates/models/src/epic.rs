@@ -16,7 +16,8 @@
 use crate::assets;
 use sgcr_core::{branch_i_key, branch_p_key, bus_vm_key};
 use sgcr_core::{
-    IedConfig, PlcConfig, PlcDef, PlcLogic, PlcReadRule, PlcWriteRule, PowerExtraConfig, SgmlBundle,
+    IedConfig, PlcConfig, PlcDef, PlcGooseRule, PlcLogic, PlcReadRule, PlcWriteRule,
+    PowerExtraConfig, SgmlBundle,
 };
 use sgcr_ied::{
     BreakerMap, GooseEntry, GooseSpec, IedSpec, MeasurementMap, MonitoredBreaker, ProtectionSpec,
@@ -346,16 +347,23 @@ VAR
     p_gen : REAL;          (* MMS read: generation feeder power, MW *)
     v_home : REAL;         (* MMS read: smart-home voltage, pu *)
     cb_gen_closed : BOOL;  (* MMS read: CB_GEN position *)
+    gen_trip : BOOL;       (* GOOSE: GIED1 PTOC1 operated *)
     p_gen_kw AT %QW0 : INT;
     v_home_mpu AT %QW1 : INT;
     cb_gen_fb AT %QX0.1 : BOOL;
+    gen_trip_fb AT %QX0.2 : BOOL;
     cb_gen_cmd AT %QX0.0 : BOOL;  (* SCADA writes this coil *)
     cmd_to_ied : BOOL;
+    shed_home : BOOL;
 END_VAR
 p_gen_kw := TO_INT(p_gen * 1000.0);
 v_home_mpu := TO_INT(v_home * 1000.0);
 cb_gen_fb := cb_gen_closed;
+gen_trip_fb := gen_trip;
 cmd_to_ied := cb_gen_cmd;
+(* Load shedding: a generation-feeder protection trip sheds the smart-home
+   feeder by opening CB_HOME through SIED2. *)
+shed_home := NOT gen_trip;
 END_PROGRAM
 "#;
     PlcConfig {
@@ -383,10 +391,22 @@ END_PROGRAM
                     scale: 1.0,
                 },
             ],
-            writes: vec![PlcWriteRule {
-                server: "GIED1".into(),
-                item: "GIED1LD0/CSWI1$CO$Pos$Oper$ctlVal".into(),
-                variable: "cmd_to_ied".into(),
+            writes: vec![
+                PlcWriteRule {
+                    server: "GIED1".into(),
+                    item: "GIED1LD0/CSWI1$CO$Pos$Oper$ctlVal".into(),
+                    variable: "cmd_to_ied".into(),
+                },
+                PlcWriteRule {
+                    server: "SIED2".into(),
+                    item: "SIED2LD0/CSWI1$CO$Pos$Oper$ctlVal".into(),
+                    variable: "shed_home".into(),
+                },
+            ],
+            gooses: vec![PlcGooseRule {
+                gocb_ref: "GIED1LD0/LLN0$GO$gcb01".into(),
+                index: 1,
+                variable: "gen_trip".into(),
             }],
         }],
     }
@@ -399,6 +419,7 @@ pub fn epic_scada_config() -> String {
     <Point name="GenFeeder_kW" kind="holding" address="0"/>
     <Point name="HomeVolt_mpu" kind="holding" address="1"/>
     <Point name="CB_GEN_fb" kind="coil" address="1"/>
+    <Point name="GenProt_trip" kind="coil" address="2"/>
     <Point name="CB_GEN_cmd" kind="coil" address="0" writable="true"/>
   </DataSource>
   <DataSource name="TIED1" type="MMS" ip="10.0.2.13" pollMs="1000">
@@ -409,6 +430,7 @@ pub fn epic_scada_config() -> String {
   </DataSource>
   <Alarm point="MicroVolt_pu" kind="low" limit="0.9" message="Micro-grid undervoltage"/>
   <Alarm point="GenFeeder_kW" kind="high" limit="40" message="Generation feeder overload"/>
+  <Alarm point="GenProt_trip" kind="true" message="Generation feeder protection operated"/>
 </ScadaConfig>"#
         .to_string()
 }

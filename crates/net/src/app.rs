@@ -133,6 +133,33 @@ impl<'a> HostCtx<'a> {
         self.net.host_set_deliver_transit(self.node, on);
     }
 
+    /// The trace context that caused the event currently being dispatched,
+    /// if any.
+    ///
+    /// Set automatically while a received frame (and everything it triggers
+    /// synchronously — UDP/TCP delivery, raw-frame taps) is being processed,
+    /// so spans opened by the app are parented to the span that sent the
+    /// frame. `None` for timer-driven callbacks, which are causal roots.
+    pub fn trace_parent(&self) -> Option<sgcr_obs::TraceCtx> {
+        self.net.ambient_ctx
+    }
+
+    /// Overrides the ambient trace context for the rest of this dispatch.
+    ///
+    /// Frames transmitted afterwards (via [`HostCtx::send_frame`],
+    /// [`HostCtx::tcp_send`], …) carry `ctx` as their causal parent instead
+    /// of the inherited one. The override is cleared automatically when the
+    /// current event finishes dispatching.
+    pub fn set_trace_parent(&mut self, ctx: Option<sgcr_obs::TraceCtx>) {
+        self.net.ambient_ctx = ctx;
+    }
+
+    /// The tracer shared by this network's telemetry hub (disabled when
+    /// tracing is off; spans opened on a disabled tracer cost nothing).
+    pub fn tracer(&self) -> sgcr_obs::Tracer {
+        self.net.tracer().clone()
+    }
+
     /// Inserts an entry into this host's ARP cache.
     pub fn arp_insert(&mut self, ip: Ipv4Addr, mac: MacAddr) {
         self.net.host_arp_insert(self.node, ip, mac);

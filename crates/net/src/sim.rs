@@ -6,7 +6,9 @@ use crate::app::{HostCtx, SocketApp};
 use crate::frame::{ipproto, ArpPacket, EthernetFrame, Ipv4Packet, TcpSegment, UdpDatagram};
 use crate::host::{ConnId, HostState, SocketEvent, TcpOut};
 use crate::time::{SimDuration, SimTime};
-use sgcr_obs::{buckets, Counter, Event as ObsEvent, Histogram, Telemetry};
+use sgcr_obs::{
+    buckets, Counter, Event as ObsEvent, Histogram, Plane, Telemetry, TraceCtx, Tracer,
+};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
@@ -108,6 +110,9 @@ enum Event {
         node: NodeId,
         port: usize,
         frame: EthernetFrame,
+        /// Causal context the frame carries across the wire: the `net.link`
+        /// span of the traversal that delivers it. `None` unless tracing.
+        ctx: Option<TraceCtx>,
     },
     AppStart {
         node: NodeId,
@@ -176,6 +181,13 @@ pub struct Network {
     tcp_timer_armed: HashSet<(NodeId, ConnId)>,
     names: HashMap<String, NodeId>,
     telemetry: Telemetry,
+    tracer: Tracer,
+    /// The causal context of the event currently being dispatched. Set from
+    /// the delivering frame's ctx (and only from frames — timers are causal
+    /// roots), readable by apps via [`HostCtx::trace_parent`], overridable
+    /// via [`HostCtx::set_trace_parent`] so e.g. a GOOSE publication span
+    /// parents the frames it emits. Cleared after every dispatch.
+    pub(crate) ambient_ctx: Option<TraceCtx>,
     frames_sent: Counter,
     frames_delivered: Counter,
     frames_dropped: Counter,
@@ -199,6 +211,7 @@ impl Network {
     /// default) makes every instrument a no-op.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+        self.tracer = self.telemetry.tracer();
         self.frames_sent = self.telemetry.counter("net.frames_sent");
         self.frames_delivered = self.telemetry.counter("net.frames_delivered");
         self.frames_dropped = self.telemetry.counter("net.frames_dropped");
@@ -214,6 +227,11 @@ impl Network {
     /// [`set_telemetry`](Network::set_telemetry) was called).
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// The attached tracer (disabled unless the telemetry handle traces).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     fn resolve_host_meters(&mut self, node: NodeId) {
@@ -578,12 +596,33 @@ impl Network {
                     bytes: wire_bytes,
                 });
         }
+        // Each traversal records a `net.link` span parented to the context
+        // of whatever put the frame on the wire (the sending app's span at
+        // the first hop, the previous hop's span at switch forwards), and
+        // the frame carries the *new* span's context to the receiving node:
+        // multi-hop paths become chains, and a PLC action triggered by a
+        // GOOSE frame stays transitively parented to the IED that sent it.
+        // Context only exists while tracing, so untraced traffic pays one
+        // `Option` check here.
+        let ctx = self.ambient_ctx.map(|parent| {
+            let mut span = self
+                .tracer
+                .open("net.link", Plane::Net, Some(parent), self.now);
+            if span.is_recording() {
+                span.attr("from", self.nodes[node.index()].name.as_str());
+                span.attr("to", self.nodes[peer.0.index()].name.as_str());
+            }
+            let ctx = span.ctx();
+            span.end(arrival);
+            ctx.unwrap_or(parent)
+        });
         self.schedule(
             delay,
             Event::Frame {
                 node: peer.0,
                 port: peer.1,
                 frame,
+                ctx,
             },
         );
     }
@@ -637,7 +676,19 @@ impl Network {
 
     fn process(&mut self, event: Event) {
         match event {
-            Event::Frame { node, port, frame } => self.process_frame(node, port, frame),
+            Event::Frame {
+                node,
+                port,
+                frame,
+                ctx,
+            } => {
+                // The frame's context becomes ambient for everything this
+                // delivery triggers — stack processing, app callbacks, and
+                // any sends they make. Timers deliberately stay context-free
+                // (a re-armed periodic timer would otherwise chain forever).
+                self.ambient_ctx = ctx;
+                self.process_frame(node, port, frame);
+            }
             Event::AppStart { node } => {
                 self.with_app(node, |app, ctx| app.on_start(ctx));
             }
@@ -656,6 +707,9 @@ impl Network {
                 self.arm_tcp_timer(node, conn);
             }
         }
+        // An app may have overridden the ambient context mid-dispatch
+        // (set_trace_parent); never let it leak into the next event.
+        self.ambient_ctx = None;
     }
 
     fn process_frame(&mut self, node: NodeId, port: usize, frame: EthernetFrame) {

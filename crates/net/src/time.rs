@@ -115,6 +115,12 @@ impl SimDuration {
     }
 }
 
+impl From<SimTime> for sgcr_obs::TimeNs {
+    fn from(t: SimTime) -> sgcr_obs::TimeNs {
+        sgcr_obs::TimeNs::from_nanos(t.as_nanos())
+    }
+}
+
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {

@@ -6,6 +6,7 @@
 //! when full, the oldest records are evicted and counted in
 //! [`crate::Telemetry::events_dropped`].
 
+use crate::json::{number as json_f64, quote as json_str};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::fmt::Write as _;
@@ -237,43 +238,6 @@ impl EventRecord {
         }
         out.push('}');
         out
-    }
-}
-
-/// Quotes a string as a JSON string literal.
-pub(crate) fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Formats an `f64` as a JSON value (non-finite values become strings, since
-/// bare `NaN`/`Infinity` are not legal JSON).
-pub(crate) fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        let mut s = format!("{v}");
-        // `Display` prints integral floats without a dot; keep the type
-        // obvious to JSON consumers that distinguish int from float.
-        if !s.contains('.') && !s.contains('e') {
-            s.push_str(".0");
-        }
-        s
-    } else {
-        json_str(&format!("{v}"))
     }
 }
 

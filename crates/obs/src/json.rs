@@ -1,0 +1,89 @@
+//! Minimal hand-rolled JSON serialization helpers shared by every exporter
+//! in the workspace (journal JSONL, metrics snapshot, span exporters, lint
+//! report) so string escaping exists exactly once.
+//!
+//! This is intentionally *not* a JSON library: just the two primitives a
+//! writer needs — quoting a string and formatting a float — over
+//! `std::fmt::Write`.
+
+use std::fmt::Write as _;
+
+/// Quotes a string as a JSON string literal, escaping `"`, `\`, and control
+/// characters.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(sgcr_obs::json::quote("a\"b"), r#""a\"b""#);
+/// assert_eq!(sgcr_obs::json::quote("line\nbreak"), r#""line\nbreak""#);
+/// ```
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON value.
+///
+/// Integral floats keep a trailing `.0` so consumers that distinguish int
+/// from float see the intended type; non-finite values become strings, since
+/// bare `NaN`/`Infinity` are not legal JSON.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(sgcr_obs::json::number(2.0), "2.0");
+/// assert_eq!(sgcr_obs::json::number(0.25), "0.25");
+/// assert_eq!(sgcr_obs::json::number(f64::NAN), "\"NaN\"");
+/// ```
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        if !s.contains('.') && !s.contains('e') {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        quote(&format!("{v}"))
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quote_escapes_specials() {
+        assert_eq!(quote("plain"), "\"plain\"");
+        assert_eq!(quote("q\"b\\s"), "\"q\\\"b\\\\s\"");
+        assert_eq!(quote("n\nr\rt\t"), "\"n\\nr\\rt\\t\"");
+        assert_eq!(quote("\u{1}"), "\"\\u0001\"");
+        assert_eq!(quote("ünïcödé"), "\"ünïcödé\"");
+    }
+
+    #[test]
+    fn number_keeps_float_shape() {
+        assert_eq!(number(3.0), "3.0");
+        assert_eq!(number(-1.5), "-1.5");
+        // Rust's `Display` for f64 never uses exponent notation, so huge
+        // integral values still get the float-marking suffix.
+        assert!(number(1e300).ends_with(".0"));
+        assert_eq!(number(f64::INFINITY), "\"inf\"");
+        assert_eq!(number(f64::NEG_INFINITY), "\"-inf\"");
+    }
+}

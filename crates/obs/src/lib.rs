@@ -38,12 +38,15 @@
 //! ```
 
 mod journal;
+pub mod json;
 mod metric;
 mod snapshot;
+mod trace;
 
 pub use journal::{Event, EventRecord};
 pub use metric::{buckets, Counter, Gauge, Histogram};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot};
+pub use trace::{OpenSpan, Plane, SpanRecord, TimeNs, TraceCtx, Tracer, DEFAULT_SPAN_CAPACITY};
 
 use journal::Journal;
 use metric::HistogramCore;
@@ -65,6 +68,7 @@ enum Instrument {
 struct Inner {
     instruments: Mutex<BTreeMap<String, Instrument>>,
     journal: Journal,
+    tracer: Tracer,
 }
 
 /// The telemetry handle: a cheaply cloneable registry + journal, or a
@@ -79,6 +83,7 @@ pub struct Telemetry {
 
 impl Telemetry {
     /// An enabled registry with the [default journal capacity](DEFAULT_JOURNAL_CAPACITY).
+    /// Tracing stays off; use [`Telemetry::with_tracing`] to record spans.
     pub fn new() -> Telemetry {
         Telemetry::with_journal_capacity(DEFAULT_JOURNAL_CAPACITY)
     }
@@ -86,10 +91,27 @@ impl Telemetry {
     /// An enabled registry whose journal retains at most `capacity` events
     /// (oldest evicted first).
     pub fn with_journal_capacity(capacity: usize) -> Telemetry {
+        Telemetry::with_capacities(capacity, None)
+    }
+
+    /// An enabled registry that also records causal [spans](SpanRecord):
+    /// [`tracer`](Telemetry::tracer) hands out a live [`Tracer`] with the
+    /// [default span capacity](DEFAULT_SPAN_CAPACITY).
+    pub fn with_tracing() -> Telemetry {
+        Telemetry::with_capacities(DEFAULT_JOURNAL_CAPACITY, Some(DEFAULT_SPAN_CAPACITY))
+    }
+
+    /// An enabled registry with explicit journal and span-buffer capacities
+    /// (`span_capacity: None` leaves tracing off).
+    pub fn with_capacities(journal_capacity: usize, span_capacity: Option<usize>) -> Telemetry {
         Telemetry {
             inner: Some(Arc::new(Inner {
                 instruments: Mutex::new(BTreeMap::new()),
-                journal: Journal::new(capacity),
+                journal: Journal::new(journal_capacity),
+                tracer: match span_capacity {
+                    Some(capacity) => Tracer::with_capacity(capacity),
+                    None => Tracer::disabled(),
+                },
             })),
         }
     }
@@ -102,6 +124,31 @@ impl Telemetry {
     /// Whether this handle records anything.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// The tracer behind this handle: live after
+    /// [`Telemetry::with_tracing`], otherwise the disabled no-op tracer.
+    /// Cheap to clone; subsystems keep their own copy.
+    pub fn tracer(&self) -> Tracer {
+        self.inner
+            .as_ref()
+            .map(|i| i.tracer.clone())
+            .unwrap_or_default()
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_tracing(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.tracer.is_enabled())
+    }
+
+    /// All buffered spans, in completion order (empty unless tracing).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.tracer().spans()
+    }
+
+    /// How many spans were evicted by the span-buffer bound.
+    pub fn spans_dropped(&self) -> u64 {
+        self.tracer().spans_dropped()
     }
 
     /// Gets or creates the counter `name`.
@@ -161,15 +208,17 @@ impl Telemetry {
         }
     }
 
-    /// Appends an event to the journal at simulation time `t_ns`.
+    /// Appends an event to the journal at simulation time `t` (anything
+    /// convertible to [`TimeNs`]: raw `u64` nanoseconds, or an explicit
+    /// [`TimeNs::from_millis`] at millisecond call sites).
     ///
     /// The event is built by the closure, which is **not called** when
     /// telemetry is disabled — callers can format strings inside it without
     /// paying anything on the disabled path.
     #[inline]
-    pub fn record<F: FnOnce() -> Event>(&self, t_ns: u64, make: F) {
+    pub fn record<T: Into<TimeNs>, F: FnOnce() -> Event>(&self, t: T, make: F) {
         if let Some(inner) = &self.inner {
-            inner.journal.push(t_ns, make());
+            inner.journal.push(t.into().as_nanos(), make());
         }
     }
 
@@ -205,6 +254,7 @@ impl Telemetry {
         let instruments = inner.instruments.lock();
         let mut snap = MetricsSnapshot {
             journal_dropped: inner.journal.dropped(),
+            spans_dropped: inner.tracer.spans_dropped(),
             ..MetricsSnapshot::default()
         };
         for (name, instrument) in instruments.iter() {

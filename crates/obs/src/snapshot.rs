@@ -13,14 +13,15 @@
 //!       "buckets": [ { "le": 0.000001, "count": 0 }, { "le": "+Inf", "count": 20 } ]
 //!     }
 //!   },
-//!   "journal_dropped": 0
+//!   "journal_dropped": 0,
+//!   "spans_dropped": 0
 //! }
 //! ```
 //!
 //! Bucket counts are per-bucket (not cumulative); the `+Inf` bucket is
 //! always present, so the bucket counts of a histogram sum to its `count`.
 
-use crate::journal::{json_f64, json_str};
+use crate::json::{number as json_f64, quote as json_str};
 use std::fmt::Write as _;
 
 /// A snapshot of one histogram.
@@ -45,6 +46,8 @@ pub struct MetricsSnapshot {
     pub histograms: Vec<(String, HistogramSnapshot)>,
     /// Journal records evicted because the ring buffer was full.
     pub journal_dropped: u64,
+    /// Spans evicted because the span buffer was full (0 unless tracing).
+    pub spans_dropped: u64,
 }
 
 impl MetricsSnapshot {
@@ -117,7 +120,8 @@ impl MetricsSnapshot {
         } else {
             "\n  },\n"
         });
-        let _ = writeln!(out, "  \"journal_dropped\": {}", self.journal_dropped);
+        let _ = writeln!(out, "  \"journal_dropped\": {},", self.journal_dropped);
+        let _ = writeln!(out, "  \"spans_dropped\": {}", self.spans_dropped);
         out.push_str("}\n");
         out
     }

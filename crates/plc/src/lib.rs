@@ -42,7 +42,7 @@ mod app;
 mod plcopen;
 mod runtime;
 
-pub use app::{MmsReadBinding, MmsWriteBinding, PlcApp, PlcHandle, PlcStatus};
+pub use app::{GooseBinding, MmsReadBinding, MmsWriteBinding, PlcApp, PlcHandle, PlcStatus};
 pub use plcopen::{parse_plcopen, write_plcopen, PlcOpenError};
 pub use runtime::{IoPoint, PlcRuntime};
 pub use st::ast::{DataType, FbType, Program, VarClass};

@@ -72,9 +72,37 @@ pub fn solve_telemetered(
     telemetry: &sgcr_obs::Telemetry,
     t_ns: u64,
 ) -> Result<PowerFlowResult, PowerFlowError> {
+    solve_traced(net, options, telemetry, t_ns, None).0
+}
+
+/// Solves the AC power flow, records telemetry, and opens a `power.solve`
+/// span parented to `parent` when tracing is enabled.
+///
+/// The span covers the simulated instant `t_ns` (zero duration: the solve is
+/// instantaneous in simulation time) and carries the iteration count and
+/// convergence status as attributes. The returned context identifies the
+/// solve span so downstream actions (IED measurement sampling) can be
+/// parented to it; it is `None` when tracing is off.
+///
+/// # Errors
+///
+/// See [`solve`].
+pub fn solve_traced(
+    net: &PowerNetwork,
+    options: &SolveOptions,
+    telemetry: &sgcr_obs::Telemetry,
+    t_ns: u64,
+    parent: Option<sgcr_obs::TraceCtx>,
+) -> (
+    Result<PowerFlowResult, PowerFlowError>,
+    Option<sgcr_obs::TraceCtx>,
+) {
     if !telemetry.is_enabled() {
-        return solve_with(net, options);
+        return (solve_with(net, options), None);
     }
+    let tracer = telemetry.tracer();
+    let mut span = tracer.open("power.solve", sgcr_obs::Plane::Power, parent, t_ns);
+    let ctx = span.ctx();
     let start = std::time::Instant::now();
     let result = solve_with(net, options);
     let seconds = start.elapsed().as_secs_f64();
@@ -92,15 +120,23 @@ pub fn solve_telemetered(
                 .observe(r.iterations as f64);
             let iters = r.iterations as u64;
             telemetry.record(t_ns, || sgcr_obs::Event::SolveCompleted { iters, seconds });
+            if span.is_recording() {
+                span.attr("iterations", iters.to_string());
+                span.attr("converged", "true");
+            }
         }
         Err(e) => {
             telemetry.counter("powerflow.convergence_failures").inc();
             telemetry.record(t_ns, || sgcr_obs::Event::SolveFailed {
                 detail: e.to_string(),
             });
+            if span.is_recording() {
+                span.attr("converged", "false");
+            }
         }
     }
-    result
+    span.end(t_ns);
+    (result, ctx)
 }
 
 /// Per-node complex voltages keyed by representative node index.

@@ -6,7 +6,7 @@ use parking_lot::Mutex;
 use sgcr_iec61850::{DataValue, MmsClient, MmsPdu, MmsRequest, MmsResponse};
 use sgcr_modbus::{ModbusClient, Request as ModbusRequest, Response as ModbusResponse};
 use sgcr_net::{ConnId, HostCtx, Ipv4Addr, SimDuration, SocketApp};
-use sgcr_obs::{Counter, Event as ObsEvent, Telemetry};
+use sgcr_obs::{Counter, Event as ObsEvent, Plane, Telemetry, TimeNs, TraceCtx, Tracer};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -289,10 +289,24 @@ impl ScadaApp {
         ctx.set_timer(SimDuration::from_millis(source.poll_ms), index as u64);
     }
 
-    fn update_tag(&mut self, now_ms: u64, tag: &str, raw: f64) {
+    fn update_tag(
+        &mut self,
+        now_ms: u64,
+        tag: &str,
+        raw: f64,
+        tracer: &Tracer,
+        parent: Option<TraceCtx>,
+    ) {
         let Some((_, point)) = self.config.find_point(tag) else {
             return;
         };
+        let now = TimeNs::from_millis(now_ms);
+        let mut span = tracer.open("scada.update_tag", Plane::Scada, parent, now);
+        if span.is_recording() {
+            span.attr("tag", tag);
+            span.attr("raw", raw.to_string());
+        }
+        let update_ctx = span.ctx();
         let scaled = raw * point.scale;
         let deadband = point.deadband;
         {
@@ -310,10 +324,17 @@ impl ScadaApp {
                 entry.value = scaled;
             }
         }
-        self.evaluate_alarms(now_ms, tag);
+        self.evaluate_alarms(now_ms, tag, tracer, update_ctx);
+        span.end(now);
     }
 
-    fn evaluate_alarms(&mut self, now_ms: u64, tag: &str) {
+    fn evaluate_alarms(
+        &mut self,
+        now_ms: u64,
+        tag: &str,
+        tracer: &Tracer,
+        parent: Option<TraceCtx>,
+    ) {
         let value = match self.shared.tag_value(tag) {
             Some(v) => v,
             None => return,
@@ -347,18 +368,33 @@ impl ScadaApp {
                 self.log(now_ms, format!("ALARM {}: {}", rule.point, rule.message));
                 self.alarms_counter.inc();
                 self.telemetry
-                    .record(now_ms * 1_000_000, || ObsEvent::ScadaAlarm {
+                    .record(TimeNs::from_millis(now_ms), || ObsEvent::ScadaAlarm {
                         point: rule.point.clone(),
                         message: rule.message.clone(),
                     });
+                let now = TimeNs::from_millis(now_ms);
+                let mut span = tracer.open("scada.alarm", Plane::Scada, parent, now);
+                if span.is_recording() {
+                    span.attr("point", rule.point.as_str());
+                    span.attr("state", "raised");
+                }
+                span.end(now);
             } else if !in_alarm && was_active {
                 self.shared.shared.lock().active_alarms.remove(&rule.point);
                 self.log(now_ms, format!("CLEARED {}: {}", rule.point, rule.message));
-                self.telemetry
-                    .record(now_ms * 1_000_000, || ObsEvent::ScadaAlarmCleared {
+                self.telemetry.record(TimeNs::from_millis(now_ms), || {
+                    ObsEvent::ScadaAlarmCleared {
                         point: rule.point.clone(),
                         message: rule.message.clone(),
-                    });
+                    }
+                });
+                let now = TimeNs::from_millis(now_ms);
+                let mut span = tracer.open("scada.alarm", Plane::Scada, parent, now);
+                if span.is_recording() {
+                    span.attr("point", rule.point.as_str());
+                    span.attr("state", "cleared");
+                }
+                span.end(now);
             }
         }
     }
@@ -415,11 +451,12 @@ impl ScadaApp {
                         ctx.tcp_send(conn, &wire);
                         self.log(now_ms, format!("COMMAND {tag} := {value}"));
                         self.commands_counter.inc();
-                        self.telemetry
-                            .record(now_ms * 1_000_000, || ObsEvent::ScadaCommand {
+                        self.telemetry.record(TimeNs::from_millis(now_ms), || {
+                            ObsEvent::ScadaCommand {
                                 tag: tag.clone(),
                                 value,
-                            });
+                            }
+                        });
                     }
                 }
                 (SourceLink::Mms { client, conn, .. }, PointAddress::Mms { item }) => {
@@ -431,11 +468,12 @@ impl ScadaApp {
                         ctx.tcp_send(conn, &wire);
                         self.log(now_ms, format!("COMMAND {tag} := {value}"));
                         self.commands_counter.inc();
-                        self.telemetry
-                            .record(now_ms * 1_000_000, || ObsEvent::ScadaCommand {
+                        self.telemetry.record(TimeNs::from_millis(now_ms), || {
+                            ObsEvent::ScadaCommand {
                                 tag: tag.clone(),
                                 value,
-                            });
+                            }
+                        });
                     }
                 }
                 _ => {}
@@ -488,6 +526,11 @@ impl SocketApp for ScadaApp {
             return;
         };
         let now_ms = ctx.now().as_millis();
+        // The inbound data's causal context: for Modbus poll responses this
+        // is the PLC scan that last changed the image; for MMS reports the
+        // IED action that emitted them.
+        let tracer = ctx.tracer();
+        let parent = ctx.trace_parent();
         let mut updates: Vec<(String, f64)> = Vec::new();
         match &mut self.links[index] {
             SourceLink::Modbus {
@@ -598,7 +641,7 @@ impl SocketApp for ScadaApp {
             }
         }
         for (tag, raw) in updates {
-            self.update_tag(now_ms, &tag, raw);
+            self.update_tag(now_ms, &tag, raw, &tracer, parent);
         }
     }
 }

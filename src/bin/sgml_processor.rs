@@ -6,6 +6,7 @@
 //! sgml_processor build <bundle-dir> [--dot]
 //! sgml_processor run   <bundle-dir> [--seconds <n>] [--dot]
 //!                      [--metrics <file>] [--journal <file>]
+//!                      [--trace <file>] [--spans <file>]
 //! sgml_processor lint  <bundle-dir> [--format text|json]
 //! ```
 //!
@@ -13,7 +14,10 @@
 //! advancing simulated time. `run` additionally co-simulates `--seconds` of
 //! range time (default 10); with `--metrics` it enables the telemetry
 //! subsystem and writes a JSON metrics snapshot to the given file, and with
-//! `--journal` it writes the typed event journal as JSON Lines.
+//! `--journal` it writes the typed event journal as JSON Lines. `--trace`
+//! enables causal tracing and writes a Chrome trace-event JSON file (loadable
+//! in Perfetto, one track per plane); `--spans` writes the raw span log as
+//! JSON Lines.
 //!
 //! `lint` runs the `sgcr-lint` static analyzer over the bundle *without*
 //! constructing a cyber range: files are parsed leniently, cross-file
@@ -35,7 +39,8 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: sgml_processor build <bundle-dir> [--dot]\n       \
                      sgml_processor run <bundle-dir> [--seconds <n>] [--dot] \
-                     [--metrics <file>] [--journal <file>]\n       \
+                     [--metrics <file>] [--journal <file>] \
+                     [--trace <file>] [--spans <file>]\n       \
                      sgml_processor lint <bundle-dir> [--format text|json]";
 
 /// Default co-simulated duration for `run` when `--seconds` is omitted.
@@ -60,6 +65,8 @@ enum Cmd {
         dot: bool,
         metrics: Option<String>,
         journal: Option<String>,
+        trace: Option<String>,
+        spans: Option<String>,
     },
     Lint {
         dir: String,
@@ -127,6 +134,8 @@ fn parse_run(args: &[String]) -> Result<Parsed, String> {
     let mut dot = false;
     let mut metrics = None;
     let mut journal = None;
+    let mut trace = None;
+    let mut spans = None;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -139,6 +148,8 @@ fn parse_run(args: &[String]) -> Result<Parsed, String> {
             "--dot" => dot = true,
             "--metrics" => metrics = Some(flag_value(rest, &mut i, "--metrics")?.to_string()),
             "--journal" => journal = Some(flag_value(rest, &mut i, "--journal")?.to_string()),
+            "--trace" => trace = Some(flag_value(rest, &mut i, "--trace")?.to_string()),
+            "--spans" => spans = Some(flag_value(rest, &mut i, "--spans")?.to_string()),
             other => return Err(format!("unknown argument `{other}` for `run`")),
         }
         i += 1;
@@ -150,6 +161,8 @@ fn parse_run(args: &[String]) -> Result<Parsed, String> {
             dot,
             metrics,
             journal,
+            trace,
+            spans,
         },
         deprecation: None,
     })
@@ -223,6 +236,8 @@ fn parse_legacy(args: &[String]) -> Result<Parsed, String> {
                 dot,
                 metrics: None,
                 journal: None,
+                trace: None,
+                spans: None,
             },
             format!("run {dir} --seconds {seconds}"),
         )
@@ -260,21 +275,49 @@ fn main() -> ExitCode {
         eprintln!("{notice}");
     }
     match parsed.cmd {
-        Cmd::Build { dir, dot } => generate(&dir, None, dot, None, None),
+        Cmd::Build { dir, dot } => generate(&dir, None, dot, &Sinks::default()),
         Cmd::Run {
             dir,
             seconds,
             dot,
             metrics,
             journal,
+            trace,
+            spans,
         } => generate(
             &dir,
             Some(seconds),
             dot,
-            metrics.as_deref(),
-            journal.as_deref(),
+            &Sinks {
+                metrics,
+                journal,
+                trace,
+                spans,
+            },
         ),
         Cmd::Lint { dir, format } => lint(&dir, format),
+    }
+}
+
+/// Output files requested for a `run`: each enables the corresponding part of
+/// the observability subsystem only when set.
+#[derive(Debug, Default)]
+struct Sinks {
+    metrics: Option<String>,
+    journal: Option<String>,
+    trace: Option<String>,
+    spans: Option<String>,
+}
+
+impl Sinks {
+    /// True when any telemetry sink (metrics or journal) was requested.
+    fn wants_telemetry(&self) -> bool {
+        self.metrics.is_some() || self.journal.is_some()
+    }
+
+    /// True when any tracing sink (Chrome trace or span log) was requested.
+    fn wants_tracing(&self) -> bool {
+        self.trace.is_some() || self.spans.is_some()
     }
 }
 
@@ -300,15 +343,10 @@ fn lint(dir: &str, format: Format) -> ExitCode {
 }
 
 /// Generates (and for `run`, co-simulates) the cyber range. Telemetry is
-/// enabled only when a `--metrics` or `--journal` sink was requested, so a
-/// plain run keeps the zero-overhead disabled path.
-fn generate(
-    dir: &str,
-    run_seconds: Option<u64>,
-    dot: bool,
-    metrics_path: Option<&str>,
-    journal_path: Option<&str>,
-) -> ExitCode {
+/// enabled only when a `--metrics` or `--journal` sink was requested, and
+/// causal tracing only when `--trace` or `--spans` was given, so a plain run
+/// keeps the zero-overhead disabled path.
+fn generate(dir: &str, run_seconds: Option<u64>, dot: bool, sinks: &Sinks) -> ExitCode {
     let bundle = match SgmlBundle::from_dir(dir) {
         Ok(bundle) => bundle,
         Err(e) => {
@@ -329,7 +367,9 @@ fn generate(
         bundle.power_extra.is_some(),
     );
 
-    let telemetry = if metrics_path.is_some() || journal_path.is_some() {
+    let telemetry = if sinks.wants_tracing() {
+        Telemetry::with_tracing()
+    } else if sinks.wants_telemetry() {
         Telemetry::new()
     } else {
         Telemetry::disabled()
@@ -377,14 +417,14 @@ fn generate(
             }
         }
     }
-    if let Some(path) = metrics_path {
+    if let Some(path) = &sinks.metrics {
         if let Err(e) = std::fs::write(path, telemetry.snapshot().to_json()) {
             eprintln!("error: cannot write metrics to {path}: {e}");
             return ExitCode::FAILURE;
         }
         eprintln!("metrics snapshot written to {path}");
     }
-    if let Some(path) = journal_path {
+    if let Some(path) = &sinks.journal {
         if let Err(e) = std::fs::write(path, telemetry.journal_jsonl()) {
             eprintln!("error: cannot write journal to {path}: {e}");
             return ExitCode::FAILURE;
@@ -394,6 +434,24 @@ fn generate(
             telemetry.events().len(),
             telemetry.events_dropped()
         );
+    }
+    if let Some(path) = &sinks.trace {
+        if let Err(e) = std::fs::write(path, telemetry.tracer().chrome_trace_json()) {
+            eprintln!("error: cannot write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "Chrome trace written to {path} ({} spans, {} evicted) — open in ui.perfetto.dev",
+            telemetry.spans().len(),
+            telemetry.spans_dropped()
+        );
+    }
+    if let Some(path) = &sinks.spans {
+        if let Err(e) = std::fs::write(path, telemetry.tracer().spans_jsonl()) {
+            eprintln!("error: cannot write span log to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("span log written to {path}");
     }
     ExitCode::SUCCESS
 }
@@ -424,7 +482,8 @@ mod tests {
     #[test]
     fn run_subcommand_parses_all_flags() {
         let parsed = parse_args(&argv(
-            "run bundles/epic --seconds 30 --metrics m.json --journal j.jsonl",
+            "run bundles/epic --seconds 30 --metrics m.json --journal j.jsonl \
+             --trace t.json --spans s.jsonl",
         ))
         .unwrap();
         assert_eq!(
@@ -435,6 +494,8 @@ mod tests {
                 dot: false,
                 metrics: Some("m.json".into()),
                 journal: Some("j.jsonl".into()),
+                trace: Some("t.json".into()),
+                spans: Some("s.jsonl".into()),
             }
         );
         assert!(parsed.deprecation.is_none());
@@ -448,11 +509,15 @@ mod tests {
                 seconds,
                 metrics,
                 journal,
+                trace,
+                spans,
                 ..
             } => {
                 assert_eq!(seconds, DEFAULT_RUN_SECONDS);
                 assert!(metrics.is_none());
                 assert!(journal.is_none());
+                assert!(trace.is_none());
+                assert!(spans.is_none());
             }
             other => panic!("expected run, got {other:?}"),
         }
@@ -496,6 +561,8 @@ mod tests {
                 dot: false,
                 metrics: None,
                 journal: None,
+                trace: None,
+                spans: None,
             }
         );
         assert!(parsed.deprecation.unwrap().contains("--seconds 5"));
@@ -520,6 +587,8 @@ mod tests {
         assert!(parse_args(&argv("run")).is_err());
         assert!(parse_args(&argv("run bundles/epic --seconds abc")).is_err());
         assert!(parse_args(&argv("run bundles/epic --metrics")).is_err());
+        assert!(parse_args(&argv("run bundles/epic --trace")).is_err());
+        assert!(parse_args(&argv("run bundles/epic --spans")).is_err());
         assert!(parse_args(&argv("lint bundles/epic --format yaml")).is_err());
         assert!(parse_args(&argv("build bundles/epic --bogus")).is_err());
         assert!(parse_args(&argv("bundles/epic --bogus")).is_err());

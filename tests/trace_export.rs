@@ -1,0 +1,192 @@
+//! The `sgml_processor run --trace/--spans` surface: exports the EPIC bundle
+//! to disk, co-simulates it through the real binary, and structurally
+//! validates the Chrome trace-event JSON and the span log — resolvable
+//! parents, no dangling trace IDs, monotonic timestamps within each track.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
+
+use sg_cyber_range::models::epic_bundle;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sgcr-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Extracts the integer value of `"key":N` from a flat JSON line, or `None`
+/// when the key is absent or its value is not a number (e.g. `null`).
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\":");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the (possibly fractional) value of `"key":N` from a flat JSON
+/// line.
+fn json_f64(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit() && c != '.' && c != '-')
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[test]
+fn cli_exports_valid_trace_and_span_files() {
+    let dir = temp_dir("trace-export");
+    let bundle_dir = dir.join("bundle");
+    epic_bundle()
+        .write_to_dir(&bundle_dir)
+        .expect("write EPIC bundle");
+    let trace_path = dir.join("trace.json");
+    let spans_path = dir.join("spans.jsonl");
+    let metrics_path = dir.join("metrics.json");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_sgml_processor"))
+        .args([
+            "run",
+            bundle_dir.to_str().unwrap(),
+            "--seconds",
+            "2",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--spans",
+            spans_path.to_str().unwrap(),
+            "--metrics",
+            metrics_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run sgml_processor");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // --- Span log: one JSON object per line, resolvable causal links. ---
+    let spans = std::fs::read_to_string(&spans_path).expect("spans file written");
+    let lines: Vec<&str> = spans.lines().collect();
+    assert!(lines.len() > 100, "a 2 s run produces many spans");
+    let mut trace_of_span: HashMap<u64, u64> = HashMap::new();
+    for line in &lines {
+        assert!(line.starts_with('{') && line.ends_with('}'), "line: {line}");
+        let span_id = json_u64(line, "span_id").expect("span_id present");
+        let trace_id = json_u64(line, "trace_id").expect("trace_id present");
+        let start = json_u64(line, "start_ns").expect("start_ns present");
+        let end = json_u64(line, "end_ns").expect("end_ns present");
+        assert!(end >= start, "span interval must not be inverted: {line}");
+        trace_of_span.insert(span_id, trace_id);
+    }
+    let mut roots = 0usize;
+    for line in &lines {
+        let span_id = json_u64(line, "span_id").unwrap();
+        let trace_id = json_u64(line, "trace_id").unwrap();
+        match json_u64(line, "parent_span_id") {
+            None => {
+                assert!(line.contains("\"parent_span_id\":null"), "line: {line}");
+                roots += 1;
+            }
+            Some(parent) => {
+                // Every parent reference resolves to a recorded span of the
+                // same trace — no dangling IDs anywhere in the file.
+                let parent_trace = *trace_of_span
+                    .get(&parent)
+                    .unwrap_or_else(|| panic!("span {span_id} has dangling parent {parent}"));
+                assert_eq!(
+                    parent_trace, trace_id,
+                    "span {span_id} and parent {parent} must share a trace"
+                );
+            }
+        }
+    }
+    assert!(roots > 0, "at least one trace root (the step spans)");
+
+    // --- Chrome trace: track metadata + complete events, monotonic ts. ---
+    let trace = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let trace = trace.trim();
+    assert!(trace.starts_with('[') && trace.ends_with(']'));
+    assert_eq!(trace.matches('{').count(), trace.matches('}').count());
+    for plane in ["range", "power", "net", "control", "scada"] {
+        assert!(
+            trace.contains(&format!("\"name\":\"{plane}\"")),
+            "plane track {plane} declared"
+        );
+    }
+    let mut events = 0usize;
+    let mut last_ts: HashMap<u64, f64> = HashMap::new();
+    for line in trace.lines() {
+        let line = line.trim_start_matches('[').trim_end_matches(']');
+        if line.contains("\"ph\":\"M\"") {
+            assert!(
+                line.contains("\"process_name\"") || line.contains("\"thread_name\""),
+                "metadata event: {line}"
+            );
+            continue;
+        }
+        if !line.contains("\"ph\":\"X\"") {
+            continue;
+        }
+        events += 1;
+        let tid = json_u64(line, "tid").expect("complete events carry a tid");
+        let ts = json_f64(line, "ts").expect("complete events carry a ts");
+        assert!(json_f64(line, "dur").expect("dur present") >= 0.0);
+        assert!(json_u64(line, "trace_id").is_some(), "IDs ride in args");
+        assert!(json_u64(line, "span_id").is_some());
+        if let Some(prev) = last_ts.insert(tid, ts) {
+            assert!(
+                ts >= prev,
+                "timestamps must be monotonic within track {tid}: {prev} then {ts}"
+            );
+        }
+    }
+    assert_eq!(events, lines.len(), "every span becomes one complete event");
+
+    // --- Metrics snapshot surfaces the span-buffer drop counter. ---
+    let metrics = std::fs::read_to_string(&metrics_path).expect("metrics file written");
+    assert!(metrics.contains("\"spans_dropped\": 0"), "{metrics}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_without_trace_flags_writes_no_trace_files() {
+    let dir = temp_dir("trace-off");
+    let bundle_dir = dir.join("bundle");
+    epic_bundle()
+        .write_to_dir(&bundle_dir)
+        .expect("write EPIC bundle");
+    let metrics_path = dir.join("metrics.json");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_sgml_processor"))
+        .args([
+            "run",
+            bundle_dir.to_str().unwrap(),
+            "--seconds",
+            "1",
+            "--metrics",
+            metrics_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run sgml_processor");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    // Telemetry without tracing: the snapshot still reports the (zero) span
+    // drop counter, and no trace artifacts appear.
+    let metrics = std::fs::read_to_string(&metrics_path).expect("metrics file written");
+    assert!(metrics.contains("\"spans_dropped\": 0"), "{metrics}");
+    assert!(!dir.join("trace.json").exists());
+    assert!(!dir.join("spans.jsonl").exists());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
