@@ -7,7 +7,9 @@
 //! * `*.ssd.xml`, `*.scd.xml`, `*.icd.xml`, `*.sed.xml` — SCL files (any
 //!   number of each, loaded in lexicographic order);
 //! * `ied_config.xml`, `scada_config.xml`, `plc_config.xml`,
-//!   `power_config.xml` — the supplementary schemas (each optional).
+//!   `power_config.xml` — the supplementary schemas (each optional);
+//! * `*.scenario.xml` — exercise scenarios (any number, loaded in
+//!   lexicographic order).
 
 use crate::range::SgmlBundle;
 use std::fmt;
@@ -74,6 +76,8 @@ impl SgmlBundle {
                 bundle.plc_config = Some(read()?);
             } else if name == "power_config.xml" {
                 bundle.power_extra = Some(read()?);
+            } else if name.ends_with(".scenario.xml") {
+                bundle.scenarios.push(read()?);
             }
         }
         if bundle.ssds.is_empty() && bundle.scds.is_empty() {
@@ -130,6 +134,9 @@ impl SgmlBundle {
         }
         if let Some(text) = &self.power_extra {
             write("power_config.xml".into(), text)?;
+        }
+        for (i, text) in self.scenarios.iter().enumerate() {
+            write(format!("exercise{:02}.scenario.xml", i + 1), text)?;
         }
         Ok(())
     }

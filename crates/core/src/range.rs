@@ -56,6 +56,10 @@ pub struct SgmlBundle {
     pub plc_config: Option<String>,
     /// Supplementary Power System Extra Config XML.
     pub power_extra: Option<String>,
+    /// Exercise Scenario XML files (`*.scenario.xml`, any number). Not used
+    /// by range generation itself; `sgcr-scenario` runs them on the built
+    /// range and `sgcr-lint` validates them against the bundle.
+    pub scenarios: Vec<String>,
     /// Host name of the SCADA workstation in the SCD (default `SCADA`).
     pub scada_host: Option<String>,
 }
@@ -833,6 +837,64 @@ impl CyberRange {
     /// was attached through [`RangeBuilder::telemetry`]).
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    // --- State probes for exercise evaluation -----------------------------
+    //
+    // The scenario objective evaluator polls these between steps; they read
+    // the live model state (not SCADA's possibly-deceived view) so scoring
+    // reflects ground truth.
+
+    /// Whether a named switch (`Substation/Name`) is currently closed, or
+    /// `None` if the switch does not exist.
+    pub fn switch_is_closed(&self, name: &str) -> Option<bool> {
+        let id = self.power.switch_by_name(name)?;
+        Some(self.power.switch[id.index()].closed)
+    }
+
+    /// A bus's solved voltage magnitude in per-unit (0.0 when de-energized),
+    /// or `None` if the connectivity-node path is unknown.
+    pub fn bus_voltage_pu(&self, path: &str) -> Option<f64> {
+        let id = self.power.bus_by_name(path)?;
+        self.last_result.bus.get(id.index()).map(|b| b.vm_pu)
+    }
+
+    /// Whether the SCADA HMI currently shows an active alarm on `point`.
+    pub fn scada_alarm_active(&self, point: &str) -> bool {
+        self.scada
+            .as_ref()
+            .is_some_and(|s| s.active_alarms().iter().any(|(p, _)| p == point))
+    }
+
+    /// The SCADA HMI's current value for a tag (the *displayed* value — a
+    /// man-in-the-middle can make this diverge from ground truth).
+    pub fn scada_tag(&self, point: &str) -> Option<f64> {
+        self.scada.as_ref().and_then(|s| s.tag_value(point))
+    }
+
+    /// How many times a named IED's protection has tripped, or `None` if
+    /// the IED does not exist.
+    pub fn ied_trip_count(&self, name: &str) -> Option<usize> {
+        self.ieds.get(name).map(IedHandle::trip_count)
+    }
+
+    /// Takes the link between two named nodes up or down (failure
+    /// injection). Returns `false` if either name or the link is unknown.
+    pub fn set_link_state(&mut self, a: &str, b: &str, up: bool) -> bool {
+        match (self.net.node_by_name(a), self.net.node_by_name(b)) {
+            (Some(a), Some(b)) => self.net.set_link_state(a, b, up),
+            _ => false,
+        }
+    }
+
+    /// Changes the latency of the link between two named nodes (congestion
+    /// or tampering injection). Returns `false` if either name or the link
+    /// is unknown.
+    pub fn set_link_latency(&mut self, a: &str, b: &str, latency: SimDuration) -> bool {
+        match (self.net.node_by_name(a), self.net.node_by_name(b)) {
+            (Some(a), Some(b)) => self.net.set_link_latency(a, b, latency),
+            _ => false,
+        }
     }
 
     /// Summary line for logs and the pipeline demonstration binary.

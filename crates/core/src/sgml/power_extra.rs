@@ -215,6 +215,32 @@ mod tests {
     }
 
     #[test]
+    fn xml_roundtrip_every_action_variant() {
+        let mut config = PowerExtraConfig::default();
+        let actions = [
+            ScenarioAction::OpenSwitch("S1/CB1".into()),
+            ScenarioAction::CloseSwitch("S1/CB1".into()),
+            ScenarioAction::LineOutage("S1/L1".into()),
+            ScenarioAction::LineRestore("S1/L1".into()),
+            ScenarioAction::GenLoss("S1/G1".into()),
+            ScenarioAction::GenRestore("S1/G1".into()),
+            ScenarioAction::SetLoadP("S1/LOAD1".into(), 12.625),
+            ScenarioAction::SetLoadP("S1/LOAD2".into(), 0.033),
+        ];
+        for (i, action) in actions.into_iter().enumerate() {
+            config.schedule.events.push(ScenarioEvent {
+                at_ms: (i as u64 + 1) * 500,
+                action,
+            });
+        }
+        let text = config.to_xml();
+        let reparsed = PowerExtraConfig::parse(&text).unwrap();
+        assert_eq!(reparsed, config);
+        // And the round trip is a fixed point: writing again is identical.
+        assert_eq!(reparsed.to_xml(), text);
+    }
+
+    #[test]
     fn errors() {
         assert!(PowerExtraConfig::parse("<Nope/>").is_err());
         assert!(PowerExtraConfig::parse(

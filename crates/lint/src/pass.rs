@@ -26,6 +26,7 @@ pub fn default_passes() -> Vec<Box<dyn LintPass>> {
         Box::new(passes::topology::TopologyPass),
         Box::new(passes::protection::ProtectionPass),
         Box::new(passes::orphan::OrphanPass),
+        Box::new(passes::scenario::ScenarioPass),
     ]
 }
 

@@ -7,10 +7,12 @@
 //! | [`topology`] | `SG0110`, `SG03xx` | does the single-line diagram power up? |
 //! | [`protection`] | `SG04xx` | can every protection function actually trip? |
 //! | [`orphan`] | `SG05xx` | does every file contribute to the bundle? |
+//! | [`scenario`] | `SG5xxx` | do exercise scenarios fit the bundle? |
 
 pub mod addr;
 pub mod orphan;
 pub mod protection;
+pub mod scenario;
 pub mod topology;
 pub mod xref;
 

@@ -6,6 +6,7 @@
 
 use sgcr_core::{IedConfig, PlcConfig, SgmlBundle};
 use sgcr_scada::ScadaConfig;
+use sgcr_scenario::Scenario;
 use sgcr_scl::{codes, parse_scl_lenient, Diagnostic, SclDocument, Span};
 use std::fmt;
 use std::fs;
@@ -30,6 +31,8 @@ pub enum FileRole {
     PlcConfig,
     /// `power_config.xml` — profiles, events, solve interval.
     PowerConfig,
+    /// `*.scenario.xml` — exercise scenario (stages + objectives).
+    Scenario,
 }
 
 impl fmt::Display for FileRole {
@@ -43,6 +46,7 @@ impl fmt::Display for FileRole {
             FileRole::ScadaConfig => "SCADA Config",
             FileRole::PlcConfig => "PLC Config",
             FileRole::PowerConfig => "Power Config",
+            FileRole::Scenario => "Scenario",
         };
         write!(f, "{s}")
     }
@@ -103,6 +107,8 @@ pub struct LoadedBundle {
     pub scada_config: Option<(String, ScadaConfig)>,
     /// Parsed PLC Config, with its file name.
     pub plc_config: Option<(String, PlcConfig)>,
+    /// Parsed exercise scenarios, with their file names.
+    pub scenarios: Vec<(String, Scenario)>,
     /// The SCADA workstation host name (default `SCADA`).
     pub scada_host: String,
     /// Diagnostics produced while loading (parse failures, SCL structure).
@@ -208,6 +214,13 @@ impl LoadedBundle {
                 text.clone(),
             );
         }
+        for (i, text) in bundle.scenarios.iter().enumerate() {
+            loaded.add_file(
+                format!("exercise{:02}.scenario.xml", i + 1),
+                FileRole::Scenario,
+                text.clone(),
+            );
+        }
         loaded
     }
 
@@ -257,6 +270,10 @@ impl LoadedBundle {
                 // Structure checked by the range generator; lint keeps the
                 // text only so hygiene passes can see the file exists.
             }
+            FileRole::Scenario => match Scenario::parse(&text) {
+                Ok(scenario) => self.scenarios.push((name.clone(), scenario)),
+                Err(e) => self.push_parse_failure(&name, role, &e.to_string()),
+            },
         }
         self.files.push(SourceFile { name, role, text });
     }
@@ -320,6 +337,8 @@ pub fn role_of(name: &str) -> Option<FileRole> {
         Some(FileRole::PlcConfig)
     } else if name == "power_config.xml" {
         Some(FileRole::PowerConfig)
+    } else if name.ends_with(".scenario.xml") {
+        Some(FileRole::Scenario)
     } else {
         None
     }
@@ -338,6 +357,7 @@ mod tests {
         assert_eq!(role_of("tie01.sed.xml"), Some(FileRole::Sed));
         assert_eq!(role_of("ied_config.xml"), Some(FileRole::IedConfig));
         assert_eq!(role_of("power_config.xml"), Some(FileRole::PowerConfig));
+        assert_eq!(role_of("exercise01.scenario.xml"), Some(FileRole::Scenario));
         assert_eq!(role_of("README.md"), None);
     }
 

@@ -48,6 +48,9 @@ pub fn epic_bundle() -> SgmlBundle {
         scada_config: Some(epic_scada_config()),
         plc_config: Some(epic_plc_config().to_xml()),
         power_extra: Some(epic_power_extra().to_xml()),
+        scenarios: vec![
+            include_str!("../../../examples/scenarios/epic_fci.scenario.xml").to_string(),
+        ],
         scada_host: Some("SCADA".to_string()),
     }
 }

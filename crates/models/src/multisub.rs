@@ -221,6 +221,7 @@ pub fn multisub_bundle(params: &MultiSubParams) -> SgmlBundle {
         scada_config: Some(scada_config),
         plc_config: None,
         power_extra: Some(power_extra.to_xml()),
+        scenarios: vec![],
         scada_host: Some("SCADA".to_string()),
     }
 }

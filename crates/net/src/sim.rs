@@ -347,6 +347,21 @@ impl Network {
         false
     }
 
+    /// Changes the propagation latency of the link between two nodes
+    /// (degradation injection: a congested or tampered path). Frames
+    /// already in flight keep the latency they departed with.
+    /// Returns `false` if no direct link exists.
+    pub fn set_link_latency(&mut self, a: NodeId, b: NodeId, latency: SimDuration) -> bool {
+        for link in &mut self.links {
+            let ends = (link.a.0, link.b.0);
+            if ends == (a, b) || ends == (b, a) {
+                link.spec.latency = latency;
+                return true;
+            }
+        }
+        false
+    }
+
     /// Attaches an application to a host; `on_start` fires at the current
     /// time (before any later event).
     ///

@@ -110,6 +110,23 @@ pub enum Event {
         /// Wall time over interval (1.0 = exactly on budget).
         ratio: f64,
     },
+    /// An exercise scenario stage began executing.
+    StageStarted {
+        /// Stage id from the scenario file.
+        stage: String,
+    },
+    /// An exercise scenario stage finished executing.
+    StageEnded {
+        /// Stage id from the scenario file.
+        stage: String,
+    },
+    /// An exercise objective was resolved (pass or fail).
+    ObjectiveResolved {
+        /// Objective id from the scenario file.
+        objective: String,
+        /// Whether the objective passed.
+        passed: bool,
+    },
     /// An event from outside the built-in instrumentation.
     Custom {
         /// Event name.
@@ -137,6 +154,9 @@ impl Event {
             Event::ScadaCommand { .. } => "ScadaCommand",
             Event::PlcControl { .. } => "PlcControl",
             Event::StepOverrun { .. } => "StepOverrun",
+            Event::StageStarted { .. } => "StageStarted",
+            Event::StageEnded { .. } => "StageEnded",
+            Event::ObjectiveResolved { .. } => "ObjectiveResolved",
             Event::Custom { .. } => "Custom",
         }
     }
@@ -226,6 +246,16 @@ impl EventRecord {
             }
             Event::StepOverrun { step, ratio } => {
                 let _ = write!(out, ",\"step\":{step},\"ratio\":{}", json_f64(*ratio));
+            }
+            Event::StageStarted { stage } | Event::StageEnded { stage } => {
+                let _ = write!(out, ",\"stage\":{}", json_str(stage));
+            }
+            Event::ObjectiveResolved { objective, passed } => {
+                let _ = write!(
+                    out,
+                    ",\"objective\":{},\"passed\":{passed}",
+                    json_str(objective)
+                );
             }
             Event::Custom { name, detail } => {
                 let _ = write!(

@@ -1,0 +1,999 @@
+//! The deterministic exercise engine: drives scenario stages into a running
+//! [`CyberRange`] and polls objectives after every co-simulation step.
+//!
+//! Scheduling is **event-quantized**: stage eligibility is re-checked after
+//! each step, so stage start times land on the range's step grid (default
+//! 100 ms) — the same quantization the power plane already has. Stage
+//! dependencies (`after="stage-id"`) resolve against the dependency's
+//! *completion*: a power or link stage completes instantly, an `fci` stage
+//! when its forged command round-trips, a `mitm` stage when its hold window
+//! ends, a `scan` stage when its sweep finishes. Dependency chains whose
+//! members complete at the same instant cascade within one poll, so purely
+//! instantaneous sequences do not consume extra steps.
+//!
+//! Everything the engine does is derived from simulation time and
+//! declaration order — no wall clock, no randomness — so a scenario's
+//! after-action report is byte-identical run after run.
+
+use crate::report::{ExerciseReport, ObjectiveOutcome, StageOutcome};
+use crate::spec::{Check, LinkEffect, Scenario, StageAction, StageStart, TransformSpec};
+use sgcr_attack::{
+    FciAttackApp, FciHandle, FciPlan, MitmApp, MitmHandle, MitmPlan, ScanHandle, ScanPlan,
+    ScannerApp, Transform,
+};
+use sgcr_core::CyberRange;
+use sgcr_net::{Ipv4Addr, SimDuration};
+use sgcr_obs::{Event, OpenSpan, Plane};
+use sgcr_powerflow::{ScenarioEvent, SimulationSchedule};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Interval between scanner probes (fast enough that a /28 sweep finishes
+/// within a couple of range steps).
+const SCAN_PROBE_INTERVAL: SimDuration = SimDuration::from_millis(20);
+
+/// An error preparing or running an exercise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExerciseError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ExerciseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ExerciseError {}
+
+fn err(message: impl Into<String>) -> ExerciseError {
+    ExerciseError {
+        message: message.into(),
+    }
+}
+
+/// How a running stage's completion is observed.
+enum Probe {
+    /// Completes the instant it starts (power, link).
+    Instant,
+    /// Completes when the forged command round-trips.
+    Fci(FciHandle),
+    /// Completes when the hold window ends (absolute sim ms).
+    Mitm {
+        handle: MitmHandle,
+        stop_abs_ms: u64,
+    },
+    /// Completes when the sweep reports finished.
+    Scan(ScanHandle),
+}
+
+struct StageRt {
+    started_ms: Option<u64>,
+    ended_ms: Option<u64>,
+    detail: String,
+    probe: Probe,
+    span: Option<OpenSpan>,
+}
+
+enum Resolution {
+    Pending,
+    Done {
+        passed: bool,
+        at_ms: u64,
+        detail: String,
+    },
+}
+
+struct ObjectiveRt {
+    resolution: Resolution,
+    /// Trip count at exercise start, so [`Check::IedTrip`] only counts
+    /// trips that happen *during* the exercise.
+    baseline_trips: usize,
+}
+
+struct Engine {
+    base_ms: u64,
+    stages: Vec<StageRt>,
+    objectives: Vec<ObjectiveRt>,
+}
+
+/// Runs a parsed scenario against a running range and returns the scored
+/// after-action report.
+///
+/// Attacker hosts declared by the scenario are added to the range first;
+/// the exercise then advances the range step by step for the scenario's
+/// duration, starting stages as they become eligible and polling every
+/// objective in between. Exercise times in the report are relative to the
+/// range's clock when this call was made (normally zero on a fresh range).
+///
+/// # Errors
+///
+/// Returns [`ExerciseError`] when the scenario does not fit the range:
+/// duplicate or dangling stage ids, dependency cycles, unknown hosts,
+/// victims, power elements, link endpoints or objective targets, a cyber
+/// stage host that is not a declared attacker host (generated hosts already
+/// run their own apps), more than one cyber stage per attacker host (a host
+/// runs at most one app), or SCADA objectives on a range without SCADA.
+/// A *failed objective is not an error* — it is a scored result.
+pub fn run_exercise(
+    range: &mut CyberRange,
+    scenario: &Scenario,
+) -> Result<ExerciseReport, ExerciseError> {
+    validate(range, scenario)?;
+
+    for host in &scenario.hosts {
+        let ip: Ipv4Addr = host.ip.parse().map_err(|_| {
+            err(format!(
+                "host {:?} has unparsable ip {:?}",
+                host.name, host.ip
+            ))
+        })?;
+        range.add_host(&host.name, ip, &host.switch);
+    }
+
+    let base_ms = range.now().as_millis();
+    let mut engine = Engine {
+        base_ms,
+        stages: scenario
+            .stages
+            .iter()
+            .map(|_| StageRt {
+                started_ms: None,
+                ended_ms: None,
+                detail: String::new(),
+                probe: Probe::Instant,
+                span: None,
+            })
+            .collect(),
+        objectives: scenario
+            .objectives
+            .iter()
+            .map(|objective| ObjectiveRt {
+                resolution: Resolution::Pending,
+                baseline_trips: match &objective.check {
+                    Check::IedTrip { ied } => range.ied_trip_count(ied).unwrap_or(0),
+                    _ => 0,
+                },
+            })
+            .collect(),
+    };
+
+    loop {
+        let now_rel = range.now().as_millis().saturating_sub(base_ms);
+        engine.poll(range, scenario, now_rel, false);
+        if now_rel >= scenario.duration_ms {
+            break;
+        }
+        range.step();
+    }
+    let end_rel = range.now().as_millis().saturating_sub(base_ms);
+    engine.poll(range, scenario, end_rel, true);
+    Ok(engine.into_report(range, scenario, end_rel))
+}
+
+/// Rejects scenarios that do not fit the range before anything mutates.
+fn validate(range: &CyberRange, scenario: &Scenario) -> Result<(), ExerciseError> {
+    let mut stage_ids = BTreeSet::new();
+    for stage in &scenario.stages {
+        if !stage_ids.insert(stage.id.as_str()) {
+            return Err(err(format!("duplicate stage id {:?}", stage.id)));
+        }
+    }
+    let mut objective_ids = BTreeSet::new();
+    for objective in &scenario.objectives {
+        if !objective_ids.insert(objective.id.as_str()) {
+            return Err(err(format!("duplicate objective id {:?}", objective.id)));
+        }
+    }
+
+    // Dependencies: defined, not self-referential, acyclic. Each stage has
+    // at most one parent, so cycle detection is a bounded parent walk.
+    let parent_of = |id: &str| -> Option<&str> {
+        scenario
+            .stages
+            .iter()
+            .find_map(|s| match (&s.id, &s.start) {
+                (sid, StageStart::After { stage, .. }) if sid == id => Some(stage.as_str()),
+                _ => None,
+            })
+    };
+    for stage in &scenario.stages {
+        if let StageStart::After { stage: dep, .. } = &stage.start {
+            if !stage_ids.contains(dep.as_str()) {
+                return Err(err(format!(
+                    "stage {:?} depends on undefined stage {dep:?}",
+                    stage.id
+                )));
+            }
+            let mut cursor = stage.id.as_str();
+            for _ in 0..=scenario.stages.len() {
+                match parent_of(cursor) {
+                    Some(parent) if parent == stage.id => {
+                        return Err(err(format!(
+                            "stage {:?} is in a dependency cycle",
+                            stage.id
+                        )));
+                    }
+                    Some(parent) => cursor = parent,
+                    None => break,
+                }
+            }
+        }
+    }
+
+    // Attacker hosts: fresh names on existing switches.
+    let mut declared_hosts = BTreeSet::new();
+    for host in &scenario.hosts {
+        if host.ip.parse::<Ipv4Addr>().is_err() {
+            return Err(err(format!(
+                "host {:?} has unparsable ip {:?}",
+                host.name, host.ip
+            )));
+        }
+        if range.net.node_by_name(&host.switch).is_none() {
+            return Err(err(format!(
+                "host {:?} attaches to unknown switch {:?}",
+                host.name, host.switch
+            )));
+        }
+        if range.node(&host.name).is_some() || !declared_hosts.insert(host.name.as_str()) {
+            return Err(err(format!("host {:?} already exists", host.name)));
+        }
+    }
+
+    // Stages: targets must exist; one cyber stage per attacker host.
+    let mut used_hosts = BTreeSet::new();
+    for stage in &scenario.stages {
+        let id = &stage.id;
+        match &stage.action {
+            StageAction::Power(action) => {
+                use sgcr_powerflow::ScenarioAction as A;
+                let (known, target, what) = match action {
+                    A::OpenSwitch(t) | A::CloseSwitch(t) => {
+                        (range.power.switch_by_name(t).is_some(), t, "switch")
+                    }
+                    A::LineOutage(t) | A::LineRestore(t) => {
+                        (range.power.line_by_name(t).is_some(), t, "line")
+                    }
+                    A::GenLoss(t) | A::GenRestore(t) => (
+                        range.power.gen_by_name(t).is_some()
+                            || range.power.sgen_by_name(t).is_some(),
+                        t,
+                        "generator",
+                    ),
+                    A::SetLoadP(t, _) => (range.power.load_by_name(t).is_some(), t, "load"),
+                };
+                if !known {
+                    return Err(err(format!(
+                        "stage {id:?} targets unknown {what} {target:?}"
+                    )));
+                }
+            }
+            StageAction::Fci { host, victim, .. } => {
+                check_attacker_host(&declared_hosts, &mut used_hosts, id, host)?;
+                if range.plan.host_ip(victim).is_none() {
+                    return Err(err(format!(
+                        "stage {id:?} targets unknown victim {victim:?}"
+                    )));
+                }
+            }
+            StageAction::Mitm {
+                host,
+                victim_a,
+                victim_b,
+                ..
+            } => {
+                check_attacker_host(&declared_hosts, &mut used_hosts, id, host)?;
+                for victim in [victim_a, victim_b] {
+                    if range.plan.host_ip(victim).is_none() {
+                        return Err(err(format!(
+                            "stage {id:?} targets unknown victim {victim:?}"
+                        )));
+                    }
+                }
+            }
+            StageAction::Scan {
+                host, first, last, ..
+            } => {
+                check_attacker_host(&declared_hosts, &mut used_hosts, id, host)?;
+                for addr in [first, last] {
+                    if addr.parse::<Ipv4Addr>().is_err() {
+                        return Err(err(format!("stage {id:?} has unparsable address {addr:?}")));
+                    }
+                }
+            }
+            StageAction::Link { a, b, .. } => {
+                for end in [a, b] {
+                    if range.net.node_by_name(end).is_none() {
+                        return Err(err(format!("stage {id:?} names unknown node {end:?}")));
+                    }
+                }
+            }
+        }
+    }
+
+    // Objectives: targets must exist, deadlines must be meetable.
+    for objective in &scenario.objectives {
+        let id = &objective.id;
+        if let Some(dep) = &objective.after {
+            if !stage_ids.contains(dep.as_str()) {
+                return Err(err(format!(
+                    "objective {id:?} is anchored to undefined stage {dep:?}"
+                )));
+            }
+        }
+        match &objective.check {
+            Check::VoltageBand {
+                bus,
+                from_ms,
+                to_ms,
+                ..
+            } => {
+                if range.power.bus_by_name(bus).is_none() {
+                    return Err(err(format!("objective {id:?} targets unknown bus {bus:?}")));
+                }
+                if to_ms <= from_ms {
+                    return Err(err(format!("objective {id:?} has an empty window")));
+                }
+            }
+            check => {
+                if objective.within_ms <= 0 {
+                    return Err(err(format!(
+                        "objective {id:?} has non-positive withinMs {}",
+                        objective.within_ms
+                    )));
+                }
+                match check {
+                    Check::BreakerOpen { switch } | Check::BreakerClosed { switch } => {
+                        if range.switch_is_closed(switch).is_none() {
+                            return Err(err(format!(
+                                "objective {id:?} targets unknown switch {switch:?}"
+                            )));
+                        }
+                    }
+                    Check::IedTrip { ied } => {
+                        if range.ied_trip_count(ied).is_none() {
+                            return Err(err(format!(
+                                "objective {id:?} targets unknown IED {ied:?}"
+                            )));
+                        }
+                    }
+                    Check::ScadaAlarm { .. } | Check::TagAbove { .. } | Check::TagBelow { .. } => {
+                        if range.scada.is_none() {
+                            return Err(err(format!(
+                                "objective {id:?} needs SCADA, but the range has none"
+                            )));
+                        }
+                    }
+                    Check::VoltageBand { .. } => {}
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_attacker_host<'a>(
+    declared: &BTreeSet<&str>,
+    used: &mut BTreeSet<&'a str>,
+    stage_id: &str,
+    host: &'a str,
+) -> Result<(), ExerciseError> {
+    if !declared.contains(host) {
+        return Err(err(format!(
+            "stage {stage_id:?} runs on {host:?}, which is not a declared <Host>"
+        )));
+    }
+    if !used.insert(host) {
+        return Err(err(format!(
+            "stage {stage_id:?} reuses host {host:?} (a host runs at most one app)"
+        )));
+    }
+    Ok(())
+}
+
+impl Engine {
+    /// One evaluation pass at exercise time `now_rel`: advance stages to a
+    /// fixed point (instantaneous chains cascade), then poll objectives.
+    /// With `finalize` set, everything still pending is resolved.
+    fn poll(&mut self, range: &mut CyberRange, scenario: &Scenario, now_rel: u64, finalize: bool) {
+        loop {
+            let mut changed = false;
+            for i in 0..scenario.stages.len() {
+                changed |= self.advance_stage(range, scenario, i, now_rel);
+            }
+            if !changed {
+                break;
+            }
+        }
+        if finalize {
+            for i in 0..scenario.stages.len() {
+                self.close_stage_at_end(range, scenario, i);
+            }
+        }
+        for i in 0..scenario.objectives.len() {
+            self.eval_objective(range, scenario, i, now_rel, finalize);
+        }
+    }
+
+    fn advance_stage(
+        &mut self,
+        range: &mut CyberRange,
+        scenario: &Scenario,
+        i: usize,
+        now_rel: u64,
+    ) -> bool {
+        if self.stages[i].started_ms.is_none() {
+            let eligible = match &scenario.stages[i].start {
+                StageStart::At(t) => now_rel >= *t,
+                StageStart::After { stage, delay_ms } => scenario
+                    .stages
+                    .iter()
+                    .position(|s| &s.id == stage)
+                    .and_then(|dep| self.stages[dep].ended_ms)
+                    .is_some_and(|ended| now_rel >= ended + delay_ms),
+            };
+            if eligible {
+                self.start_stage(range, scenario, i, now_rel);
+                return true;
+            }
+            return false;
+        }
+        if self.stages[i].ended_ms.is_none() {
+            let complete = match &self.stages[i].probe {
+                Probe::Instant => true,
+                Probe::Fci(handle) => handle.lock().completed_at_ms.is_some(),
+                Probe::Mitm { stop_abs_ms, .. } => self.base_ms + now_rel >= *stop_abs_ms,
+                Probe::Scan(handle) => handle.lock().finished,
+            };
+            if complete {
+                self.end_stage(range, scenario, i, now_rel);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn start_stage(&mut self, range: &mut CyberRange, scenario: &Scenario, i: usize, now_rel: u64) {
+        let stage = &scenario.stages[i];
+        let abs_now_ms = self.base_ms + now_rel;
+        let mut detail = String::new();
+        let probe = match &stage.action {
+            StageAction::Power(action) => {
+                // Reuse the power plane's own event executor for a one-shot
+                // action; the new state takes effect at the next solve.
+                let schedule = SimulationSchedule {
+                    profiles: Vec::new(),
+                    events: vec![ScenarioEvent {
+                        at_ms: 1,
+                        action: action.clone(),
+                    }],
+                };
+                let touched = schedule.apply(&mut range.power, 0, 1);
+                detail = touched.join("; ");
+                Probe::Instant
+            }
+            StageAction::Fci {
+                victim,
+                item,
+                value,
+                interrogate,
+                host,
+            } => {
+                // Victim resolution was validated; a race would only lose
+                // the stage, not the exercise.
+                let Some(victim_ip) = range.plan.host_ip(victim) else {
+                    self.stages[i].detail = format!("victim {victim:?} vanished");
+                    self.stages[i].started_ms = Some(now_rel);
+                    self.stages[i].ended_ms = Some(now_rel);
+                    return;
+                };
+                let (app, handle) = FciAttackApp::new(FciPlan {
+                    victim: victim_ip,
+                    item: item.clone(),
+                    value: *value,
+                    at_ms: abs_now_ms,
+                    interrogate: *interrogate,
+                });
+                range.attach_app(host, Box::new(app));
+                Probe::Fci(handle)
+            }
+            StageAction::Mitm {
+                host,
+                victim_a,
+                victim_b,
+                duration_ms,
+                transform,
+            } => {
+                let (Some(a), Some(b)) =
+                    (range.plan.host_ip(victim_a), range.plan.host_ip(victim_b))
+                else {
+                    self.stages[i].detail = "victim vanished".to_string();
+                    self.stages[i].started_ms = Some(now_rel);
+                    self.stages[i].ended_ms = Some(now_rel);
+                    return;
+                };
+                let stop_abs_ms = if *duration_ms == 0 {
+                    u64::MAX
+                } else {
+                    abs_now_ms + duration_ms
+                };
+                let (app, handle) = MitmApp::new(MitmPlan {
+                    victim_a: a,
+                    victim_b: b,
+                    start_ms: abs_now_ms,
+                    stop_ms: stop_abs_ms,
+                    transform: match transform {
+                        TransformSpec::PassThrough => Transform::PassThrough,
+                        TransformSpec::ScaleModbusRegisters(f) => {
+                            Transform::ScaleModbusRegisters(*f)
+                        }
+                        TransformSpec::SetModbusRegisters(v) => Transform::SetModbusRegisters(*v),
+                        TransformSpec::ScaleMmsFloats(f) => Transform::ScaleMmsFloats(*f),
+                        TransformSpec::Drop => Transform::Drop,
+                    },
+                });
+                range.attach_app(host, Box::new(app));
+                Probe::Mitm {
+                    handle,
+                    stop_abs_ms,
+                }
+            }
+            StageAction::Scan {
+                host,
+                first,
+                last,
+                ports,
+            } => {
+                let (Ok(first), Ok(last)) = (first.parse(), last.parse()) else {
+                    self.stages[i].detail = "unparsable sweep range".to_string();
+                    self.stages[i].started_ms = Some(now_rel);
+                    self.stages[i].ended_ms = Some(now_rel);
+                    return;
+                };
+                let (app, handle) = ScannerApp::new(ScanPlan {
+                    first,
+                    last,
+                    ports: ports.clone(),
+                    probe_interval: SCAN_PROBE_INTERVAL,
+                });
+                range.attach_app(host, Box::new(app));
+                Probe::Scan(handle)
+            }
+            StageAction::Link { a, b, effect } => {
+                let applied = match effect {
+                    LinkEffect::Down => range.set_link_state(a, b, false),
+                    LinkEffect::Up => range.set_link_state(a, b, true),
+                    LinkEffect::Delay { latency_ms } => {
+                        range.set_link_latency(a, b, SimDuration::from_millis(*latency_ms))
+                    }
+                };
+                detail = if applied {
+                    match effect {
+                        LinkEffect::Down => format!("link {a} — {b} taken down"),
+                        LinkEffect::Up => format!("link {a} — {b} restored"),
+                        LinkEffect::Delay { latency_ms } => {
+                            format!("link {a} — {b} latency set to {latency_ms} ms")
+                        }
+                    }
+                } else {
+                    format!("no direct link {a} — {b}")
+                };
+                Probe::Instant
+            }
+        };
+
+        let now = range.now();
+        range.telemetry().record(now, || Event::StageStarted {
+            stage: stage.id.clone(),
+        });
+        let mut span = range
+            .telemetry()
+            .tracer()
+            .open("scenario.stage", Plane::Range, None, now);
+        if span.is_recording() {
+            span.attr("stage", stage.id.clone());
+            span.attr("kind", stage.action.kind());
+        }
+        self.stages[i].span = Some(span);
+        self.stages[i].started_ms = Some(now_rel);
+        self.stages[i].detail = detail;
+        self.stages[i].probe = probe;
+    }
+
+    fn end_stage(&mut self, range: &mut CyberRange, scenario: &Scenario, i: usize, now_rel: u64) {
+        let detail = match &self.stages[i].probe {
+            Probe::Instant => self.stages[i].detail.clone(),
+            Probe::Fci(handle) => {
+                let report = handle.lock();
+                format!(
+                    "{} items discovered, command accepted: {}",
+                    report.discovered_items.len(),
+                    match report.command_accepted {
+                        Some(true) => "yes",
+                        Some(false) => "no",
+                        None => "never answered",
+                    }
+                )
+            }
+            Probe::Mitm { handle, .. } => {
+                let report = handle.lock();
+                format!(
+                    "position established: {}, {} frames forwarded, {} modified, {} dropped",
+                    if report.position_established {
+                        "yes"
+                    } else {
+                        "no"
+                    },
+                    report.forwarded,
+                    report.modified,
+                    report.dropped
+                )
+            }
+            Probe::Scan(handle) => {
+                let report = handle.lock();
+                let open: usize = report.open_ports.values().map(Vec::len).sum();
+                format!(
+                    "{} hosts discovered, {} open ports",
+                    report.hosts.len(),
+                    open
+                )
+            }
+        };
+        self.stages[i].detail = detail;
+        self.stages[i].ended_ms = Some(now_rel);
+        let now = range.now();
+        range.telemetry().record(now, || Event::StageEnded {
+            stage: scenario.stages[i].id.clone(),
+        });
+        if let Some(span) = self.stages[i].span.take() {
+            span.end(now);
+        }
+    }
+
+    /// Closes the trace span of a stage still running at exercise end (its
+    /// `ended_ms` stays `None` — the report shows it as unfinished).
+    fn close_stage_at_end(&mut self, range: &CyberRange, scenario: &Scenario, i: usize) {
+        if self.stages[i].started_ms.is_some() && self.stages[i].ended_ms.is_none() {
+            // Summarize whatever the attack achieved by the cut-off.
+            let summary = match &self.stages[i].probe {
+                Probe::Mitm { handle, .. } => {
+                    let report = handle.lock();
+                    Some(format!(
+                        "cut off at exercise end: {} frames forwarded, {} modified, {} dropped",
+                        report.forwarded, report.modified, report.dropped
+                    ))
+                }
+                Probe::Fci(handle) => {
+                    let report = handle.lock();
+                    Some(format!(
+                        "cut off at exercise end: {} items discovered, no command round-trip",
+                        report.discovered_items.len()
+                    ))
+                }
+                Probe::Scan(handle) => {
+                    let report = handle.lock();
+                    Some(format!(
+                        "cut off at exercise end: {} hosts discovered",
+                        report.hosts.len()
+                    ))
+                }
+                Probe::Instant => None,
+            };
+            if let Some(summary) = summary {
+                self.stages[i].detail = summary;
+            }
+            if let Some(span) = self.stages[i].span.take() {
+                span.end(range.now());
+            }
+            let _ = scenario;
+        }
+    }
+
+    fn eval_objective(
+        &mut self,
+        range: &CyberRange,
+        scenario: &Scenario,
+        i: usize,
+        now_rel: u64,
+        finalize: bool,
+    ) {
+        if matches!(self.objectives[i].resolution, Resolution::Done { .. }) {
+            return;
+        }
+        let objective = &scenario.objectives[i];
+
+        if let Check::VoltageBand {
+            bus,
+            min_pu,
+            max_pu,
+            from_ms,
+            to_ms,
+        } = &objective.check
+        {
+            if now_rel >= *from_ms && now_rel <= *to_ms {
+                let vm = range.bus_voltage_pu(bus).unwrap_or(0.0);
+                if vm < *min_pu || vm > *max_pu {
+                    self.resolve(
+                        range,
+                        scenario,
+                        i,
+                        false,
+                        now_rel,
+                        format!(
+                            "voltage {vm:.4} pu outside [{min_pu}, {max_pu}] at t={now_rel} ms"
+                        ),
+                    );
+                    return;
+                }
+            }
+            if now_rel > *to_ms || finalize {
+                let at = (*to_ms).min(now_rel);
+                self.resolve(
+                    range,
+                    scenario,
+                    i,
+                    true,
+                    at,
+                    "no violation observed".to_string(),
+                );
+            }
+            return;
+        }
+
+        // Reach objective: the condition must hold within the deadline
+        // window anchored at the referenced stage's start.
+        let anchor = match &objective.after {
+            None => Some(0),
+            Some(stage) => scenario
+                .stages
+                .iter()
+                .position(|s| &s.id == stage)
+                .and_then(|dep| self.stages[dep].started_ms),
+        };
+        let Some(anchor) = anchor else {
+            if finalize {
+                let stage = objective.after.as_deref().unwrap_or("?");
+                self.resolve(
+                    range,
+                    scenario,
+                    i,
+                    false,
+                    now_rel,
+                    format!("anchor stage {stage:?} never started"),
+                );
+            }
+            return;
+        };
+        // within_ms > 0 was validated.
+        let deadline = anchor + u64::try_from(objective.within_ms).unwrap_or(0);
+        if now_rel >= anchor && now_rel <= deadline {
+            if let Some(detail) = self.check_holds(range, i, &objective.check) {
+                self.resolve(range, scenario, i, true, now_rel, detail);
+                return;
+            }
+            if finalize {
+                self.resolve(
+                    range,
+                    scenario,
+                    i,
+                    false,
+                    now_rel,
+                    format!("exercise ended before deadline t={deadline} ms"),
+                );
+            }
+            return;
+        }
+        if now_rel > deadline {
+            self.resolve(
+                range,
+                scenario,
+                i,
+                false,
+                now_rel,
+                format!("deadline t={deadline} ms passed"),
+            );
+        } else if finalize {
+            self.resolve(
+                range,
+                scenario,
+                i,
+                false,
+                now_rel,
+                format!("window never opened (anchor t={anchor} ms)"),
+            );
+        }
+    }
+
+    /// Whether a reach condition currently holds; `Some(detail)` on success.
+    fn check_holds(&self, range: &CyberRange, i: usize, check: &Check) -> Option<String> {
+        match check {
+            Check::BreakerOpen { switch } => (range.switch_is_closed(switch) == Some(false))
+                .then(|| format!("{switch} observed open")),
+            Check::BreakerClosed { switch } => (range.switch_is_closed(switch) == Some(true))
+                .then(|| format!("{switch} observed closed")),
+            Check::ScadaAlarm { point } => range
+                .scada_alarm_active(point)
+                .then(|| format!("alarm on {point} active")),
+            Check::IedTrip { ied } => {
+                let trips = range.ied_trip_count(ied).unwrap_or(0);
+                (trips > self.objectives[i].baseline_trips)
+                    .then(|| format!("{ied} tripped ({trips} total)"))
+            }
+            Check::TagAbove { point, value } => {
+                let shown = range.scada_tag(point)?;
+                (shown > *value).then(|| format!("{point} displayed as {shown:.4}"))
+            }
+            Check::TagBelow { point, value } => {
+                let shown = range.scada_tag(point)?;
+                (shown < *value).then(|| format!("{point} displayed as {shown:.4}"))
+            }
+            Check::VoltageBand { .. } => None,
+        }
+    }
+
+    fn resolve(
+        &mut self,
+        range: &CyberRange,
+        scenario: &Scenario,
+        i: usize,
+        passed: bool,
+        at_ms: u64,
+        detail: String,
+    ) {
+        let id = &scenario.objectives[i].id;
+        let now = range.now();
+        range.telemetry().record(now, || Event::ObjectiveResolved {
+            objective: id.clone(),
+            passed,
+        });
+        let tracer = range.telemetry().tracer();
+        let mut span = tracer.open("scenario.objective", Plane::Range, None, now);
+        if span.is_recording() {
+            span.attr("objective", id.clone());
+            span.attr("outcome", if passed { "pass" } else { "fail" });
+        }
+        span.end(now);
+        self.objectives[i].resolution = Resolution::Done {
+            passed,
+            at_ms,
+            detail,
+        };
+    }
+
+    fn into_report(
+        self,
+        _range: &CyberRange,
+        scenario: &Scenario,
+        _end_rel: u64,
+    ) -> ExerciseReport {
+        let stages = scenario
+            .stages
+            .iter()
+            .zip(&self.stages)
+            .map(|(stage, rt)| StageOutcome {
+                id: stage.id.clone(),
+                kind: stage.action.kind(),
+                started_ms: rt.started_ms,
+                ended_ms: rt.ended_ms,
+                detail: rt.detail.clone(),
+            })
+            .collect();
+        let objectives = scenario
+            .objectives
+            .iter()
+            .zip(&self.objectives)
+            .map(|(objective, rt)| {
+                let (passed, at_ms, detail) = match &rt.resolution {
+                    Resolution::Done {
+                        passed,
+                        at_ms,
+                        detail,
+                    } => (*passed, *at_ms, detail.clone()),
+                    // Unreachable: the finalize pass resolves everything.
+                    Resolution::Pending => (false, 0, "unresolved".to_string()),
+                };
+                ObjectiveOutcome {
+                    id: objective.id.clone(),
+                    description: objective.describe(),
+                    passed,
+                    resolved_at_ms: at_ms,
+                    detail,
+                    points: objective.points,
+                    earned: if passed { objective.points } else { 0 },
+                }
+            })
+            .collect();
+        ExerciseReport {
+            scenario: scenario.name.clone(),
+            description: scenario.description.clone(),
+            duration_ms: scenario.duration_ms,
+            stages,
+            objectives,
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::spec::Scenario;
+    use sgcr_models::epic_bundle;
+
+    fn scenario(xml: &str) -> Scenario {
+        Scenario::parse(xml).unwrap()
+    }
+
+    #[test]
+    fn power_stage_with_reach_and_band_objectives() {
+        let mut range = CyberRange::generate(&epic_bundle()).unwrap();
+        let s = scenario(
+            r#"<Scenario name="t" durationMs="1500">
+  <Stage id="open" t="300" kind="power" action="openSwitch" target="EPIC/CB_HOME"/>
+  <Objective id="opened" kind="breakerOpen" target="EPIC/CB_HOME" after="open" withinMs="500"/>
+  <Objective id="too-tight" kind="breakerOpen" target="EPIC/CB_GEN" withinMs="1" points="3"/>
+  <Objective id="band" kind="voltageBand" bus="EPIC/LV/GenBay/CN_GEN" min="0.5" max="1.5" fromMs="0" toMs="1000"/>
+</Scenario>"#,
+        );
+        let report = run_exercise(&mut range, &s).unwrap();
+        assert_eq!(report.stages.len(), 1);
+        assert_eq!(report.stages[0].started_ms, Some(300));
+        assert_eq!(report.stages[0].ended_ms, Some(300));
+        let by_id = |id: &str| report.objectives.iter().find(|o| o.id == id).unwrap();
+        assert!(by_id("opened").passed);
+        assert!(by_id("band").passed);
+        // CB_GEN never opens, so the 1 ms deadline cannot be met: the
+        // objective fails and is still listed in the report.
+        let tight = by_id("too-tight");
+        assert!(!tight.passed);
+        assert_eq!(tight.earned, 0);
+        assert_eq!(tight.points, 3);
+        let score = report.score();
+        assert_eq!(score.earned, 2);
+        assert_eq!(score.total, 5);
+    }
+
+    #[test]
+    fn validation_rejects_misfit_scenarios() {
+        let range = CyberRange::generate(&epic_bundle()).unwrap();
+        let cases = [
+            // duplicate stage id
+            r#"<Scenario name="t" durationMs="100"><Stage id="a" kind="power" action="openSwitch" target="EPIC/CB_GEN"/><Stage id="a" kind="power" action="openSwitch" target="EPIC/CB_GEN"/></Scenario>"#,
+            // undefined dependency
+            r#"<Scenario name="t" durationMs="100"><Stage id="a" after="ghost" kind="power" action="openSwitch" target="EPIC/CB_GEN"/></Scenario>"#,
+            // dependency cycle
+            r#"<Scenario name="t" durationMs="100"><Stage id="a" after="b" kind="power" action="openSwitch" target="EPIC/CB_GEN"/><Stage id="b" after="a" kind="power" action="closeSwitch" target="EPIC/CB_GEN"/></Scenario>"#,
+            // unknown power target
+            r#"<Scenario name="t" durationMs="100"><Stage id="a" kind="power" action="openSwitch" target="EPIC/CB_GHOST"/></Scenario>"#,
+            // cyber stage on undeclared host
+            r#"<Scenario name="t" durationMs="100"><Stage id="a" kind="fci" host="ghost" victim="GIED1" item="x"/></Scenario>"#,
+            // unknown objective switch
+            r#"<Scenario name="t" durationMs="100"><Objective id="o" kind="breakerOpen" target="EPIC/CB_GHOST" withinMs="10"/></Scenario>"#,
+            // non-positive deadline
+            r#"<Scenario name="t" durationMs="100"><Objective id="o" kind="breakerOpen" target="EPIC/CB_GEN" withinMs="0"/></Scenario>"#,
+            // objective anchored to undefined stage
+            r#"<Scenario name="t" durationMs="100"><Objective id="o" kind="breakerOpen" target="EPIC/CB_GEN" after="ghost" withinMs="10"/></Scenario>"#,
+        ];
+        for xml in cases {
+            let s = scenario(xml);
+            assert!(validate(&range, &s).is_err(), "accepted: {xml}");
+        }
+    }
+
+    #[test]
+    fn dependent_stage_waits_for_completion() {
+        let mut range = CyberRange::generate(&epic_bundle()).unwrap();
+        let s = scenario(
+            r#"<Scenario name="t" durationMs="1000">
+  <Stage id="first" t="200" kind="power" action="openSwitch" target="EPIC/CB_HOME"/>
+  <Stage id="second" after="first" delayMs="300" kind="power" action="closeSwitch" target="EPIC/CB_HOME"/>
+</Scenario>"#,
+        );
+        let report = run_exercise(&mut range, &s).unwrap();
+        assert_eq!(report.stages[0].started_ms, Some(200));
+        assert_eq!(report.stages[1].started_ms, Some(500));
+        assert_eq!(range.switch_is_closed("EPIC/CB_HOME"), Some(true));
+    }
+}

@@ -1,0 +1,854 @@
+//! The SG-ML *Exercise Scenario XML* supplementary schema.
+//!
+//! Styled after the Power System Extra Config schema
+//! (`crates/core/src/sgml/power_extra.rs`): a flat XML document, camelCase
+//! attributes, parsed with `sgcr-xml` and writable back out losslessly.
+//! Every parsed element keeps its source position so `sgcr-lint` can anchor
+//! findings to real `file:line:column` spans.
+//!
+//! ```xml
+//! <Scenario name="epic-fci" durationMs="8000" description="...">
+//!   <Host name="malware-host" ip="10.0.1.66" switch="GenBus"/>
+//!   <Stage id="recon" t="500" kind="scan" host="malware-host"
+//!          first="10.0.1.11" last="10.0.1.14" ports="102,502"/>
+//!   <Stage id="strike" after="recon" delayMs="500" kind="fci"
+//!          host="malware-host" victim="GIED1"
+//!          item="GIED1LD0/CSWI1$CO$Pos$Oper$ctlVal" value="false"/>
+//!   <Objective id="gen-open" kind="breakerOpen" target="EPIC/CB_GEN"
+//!              after="strike" withinMs="1000" points="2"/>
+//! </Scenario>
+//! ```
+
+use sgcr_powerflow::ScenarioAction;
+use sgcr_xml::{Document, ElementRef};
+use std::fmt;
+
+/// An error parsing Exercise Scenario XML.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+fn err(message: impl Into<String>) -> ScenarioError {
+    ScenarioError {
+        message: message.into(),
+    }
+}
+
+/// Source position of an element (1-based; `0` = unknown), kept so lint
+/// findings on scenario files carry real spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line, 0 when unknown.
+    pub line: u32,
+    /// 1-based column, 0 when unknown.
+    pub column: u32,
+}
+
+impl Pos {
+    fn of(el: &ElementRef<'_>) -> Pos {
+        Pos {
+            line: el.line().unwrap_or(0),
+            column: el.column().unwrap_or(0),
+        }
+    }
+}
+
+/// A parsed exercise scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (shown in reports).
+    pub name: String,
+    /// Free-form description.
+    pub description: String,
+    /// Exercise length in simulation milliseconds.
+    pub duration_ms: u64,
+    /// Attacker hosts to add to the range before the exercise starts.
+    pub hosts: Vec<AttackerHost>,
+    /// Stages in declaration order.
+    pub stages: Vec<Stage>,
+    /// Objectives in declaration order.
+    pub objectives: Vec<Objective>,
+}
+
+/// An attacker host placed on a named switch, like
+/// [`sgcr_core::CyberRange::add_host`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackerHost {
+    /// Host name (referenced by cyber stages).
+    pub name: String,
+    /// Dotted-quad IPv4 address.
+    pub ip: String,
+    /// Name of the subnetwork switch to attach to.
+    pub switch: String,
+    /// Source position in the scenario file.
+    pub pos: Pos,
+}
+
+/// When a stage becomes eligible to start.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StageStart {
+    /// At an absolute exercise time (ms from exercise start).
+    At(u64),
+    /// When another stage *completes*, plus a delay.
+    After {
+        /// Id of the stage this one waits for.
+        stage: String,
+        /// Extra delay after the dependency completes, in ms.
+        delay_ms: u64,
+    },
+}
+
+/// One orchestrated step of the exercise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    /// Unique stage id (referenced by `after=`).
+    pub id: String,
+    /// When the stage starts.
+    pub start: StageStart,
+    /// What the stage does.
+    pub action: StageAction,
+    /// Source position in the scenario file.
+    pub pos: Pos,
+}
+
+/// What a stage does when it fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StageAction {
+    /// A power-plane disturbance (the Power Extra Config event vocabulary).
+    Power(ScenarioAction),
+    /// False command injection from an attacker host
+    /// ([`sgcr_attack::FciPlan`]).
+    Fci {
+        /// Attacker host the app runs on.
+        host: String,
+        /// Victim host name (an IED with an MMS server).
+        victim: String,
+        /// MMS item reference to write.
+        item: String,
+        /// Forged boolean to write (`false` = open for `Pos` controls).
+        value: bool,
+        /// Whether to interrogate the server's item tree first.
+        interrogate: bool,
+    },
+    /// ARP-spoofing man-in-the-middle between two victims
+    /// ([`sgcr_attack::MitmPlan`]).
+    Mitm {
+        /// Attacker host the app runs on.
+        host: String,
+        /// First victim host name.
+        victim_a: String,
+        /// Second victim host name.
+        victim_b: String,
+        /// How long the position is held, ms (`0` = until exercise end).
+        duration_ms: u64,
+        /// Payload transform applied while in position.
+        transform: TransformSpec,
+    },
+    /// ARP sweep + TCP port scan ([`sgcr_attack::ScanPlan`]).
+    Scan {
+        /// Attacker host the app runs on.
+        host: String,
+        /// First IPv4 address of the swept range.
+        first: String,
+        /// Last IPv4 address of the swept range (inclusive).
+        last: String,
+        /// TCP ports probed on each live host.
+        ports: Vec<u16>,
+    },
+    /// Network degradation on the link between two named nodes.
+    Link {
+        /// One endpoint (host or switch name).
+        a: String,
+        /// The other endpoint (host or switch name).
+        b: String,
+        /// What happens to the link.
+        effect: LinkEffect,
+    },
+}
+
+impl StageAction {
+    /// The stage's `kind=` attribute value.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StageAction::Power(_) => "power",
+            StageAction::Fci { .. } => "fci",
+            StageAction::Mitm { .. } => "mitm",
+            StageAction::Scan { .. } => "scan",
+            StageAction::Link { .. } => "link",
+        }
+    }
+}
+
+/// Payload transform of a man-in-the-middle stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransformSpec {
+    /// Forward unmodified (eavesdrop only).
+    PassThrough,
+    /// Scale Modbus register values by a factor.
+    ScaleModbusRegisters(f64),
+    /// Overwrite Modbus register values with a constant.
+    SetModbusRegisters(u16),
+    /// Scale floats inside MMS read responses by a factor.
+    ScaleMmsFloats(f32),
+    /// Drop intercepted frames (denial of service).
+    Drop,
+}
+
+/// What a `link` stage does to its link.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinkEffect {
+    /// Take the link down.
+    Down,
+    /// Bring the link back up.
+    Up,
+    /// Set the link's one-way latency, in ms.
+    Delay {
+        /// New latency in milliseconds.
+        latency_ms: u64,
+    },
+}
+
+/// A scored assertion about range state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Objective {
+    /// Unique objective id.
+    pub id: String,
+    /// Points awarded on pass (default 1).
+    pub points: u32,
+    /// Stage whose *start* anchors the deadline window (`None` = exercise
+    /// start). Ignored by [`Check::VoltageBand`].
+    pub after: Option<String>,
+    /// Deadline: the condition must hold within this many ms of the anchor.
+    /// Parsed as `i64` so lint can flag zero/negative values. Ignored by
+    /// [`Check::VoltageBand`].
+    pub within_ms: i64,
+    /// The condition itself.
+    pub check: Check,
+    /// Source position in the scenario file.
+    pub pos: Pos,
+}
+
+/// The condition an objective asserts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Check {
+    /// A named switch (`Substation/Name`) is open.
+    BreakerOpen {
+        /// Scoped switch name.
+        switch: String,
+    },
+    /// A named switch is closed.
+    BreakerClosed {
+        /// Scoped switch name.
+        switch: String,
+    },
+    /// The SCADA HMI shows an active alarm on a point.
+    ScadaAlarm {
+        /// Alarmed point (tag) name.
+        point: String,
+    },
+    /// A named IED's protection has tripped during the exercise.
+    IedTrip {
+        /// IED name.
+        ied: String,
+    },
+    /// The SCADA HMI *displays* a tag above a threshold (detects deception:
+    /// the displayed value, not ground truth).
+    TagAbove {
+        /// Tag name.
+        point: String,
+        /// Exclusive threshold.
+        value: f64,
+    },
+    /// The SCADA HMI displays a tag below a threshold.
+    TagBelow {
+        /// Tag name.
+        point: String,
+        /// Exclusive threshold.
+        value: f64,
+    },
+    /// Invariant: a bus voltage stays inside a band over a time window.
+    VoltageBand {
+        /// Connectivity-node path of the bus.
+        bus: String,
+        /// Lower bound, per-unit (inclusive).
+        min_pu: f64,
+        /// Upper bound, per-unit (inclusive).
+        max_pu: f64,
+        /// Window start, ms from exercise start.
+        from_ms: u64,
+        /// Window end, ms from exercise start (inclusive).
+        to_ms: u64,
+    },
+}
+
+impl Objective {
+    /// Human-readable statement of the objective, for reports.
+    pub fn describe(&self) -> String {
+        let anchor = match &self.after {
+            Some(stage) => format!("stage {stage}"),
+            None => "exercise start".to_string(),
+        };
+        match &self.check {
+            Check::BreakerOpen { switch } => {
+                format!(
+                    "breaker {switch} opens within {} ms of {anchor}",
+                    self.within_ms
+                )
+            }
+            Check::BreakerClosed { switch } => {
+                format!(
+                    "breaker {switch} closes within {} ms of {anchor}",
+                    self.within_ms
+                )
+            }
+            Check::ScadaAlarm { point } => {
+                format!(
+                    "SCADA alarm on {point} raised within {} ms of {anchor}",
+                    self.within_ms
+                )
+            }
+            Check::IedTrip { ied } => {
+                format!(
+                    "IED {ied} protection trips within {} ms of {anchor}",
+                    self.within_ms
+                )
+            }
+            Check::TagAbove { point, value } => {
+                format!(
+                    "SCADA displays {point} > {value} within {} ms of {anchor}",
+                    self.within_ms
+                )
+            }
+            Check::TagBelow { point, value } => {
+                format!(
+                    "SCADA displays {point} < {value} within {} ms of {anchor}",
+                    self.within_ms
+                )
+            }
+            Check::VoltageBand {
+                bus,
+                min_pu,
+                max_pu,
+                from_ms,
+                to_ms,
+            } => {
+                format!(
+                    "bus {bus} voltage stays within [{min_pu}, {max_pu}] pu from {from_ms} to {to_ms} ms"
+                )
+            }
+        }
+    }
+}
+
+impl Scenario {
+    /// Parses Exercise Scenario XML.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] on malformed XML, unknown stage/objective
+    /// kinds, or missing required attributes. Dangling references (unknown
+    /// hosts, stage ids, …) are *not* errors here — `sgcr-lint` reports
+    /// those with spans, and the engine rejects them at run time.
+    pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
+        let doc = Document::parse(text).map_err(|e| err(e.to_string()))?;
+        let root = doc.root_element();
+        if root.name() != "Scenario" {
+            return Err(err(format!("expected <Scenario>, found <{}>", root.name())));
+        }
+        let mut scenario = Scenario {
+            name: root.attr_or("name", "unnamed").to_string(),
+            description: root.attr_or("description", "").to_string(),
+            duration_ms: root
+                .attr_parse("durationMs")
+                .ok_or_else(|| err("Scenario missing durationMs"))?,
+            hosts: Vec::new(),
+            stages: Vec::new(),
+            objectives: Vec::new(),
+        };
+        for host_el in root.children_named("Host") {
+            scenario.hosts.push(AttackerHost {
+                name: attr_req(&host_el, "Host", "name")?,
+                ip: attr_req(&host_el, "Host", "ip")?,
+                switch: attr_req(&host_el, "Host", "switch")?,
+                pos: Pos::of(&host_el),
+            });
+        }
+        for stage_el in root.children_named("Stage") {
+            scenario.stages.push(parse_stage(&stage_el)?);
+        }
+        for obj_el in root.children_named("Objective") {
+            scenario.objectives.push(parse_objective(&obj_el)?);
+        }
+        Ok(scenario)
+    }
+
+    /// Serializes back to XML (the inverse of [`Scenario::parse`]).
+    pub fn to_xml(&self) -> String {
+        let mut doc = Document::new("Scenario");
+        let root = doc.root_id();
+        doc.set_attr(root, "name", &self.name);
+        if !self.description.is_empty() {
+            doc.set_attr(root, "description", &self.description);
+        }
+        doc.set_attr(root, "durationMs", &self.duration_ms.to_string());
+        for host in &self.hosts {
+            let e = doc.add_element(root, "Host");
+            doc.set_attr(e, "name", &host.name);
+            doc.set_attr(e, "ip", &host.ip);
+            doc.set_attr(e, "switch", &host.switch);
+        }
+        for stage in &self.stages {
+            write_stage(&mut doc, root, stage);
+        }
+        for objective in &self.objectives {
+            write_objective(&mut doc, root, objective);
+        }
+        doc.to_xml()
+    }
+}
+
+fn attr_req(el: &ElementRef<'_>, element: &str, name: &str) -> Result<String, ScenarioError> {
+    el.attr(name)
+        .map(str::to_string)
+        .ok_or_else(|| err(format!("{element} missing {name}")))
+}
+
+fn parse_stage(el: &ElementRef<'_>) -> Result<Stage, ScenarioError> {
+    let id = attr_req(el, "Stage", "id")?;
+    let start = match (el.attr("t"), el.attr("after")) {
+        (Some(_), Some(_)) => {
+            return Err(err(format!("Stage {id:?} has both t= and after=")));
+        }
+        (None, Some(stage)) => StageStart::After {
+            stage: stage.to_string(),
+            delay_ms: el.attr_parse("delayMs").unwrap_or(0),
+        },
+        (t, None) => StageStart::At(match t {
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| err(format!("Stage {id:?} has unparsable t={raw:?}")))?,
+            None => 0,
+        }),
+    };
+    let action = match el.attr_or("kind", "") {
+        "power" => {
+            let target = attr_req(el, "Stage", "target")?;
+            let action = match el.attr_or("action", "") {
+                "openSwitch" => ScenarioAction::OpenSwitch(target),
+                "closeSwitch" => ScenarioAction::CloseSwitch(target),
+                "lineOutage" => ScenarioAction::LineOutage(target),
+                "lineRestore" => ScenarioAction::LineRestore(target),
+                "genLoss" => ScenarioAction::GenLoss(target),
+                "genRestore" => ScenarioAction::GenRestore(target),
+                "setLoad" => {
+                    let value: f64 = el
+                        .attr_parse("value")
+                        .ok_or_else(|| err(format!("Stage {id:?} setLoad missing value")))?;
+                    ScenarioAction::SetLoadP(target, value)
+                }
+                other => {
+                    return Err(err(format!(
+                        "Stage {id:?} has unknown power action {other:?}"
+                    )))
+                }
+            };
+            StageAction::Power(action)
+        }
+        "fci" => StageAction::Fci {
+            host: attr_req(el, "Stage", "host")?,
+            victim: attr_req(el, "Stage", "victim")?,
+            item: attr_req(el, "Stage", "item")?,
+            value: el.attr_parse("value").unwrap_or(false),
+            interrogate: el.attr_parse("interrogate").unwrap_or(true),
+        },
+        "mitm" => StageAction::Mitm {
+            host: attr_req(el, "Stage", "host")?,
+            victim_a: attr_req(el, "Stage", "victimA")?,
+            victim_b: attr_req(el, "Stage", "victimB")?,
+            duration_ms: el.attr_parse("durationMs").unwrap_or(0),
+            transform: parse_transform(el, &id)?,
+        },
+        "scan" => StageAction::Scan {
+            host: attr_req(el, "Stage", "host")?,
+            first: attr_req(el, "Stage", "first")?,
+            last: attr_req(el, "Stage", "last")?,
+            ports: el
+                .attr_or("ports", "")
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .map_err(|_| err(format!("Stage {id:?} has unparsable port {s:?}")))
+                })
+                .collect::<Result<Vec<u16>, _>>()?,
+        },
+        "link" => {
+            let effect = match el.attr_or("action", "") {
+                "down" => LinkEffect::Down,
+                "up" => LinkEffect::Up,
+                "delay" => LinkEffect::Delay {
+                    latency_ms: el
+                        .attr_parse("latencyMs")
+                        .ok_or_else(|| err(format!("Stage {id:?} delay missing latencyMs")))?,
+                },
+                other => {
+                    return Err(err(format!(
+                        "Stage {id:?} has unknown link action {other:?}"
+                    )))
+                }
+            };
+            StageAction::Link {
+                a: attr_req(el, "Stage", "a")?,
+                b: attr_req(el, "Stage", "b")?,
+                effect,
+            }
+        }
+        other => return Err(err(format!("Stage {id:?} has unknown kind {other:?}"))),
+    };
+    Ok(Stage {
+        id,
+        start,
+        action,
+        pos: Pos::of(el),
+    })
+}
+
+fn parse_transform(el: &ElementRef<'_>, id: &str) -> Result<TransformSpec, ScenarioError> {
+    Ok(match el.attr_or("transform", "passThrough") {
+        "passThrough" => TransformSpec::PassThrough,
+        "scaleModbusRegisters" => TransformSpec::ScaleModbusRegisters(
+            el.attr_parse("factor")
+                .ok_or_else(|| err(format!("Stage {id:?} transform missing factor")))?,
+        ),
+        "setModbusRegisters" => TransformSpec::SetModbusRegisters(
+            el.attr_parse("value")
+                .ok_or_else(|| err(format!("Stage {id:?} transform missing value")))?,
+        ),
+        "scaleMmsFloats" => TransformSpec::ScaleMmsFloats(
+            el.attr_parse("factor")
+                .ok_or_else(|| err(format!("Stage {id:?} transform missing factor")))?,
+        ),
+        "drop" => TransformSpec::Drop,
+        other => return Err(err(format!("Stage {id:?} has unknown transform {other:?}"))),
+    })
+}
+
+fn parse_objective(el: &ElementRef<'_>) -> Result<Objective, ScenarioError> {
+    let id = attr_req(el, "Objective", "id")?;
+    let check = match el.attr_or("kind", "") {
+        "breakerOpen" => Check::BreakerOpen {
+            switch: attr_req(el, "Objective", "target")?,
+        },
+        "breakerClosed" => Check::BreakerClosed {
+            switch: attr_req(el, "Objective", "target")?,
+        },
+        "scadaAlarm" => Check::ScadaAlarm {
+            point: attr_req(el, "Objective", "point")?,
+        },
+        "iedTrip" => Check::IedTrip {
+            ied: attr_req(el, "Objective", "ied")?,
+        },
+        "tagAbove" => Check::TagAbove {
+            point: attr_req(el, "Objective", "point")?,
+            value: el
+                .attr_parse("value")
+                .ok_or_else(|| err(format!("Objective {id:?} missing value")))?,
+        },
+        "tagBelow" => Check::TagBelow {
+            point: attr_req(el, "Objective", "point")?,
+            value: el
+                .attr_parse("value")
+                .ok_or_else(|| err(format!("Objective {id:?} missing value")))?,
+        },
+        "voltageBand" => Check::VoltageBand {
+            bus: attr_req(el, "Objective", "bus")?,
+            min_pu: el
+                .attr_parse("min")
+                .ok_or_else(|| err(format!("Objective {id:?} missing min")))?,
+            max_pu: el
+                .attr_parse("max")
+                .ok_or_else(|| err(format!("Objective {id:?} missing max")))?,
+            from_ms: el.attr_parse("fromMs").unwrap_or(0),
+            to_ms: el
+                .attr_parse("toMs")
+                .ok_or_else(|| err(format!("Objective {id:?} missing toMs")))?,
+        },
+        other => return Err(err(format!("Objective {id:?} has unknown kind {other:?}"))),
+    };
+    let within_ms = if matches!(check, Check::VoltageBand { .. }) {
+        0
+    } else {
+        el.attr_parse("withinMs")
+            .ok_or_else(|| err(format!("Objective {id:?} missing withinMs")))?
+    };
+    Ok(Objective {
+        id,
+        points: el.attr_parse("points").unwrap_or(1),
+        after: el.attr("after").map(str::to_string),
+        within_ms,
+        check,
+        pos: Pos::of(el),
+    })
+}
+
+fn write_stage(doc: &mut Document, root: sgcr_xml::NodeId, stage: &Stage) {
+    let e = doc.add_element(root, "Stage");
+    doc.set_attr(e, "id", &stage.id);
+    match &stage.start {
+        StageStart::At(t) => doc.set_attr(e, "t", &t.to_string()),
+        StageStart::After { stage, delay_ms } => {
+            doc.set_attr(e, "after", stage);
+            if *delay_ms != 0 {
+                doc.set_attr(e, "delayMs", &delay_ms.to_string());
+            }
+        }
+    }
+    doc.set_attr(e, "kind", stage.action.kind());
+    match &stage.action {
+        StageAction::Power(action) => {
+            let (name, target, value) = match action {
+                ScenarioAction::OpenSwitch(t) => ("openSwitch", t, None),
+                ScenarioAction::CloseSwitch(t) => ("closeSwitch", t, None),
+                ScenarioAction::LineOutage(t) => ("lineOutage", t, None),
+                ScenarioAction::LineRestore(t) => ("lineRestore", t, None),
+                ScenarioAction::GenLoss(t) => ("genLoss", t, None),
+                ScenarioAction::GenRestore(t) => ("genRestore", t, None),
+                ScenarioAction::SetLoadP(t, v) => ("setLoad", t, Some(*v)),
+            };
+            doc.set_attr(e, "action", name);
+            doc.set_attr(e, "target", target);
+            if let Some(v) = value {
+                doc.set_attr(e, "value", &v.to_string());
+            }
+        }
+        StageAction::Fci {
+            host,
+            victim,
+            item,
+            value,
+            interrogate,
+        } => {
+            doc.set_attr(e, "host", host);
+            doc.set_attr(e, "victim", victim);
+            doc.set_attr(e, "item", item);
+            doc.set_attr(e, "value", &value.to_string());
+            doc.set_attr(e, "interrogate", &interrogate.to_string());
+        }
+        StageAction::Mitm {
+            host,
+            victim_a,
+            victim_b,
+            duration_ms,
+            transform,
+        } => {
+            doc.set_attr(e, "host", host);
+            doc.set_attr(e, "victimA", victim_a);
+            doc.set_attr(e, "victimB", victim_b);
+            if *duration_ms != 0 {
+                doc.set_attr(e, "durationMs", &duration_ms.to_string());
+            }
+            match transform {
+                TransformSpec::PassThrough => doc.set_attr(e, "transform", "passThrough"),
+                TransformSpec::ScaleModbusRegisters(f) => {
+                    doc.set_attr(e, "transform", "scaleModbusRegisters");
+                    doc.set_attr(e, "factor", &f.to_string());
+                }
+                TransformSpec::SetModbusRegisters(v) => {
+                    doc.set_attr(e, "transform", "setModbusRegisters");
+                    doc.set_attr(e, "value", &v.to_string());
+                }
+                TransformSpec::ScaleMmsFloats(f) => {
+                    doc.set_attr(e, "transform", "scaleMmsFloats");
+                    doc.set_attr(e, "factor", &f.to_string());
+                }
+                TransformSpec::Drop => doc.set_attr(e, "transform", "drop"),
+            }
+        }
+        StageAction::Scan {
+            host,
+            first,
+            last,
+            ports,
+        } => {
+            doc.set_attr(e, "host", host);
+            doc.set_attr(e, "first", first);
+            doc.set_attr(e, "last", last);
+            let ports: Vec<String> = ports.iter().map(u16::to_string).collect();
+            doc.set_attr(e, "ports", &ports.join(","));
+        }
+        StageAction::Link { a, b, effect } => {
+            doc.set_attr(e, "a", a);
+            doc.set_attr(e, "b", b);
+            match effect {
+                LinkEffect::Down => doc.set_attr(e, "action", "down"),
+                LinkEffect::Up => doc.set_attr(e, "action", "up"),
+                LinkEffect::Delay { latency_ms } => {
+                    doc.set_attr(e, "action", "delay");
+                    doc.set_attr(e, "latencyMs", &latency_ms.to_string());
+                }
+            }
+        }
+    }
+}
+
+fn write_objective(doc: &mut Document, root: sgcr_xml::NodeId, objective: &Objective) {
+    let e = doc.add_element(root, "Objective");
+    doc.set_attr(e, "id", &objective.id);
+    match &objective.check {
+        Check::BreakerOpen { switch } => {
+            doc.set_attr(e, "kind", "breakerOpen");
+            doc.set_attr(e, "target", switch);
+        }
+        Check::BreakerClosed { switch } => {
+            doc.set_attr(e, "kind", "breakerClosed");
+            doc.set_attr(e, "target", switch);
+        }
+        Check::ScadaAlarm { point } => {
+            doc.set_attr(e, "kind", "scadaAlarm");
+            doc.set_attr(e, "point", point);
+        }
+        Check::IedTrip { ied } => {
+            doc.set_attr(e, "kind", "iedTrip");
+            doc.set_attr(e, "ied", ied);
+        }
+        Check::TagAbove { point, value } => {
+            doc.set_attr(e, "kind", "tagAbove");
+            doc.set_attr(e, "point", point);
+            doc.set_attr(e, "value", &value.to_string());
+        }
+        Check::TagBelow { point, value } => {
+            doc.set_attr(e, "kind", "tagBelow");
+            doc.set_attr(e, "point", point);
+            doc.set_attr(e, "value", &value.to_string());
+        }
+        Check::VoltageBand {
+            bus,
+            min_pu,
+            max_pu,
+            from_ms,
+            to_ms,
+        } => {
+            doc.set_attr(e, "kind", "voltageBand");
+            doc.set_attr(e, "bus", bus);
+            doc.set_attr(e, "min", &min_pu.to_string());
+            doc.set_attr(e, "max", &max_pu.to_string());
+            doc.set_attr(e, "fromMs", &from_ms.to_string());
+            doc.set_attr(e, "toMs", &to_ms.to_string());
+        }
+    }
+    if let Some(stage) = &objective.after {
+        doc.set_attr(e, "after", stage);
+    }
+    if !matches!(objective.check, Check::VoltageBand { .. }) {
+        doc.set_attr(e, "withinMs", &objective.within_ms.to_string());
+    }
+    if objective.points != 1 {
+        doc.set_attr(e, "points", &objective.points.to_string());
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"<Scenario name="demo" description="two-plane demo" durationMs="8000">
+  <Host name="malware-host" ip="10.0.1.66" switch="GenBus"/>
+  <Stage id="recon" t="500" kind="scan" host="malware-host" first="10.0.1.11" last="10.0.1.14" ports="102,502"/>
+  <Stage id="strike" after="recon" delayMs="500" kind="fci" host="malware-host" victim="GIED1" item="GIED1LD0/CSWI1$CO$Pos$Oper$ctlVal" value="false" interrogate="true"/>
+  <Stage id="shed" t="3000" kind="power" action="setLoad" target="EPIC/MicroLoad" value="0.2"/>
+  <Stage id="lag" t="6000" kind="link" a="SCADA" b="ControlBus" action="delay" latencyMs="20"/>
+  <Stage id="spoof" t="4000" kind="mitm" host="malware-host" victimA="SCADA" victimB="TIED1" durationMs="4000" transform="scaleMmsFloats" factor="10"/>
+  <Objective id="gen-open" kind="breakerOpen" target="EPIC/CB_GEN" after="strike" withinMs="1000" points="2"/>
+  <Objective id="alarm" kind="scadaAlarm" point="GenProt_trip" withinMs="6000"/>
+  <Objective id="band" kind="voltageBand" bus="EPIC/LV/GenBay/CN_GEN" min="0.85" max="1.1" fromMs="0" toMs="2000"/>
+  <Objective id="seen" kind="tagAbove" point="MicroFeeder_MW" value="0.05" after="spoof" withinMs="4000"/>
+</Scenario>"#;
+
+    #[test]
+    fn parse_sample() {
+        let s = Scenario::parse(SAMPLE).unwrap();
+        assert_eq!(s.name, "demo");
+        assert_eq!(s.duration_ms, 8000);
+        assert_eq!(s.hosts.len(), 1);
+        assert_eq!(s.stages.len(), 5);
+        assert_eq!(s.objectives.len(), 4);
+        assert_eq!(
+            s.stages[1].start,
+            StageStart::After {
+                stage: "recon".into(),
+                delay_ms: 500
+            }
+        );
+        assert!(matches!(
+            &s.stages[2].action,
+            StageAction::Power(ScenarioAction::SetLoadP(t, v)) if t == "EPIC/MicroLoad" && *v == 0.2
+        ));
+        assert_eq!(s.objectives[0].points, 2);
+        assert_eq!(s.objectives[1].after, None);
+        // Positions recorded for lint spans.
+        assert!(s.stages[0].pos.line > 0);
+        assert!(s.objectives[0].pos.line > 0);
+    }
+
+    #[test]
+    fn xml_roundtrip() {
+        let s = Scenario::parse(SAMPLE).unwrap();
+        let text = s.to_xml();
+        let reparsed = Scenario::parse(&text).unwrap();
+        // Positions differ between the hand-written and generated XML;
+        // compare with positions cleared.
+        let strip = |mut s: Scenario| {
+            for h in &mut s.hosts {
+                h.pos = Pos::default();
+            }
+            for st in &mut s.stages {
+                st.pos = Pos::default();
+            }
+            for o in &mut s.objectives {
+                o.pos = Pos::default();
+            }
+            s
+        };
+        assert_eq!(strip(reparsed), strip(s));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Scenario::parse("<Nope/>").is_err());
+        assert!(Scenario::parse(
+            r#"<Scenario durationMs="1"><Stage id="x" kind="teleport"/></Scenario>"#
+        )
+        .is_err());
+        assert!(Scenario::parse(r#"<Scenario durationMs="1"><Stage id="x" t="1" after="y" kind="power" action="openSwitch" target="S/CB"/></Scenario>"#).is_err());
+        assert!(Scenario::parse(r#"<Scenario durationMs="1"><Objective id="o" kind="breakerOpen" target="S/CB"/></Scenario>"#).is_err());
+        assert!(Scenario::parse(
+            r#"<Scenario><Stage id="x" kind="power" action="openSwitch" target="S/CB"/></Scenario>"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn describe_is_human_readable() {
+        let s = Scenario::parse(SAMPLE).unwrap();
+        assert_eq!(
+            s.objectives[0].describe(),
+            "breaker EPIC/CB_GEN opens within 1000 ms of stage strike"
+        );
+        assert_eq!(
+            s.objectives[2].describe(),
+            "bus EPIC/LV/GenBay/CN_GEN voltage stays within [0.85, 1.1] pu from 0 to 2000 ms"
+        );
+    }
+}

@@ -11,6 +11,7 @@
 //! | `SG03xx` | power topology |
 //! | `SG04xx` | protection sanity |
 //! | `SG05xx` | bundle hygiene |
+//! | `SG5xxx` | exercise scenarios |
 //!
 //! The human-facing catalogue (meaning, trigger, fix) lives in
 //! `docs/diagnostics.md`; this module is the machine-readable source of truth
@@ -133,6 +134,18 @@ codes! {
     UNUSED_FILE = ("SG0502", "model file contributes nothing to the bundle");
     /// Two SSDs declare one substation name.
     DUPLICATE_SUBSTATION = ("SG0504", "two SSDs declare the same substation");
+
+    // --- SG5xxx: exercise scenarios ----------------------------------------
+    /// A scenario stage or objective targets a host/IED/switch/line/point
+    /// that the bundle does not define.
+    SCENARIO_UNKNOWN_TARGET = ("SG5001", "scenario references a target the bundle does not define");
+    /// A `after=` dependency names a stage id the scenario never defines
+    /// (or the stage depends on itself).
+    SCENARIO_UNDEFINED_STAGE = ("SG5002", "scenario dependency references an undefined stage id");
+    /// An objective deadline or window can never be met (zero/negative).
+    SCENARIO_BAD_DEADLINE = ("SG5003", "scenario objective has a zero or negative deadline");
+    /// Two stages or objectives share one id.
+    SCENARIO_DUPLICATE_ID = ("SG5004", "two scenario stages or objectives share one id");
 }
 
 /// Looks a code up in the registry.

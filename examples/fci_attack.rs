@@ -1,6 +1,8 @@
-//! False Command Injection case study (paper §IV-B): a compromised node on
-//! the generation segment interrogates GIED1 over MMS and injects a forged
-//! breaker-open command; the power flow reacts and SCADA sees the outage.
+//! False Command Injection case study (paper §IV-B), expressed as a
+//! declarative exercise scenario: the staging, timing, objectives, and
+//! scoring all live in `examples/scenarios/epic_fci.scenario.xml` — this
+//! program just loads the scenario, runs it through `sgcr-scenario`, and
+//! prints the scored after-action report.
 //!
 //! ```text
 //! cargo run --example fci_attack
@@ -8,58 +10,32 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
 
-use sg_cyber_range::attack::{FciAttackApp, FciPlan};
 use sg_cyber_range::core::CyberRange;
 use sg_cyber_range::models::epic_bundle;
-use sg_cyber_range::net::{Ipv4Addr, SimDuration};
+use sg_cyber_range::scenario::{run_exercise, Scenario};
+
+const SCENARIO_XML: &str = include_str!("scenarios/epic_fci.scenario.xml");
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::parse(SCENARIO_XML)?;
     let mut range = CyberRange::generate(&epic_bundle())?;
-    println!("== False Command Injection on the EPIC range ==\n");
-
-    range.run_for(SimDuration::from_secs(1));
+    println!("== False Command Injection on the EPIC range ==");
     println!(
-        "t=1s   LGen feeder power: {:+.4} MW (CB_GEN closed)",
-        range.last_result.line[0].p_from_mw
+        "scenario {:?}: {} stages, {} objectives, {} ms\n",
+        scenario.name,
+        scenario.stages.len(),
+        scenario.objectives.len(),
+        scenario.duration_ms
     );
 
-    // The attacker compromises an engineering workstation on GenBus.
-    range.add_host("malware-host", Ipv4Addr::new(10, 0, 1, 66), "GenBus");
-    let victim = range.plan.host_ip("GIED1").expect("GIED1 in plan");
-    let (attack, report) = FciAttackApp::new(FciPlan {
-        victim,
-        item: "GIED1LD0/CSWI1$CO$Pos$Oper$ctlVal".into(),
-        value: false, // forged OPEN command
-        at_ms: 2_000,
-        interrogate: true,
-    });
-    range.attach_app("malware-host", Box::new(attack));
-    println!("t=1s   malware-host attached at 10.0.1.66, strike scheduled for t=2s");
+    let report = run_exercise(&mut range, &scenario)?;
+    print!("{}", report.to_text());
 
-    range.run_for(SimDuration::from_secs(3));
-
-    let report = report.lock().clone();
-    println!("\nattacker's view:");
-    println!(
-        "  interrogation listed {} items, e.g.:",
-        report.discovered_items.len()
-    );
-    for item in report.discovered_items.iter().take(5) {
-        println!("    {item}");
-    }
-    println!(
-        "  forged command accepted: {:?} at t={:?} ms",
-        report.command_accepted, report.completed_at_ms
-    );
-
+    // The report scores the exercise; the range itself still holds the full
+    // post-incident state for deeper forensics.
     println!("\nphysical impact:");
-    println!(
-        "  LGen feeder in service: {}",
-        range.last_result.line[0].in_service
-    );
     let cb = range.power.switch_by_name("EPIC/CB_GEN").unwrap();
     println!("  CB_GEN closed: {}", range.power.switch[cb.index()].closed);
-
     let scada = range.scada.as_ref().unwrap();
     println!("\noperator's view (SCADA):");
     println!("  CB_GEN feedback: {:?}", scada.tag_value("CB_GEN_fb"));

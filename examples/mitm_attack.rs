@@ -1,6 +1,8 @@
-//! Man-in-the-middle case study (paper §IV-B, Figure 6): ARP spoofing
-//! between the SCADA HMI and an IED, rewriting measurements in flight —
-//! the HMI displays falsified values while the grid truth is unchanged.
+//! Man-in-the-middle case study (paper §IV-B, Figure 6), expressed as a
+//! declarative exercise scenario: ARP spoofing between the SCADA HMI and an
+//! IED, rewriting measurements in flight — the HMI displays falsified
+//! values while the grid truth is unchanged. The staging and scoring live
+//! in `examples/scenarios/epic_mitm.scenario.xml`.
 //!
 //! ```text
 //! cargo run --example mitm_attack
@@ -8,50 +10,36 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
 
-use sg_cyber_range::attack::{MitmApp, MitmPlan, Transform};
 use sg_cyber_range::core::CyberRange;
 use sg_cyber_range::models::epic_bundle;
-use sg_cyber_range::net::{Ipv4Addr, SimDuration};
+use sg_cyber_range::scenario::{run_exercise, Scenario};
+
+const SCENARIO_XML: &str = include_str!("scenarios/epic_mitm.scenario.xml");
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::parse(SCENARIO_XML)?;
     let mut range = CyberRange::generate(&epic_bundle())?;
-    println!("== ARP-spoofing MITM on the EPIC range (Figure 6) ==\n");
-
-    range.add_host("mitm-box", Ipv4Addr::new(10, 0, 5, 66), "ControlBus");
-    let scada_ip = range.plan.host_ip("SCADA").unwrap();
-    let tied1_ip = range.plan.host_ip("TIED1").unwrap();
-    let (mitm, handle) = MitmApp::new(MitmPlan {
-        victim_a: scada_ip,
-        victim_b: tied1_ip,
-        start_ms: 4_000,
-        stop_ms: 10_000,
-        transform: Transform::ScaleMmsFloats(10.0),
-    });
-    range.attach_app("mitm-box", Box::new(mitm));
-    println!("attacker at 10.0.5.66; poisoning SCADA<->TIED1 from t=4s to t=10s");
-    println!("transform: scale every MMS float x10 (false data injection)\n");
-
+    println!("== ARP-spoofing MITM on the EPIC range (Figure 6) ==");
     println!(
-        "{:>6}  {:>12}  {:>12}  phase",
-        "t [s]", "true [MW]", "HMI [MW]"
+        "scenario {:?}: {} stages, {} objectives, {} ms\n",
+        scenario.name,
+        scenario.stages.len(),
+        scenario.objectives.len(),
+        scenario.duration_ms
     );
-    let scada = range.scada.as_ref().unwrap().clone();
-    for step in 1..=14 {
-        range.run_for(SimDuration::from_secs(1));
-        let truth = range
-            .store
-            .get_float("meas/EPIC/branch/LMicro/p_mw")
-            .unwrap_or(0.0);
-        let shown = scada.tag_value("MicroFeeder_MW").unwrap_or(f64::NAN);
-        let phase = match step {
-            0..=3 => "before attack",
-            4..=9 => "ATTACK ACTIVE",
-            _ => "after re-ARP repair",
-        };
-        println!("{step:>6}  {truth:>12.5}  {shown:>12.5}  {phase}");
-    }
 
-    let report = handle.lock().clone();
-    println!("\nattacker statistics: {report:?}");
+    let report = run_exercise(&mut range, &scenario)?;
+    print!("{}", report.to_text());
+
+    // Deception, quantified: the displayed value against the ground truth.
+    let truth = range
+        .store
+        .get_float("meas/EPIC/bus/LV.MicroBay.CN_MICRO/vm_pu")
+        .unwrap_or(f64::NAN);
+    let scada = range.scada.as_ref().unwrap();
+    let shown = scada.tag_value("MicroVolt_pu");
+    println!("\nat exercise end (after re-ARP repair):");
+    println!("  true micro-grid voltage: {truth:.4} pu");
+    println!("  HMI displayed value:     {shown:?}");
     Ok(())
 }

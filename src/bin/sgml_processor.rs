@@ -8,6 +8,8 @@
 //!                      [--metrics <file>] [--journal <file>]
 //!                      [--trace <file>] [--spans <file>]
 //! sgml_processor lint  <bundle-dir> [--format text|json]
+//! sgml_processor exercise <bundle-dir> [--scenario <file>] [--report <file>]
+//!                      [--journal <file>] [--trace <file>]
 //! ```
 //!
 //! `build` compiles the bundle and prints the generated inventory without
@@ -26,6 +28,14 @@
 //! span-carrying diagnostics. The exit code is nonzero when any finding is
 //! an error.
 //!
+//! `exercise` compiles the bundle and runs a declarative exercise scenario
+//! (`*.scenario.xml`) against it via `sgcr-scenario`: stages fire on
+//! schedule, objectives are polled each step, and the scored after-action
+//! report is printed as text (and written as deterministic JSON with
+//! `--report`). `--scenario` may be omitted when the bundle ships exactly
+//! one scenario file. A failed objective is a scored *result*, not an
+//! error — the exit code is nonzero only when the exercise cannot run.
+//!
 //! The pre-subcommand invocation forms (`sgml_processor <bundle-dir>
 //! [--run <seconds>] [--validate-only] …`) keep working as deprecated
 //! aliases and print a one-line migration hint on stderr.
@@ -35,13 +45,16 @@ use sgcr_lint::source::LoadedBundle;
 use sgcr_lint::{json, lint_bundle, report};
 use sgcr_net::SimDuration;
 use sgcr_obs::Telemetry;
+use sgcr_scenario::{run_exercise, Scenario};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: sgml_processor build <bundle-dir> [--dot]\n       \
                      sgml_processor run <bundle-dir> [--seconds <n>] [--dot] \
                      [--metrics <file>] [--journal <file>] \
                      [--trace <file>] [--spans <file>]\n       \
-                     sgml_processor lint <bundle-dir> [--format text|json]";
+                     sgml_processor lint <bundle-dir> [--format text|json]\n       \
+                     sgml_processor exercise <bundle-dir> [--scenario <file>] \
+                     [--report <file>] [--journal <file>] [--trace <file>]";
 
 /// Default co-simulated duration for `run` when `--seconds` is omitted.
 const DEFAULT_RUN_SECONDS: u64 = 10;
@@ -72,6 +85,13 @@ enum Cmd {
         dir: String,
         format: Format,
     },
+    Exercise {
+        dir: String,
+        scenario: Option<String>,
+        report: Option<String>,
+        journal: Option<String>,
+        trace: Option<String>,
+    },
 }
 
 /// Parse result: the command plus an optional deprecation notice to print
@@ -92,6 +112,7 @@ fn parse_args(args: &[String]) -> Result<Parsed, String> {
         "build" => parse_build(&args[1..]),
         "run" => parse_run(&args[1..]),
         "lint" => parse_lint(&args[1..]),
+        "exercise" => parse_exercise(&args[1..]),
         "-h" | "--help" | "help" => Err(String::new()),
         _ => parse_legacy(args),
     }
@@ -189,6 +210,35 @@ fn parse_lint(args: &[String]) -> Result<Parsed, String> {
     }
     Ok(Parsed {
         cmd: Cmd::Lint { dir, format },
+        deprecation: None,
+    })
+}
+
+fn parse_exercise(args: &[String]) -> Result<Parsed, String> {
+    let (dir, rest) = take_dir(args)?;
+    let mut scenario = None;
+    let mut report = None;
+    let mut journal = None;
+    let mut trace = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--scenario" => scenario = Some(flag_value(rest, &mut i, "--scenario")?.to_string()),
+            "--report" => report = Some(flag_value(rest, &mut i, "--report")?.to_string()),
+            "--journal" => journal = Some(flag_value(rest, &mut i, "--journal")?.to_string()),
+            "--trace" => trace = Some(flag_value(rest, &mut i, "--trace")?.to_string()),
+            other => return Err(format!("unknown argument `{other}` for `exercise`")),
+        }
+        i += 1;
+    }
+    Ok(Parsed {
+        cmd: Cmd::Exercise {
+            dir,
+            scenario,
+            report,
+            journal,
+            trace,
+        },
         deprecation: None,
     })
 }
@@ -296,6 +346,22 @@ fn main() -> ExitCode {
             },
         ),
         Cmd::Lint { dir, format } => lint(&dir, format),
+        Cmd::Exercise {
+            dir,
+            scenario,
+            report,
+            journal,
+            trace,
+        } => exercise(
+            &dir,
+            scenario.as_deref(),
+            report.as_deref(),
+            &Sinks {
+                journal,
+                trace,
+                ..Sinks::default()
+            },
+        ),
     }
 }
 
@@ -340,6 +406,140 @@ fn lint(dir: &str, format: Format) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Runs a declarative exercise scenario against a freshly generated range
+/// and prints the scored after-action report.
+fn exercise(
+    dir: &str,
+    scenario_path: Option<&str>,
+    report_path: Option<&str>,
+    sinks: &Sinks,
+) -> ExitCode {
+    let bundle = match SgmlBundle::from_dir(dir) {
+        Ok(bundle) => bundle,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let xml = match scenario_path {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: reading {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => match bundle.scenarios.as_slice() {
+            [only] => only.clone(),
+            [] => {
+                eprintln!("error: {dir} ships no *.scenario.xml; pass --scenario <file>");
+                return ExitCode::FAILURE;
+            }
+            many => {
+                eprintln!(
+                    "error: {dir} ships {} scenario files; pass --scenario <file>",
+                    many.len()
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let scenario = match Scenario::parse(&xml) {
+        Ok(scenario) => scenario,
+        Err(e) => {
+            eprintln!("error: invalid scenario: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let telemetry = if sinks.wants_tracing() {
+        Telemetry::with_tracing()
+    } else {
+        Telemetry::new()
+    };
+    let mut range = match RangeBuilder::new(&bundle)
+        .telemetry(telemetry.clone())
+        .build()
+    {
+        Ok(range) => range,
+        Err(e) => {
+            eprintln!("error: model set does not compile:\n{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for d in &range.diagnostics {
+        eprintln!("  {d}");
+    }
+    eprintln!(
+        "running exercise {:?} ({} stages, {} objectives, {} ms)…",
+        scenario.name,
+        scenario.stages.len(),
+        scenario.objectives.len(),
+        scenario.duration_ms
+    );
+    let exercise_report = match run_exercise(&mut range, &scenario) {
+        Ok(exercise_report) => exercise_report,
+        Err(e) => {
+            eprintln!("error: exercise cannot run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", exercise_report.to_text());
+    if let Some(path) = report_path {
+        if let Err(e) = std::fs::write(path, exercise_report.to_json()) {
+            eprintln!("error: cannot write report to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("JSON report written to {path}");
+    }
+    if !write_sinks(sinks, &telemetry) {
+        return ExitCode::FAILURE;
+    }
+    // Failed objectives are scored results, not tool failures.
+    ExitCode::SUCCESS
+}
+
+/// Writes whichever observability sinks were requested; false on I/O error.
+fn write_sinks(sinks: &Sinks, telemetry: &Telemetry) -> bool {
+    if let Some(path) = &sinks.metrics {
+        if let Err(e) = std::fs::write(path, telemetry.snapshot().to_json()) {
+            eprintln!("error: cannot write metrics to {path}: {e}");
+            return false;
+        }
+        eprintln!("metrics snapshot written to {path}");
+    }
+    if let Some(path) = &sinks.journal {
+        if let Err(e) = std::fs::write(path, telemetry.journal_jsonl()) {
+            eprintln!("error: cannot write journal to {path}: {e}");
+            return false;
+        }
+        eprintln!(
+            "event journal written to {path} ({} events, {} evicted)",
+            telemetry.events().len(),
+            telemetry.events_dropped()
+        );
+    }
+    if let Some(path) = &sinks.trace {
+        if let Err(e) = std::fs::write(path, telemetry.tracer().chrome_trace_json()) {
+            eprintln!("error: cannot write trace to {path}: {e}");
+            return false;
+        }
+        eprintln!(
+            "Chrome trace written to {path} ({} spans, {} evicted) — open in ui.perfetto.dev",
+            telemetry.spans().len(),
+            telemetry.spans_dropped()
+        );
+    }
+    if let Some(path) = &sinks.spans {
+        if let Err(e) = std::fs::write(path, telemetry.tracer().spans_jsonl()) {
+            eprintln!("error: cannot write span log to {path}: {e}");
+            return false;
+        }
+        eprintln!("span log written to {path}");
+    }
+    true
 }
 
 /// Generates (and for `run`, co-simulates) the cyber range. Telemetry is
@@ -417,41 +617,8 @@ fn generate(dir: &str, run_seconds: Option<u64>, dot: bool, sinks: &Sinks) -> Ex
             }
         }
     }
-    if let Some(path) = &sinks.metrics {
-        if let Err(e) = std::fs::write(path, telemetry.snapshot().to_json()) {
-            eprintln!("error: cannot write metrics to {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-        eprintln!("metrics snapshot written to {path}");
-    }
-    if let Some(path) = &sinks.journal {
-        if let Err(e) = std::fs::write(path, telemetry.journal_jsonl()) {
-            eprintln!("error: cannot write journal to {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-        eprintln!(
-            "event journal written to {path} ({} events, {} evicted)",
-            telemetry.events().len(),
-            telemetry.events_dropped()
-        );
-    }
-    if let Some(path) = &sinks.trace {
-        if let Err(e) = std::fs::write(path, telemetry.tracer().chrome_trace_json()) {
-            eprintln!("error: cannot write trace to {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-        eprintln!(
-            "Chrome trace written to {path} ({} spans, {} evicted) — open in ui.perfetto.dev",
-            telemetry.spans().len(),
-            telemetry.spans_dropped()
-        );
-    }
-    if let Some(path) = &sinks.spans {
-        if let Err(e) = std::fs::write(path, telemetry.tracer().spans_jsonl()) {
-            eprintln!("error: cannot write span log to {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-        eprintln!("span log written to {path}");
+    if !write_sinks(sinks, &telemetry) {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
@@ -582,6 +749,41 @@ mod tests {
     }
 
     #[test]
+    fn exercise_subcommand_parses_all_flags() {
+        let parsed = parse_args(&argv(
+            "exercise bundles/epic --scenario s.scenario.xml --report r.json \
+             --journal j.jsonl --trace t.json",
+        ))
+        .unwrap();
+        assert_eq!(
+            parsed.cmd,
+            Cmd::Exercise {
+                dir: "bundles/epic".into(),
+                scenario: Some("s.scenario.xml".into()),
+                report: Some("r.json".into()),
+                journal: Some("j.jsonl".into()),
+                trace: Some("t.json".into()),
+            }
+        );
+        assert!(parsed.deprecation.is_none());
+    }
+
+    #[test]
+    fn exercise_scenario_and_report_are_optional() {
+        let parsed = parse_args(&argv("exercise bundles/epic")).unwrap();
+        assert_eq!(
+            parsed.cmd,
+            Cmd::Exercise {
+                dir: "bundles/epic".into(),
+                scenario: None,
+                report: None,
+                journal: None,
+                trace: None,
+            }
+        );
+    }
+
+    #[test]
     fn errors_are_reported() {
         assert!(parse_args(&[]).is_err());
         assert!(parse_args(&argv("run")).is_err());
@@ -590,6 +792,9 @@ mod tests {
         assert!(parse_args(&argv("run bundles/epic --trace")).is_err());
         assert!(parse_args(&argv("run bundles/epic --spans")).is_err());
         assert!(parse_args(&argv("lint bundles/epic --format yaml")).is_err());
+        assert!(parse_args(&argv("exercise")).is_err());
+        assert!(parse_args(&argv("exercise bundles/epic --scenario")).is_err());
+        assert!(parse_args(&argv("exercise bundles/epic --bogus")).is_err());
         assert!(parse_args(&argv("build bundles/epic --bogus")).is_err());
         assert!(parse_args(&argv("bundles/epic --bogus")).is_err());
     }

@@ -24,6 +24,7 @@
 //! | [`modbus`] | `sgcr-modbus` | Modbus TCP |
 //! | [`kvstore`] | `sgcr-kvstore` | cyber↔physical process cache (MySQL substitute) |
 //! | [`attack`] | `sgcr-attack` | FCI, ARP-spoof MITM, scanning, capture analysis |
+//! | [`scenario`] | `sgcr-scenario` | declarative exercises: scenario XML → staged attacks → scored reports |
 //! | [`models`] | `sgcr-models` | EPIC testbed + synthetic multi-substation model generators |
 //! | [`xml`] | `sgcr-xml` | self-contained XML parser/writer |
 //!
@@ -54,5 +55,6 @@ pub use sgcr_obs as obs;
 pub use sgcr_plc as plc;
 pub use sgcr_powerflow as powerflow;
 pub use sgcr_scada as scada;
+pub use sgcr_scenario as scenario;
 pub use sgcr_scl as scl;
 pub use sgcr_xml as xml;

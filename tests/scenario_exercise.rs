@@ -1,0 +1,58 @@
+//! End-to-end exercise orchestration: the EPIC bundle's shipped scenario
+//! must produce a scored, deterministic after-action report.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic
+
+use sg_cyber_range::core::CyberRange;
+use sg_cyber_range::models::epic_bundle;
+use sg_cyber_range::scenario::{run_exercise, ExerciseReport, Scenario};
+
+/// Run the bundle's embedded scenario on a fresh range.
+fn run_shipped_scenario() -> ExerciseReport {
+    let bundle = epic_bundle();
+    let scenario = Scenario::parse(&bundle.scenarios[0]).unwrap();
+    let mut range = CyberRange::generate(&bundle).unwrap();
+    run_exercise(&mut range, &scenario).unwrap()
+}
+
+#[test]
+fn epic_exercise_produces_scored_report() {
+    let report = run_shipped_scenario();
+
+    // Every stage ran to completion with a timeline.
+    assert_eq!(report.stages.len(), 4);
+    for stage in &report.stages {
+        assert!(stage.started_ms.is_some(), "stage {} never ran", stage.id);
+        assert!(stage.ended_ms.is_some(), "stage {} never ended", stage.id);
+    }
+
+    // Every objective resolved to an explicit pass/fail — none silently
+    // dropped — and the JSON carries a per-objective timestamp.
+    assert_eq!(report.objectives.len(), 6);
+    assert!(report.passed_count() >= 1, "no objective passed at all");
+    assert!(report.to_json().contains("\"resolved_at_ms\""));
+
+    // The deliberately unmeetable deadline is reported as failed, not dropped.
+    let home = report
+        .objectives
+        .iter()
+        .find(|o| o.id == "home-open")
+        .expect("home-open objective missing from report");
+    assert!(!home.passed, "too-tight deadline should fail");
+    assert!(home.detail.contains("deadline"), "detail: {}", home.detail);
+
+    // Score arithmetic is consistent.
+    let score = report.score();
+    assert!(score.earned < score.total);
+    assert!(score.earned > 0);
+}
+
+#[test]
+fn exercise_reports_are_deterministic() {
+    // Two fresh ranges, same scenario: the JSON reports (timestamps, details,
+    // scores, everything) must be byte-identical.
+    let first = run_shipped_scenario().to_json();
+    let second = run_shipped_scenario().to_json();
+    assert_eq!(first, second, "exercise replay diverged");
+    assert!(first.contains("\"score\""));
+}

@@ -88,6 +88,7 @@ fn bundle() -> SgmlBundle {
         scada_config: None,
         plc_config: None,
         power_extra: None,
+        scenarios: vec![],
         scada_host: None,
     }
 }
