@@ -16,6 +16,7 @@ use crate::keymap;
 use crate::sgml::ied_config::IedConfig;
 use crate::sgml::plc_config::{PlcConfig, PlcLogic};
 use crate::sgml::power_extra::PowerExtraConfig;
+use sgcr_faults::{DegradationSignal, LinkFault, SensorFault};
 use sgcr_ied::{IedHandle, VirtualIedApp};
 use sgcr_kvstore::{ProcessStore, Value};
 use sgcr_net::{Ipv4Addr, LinkSpec, Network, NodeId, SimDuration, SimTime, SocketApp};
@@ -35,6 +36,11 @@ use std::fmt;
 /// Default bound on retained per-step statistics — large enough for any of
 /// the paper's experiments, small enough to cap a long-running range.
 pub const DEFAULT_STEP_STATS_CAPACITY: usize = 65_536;
+
+/// Default bound on retained solve errors. A persistently diverging model
+/// fails every step, so retention must be capped the same way as step
+/// statistics; [`CyberRange::solve_errors_total`] keeps the lifetime count.
+pub const DEFAULT_SOLVE_ERRORS_CAPACITY: usize = 1_024;
 
 /// The set of SG-ML model files a cyber range is generated from — the
 /// left-hand side of the paper's Figure 2.
@@ -153,8 +159,19 @@ pub struct CyberRange {
     step_stats_capacity: usize,
     /// Lifetime number of power-flow steps executed.
     steps_total: u64,
-    /// Errors from failed re-solves (range keeps running with stale state).
-    solve_errors: Vec<(u64, PowerFlowError)>,
+    /// Errors from failed re-solves (range keeps running with stale state),
+    /// bounded to `solve_errors_capacity`.
+    solve_errors: VecDeque<(u64, PowerFlowError)>,
+    solve_errors_capacity: usize,
+    /// Lifetime number of failed re-solves.
+    solve_errors_total: u64,
+    /// Degradation flags shared with every virtual IED and the SCADA HMI;
+    /// raised while `last_result` is a held (stale) solution.
+    degradation_signals: Vec<DegradationSignal>,
+    /// `steps_total` at the moment the current hold began, if holding.
+    held_since_step: Option<u64>,
+    /// Crashed hosts due to come back: `(node, host name, restart at ms)`.
+    restart_plans: Vec<(NodeId, String, u64)>,
     telemetry: Telemetry,
     steps_counter: Counter,
     step_seconds_hist: Histogram,
@@ -197,6 +214,8 @@ pub struct RangeBuilder<'a> {
     interval: Option<SimDuration>,
     telemetry: Telemetry,
     step_stats_capacity: usize,
+    solve_errors_capacity: usize,
+    fault_seed: Option<u64>,
 }
 
 impl<'a> RangeBuilder<'a> {
@@ -209,6 +228,8 @@ impl<'a> RangeBuilder<'a> {
             interval: None,
             telemetry: Telemetry::disabled(),
             step_stats_capacity: DEFAULT_STEP_STATS_CAPACITY,
+            solve_errors_capacity: DEFAULT_SOLVE_ERRORS_CAPACITY,
+            fault_seed: None,
         }
     }
 
@@ -232,6 +253,23 @@ impl<'a> RangeBuilder<'a> {
     /// the lifetime count regardless.
     pub fn step_stats_capacity(mut self, capacity: usize) -> RangeBuilder<'a> {
         self.step_stats_capacity = capacity.max(1);
+        self
+    }
+
+    /// Bounds how many solve errors the range retains (oldest evicted first;
+    /// minimum 1). [`CyberRange::solve_errors_total`] keeps the lifetime
+    /// count regardless.
+    pub fn solve_errors_capacity(mut self, capacity: usize) -> RangeBuilder<'a> {
+        self.solve_errors_capacity = capacity.max(1);
+        self
+    }
+
+    /// Seeds the deterministic fault-injection generator (frame loss,
+    /// corruption, duplication, jitter draws). Two runs of the same range
+    /// with the same seed and the same fault profiles replay byte-identical
+    /// journals. Unseeded ranges use seed 0.
+    pub fn fault_seed(mut self, seed: u64) -> RangeBuilder<'a> {
+        self.fault_seed = Some(seed);
         self
     }
 
@@ -298,6 +336,9 @@ impl<'a> RangeBuilder<'a> {
         // --- 4. Instantiate the emulated network ---------------------------
         let mut net = Network::new();
         net.set_telemetry(self.telemetry.clone());
+        if let Some(seed) = self.fault_seed {
+            net.set_fault_seed(seed);
+        }
         let mut node_by_name: HashMap<String, NodeId> = HashMap::new();
         let mut switch_by_name: HashMap<String, NodeId> = HashMap::new();
         let mut wan: Option<NodeId> = None;
@@ -492,6 +533,14 @@ impl<'a> RangeBuilder<'a> {
         }
 
         // --- 9. Initial physical state -------------------------------------------
+        // Share one degradation flag per consumer: the range raises them all
+        // while it is holding a stale solution, IEDs stamp measurement
+        // quality `invalid`, SCADA degrades incoming tag quality.
+        let mut degradation_signals: Vec<DegradationSignal> =
+            ieds.values().map(IedHandle::degradation).collect();
+        if let Some(scada) = &scada {
+            degradation_signals.push(scada.degradation());
+        }
         let mut range = CyberRange {
             net,
             store,
@@ -507,7 +556,12 @@ impl<'a> RangeBuilder<'a> {
             step_stats: VecDeque::new(),
             step_stats_capacity: self.step_stats_capacity,
             steps_total: 0,
-            solve_errors: Vec::new(),
+            solve_errors: VecDeque::new(),
+            solve_errors_capacity: self.solve_errors_capacity,
+            solve_errors_total: 0,
+            degradation_signals,
+            held_since_step: None,
+            restart_plans: Vec::new(),
             steps_counter: self.telemetry.counter("range.steps"),
             step_seconds_hist: self
                 .telemetry
@@ -619,6 +673,24 @@ impl CyberRange {
             step_span.attr("step", (self.steps_total + 1).to_string());
         }
 
+        // Crash watchdog: bring crashed hosts back when their restart is due.
+        if !self.restart_plans.is_empty() {
+            let now_ms = t1.as_millis();
+            let mut i = 0;
+            while i < self.restart_plans.len() {
+                if self.restart_plans[i].2 <= now_ms {
+                    let (node, host, _) = self.restart_plans.swap_remove(i);
+                    self.net.set_host_enabled(node, true);
+                    self.telemetry
+                        .record(t1.as_nanos(), || ObsEvent::DeviceRestarted {
+                            host: host.clone(),
+                        });
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
         // Profiles and scheduled disturbances.
         self.schedule.apply(&mut self.power, t0_ms, t1.as_millis());
 
@@ -680,9 +752,37 @@ impl CyberRange {
                 self.publish_switch_states();
                 self.publish_measurements(&result);
                 self.last_result = result;
+                if let Some(since) = self.held_since_step.take() {
+                    // Recovered: fresh measurements flow again.
+                    for signal in &self.degradation_signals {
+                        signal.set(false);
+                    }
+                    let held_steps = self.steps_total - since;
+                    self.telemetry
+                        .record(t1.as_nanos(), || ObsEvent::MeasurementsRecovered {
+                            held_steps,
+                        });
+                }
             }
             Err(e) => {
-                self.solve_errors.push((t1.as_millis(), e));
+                let detail = e.to_string();
+                if self.solve_errors.len() == self.solve_errors_capacity {
+                    self.solve_errors.pop_front();
+                }
+                self.solve_errors.push_back((t1.as_millis(), e));
+                self.solve_errors_total += 1;
+                if self.held_since_step.is_none() {
+                    // Graceful degradation: keep serving the last-good
+                    // solution, but tell every consumer it is stale.
+                    self.held_since_step = Some(self.steps_total);
+                    for signal in &self.degradation_signals {
+                        signal.set(true);
+                    }
+                    self.telemetry
+                        .record(t1.as_nanos(), || ObsEvent::MeasurementsHeld {
+                            detail: detail.clone(),
+                        });
+                }
             }
         }
         let solve_seconds = solve_start.elapsed().as_secs_f64();
@@ -827,10 +927,28 @@ impl CyberRange {
         self.steps_total
     }
 
-    /// Errors from failed re-solves `(sim_time_ms, error)`. The range keeps
-    /// running on stale state after a failure.
-    pub fn solve_errors(&self) -> &[(u64, PowerFlowError)] {
+    /// The most recent errors from failed re-solves `(sim_time_ms, error)`,
+    /// oldest first. The range keeps running on the held last-good solution
+    /// after a failure (see [`measurements_held`](CyberRange::measurements_held)).
+    /// Retention is bounded (see [`RangeBuilder::solve_errors_capacity`]);
+    /// use [`solve_errors_total`](CyberRange::solve_errors_total) for the
+    /// lifetime count.
+    pub fn solve_errors(&self) -> &VecDeque<(u64, PowerFlowError)> {
         &self.solve_errors
+    }
+
+    /// Lifetime number of failed re-solves (monotonic even after old
+    /// entries are evicted from [`solve_errors`](CyberRange::solve_errors)).
+    pub fn solve_errors_total(&self) -> u64 {
+        self.solve_errors_total
+    }
+
+    /// True while the power plane is serving a held (stale) solution because
+    /// the solver stopped converging. While held, every virtual IED stamps
+    /// its measurements with quality `invalid` and SCADA degrades incoming
+    /// tag quality.
+    pub fn measurements_held(&self) -> bool {
+        self.held_since_step.is_some()
     }
 
     /// The telemetry handle the range was built with (disabled unless one
@@ -897,6 +1015,98 @@ impl CyberRange {
         }
     }
 
+    // --- Fault injection ---------------------------------------------------
+
+    /// Re-seeds the deterministic fault generator (see
+    /// [`RangeBuilder::fault_seed`]). Applies to all draws made after the
+    /// call.
+    pub fn set_fault_seed(&mut self, seed: u64) {
+        self.net.set_fault_seed(seed);
+    }
+
+    /// Installs (or, with a no-op profile, clears) an impairment profile on
+    /// the link between two named nodes. Returns `false` if either name or
+    /// the link is unknown.
+    pub fn set_link_fault(&mut self, a: &str, b: &str, fault: LinkFault) -> bool {
+        match (self.net.node_by_name(a), self.net.node_by_name(b)) {
+            (Some(a), Some(b)) => self.net.set_link_fault(a, b, fault),
+            _ => false,
+        }
+    }
+
+    /// Crashes a named host: its NIC goes silent and its applications stop
+    /// until restart. With `restart_after_ms` the range's watchdog brings it
+    /// back automatically; with `None` it stays down until
+    /// [`restart_host`](CyberRange::restart_host). Returns `false` for an
+    /// unknown host or a switch.
+    pub fn crash_host(&mut self, host: &str, restart_after_ms: Option<u64>) -> bool {
+        let Some(node) = self.node(host) else {
+            return false;
+        };
+        if !self.net.set_host_enabled(node, false) {
+            return false;
+        }
+        let now = self.net.now();
+        self.telemetry
+            .record(now.as_nanos(), || ObsEvent::DeviceCrashed {
+                host: host.to_string(),
+            });
+        if let Some(after) = restart_after_ms {
+            self.restart_plans
+                .push((node, host.to_string(), now.as_millis() + after));
+        }
+        true
+    }
+
+    /// Restarts a crashed host immediately. Returns `false` for an unknown
+    /// host or a switch.
+    pub fn restart_host(&mut self, host: &str) -> bool {
+        let Some(node) = self.node(host) else {
+            return false;
+        };
+        if !self.net.set_host_enabled(node, true) {
+            return false;
+        }
+        self.restart_plans.retain(|(n, _, _)| *n != node);
+        self.telemetry
+            .record(self.net.now().as_nanos(), || ObsEvent::DeviceRestarted {
+                host: host.to_string(),
+            });
+        true
+    }
+
+    /// Engages a sensor fault on one sampled value (by process-store key)
+    /// inside a named IED. The faulted value feeds both published
+    /// measurements and the IED's own protection functions. Returns `false`
+    /// for an unknown IED.
+    pub fn set_sensor_fault(&mut self, ied: &str, key: &str, fault: SensorFault) -> bool {
+        let Some(handle) = self.ieds.get(ied) else {
+            return false;
+        };
+        handle.set_sensor_fault(key, fault, self.net.now().as_millis());
+        true
+    }
+
+    /// Clears a sensor fault. Returns `false` if the IED is unknown or no
+    /// fault was engaged on `key`.
+    pub fn clear_sensor_fault(&mut self, ied: &str, key: &str) -> bool {
+        self.ieds
+            .get(ied)
+            .is_some_and(|handle| handle.clear_sensor_fault(key))
+    }
+
+    /// Configures (or disables, with `None`) the SCADA stale-tag window.
+    /// Returns `false` when no SCADA HMI is configured.
+    pub fn set_scada_stale_window(&mut self, window_ms: Option<u64>) -> bool {
+        match &self.scada {
+            Some(scada) => {
+                scada.set_stale_window_ms(window_ms);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Summary line for logs and the pipeline demonstration binary.
     pub fn summary(&self) -> String {
         let trips: usize = self.ieds.values().map(IedHandle::trip_count).sum();
@@ -909,7 +1119,7 @@ impl CyberRange {
             self.plcs.len(),
             self.scada.is_some(),
             self.interval.as_millis(),
-            self.solve_errors.len(),
+            self.solve_errors_total,
             trips,
         )
     }

@@ -6,6 +6,7 @@ use crate::protection::{
 };
 use crate::spec::{GooseEntry, IedSpec, ProtectionSpec};
 use parking_lot::Mutex;
+use sgcr_faults::{DegradationSignal, SensorFault};
 use sgcr_iec61850::{
     ControlDecision, DataModel, DataValue, GooseConfig, GoosePublisher, GooseSubscriber, MmsServer,
     MmsServerApp, SessionPacket, SessionPayloadType, SessionReceiver, SessionSender, SharedModel,
@@ -14,7 +15,7 @@ use sgcr_iec61850::{
 use sgcr_kvstore::{ProcessStore, Value};
 use sgcr_net::{ethertype, ConnId, EthernetFrame, HostCtx, Ipv4Addr, MacAddr, SimTime, SocketApp};
 use sgcr_obs::{Counter, Event as ObsEvent, Plane, Telemetry, TimeNs, TraceCtx};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -47,6 +48,17 @@ pub struct IedEvent {
     pub detail: String,
 }
 
+/// The live state of one injected sensor fault.
+#[derive(Debug, Clone, Copy)]
+struct SensorOverride {
+    fault: SensorFault,
+    /// Simulation time (ms) the fault engaged; drift accrues from here.
+    engaged_ms: u64,
+    /// For [`SensorFault::Stuck`]: the value captured at the first faulted
+    /// sample, repeated forever after.
+    held: Option<f64>,
+}
+
 /// Observable handle to a running virtual IED (shared with the experiment
 /// harness and SCADA-side assertions).
 #[derive(Clone)]
@@ -54,12 +66,41 @@ pub struct IedHandle {
     /// The IED's live data model.
     pub model: SharedModel,
     events: Arc<Mutex<Vec<IedEvent>>>,
+    sensor_faults: Arc<Mutex<HashMap<String, SensorOverride>>>,
+    degradation: DegradationSignal,
 }
 
 impl IedHandle {
     /// Snapshot of the sequence-of-events record.
     pub fn events(&self) -> Vec<IedEvent> {
         self.events.lock().clone()
+    }
+
+    /// Injects a sensor fault on the process value stored under `key` (the
+    /// measurement's process-store key). The fault engages at the next
+    /// sample; the IED itself cannot tell — a stuck transducer reports
+    /// quality `good` — which is exactly what makes the fault dangerous.
+    pub fn set_sensor_fault(&self, key: &str, fault: SensorFault, now_ms: u64) {
+        self.sensor_faults.lock().insert(
+            key.to_string(),
+            SensorOverride {
+                fault,
+                engaged_ms: now_ms,
+                held: None,
+            },
+        );
+    }
+
+    /// Removes a sensor fault; returns `false` if none was set on `key`.
+    pub fn clear_sensor_fault(&self, key: &str) -> bool {
+        self.sensor_faults.lock().remove(key).is_some()
+    }
+
+    /// The degradation signal this IED watches: raising it flips the
+    /// quality of every published measurement to `invalid` at the next
+    /// sample. The range shares one logical signal across the planes.
+    pub fn degradation(&self) -> DegradationSignal {
+        self.degradation.clone()
     }
 
     /// Number of protection trips recorded.
@@ -131,6 +172,13 @@ pub struct VirtualIedApp {
     /// Close-permit per interlocked breaker, shared with the control handler.
     permits: Arc<Mutex<HashMap<String, bool>>>,
     now_ms: Arc<AtomicU64>,
+    sensor_faults: Arc<Mutex<HashMap<String, SensorOverride>>>,
+    degradation: DegradationSignal,
+    /// Whether the model's quality items currently read `invalid`; writes
+    /// happen only on transition so the healthy path stays free.
+    q_invalid: bool,
+    /// GOOSE subscriptions whose TAL has already been journaled as expired.
+    tal_expired: HashSet<String>,
     telemetry: Telemetry,
     trips_counter: Counter,
     goose_counter: Counter,
@@ -343,6 +391,8 @@ impl VirtualIedApp {
             .and_then(|r| r.subscribe_sv_id.as_ref())
             .map(|id| SvSubscriber::new(id));
 
+        let sensor_faults: Arc<Mutex<HashMap<String, SensorOverride>>> = Arc::default();
+        let degradation = DegradationSignal::new();
         let app = VirtualIedApp {
             spec,
             store,
@@ -358,12 +408,33 @@ impl VirtualIedApp {
             events: events.clone(),
             permits,
             now_ms,
+            sensor_faults: sensor_faults.clone(),
+            degradation: degradation.clone(),
+            q_invalid: false,
+            tal_expired: HashSet::new(),
             trips_counter: telemetry.counter("ied.protection_trips"),
             goose_counter: telemetry.counter("ied.goose_sent"),
             telemetry,
             goose_cause: None,
         };
-        (app, IedHandle { model, events })
+        (
+            app,
+            IedHandle {
+                model,
+                events,
+                sensor_faults,
+                degradation,
+            },
+        )
+    }
+
+    /// Applies any injected sensor fault to a process value. Stuck sensors
+    /// capture-and-hold the first faulted reading; drifting sensors walk
+    /// away from truth at their configured rate. Protection elements read
+    /// through this too — a faulted transducer blinds the relay exactly as
+    /// it would in the field.
+    fn faulted_value(&self, key: &str, raw: f64, now_ms: u64) -> f64 {
+        apply_sensor_fault(&self.sensor_faults, key, raw, now_ms)
     }
 
     fn record(&self, now: SimTime, kind: IedEventKind, detail: String) {
@@ -464,6 +535,15 @@ impl VirtualIedApp {
             .map(|s| s.gocb_ref.clone())
             .collect();
         if !expired.is_empty() {
+            for gocb in &expired {
+                if self.tal_expired.insert(gocb.clone()) {
+                    self.telemetry
+                        .record(now.as_nanos(), || ObsEvent::GooseExpired {
+                            ied: self.spec.name.clone(),
+                            publisher: gocb.clone(),
+                        });
+                }
+            }
             for p in &mut self.protections {
                 if let ProtectionRuntime::Cilo {
                     interlock,
@@ -479,12 +559,33 @@ impl VirtualIedApp {
                 }
             }
         }
+        if !self.tal_expired.is_empty() {
+            // A publisher that resumed is no longer expired; forget it so a
+            // later outage journals again.
+            self.tal_expired.retain(|g| expired.contains(g));
+        }
 
-        // 1. Measurements: process store → data model.
+        // 1. Measurements: process store → data model, through any injected
+        //    sensor faults.
+        let now_ms = now.as_millis();
         for m in &self.spec.measurements {
             if let Some(v) = self.store.get_float(&m.kv_key) {
+                let v = self.faulted_value(&m.kv_key, v, now_ms);
                 let item = self.spec.item(&m.item);
                 self.model.write(&item, DataValue::Float(v as f32));
+            }
+        }
+        // Quality follows the range-wide degradation signal: while the
+        // power plane holds its last-good solution, every published
+        // measurement carries quality `invalid`. Written on transition only
+        // so healthy samples do no extra work.
+        let degraded = self.degradation.is_degraded();
+        if degraded != self.q_invalid {
+            self.q_invalid = degraded;
+            let q = if degraded { "invalid" } else { "good" };
+            for m in &self.spec.measurements {
+                let q_item = self.spec.item(&quality_item(&m.item));
+                self.model.write(&q_item, DataValue::Str(q.to_string()));
             }
         }
         // 2. Breaker positions.
@@ -512,6 +613,7 @@ impl VirtualIedApp {
                     breaker,
                 } => {
                     if let Some(value) = self.store.get_float(key) {
+                        let value = apply_sensor_fault(&self.sensor_faults, key, value, now_ms);
                         match relay.step(now, value.abs()) {
                             Some(RelayEvent::Operate) => trips.push((ln.clone(), breaker.clone())),
                             Some(RelayEvent::Pickup) => self.events.lock().push(IedEvent {
@@ -535,6 +637,7 @@ impl VirtualIedApp {
                     breaker,
                 } => {
                     if let Some(value) = self.store.get_float(key) {
+                        let value = apply_sensor_fault(&self.sensor_faults, key, value, now_ms);
                         match relay.step(now, value) {
                             Some(RelayEvent::Operate) => trips.push((ln.clone(), breaker.clone())),
                             Some(RelayEvent::Pickup) => self.events.lock().push(IedEvent {
@@ -558,6 +661,7 @@ impl VirtualIedApp {
                     breaker,
                 } => {
                     if let Some(value) = self.store.get_float(key) {
+                        let value = apply_sensor_fault(&self.sensor_faults, key, value, now_ms);
                         match relay.step(now, value) {
                             Some(RelayEvent::Operate) => trips.push((ln.clone(), breaker.clone())),
                             Some(RelayEvent::Pickup) => self.events.lock().push(IedEvent {
@@ -812,6 +916,43 @@ impl SocketApp for VirtualIedApp {
     }
 }
 
+/// Derives the IEC 61850 quality item for a measurement item: `q` sits
+/// beside the value container (`A$phsA$cVal$mag$f` → `A$phsA$q`,
+/// `TotW$mag$f` → `TotW$q`), never below the value leaf — the data model is
+/// a tree and a leaf cannot grow children.
+pub fn quality_item(item: &str) -> String {
+    for suffix in ["$cVal$mag$f", "$mag$f"] {
+        if let Some(prefix) = item.strip_suffix(suffix) {
+            return format!("{prefix}$q");
+        }
+    }
+    match item.rfind('$') {
+        Some(i) => format!("{}$q", &item[..i]),
+        None => format!("{item}$q"),
+    }
+}
+
+/// The fault-application arithmetic behind [`VirtualIedApp`]'s sampling and
+/// protection reads; free-standing so the protection scan can call it while
+/// the runtime list is mutably borrowed.
+fn apply_sensor_fault(
+    faults: &Mutex<HashMap<String, SensorOverride>>,
+    key: &str,
+    raw: f64,
+    now_ms: u64,
+) -> f64 {
+    let mut faults = faults.lock();
+    let Some(state) = faults.get_mut(key) else {
+        return raw;
+    };
+    match state.fault {
+        SensorFault::Stuck => *state.held.get_or_insert(raw),
+        SensorFault::Drift { per_sec } => {
+            raw + per_sec * now_ms.saturating_sub(state.engaged_ms) as f64 / 1000.0
+        }
+    }
+}
+
 /// Builds the IEC 61850 data model implied by a spec: LLN0/LPHD plus the
 /// LNs for measurements, breakers, and protection functions.
 pub fn build_model(spec: &IedSpec) -> DataModel {
@@ -825,6 +966,12 @@ pub fn build_model(spec: &IedSpec) -> DataModel {
     );
     for m in &spec.measurements {
         model.insert(&item(&m.item), DataValue::Float(0.0));
+        // IEC 61850 quality companion: `good` until the degradation signal
+        // (power-plane hold-last-good) flips it to `invalid`.
+        model.insert(
+            &item(&quality_item(&m.item)),
+            DataValue::Str("good".to_string()),
+        );
     }
     for b in &spec.breakers {
         model.insert(

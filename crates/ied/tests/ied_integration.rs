@@ -377,3 +377,82 @@ fn goose_ttl_expiry_degrades_interlock_to_unknown() {
         "permission restored once the stream resumes"
     );
 }
+
+#[test]
+fn stuck_sensor_holds_first_faulted_value() {
+    let store = ProcessStore::new();
+    store.set("meas/S1/branch/l1/i_ka", Value::Float(0.42));
+    let (mut net, handle) = one_ied_net(base_spec(), store.clone());
+    net.run_until(SimTime::from_millis(250));
+    handle.set_sensor_fault(
+        "meas/S1/branch/l1/i_ka",
+        sgcr_faults::SensorFault::Stuck,
+        250,
+    );
+    // One faulted sample captures 0.42; the later process change is unseen.
+    net.run_until(SimTime::from_millis(400));
+    store.set("meas/S1/branch/l1/i_ka", Value::Float(0.9));
+    net.run_until(SimTime::from_millis(600));
+    let v = handle
+        .model
+        .read("GIED1LD0/MMXU1$MX$A$phsA$cVal$mag$f")
+        .unwrap();
+    assert_eq!(v, DataValue::Float(0.42), "stuck sensor must hold");
+    assert!(handle.clear_sensor_fault("meas/S1/branch/l1/i_ka"));
+    net.run_until(SimTime::from_millis(900));
+    let v = handle
+        .model
+        .read("GIED1LD0/MMXU1$MX$A$phsA$cVal$mag$f")
+        .unwrap();
+    assert_eq!(v, DataValue::Float(0.9), "cleared fault must track again");
+}
+
+#[test]
+fn drifting_sensor_walks_away_from_truth() {
+    let store = ProcessStore::new();
+    store.set("meas/S1/branch/l1/i_ka", Value::Float(1.0));
+    let (mut net, handle) = one_ied_net(base_spec(), store);
+    handle.set_sensor_fault(
+        "meas/S1/branch/l1/i_ka",
+        sgcr_faults::SensorFault::Drift { per_sec: 0.5 },
+        0,
+    );
+    net.run_until(SimTime::from_secs(2));
+    let v = handle
+        .model
+        .read("GIED1LD0/MMXU1$MX$A$phsA$cVal$mag$f")
+        .unwrap();
+    let DataValue::Float(f) = v else {
+        panic!("expected float, got {v:?}");
+    };
+    assert!(
+        (1.8..=2.2).contains(&f),
+        "after 2 s at +0.5/s the reading should be near 2.0, got {f}"
+    );
+}
+
+#[test]
+fn degradation_signal_flips_measurement_quality() {
+    let store = ProcessStore::new();
+    store.set("meas/S1/branch/l1/i_ka", Value::Float(0.42));
+    let (mut net, handle) = one_ied_net(base_spec(), store);
+    net.run_until(SimTime::from_millis(250));
+    assert_eq!(
+        handle.model.read("GIED1LD0/MMXU1$MX$A$phsA$q"),
+        Some(DataValue::Str("good".into()))
+    );
+    handle.degradation().set(true);
+    net.run_until(SimTime::from_millis(500));
+    assert_eq!(
+        handle.model.read("GIED1LD0/MMXU1$MX$A$phsA$q"),
+        Some(DataValue::Str("invalid".into())),
+        "held measurements must be flagged invalid"
+    );
+    handle.degradation().set(false);
+    net.run_until(SimTime::from_millis(750));
+    assert_eq!(
+        handle.model.read("GIED1LD0/MMXU1$MX$A$phsA$q"),
+        Some(DataValue::Str("good".into())),
+        "recovery must restore good quality"
+    );
+}

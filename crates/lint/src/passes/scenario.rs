@@ -297,6 +297,63 @@ fn check_targets(file: &str, scenario: &Scenario, names: &BundleNames, out: &mut
                     }
                 }
             }
+            StageAction::LinkFault { a, b, fault } => {
+                for end in [a, b] {
+                    let known = names.hosts.contains(end)
+                        || names.subnetworks.contains(end)
+                        || declared.contains(end.as_str());
+                    if !known {
+                        push(
+                            out,
+                            codes::SCENARIO_UNKNOWN_FAULT_TARGET,
+                            format!("link endpoint {end:?} is not defined by the bundle"),
+                            ctx.clone(),
+                            file,
+                            stage.pos,
+                        );
+                    }
+                }
+                for (what, p) in [
+                    ("loss", fault.loss),
+                    ("corrupt", fault.corrupt),
+                    ("duplicate", fault.duplicate),
+                ] {
+                    if !(0.0..=1.0).contains(&p) {
+                        push(
+                            out,
+                            codes::SCENARIO_BAD_FAULT_PROBABILITY,
+                            format!("stage {:?} has {what}={p} outside [0, 1]", stage.id),
+                            ctx.clone(),
+                            file,
+                            stage.pos,
+                        );
+                    }
+                }
+            }
+            StageAction::Crash { host, .. } => {
+                if !names.hosts.contains(host) && !declared.contains(host.as_str()) {
+                    push(
+                        out,
+                        codes::SCENARIO_UNKNOWN_FAULT_TARGET,
+                        format!("crashed host {host:?} is not defined by the bundle"),
+                        ctx,
+                        file,
+                        stage.pos,
+                    );
+                }
+            }
+            StageAction::Sensor { ied, .. } => {
+                if !names.ieds.contains(ied) {
+                    push(
+                        out,
+                        codes::SCENARIO_UNKNOWN_FAULT_IED,
+                        format!("sensor fault IED {ied:?} is not defined by the bundle"),
+                        ctx,
+                        file,
+                        stage.pos,
+                    );
+                }
+            }
         }
     }
 
@@ -412,6 +469,27 @@ mod tests {
         assert_eq!(unknown.len(), 8, "{out:?}");
         // Findings are anchored to the offending element, not the file top.
         assert!(unknown.iter().all(|d| d.span.as_ref().unwrap().line > 1));
+    }
+
+    #[test]
+    fn fault_stages_are_checked_with_spans() {
+        let out = diags_for(
+            r#"<Scenario name="bad" durationMs="1000">
+  <Stage id="f1" kind="linkFault" a="SCADA" b="GhostBus" loss="0.5"/>
+  <Stage id="f2" kind="linkFault" a="SCADA" b="ControlBus" loss="1.5" corrupt="-0.1"/>
+  <Stage id="f3" kind="crash" host="GhostIED"/>
+  <Stage id="f4" kind="sensor" ied="GhostIED" key="meas/x" mode="stuck"/>
+  <Stage id="ok1" kind="linkFault" a="SCADA" b="ControlBus" loss="0.25" jitterMs="3"/>
+  <Stage id="ok2" kind="crash" host="MIED1" restartAfterMs="500"/>
+  <Stage id="ok3" kind="sensor" ied="GIED1" key="meas/EPIC/branch/LGen/i_ka" mode="drift" perSec="0.1"/>
+</Scenario>"#,
+        );
+        let count = |code: &str| out.iter().filter(|d| d.code == code).count();
+        assert_eq!(count(codes::SCENARIO_UNKNOWN_FAULT_TARGET), 2, "{out:?}"); // GhostBus, GhostIED
+        assert_eq!(count(codes::SCENARIO_UNKNOWN_FAULT_IED), 1, "{out:?}");
+        assert_eq!(count(codes::SCENARIO_BAD_FAULT_PROBABILITY), 2, "{out:?}"); // loss, corrupt
+                                                                                // Findings are anchored to the offending element, not the file top.
+        assert!(out.iter().all(|d| d.span.as_ref().unwrap().line > 1));
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::app::{HostCtx, SocketApp};
 use crate::frame::{ipproto, ArpPacket, EthernetFrame, Ipv4Packet, TcpSegment, UdpDatagram};
 use crate::host::{ConnId, HostState, SocketEvent, TcpOut};
 use crate::time::{SimDuration, SimTime};
+use sgcr_faults::{FaultRng, LinkFault};
 use sgcr_obs::{
     buckets, Counter, Event as ObsEvent, Histogram, Plane, Telemetry, TraceCtx, Tracer,
 };
@@ -70,6 +71,10 @@ struct Link {
     busy_until_ba: SimTime,
     /// Administratively down links drop all frames (failure injection).
     up: bool,
+    /// Probabilistic impairment profile; `None` (the default) keeps the
+    /// transmit path exactly as fast and as deterministic as before faults
+    /// existed.
+    fault: Option<LinkFault>,
 }
 
 /// Per-host instrument handles, resolved once when the host is added (or when
@@ -85,6 +90,9 @@ struct HostNode {
     state: HostState,
     app: Option<Box<dyn SocketApp>>,
     meters: HostMeters,
+    /// False while the simulated device is crashed: incoming frames are
+    /// dropped and app/TCP timers are deferred until restart.
+    enabled: bool,
 }
 
 struct SwitchNode {
@@ -153,6 +161,10 @@ impl Ord for Scheduled {
 /// The TCP retransmission timeout used by the emulated stacks.
 const TCP_RTO: SimDuration = SimDuration::from_millis(200);
 
+/// How long a crashed host's deferred timer events wait before re-checking
+/// whether the host came back. Bounds restart latency without busy-looping.
+const CRASH_RETRY: SimDuration = SimDuration::from_millis(10);
+
 /// The emulated network: a deterministic discrete-event simulator hosting
 /// switches, hosts, and the applications attached to them.
 ///
@@ -192,6 +204,11 @@ pub struct Network {
     frames_delivered: Counter,
     frames_dropped: Counter,
     link_latency: Histogram,
+    /// The seeded decision stream behind probabilistic link faults. Only
+    /// consulted while at least one link carries a fault profile, so
+    /// fault-free runs never draw from it and stay byte-identical to
+    /// pre-fault builds.
+    fault_rng: FaultRng,
 }
 
 impl Network {
@@ -295,6 +312,7 @@ impl Network {
                 state: HostState::new(mac, ip),
                 app: None,
                 meters: HostMeters::default(),
+                enabled: true,
             })),
         );
         self.resolve_host_meters(id);
@@ -331,6 +349,7 @@ impl Network {
             busy_until_ab: SimTime::ZERO,
             busy_until_ba: SimTime::ZERO,
             up: true,
+            fault: None,
         });
     }
 
@@ -360,6 +379,65 @@ impl Network {
             }
         }
         false
+    }
+
+    /// Seeds the fault-decision stream. Identical seeds (with identical
+    /// fault profiles) replay identical loss/corruption/duplication
+    /// patterns; the default stream uses seed 0.
+    pub fn set_fault_seed(&mut self, seed: u64) {
+        self.fault_rng = FaultRng::new(seed);
+    }
+
+    /// Installs (or, with a no-op profile, clears) an impairment profile on
+    /// the link between two nodes. Returns `false` if no direct link exists.
+    pub fn set_link_fault(&mut self, a: NodeId, b: NodeId, fault: LinkFault) -> bool {
+        for link in &mut self.links {
+            let ends = (link.a.0, link.b.0);
+            if ends == (a, b) || ends == (b, a) {
+                link.fault = if fault.is_noop() { None } else { Some(fault) };
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The impairment profile on the link between two nodes, if any.
+    pub fn link_fault(&self, a: NodeId, b: NodeId) -> Option<LinkFault> {
+        self.links.iter().find_map(|link| {
+            let ends = (link.a.0, link.b.0);
+            if ends == (a, b) || ends == (b, a) {
+                link.fault
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Crashes or restarts a simulated device. While disabled, frames
+    /// addressed to the host are dropped (`host-down`) and its application
+    /// and TCP timers are deferred; re-enabling lets the deferred timers
+    /// resume, so periodic apps pick their duty cycle back up within the
+    /// 10 ms crash-retry interval. Returns `false` if `node` is not a host.
+    pub fn set_host_enabled(&mut self, node: NodeId, enabled: bool) -> bool {
+        match &mut self.nodes[node.index()].kind {
+            NodeKind::Host(h) => {
+                h.enabled = enabled;
+                true
+            }
+            NodeKind::Switch(_) => false,
+        }
+    }
+
+    /// True when the node is a host that is currently up (not crashed).
+    pub fn host_enabled(&self, node: NodeId) -> bool {
+        match &self.nodes[node.index()].kind {
+            NodeKind::Host(h) => h.enabled,
+            NodeKind::Switch(_) => false,
+        }
+    }
+
+    fn host_is_down(&self, node: NodeId) -> bool {
+        matches!(&self.nodes[node.index()].kind, NodeKind::Host(h) if !h.enabled)
     }
 
     /// Attaches an application to a host; `on_start` fires at the current
@@ -583,11 +661,36 @@ impl Network {
             return;
         };
         let wire_bits = wire_bytes * 8;
-        let link = &mut self.links[link_id];
-        if !link.up {
+        if !self.links[link_id].up {
             self.note_drop(node, wire_bytes, "link-down");
             return;
         }
+        // Fault plane: only links carrying a profile touch the seeded
+        // decision stream, so fault-free topologies replay exactly as before.
+        let mut jitter = SimDuration::ZERO;
+        let mut duplicated = false;
+        if let Some(fault) = self.links[link_id].fault {
+            if fault.flapped_down(self.now.as_nanos()) {
+                self.note_drop(node, wire_bytes, "fault-flap");
+                return;
+            }
+            if self.fault_rng.chance(fault.loss) {
+                self.note_drop(node, wire_bytes, "fault-loss");
+                return;
+            }
+            if self.fault_rng.chance(fault.corrupt) {
+                // Bit damage in flight: the receiver's FCS check rejects the
+                // frame, so corruption manifests as a drop, never as a
+                // mangled delivery.
+                self.note_drop(node, wire_bytes, "fault-corrupt");
+                return;
+            }
+            if fault.jitter_ns > 0 {
+                jitter = SimDuration::from_nanos(self.fault_rng.below(fault.jitter_ns + 1));
+            }
+            duplicated = self.fault_rng.chance(fault.duplicate);
+        }
+        let link = &mut self.links[link_id];
         let (peer, busy) = if link.a == (node, port) {
             (link.b, &mut link.busy_until_ab)
         } else {
@@ -597,7 +700,14 @@ impl Network {
             SimDuration::from_nanos(wire_bits.saturating_mul(1_000_000_000) / link.spec.rate_bps);
         let start = (*busy).max(self.now);
         *busy = start + ser;
-        let arrival = start + ser + link.spec.latency;
+        let arrival = start + ser + link.spec.latency + jitter;
+        // A duplicated frame occupies the wire a second time, back to back.
+        let dup_arrival = if duplicated {
+            *busy = start + ser + ser;
+            Some(arrival + ser)
+        } else {
+            None
+        };
         let delay = arrival - self.now;
         self.link_latency.observe(delay.as_secs_f64());
         // Sends are counted at the originating host only; switch forwards of
@@ -631,6 +741,17 @@ impl Network {
             span.end(arrival);
             ctx.unwrap_or(parent)
         });
+        if let Some(dup_arrival) = dup_arrival {
+            self.schedule(
+                dup_arrival - self.now,
+                Event::Frame {
+                    node: peer.0,
+                    port: peer.1,
+                    frame: frame.clone(),
+                    ctx,
+                },
+            );
+        }
         self.schedule(
             delay,
             Event::Frame {
@@ -690,6 +811,24 @@ impl Network {
     }
 
     fn process(&mut self, event: Event) {
+        let for_down_host = match &event {
+            Event::Frame { node, .. }
+            | Event::AppStart { node }
+            | Event::AppTimer { node, .. }
+            | Event::TcpTimer { node, .. } => self.host_is_down(*node),
+        };
+        if for_down_host {
+            match event {
+                // A crashed NIC answers nothing; the frame is gone.
+                Event::Frame { node, frame, .. } => {
+                    self.note_drop(node, frame.wire_len() as u64, "host-down");
+                }
+                // Timers are deferred, not dropped, so a restarted device
+                // resumes its periodic duty cycle instead of going silent.
+                other => self.schedule(CRASH_RETRY, other),
+            }
+            return;
+        }
         match event {
             Event::Frame {
                 node,
@@ -1144,6 +1283,251 @@ mod tests {
         assert!(telemetry.events().iter().any(
             |r| matches!(&r.event, ObsEvent::PacketDropped { reason, .. } if reason == "link-down")
         ));
+    }
+
+    /// Sends `remaining` pings to `peer`, one per millisecond.
+    struct Burst {
+        peer: Ipv4Addr,
+        remaining: u32,
+    }
+
+    impl SocketApp for Burst {
+        fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+            ctx.bind_udp(9000);
+            ctx.set_timer(SimDuration::from_millis(1), 0);
+        }
+        fn on_timer(&mut self, ctx: &mut HostCtx<'_>, _token: u64) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.send_udp(self.peer, 9000, 9000, b"ping");
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn fault_full_loss_drops_everything() {
+        let (mut net, hosts) = star(2);
+        let telemetry = Telemetry::new();
+        net.set_telemetry(telemetry.clone());
+        let sw = net.node_by_name("sw0").unwrap();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        net.attach_app(
+            hosts[0],
+            Box::new(Pinger {
+                peer: Ipv4Addr::new(10, 0, 0, 2),
+                log: log.clone(),
+            }),
+        );
+        net.attach_app(hosts[1], Box::new(Echo { log: log.clone() }));
+        assert!(net.set_link_fault(
+            hosts[0],
+            sw,
+            LinkFault {
+                loss: 1.0,
+                ..LinkFault::default()
+            }
+        ));
+        net.run_until(SimTime::from_millis(100));
+        assert!(log.lock().is_empty());
+        assert!(telemetry.events().iter().any(
+            |r| matches!(&r.event, ObsEvent::PacketDropped { reason, .. } if reason == "fault-loss")
+        ));
+    }
+
+    #[test]
+    fn fault_corrupt_drops_with_its_own_reason() {
+        let (mut net, hosts) = star(2);
+        let telemetry = Telemetry::new();
+        net.set_telemetry(telemetry.clone());
+        let sw = net.node_by_name("sw0").unwrap();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        net.attach_app(
+            hosts[0],
+            Box::new(Pinger {
+                peer: Ipv4Addr::new(10, 0, 0, 2),
+                log: log.clone(),
+            }),
+        );
+        net.set_link_fault(
+            hosts[0],
+            sw,
+            LinkFault {
+                corrupt: 1.0,
+                ..LinkFault::default()
+            },
+        );
+        net.run_until(SimTime::from_millis(100));
+        assert!(log.lock().is_empty());
+        assert!(telemetry.events().iter().any(|r| matches!(
+            &r.event,
+            ObsEvent::PacketDropped { reason, .. } if reason == "fault-corrupt"
+        )));
+    }
+
+    #[test]
+    fn fault_duplicate_delivers_twice() {
+        let (mut net, hosts) = star(2);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let sw = net.node_by_name("sw0").unwrap();
+        net.attach_app(
+            hosts[0],
+            Box::new(Pinger {
+                peer: Ipv4Addr::new(10, 0, 0, 2),
+                log: log.clone(),
+            }),
+        );
+        net.attach_app(hosts[1], Box::new(Echo { log: log.clone() }));
+        net.set_link_fault(
+            hosts[0],
+            sw,
+            LinkFault {
+                duplicate: 1.0,
+                ..LinkFault::default()
+            },
+        );
+        net.run_until(SimTime::from_millis(100));
+        let pings = log
+            .lock()
+            .iter()
+            .filter(|e| e.contains("echo got \"ping\""))
+            .count();
+        assert!(pings >= 2, "duplicated ping must arrive twice, got {pings}");
+    }
+
+    #[test]
+    fn fault_flap_down_window_blocks_traffic() {
+        let (mut net, hosts) = star(2);
+        let telemetry = Telemetry::new();
+        net.set_telemetry(telemetry.clone());
+        let sw = net.node_by_name("sw0").unwrap();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        net.attach_app(
+            hosts[0],
+            Box::new(Pinger {
+                peer: Ipv4Addr::new(10, 0, 0, 2),
+                log: log.clone(),
+            }),
+        );
+        net.attach_app(hosts[1], Box::new(Echo { log: log.clone() }));
+        // Down for the whole period: permanently flapped away.
+        net.set_link_fault(
+            hosts[0],
+            sw,
+            LinkFault {
+                flap_period_ns: 1_000_000,
+                flap_down_ns: 1_000_000,
+                ..LinkFault::default()
+            },
+        );
+        net.run_until(SimTime::from_millis(100));
+        assert!(log.lock().is_empty());
+        assert!(telemetry.events().iter().any(
+            |r| matches!(&r.event, ObsEvent::PacketDropped { reason, .. } if reason == "fault-flap")
+        ));
+    }
+
+    #[test]
+    fn fault_noop_profile_clears_the_fault() {
+        let (mut net, hosts) = star(2);
+        let sw = net.node_by_name("sw0").unwrap();
+        net.set_link_fault(
+            hosts[0],
+            sw,
+            LinkFault {
+                loss: 1.0,
+                ..LinkFault::default()
+            },
+        );
+        assert!(net.link_fault(hosts[0], sw).is_some());
+        net.set_link_fault(hosts[0], sw, LinkFault::default());
+        assert!(net.link_fault(hosts[0], sw).is_none());
+    }
+
+    /// Runs a lossy 50-ping burst and returns the telemetry journal.
+    fn lossy_burst_journal(seed: u64) -> String {
+        let (mut net, hosts) = star(2);
+        let telemetry = Telemetry::new();
+        net.set_telemetry(telemetry.clone());
+        net.set_fault_seed(seed);
+        let sw = net.node_by_name("sw0").unwrap();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        net.attach_app(
+            hosts[0],
+            Box::new(Burst {
+                peer: Ipv4Addr::new(10, 0, 0, 2),
+                remaining: 50,
+            }),
+        );
+        net.attach_app(hosts[1], Box::new(Echo { log }));
+        net.set_link_fault(
+            hosts[0],
+            sw,
+            LinkFault {
+                loss: 0.5,
+                jitter_ns: 200_000,
+                ..LinkFault::default()
+            },
+        );
+        net.run_until(SimTime::from_millis(200));
+        telemetry.journal_jsonl()
+    }
+
+    #[test]
+    fn fault_same_seed_replays_byte_identical_journal() {
+        assert_eq!(lossy_burst_journal(42), lossy_burst_journal(42));
+    }
+
+    #[test]
+    fn fault_different_seed_changes_the_loss_pattern() {
+        assert_ne!(lossy_burst_journal(42), lossy_burst_journal(43));
+    }
+
+    #[test]
+    fn crashed_host_drops_frames_and_restart_resumes_timers() {
+        struct Ticker {
+            log: Arc<Mutex<Vec<SimTime>>>,
+        }
+        impl SocketApp for Ticker {
+            fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+                ctx.set_timer(SimDuration::from_millis(10), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut HostCtx<'_>, _token: u64) {
+                self.log.lock().push(ctx.now());
+                ctx.set_timer(SimDuration::from_millis(10), 0);
+            }
+        }
+        let (mut net, hosts) = star(2);
+        let telemetry = Telemetry::new();
+        net.set_telemetry(telemetry.clone());
+        let ticks = Arc::new(Mutex::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        net.attach_app(hosts[0], Box::new(Ticker { log: ticks.clone() }));
+        assert!(net.host_enabled(hosts[0]));
+        net.run_until(SimTime::from_millis(35));
+        let before = ticks.lock().len();
+        assert!(before >= 3);
+        assert!(net.set_host_enabled(hosts[0], false));
+        // Ping the crashed host: the ARP broadcast reaches its dead NIC and
+        // is dropped there.
+        net.attach_app(
+            hosts[1],
+            Box::new(Pinger {
+                peer: Ipv4Addr::new(10, 0, 0, 1),
+                log: log.clone(),
+            }),
+        );
+        net.run_until(SimTime::from_millis(100));
+        let during = ticks.lock().len();
+        assert_eq!(before, during, "crashed host must not tick");
+        net.set_host_enabled(hosts[0], true);
+        net.run_until(SimTime::from_millis(200));
+        assert!(ticks.lock().len() > during, "restart must resume timers");
+        // The ping addressed to the crashed host was dropped at delivery.
+        assert!(telemetry.events().iter().any(
+            |r| matches!(&r.event, ObsEvent::PacketDropped { reason, .. } if reason == "host-down")
+        ));
+        assert!(!net.set_host_enabled(net.node_by_name("sw0").unwrap(), false));
     }
 
     #[test]

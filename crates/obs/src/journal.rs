@@ -127,6 +127,52 @@ pub enum Event {
         /// Whether the objective passed.
         passed: bool,
     },
+    /// A fault was injected (or cleared) on a range element.
+    FaultInjected {
+        /// The link, host, or IED the fault applies to.
+        target: String,
+        /// Human description of the fault profile (`loss=30% jitter<=5ms`,
+        /// `stuck`, `clear`, …).
+        detail: String,
+    },
+    /// A simulated device (IED/PLC host) crashed and went silent.
+    DeviceCrashed {
+        /// The crashed host.
+        host: String,
+    },
+    /// A crashed device came back after its restart delay.
+    DeviceRestarted {
+        /// The restarted host.
+        host: String,
+    },
+    /// The power flow failed to converge; the range is serving the
+    /// last-good solution and has flipped measurement quality to invalid.
+    MeasurementsHeld {
+        /// The solver error that triggered the hold.
+        detail: String,
+    },
+    /// The power flow converged again after one or more held steps;
+    /// measurement quality is good again.
+    MeasurementsRecovered {
+        /// How many consecutive steps served the held solution.
+        held_steps: u64,
+    },
+    /// A SCADA tag stopped updating within the stale window; its quality
+    /// degraded to `old`.
+    TagStale {
+        /// The stale tag.
+        tag: String,
+        /// Milliseconds since the last update when staleness was declared.
+        age_ms: u64,
+    },
+    /// A GOOSE subscription's time-allowed-to-live expired; the subscriber
+    /// stopped trusting the last frame.
+    GooseExpired {
+        /// The subscribing IED.
+        ied: String,
+        /// The silent publisher.
+        publisher: String,
+    },
     /// An event from outside the built-in instrumentation.
     Custom {
         /// Event name.
@@ -157,6 +203,13 @@ impl Event {
             Event::StageStarted { .. } => "StageStarted",
             Event::StageEnded { .. } => "StageEnded",
             Event::ObjectiveResolved { .. } => "ObjectiveResolved",
+            Event::FaultInjected { .. } => "FaultInjected",
+            Event::DeviceCrashed { .. } => "DeviceCrashed",
+            Event::DeviceRestarted { .. } => "DeviceRestarted",
+            Event::MeasurementsHeld { .. } => "MeasurementsHeld",
+            Event::MeasurementsRecovered { .. } => "MeasurementsRecovered",
+            Event::TagStale { .. } => "TagStale",
+            Event::GooseExpired { .. } => "GooseExpired",
             Event::Custom { .. } => "Custom",
         }
     }
@@ -255,6 +308,34 @@ impl EventRecord {
                     out,
                     ",\"objective\":{},\"passed\":{passed}",
                     json_str(objective)
+                );
+            }
+            Event::FaultInjected { target, detail } => {
+                let _ = write!(
+                    out,
+                    ",\"target\":{},\"detail\":{}",
+                    json_str(target),
+                    json_str(detail)
+                );
+            }
+            Event::DeviceCrashed { host } | Event::DeviceRestarted { host } => {
+                let _ = write!(out, ",\"host\":{}", json_str(host));
+            }
+            Event::MeasurementsHeld { detail } => {
+                let _ = write!(out, ",\"detail\":{}", json_str(detail));
+            }
+            Event::MeasurementsRecovered { held_steps } => {
+                let _ = write!(out, ",\"held_steps\":{held_steps}");
+            }
+            Event::TagStale { tag, age_ms } => {
+                let _ = write!(out, ",\"tag\":{},\"age_ms\":{age_ms}", json_str(tag));
+            }
+            Event::GooseExpired { ied, publisher } => {
+                let _ = write!(
+                    out,
+                    ",\"ied\":{},\"publisher\":{}",
+                    json_str(ied),
+                    json_str(publisher)
                 );
             }
             Event::Custom { name, detail } => {

@@ -423,6 +423,13 @@ fn solve_state(
                 f[angle_nodes.len() + r] = q_spec[i] - q_calc[i];
             }
             max_mismatch = f.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            // A non-finite mismatch (NaN injections, runaway divergence) must
+            // never count as converged: `f64::max` ignores NaN operands, so an
+            // all-NaN mismatch vector would otherwise fold to 0.0.
+            if !f.iter().all(|v| v.is_finite()) {
+                max_mismatch = f64::INFINITY;
+                break;
+            }
             if max_mismatch < options.tolerance {
                 converged = true;
                 break;
@@ -714,6 +721,20 @@ mod tests {
         let res = solve(&net).unwrap();
         assert!((res.bus[1].vm_pu - 1.0).abs() < 1e-9);
         assert!(res.total_losses_mw.abs() < 1e-9);
+    }
+
+    #[test]
+    fn nan_load_is_nonconvergence_not_success() {
+        let mut net = two_bus();
+        net.load[0].p_mw = f64::NAN;
+        // NaN poisons the mismatch vector; `f64::max` would silently fold it
+        // to 0.0 and report a NaN voltage profile as converged.
+        match solve(&net) {
+            Err(PowerFlowError::DidNotConverge { max_mismatch, .. }) => {
+                assert!(!max_mismatch.is_finite());
+            }
+            other => panic!("expected DidNotConverge, got {other:?}"),
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::config::{AlarmKind, ModbusPointKind, PointAddress, ScadaConfig, SourceProtocol};
 use parking_lot::Mutex;
+use sgcr_faults::DegradationSignal;
 use sgcr_iec61850::{DataValue, MmsClient, MmsPdu, MmsRequest, MmsResponse};
 use sgcr_modbus::{ModbusClient, Request as ModbusRequest, Response as ModbusResponse};
 use sgcr_net::{ConnId, HostCtx, Ipv4Addr, SimDuration, SocketApp};
@@ -17,6 +18,11 @@ pub enum Quality {
     Good,
     /// No data received yet.
     Uninitialized,
+    /// No update within the configured stale window (IEC 61850 `q.old`).
+    Old,
+    /// The source marked its data untrustworthy (power plane is holding a
+    /// stale solution after solver non-convergence).
+    Invalid,
 }
 
 /// One tag's current value.
@@ -58,6 +64,15 @@ struct HmiShared {
     active_alarms: HashMap<String, String>,
     commands: VecDeque<OperatorCommand>,
     polls_completed: u64,
+    /// Stale-tag detection window (ms); `None` disables the sweep.
+    stale_window_ms: Option<u64>,
+}
+
+/// Key under which a tag's staleness alarm lives in `active_alarms`,
+/// namespaced so it cannot collide with a configured alarm rule on the
+/// same point.
+fn stale_key(tag: &str) -> String {
+    format!("stale:{tag}")
 }
 
 /// The operator's handle to a running HMI: read tags, watch alarms, issue
@@ -65,6 +80,7 @@ struct HmiShared {
 #[derive(Clone, Default)]
 pub struct ScadaHandle {
     shared: Arc<Mutex<HmiShared>>,
+    degradation: DegradationSignal,
 }
 
 impl ScadaHandle {
@@ -124,6 +140,26 @@ impl ScadaHandle {
             tag: tag.to_string(),
             value: f64::from(u8::from(close)),
         });
+    }
+
+    /// Configures (or disables, with `None`) the stale-tag window: a tag
+    /// with good quality that receives no update for longer than `window`
+    /// milliseconds flips to [`Quality::Old`] and raises a staleness alarm.
+    pub fn set_stale_window_ms(&self, window: Option<u64>) {
+        self.shared.lock().stale_window_ms = window;
+    }
+
+    /// The currently configured stale-tag window, if any.
+    pub fn stale_window_ms(&self) -> Option<u64> {
+        self.shared.lock().stale_window_ms
+    }
+
+    /// The degradation signal this HMI consults: while raised, freshly
+    /// polled tag values are stored with [`Quality::Invalid`] instead of
+    /// [`Quality::Good`]. The range raises it when the power solver stops
+    /// converging. Cloning shares the underlying flag.
+    pub fn degradation(&self) -> DegradationSignal {
+        self.degradation.clone()
     }
 }
 
@@ -309,6 +345,12 @@ impl ScadaApp {
         let update_ctx = span.ctx();
         let scaled = raw * point.scale;
         let deadband = point.deadband;
+        let quality = if self.shared.degradation.is_degraded() {
+            Quality::Invalid
+        } else {
+            Quality::Good
+        };
+        let was_stale;
         {
             let mut shared = self.shared.shared.lock();
             let entry = shared.tags.entry(tag.to_string()).or_insert(TagValue {
@@ -318,10 +360,28 @@ impl ScadaApp {
             });
             let significant =
                 entry.quality == Quality::Uninitialized || (scaled - entry.value).abs() > deadband;
+            was_stale = entry.quality == Quality::Old;
             entry.updated_ms = now_ms;
-            entry.quality = Quality::Good;
+            entry.quality = quality;
             if significant {
                 entry.value = scaled;
+            }
+        }
+        if was_stale {
+            let removed = self
+                .shared
+                .shared
+                .lock()
+                .active_alarms
+                .remove(&stale_key(tag));
+            if let Some(message) = removed {
+                self.log(now_ms, format!("CLEARED {tag}: {message}"));
+                self.telemetry.record(TimeNs::from_millis(now_ms), || {
+                    ObsEvent::ScadaAlarmCleared {
+                        point: tag.to_string(),
+                        message: message.clone(),
+                    }
+                });
             }
         }
         self.evaluate_alarms(now_ms, tag, tracer, update_ctx);
@@ -396,6 +456,47 @@ impl ScadaApp {
                 }
                 span.end(now);
             }
+        }
+    }
+
+    /// Flips tags that have not refreshed within the stale window to
+    /// [`Quality::Old`] and raises a staleness alarm per tag. Runs on the
+    /// same 50 ms housekeeping timer as command processing; a `None` window
+    /// makes this a no-op.
+    fn sweep_stale(&mut self, now_ms: u64) {
+        let Some(window) = self.shared.shared.lock().stale_window_ms else {
+            return;
+        };
+        let mut newly_stale: Vec<(String, u64)> = Vec::new();
+        {
+            let mut shared = self.shared.shared.lock();
+            for (name, tag) in &mut shared.tags {
+                if tag.quality == Quality::Good && now_ms.saturating_sub(tag.updated_ms) > window {
+                    tag.quality = Quality::Old;
+                    newly_stale.push((name.clone(), now_ms - tag.updated_ms));
+                }
+            }
+        }
+        newly_stale.sort();
+        for (tag, age_ms) in newly_stale {
+            let message = format!("stale: no update for {age_ms} ms (window {window} ms)");
+            self.shared
+                .shared
+                .lock()
+                .active_alarms
+                .insert(stale_key(&tag), message.clone());
+            self.log(now_ms, format!("ALARM {tag}: {message}"));
+            self.alarms_counter.inc();
+            self.telemetry
+                .record(TimeNs::from_millis(now_ms), || ObsEvent::TagStale {
+                    tag: tag.clone(),
+                    age_ms,
+                });
+            self.telemetry
+                .record(TimeNs::from_millis(now_ms), || ObsEvent::ScadaAlarm {
+                    point: tag.clone(),
+                    message: message.clone(),
+                });
         }
     }
 
@@ -499,6 +600,7 @@ impl SocketApp for ScadaApp {
 
     fn on_timer(&mut self, ctx: &mut HostCtx<'_>, token: u64) {
         if token == TOKEN_COMMANDS {
+            self.sweep_stale(ctx.now().as_millis());
             self.process_commands(ctx);
         } else if (token as usize) < self.links.len() {
             self.poll_source(ctx, token as usize);

@@ -122,6 +122,13 @@ pub fn run_exercise(
 ) -> Result<ExerciseReport, ExerciseError> {
     validate(range, scenario)?;
 
+    if let Some(seed) = scenario.fault_seed {
+        range.set_fault_seed(seed);
+    }
+    if let Some(stale) = scenario.stale_ms {
+        range.set_scada_stale_window(Some(stale));
+    }
+
     for host in &scenario.hosts {
         let ip: Ipv4Addr = host.ip.parse().map_err(|_| {
             err(format!(
@@ -308,6 +315,32 @@ fn validate(range: &CyberRange, scenario: &Scenario) -> Result<(), ExerciseError
                     if range.net.node_by_name(end).is_none() {
                         return Err(err(format!("stage {id:?} names unknown node {end:?}")));
                     }
+                }
+            }
+            StageAction::LinkFault { a, b, fault } => {
+                for end in [a, b] {
+                    if range.net.node_by_name(end).is_none() {
+                        return Err(err(format!("stage {id:?} names unknown node {end:?}")));
+                    }
+                }
+                for (what, p) in [
+                    ("loss", fault.loss),
+                    ("corrupt", fault.corrupt),
+                    ("duplicate", fault.duplicate),
+                ] {
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(err(format!("stage {id:?} has {what}={p} outside [0, 1]")));
+                    }
+                }
+            }
+            StageAction::Crash { host, .. } => {
+                if range.node(host).is_none() && !declared_hosts.contains(host.as_str()) {
+                    return Err(err(format!("stage {id:?} crashes unknown host {host:?}")));
+                }
+            }
+            StageAction::Sensor { ied, .. } => {
+                if !range.ieds.contains_key(ied) {
+                    return Err(err(format!("stage {id:?} names unknown IED {ied:?}")));
                 }
             }
         }
@@ -579,6 +612,71 @@ impl Engine {
                     }
                 } else {
                     format!("no direct link {a} — {b}")
+                };
+                Probe::Instant
+            }
+            StageAction::LinkFault { a, b, fault } => {
+                let applied = range.set_link_fault(a, b, *fault);
+                detail = if applied {
+                    let target = format!("link {a} — {b}");
+                    let summary = fault.summary();
+                    range
+                        .telemetry()
+                        .record(range.now(), || Event::FaultInjected {
+                            target: target.clone(),
+                            detail: summary.clone(),
+                        });
+                    format!("{target} impaired: {summary}")
+                } else {
+                    format!("no direct link {a} — {b}")
+                };
+                Probe::Instant
+            }
+            StageAction::Crash {
+                host,
+                restart_after_ms,
+            } => {
+                // crash_host journals DeviceCrashed (and the watchdog later
+                // journals DeviceRestarted) by itself.
+                let applied = range.crash_host(host, *restart_after_ms);
+                detail = if applied {
+                    let summary = match restart_after_ms {
+                        Some(ms) => format!("crashed, restart in {ms} ms"),
+                        None => "crashed, stays down".to_string(),
+                    };
+                    range
+                        .telemetry()
+                        .record(range.now(), || Event::FaultInjected {
+                            target: host.clone(),
+                            detail: summary.clone(),
+                        });
+                    format!("host {host} {summary}")
+                } else {
+                    format!("host {host} cannot crash (unknown or a switch)")
+                };
+                Probe::Instant
+            }
+            StageAction::Sensor { ied, key, fault } => {
+                let (applied, summary) = match fault {
+                    Some(fault) => (
+                        range.set_sensor_fault(ied, key, *fault),
+                        format!("sensor {key} {}", fault.summary()),
+                    ),
+                    None => (
+                        range.clear_sensor_fault(ied, key),
+                        format!("sensor {key} cleared"),
+                    ),
+                };
+                detail = if applied {
+                    range
+                        .telemetry()
+                        .record(range.now(), || Event::FaultInjected {
+                            target: ied.clone(),
+                            detail: summary.clone(),
+                        });
+                    format!("{ied}: {summary}")
+                } else {
+                    format!("{ied}: {summary} not applied")
                 };
                 Probe::Instant
             }
@@ -975,6 +1073,54 @@ mod tests {
             r#"<Scenario name="t" durationMs="100"><Objective id="o" kind="breakerOpen" target="EPIC/CB_GEN" withinMs="0"/></Scenario>"#,
             // objective anchored to undefined stage
             r#"<Scenario name="t" durationMs="100"><Objective id="o" kind="breakerOpen" target="EPIC/CB_GEN" after="ghost" withinMs="10"/></Scenario>"#,
+        ];
+        for xml in cases {
+            let s = scenario(xml);
+            assert!(validate(&range, &s).is_err(), "accepted: {xml}");
+        }
+    }
+
+    #[test]
+    fn fault_stages_apply_and_stale_alarm_fires() {
+        let mut range = CyberRange::generate(&epic_bundle()).unwrap();
+        // Crash the MMS source of MicroVolt_pu after its first poll lands;
+        // with a 1.5 s stale window the tag flips to quality `old` and the
+        // staleness alarm raises long before the host restarts.
+        let s = scenario(
+            r#"<Scenario name="faults" durationMs="6000" faultSeed="7" staleMs="1500">
+  <Stage id="impair" t="200" kind="linkFault" a="SCADA" b="ControlBus" loss="0.05" jitterMs="2"/>
+  <Stage id="crash" t="1500" kind="crash" host="MIED1" restartAfterMs="2000"/>
+  <Stage id="stick" t="300" kind="sensor" ied="GIED1" key="meas/EPIC/branch/LGen/i_ka" mode="stuck"/>
+  <Stage id="unstick" after="stick" delayMs="2000" kind="sensor" ied="GIED1" key="meas/EPIC/branch/LGen/i_ka" mode="clear"/>
+  <Objective id="stale" kind="scadaAlarm" point="stale:MicroVolt_pu" withinMs="5500"/>
+</Scenario>"#,
+        );
+        let report = run_exercise(&mut range, &s).unwrap();
+        let by_id = |id: &str| report.stages.iter().find(|st| st.id == id).unwrap();
+        assert!(by_id("impair").detail.contains("loss=5%"));
+        assert!(by_id("crash").detail.contains("restart in 2000 ms"));
+        assert!(by_id("stick").detail.contains("stuck"));
+        assert!(by_id("unstick").detail.contains("cleared"));
+        let stale = report.objectives.iter().find(|o| o.id == "stale").unwrap();
+        assert!(
+            stale.passed,
+            "stale-tag alarm never fired: {}",
+            stale.detail
+        );
+    }
+
+    #[test]
+    fn validation_rejects_misfit_fault_stages() {
+        let range = CyberRange::generate(&epic_bundle()).unwrap();
+        let cases = [
+            // loss probability out of range
+            r#"<Scenario name="t" durationMs="100"><Stage id="a" kind="linkFault" a="SCADA" b="ControlBus" loss="1.5"/></Scenario>"#,
+            // unknown link endpoint
+            r#"<Scenario name="t" durationMs="100"><Stage id="a" kind="linkFault" a="SCADA" b="GhostBus" loss="0.5"/></Scenario>"#,
+            // crash of an unknown host
+            r#"<Scenario name="t" durationMs="100"><Stage id="a" kind="crash" host="GhostIED"/></Scenario>"#,
+            // sensor fault on an unknown IED
+            r#"<Scenario name="t" durationMs="100"><Stage id="a" kind="sensor" ied="GhostIED" key="k" mode="stuck"/></Scenario>"#,
         ];
         for xml in cases {
             let s = scenario(xml);

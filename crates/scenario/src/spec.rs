@@ -19,6 +19,7 @@
 //! </Scenario>
 //! ```
 
+use sgcr_faults::{LinkFault, SensorFault};
 use sgcr_powerflow::ScenarioAction;
 use sgcr_xml::{Document, ElementRef};
 use std::fmt;
@@ -72,6 +73,12 @@ pub struct Scenario {
     pub description: String,
     /// Exercise length in simulation milliseconds.
     pub duration_ms: u64,
+    /// Seed for the deterministic fault generator (`faultSeed=`). Applied
+    /// at exercise start; overridable from the CLI with `--fault-seed`.
+    pub fault_seed: Option<u64>,
+    /// SCADA stale-tag window in ms (`staleMs=`): a good-quality tag with
+    /// no update for longer than this raises a staleness alarm.
+    pub stale_ms: Option<u64>,
     /// Attacker hosts to add to the range before the exercise starts.
     pub hosts: Vec<AttackerHost>,
     /// Stages in declaration order.
@@ -174,6 +181,35 @@ pub enum StageAction {
         /// What happens to the link.
         effect: LinkEffect,
     },
+    /// A probabilistic impairment profile on the link between two named
+    /// nodes (loss, corruption, duplication, jitter, flapping). A no-op
+    /// profile clears a previously installed one.
+    LinkFault {
+        /// One endpoint (host or switch name).
+        a: String,
+        /// The other endpoint (host or switch name).
+        b: String,
+        /// The impairment profile.
+        fault: LinkFault,
+    },
+    /// Crash a device host; with `restartAfterMs=` the range's watchdog
+    /// brings it back automatically.
+    Crash {
+        /// The host to crash.
+        host: String,
+        /// Delay until automatic restart, ms (`None` = stays down).
+        restart_after_ms: Option<u64>,
+    },
+    /// Engage (or, with `mode="clear"`, clear) a sensor fault on one
+    /// sampled value inside a named IED.
+    Sensor {
+        /// The IED owning the transducer.
+        ied: String,
+        /// Process-store key of the faulted value.
+        key: String,
+        /// The fault to engage; `None` clears.
+        fault: Option<SensorFault>,
+    },
 }
 
 impl StageAction {
@@ -185,6 +221,9 @@ impl StageAction {
             StageAction::Mitm { .. } => "mitm",
             StageAction::Scan { .. } => "scan",
             StageAction::Link { .. } => "link",
+            StageAction::LinkFault { .. } => "linkFault",
+            StageAction::Crash { .. } => "crash",
+            StageAction::Sensor { .. } => "sensor",
         }
     }
 }
@@ -371,6 +410,8 @@ impl Scenario {
             duration_ms: root
                 .attr_parse("durationMs")
                 .ok_or_else(|| err("Scenario missing durationMs"))?,
+            fault_seed: root.attr_parse("faultSeed"),
+            stale_ms: root.attr_parse("staleMs"),
             hosts: Vec::new(),
             stages: Vec::new(),
             objectives: Vec::new(),
@@ -401,6 +442,12 @@ impl Scenario {
             doc.set_attr(root, "description", &self.description);
         }
         doc.set_attr(root, "durationMs", &self.duration_ms.to_string());
+        if let Some(seed) = self.fault_seed {
+            doc.set_attr(root, "faultSeed", &seed.to_string());
+        }
+        if let Some(stale) = self.stale_ms {
+            doc.set_attr(root, "staleMs", &stale.to_string());
+        }
         for host in &self.hosts {
             let e = doc.add_element(root, "Host");
             doc.set_attr(e, "name", &host.name);
@@ -512,6 +559,43 @@ fn parse_stage(el: &ElementRef<'_>) -> Result<Stage, ScenarioError> {
                 a: attr_req(el, "Stage", "a")?,
                 b: attr_req(el, "Stage", "b")?,
                 effect,
+            }
+        }
+        "linkFault" => StageAction::LinkFault {
+            a: attr_req(el, "Stage", "a")?,
+            b: attr_req(el, "Stage", "b")?,
+            fault: LinkFault {
+                loss: el.attr_parse("loss").unwrap_or(0.0),
+                corrupt: el.attr_parse("corrupt").unwrap_or(0.0),
+                duplicate: el.attr_parse("duplicate").unwrap_or(0.0),
+                jitter_ns: el.attr_parse::<u64>("jitterMs").unwrap_or(0) * 1_000_000,
+                flap_period_ns: el.attr_parse::<u64>("flapPeriodMs").unwrap_or(0) * 1_000_000,
+                flap_down_ns: el.attr_parse::<u64>("flapDownMs").unwrap_or(0) * 1_000_000,
+            },
+        },
+        "crash" => StageAction::Crash {
+            host: attr_req(el, "Stage", "host")?,
+            restart_after_ms: el.attr_parse("restartAfterMs"),
+        },
+        "sensor" => {
+            let fault = match el.attr_or("mode", "") {
+                "stuck" => Some(SensorFault::Stuck),
+                "drift" => Some(SensorFault::Drift {
+                    per_sec: el
+                        .attr_parse("perSec")
+                        .ok_or_else(|| err(format!("Stage {id:?} drift missing perSec")))?,
+                }),
+                "clear" => None,
+                other => {
+                    return Err(err(format!(
+                        "Stage {id:?} has unknown sensor mode {other:?}"
+                    )))
+                }
+            };
+            StageAction::Sensor {
+                ied: attr_req(el, "Stage", "ied")?,
+                key: attr_req(el, "Stage", "key")?,
+                fault,
             }
         }
         other => return Err(err(format!("Stage {id:?} has unknown kind {other:?}"))),
@@ -699,6 +783,57 @@ fn write_stage(doc: &mut Document, root: sgcr_xml::NodeId, stage: &Stage) {
                 }
             }
         }
+        StageAction::LinkFault { a, b, fault } => {
+            doc.set_attr(e, "a", a);
+            doc.set_attr(e, "b", b);
+            if fault.loss > 0.0 {
+                doc.set_attr(e, "loss", &fault.loss.to_string());
+            }
+            if fault.corrupt > 0.0 {
+                doc.set_attr(e, "corrupt", &fault.corrupt.to_string());
+            }
+            if fault.duplicate > 0.0 {
+                doc.set_attr(e, "duplicate", &fault.duplicate.to_string());
+            }
+            if fault.jitter_ns > 0 {
+                doc.set_attr(e, "jitterMs", &(fault.jitter_ns / 1_000_000).to_string());
+            }
+            if fault.flap_period_ns > 0 {
+                doc.set_attr(
+                    e,
+                    "flapPeriodMs",
+                    &(fault.flap_period_ns / 1_000_000).to_string(),
+                );
+            }
+            if fault.flap_down_ns > 0 {
+                doc.set_attr(
+                    e,
+                    "flapDownMs",
+                    &(fault.flap_down_ns / 1_000_000).to_string(),
+                );
+            }
+        }
+        StageAction::Crash {
+            host,
+            restart_after_ms,
+        } => {
+            doc.set_attr(e, "host", host);
+            if let Some(ms) = restart_after_ms {
+                doc.set_attr(e, "restartAfterMs", &ms.to_string());
+            }
+        }
+        StageAction::Sensor { ied, key, fault } => {
+            doc.set_attr(e, "ied", ied);
+            doc.set_attr(e, "key", key);
+            match fault {
+                Some(SensorFault::Stuck) => doc.set_attr(e, "mode", "stuck"),
+                Some(SensorFault::Drift { per_sec }) => {
+                    doc.set_attr(e, "mode", "drift");
+                    doc.set_attr(e, "perSec", &per_sec.to_string());
+                }
+                None => doc.set_attr(e, "mode", "clear"),
+            }
+        }
     }
 }
 
@@ -763,13 +898,16 @@ fn write_objective(doc: &mut Document, root: sgcr_xml::NodeId, objective: &Objec
 mod tests {
     use super::*;
 
-    const SAMPLE: &str = r#"<Scenario name="demo" description="two-plane demo" durationMs="8000">
+    const SAMPLE: &str = r#"<Scenario name="demo" description="two-plane demo" durationMs="8000" faultSeed="42" staleMs="1500">
   <Host name="malware-host" ip="10.0.1.66" switch="GenBus"/>
   <Stage id="recon" t="500" kind="scan" host="malware-host" first="10.0.1.11" last="10.0.1.14" ports="102,502"/>
   <Stage id="strike" after="recon" delayMs="500" kind="fci" host="malware-host" victim="GIED1" item="GIED1LD0/CSWI1$CO$Pos$Oper$ctlVal" value="false" interrogate="true"/>
   <Stage id="shed" t="3000" kind="power" action="setLoad" target="EPIC/MicroLoad" value="0.2"/>
   <Stage id="lag" t="6000" kind="link" a="SCADA" b="ControlBus" action="delay" latencyMs="20"/>
   <Stage id="spoof" t="4000" kind="mitm" host="malware-host" victimA="SCADA" victimB="TIED1" durationMs="4000" transform="scaleMmsFloats" factor="10"/>
+  <Stage id="lossy" t="1000" kind="linkFault" a="SCADA" b="ControlBus" loss="0.3" jitterMs="5" flapPeriodMs="1000" flapDownMs="200"/>
+  <Stage id="crash-ied" t="2000" kind="crash" host="GIED1" restartAfterMs="1500"/>
+  <Stage id="stuck-ct" t="2500" kind="sensor" ied="GIED1" key="meas/EPIC/branch/GenLine/i_ka" mode="stuck"/>
   <Objective id="gen-open" kind="breakerOpen" target="EPIC/CB_GEN" after="strike" withinMs="1000" points="2"/>
   <Objective id="alarm" kind="scadaAlarm" point="GenProt_trip" withinMs="6000"/>
   <Objective id="band" kind="voltageBand" bus="EPIC/LV/GenBay/CN_GEN" min="0.85" max="1.1" fromMs="0" toMs="2000"/>
@@ -781,8 +919,10 @@ mod tests {
         let s = Scenario::parse(SAMPLE).unwrap();
         assert_eq!(s.name, "demo");
         assert_eq!(s.duration_ms, 8000);
+        assert_eq!(s.fault_seed, Some(42));
+        assert_eq!(s.stale_ms, Some(1500));
         assert_eq!(s.hosts.len(), 1);
-        assert_eq!(s.stages.len(), 5);
+        assert_eq!(s.stages.len(), 8);
         assert_eq!(s.objectives.len(), 4);
         assert_eq!(
             s.stages[1].start,
@@ -797,6 +937,35 @@ mod tests {
         ));
         assert_eq!(s.objectives[0].points, 2);
         assert_eq!(s.objectives[1].after, None);
+        assert_eq!(
+            s.stages[5].action,
+            StageAction::LinkFault {
+                a: "SCADA".into(),
+                b: "ControlBus".into(),
+                fault: LinkFault {
+                    loss: 0.3,
+                    jitter_ns: 5_000_000,
+                    flap_period_ns: 1_000_000_000,
+                    flap_down_ns: 200_000_000,
+                    ..LinkFault::default()
+                },
+            }
+        );
+        assert_eq!(
+            s.stages[6].action,
+            StageAction::Crash {
+                host: "GIED1".into(),
+                restart_after_ms: Some(1500),
+            }
+        );
+        assert_eq!(
+            s.stages[7].action,
+            StageAction::Sensor {
+                ied: "GIED1".into(),
+                key: "meas/EPIC/branch/GenLine/i_ka".into(),
+                fault: Some(SensorFault::Stuck),
+            }
+        );
         // Positions recorded for lint spans.
         assert!(s.stages[0].pos.line > 0);
         assert!(s.objectives[0].pos.line > 0);
@@ -833,6 +1002,14 @@ mod tests {
         .is_err());
         assert!(Scenario::parse(r#"<Scenario durationMs="1"><Stage id="x" t="1" after="y" kind="power" action="openSwitch" target="S/CB"/></Scenario>"#).is_err());
         assert!(Scenario::parse(r#"<Scenario durationMs="1"><Objective id="o" kind="breakerOpen" target="S/CB"/></Scenario>"#).is_err());
+        assert!(Scenario::parse(
+            r#"<Scenario durationMs="1"><Stage id="x" kind="sensor" ied="A" key="k" mode="melt"/></Scenario>"#
+        )
+        .is_err());
+        assert!(Scenario::parse(
+            r#"<Scenario durationMs="1"><Stage id="x" kind="sensor" ied="A" key="k" mode="drift"/></Scenario>"#
+        )
+        .is_err());
         assert!(Scenario::parse(
             r#"<Scenario><Stage id="x" kind="power" action="openSwitch" target="S/CB"/></Scenario>"#
         )

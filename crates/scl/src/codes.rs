@@ -146,6 +146,15 @@ codes! {
     SCENARIO_BAD_DEADLINE = ("SG5003", "scenario objective has a zero or negative deadline");
     /// Two stages or objectives share one id.
     SCENARIO_DUPLICATE_ID = ("SG5004", "two scenario stages or objectives share one id");
+    /// A fault stage (`linkFault`, `crash`) names a host or link endpoint
+    /// the bundle does not define.
+    SCENARIO_UNKNOWN_FAULT_TARGET =
+        ("SG5005", "fault stage references a host or link endpoint the bundle does not define");
+    /// A `sensor` fault stage names an IED the bundle does not define.
+    SCENARIO_UNKNOWN_FAULT_IED = ("SG5006", "sensor fault stage references an undefined IED");
+    /// A `linkFault` probability (loss/corrupt/duplicate) is outside [0, 1].
+    SCENARIO_BAD_FAULT_PROBABILITY =
+        ("SG5007", "link fault probability is outside the [0, 1] range");
 }
 
 /// Looks a code up in the registry.

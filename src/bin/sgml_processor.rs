@@ -6,10 +6,10 @@
 //! sgml_processor build <bundle-dir> [--dot]
 //! sgml_processor run   <bundle-dir> [--seconds <n>] [--dot]
 //!                      [--metrics <file>] [--journal <file>]
-//!                      [--trace <file>] [--spans <file>]
+//!                      [--trace <file>] [--spans <file>] [--fault-seed <n>]
 //! sgml_processor lint  <bundle-dir> [--format text|json]
 //! sgml_processor exercise <bundle-dir> [--scenario <file>] [--report <file>]
-//!                      [--journal <file>] [--trace <file>]
+//!                      [--journal <file>] [--trace <file>] [--fault-seed <n>]
 //! ```
 //!
 //! `build` compiles the bundle and prints the generated inventory without
@@ -36,6 +36,11 @@
 //! one scenario file. A failed objective is a scored *result*, not an
 //! error — the exit code is nonzero only when the exercise cannot run.
 //!
+//! `--fault-seed` (on `run` and `exercise`) seeds the deterministic
+//! fault-injection PRNG (`sgcr-faults`): identical seeds replay identical
+//! loss/jitter/corruption patterns. On `exercise` the flag overrides any
+//! `faultSeed=` attribute in the scenario XML.
+//!
 //! The pre-subcommand invocation forms (`sgml_processor <bundle-dir>
 //! [--run <seconds>] [--validate-only] …`) keep working as deprecated
 //! aliases and print a one-line migration hint on stderr.
@@ -51,10 +56,11 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: sgml_processor build <bundle-dir> [--dot]\n       \
                      sgml_processor run <bundle-dir> [--seconds <n>] [--dot] \
                      [--metrics <file>] [--journal <file>] \
-                     [--trace <file>] [--spans <file>]\n       \
+                     [--trace <file>] [--spans <file>] [--fault-seed <n>]\n       \
                      sgml_processor lint <bundle-dir> [--format text|json]\n       \
                      sgml_processor exercise <bundle-dir> [--scenario <file>] \
-                     [--report <file>] [--journal <file>] [--trace <file>]";
+                     [--report <file>] [--journal <file>] [--trace <file>] \
+                     [--fault-seed <n>]";
 
 /// Default co-simulated duration for `run` when `--seconds` is omitted.
 const DEFAULT_RUN_SECONDS: u64 = 10;
@@ -80,6 +86,7 @@ enum Cmd {
         journal: Option<String>,
         trace: Option<String>,
         spans: Option<String>,
+        fault_seed: Option<u64>,
     },
     Lint {
         dir: String,
@@ -91,6 +98,7 @@ enum Cmd {
         report: Option<String>,
         journal: Option<String>,
         trace: Option<String>,
+        fault_seed: Option<u64>,
     },
 }
 
@@ -149,6 +157,13 @@ fn parse_build(args: &[String]) -> Result<Parsed, String> {
     })
 }
 
+/// Parses the value of `--fault-seed` as an unsigned 64-bit integer.
+fn parse_fault_seed(value: &str) -> Result<u64, String> {
+    value
+        .parse()
+        .map_err(|_| format!("`--fault-seed` expects an unsigned integer, found `{value}`"))
+}
+
 fn parse_run(args: &[String]) -> Result<Parsed, String> {
     let (dir, rest) = take_dir(args)?;
     let mut seconds = DEFAULT_RUN_SECONDS;
@@ -157,6 +172,7 @@ fn parse_run(args: &[String]) -> Result<Parsed, String> {
     let mut journal = None;
     let mut trace = None;
     let mut spans = None;
+    let mut fault_seed = None;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -171,6 +187,9 @@ fn parse_run(args: &[String]) -> Result<Parsed, String> {
             "--journal" => journal = Some(flag_value(rest, &mut i, "--journal")?.to_string()),
             "--trace" => trace = Some(flag_value(rest, &mut i, "--trace")?.to_string()),
             "--spans" => spans = Some(flag_value(rest, &mut i, "--spans")?.to_string()),
+            "--fault-seed" => {
+                fault_seed = Some(parse_fault_seed(flag_value(rest, &mut i, "--fault-seed")?)?);
+            }
             other => return Err(format!("unknown argument `{other}` for `run`")),
         }
         i += 1;
@@ -184,6 +203,7 @@ fn parse_run(args: &[String]) -> Result<Parsed, String> {
             journal,
             trace,
             spans,
+            fault_seed,
         },
         deprecation: None,
     })
@@ -220,6 +240,7 @@ fn parse_exercise(args: &[String]) -> Result<Parsed, String> {
     let mut report = None;
     let mut journal = None;
     let mut trace = None;
+    let mut fault_seed = None;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -227,6 +248,9 @@ fn parse_exercise(args: &[String]) -> Result<Parsed, String> {
             "--report" => report = Some(flag_value(rest, &mut i, "--report")?.to_string()),
             "--journal" => journal = Some(flag_value(rest, &mut i, "--journal")?.to_string()),
             "--trace" => trace = Some(flag_value(rest, &mut i, "--trace")?.to_string()),
+            "--fault-seed" => {
+                fault_seed = Some(parse_fault_seed(flag_value(rest, &mut i, "--fault-seed")?)?);
+            }
             other => return Err(format!("unknown argument `{other}` for `exercise`")),
         }
         i += 1;
@@ -238,6 +262,7 @@ fn parse_exercise(args: &[String]) -> Result<Parsed, String> {
             report,
             journal,
             trace,
+            fault_seed,
         },
         deprecation: None,
     })
@@ -288,6 +313,7 @@ fn parse_legacy(args: &[String]) -> Result<Parsed, String> {
                 journal: None,
                 trace: None,
                 spans: None,
+                fault_seed: None,
             },
             format!("run {dir} --seconds {seconds}"),
         )
@@ -325,7 +351,7 @@ fn main() -> ExitCode {
         eprintln!("{notice}");
     }
     match parsed.cmd {
-        Cmd::Build { dir, dot } => generate(&dir, None, dot, &Sinks::default()),
+        Cmd::Build { dir, dot } => generate(&dir, None, dot, &Sinks::default(), None),
         Cmd::Run {
             dir,
             seconds,
@@ -334,6 +360,7 @@ fn main() -> ExitCode {
             journal,
             trace,
             spans,
+            fault_seed,
         } => generate(
             &dir,
             Some(seconds),
@@ -344,6 +371,7 @@ fn main() -> ExitCode {
                 trace,
                 spans,
             },
+            fault_seed,
         ),
         Cmd::Lint { dir, format } => lint(&dir, format),
         Cmd::Exercise {
@@ -352,6 +380,7 @@ fn main() -> ExitCode {
             report,
             journal,
             trace,
+            fault_seed,
         } => exercise(
             &dir,
             scenario.as_deref(),
@@ -361,6 +390,7 @@ fn main() -> ExitCode {
                 trace,
                 ..Sinks::default()
             },
+            fault_seed,
         ),
     }
 }
@@ -415,6 +445,7 @@ fn exercise(
     scenario_path: Option<&str>,
     report_path: Option<&str>,
     sinks: &Sinks,
+    fault_seed: Option<u64>,
 ) -> ExitCode {
     let bundle = match SgmlBundle::from_dir(dir) {
         Ok(bundle) => bundle,
@@ -446,13 +477,17 @@ fn exercise(
             }
         },
     };
-    let scenario = match Scenario::parse(&xml) {
+    let mut scenario = match Scenario::parse(&xml) {
         Ok(scenario) => scenario,
         Err(e) => {
             eprintln!("error: invalid scenario: {e}");
             return ExitCode::FAILURE;
         }
     };
+    // The command line wins over the scenario's own faultSeed= attribute.
+    if fault_seed.is_some() {
+        scenario.fault_seed = fault_seed;
+    }
 
     let telemetry = if sinks.wants_tracing() {
         Telemetry::with_tracing()
@@ -546,7 +581,13 @@ fn write_sinks(sinks: &Sinks, telemetry: &Telemetry) -> bool {
 /// enabled only when a `--metrics` or `--journal` sink was requested, and
 /// causal tracing only when `--trace` or `--spans` was given, so a plain run
 /// keeps the zero-overhead disabled path.
-fn generate(dir: &str, run_seconds: Option<u64>, dot: bool, sinks: &Sinks) -> ExitCode {
+fn generate(
+    dir: &str,
+    run_seconds: Option<u64>,
+    dot: bool,
+    sinks: &Sinks,
+    fault_seed: Option<u64>,
+) -> ExitCode {
     let bundle = match SgmlBundle::from_dir(dir) {
         Ok(bundle) => bundle,
         Err(e) => {
@@ -574,10 +615,11 @@ fn generate(dir: &str, run_seconds: Option<u64>, dot: bool, sinks: &Sinks) -> Ex
     } else {
         Telemetry::disabled()
     };
-    let mut range = match RangeBuilder::new(&bundle)
-        .telemetry(telemetry.clone())
-        .build()
-    {
+    let mut builder = RangeBuilder::new(&bundle).telemetry(telemetry.clone());
+    if let Some(seed) = fault_seed {
+        builder = builder.fault_seed(seed);
+    }
+    let mut range = match builder.build() {
         Ok(range) => range,
         Err(e) => {
             eprintln!("error: model set does not compile:\n{e}");
@@ -650,7 +692,7 @@ mod tests {
     fn run_subcommand_parses_all_flags() {
         let parsed = parse_args(&argv(
             "run bundles/epic --seconds 30 --metrics m.json --journal j.jsonl \
-             --trace t.json --spans s.jsonl",
+             --trace t.json --spans s.jsonl --fault-seed 99",
         ))
         .unwrap();
         assert_eq!(
@@ -663,6 +705,7 @@ mod tests {
                 journal: Some("j.jsonl".into()),
                 trace: Some("t.json".into()),
                 spans: Some("s.jsonl".into()),
+                fault_seed: Some(99),
             }
         );
         assert!(parsed.deprecation.is_none());
@@ -678,6 +721,7 @@ mod tests {
                 journal,
                 trace,
                 spans,
+                fault_seed,
                 ..
             } => {
                 assert_eq!(seconds, DEFAULT_RUN_SECONDS);
@@ -685,6 +729,7 @@ mod tests {
                 assert!(journal.is_none());
                 assert!(trace.is_none());
                 assert!(spans.is_none());
+                assert!(fault_seed.is_none());
             }
             other => panic!("expected run, got {other:?}"),
         }
@@ -730,6 +775,7 @@ mod tests {
                 journal: None,
                 trace: None,
                 spans: None,
+                fault_seed: None,
             }
         );
         assert!(parsed.deprecation.unwrap().contains("--seconds 5"));
@@ -752,7 +798,7 @@ mod tests {
     fn exercise_subcommand_parses_all_flags() {
         let parsed = parse_args(&argv(
             "exercise bundles/epic --scenario s.scenario.xml --report r.json \
-             --journal j.jsonl --trace t.json",
+             --journal j.jsonl --trace t.json --fault-seed 7",
         ))
         .unwrap();
         assert_eq!(
@@ -763,6 +809,7 @@ mod tests {
                 report: Some("r.json".into()),
                 journal: Some("j.jsonl".into()),
                 trace: Some("t.json".into()),
+                fault_seed: Some(7),
             }
         );
         assert!(parsed.deprecation.is_none());
@@ -779,6 +826,7 @@ mod tests {
                 report: None,
                 journal: None,
                 trace: None,
+                fault_seed: None,
             }
         );
     }
@@ -791,6 +839,9 @@ mod tests {
         assert!(parse_args(&argv("run bundles/epic --metrics")).is_err());
         assert!(parse_args(&argv("run bundles/epic --trace")).is_err());
         assert!(parse_args(&argv("run bundles/epic --spans")).is_err());
+        assert!(parse_args(&argv("run bundles/epic --fault-seed")).is_err());
+        assert!(parse_args(&argv("run bundles/epic --fault-seed abc")).is_err());
+        assert!(parse_args(&argv("exercise bundles/epic --fault-seed -1")).is_err());
         assert!(parse_args(&argv("lint bundles/epic --format yaml")).is_err());
         assert!(parse_args(&argv("exercise")).is_err());
         assert!(parse_args(&argv("exercise bundles/epic --scenario")).is_err());

@@ -17,6 +17,7 @@
 //! | [`powerflow`] | `sgcr-powerflow` | steady-state AC power flow (Pandapower substitute) |
 //! | [`net`] | `sgcr-net` | discrete-event network emulator (Mininet substitute) |
 //! | [`obs`] | `sgcr-obs` | telemetry: metrics registry + event journal, zero-overhead when off |
+//! | [`faults`] | `sgcr-faults` | deterministic fault injection: link impairments, crashes, degradation |
 //! | [`iec61850`] | `sgcr-iec61850` | MMS/GOOSE/SV/R-GOOSE stack (libiec61850 substitute) |
 //! | [`ied`] | `sgcr-ied` | virtual IED with Table-II protection functions |
 //! | [`plc`] | `sgcr-plc` | virtual PLC: ST interpreter + PLCopen XML (OpenPLC61850 substitute) |
@@ -45,6 +46,7 @@
 
 pub use sgcr_attack as attack;
 pub use sgcr_core as core;
+pub use sgcr_faults as faults;
 pub use sgcr_iec61850 as iec61850;
 pub use sgcr_ied as ied;
 pub use sgcr_kvstore as kvstore;
