@@ -1,0 +1,59 @@
+//! Micro-benchmarks of the lint layer on the EPIC model set: the full
+//! (non-incremental) roster, a cold incremental-engine run populating the
+//! on-disk query cache, and a warm run answering every query from it.
+//! Recorded numbers are snapshotted in `BENCH_lint.json` at the repo root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sgcr_lint::source::LoadedBundle;
+use sgcr_lint::{engine, lint_bundle};
+use sgcr_models::epic_bundle;
+use std::path::PathBuf;
+
+/// Writes the EPIC bundle to a scratch dir once; returns (bundle_dir, cache_dir).
+fn epic_dirs() -> (PathBuf, PathBuf) {
+    let scratch = std::env::temp_dir().join(format!("sgcr-bench-lint-{}", std::process::id()));
+    let bundle_dir = scratch.join("bundle");
+    let cache_dir = scratch.join("cache");
+    let _ = std::fs::remove_dir_all(&scratch);
+    epic_bundle()
+        .write_to_dir(&bundle_dir)
+        .expect("EPIC bundle writes");
+    (bundle_dir, cache_dir)
+}
+
+fn bench_lint(c: &mut Criterion) {
+    let (bundle_dir, cache_dir) = epic_dirs();
+
+    c.bench_function("lint_full_epic_bundle", |b| {
+        b.iter(|| {
+            let bundle = LoadedBundle::from_dir(&bundle_dir).expect("loads");
+            criterion::black_box(lint_bundle(&bundle))
+        });
+    });
+
+    c.bench_function("lint_incremental_cold_epic", |b| {
+        b.iter(|| {
+            // Cold every iteration: drop the cache first.
+            let _ = std::fs::remove_dir_all(&cache_dir);
+            criterion::black_box(
+                engine::lint_dir_incremental(&bundle_dir, &cache_dir).expect("lints"),
+            )
+        });
+    });
+
+    // Populate once, then measure the all-reused path.
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    engine::lint_dir_incremental(&bundle_dir, &cache_dir).expect("warms the cache");
+    c.bench_function("lint_incremental_warm_epic", |b| {
+        b.iter(|| {
+            let outcome = engine::lint_dir_incremental(&bundle_dir, &cache_dir).expect("lints");
+            assert_eq!(outcome.stats.recomputed, 0, "cache must stay warm");
+            criterion::black_box(outcome)
+        });
+    });
+
+    let _ = std::fs::remove_dir_all(bundle_dir.parent().expect("scratch dir"));
+}
+
+criterion_group!(benches, bench_lint);
+criterion_main!(benches);

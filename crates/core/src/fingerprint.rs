@@ -1,0 +1,138 @@
+//! Content fingerprints for SG-ML bundles.
+//!
+//! The lint layer's incremental engine keys its memoized queries on the
+//! *content* of model files, not their timestamps: a file that is rewritten
+//! with identical bytes reuses every cached result, and a one-character
+//! edit invalidates exactly the queries that read it. The hash is FNV-1a 64
+//! — not cryptographic, just a fast, stable, dependency-free identity for
+//! cache keys (a collision costs a stale lint result, not a security hole).
+
+use crate::range::SgmlBundle;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit hash of a byte string.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// An incremental FNV-1a 64 accumulator for fingerprinting multiple
+/// length-delimited fields without concatenating them first.
+#[derive(Debug, Clone)]
+pub struct Fingerprint {
+    hash: u64,
+}
+
+impl Default for Fingerprint {
+    fn default() -> Fingerprint {
+        Fingerprint { hash: FNV_OFFSET }
+    }
+}
+
+impl Fingerprint {
+    /// Starts a fresh accumulator.
+    pub fn new() -> Fingerprint {
+        Fingerprint::default()
+    }
+
+    /// Mixes a field in, length-prefixed so `("ab","c")` and `("a","bc")`
+    /// hash differently.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for byte in (bytes.len() as u64)
+            .to_le_bytes()
+            .iter()
+            .chain(bytes.iter())
+        {
+            self.hash ^= u64::from(*byte);
+            self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl SgmlBundle {
+    /// A content fingerprint over every model file of the bundle, stable
+    /// across processes. Two bundles with identical file contents (in the
+    /// same order) share a fingerprint; any edit changes it.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        // Each section is tagged so content moving between fields (e.g. a
+        // PLC config mistakenly saved as SCADA config) changes the hash.
+        for (tag, texts) in [
+            ("ssd", &self.ssds),
+            ("scd", &self.scds),
+            ("icd", &self.icds),
+            ("sed", &self.seds),
+            ("scenario", &self.scenarios),
+        ] {
+            for text in texts {
+                fp.update(tag.as_bytes());
+                fp.update(text.as_bytes());
+            }
+        }
+        for (tag, text) in [
+            ("ied_config", &self.ied_config),
+            ("scada_config", &self.scada_config),
+            ("plc_config", &self.plc_config),
+            ("power_extra", &self.power_extra),
+            ("scada_host", &self.scada_host),
+        ] {
+            if let Some(text) = text {
+                fp.update(tag.as_bytes());
+                fp.update(text.as_bytes());
+            }
+        }
+        fp.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn length_prefix_separates_fields() {
+        let mut a = Fingerprint::new();
+        a.update(b"ab");
+        a.update(b"c");
+        let mut b = Fingerprint::new();
+        b.update(b"a");
+        b.update(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn bundle_fingerprint_tracks_content() {
+        let bundle = SgmlBundle {
+            ssds: vec!["<SCL/>".into()],
+            plc_config: Some("<PLCConfig/>".into()),
+            ..SgmlBundle::default()
+        };
+        let base = bundle.fingerprint();
+        assert_eq!(base, bundle.clone().fingerprint());
+        let mut edited = bundle.clone();
+        edited.plc_config = Some("<PLCConfig />".into());
+        assert_ne!(base, edited.fingerprint());
+        let mut moved = bundle;
+        moved.scada_config = moved.plc_config.take();
+        assert_ne!(base, moved.fingerprint());
+    }
+}

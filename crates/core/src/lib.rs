@@ -44,6 +44,7 @@
 //! ```
 
 mod files;
+mod fingerprint;
 mod keymap;
 mod range;
 
@@ -51,6 +52,7 @@ pub mod compile;
 pub mod sgml;
 
 pub use files::BundleIoError;
+pub use fingerprint::{fnv1a_64, Fingerprint};
 pub use keymap::{
     branch_i_key, branch_loading_key, branch_p_key, branch_q_key, breaker_cmd_key,
     breaker_state_key, bus_va_key, bus_vm_key, load_p_key, source_p_key, split_scoped,

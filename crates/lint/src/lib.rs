@@ -24,10 +24,12 @@
 //! `docs/diagnostics.md`; `--format json` output round-trips through
 //! [`json::from_json`].
 
+pub mod engine;
 pub mod json;
 mod pass;
 pub mod passes;
 pub mod report;
+pub mod sarif;
 pub mod source;
 
 pub use pass::{default_passes, LintPass};
@@ -95,6 +97,12 @@ pub fn lint_bundle_with(bundle: &LoadedBundle, passes: &[Box<dyn LintPass>]) -> 
     for pass in passes {
         pass.run(bundle, &mut diagnostics);
     }
+    sorted_report(diagnostics)
+}
+
+/// Final report assembly: the stable (file, position, code) ordering every
+/// producer — the full roster and the incremental engine — must share.
+pub(crate) fn sorted_report(mut diagnostics: Vec<Diagnostic>) -> LintReport {
     diagnostics.sort_by(|a, b| {
         let key = |d: &Diagnostic| {
             (

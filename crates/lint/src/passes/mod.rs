@@ -8,11 +8,13 @@
 //! | [`protection`] | `SG04xx` | can every protection function actually trip? |
 //! | [`orphan`] | `SG05xx` | does every file contribute to the bundle? |
 //! | [`scenario`] | `SG5xxx` | do exercise scenarios fit the bundle? |
+//! | [`st_logic`] | `SG6xxx` | is the PLC control logic semantically sound? |
 
 pub mod addr;
 pub mod orphan;
 pub mod protection;
 pub mod scenario;
+pub mod st_logic;
 pub mod topology;
 pub mod xref;
 

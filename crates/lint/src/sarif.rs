@@ -1,0 +1,133 @@
+//! SARIF 2.1.0 output for `--format sarif`, so CI systems (GitHub code
+//! scanning, Azure DevOps, VS Code SARIF viewers) can ingest lint findings
+//! natively.
+//!
+//! The emitter writes the minimal valid subset: one run, a driver with one
+//! `reportingDescriptor` per distinct code (summary text from the
+//! [`codes`] registry), and one `result` per diagnostic with a physical
+//! location when the finding carries a span. Severities map
+//! `Error → error`, `Warning → warning`, `Info → note`. Output is fully
+//! deterministic: rules are sorted by code and results keep report order,
+//! so golden-file tests can compare bytes.
+
+use crate::LintReport;
+use sgcr_obs::json::quote;
+use sgcr_scl::{codes, Severity};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Serializes a report as a SARIF 2.1.0 log.
+pub fn to_sarif(report: &LintReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"sgcr-lint\",\n");
+    let _ = writeln!(
+        out,
+        "          \"version\": {},",
+        quote(env!("CARGO_PKG_VERSION"))
+    );
+    out.push_str("          \"rules\": [");
+
+    let used: BTreeSet<&str> = report.diagnostics.iter().map(|d| d.code).collect();
+    for (i, code) in used.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let summary = codes::lookup(code).map(|c| c.summary).unwrap_or_default();
+        out.push_str("\n            {");
+        let _ = write!(out, "\"id\": {}, ", quote(code));
+        let _ = write!(
+            out,
+            "\"shortDescription\": {{\"text\": {}}}",
+            quote(summary)
+        );
+        out.push('}');
+    }
+    if !used.is_empty() {
+        out.push_str("\n          ");
+    }
+    out.push_str("]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let level = match d.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "note",
+        };
+        out.push_str("\n        {");
+        let _ = write!(out, "\"ruleId\": {}, ", quote(d.code));
+        let _ = write!(out, "\"level\": {}, ", quote(level));
+        let _ = write!(out, "\"message\": {{\"text\": {}}}", quote(&d.message));
+        if !d.context.is_empty() {
+            let _ = write!(
+                out,
+                ", \"properties\": {{\"context\": {}}}",
+                quote(&d.context)
+            );
+        }
+        if let Some(span) = &d.span {
+            let _ = write!(
+                out,
+                ", \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+                 {{\"uri\": {}}}, \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]",
+                quote(&span.file),
+                span.line.max(1),
+                span.column.max(1)
+            );
+        }
+        out.push('}');
+    }
+    if !report.diagnostics.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use sgcr_scl::{Diagnostic, Span};
+
+    #[test]
+    fn sarif_structure_is_valid_json_with_rules_and_locations() {
+        let report = LintReport {
+            diagnostics: vec![
+                Diagnostic::error(
+                    codes::ST_DIVISION_BY_ZERO,
+                    "division by a literal zero always faults",
+                    "PLC CPLC",
+                )
+                .with_span(Span::new("plc_config.xml", 6, 10)),
+                Diagnostic::warning(codes::ORPHAN_ICD, "orphan \"x\"", "ICD x.icd.xml"),
+            ],
+        };
+        let sarif = to_sarif(&report);
+        // Must be parseable JSON (reuse the report parser's scanner via a
+        // quick structural sanity check instead).
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"id\": \"SG0501\""));
+        assert!(sarif.contains("\"id\": \"SG6013\""));
+        assert!(sarif.contains("\"ruleId\": \"SG6013\", \"level\": \"error\""));
+        assert!(sarif.contains("\"startLine\": 6, \"startColumn\": 10"));
+        assert!(sarif.contains("orphan \\\"x\\\""));
+        // Deterministic output.
+        assert_eq!(sarif, to_sarif(&report));
+    }
+
+    #[test]
+    fn empty_report_is_an_empty_run() {
+        let sarif = to_sarif(&LintReport::default());
+        assert!(sarif.contains("\"rules\": []"));
+        assert!(sarif.contains("\"results\": []"));
+    }
+}

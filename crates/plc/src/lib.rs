@@ -45,6 +45,9 @@ mod runtime;
 pub use app::{GooseBinding, MmsReadBinding, MmsWriteBinding, PlcApp, PlcHandle, PlcStatus};
 pub use plcopen::{parse_plcopen, write_plcopen, PlcOpenError};
 pub use runtime::{IoPoint, PlcRuntime};
-pub use st::ast::{DataType, FbType, Program, VarClass};
+pub use st::ast::{DataType, FbType, Pos, Program, VarClass};
+pub use st::check::{
+    assigned_variables, check_program, read_variables, CheckCode, CheckFinding, CheckSeverity,
+};
 pub use st::interp::{Interpreter, RuntimeError, StValue};
 pub use st::parser::{parse_expression, parse_program, parse_statements, ParseError};

@@ -2,7 +2,7 @@
 //! interface variables and the Structured Text body — as used by SG-ML's
 //! *"IEC 61131-3 PLCopen XML file that contains control logic"*.
 
-use crate::st::ast::{DataType, FbDecl, FbType, Program, VarClass, VarDecl};
+use crate::st::ast::{DataType, FbDecl, FbType, Pos, Program, VarClass, VarDecl};
 use crate::st::parser::{parse_expression, parse_statements, ParseError};
 use sgcr_xml::{Document, ElementRef};
 use std::fmt;
@@ -114,7 +114,11 @@ fn parse_variable(
         .unwrap_or_default();
 
     if let Some(fb_type) = FbType::parse(&type_name) {
-        program.fbs.push(FbDecl { name, fb_type });
+        program.fbs.push(FbDecl {
+            name,
+            fb_type,
+            pos: Pos::default(),
+        });
         return Ok(());
     }
     let Some(ty) = DataType::parse(&type_name) else {
@@ -134,6 +138,7 @@ fn parse_variable(
         initial,
         location,
         class,
+        pos: Pos::default(),
     });
     Ok(())
 }

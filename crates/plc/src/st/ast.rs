@@ -1,5 +1,35 @@
 //! Abstract syntax tree for IEC 61131-3 Structured Text.
 
+/// A source position inside an ST program: 1-based line and column.
+///
+/// `Pos::default()` (line 0) means "unknown" — used for nodes synthesized
+/// outside the text parser, e.g. by the PLCopen XML importer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line (0 = unknown).
+    pub line: u32,
+    /// 1-based column (0 = unknown).
+    pub column: u32,
+}
+
+impl Pos {
+    /// Builds a position.
+    pub fn new(line: u32, column: u32) -> Pos {
+        Pos { line, column }
+    }
+
+    /// Whether the position points at real source text.
+    pub fn is_known(&self) -> bool {
+        self.line != 0
+    }
+}
+
+impl std::fmt::Display for Pos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
 /// Elementary IEC data types supported by the interpreter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DataType {
@@ -104,6 +134,8 @@ pub struct VarDecl {
     pub location: Option<String>,
     /// Storage class.
     pub class: VarClass,
+    /// Source position of the declaration.
+    pub pos: Pos,
 }
 
 /// A function-block instance declaration (`timer1 : TON;`).
@@ -113,6 +145,8 @@ pub struct FbDecl {
     pub name: String,
     /// FB type.
     pub fb_type: FbType,
+    /// Source position of the declaration.
+    pub pos: Pos,
 }
 
 /// Literal values.
@@ -174,26 +208,43 @@ pub enum BinOp {
     Pow,
 }
 
-/// Expressions.
+/// Expressions. Every variant carries the source position of its anchor
+/// token (the literal, the identifier, or the operator).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// A literal.
-    Lit(Literal),
+    Lit(Literal, Pos),
     /// A plain variable reference.
-    Var(String),
+    Var(String, Pos),
     /// Member access (`timer1.Q`).
-    Member(String, String),
+    Member(String, String, Pos),
     /// Unary operation.
-    Unary(UnOp, Box<Expr>),
-    /// Binary operation.
-    Binary(BinOp, Box<Expr>, Box<Expr>),
+    Unary(UnOp, Box<Expr>, Pos),
+    /// Binary operation (position anchors the operator).
+    Binary(BinOp, Box<Expr>, Box<Expr>, Pos),
     /// Builtin function call (`MAX(a, b)`).
     Call {
         /// Function name, uppercased.
         name: String,
         /// Arguments.
         args: Vec<Expr>,
+        /// Position of the function name.
+        pos: Pos,
     },
+}
+
+impl Expr {
+    /// The anchor position of the expression.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Lit(_, p)
+            | Expr::Var(_, p)
+            | Expr::Member(_, _, p)
+            | Expr::Unary(_, _, p)
+            | Expr::Binary(_, _, _, p)
+            | Expr::Call { pos: p, .. } => *p,
+        }
+    }
 }
 
 /// Assignment target.
@@ -214,7 +265,7 @@ pub enum CaseLabel {
     Range(i64, i64),
 }
 
-/// Statements.
+/// Statements. Every variant carries the position of its first token.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     /// `target := value;`
@@ -223,6 +274,8 @@ pub enum Stmt {
         target: LValue,
         /// Value expression.
         value: Expr,
+        /// Position of the target.
+        pos: Pos,
     },
     /// IF / ELSIF / ELSE.
     If {
@@ -230,6 +283,8 @@ pub enum Stmt {
         branches: Vec<(Expr, Vec<Stmt>)>,
         /// ELSE body.
         else_body: Vec<Stmt>,
+        /// Position of the IF keyword.
+        pos: Pos,
     },
     /// CASE … OF.
     Case {
@@ -239,6 +294,8 @@ pub enum Stmt {
         arms: Vec<(Vec<CaseLabel>, Vec<Stmt>)>,
         /// ELSE body.
         else_body: Vec<Stmt>,
+        /// Position of the CASE keyword.
+        pos: Pos,
     },
     /// FOR loop.
     For {
@@ -252,6 +309,8 @@ pub enum Stmt {
         by: Option<Expr>,
         /// Body.
         body: Vec<Stmt>,
+        /// Position of the FOR keyword.
+        pos: Pos,
     },
     /// WHILE loop.
     While {
@@ -259,6 +318,8 @@ pub enum Stmt {
         cond: Expr,
         /// Body.
         body: Vec<Stmt>,
+        /// Position of the WHILE keyword.
+        pos: Pos,
     },
     /// REPEAT … UNTIL.
     Repeat {
@@ -266,6 +327,8 @@ pub enum Stmt {
         body: Vec<Stmt>,
         /// Exit condition.
         until: Expr,
+        /// Position of the REPEAT keyword.
+        pos: Pos,
     },
     /// Function-block invocation (`timer1(IN := x, PT := T#5s);`).
     FbCall {
@@ -275,11 +338,36 @@ pub enum Stmt {
         inputs: Vec<(String, Expr)>,
         /// Output captures (`Q => done`).
         outputs: Vec<(String, String)>,
+        /// Position of the instance name.
+        pos: Pos,
     },
     /// EXIT (innermost loop).
-    Exit,
+    Exit {
+        /// Position of the EXIT keyword.
+        pos: Pos,
+    },
     /// RETURN.
-    Return,
+    Return {
+        /// Position of the RETURN keyword.
+        pos: Pos,
+    },
+}
+
+impl Stmt {
+    /// The position of the statement's first token.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Stmt::Assign { pos, .. }
+            | Stmt::If { pos, .. }
+            | Stmt::Case { pos, .. }
+            | Stmt::For { pos, .. }
+            | Stmt::While { pos, .. }
+            | Stmt::Repeat { pos, .. }
+            | Stmt::FbCall { pos, .. }
+            | Stmt::Exit { pos }
+            | Stmt::Return { pos } => *pos,
+        }
+    }
 }
 
 /// A complete program (POU of type Program).

@@ -476,7 +476,7 @@ impl Interpreter {
         }
         *budget -= 1;
         match stmt {
-            Stmt::Assign { target, value } => {
+            Stmt::Assign { target, value, .. } => {
                 let v = self.eval(value, now_ns)?;
                 match target {
                     LValue::Var(name) => {
@@ -496,6 +496,7 @@ impl Interpreter {
             Stmt::If {
                 branches,
                 else_body,
+                ..
             } => {
                 for (cond, body) in branches {
                     let c = self
@@ -512,6 +513,7 @@ impl Interpreter {
                 selector,
                 arms,
                 else_body,
+                ..
             } => {
                 let sel = self
                     .eval(selector, now_ns)?
@@ -534,6 +536,7 @@ impl Interpreter {
                 to,
                 by,
                 body,
+                ..
             } => {
                 let start = self
                     .eval(from, now_ns)?
@@ -568,7 +571,7 @@ impl Interpreter {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::While { cond, body } => {
+            Stmt::While { cond, body, .. } => {
                 loop {
                     if *budget == 0 {
                         return Err(rt("scan exceeded execution budget (runaway loop?)"));
@@ -589,7 +592,7 @@ impl Interpreter {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::Repeat { body, until } => {
+            Stmt::Repeat { body, until, .. } => {
                 loop {
                     if *budget == 0 {
                         return Err(rt("scan exceeded execution budget (runaway loop?)"));
@@ -614,6 +617,7 @@ impl Interpreter {
                 instance,
                 inputs,
                 outputs,
+                ..
             } => {
                 let mut evaluated = HashMap::new();
                 for (name, expr) in inputs {
@@ -638,32 +642,32 @@ impl Interpreter {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::Exit => Ok(Flow::Exit),
-            Stmt::Return => Ok(Flow::Return),
+            Stmt::Exit { .. } => Ok(Flow::Exit),
+            Stmt::Return { .. } => Ok(Flow::Return),
         }
     }
 
     #[allow(clippy::only_used_in_recursion)] // now_ns is part of the eval contract
     fn eval(&self, expr: &Expr, now_ns: u64) -> Result<StValue, RuntimeError> {
         match expr {
-            Expr::Lit(l) => Ok(match l {
+            Expr::Lit(l, _) => Ok(match l {
                 Literal::Bool(b) => StValue::Bool(*b),
                 Literal::Int(i) => StValue::Int(*i),
                 Literal::Real(r) => StValue::Real(*r),
                 Literal::Time(t) => StValue::Time(*t),
                 Literal::Str(s) => StValue::Str(s.clone()),
             }),
-            Expr::Var(name) => self
+            Expr::Var(name, _) => self
                 .vars
                 .get(name)
                 .cloned()
                 .ok_or_else(|| rt(format!("unknown variable {name:?}"))),
-            Expr::Member(instance, member) => self
+            Expr::Member(instance, member, _) => self
                 .fbs
                 .get(instance)
                 .and_then(|fb| fb.output(member))
                 .ok_or_else(|| rt(format!("unknown member {instance}.{member}"))),
-            Expr::Unary(op, inner) => {
+            Expr::Unary(op, inner, _) => {
                 let v = self.eval(inner, now_ns)?;
                 match op {
                     UnOp::Not => match v {
@@ -678,12 +682,12 @@ impl Interpreter {
                     },
                 }
             }
-            Expr::Binary(op, a, b) => {
+            Expr::Binary(op, a, b, _) => {
                 let va = self.eval(a, now_ns)?;
                 let vb = self.eval(b, now_ns)?;
                 eval_binary(*op, va, vb)
             }
-            Expr::Call { name, args } => {
+            Expr::Call { name, args, .. } => {
                 let mut values = Vec::with_capacity(args.len());
                 for a in args {
                     values.push(self.eval(a, now_ns)?);

@@ -1,5 +1,6 @@
 //! Lexer for IEC 61131-3 Structured Text.
 
+use super::ast::Pos;
 use std::fmt;
 
 /// A lexical token.
@@ -105,11 +106,17 @@ pub struct LexError {
     pub message: String,
     /// 1-based line.
     pub line: u32,
+    /// 1-based column (0 if unknown).
+    pub column: u32,
 }
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} at line {}", self.message, self.line)
+        if self.column > 0 {
+            write!(f, "{} at {}:{}", self.message, self.line, self.column)
+        } else {
+            write!(f, "{} at line {}", self.message, self.line)
+        }
     }
 }
 
@@ -117,21 +124,36 @@ impl std::error::Error for LexError {}
 
 /// Tokenizes ST source. Comments `(* … *)` and `// …` are skipped.
 pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
+    Ok(tokenize_spanned(source)?
+        .into_iter()
+        .map(|(t, _)| t)
+        .collect())
+}
+
+/// Tokenizes ST source, pairing every token with the 1-based line/column of
+/// its first character. Comments `(* … *)` and `// …` are skipped.
+pub fn tokenize_spanned(source: &str) -> Result<Vec<(Token, Pos)>, LexError> {
     let mut tokens = Vec::new();
     let chars: Vec<char> = source.chars().collect();
     let mut i = 0usize;
     let mut line = 1u32;
-    let err = |message: &str, line: u32| LexError {
+    // Index of the first character of the current line (for columns).
+    let mut line_start = 0usize;
+    let err = |message: &str, pos: Pos| LexError {
         message: message.to_string(),
-        line,
+        line: pos.line,
+        column: pos.column,
     };
 
     while i < chars.len() {
         let c = chars[i];
+        // Position of the token (or error) that starts at `i`.
+        let pos = Pos::new(line, (i.saturating_sub(line_start) + 1) as u32);
         match c {
             '\n' => {
                 line += 1;
                 i += 1;
+                line_start = i;
             }
             c if c.is_whitespace() => i += 1,
             '(' if chars.get(i + 1) == Some(&'*') => {
@@ -139,10 +161,11 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                 i += 2;
                 loop {
                     if i + 1 >= chars.len() {
-                        return Err(err("unterminated comment", line));
+                        return Err(err("unterminated comment", pos));
                     }
                     if chars[i] == '\n' {
                         line += 1;
+                        line_start = i + 1;
                     }
                     if chars[i] == '*' && chars[i + 1] == ')' {
                         i += 2;
@@ -186,14 +209,15 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                         Some(&ch) => {
                             if ch == '\n' {
                                 line += 1;
+                                line_start = i + 1;
                             }
                             s.push(ch);
                             i += 1;
                         }
-                        None => return Err(err("unterminated string literal", line)),
+                        None => return Err(err("unterminated string literal", pos)),
                     }
                 }
-                tokens.push(Token::Str(s));
+                tokens.push((Token::Str(s), pos));
             }
             '%' => {
                 // Direct address: %QX0.0, %IW3, %MD2 …
@@ -203,10 +227,11 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
                 if start == i {
-                    return Err(err("empty direct address after '%'", line));
+                    return Err(err("empty direct address after '%'", pos));
                 }
-                tokens.push(Token::DirectAddress(
-                    chars[start..i].iter().collect::<String>().to_uppercase(),
+                tokens.push((
+                    Token::DirectAddress(chars[start..i].iter().collect::<String>().to_uppercase()),
+                    pos,
                 ));
             }
             c if c.is_ascii_digit() => {
@@ -237,24 +262,24 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                     let value: f64 = text
                         .replace('_', "")
                         .parse()
-                        .map_err(|_| err("invalid real literal", line))?;
-                    tokens.push(Token::Real(value));
+                        .map_err(|_| err("invalid real literal", pos))?;
+                    tokens.push((Token::Real(value), pos));
                 } else {
                     let cleaned = text.replace('_', "");
                     // Typed literals like 16#FF.
                     if let Some(rest) = cleaned.strip_prefix("16#") {
                         let value = i64::from_str_radix(rest, 16)
-                            .map_err(|_| err("invalid hex literal", line))?;
-                        tokens.push(Token::Int(value));
+                            .map_err(|_| err("invalid hex literal", pos))?;
+                        tokens.push((Token::Int(value), pos));
                     } else if let Some(rest) = cleaned.strip_prefix("2#") {
                         let value = i64::from_str_radix(rest, 2)
-                            .map_err(|_| err("invalid binary literal", line))?;
-                        tokens.push(Token::Int(value));
+                            .map_err(|_| err("invalid binary literal", pos))?;
+                        tokens.push((Token::Int(value), pos));
                     } else {
                         let value: i64 = cleaned
                             .parse()
-                            .map_err(|_| err("invalid integer literal", line))?;
-                        tokens.push(Token::Int(value));
+                            .map_err(|_| err("invalid integer literal", pos))?;
+                        tokens.push((Token::Int(value), pos));
                     }
                 }
             }
@@ -276,100 +301,100 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
                     }
                     let lit: String = chars[lit_start..i].iter().collect();
                     let ns = parse_time_literal(&lit)
-                        .ok_or_else(|| err(&format!("invalid time literal T#{lit}"), line))?;
-                    tokens.push(Token::Time(ns));
+                        .ok_or_else(|| err(&format!("invalid time literal T#{lit}"), pos))?;
+                    tokens.push((Token::Time(ns), pos));
                 } else {
-                    tokens.push(Token::Ident(word));
+                    tokens.push((Token::Ident(word), pos));
                 }
             }
             ':' => {
                 if chars.get(i + 1) == Some(&'=') {
-                    tokens.push(Token::Assign);
+                    tokens.push((Token::Assign, pos));
                     i += 2;
                 } else {
-                    tokens.push(Token::Colon);
+                    tokens.push((Token::Colon, pos));
                     i += 1;
                 }
             }
             '=' => {
                 if chars.get(i + 1) == Some(&'>') {
-                    tokens.push(Token::Arrow);
+                    tokens.push((Token::Arrow, pos));
                     i += 2;
                 } else {
-                    tokens.push(Token::Eq);
+                    tokens.push((Token::Eq, pos));
                     i += 1;
                 }
             }
             '<' => match chars.get(i + 1) {
                 Some('>') => {
-                    tokens.push(Token::Neq);
+                    tokens.push((Token::Neq, pos));
                     i += 2;
                 }
                 Some('=') => {
-                    tokens.push(Token::Le);
+                    tokens.push((Token::Le, pos));
                     i += 2;
                 }
                 _ => {
-                    tokens.push(Token::Lt);
+                    tokens.push((Token::Lt, pos));
                     i += 1;
                 }
             },
             '>' => {
                 if chars.get(i + 1) == Some(&'=') {
-                    tokens.push(Token::Ge);
+                    tokens.push((Token::Ge, pos));
                     i += 2;
                 } else {
-                    tokens.push(Token::Gt);
+                    tokens.push((Token::Gt, pos));
                     i += 1;
                 }
             }
             '.' => {
                 if chars.get(i + 1) == Some(&'.') {
-                    tokens.push(Token::DotDot);
+                    tokens.push((Token::DotDot, pos));
                     i += 2;
                 } else {
-                    tokens.push(Token::Dot);
+                    tokens.push((Token::Dot, pos));
                     i += 1;
                 }
             }
             '+' => {
-                tokens.push(Token::Plus);
+                tokens.push((Token::Plus, pos));
                 i += 1;
             }
             '-' => {
-                tokens.push(Token::Minus);
+                tokens.push((Token::Minus, pos));
                 i += 1;
             }
             '*' => {
-                tokens.push(Token::Star);
+                tokens.push((Token::Star, pos));
                 i += 1;
             }
             '/' => {
-                tokens.push(Token::Slash);
+                tokens.push((Token::Slash, pos));
                 i += 1;
             }
             '(' => {
-                tokens.push(Token::LParen);
+                tokens.push((Token::LParen, pos));
                 i += 1;
             }
             ')' => {
-                tokens.push(Token::RParen);
+                tokens.push((Token::RParen, pos));
                 i += 1;
             }
             ';' => {
-                tokens.push(Token::Semicolon);
+                tokens.push((Token::Semicolon, pos));
                 i += 1;
             }
             ',' => {
-                tokens.push(Token::Comma);
+                tokens.push((Token::Comma, pos));
                 i += 1;
             }
             '#' => {
-                tokens.push(Token::Hash);
+                tokens.push((Token::Hash, pos));
                 i += 1;
             }
             other => {
-                return Err(err(&format!("unexpected character {other:?}"), line));
+                return Err(err(&format!("unexpected character {other:?}"), pos));
             }
         }
     }
@@ -515,5 +540,25 @@ mod tests {
     fn error_positions() {
         let err = tokenize("x := 1;\n?").unwrap_err();
         assert_eq!(err.line, 2);
+        assert_eq!(err.column, 1);
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let spanned = tokenize_spanned("x := 1;\n  y := x + 2;").unwrap();
+        let find = |needle: &Token| {
+            spanned
+                .iter()
+                .find(|(t, _)| t == needle)
+                .map(|(_, p)| (p.line, p.column))
+                .unwrap()
+        };
+        assert_eq!(find(&Token::Ident("x".into())), (1, 1));
+        assert_eq!(find(&Token::Int(1)), (1, 6));
+        assert_eq!(find(&Token::Ident("y".into())), (2, 3));
+        assert_eq!(find(&Token::Plus), (2, 10));
+        // Comments and multi-line constructs keep columns honest.
+        let spanned = tokenize_spanned("(* c\nomment *) a").unwrap();
+        assert_eq!(spanned[0].1, Pos::new(2, 11));
     }
 }

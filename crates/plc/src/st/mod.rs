@@ -1,6 +1,7 @@
 //! IEC 61131-3 Structured Text: lexer, parser, AST, and interpreter.
 
 pub mod ast;
+pub mod check;
 pub mod interp;
 pub mod lexer;
 pub mod parser;

@@ -1,19 +1,25 @@
 //! Recursive-descent parser for Structured Text.
 
 use super::ast::*;
-use super::lexer::{tokenize, LexError, Token};
+use super::lexer::{tokenize_spanned, LexError, Token};
 use std::fmt;
 
-/// A parse error.
+/// A parse error with the position of the offending token.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
     /// What went wrong.
     pub message: String,
+    /// Position of the offending token (unknown if the input ended early).
+    pub pos: Pos,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.message)
+        if self.pos.is_known() {
+            write!(f, "{} at {}", self.message, self.pos)
+        } else {
+            write!(f, "{}", self.message)
+        }
     }
 }
 
@@ -22,21 +28,31 @@ impl std::error::Error for ParseError {}
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
         ParseError {
-            message: e.to_string(),
+            message: e.message.clone(),
+            pos: Pos::new(e.line, e.column),
         }
     }
 }
 
 struct Parser {
     tokens: Vec<Token>,
+    spans: Vec<Pos>,
     pos: usize,
+}
+
+fn new_parser(source: &str) -> Result<Parser, ParseError> {
+    let (tokens, spans) = tokenize_spanned(source)?.into_iter().unzip();
+    Ok(Parser {
+        tokens,
+        spans,
+        pos: 0,
+    })
 }
 
 /// Parses a complete program: either `PROGRAM name … END_PROGRAM` or a bare
 /// declaration + statement sequence.
 pub fn parse_program(source: &str) -> Result<Program, ParseError> {
-    let tokens = tokenize(source)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = new_parser(source)?;
     let mut program = Program::default();
 
     if p.eat_keyword("PROGRAM") {
@@ -58,8 +74,7 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
 
 /// Parses just a statement list (no declarations) — handy for tests.
 pub fn parse_statements(source: &str) -> Result<Vec<Stmt>, ParseError> {
-    let tokens = tokenize(source)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = new_parser(source)?;
     let body = p.parse_statements(&[])?;
     if !p.is_done() {
         return Err(p.error("unexpected trailing tokens"));
@@ -69,8 +84,7 @@ pub fn parse_statements(source: &str) -> Result<Vec<Stmt>, ParseError> {
 
 /// Parses an expression — used by configuration surfaces.
 pub fn parse_expression(source: &str) -> Result<Expr, ParseError> {
-    let tokens = tokenize(source)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = new_parser(source)?;
     let expr = p.parse_expr()?;
     if !p.is_done() {
         return Err(p.error("unexpected trailing tokens"));
@@ -97,6 +111,16 @@ impl Parser {
         t
     }
 
+    /// Position of the current token; falls back to the last token's
+    /// position at end of input, and to "unknown" on empty input.
+    fn at(&self) -> Pos {
+        self.spans
+            .get(self.pos)
+            .or_else(|| self.spans.last())
+            .copied()
+            .unwrap_or_default()
+    }
+
     fn error(&self, message: &str) -> ParseError {
         let near = self
             .peek()
@@ -104,6 +128,7 @@ impl Parser {
             .unwrap_or_else(|| "end of input".to_string());
         ParseError {
             message: format!("{message} (near {near:?})"),
+            pos: self.at(),
         }
     }
 
@@ -174,6 +199,7 @@ impl Parser {
                 return Err(self.error("unterminated VAR section"));
             }
             // name [AT %addr] : TYPE [:= init] ;
+            let pos = self.at();
             let name = self.expect_ident()?;
             let mut location = None;
             if self.eat_keyword("AT") {
@@ -186,7 +212,7 @@ impl Parser {
             let type_name = self.expect_ident()?;
             if let Some(fb_type) = FbType::parse(&type_name) {
                 self.expect_token(&Token::Semicolon)?;
-                program.fbs.push(FbDecl { name, fb_type });
+                program.fbs.push(FbDecl { name, fb_type, pos });
                 continue;
             }
             let Some(ty) = DataType::parse(&type_name) else {
@@ -205,6 +231,7 @@ impl Parser {
                 initial,
                 location,
                 class,
+                pos,
             });
         }
     }
@@ -245,6 +272,7 @@ impl Parser {
     }
 
     fn parse_statement(&mut self) -> Result<Stmt, ParseError> {
+        let pos = self.at();
         if self.peek_keyword("IF") {
             return self.parse_if();
         }
@@ -262,11 +290,11 @@ impl Parser {
         }
         if self.eat_keyword("EXIT") {
             self.expect_token(&Token::Semicolon)?;
-            return Ok(Stmt::Exit);
+            return Ok(Stmt::Exit { pos });
         }
         if self.eat_keyword("RETURN") {
             self.expect_token(&Token::Semicolon)?;
-            return Ok(Stmt::Return);
+            return Ok(Stmt::Return { pos });
         }
         // Assignment or FB call.
         let name = self.expect_ident()?;
@@ -303,6 +331,7 @@ impl Parser {
                     instance: name,
                     inputs,
                     outputs,
+                    pos,
                 })
             }
             Some(Token::Dot) => {
@@ -314,6 +343,7 @@ impl Parser {
                 Ok(Stmt::Assign {
                     target: LValue::Member(name, member),
                     value,
+                    pos,
                 })
             }
             Some(Token::Assign) => {
@@ -323,6 +353,7 @@ impl Parser {
                 Ok(Stmt::Assign {
                     target: LValue::Var(name),
                     value,
+                    pos,
                 })
             }
             _ => Err(self.error("expected :=, ( or . after identifier")),
@@ -330,6 +361,7 @@ impl Parser {
     }
 
     fn parse_if(&mut self) -> Result<Stmt, ParseError> {
+        let pos = self.at();
         self.expect_keyword("IF")?;
         let mut branches = Vec::new();
         let cond = self.parse_expr()?;
@@ -353,6 +385,7 @@ impl Parser {
                 return Ok(Stmt::If {
                     branches,
                     else_body,
+                    pos,
                 });
             } else {
                 return Err(self.error("expected ELSIF/ELSE/END_IF"));
@@ -361,6 +394,7 @@ impl Parser {
     }
 
     fn parse_case(&mut self) -> Result<Stmt, ParseError> {
+        let pos = self.at();
         self.expect_keyword("CASE")?;
         let selector = self.parse_expr()?;
         self.expect_keyword("OF")?;
@@ -429,10 +463,12 @@ impl Parser {
             selector,
             arms,
             else_body,
+            pos,
         })
     }
 
     fn parse_for(&mut self) -> Result<Stmt, ParseError> {
+        let pos = self.at();
         self.expect_keyword("FOR")?;
         let var = self.expect_ident()?;
         self.expect_token(&Token::Assign)?;
@@ -456,10 +492,12 @@ impl Parser {
             to,
             by,
             body,
+            pos,
         })
     }
 
     fn parse_while(&mut self) -> Result<Stmt, ParseError> {
+        let pos = self.at();
         self.expect_keyword("WHILE")?;
         let cond = self.parse_expr()?;
         self.expect_keyword("DO")?;
@@ -468,10 +506,11 @@ impl Parser {
         if self.peek() == Some(&Token::Semicolon) {
             self.advance();
         }
-        Ok(Stmt::While { cond, body })
+        Ok(Stmt::While { cond, body, pos })
     }
 
     fn parse_repeat(&mut self) -> Result<Stmt, ParseError> {
+        let pos = self.at();
         self.expect_keyword("REPEAT")?;
         let body = self.parse_statements(&[])?;
         self.expect_keyword("UNTIL")?;
@@ -480,7 +519,7 @@ impl Parser {
         if self.peek() == Some(&Token::Semicolon) {
             self.advance();
         }
-        Ok(Stmt::Repeat { body, until })
+        Ok(Stmt::Repeat { body, until, pos })
     }
 
     // --- expressions, precedence climbing ---------------------------------
@@ -491,29 +530,38 @@ impl Parser {
 
     fn parse_or(&mut self) -> Result<Expr, ParseError> {
         let mut left = self.parse_xor()?;
-        while self.eat_keyword("OR") {
+        loop {
+            let op_pos = self.at();
+            if !self.eat_keyword("OR") {
+                return Ok(left);
+            }
             let right = self.parse_xor()?;
-            left = Expr::Binary(BinOp::Or, Box::new(left), Box::new(right));
+            left = Expr::Binary(BinOp::Or, Box::new(left), Box::new(right), op_pos);
         }
-        Ok(left)
     }
 
     fn parse_xor(&mut self) -> Result<Expr, ParseError> {
         let mut left = self.parse_and()?;
-        while self.eat_keyword("XOR") {
+        loop {
+            let op_pos = self.at();
+            if !self.eat_keyword("XOR") {
+                return Ok(left);
+            }
             let right = self.parse_and()?;
-            left = Expr::Binary(BinOp::Xor, Box::new(left), Box::new(right));
+            left = Expr::Binary(BinOp::Xor, Box::new(left), Box::new(right), op_pos);
         }
-        Ok(left)
     }
 
     fn parse_and(&mut self) -> Result<Expr, ParseError> {
         let mut left = self.parse_comparison()?;
-        while self.eat_keyword("AND") || self.peek_keyword("&") {
+        loop {
+            let op_pos = self.at();
+            if !(self.eat_keyword("AND") || self.eat_keyword("&")) {
+                return Ok(left);
+            }
             let right = self.parse_comparison()?;
-            left = Expr::Binary(BinOp::And, Box::new(left), Box::new(right));
+            left = Expr::Binary(BinOp::And, Box::new(left), Box::new(right), op_pos);
         }
-        Ok(left)
     }
 
     fn parse_comparison(&mut self) -> Result<Expr, ParseError> {
@@ -527,9 +575,10 @@ impl Parser {
             Some(Token::Ge) => BinOp::Ge,
             _ => return Ok(left),
         };
+        let op_pos = self.at();
         self.advance();
         let right = self.parse_additive()?;
-        Ok(Expr::Binary(op, Box::new(left), Box::new(right)))
+        Ok(Expr::Binary(op, Box::new(left), Box::new(right), op_pos))
     }
 
     fn parse_additive(&mut self) -> Result<Expr, ParseError> {
@@ -540,9 +589,10 @@ impl Parser {
                 Some(Token::Minus) => BinOp::Sub,
                 _ => return Ok(left),
             };
+            let op_pos = self.at();
             self.advance();
             let right = self.parse_multiplicative()?;
-            left = Expr::Binary(op, Box::new(left), Box::new(right));
+            left = Expr::Binary(op, Box::new(left), Box::new(right), op_pos);
         }
     }
 
@@ -555,31 +605,34 @@ impl Parser {
                 Some(Token::Ident(s)) if s.eq_ignore_ascii_case("MOD") => BinOp::Mod,
                 _ => return Ok(left),
             };
+            let op_pos = self.at();
             self.advance();
             let right = self.parse_unary()?;
-            left = Expr::Binary(op, Box::new(left), Box::new(right));
+            left = Expr::Binary(op, Box::new(left), Box::new(right), op_pos);
         }
     }
 
     fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.at();
         if self.eat_keyword("NOT") {
             let inner = self.parse_unary()?;
-            return Ok(Expr::Unary(UnOp::Not, Box::new(inner)));
+            return Ok(Expr::Unary(UnOp::Not, Box::new(inner), pos));
         }
         if self.peek() == Some(&Token::Minus) {
             self.advance();
             let inner = self.parse_unary()?;
-            return Ok(Expr::Unary(UnOp::Neg, Box::new(inner)));
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(inner), pos));
         }
         self.parse_primary()
     }
 
     fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.at();
         match self.advance() {
-            Some(Token::Int(v)) => Ok(Expr::Lit(Literal::Int(v))),
-            Some(Token::Real(v)) => Ok(Expr::Lit(Literal::Real(v))),
-            Some(Token::Time(ns)) => Ok(Expr::Lit(Literal::Time(ns))),
-            Some(Token::Str(s)) => Ok(Expr::Lit(Literal::Str(s))),
+            Some(Token::Int(v)) => Ok(Expr::Lit(Literal::Int(v), pos)),
+            Some(Token::Real(v)) => Ok(Expr::Lit(Literal::Real(v), pos)),
+            Some(Token::Time(ns)) => Ok(Expr::Lit(Literal::Time(ns), pos)),
+            Some(Token::Str(s)) => Ok(Expr::Lit(Literal::Str(s), pos)),
             Some(Token::LParen) => {
                 let inner = self.parse_expr()?;
                 self.expect_token(&Token::RParen)?;
@@ -588,10 +641,10 @@ impl Parser {
             Some(Token::Ident(name)) => {
                 let upper = name.to_uppercase();
                 if upper == "TRUE" {
-                    return Ok(Expr::Lit(Literal::Bool(true)));
+                    return Ok(Expr::Lit(Literal::Bool(true), pos));
                 }
                 if upper == "FALSE" {
-                    return Ok(Expr::Lit(Literal::Bool(false)));
+                    return Ok(Expr::Lit(Literal::Bool(false), pos));
                 }
                 match self.peek() {
                     Some(Token::LParen) => {
@@ -609,14 +662,18 @@ impl Parser {
                             }
                         }
                         self.expect_token(&Token::RParen)?;
-                        Ok(Expr::Call { name: upper, args })
+                        Ok(Expr::Call {
+                            name: upper,
+                            args,
+                            pos,
+                        })
                     }
                     Some(Token::Dot) if matches!(self.peek2(), Some(Token::Ident(_))) => {
                         self.advance();
                         let member = self.expect_ident()?;
-                        Ok(Expr::Member(name, member))
+                        Ok(Expr::Member(name, member, pos))
                     }
-                    _ => Ok(Expr::Var(name)),
+                    _ => Ok(Expr::Var(name, pos)),
                 }
             }
             _ => {
@@ -653,13 +710,9 @@ END_PROGRAM
         assert_eq!(program.vars.len(), 3);
         assert_eq!(program.vars[1].location.as_deref(), Some("QX0.0"));
         assert_eq!(program.vars[2].class, VarClass::Input);
-        assert_eq!(
-            program.fbs,
-            vec![FbDecl {
-                name: "timer1".into(),
-                fb_type: FbType::Ton
-            }]
-        );
+        assert_eq!(program.fbs.len(), 1);
+        assert_eq!(program.fbs[0].name, "timer1");
+        assert_eq!(program.fbs[0].fb_type, FbType::Ton);
         assert_eq!(program.body.len(), 3);
         assert!(matches!(
             &program.body[1],
@@ -670,21 +723,39 @@ END_PROGRAM
     #[test]
     fn precedence() {
         let e = parse_expression("1 + 2 * 3").unwrap();
-        assert_eq!(
-            e,
-            Expr::Binary(
-                BinOp::Add,
-                Box::new(Expr::Lit(Literal::Int(1))),
-                Box::new(Expr::Binary(
-                    BinOp::Mul,
-                    Box::new(Expr::Lit(Literal::Int(2))),
-                    Box::new(Expr::Lit(Literal::Int(3)))
-                ))
-            )
-        );
+        match e {
+            Expr::Binary(BinOp::Add, l, r, _) => {
+                assert!(matches!(*l, Expr::Lit(Literal::Int(1), _)));
+                match *r {
+                    Expr::Binary(BinOp::Mul, a, b, _) => {
+                        assert!(matches!(*a, Expr::Lit(Literal::Int(2), _)));
+                        assert!(matches!(*b, Expr::Lit(Literal::Int(3), _)));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
         // AND binds tighter than OR; comparison tighter than AND.
         let e = parse_expression("a OR b AND c = 1").unwrap();
-        assert!(matches!(e, Expr::Binary(BinOp::Or, _, _)));
+        assert!(matches!(e, Expr::Binary(BinOp::Or, _, _, _)));
+    }
+
+    #[test]
+    fn statement_and_expression_spans() {
+        let body = parse_statements("x := 1;\n  y := x / 0;").unwrap();
+        assert_eq!(body[0].pos(), Pos::new(1, 1));
+        assert_eq!(body[1].pos(), Pos::new(2, 3));
+        // The division's position anchors the operator token.
+        match &body[1] {
+            Stmt::Assign { value, .. } => {
+                assert_eq!(value.pos(), Pos::new(2, 10));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Parse errors carry the offending token's position.
+        let err = parse_statements("x := 1;\n  y := ;").unwrap_err();
+        assert_eq!(err.pos, Pos::new(2, 8));
     }
 
     #[test]
@@ -696,6 +767,7 @@ END_PROGRAM
             Stmt::If {
                 branches,
                 else_body,
+                ..
             } => {
                 assert_eq!(branches.len(), 2);
                 assert_eq!(else_body.len(), 1);
@@ -764,7 +836,7 @@ END_PROGRAM
     fn builtin_calls() {
         let e = parse_expression("MAX(a, MIN(b, 3))").unwrap();
         match e {
-            Expr::Call { name, args } => {
+            Expr::Call { name, args, .. } => {
                 assert_eq!(name, "MAX");
                 assert_eq!(args.len(), 2);
             }

@@ -1,0 +1,130 @@
+//! Differential tests between the semantic checker and the interpreter:
+//! the checker's contract is that every Error-severity finding corresponds
+//! to a possible `RuntimeError`, and — the direction these tests pin — a
+//! program the checker accepts (no Error findings) never faults when the
+//! interpreter actually runs it.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic
+
+use sgcr_plc::{check_program, parse_program, CheckSeverity, Interpreter};
+use std::collections::BTreeSet;
+
+/// Programs the checker must accept — and which must then survive scans.
+const ACCEPTED: &[(&str, &str)] = &[
+    (
+        "arithmetic and feedback across scans",
+        "PROGRAM p
+         VAR n : INT; total : REAL; avg : REAL; END_VAR
+         n := n + 1;
+         total := total + 0.5;
+         avg := total / 2.0;
+         END_PROGRAM",
+    ),
+    (
+        "timers, triggers, and counters",
+        "PROGRAM p
+         VAR t1 : TON; e : R_TRIG; c : CTU; run : BOOL := TRUE;
+             fired : BOOL; edge : BOOL; hits : INT; done : BOOL; END_VAR
+         t1(IN := run, PT := T#10ms, Q => fired);
+         e(CLK := fired, Q => edge);
+         c(CU := edge, R := FALSE, PV := 3, Q => done, CV => hits);
+         END_PROGRAM",
+    ),
+    (
+        "bounded loops, CASE, and EXIT",
+        "PROGRAM p
+         VAR i : INT; acc : INT; sel : INT := 2; label : STRING; END_VAR
+         FOR i := 1 TO 10 BY 2 DO
+             acc := acc + i;
+             IF acc > 12 THEN EXIT; END_IF;
+         END_FOR;
+         CASE sel OF
+             1: label := 'one';
+             2: label := 'two';
+         ELSE label := 'many';
+         END_CASE;
+         WHILE acc > 0 DO acc := acc - 1; END_WHILE;
+         END_PROGRAM",
+    ),
+    (
+        "builtins over mixed numerics",
+        "PROGRAM p
+         VAR x : REAL := 9.0; y : REAL; k : INT; END_VAR
+         y := LIMIT(0.0, SQRT(ABS(x)), 10.0);
+         k := TO_INT(MIN(y, 2.5)) + MAX(1, 2, 3);
+         END_PROGRAM",
+    ),
+];
+
+/// Programs the checker must reject with an Error — each one faults (or
+/// would exhaust the loop budget) when run as written.
+const REJECTED: &[(&str, &str)] = &[
+    (
+        "division by a literal zero",
+        "PROGRAM p VAR x : INT := 1; y : INT; END_VAR y := x / 0; END_PROGRAM",
+    ),
+    (
+        "read of an undeclared, unassigned variable",
+        "PROGRAM p VAR y : INT; END_VAR y := ghost; END_PROGRAM",
+    ),
+    (
+        "logic operator over non-boolean operands",
+        "PROGRAM p VAR s : STRING := 'a'; b : BOOL; END_VAR b := s AND TRUE; END_PROGRAM",
+    ),
+    (
+        "string compared against an integer",
+        "PROGRAM p VAR s : STRING := 'a'; b : BOOL; END_VAR b := s > 1; END_PROGRAM",
+    ),
+    (
+        "endless loop exhausts the scan budget",
+        "PROGRAM p VAR n : INT; END_VAR WHILE TRUE DO n := n + 1; END_WHILE; END_PROGRAM",
+    ),
+    (
+        "unknown function-block output capture",
+        "PROGRAM p VAR t : TON; b : BOOL := TRUE; o : BOOL; END_VAR
+         t(IN := b, PT := T#1ms, NOPE => o); END_PROGRAM",
+    ),
+];
+
+fn errors(source: &str) -> Vec<String> {
+    let program = parse_program(source).expect("corpus programs parse");
+    check_program(&program, &BTreeSet::new())
+        .into_iter()
+        .filter(|f| f.severity == CheckSeverity::Error)
+        .map(|f| format!("{:?} {}", f.code, f.message))
+        .collect()
+}
+
+#[test]
+fn accepted_programs_never_fault_at_runtime() {
+    for (name, source) in ACCEPTED {
+        let errs = errors(source);
+        assert!(errs.is_empty(), "{name}: checker rejected it: {errs:?}");
+        let program = parse_program(source).unwrap();
+        let mut interp = Interpreter::new(program)
+            .unwrap_or_else(|e| panic!("{name}: init faulted: {}", e.message));
+        for scan in 0..50u64 {
+            interp
+                .scan(scan * 10_000_000)
+                .unwrap_or_else(|e| panic!("{name}: scan {scan} faulted: {}", e.message));
+        }
+    }
+}
+
+#[test]
+fn faulting_programs_are_rejected_by_the_checker() {
+    for (name, source) in REJECTED {
+        let errs = errors(source);
+        assert!(
+            !errs.is_empty(),
+            "{name}: checker accepted a program that faults at runtime"
+        );
+        // And each really does fault: either at init, or within the budget.
+        let program = parse_program(source).unwrap();
+        let faulted = match Interpreter::new(program) {
+            Err(_) => true,
+            Ok(mut interp) => (0..50u64).any(|scan| interp.scan(scan * 10_000_000).is_err()),
+        };
+        assert!(faulted, "{name}: expected a RuntimeError, none occurred");
+    }
+}

@@ -12,6 +12,7 @@
 //! | `SG04xx` | protection sanity |
 //! | `SG05xx` | bundle hygiene |
 //! | `SG5xxx` | exercise scenarios |
+//! | `SG6xxx` | ST control-logic semantics and cross-plane bindings |
 //!
 //! The human-facing catalogue (meaning, trigger, fix) lives in
 //! `docs/diagnostics.md`; this module is the machine-readable source of truth
@@ -155,6 +156,34 @@ codes! {
     /// A `linkFault` probability (loss/corrupt/duplicate) is outside [0, 1].
     SCENARIO_BAD_FAULT_PROBABILITY =
         ("SG5007", "link fault probability is outside the [0, 1] range");
+
+    // --- SG6xxx: ST control-logic semantics --------------------------------
+    /// The PLC's Structured Text (or PLCopen XML) body does not parse.
+    ST_PARSE_FAILED = ("SG6000", "PLC control logic does not parse");
+    /// An operand or assignment uses an incompatible type.
+    ST_TYPE_MISMATCH = ("SG6001", "ST expression mixes incompatible types");
+    /// An expression reads a variable nothing declares, binds, or assigns.
+    ST_UNKNOWN_VARIABLE = ("SG6002", "ST reads a variable that is never declared or bound");
+    /// A function/FB call is malformed (unknown callee, wrong arity,
+    /// unknown parameter or output).
+    ST_BAD_FB_CALL = ("SG6003", "ST function or function-block call is malformed");
+    /// A declared variable is read but never assigned or bound, so it
+    /// forever holds its type default.
+    ST_READ_BEFORE_WRITE = ("SG6010", "ST variable is read but never assigned");
+    /// A value is overwritten before anything reads it.
+    ST_DEAD_STORE = ("SG6011", "ST assignment is overwritten before it is read");
+    /// A statement can never execute (constant condition, or it follows
+    /// EXIT/RETURN or a loop that never exits).
+    ST_UNREACHABLE = ("SG6012", "ST statement is unreachable");
+    /// Division or modulo by a literal zero — faults on every scan.
+    ST_DIVISION_BY_ZERO = ("SG6013", "ST divides by a literal zero");
+    /// A PLC read/write/GOOSE binding names an ST variable the program
+    /// never declares.
+    PLC_BINDING_UNDECLARED =
+        ("SG6020", "PLC binding references a variable the program never declares");
+    /// A SCADA tag polls a PLC output register/coil that no located
+    /// variable drives.
+    SCADA_TAG_UNDRIVEN = ("SG6021", "SCADA tag is bound to a PLC output nothing drives");
 }
 
 /// Looks a code up in the registry.

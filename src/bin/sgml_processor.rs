@@ -4,12 +4,14 @@
 //!
 //! ```text
 //! sgml_processor build <bundle-dir> [--dot]
-//! sgml_processor run   <bundle-dir> [--seconds <n>] [--dot]
+//! sgml_processor run   <bundle-dir> [--seconds <n>] [--dot] [--no-check]
 //!                      [--metrics <file>] [--journal <file>]
 //!                      [--trace <file>] [--spans <file>] [--fault-seed <n>]
-//! sgml_processor lint  <bundle-dir> [--format text|json]
+//! sgml_processor lint  <bundle-dir> [--format text|json|sarif]
+//!                      [--cache <dir>] [--deny-warnings]
 //! sgml_processor exercise <bundle-dir> [--scenario <file>] [--report <file>]
 //!                      [--journal <file>] [--trace <file>] [--fault-seed <n>]
+//!                      [--no-check]
 //! ```
 //!
 //! `build` compiles the bundle and prints the generated inventory without
@@ -23,10 +25,19 @@
 //!
 //! `lint` runs the `sgcr-lint` static analyzer over the bundle *without*
 //! constructing a cyber range: files are parsed leniently, cross-file
-//! references, network addressing, power topology, protection sanity, and
-//! bundle hygiene are checked, and findings are printed as coded,
-//! span-carrying diagnostics. The exit code is nonzero when any finding is
-//! an error.
+//! references, network addressing, power topology, protection sanity,
+//! PLC control-logic semantics, and bundle hygiene are checked, and
+//! findings are printed as coded, span-carrying diagnostics. Exit codes:
+//! `0` when clean or warnings-only, `1` for warnings under
+//! `--deny-warnings`, `2` when any finding is an error. `--format sarif`
+//! emits SARIF 2.1.0 for CI ingestion. `--cache <dir>` routes the analysis
+//! through the incremental query engine: per-file results are memoized on
+//! disk behind content fingerprints, reuse statistics go to stderr, and
+//! stdout stays byte-identical to the uncached run.
+//!
+//! `run` and `exercise` front-gate the bundle through the same analyzer:
+//! lint *errors* abort before the range starts (exit 2), warnings are
+//! reported on stderr but do not block. `--no-check` skips the gate.
 //!
 //! `exercise` compiles the bundle and runs a declarative exercise scenario
 //! (`*.scenario.xml`) against it via `sgcr-scenario`: stages fire on
@@ -47,7 +58,7 @@
 
 use sgcr_core::{RangeBuilder, SgmlBundle};
 use sgcr_lint::source::LoadedBundle;
-use sgcr_lint::{json, lint_bundle, report};
+use sgcr_lint::{engine, json, lint_bundle, report, sarif};
 use sgcr_net::SimDuration;
 use sgcr_obs::Telemetry;
 use sgcr_scenario::{run_exercise, Scenario};
@@ -55,12 +66,13 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: sgml_processor build <bundle-dir> [--dot]\n       \
                      sgml_processor run <bundle-dir> [--seconds <n>] [--dot] \
-                     [--metrics <file>] [--journal <file>] \
+                     [--no-check] [--metrics <file>] [--journal <file>] \
                      [--trace <file>] [--spans <file>] [--fault-seed <n>]\n       \
-                     sgml_processor lint <bundle-dir> [--format text|json]\n       \
+                     sgml_processor lint <bundle-dir> [--format text|json|sarif] \
+                     [--cache <dir>] [--deny-warnings]\n       \
                      sgml_processor exercise <bundle-dir> [--scenario <file>] \
                      [--report <file>] [--journal <file>] [--trace <file>] \
-                     [--fault-seed <n>]";
+                     [--fault-seed <n>] [--no-check]";
 
 /// Default co-simulated duration for `run` when `--seconds` is omitted.
 const DEFAULT_RUN_SECONDS: u64 = 10;
@@ -69,6 +81,7 @@ const DEFAULT_RUN_SECONDS: u64 = 10;
 enum Format {
     Text,
     Json,
+    Sarif,
 }
 
 /// A fully parsed invocation.
@@ -82,6 +95,7 @@ enum Cmd {
         dir: String,
         seconds: u64,
         dot: bool,
+        no_check: bool,
         metrics: Option<String>,
         journal: Option<String>,
         trace: Option<String>,
@@ -91,6 +105,8 @@ enum Cmd {
     Lint {
         dir: String,
         format: Format,
+        cache: Option<String>,
+        deny_warnings: bool,
     },
     Exercise {
         dir: String,
@@ -99,6 +115,7 @@ enum Cmd {
         journal: Option<String>,
         trace: Option<String>,
         fault_seed: Option<u64>,
+        no_check: bool,
     },
 }
 
@@ -168,6 +185,7 @@ fn parse_run(args: &[String]) -> Result<Parsed, String> {
     let (dir, rest) = take_dir(args)?;
     let mut seconds = DEFAULT_RUN_SECONDS;
     let mut dot = false;
+    let mut no_check = false;
     let mut metrics = None;
     let mut journal = None;
     let mut trace = None;
@@ -183,6 +201,7 @@ fn parse_run(args: &[String]) -> Result<Parsed, String> {
                     .map_err(|_| format!("`--seconds` expects an integer, found `{value}`"))?;
             }
             "--dot" => dot = true,
+            "--no-check" => no_check = true,
             "--metrics" => metrics = Some(flag_value(rest, &mut i, "--metrics")?.to_string()),
             "--journal" => journal = Some(flag_value(rest, &mut i, "--journal")?.to_string()),
             "--trace" => trace = Some(flag_value(rest, &mut i, "--trace")?.to_string()),
@@ -199,6 +218,7 @@ fn parse_run(args: &[String]) -> Result<Parsed, String> {
             dir,
             seconds,
             dot,
+            no_check,
             metrics,
             journal,
             trace,
@@ -213,23 +233,35 @@ fn parse_format(value: &str) -> Result<Format, String> {
     match value {
         "text" => Ok(Format::Text),
         "json" => Ok(Format::Json),
-        other => Err(format!("`--format` expects text|json, found `{other}`")),
+        "sarif" => Ok(Format::Sarif),
+        other => Err(format!(
+            "`--format` expects text|json|sarif, found `{other}`"
+        )),
     }
 }
 
 fn parse_lint(args: &[String]) -> Result<Parsed, String> {
     let (dir, rest) = take_dir(args)?;
     let mut format = Format::Text;
+    let mut cache = None;
+    let mut deny_warnings = false;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
             "--format" => format = parse_format(flag_value(rest, &mut i, "--format")?)?,
+            "--cache" => cache = Some(flag_value(rest, &mut i, "--cache")?.to_string()),
+            "--deny-warnings" => deny_warnings = true,
             other => return Err(format!("unknown argument `{other}` for `lint`")),
         }
         i += 1;
     }
     Ok(Parsed {
-        cmd: Cmd::Lint { dir, format },
+        cmd: Cmd::Lint {
+            dir,
+            format,
+            cache,
+            deny_warnings,
+        },
         deprecation: None,
     })
 }
@@ -241,6 +273,7 @@ fn parse_exercise(args: &[String]) -> Result<Parsed, String> {
     let mut journal = None;
     let mut trace = None;
     let mut fault_seed = None;
+    let mut no_check = false;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -251,6 +284,7 @@ fn parse_exercise(args: &[String]) -> Result<Parsed, String> {
             "--fault-seed" => {
                 fault_seed = Some(parse_fault_seed(flag_value(rest, &mut i, "--fault-seed")?)?);
             }
+            "--no-check" => no_check = true,
             other => return Err(format!("unknown argument `{other}` for `exercise`")),
         }
         i += 1;
@@ -263,6 +297,7 @@ fn parse_exercise(args: &[String]) -> Result<Parsed, String> {
             journal,
             trace,
             fault_seed,
+            no_check,
         },
         deprecation: None,
     })
@@ -300,6 +335,8 @@ fn parse_legacy(args: &[String]) -> Result<Parsed, String> {
             Cmd::Lint {
                 dir: dir.clone(),
                 format,
+                cache: None,
+                deny_warnings: false,
             },
             format!("lint {dir}"),
         )
@@ -309,6 +346,7 @@ fn parse_legacy(args: &[String]) -> Result<Parsed, String> {
                 dir: dir.clone(),
                 seconds,
                 dot,
+                no_check: false,
                 metrics: None,
                 journal: None,
                 trace: None,
@@ -356,24 +394,35 @@ fn main() -> ExitCode {
             dir,
             seconds,
             dot,
+            no_check,
             metrics,
             journal,
             trace,
             spans,
             fault_seed,
-        } => generate(
-            &dir,
-            Some(seconds),
-            dot,
-            &Sinks {
-                metrics,
-                journal,
-                trace,
-                spans,
-            },
-            fault_seed,
-        ),
-        Cmd::Lint { dir, format } => lint(&dir, format),
+        } => {
+            if let Some(code) = front_gate(&dir, no_check) {
+                return code;
+            }
+            generate(
+                &dir,
+                Some(seconds),
+                dot,
+                &Sinks {
+                    metrics,
+                    journal,
+                    trace,
+                    spans,
+                },
+                fault_seed,
+            )
+        }
+        Cmd::Lint {
+            dir,
+            format,
+            cache,
+            deny_warnings,
+        } => lint(&dir, format, cache.as_deref(), deny_warnings),
         Cmd::Exercise {
             dir,
             scenario,
@@ -381,17 +430,23 @@ fn main() -> ExitCode {
             journal,
             trace,
             fault_seed,
-        } => exercise(
-            &dir,
-            scenario.as_deref(),
-            report.as_deref(),
-            &Sinks {
-                journal,
-                trace,
-                ..Sinks::default()
-            },
-            fault_seed,
-        ),
+            no_check,
+        } => {
+            if let Some(code) = front_gate(&dir, no_check) {
+                return code;
+            }
+            exercise(
+                &dir,
+                scenario.as_deref(),
+                report.as_deref(),
+                &Sinks {
+                    journal,
+                    trace,
+                    ..Sinks::default()
+                },
+                fault_seed,
+            )
+        }
     }
 }
 
@@ -417,25 +472,81 @@ impl Sinks {
     }
 }
 
-/// Statically analyzes the bundle; never constructs a `CyberRange`.
-fn lint(dir: &str, format: Format) -> ExitCode {
-    let bundle = match LoadedBundle::from_dir(dir) {
-        Ok(bundle) => bundle,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let lint_report = lint_bundle(&bundle);
-    match format {
-        Format::Text => print!("{}", report::render_text(&lint_report, &bundle)),
-        Format::Json => print!("{}", json::to_json(&lint_report)),
-    }
+/// Lint exit code for a finished report under the documented contract:
+/// clean and warnings-only exit 0 (1 with `--deny-warnings`), errors exit 2.
+fn lint_exit_code(lint_report: &sgcr_lint::LintReport, deny_warnings: bool) -> ExitCode {
     if lint_report.has_errors() {
+        ExitCode::from(2)
+    } else if deny_warnings && lint_report.warning_count() > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Statically analyzes the bundle; never constructs a `CyberRange`.
+///
+/// With `--cache <dir>` the incremental query engine answers from memoized
+/// per-file results where file contents are unchanged; reuse statistics go
+/// to stderr so stdout stays byte-identical to an uncached run.
+fn lint(dir: &str, format: Format, cache: Option<&str>, deny_warnings: bool) -> ExitCode {
+    let (lint_report, bundle) = if let Some(cache_dir) = cache {
+        match engine::lint_dir_incremental(dir, std::path::Path::new(cache_dir)) {
+            Ok(outcome) => {
+                eprintln!(
+                    "lint cache: {} reused, {} recomputed queries",
+                    outcome.stats.reused, outcome.stats.recomputed
+                );
+                (outcome.report, outcome.bundle)
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let bundle = match LoadedBundle::from_dir(dir) {
+            Ok(bundle) => bundle,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let lint_report = lint_bundle(&bundle);
+        (lint_report, bundle)
+    };
+    match format {
+        Format::Text => print!("{}", report::render_text(&lint_report, &bundle)),
+        Format::Json => print!("{}", json::to_json(&lint_report)),
+        Format::Sarif => print!("{}", sarif::to_sarif(&lint_report)),
+    }
+    lint_exit_code(&lint_report, deny_warnings)
+}
+
+/// The pre-flight static check `run` and `exercise` perform before building
+/// the range. Lint errors abort with exit 2 and the findings on stderr;
+/// warnings are reported but do not block. Returns `None` when the range
+/// may start. `--no-check` (or an unreadable directory, which the builder
+/// will report properly) skips the gate.
+fn front_gate(dir: &str, no_check: bool) -> Option<ExitCode> {
+    if no_check {
+        return None;
+    }
+    let bundle = LoadedBundle::from_dir(dir).ok()?;
+    let lint_report = lint_bundle(&bundle);
+    if lint_report.diagnostics.is_empty() {
+        return None;
+    }
+    eprint!("{}", report::render_text(&lint_report, &bundle));
+    if lint_report.has_errors() {
+        eprintln!(
+            "error: bundle fails static checks ({} error(s)); \
+             fix them or pass --no-check to start the range anyway",
+            lint_report.error_count()
+        );
+        return Some(ExitCode::from(2));
+    }
+    None
 }
 
 /// Runs a declarative exercise scenario against a freshly generated range
@@ -701,6 +812,7 @@ mod tests {
                 dir: "bundles/epic".into(),
                 seconds: 30,
                 dot: false,
+                no_check: false,
                 metrics: Some("m.json".into()),
                 journal: Some("j.jsonl".into()),
                 trace: Some("t.json".into()),
@@ -709,6 +821,15 @@ mod tests {
             }
         );
         assert!(parsed.deprecation.is_none());
+    }
+
+    #[test]
+    fn run_accepts_no_check() {
+        let parsed = parse_args(&argv("run bundles/epic --no-check")).unwrap();
+        match parsed.cmd {
+            Cmd::Run { no_check, .. } => assert!(no_check),
+            other => panic!("expected run, got {other:?}"),
+        }
     }
 
     #[test]
@@ -742,9 +863,47 @@ mod tests {
             parsed.cmd,
             Cmd::Lint {
                 dir: "bundles/epic".into(),
-                format: Format::Json
+                format: Format::Json,
+                cache: None,
+                deny_warnings: false,
             }
         );
+    }
+
+    #[test]
+    fn lint_subcommand_parses_sarif_cache_and_deny_warnings() {
+        let parsed = parse_args(&argv(
+            "lint bundles/epic --format sarif --cache .lint-cache --deny-warnings",
+        ))
+        .unwrap();
+        assert_eq!(
+            parsed.cmd,
+            Cmd::Lint {
+                dir: "bundles/epic".into(),
+                format: Format::Sarif,
+                cache: Some(".lint-cache".into()),
+                deny_warnings: true,
+            }
+        );
+    }
+
+    #[test]
+    fn lint_exit_codes_follow_the_contract() {
+        use sgcr_lint::LintReport;
+        use sgcr_scl::{codes, Diagnostic};
+        let clean = LintReport::default();
+        assert_eq!(lint_exit_code(&clean, false), ExitCode::SUCCESS);
+        assert_eq!(lint_exit_code(&clean, true), ExitCode::SUCCESS);
+        let warning = LintReport {
+            diagnostics: vec![Diagnostic::warning(codes::ORPHAN_ICD, "orphan", "x")],
+        };
+        assert_eq!(lint_exit_code(&warning, false), ExitCode::SUCCESS);
+        assert_eq!(lint_exit_code(&warning, true), ExitCode::FAILURE);
+        let error = LintReport {
+            diagnostics: vec![Diagnostic::error(codes::ST_PARSE_FAILED, "bad", "x")],
+        };
+        assert_eq!(lint_exit_code(&error, false), ExitCode::from(2));
+        assert_eq!(lint_exit_code(&error, true), ExitCode::from(2));
     }
 
     #[test]
@@ -771,6 +930,7 @@ mod tests {
                 dir: "bundles/epic".into(),
                 seconds: 5,
                 dot: false,
+                no_check: false,
                 metrics: None,
                 journal: None,
                 trace: None,
@@ -788,7 +948,9 @@ mod tests {
             parsed.cmd,
             Cmd::Lint {
                 dir: "bundles/epic".into(),
-                format: Format::Json
+                format: Format::Json,
+                cache: None,
+                deny_warnings: false,
             }
         );
         assert!(parsed.deprecation.is_some());
@@ -810,9 +972,19 @@ mod tests {
                 journal: Some("j.jsonl".into()),
                 trace: Some("t.json".into()),
                 fault_seed: Some(7),
+                no_check: false,
             }
         );
         assert!(parsed.deprecation.is_none());
+    }
+
+    #[test]
+    fn exercise_accepts_no_check() {
+        let parsed = parse_args(&argv("exercise bundles/epic --no-check")).unwrap();
+        match parsed.cmd {
+            Cmd::Exercise { no_check, .. } => assert!(no_check),
+            other => panic!("expected exercise, got {other:?}"),
+        }
     }
 
     #[test]
@@ -827,6 +999,7 @@ mod tests {
                 journal: None,
                 trace: None,
                 fault_seed: None,
+                no_check: false,
             }
         );
     }
@@ -843,6 +1016,7 @@ mod tests {
         assert!(parse_args(&argv("run bundles/epic --fault-seed abc")).is_err());
         assert!(parse_args(&argv("exercise bundles/epic --fault-seed -1")).is_err());
         assert!(parse_args(&argv("lint bundles/epic --format yaml")).is_err());
+        assert!(parse_args(&argv("lint bundles/epic --cache")).is_err());
         assert!(parse_args(&argv("exercise")).is_err());
         assert!(parse_args(&argv("exercise bundles/epic --scenario")).is_err());
         assert!(parse_args(&argv("exercise bundles/epic --bogus")).is_err());

@@ -5,15 +5,18 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
 
 use sgcr_lint::source::LoadedBundle;
-use sgcr_lint::{json, lint_bundle, report, LintReport};
-use sgcr_scl::codes;
+use sgcr_lint::{engine, json, lint_bundle, report, sarif, LintReport};
+use sgcr_scl::{codes, Severity};
 use std::path::PathBuf;
 
-fn load_fixture(name: &str) -> (LoadedBundle, LintReport) {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+fn fixture_dir(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures/lint")
-        .join(name);
-    let bundle = LoadedBundle::from_dir(&dir).expect("fixture bundle loads");
+        .join(name)
+}
+
+fn load_fixture(name: &str) -> (LoadedBundle, LintReport) {
+    let bundle = LoadedBundle::from_dir(fixture_dir(name)).expect("fixture bundle loads");
     let report = lint_bundle(&bundle);
     (bundle, report)
 }
@@ -77,6 +80,126 @@ fn orphan_icd_is_a_warning_only() {
 }
 
 #[test]
+fn st_logic_fixture_trips_every_sg6xxx_code() {
+    let (_, report) = load_fixture("st_logic");
+    let expect = [
+        (codes::ST_PARSE_FAILED, Severity::Error),
+        (codes::ST_TYPE_MISMATCH, Severity::Warning),
+        (codes::ST_UNKNOWN_VARIABLE, Severity::Error),
+        (codes::ST_BAD_FB_CALL, Severity::Warning),
+        (codes::ST_READ_BEFORE_WRITE, Severity::Warning),
+        (codes::ST_DEAD_STORE, Severity::Warning),
+        (codes::ST_UNREACHABLE, Severity::Warning),
+        (codes::ST_DIVISION_BY_ZERO, Severity::Error),
+        (codes::PLC_BINDING_UNDECLARED, Severity::Error),
+        (codes::SCADA_TAG_UNDRIVEN, Severity::Warning),
+    ];
+    for (code, severity) in expect {
+        let finding = report
+            .with_code(code)
+            .next()
+            .unwrap_or_else(|| panic!("expected {code}, got {:#?}", report.diagnostics));
+        assert_eq!(finding.severity, severity, "{code}: {finding:?}");
+        let span = finding.span.as_ref().unwrap_or_else(|| {
+            panic!("{code} must carry a span: {finding:?}");
+        });
+        assert!(span.line > 0, "{code} span has no line: {finding:?}");
+    }
+    // Every SG6xxx span points into the file that holds the defect.
+    for d in report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code.starts_with("SG6"))
+    {
+        let file = d.span.as_ref().map(|s| s.file.as_str()).unwrap_or("");
+        if d.code == codes::SCADA_TAG_UNDRIVEN {
+            assert_eq!(file, "scada_config.xml", "{d:?}");
+        } else {
+            assert_eq!(file, "plc_config.xml", "{d:?}");
+        }
+    }
+    // Seeded positions: the division by a literal zero sits on the CDATA
+    // line `out := raw / 0;` of the second PLC.
+    let div = report.with_code(codes::ST_DIVISION_BY_ZERO).next().unwrap();
+    let span = div.span.as_ref().unwrap();
+    assert_eq!(span.line, 22, "division-by-zero line: {div:?}");
+}
+
+#[test]
+fn epic_bundle_is_deliberately_clean() {
+    // The shipped EPIC model set is the "known good" reference: the whole
+    // roster — including the new SG6xxx semantic tier — must stay silent.
+    let bundle = LoadedBundle::from_bundle(&sg_cyber_range::models::epic_bundle());
+    let report = lint_bundle(&bundle);
+    assert!(
+        report.diagnostics.is_empty(),
+        "EPIC must stay lint-clean: {:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn sarif_output_matches_golden_file() {
+    let (_, report) = load_fixture("st_logic");
+    let sarif = sarif::to_sarif(&report);
+    let golden_path = fixture_dir("st_logic.sarif");
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", golden_path.display()));
+    assert_eq!(
+        sarif, golden,
+        "SARIF output drifted from tests/fixtures/lint/st_logic.sarif; \
+         regenerate it with `sgml_processor lint tests/fixtures/lint/st_logic --format sarif`"
+    );
+}
+
+#[test]
+fn incremental_cache_is_byte_identical_and_reuses_queries() {
+    // Copy the fixture into a scratch dir so we can edit one file.
+    let scratch = std::env::temp_dir().join(format!("sgcr-lint-cli-{}", std::process::id()));
+    let bundle_dir = scratch.join("bundle");
+    let cache_dir = scratch.join("cache");
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&bundle_dir).unwrap();
+    for entry in std::fs::read_dir(fixture_dir("st_logic")).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), bundle_dir.join(entry.file_name())).unwrap();
+    }
+
+    let cold = engine::lint_dir_incremental(&bundle_dir, &cache_dir).unwrap();
+    assert_eq!(cold.stats.reused, 0, "{:?}", cold.stats);
+    let direct = lint_bundle(&LoadedBundle::from_dir(&bundle_dir).unwrap());
+    assert_eq!(cold.report, direct, "engine must match lint_bundle");
+
+    // Warm run: everything answered from cache, bytes identical.
+    let warm = engine::lint_dir_incremental(&bundle_dir, &cache_dir).unwrap();
+    assert_eq!(warm.stats.recomputed, 0, "{:?}", warm.stats);
+    assert!(warm.stats.reused >= 1, "{:?}", warm.stats);
+    assert_eq!(json::to_json(&warm.report), json::to_json(&cold.report));
+    assert_eq!(
+        report::render_text(&warm.report, &warm.bundle),
+        report::render_text(&cold.report, &cold.bundle),
+        "cached stdout must be byte-identical"
+    );
+
+    // Touch one file: only its per-file query (plus the cross-file query)
+    // recomputes; the report is unchanged because only whitespace moved.
+    let ssd = bundle_dir.join("substation01.ssd.xml");
+    let text = std::fs::read_to_string(&ssd).unwrap();
+    std::fs::write(&ssd, format!("{text}\n")).unwrap();
+    let edited = engine::lint_dir_incremental(&bundle_dir, &cache_dir).unwrap();
+    assert_eq!(edited.stats.recomputed, 2, "{:?}", edited.stats);
+    assert_eq!(
+        edited.stats.reused,
+        warm.stats.reused - 2,
+        "{:?}",
+        edited.stats
+    );
+    assert_eq!(json::to_json(&edited.report), json::to_json(&cold.report));
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
 fn text_rendering_includes_snippet_and_caret() {
     let (bundle, report) = load_fixture("dup_ip");
     let text = report::render_text(&report, &bundle);
@@ -91,7 +214,7 @@ fn text_rendering_includes_snippet_and_caret() {
 
 #[test]
 fn json_output_round_trips() {
-    for fixture in ["dangling_ied", "dup_ip", "island", "orphan_icd"] {
+    for fixture in ["dangling_ied", "dup_ip", "island", "orphan_icd", "st_logic"] {
         let (_, report) = load_fixture(fixture);
         let encoded = json::to_json(&report);
         let decoded = json::from_json(&encoded)
@@ -102,7 +225,7 @@ fn json_output_round_trips() {
 
 #[test]
 fn every_emitted_code_is_registered() {
-    for fixture in ["dangling_ied", "dup_ip", "island", "orphan_icd"] {
+    for fixture in ["dangling_ied", "dup_ip", "island", "orphan_icd", "st_logic"] {
         let (_, report) = load_fixture(fixture);
         assert!(
             !report.diagnostics.is_empty(),

@@ -1,0 +1,63 @@
+//! Differential soundness over the shipped EPIC model set: the semantic
+//! checker accepts every EPIC control program, and — the property the
+//! checker's Error severity encodes — none of those programs raises a
+//! runtime fault across a full scored exercise run.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic
+
+use sg_cyber_range::models::epic::epic_plc_config;
+use sg_cyber_range::models::epic_bundle;
+use sg_cyber_range::scenario::{run_exercise, Scenario};
+use sgcr_core::{CyberRange, PlcLogic};
+use sgcr_plc::{check_program, parse_plcopen, parse_program, CheckSeverity};
+use std::collections::BTreeSet;
+
+#[test]
+fn checker_accepts_every_epic_program() {
+    let config = epic_plc_config();
+    assert!(!config.plcs.is_empty());
+    for plc in &config.plcs {
+        let program = match &plc.logic {
+            PlcLogic::StructuredText(st) => parse_program(st.as_str()).expect("EPIC ST parses"),
+            PlcLogic::PlcOpenXml(xml) => parse_plcopen(xml.as_str()).expect("EPIC PLCopen parses"),
+        };
+        // Variables fed from outside the program each scan: MMS reads,
+        // GOOSE subscriptions, and located I/O restored from the image.
+        let mut external: BTreeSet<String> = BTreeSet::new();
+        external.extend(plc.reads.iter().map(|r| r.variable.clone()));
+        external.extend(plc.gooses.iter().map(|g| g.variable.clone()));
+        external.extend(
+            program
+                .vars
+                .iter()
+                .filter(|v| v.location.is_some())
+                .map(|v| v.name.clone()),
+        );
+        let errors: Vec<_> = check_program(&program, &external)
+            .into_iter()
+            .filter(|f| f.severity == CheckSeverity::Error)
+            .collect();
+        assert!(
+            errors.is_empty(),
+            "checker rejected EPIC PLC {}: {errors:#?}",
+            plc.name
+        );
+    }
+}
+
+#[test]
+fn epic_exercise_run_raises_no_plc_fault() {
+    let bundle = epic_bundle();
+    let scenario = Scenario::parse(&bundle.scenarios[0]).unwrap();
+    let mut range = CyberRange::generate(&bundle).expect("EPIC compiles");
+    run_exercise(&mut range, &scenario).expect("exercise runs");
+    for (name, handle) in &range.plcs {
+        let status = handle.lock();
+        assert!(
+            status.fault.is_none(),
+            "PLC {name} faulted during the exercise: {:?}",
+            status.fault
+        );
+        assert!(status.scans > 0, "PLC {name} never scanned");
+    }
+}
