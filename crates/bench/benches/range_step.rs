@@ -3,26 +3,33 @@
 //! configuration — the numbers behind the S1 scalability table.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sgcr_core::CyberRange;
+use sgcr_core::{CompiledModel, CyberRange};
 use sgcr_models::{epic_bundle, multisub_bundle, MultiSubParams};
 use sgcr_net::SimDuration;
 
 fn bench_range(c: &mut Criterion) {
     c.bench_function("generate_epic_range", |b| {
         let bundle = epic_bundle();
-        b.iter(|| CyberRange::generate(&bundle).expect("compiles"));
+        b.iter(|| {
+            CyberRange::instantiate(CompiledModel::shared(&bundle).expect("compiles"))
+                .expect("compiles")
+        });
     });
 
     c.bench_function("epic_step_100ms", |b| {
-        let mut range = CyberRange::generate(&epic_bundle()).expect("compiles");
+        let mut range =
+            CyberRange::instantiate(CompiledModel::shared(&epic_bundle()).expect("compiles"))
+                .expect("compiles");
         range.run_for(SimDuration::from_secs(1));
         b.iter(|| range.step());
     });
 
     c.bench_function("multisub_5x104_step_100ms", |b| {
         let params = MultiSubParams::paper_profile();
-        let mut range =
-            CyberRange::generate(&multisub_bundle(&params)).expect("paper profile compiles");
+        let mut range = CyberRange::instantiate(
+            CompiledModel::shared(&multisub_bundle(&params)).expect("paper profile compiles"),
+        )
+        .expect("paper profile compiles");
         range.run_for(SimDuration::from_secs(1));
         b.iter(|| range.step());
     });

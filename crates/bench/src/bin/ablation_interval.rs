@@ -9,7 +9,7 @@
 //! paper's 100 ms choice.
 
 use sgcr_bench::render_table;
-use sgcr_core::{CyberRange, PowerExtraConfig};
+use sgcr_core::{CompiledModel, CyberRange, PowerExtraConfig};
 use sgcr_models::epic_bundle;
 use sgcr_net::SimDuration;
 
@@ -21,7 +21,8 @@ fn main() {
         let mut extra = PowerExtraConfig::parse(bundle.power_extra.as_ref().unwrap()).unwrap();
         extra.interval_ms = interval_ms;
         bundle.power_extra = Some(extra.to_xml());
-        let mut range = CyberRange::generate(&bundle).expect("compiles");
+        let mut range = CyberRange::instantiate(CompiledModel::shared(&bundle).expect("compiles"))
+            .expect("compiles");
         range.run_for(SimDuration::from_secs(1));
 
         // Fault: overload the smart-home feeder; TIED2's PTOC (200 ms

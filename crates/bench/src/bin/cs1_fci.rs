@@ -4,15 +4,17 @@
 
 use sgcr_attack::{FciAttackApp, FciPlan};
 use sgcr_bench::render_table;
-use sgcr_core::CyberRange;
+use sgcr_core::{CompiledModel, CyberRange};
 use sgcr_models::epic_bundle;
 use sgcr_net::{Ipv4Addr, SimDuration};
 
 fn main() {
     println!("== Case study 1: false command injection (paper SIV-B) ==\n");
-    let mut range = CyberRange::generate(&epic_bundle()).expect("EPIC compiles");
+    let mut range =
+        CyberRange::instantiate(CompiledModel::shared(&epic_bundle()).expect("EPIC compiles"))
+            .expect("EPIC compiles");
     range.add_host("malware-host", Ipv4Addr::new(10, 0, 1, 66), "GenBus");
-    let victim = range.plan.host_ip("GIED1").unwrap();
+    let victim = range.plan().host_ip("GIED1").unwrap();
     let (attack, report) = FciAttackApp::new(FciPlan {
         victim,
         item: "GIED1LD0/CSWI1$CO$Pos$Oper$ctlVal".into(),

@@ -2,7 +2,9 @@
 //! stage by stage over the EPIC model set with per-stage summaries —
 //! mirroring the flowchart modules of Figure 3.
 
-use sgcr_core::{compile_network, compile_power, CyberRange, IedConfig, PowerExtraConfig};
+use sgcr_core::{
+    compile_network, compile_power, CompiledModel, CyberRange, IedConfig, PowerExtraConfig,
+};
 use sgcr_models::epic_bundle;
 use sgcr_net::SimDuration;
 use sgcr_scl::{consolidate_scd, consolidate_ssd, parse_icd, parse_scd, parse_ssd};
@@ -97,7 +99,8 @@ fn main() {
 
     println!("[output]   operational cyber range (Figure 2, right)");
     let start = std::time::Instant::now();
-    let mut range = CyberRange::generate(&bundle).expect("generate");
+    let mut range = CyberRange::instantiate(CompiledModel::shared(&bundle).expect("generate"))
+        .expect("generate");
     println!(
         "  generated in {:.1} ms: {}",
         start.elapsed().as_secs_f64() * 1e3,

@@ -4,17 +4,19 @@
 
 use sgcr_attack::{MitmApp, MitmPlan, Transform};
 use sgcr_bench::render_table;
-use sgcr_core::CyberRange;
+use sgcr_core::{CompiledModel, CyberRange};
 use sgcr_models::epic_bundle;
 use sgcr_net::{Ipv4Addr, SimDuration};
 
 fn main() {
     println!("== Figure 6: MITM attack on a power grid measurement ==\n");
-    let mut range = CyberRange::generate(&epic_bundle()).expect("EPIC compiles");
+    let mut range =
+        CyberRange::instantiate(CompiledModel::shared(&epic_bundle()).expect("EPIC compiles"))
+            .expect("EPIC compiles");
 
     range.add_host("mitm-box", Ipv4Addr::new(10, 0, 5, 66), "ControlBus");
-    let scada_ip = range.plan.host_ip("SCADA").unwrap();
-    let tied1_ip = range.plan.host_ip("TIED1").unwrap();
+    let scada_ip = range.plan().host_ip("SCADA").unwrap();
+    let tied1_ip = range.plan().host_ip("TIED1").unwrap();
     let (mitm, handle) = MitmApp::new(MitmPlan {
         victim_a: scada_ip,
         victim_b: tied1_ip,

@@ -8,7 +8,7 @@
 //! `--release`; debug-build numbers are not meaningful.
 
 use sgcr_bench::{ms, render_table};
-use sgcr_core::CyberRange;
+use sgcr_core::{CompiledModel, CyberRange};
 use sgcr_models::{multisub_bundle, MultiSubParams};
 use sgcr_net::SimDuration;
 
@@ -35,7 +35,7 @@ fn main() {
         eprintln!("generating {substations} substations / {total_ieds} IEDs…");
         let gen_start = std::time::Instant::now();
         let bundle = multisub_bundle(&params);
-        let mut range = match CyberRange::generate(&bundle) {
+        let mut range = match CompiledModel::shared(&bundle).and_then(CyberRange::instantiate) {
             Ok(r) => r,
             Err(e) => {
                 rows.push(vec![

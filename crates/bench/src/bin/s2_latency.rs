@@ -9,7 +9,7 @@
 //! Modbus path.
 
 use sgcr_bench::render_table;
-use sgcr_core::CyberRange;
+use sgcr_core::{CompiledModel, CyberRange};
 use sgcr_models::epic_bundle;
 use sgcr_net::SimDuration;
 
@@ -20,7 +20,9 @@ fn main() {
     let mut plc_ms: Vec<u64> = Vec::new();
 
     for trial in 0..trials {
-        let mut range = CyberRange::generate(&epic_bundle()).expect("EPIC compiles");
+        let mut range =
+            CyberRange::instantiate(CompiledModel::shared(&epic_bundle()).expect("EPIC compiles"))
+                .expect("EPIC compiles");
         range.run_for(SimDuration::from_secs(3));
         let scada = range.scada.as_ref().unwrap().clone();
 

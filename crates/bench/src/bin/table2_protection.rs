@@ -3,14 +3,15 @@
 //! a live cyber range and reported with its observed behaviour.
 
 use sgcr_bench::render_table;
-use sgcr_core::{CyberRange, IedConfig, SgmlBundle};
+use sgcr_core::{CompiledModel, CyberRange, IedConfig, SgmlBundle};
 use sgcr_ied::{IedEventKind, MeasurementMap, ProtectionSpec, RsvSpec};
 use sgcr_kvstore::Value;
 use sgcr_models::{epic_bundle, multisub_bundle, MultiSubParams};
 use sgcr_net::SimDuration;
 
 fn epic() -> CyberRange {
-    CyberRange::generate(&epic_bundle()).expect("EPIC compiles")
+    CyberRange::instantiate(CompiledModel::shared(&epic_bundle()).expect("EPIC compiles"))
+        .expect("EPIC compiles")
 }
 
 /// PTOC: overload the smart-home feeder.
@@ -121,7 +122,9 @@ fn run_pdif() -> (String, String) {
         })
         .collect();
     bundle.ied_config = Some(config.to_xml());
-    let mut range = CyberRange::generate(&bundle).expect("pdif bundle compiles");
+    let mut range =
+        CyberRange::instantiate(CompiledModel::shared(&bundle).expect("pdif bundle compiles"))
+            .expect("pdif bundle compiles");
     for _ in 0..10 {
         let tie_i = range.store.get_float(&tie_key).unwrap_or(0.0);
         range.store.set(&ct_key, Value::Float(tie_i));

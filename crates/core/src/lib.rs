@@ -14,19 +14,23 @@
 //! SCADA Config XML (in `sgcr-scada`), and [`PowerExtraConfig`] XML (load
 //! profiles, disturbance scenarios, and the simulation interval).
 //!
-//! [`CyberRange::generate`] is the *SG-ML Processor*: like a compiler, it
+//! [`CompiledModel::compile`] is the *SG-ML Processor*: like a compiler, it
 //! parses the models, consolidates multi-substation files along SED
 //! connectivity, generates the power-flow model from the SSD, the network
-//! emulation model from the SCD, instantiates virtual IEDs (features gated
-//! by their ICDs), PLCs, and the SCADA HMI — and returns an *operational*
-//! cyber range ready for interactive experiments.
+//! emulation model from the SCD, and compiles virtual-IED specs (features
+//! gated by their ICDs), PLC programs, and the SCADA HMI blueprint into an
+//! immutable, [`Arc`](std::sync::Arc)-shareable artifact. Instantiating
+//! that artifact ([`CyberRange::instantiate`]) yields an *operational*
+//! cyber range ready for interactive experiments — cheaply enough that one
+//! compiled model can back thousands of concurrent tenant ranges (see the
+//! [`RangeSnapshot`] restart recipe and the `sgcr-farm` crate).
 //!
 //! # Examples
 //!
-//! Generating and running a range from model files:
+//! Compiling model files once and running a range:
 //!
 //! ```no_run
-//! use sgcr_core::{CyberRange, SgmlBundle};
+//! use sgcr_core::{CompiledModel, CyberRange, SgmlBundle};
 //! use sgcr_net::SimDuration;
 //!
 //! # fn load(_: &str) -> String { String::new() }
@@ -38,7 +42,8 @@
 //!     scada_config: Some(load("scada_config.xml")),
 //!     ..SgmlBundle::default()
 //! };
-//! let mut range = CyberRange::generate(&bundle)?;
+//! let model = CompiledModel::shared(&bundle)?;
+//! let mut range = CyberRange::instantiate(model)?;
 //! range.run_for(SimDuration::from_secs(10));
 //! # Ok::<(), sgcr_core::RangeError>(())
 //! ```
@@ -46,7 +51,9 @@
 mod files;
 mod fingerprint;
 mod keymap;
+mod model;
 mod range;
+mod state;
 
 pub mod compile;
 pub mod sgml;
@@ -57,14 +64,17 @@ pub use keymap::{
     branch_i_key, branch_loading_key, branch_p_key, branch_q_key, breaker_cmd_key,
     breaker_state_key, bus_va_key, bus_vm_key, load_p_key, source_p_key, split_scoped,
 };
+pub use model::{CompiledModel, CompiledPlc, CompiledScada};
 pub use range::{
-    CyberRange, RangeBuilder, RangeError, SgmlBundle, StepStats, DEFAULT_STEP_STATS_CAPACITY,
+    CyberRange, RangeBuilder, RangeError, RangeSnapshot, SgmlBundle, StepStats,
+    DEFAULT_SOLVE_ERRORS_CAPACITY, DEFAULT_STEP_STATS_CAPACITY,
 };
 pub use sgml::ied_config::{IedConfig, IedConfigError};
 pub use sgml::plc_config::{
     PlcConfig, PlcConfigError, PlcDef, PlcGooseRule, PlcLogic, PlcReadRule, PlcWriteRule,
 };
 pub use sgml::power_extra::{PowerExtraConfig, PowerExtraError};
+pub use state::{RangeSettings, RangeState};
 
 pub use compile::ied::{compile_ied, IedCompilation};
 pub use compile::network::{compile_network, NetworkPlan, PlannedHost, PlannedSwitch};

@@ -1,5 +1,4 @@
-//! The operational cyber range: the artifact the SG-ML Processor "compiles"
-//! a model set into, and the co-simulation loop that runs it.
+//! The operational cyber range: compiled model + per-tenant runtime state.
 //!
 //! The runtime mirrors the paper's architecture exactly: an emulated cyber
 //! network hosting virtual IEDs, PLCs, and a SCADA HMI, coupled to a
@@ -8,39 +7,37 @@
 //! step applies load profiles and scenario events, executes breaker/set-point
 //! commands written by the cyber side, solves, and publishes fresh
 //! measurements for the virtual devices to sample.
+//!
+//! Since the model/state split, a [`CyberRange`] is a thin pairing of an
+//! immutable, `Arc`-shared [`CompiledModel`] with one tenant's mutable
+//! [`RangeState`]; it [`Deref`]s to the state, so `range.step()`,
+//! `range.net`, `range.ieds`, fault injection, and every probe keep their
+//! familiar spelling. Compile once, instantiate many:
+//!
+//! ```no_run
+//! use sgcr_core::{CompiledModel, CyberRange, SgmlBundle};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let bundle = SgmlBundle::from_dir("examples/epic_bundle")?;
+//! let model = CompiledModel::shared(&bundle)?;   // parse + compile, once
+//! let mut a = CyberRange::instantiate(model.clone())?; // cheap, per tenant
+//! let mut b = CyberRange::instantiate(model.clone())?;
+//! # let _ = (&mut a, &mut b);
+//! # Ok(())
+//! # }
+//! ```
 
-use crate::compile::ied::compile_ied;
-use crate::compile::network::{compile_network, NetworkPlan};
-use crate::compile::power::{compile_power, PowerCompilation};
-use crate::keymap;
-use crate::sgml::ied_config::IedConfig;
-use crate::sgml::plc_config::{PlcConfig, PlcLogic};
-use crate::sgml::power_extra::PowerExtraConfig;
-use sgcr_faults::{DegradationSignal, LinkFault, SensorFault};
-use sgcr_ied::{IedHandle, VirtualIedApp};
-use sgcr_kvstore::{ProcessStore, Value};
-use sgcr_net::{Ipv4Addr, LinkSpec, Network, NodeId, SimDuration, SimTime, SocketApp};
-use sgcr_obs::{buckets, Counter, Event as ObsEvent, Gauge, Histogram, Plane, Telemetry};
-use sgcr_plc::{GooseBinding, MmsReadBinding, MmsWriteBinding, PlcApp, PlcHandle, PlcRuntime};
-use sgcr_powerflow::{
-    solve_traced, PowerFlowError, PowerFlowResult, PowerNetwork, SimulationSchedule, SolveOptions,
-};
-use sgcr_scada::{ScadaApp, ScadaConfig, ScadaHandle};
-use sgcr_scl::{
-    consolidate_scd, consolidate_ssd, parse_icd, parse_scd, parse_sed, parse_ssd, Diagnostic,
-    SclDocument,
-};
-use std::collections::{HashMap, VecDeque};
+use crate::compile::network::NetworkPlan;
+use crate::model::CompiledModel;
+use crate::state::{RangeSettings, RangeState};
+use sgcr_net::SimDuration;
+use sgcr_obs::Telemetry;
+use sgcr_powerflow::PowerFlowError;
+use sgcr_scl::Diagnostic;
 use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
 
-/// Default bound on retained per-step statistics — large enough for any of
-/// the paper's experiments, small enough to cap a long-running range.
-pub const DEFAULT_STEP_STATS_CAPACITY: usize = 65_536;
-
-/// Default bound on retained solve errors. A persistently diverging model
-/// fails every step, so retention must be capped the same way as step
-/// statistics; [`CyberRange::solve_errors_total`] keeps the lifetime count.
-pub const DEFAULT_SOLVE_ERRORS_CAPACITY: usize = 1_024;
+pub use crate::state::{DEFAULT_SOLVE_ERRORS_CAPACITY, DEFAULT_STEP_STATS_CAPACITY};
 
 /// The set of SG-ML model files a cyber range is generated from — the
 /// left-hand side of the paper's Figure 2.
@@ -130,77 +127,89 @@ pub struct StepStats {
     pub iterations: usize,
 }
 
-/// A generated, operational smart grid cyber range.
-pub struct CyberRange {
-    /// The emulated network (attach attacker tools, capture traffic, …).
-    pub net: Network,
-    /// The cyber↔physical process cache.
-    pub store: ProcessStore,
-    /// The physical model.
-    pub power: PowerNetwork,
-    /// The compiled network plan (host IPs, Figure-4 dot rendering).
-    pub plan: NetworkPlan,
-    /// Simulation schedule from the Power Extra config.
-    pub schedule: SimulationSchedule,
-    /// Power-flow step interval.
-    pub interval: SimDuration,
-    /// Handles to every virtual IED, by name.
-    pub ieds: HashMap<String, IedHandle>,
-    /// Handles to every virtual PLC, by name.
-    pub plcs: HashMap<String, PlcHandle>,
-    /// Handle to the SCADA HMI, when configured.
-    pub scada: Option<ScadaHandle>,
-    /// All diagnostics accumulated while compiling.
-    pub diagnostics: Vec<Diagnostic>,
-    /// The latest power-flow solution.
-    pub last_result: PowerFlowResult,
-    /// Per-step wall-clock statistics, bounded to `step_stats_capacity`.
-    step_stats: VecDeque<StepStats>,
-    step_stats_capacity: usize,
-    /// Lifetime number of power-flow steps executed.
-    steps_total: u64,
-    /// Errors from failed re-solves (range keeps running with stale state),
-    /// bounded to `solve_errors_capacity`.
-    solve_errors: VecDeque<(u64, PowerFlowError)>,
-    solve_errors_capacity: usize,
-    /// Lifetime number of failed re-solves.
-    solve_errors_total: u64,
-    /// Degradation flags shared with every virtual IED and the SCADA HMI;
-    /// raised while `last_result` is a held (stale) solution.
-    degradation_signals: Vec<DegradationSignal>,
-    /// `steps_total` at the moment the current hold began, if holding.
-    held_since_step: Option<u64>,
-    /// Crashed hosts due to come back: `(node, host name, restart at ms)`.
-    restart_plans: Vec<(NodeId, String, u64)>,
-    telemetry: Telemetry,
-    steps_counter: Counter,
-    step_seconds_hist: Histogram,
-    overrun_gauge: Gauge,
-    overrun_counter: Counter,
-    cmd_cursor: u64,
-    node_by_name: HashMap<String, NodeId>,
-    /// Simulation time of the next due power-flow step.
-    next_step_at: SimTime,
-    /// Simulation time of the previous power-flow step (profile window start).
-    last_step_ms: u64,
+/// A deterministic restart recipe for a range: the shared model handle plus
+/// the tenant's instantiation settings (interval, retention bounds, fault
+/// seed).
+///
+/// Because the whole co-simulation is deterministic under a fixed fault
+/// seed, re-instantiating from a snapshot and re-running the same exercise
+/// replays the original journal byte-for-byte — which is what an "instant
+/// exercise restart" needs. Snapshots are cheap (`Arc` bump + a few
+/// integers) and `Clone`.
+#[derive(Debug, Clone)]
+pub struct RangeSnapshot {
+    model: Arc<CompiledModel>,
+    settings: RangeSettings,
 }
 
-/// Configures and generates a [`CyberRange`] — the front door of the SG-ML
-/// Processor pipeline.
+impl RangeSnapshot {
+    /// The shared compiled model this snapshot restarts from.
+    pub fn model(&self) -> &Arc<CompiledModel> {
+        &self.model
+    }
+
+    /// Builds a fresh range at generation zero from this snapshot, with its
+    /// own telemetry handle (pass [`Telemetry::disabled()`] when journals
+    /// are not needed).
+    ///
+    /// # Errors
+    ///
+    /// See [`CyberRange::instantiate`].
+    pub fn instantiate(&self, telemetry: Telemetry) -> Result<CyberRange, RangeError> {
+        let state = RangeState::instantiate(&self.model, &self.settings, telemetry)?;
+        Ok(CyberRange {
+            model: self.model.clone(),
+            settings: self.settings.clone(),
+            state,
+        })
+    }
+}
+
+/// A generated, operational smart grid cyber range: one tenant's
+/// [`RangeState`] bound to its `Arc`-shared [`CompiledModel`].
 ///
-/// [`CyberRange::generate`] is the zero-configuration shortcut; the builder
-/// is how a step interval override, a [`Telemetry`] handle, or a different
-/// step-statistics retention bound are attached:
+/// Dereferences to [`RangeState`], so all runtime methods and fields
+/// (`net`, `store`, `power`, `ieds`, `step()`, `run_for()`, fault
+/// injection, state probes) are used directly on the range.
+pub struct CyberRange {
+    model: Arc<CompiledModel>,
+    settings: RangeSettings,
+    state: RangeState,
+}
+
+impl Deref for CyberRange {
+    type Target = RangeState;
+
+    fn deref(&self) -> &RangeState {
+        &self.state
+    }
+}
+
+impl DerefMut for CyberRange {
+    fn deref_mut(&mut self) -> &mut RangeState {
+        &mut self.state
+    }
+}
+
+/// Configures and instantiates a [`CyberRange`] — the front door of the
+/// SG-ML Processor pipeline.
+///
+/// [`RangeBuilder::from_model`] is the multi-tenant path: it reuses an
+/// already-compiled model, so building a range costs one power-model clone
+/// and some virtual-device setup (no XML or ST parsing). The builder is how
+/// a step interval override, a [`Telemetry`] handle, a fault seed, or
+/// different retention bounds are attached:
 ///
 /// ```no_run
-/// use sgcr_core::{RangeBuilder, SgmlBundle};
+/// use sgcr_core::{CompiledModel, RangeBuilder, SgmlBundle};
 /// use sgcr_net::SimDuration;
 /// use sgcr_obs::Telemetry;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let bundle = SgmlBundle::from_dir("examples/epic_bundle")?;
+/// let model = CompiledModel::shared(&bundle)?;
 /// let telemetry = Telemetry::new();
-/// let mut range = RangeBuilder::new(&bundle)
+/// let mut range = RangeBuilder::from_model(model)
 ///     .interval(SimDuration::from_millis(50))
 ///     .telemetry(telemetry.clone())
 ///     .build()?;
@@ -209,8 +218,8 @@ pub struct CyberRange {
 /// # Ok(())
 /// # }
 /// ```
-pub struct RangeBuilder<'a> {
-    bundle: &'a SgmlBundle,
+pub struct RangeBuilder {
+    source: Source,
     interval: Option<SimDuration>,
     telemetry: Telemetry,
     step_stats_capacity: usize,
@@ -218,13 +227,38 @@ pub struct RangeBuilder<'a> {
     fault_seed: Option<u64>,
 }
 
-impl<'a> RangeBuilder<'a> {
-    /// Starts a builder over a model bundle with defaults: interval from the
-    /// Power Extra config (100 ms absent one), telemetry disabled, and the
-    /// [default](DEFAULT_STEP_STATS_CAPACITY) step-statistics bound.
-    pub fn new(bundle: &'a SgmlBundle) -> RangeBuilder<'a> {
+enum Source {
+    /// Compile this bundle first (deprecated single-tenant path).
+    Bundle(Box<SgmlBundle>),
+    /// Instantiate straight from a shared compiled model.
+    Model(Arc<CompiledModel>),
+}
+
+impl RangeBuilder {
+    /// Starts a builder over an already-compiled, `Arc`-shared model with
+    /// defaults: interval from the model (100 ms absent a Power Extra
+    /// config), telemetry disabled, and the
+    /// [default](DEFAULT_STEP_STATS_CAPACITY) retention bounds.
+    pub fn from_model(model: Arc<CompiledModel>) -> RangeBuilder {
         RangeBuilder {
-            bundle,
+            source: Source::Model(model),
+            interval: None,
+            telemetry: Telemetry::disabled(),
+            step_stats_capacity: DEFAULT_STEP_STATS_CAPACITY,
+            solve_errors_capacity: DEFAULT_SOLVE_ERRORS_CAPACITY,
+            fault_seed: None,
+        }
+    }
+
+    /// Starts a builder over a model bundle. The bundle is cloned and
+    /// compiled privately inside [`build`](RangeBuilder::build) — every
+    /// range built this way pays the full XML/ST compilation cost.
+    #[deprecated(
+        note = "compile once with `CompiledModel::shared(&bundle)` and use `RangeBuilder::from_model` so ranges share the artifact"
+    )]
+    pub fn new(bundle: &SgmlBundle) -> RangeBuilder {
+        RangeBuilder {
+            source: Source::Bundle(Box::new(bundle.clone())),
             interval: None,
             telemetry: Telemetry::disabled(),
             step_stats_capacity: DEFAULT_STEP_STATS_CAPACITY,
@@ -235,7 +269,7 @@ impl<'a> RangeBuilder<'a> {
 
     /// Overrides the power-flow step interval (takes precedence over the
     /// Power Extra config).
-    pub fn interval(mut self, interval: SimDuration) -> RangeBuilder<'a> {
+    pub fn interval(mut self, interval: SimDuration) -> RangeBuilder {
         self.interval = Some(interval);
         self
     }
@@ -243,23 +277,23 @@ impl<'a> RangeBuilder<'a> {
     /// Attaches a telemetry handle. It is threaded through the emulated
     /// network, the power-flow solver, every virtual IED/PLC, the SCADA HMI,
     /// and the co-simulation loop itself.
-    pub fn telemetry(mut self, telemetry: Telemetry) -> RangeBuilder<'a> {
+    pub fn telemetry(mut self, telemetry: Telemetry) -> RangeBuilder {
         self.telemetry = telemetry;
         self
     }
 
     /// Bounds how many per-step [`StepStats`] records the range retains
-    /// (oldest evicted first; minimum 1). [`CyberRange::steps_total`] keeps
+    /// (oldest evicted first; minimum 1). [`RangeState::steps_total`] keeps
     /// the lifetime count regardless.
-    pub fn step_stats_capacity(mut self, capacity: usize) -> RangeBuilder<'a> {
+    pub fn step_stats_capacity(mut self, capacity: usize) -> RangeBuilder {
         self.step_stats_capacity = capacity.max(1);
         self
     }
 
     /// Bounds how many solve errors the range retains (oldest evicted first;
-    /// minimum 1). [`CyberRange::solve_errors_total`] keeps the lifetime
+    /// minimum 1). [`RangeState::solve_errors_total`] keeps the lifetime
     /// count regardless.
-    pub fn solve_errors_capacity(mut self, capacity: usize) -> RangeBuilder<'a> {
+    pub fn solve_errors_capacity(mut self, capacity: usize) -> RangeBuilder {
         self.solve_errors_capacity = capacity.max(1);
         self
     }
@@ -268,858 +302,133 @@ impl<'a> RangeBuilder<'a> {
     /// corruption, duplication, jitter draws). Two runs of the same range
     /// with the same seed and the same fault profiles replay byte-identical
     /// journals. Unseeded ranges use seed 0.
-    pub fn fault_seed(mut self, seed: u64) -> RangeBuilder<'a> {
+    pub fn fault_seed(mut self, seed: u64) -> RangeBuilder {
         self.fault_seed = Some(seed);
         self
     }
 
-    /// Generates the operational cyber range — the complete SG-ML Processor
-    /// pipeline of the paper's Figures 2–3.
+    /// Builds the operational cyber range. From a shared model this is the
+    /// cheap per-tenant path; from a bundle it runs the complete SG-ML
+    /// Processor pipeline of the paper's Figures 2–3 first.
     ///
     /// # Errors
     ///
-    /// Returns [`RangeError`] when any model file fails to parse, cross-file
-    /// validation fails, or the initial power flow cannot be solved.
+    /// Returns [`RangeError`] when compilation fails (bundle path only) or
+    /// the initial power flow cannot be solved.
     pub fn build(self) -> Result<CyberRange, RangeError> {
-        let bundle = self.bundle;
-        let mut diagnostics: Vec<Diagnostic> = Vec::new();
-
-        // --- 1. Parse all SCL files ---------------------------------------
-        let model = |what: &'static str| {
-            move |e: sgcr_scl::SclError| RangeError::Model {
-                what,
-                detail: e.to_string(),
-            }
+        let model = match self.source {
+            Source::Model(model) => model,
+            Source::Bundle(bundle) => CompiledModel::shared(&bundle)?,
         };
-        let ssds: Vec<SclDocument> = bundle
-            .ssds
-            .iter()
-            .map(|t| parse_ssd(t).map_err(model("SSD")))
-            .collect::<Result<_, _>>()?;
-        let scds: Vec<SclDocument> = bundle
-            .scds
-            .iter()
-            .map(|t| parse_scd(t).map_err(model("SCD")))
-            .collect::<Result<_, _>>()?;
-        let icds: Vec<SclDocument> = bundle
-            .icds
-            .iter()
-            .map(|t| parse_icd(t).map_err(model("ICD")))
-            .collect::<Result<_, _>>()?;
-        let seds: Vec<SclDocument> = bundle
-            .seds
-            .iter()
-            .map(|t| parse_sed(t).map_err(model("SED")))
-            .collect::<Result<_, _>>()?;
-
-        // --- 2. SED-driven consolidation -----------------------------------
-        let consolidated_ssd = consolidate_ssd(&ssds, &seds).map_err(model("consolidated SSD"))?;
-        let consolidated_scd = consolidate_scd(&scds).map_err(model("consolidated SCD"))?;
-
-        // --- 3. Compile the physical and cyber models ----------------------
-        let PowerCompilation {
-            network: power,
-            bus_by_path: _,
-            diagnostics: power_diags,
-        } = compile_power(&consolidated_ssd);
-        diagnostics.extend(power_diags);
-
-        let plan = compile_network(&consolidated_scd);
-        diagnostics.extend(plan.diagnostics.clone());
-        if diagnostics
-            .iter()
-            .any(|d| d.severity == sgcr_scl::Severity::Error)
-        {
-            return Err(RangeError::Validation(diagnostics));
-        }
-
-        // --- 4. Instantiate the emulated network ---------------------------
-        let mut net = Network::new();
-        net.set_telemetry(self.telemetry.clone());
-        if let Some(seed) = self.fault_seed {
-            net.set_fault_seed(seed);
-        }
-        let mut node_by_name: HashMap<String, NodeId> = HashMap::new();
-        let mut switch_by_name: HashMap<String, NodeId> = HashMap::new();
-        let mut wan: Option<NodeId> = None;
-        for sw in &plan.switches {
-            let id = net.add_switch(&sw.name);
-            switch_by_name.insert(sw.name.clone(), id);
-            if sw.is_wan {
-                wan = Some(id);
-            }
-        }
-        if let Some(wan) = wan {
-            for sw in &plan.switches {
-                if !sw.is_wan {
-                    net.connect(switch_by_name[&sw.name], wan, LinkSpec::wan());
-                }
-            }
-        }
-        for host in &plan.hosts {
-            let id = match host.mac {
-                Some(mac) => net.add_host_with_mac(&host.name, host.ip, mac),
-                None => net.add_host(&host.name, host.ip),
-            };
-            net.connect(id, switch_by_name[&host.switch], LinkSpec::default());
-            node_by_name.insert(host.name.clone(), id);
-        }
-
-        // --- 5. Process store + supplementary configs -----------------------
-        let store = ProcessStore::new();
-        let (interval, schedule) = match &bundle.power_extra {
-            Some(text) => {
-                let extra = PowerExtraConfig::parse(text).map_err(|e| RangeError::Model {
-                    what: "Power System Extra Config XML",
-                    detail: e.to_string(),
-                })?;
-                (SimDuration::from_millis(extra.interval_ms), extra.schedule)
-            }
-            None => (SimDuration::from_millis(100), SimulationSchedule::new()),
-        };
-        let interval = self.interval.unwrap_or(interval);
-
-        // --- 6. Virtual IEDs -------------------------------------------------
-        let mut ieds = HashMap::new();
-        if let Some(text) = &bundle.ied_config {
-            let config = IedConfig::parse(text).map_err(|e| RangeError::Model {
-                what: "IED Config XML",
-                detail: e.to_string(),
-            })?;
-            for config_spec in &config.ieds {
-                let icd = icds.iter().find(|d| d.ied(&config_spec.name).is_some());
-                let spec = match icd {
-                    Some(icd) => {
-                        let compiled = compile_ied(config_spec, icd);
-                        diagnostics.extend(compiled.diagnostics);
-                        compiled.spec
-                    }
-                    None => {
-                        diagnostics.push(Diagnostic::warning(
-                            sgcr_scl::codes::ORPHAN_ICD,
-                            format!(
-                                "no ICD describes IED {:?}; instantiating from config alone",
-                                config_spec.name
-                            ),
-                            "generate".to_string(),
-                        ));
-                        config_spec.clone()
-                    }
-                };
-                let Some(&node) = node_by_name.get(&spec.name) else {
-                    return Err(RangeError::UnknownHost {
-                        host: spec.name.clone(),
-                        referenced_by: "IED Config XML",
-                    });
-                };
-                let (app, handle) = VirtualIedApp::with_telemetry(
-                    spec.clone(),
-                    store.clone(),
-                    self.telemetry.clone(),
-                );
-                net.attach_app(node, Box::new(app));
-                ieds.insert(spec.name.clone(), handle);
-            }
-        }
-
-        // --- 7. Virtual PLCs ---------------------------------------------------
-        let mut plcs = HashMap::new();
-        if let Some(text) = &bundle.plc_config {
-            let config = PlcConfig::parse(text).map_err(|e| RangeError::Model {
-                what: "PLC Config XML",
-                detail: e.to_string(),
-            })?;
-            for def in &config.plcs {
-                let Some(&node) = node_by_name.get(&def.name) else {
-                    return Err(RangeError::UnknownHost {
-                        host: def.name.clone(),
-                        referenced_by: "PLC Config XML",
-                    });
-                };
-                let program = match &def.logic {
-                    PlcLogic::StructuredText(st) => {
-                        sgcr_plc::parse_program(st).map_err(|e| RangeError::Model {
-                            what: "PLC Structured Text",
-                            detail: e.to_string(),
-                        })?
-                    }
-                    PlcLogic::PlcOpenXml(xml) => {
-                        sgcr_plc::parse_plcopen(xml).map_err(|e| RangeError::Model {
-                            what: "PLCopen XML",
-                            detail: e.to_string(),
-                        })?
-                    }
-                };
-                let registers = sgcr_modbus::SharedRegisters::with_size(1024);
-                let runtime =
-                    PlcRuntime::new(program, registers.clone()).map_err(|e| RangeError::Model {
-                        what: "PLC program",
-                        detail: e.message,
-                    })?;
-                let resolve_ip = |server: &str| -> Result<Ipv4Addr, RangeError> {
-                    plan.host_ip(server).ok_or(RangeError::UnknownHost {
-                        host: server.to_string(),
-                        referenced_by: "PLC Config XML binding",
-                    })
-                };
-                let reads = def
-                    .reads
-                    .iter()
-                    .map(|r| {
-                        Ok(MmsReadBinding {
-                            server: resolve_ip(&r.server)?,
-                            item: r.item.clone(),
-                            variable: r.variable.clone(),
-                            scale: r.scale,
-                        })
-                    })
-                    .collect::<Result<Vec<_>, RangeError>>()?;
-                let writes = def
-                    .writes
-                    .iter()
-                    .map(|w| {
-                        Ok(MmsWriteBinding {
-                            server: resolve_ip(&w.server)?,
-                            item: w.item.clone(),
-                            variable: w.variable.clone(),
-                        })
-                    })
-                    .collect::<Result<Vec<_>, RangeError>>()?;
-                let (mut app, handle) = PlcApp::with_telemetry(
-                    runtime,
-                    registers,
-                    SimDuration::from_millis(def.scan_ms),
-                    reads,
-                    writes,
-                    self.telemetry.clone(),
-                );
-                if !def.gooses.is_empty() {
-                    app.set_goose_bindings(
-                        def.gooses
-                            .iter()
-                            .map(|g| GooseBinding {
-                                gocb_ref: g.gocb_ref.clone(),
-                                index: g.index,
-                                variable: g.variable.clone(),
-                            })
-                            .collect(),
-                    );
-                }
-                net.attach_app(node, Box::new(app));
-                plcs.insert(def.name.clone(), handle);
-            }
-        }
-
-        // --- 8. SCADA HMI --------------------------------------------------------
-        let mut scada = None;
-        if let Some(text) = &bundle.scada_config {
-            let config = ScadaConfig::parse(text).map_err(|e| RangeError::Model {
-                what: "SCADA Config XML",
-                detail: e.to_string(),
-            })?;
-            let host = bundle
-                .scada_host
-                .clone()
-                .unwrap_or_else(|| "SCADA".to_string());
-            let Some(&node) = node_by_name.get(&host) else {
-                return Err(RangeError::UnknownHost {
-                    host,
-                    referenced_by: "SCADA Config XML",
-                });
-            };
-            let (app, handle) = ScadaApp::with_telemetry(config, self.telemetry.clone());
-            net.attach_app(node, Box::new(app));
-            scada = Some(handle);
-        }
-
-        // --- 9. Initial physical state -------------------------------------------
-        // Share one degradation flag per consumer: the range raises them all
-        // while it is holding a stale solution, IEDs stamp measurement
-        // quality `invalid`, SCADA degrades incoming tag quality.
-        let mut degradation_signals: Vec<DegradationSignal> =
-            ieds.values().map(IedHandle::degradation).collect();
-        if let Some(scada) = &scada {
-            degradation_signals.push(scada.degradation());
-        }
-        let mut range = CyberRange {
-            net,
-            store,
-            power,
-            plan,
-            schedule,
-            interval,
-            ieds,
-            plcs,
-            scada,
-            diagnostics,
-            last_result: PowerFlowResult::default(),
-            step_stats: VecDeque::new(),
+        let settings = RangeSettings {
+            interval: self.interval,
             step_stats_capacity: self.step_stats_capacity,
-            steps_total: 0,
-            solve_errors: VecDeque::new(),
             solve_errors_capacity: self.solve_errors_capacity,
-            solve_errors_total: 0,
-            degradation_signals,
-            held_since_step: None,
-            restart_plans: Vec::new(),
-            steps_counter: self.telemetry.counter("range.steps"),
-            step_seconds_hist: self
-                .telemetry
-                .histogram("range.step_seconds", &buckets::LATENCY_SECONDS),
-            overrun_gauge: self.telemetry.gauge("range.step_overrun_ratio"),
-            overrun_counter: self.telemetry.counter("range.step_overruns"),
-            telemetry: self.telemetry,
-            cmd_cursor: 0,
-            node_by_name,
-            next_step_at: SimTime::ZERO + interval,
-            last_step_ms: 0,
+            fault_seed: self.fault_seed,
         };
-        // Publish the initial switch states and solution before anything runs.
-        range.publish_switch_states();
-        let tracer = range.telemetry.tracer();
-        let init_span = tracer.open("range.init", Plane::Range, None, 0u64);
-        let (result, solve_ctx) = solve_traced(
-            &range.power,
-            &SolveOptions::default(),
-            &range.telemetry,
-            0,
-            init_span.ctx(),
-        );
-        let result = result.map_err(RangeError::PowerFlow)?;
-        if let Some(solve_ctx) = solve_ctx {
-            // Device samples taken before the first step trace to this solve.
-            tracer.set_provenance("power.solve", solve_ctx);
-        }
-        init_span.end(0u64);
-        range.publish_measurements(&result);
-        range.last_result = result;
-        range.cmd_cursor = range.store.version();
-        Ok(range)
+        let state = RangeState::instantiate(&model, &settings, self.telemetry)?;
+        Ok(CyberRange {
+            model,
+            settings,
+            state,
+        })
     }
 }
 
 impl CyberRange {
-    /// Generates an operational cyber range from an SG-ML model bundle with
-    /// default settings — shorthand for `RangeBuilder::new(bundle).build()`.
-    /// Use [`RangeBuilder`] to attach telemetry or override the interval.
+    /// Instantiates a range from a shared compiled model with default
+    /// settings — shorthand for `RangeBuilder::from_model(model).build()`.
+    /// This is the cheap path the multi-tenant farm takes per tenant.
     ///
     /// # Errors
     ///
     /// See [`RangeBuilder::build`].
+    pub fn instantiate(model: Arc<CompiledModel>) -> Result<CyberRange, RangeError> {
+        RangeBuilder::from_model(model).build()
+    }
+
+    /// Generates an operational cyber range from an SG-ML model bundle with
+    /// default settings, compiling the bundle privately.
+    ///
+    /// # Errors
+    ///
+    /// See [`RangeBuilder::build`].
+    #[deprecated(
+        note = "compile once with `CompiledModel::shared(&bundle)` and use `CyberRange::instantiate` so ranges share the artifact"
+    )]
     pub fn generate(bundle: &SgmlBundle) -> Result<CyberRange, RangeError> {
-        RangeBuilder::new(bundle).build()
+        let model = CompiledModel::shared(bundle)?;
+        CyberRange::instantiate(model)
     }
 
-    /// The node id of a generated host (for captures, link failures, …).
-    pub fn node(&self, name: &str) -> Option<NodeId> {
-        self.node_by_name.get(name).copied()
+    /// The `Arc`-shared compiled model this range was instantiated from.
+    pub fn model(&self) -> &Arc<CompiledModel> {
+        &self.model
     }
 
-    /// Adds an extra host (e.g. an attacker machine) to a named switch.
+    /// The compiled network plan (host IPs, Figure-4 dot rendering) —
+    /// part of the shared model.
+    pub fn plan(&self) -> &NetworkPlan {
+        &self.model.plan
+    }
+
+    /// All diagnostics accumulated while compiling the model.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.model.diagnostics
+    }
+
+    /// Captures a deterministic restart recipe: the model handle plus this
+    /// tenant's instantiation settings. See [`RangeSnapshot`].
+    pub fn snapshot(&self) -> RangeSnapshot {
+        RangeSnapshot {
+            model: self.model.clone(),
+            settings: self.settings.clone(),
+        }
+    }
+
+    /// Rewinds this range to generation zero in place: fresh network, fresh
+    /// devices, fresh power state, simulation clock back at 0 — an instant
+    /// exercise restart. The existing telemetry handle is kept, so restart
+    /// events append to the same journal; use
+    /// [`restore_with`](CyberRange::restore_with) to attach a fresh one
+    /// (e.g. for byte-identical replay comparison).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the switch does not exist.
-    pub fn add_host(&mut self, name: &str, ip: Ipv4Addr, switch: &str) -> NodeId {
-        let switch_id = self
-            .net
-            .node_by_name(switch)
-            .unwrap_or_else(|| panic!("no such switch {switch:?}"));
-        let id = self.net.add_host(name, ip);
-        self.net.connect(id, switch_id, LinkSpec::default());
-        self.node_by_name.insert(name.to_string(), id);
-        id
+    /// See [`CyberRange::instantiate`] (the initial solve re-runs).
+    pub fn restore(&mut self) -> Result<(), RangeError> {
+        self.restore_with(self.state.telemetry().clone())
     }
 
-    /// Attaches an application to a generated host.
+    /// Rewinds this range to generation zero with a replacement telemetry
+    /// handle. A restored range replays an identical exercise byte-for-byte
+    /// under the same fault seed.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the host does not exist.
-    pub fn attach_app(&mut self, host: &str, app: Box<dyn SocketApp>) {
-        let node = self
-            .node(host)
-            .unwrap_or_else(|| panic!("no such host {host:?}"));
-        self.net.attach_app(node, app);
-    }
-
-    /// Current simulation time.
-    pub fn now(&self) -> SimTime {
-        self.net.now()
-    }
-
-    /// Runs one co-simulation step: advances the cyber side to the next due
-    /// step time, then applies profiles/events → commands → solve → publish.
-    pub fn step(&mut self) {
-        let due = self.next_step_at.max(self.net.now());
-        self.net.run_until(due);
-        self.power_step(due);
-        self.next_step_at = due + self.interval;
-    }
-
-    /// The physical half of one step, executed with the clock at `now`.
-    fn power_step(&mut self, now: SimTime) {
-        let wall_start = std::time::Instant::now();
-        let t1 = now;
-        let t0_ms = self.last_step_ms;
-        self.last_step_ms = t1.as_millis();
-
-        // Root span of this step's trace: everything the solve causes —
-        // device samples, protection operations, GOOSE, SCADA updates —
-        // hangs transitively below it.
-        let tracer = self.telemetry.tracer();
-        let mut step_span = tracer.open("range.step", Plane::Range, None, t1);
-        if step_span.is_recording() {
-            step_span.attr("step", (self.steps_total + 1).to_string());
-        }
-
-        // Crash watchdog: bring crashed hosts back when their restart is due.
-        if !self.restart_plans.is_empty() {
-            let now_ms = t1.as_millis();
-            let mut i = 0;
-            while i < self.restart_plans.len() {
-                if self.restart_plans[i].2 <= now_ms {
-                    let (node, host, _) = self.restart_plans.swap_remove(i);
-                    self.net.set_host_enabled(node, true);
-                    self.telemetry
-                        .record(t1.as_nanos(), || ObsEvent::DeviceRestarted {
-                            host: host.clone(),
-                        });
-                } else {
-                    i += 1;
-                }
-            }
-        }
-
-        // Profiles and scheduled disturbances.
-        self.schedule.apply(&mut self.power, t0_ms, t1.as_millis());
-
-        // Commands written by the cyber side since the last step.
-        let changes = self.store.changes_since(self.cmd_cursor);
-        self.cmd_cursor = self.store.version();
-        for change in changes {
-            if !change.key.starts_with("cmd/") {
-                continue;
-            }
-            let segments: Vec<&str> = change.key.split('/').collect();
-            // cmd/<sub>/<class>/<name>/<field>
-            if segments.len() != 5 {
-                continue;
-            }
-            let scoped = format!("{}/{}", segments[1], segments[2 + 1]);
-            match (segments[2], segments[4]) {
-                ("cb", "close") => {
-                    if let Some(closed) = change.value.as_bool() {
-                        self.power.set_switch(&scoped, closed);
-                    }
-                }
-                ("load", "p_mw") => {
-                    if let (Some(p), Some(id)) =
-                        (change.value.as_float(), self.power.load_by_name(&scoped))
-                    {
-                        self.power.load[id.index()].p_mw = p;
-                    }
-                }
-                ("gen", "p_mw") => {
-                    if let Some(p) = change.value.as_float() {
-                        if let Some(id) = self.power.gen_by_name(&scoped) {
-                            self.power.gen[id.index()].p_mw = p;
-                        } else if let Some(id) = self.power.sgen_by_name(&scoped) {
-                            self.power.sgen[id.index()].p_mw = p;
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-
-        // Solve and publish.
-        let solve_start = std::time::Instant::now();
-        let (solved, solve_ctx) = solve_traced(
-            &self.power,
-            &SolveOptions::default(),
-            &self.telemetry,
-            t1.as_nanos(),
-            step_span.ctx(),
-        );
-        match solved {
-            Ok(result) => {
-                if let Some(solve_ctx) = solve_ctx {
-                    // Until the next solve, IED samples are caused by this
-                    // one: they read the measurements it publishes.
-                    tracer.set_provenance("power.solve", solve_ctx);
-                }
-                self.publish_switch_states();
-                self.publish_measurements(&result);
-                self.last_result = result;
-                if let Some(since) = self.held_since_step.take() {
-                    // Recovered: fresh measurements flow again.
-                    for signal in &self.degradation_signals {
-                        signal.set(false);
-                    }
-                    let held_steps = self.steps_total - since;
-                    self.telemetry
-                        .record(t1.as_nanos(), || ObsEvent::MeasurementsRecovered {
-                            held_steps,
-                        });
-                }
-            }
-            Err(e) => {
-                let detail = e.to_string();
-                if self.solve_errors.len() == self.solve_errors_capacity {
-                    self.solve_errors.pop_front();
-                }
-                self.solve_errors.push_back((t1.as_millis(), e));
-                self.solve_errors_total += 1;
-                if self.held_since_step.is_none() {
-                    // Graceful degradation: keep serving the last-good
-                    // solution, but tell every consumer it is stale.
-                    self.held_since_step = Some(self.steps_total);
-                    for signal in &self.degradation_signals {
-                        signal.set(true);
-                    }
-                    self.telemetry
-                        .record(t1.as_nanos(), || ObsEvent::MeasurementsHeld {
-                            detail: detail.clone(),
-                        });
-                }
-            }
-        }
-        let solve_seconds = solve_start.elapsed().as_secs_f64();
-        let total_seconds = wall_start.elapsed().as_secs_f64();
-
-        if self.step_stats.len() == self.step_stats_capacity {
-            self.step_stats.pop_front();
-        }
-        self.step_stats.push_back(StepStats {
-            solve_seconds,
-            total_seconds,
-            iterations: self.last_result.iterations,
-        });
-        self.steps_total += 1;
-
-        self.steps_counter.inc();
-        self.step_seconds_hist.observe(total_seconds);
-        let budget = self.interval.as_secs_f64();
-        if budget > 0.0 {
-            let ratio = total_seconds / budget;
-            self.overrun_gauge.set(ratio);
-            if ratio > 1.0 {
-                self.overrun_counter.inc();
-                let step = self.steps_total;
-                self.telemetry
-                    .record(t1.as_nanos(), || ObsEvent::StepOverrun { step, ratio });
-            }
-        }
-        step_span.end(t1);
-    }
-
-    /// Runs the range for a duration. Power-flow steps fire at their due
-    /// times on the global schedule (every `interval`), interleaved with the
-    /// cyber side; any trailing remainder advances the cyber side alone, and
-    /// the pending step fires in a later call — so short durations compose
-    /// correctly.
-    pub fn run_for(&mut self, duration: SimDuration) {
-        let end = self.net.now() + duration;
-        while self.next_step_at <= end {
-            self.step();
-        }
-        if self.net.now() < end {
-            self.net.run_until(end);
-        }
-    }
-
-    fn publish_switch_states(&self) {
-        for switch in &self.power.switch {
-            self.store.set(
-                &keymap::breaker_state_key(&switch.name),
-                Value::Bool(switch.closed),
-            );
-        }
-    }
-
-    fn publish_measurements(&self, result: &PowerFlowResult) {
-        for (i, bus) in self.power.bus.iter().enumerate() {
-            let r = &result.bus[i];
-            self.store
-                .set(&keymap::bus_vm_key(&bus.name), Value::Float(r.vm_pu));
-            self.store
-                .set(&keymap::bus_va_key(&bus.name), Value::Float(r.va_degree));
-        }
-        for (i, line) in self.power.line.iter().enumerate() {
-            let r = &result.line[i];
-            self.store
-                .set(&keymap::branch_p_key(&line.name), Value::Float(r.p_from_mw));
-            self.store.set(
-                &keymap::branch_q_key(&line.name),
-                Value::Float(r.q_from_mvar),
-            );
-            self.store
-                .set(&keymap::branch_i_key(&line.name), Value::Float(r.i_from_ka));
-            self.store.set(
-                &keymap::branch_loading_key(&line.name),
-                Value::Float(r.loading_percent),
-            );
-        }
-        for (i, trafo) in self.power.trafo.iter().enumerate() {
-            let r = &result.trafo[i];
-            self.store.set(
-                &keymap::branch_p_key(&trafo.name),
-                Value::Float(r.p_from_mw),
-            );
-            self.store.set(
-                &keymap::branch_q_key(&trafo.name),
-                Value::Float(r.q_from_mvar),
-            );
-            self.store.set(
-                &keymap::branch_i_key(&trafo.name),
-                Value::Float(r.i_from_ka),
-            );
-            self.store.set(
-                &keymap::branch_loading_key(&trafo.name),
-                Value::Float(r.loading_percent),
-            );
-        }
-        for (i, eg) in self.power.ext_grid.iter().enumerate() {
-            self.store.set(
-                &keymap::source_p_key(&eg.name),
-                Value::Float(result.ext_grid[i].p_mw),
-            );
-        }
-        for (i, gen) in self.power.gen.iter().enumerate() {
-            self.store.set(
-                &keymap::source_p_key(&gen.name),
-                Value::Float(result.gen[i].p_mw),
-            );
-        }
-        for sgen in &self.power.sgen {
-            let p = if sgen.in_service {
-                sgen.p_mw * sgen.scaling
-            } else {
-                0.0
-            };
-            self.store
-                .set(&keymap::source_p_key(&sgen.name), Value::Float(p));
-        }
-        for load in &self.power.load {
-            let p = if load.in_service {
-                load.p_mw * load.scaling
-            } else {
-                0.0
-            };
-            self.store
-                .set(&keymap::load_p_key(&load.name), Value::Float(p));
-        }
-        self.store
-            .set("sim/step", Value::Int(self.steps_total as i64));
-    }
-
-    /// Retained per-step wall-clock statistics, oldest first. Retention is
-    /// bounded (see [`RangeBuilder::step_stats_capacity`]); use
-    /// [`steps_total`](CyberRange::steps_total) for the lifetime count.
-    pub fn step_stats(&self) -> impl ExactSizeIterator<Item = &StepStats> + '_ {
-        self.step_stats.iter()
-    }
-
-    /// Lifetime number of power-flow steps executed (monotonic even after
-    /// old [`StepStats`] records are evicted).
-    pub fn steps_total(&self) -> u64 {
-        self.steps_total
-    }
-
-    /// The most recent errors from failed re-solves `(sim_time_ms, error)`,
-    /// oldest first. The range keeps running on the held last-good solution
-    /// after a failure (see [`measurements_held`](CyberRange::measurements_held)).
-    /// Retention is bounded (see [`RangeBuilder::solve_errors_capacity`]);
-    /// use [`solve_errors_total`](CyberRange::solve_errors_total) for the
-    /// lifetime count.
-    pub fn solve_errors(&self) -> &VecDeque<(u64, PowerFlowError)> {
-        &self.solve_errors
-    }
-
-    /// Lifetime number of failed re-solves (monotonic even after old
-    /// entries are evicted from [`solve_errors`](CyberRange::solve_errors)).
-    pub fn solve_errors_total(&self) -> u64 {
-        self.solve_errors_total
-    }
-
-    /// True while the power plane is serving a held (stale) solution because
-    /// the solver stopped converging. While held, every virtual IED stamps
-    /// its measurements with quality `invalid` and SCADA degrades incoming
-    /// tag quality.
-    pub fn measurements_held(&self) -> bool {
-        self.held_since_step.is_some()
-    }
-
-    /// The telemetry handle the range was built with (disabled unless one
-    /// was attached through [`RangeBuilder::telemetry`]).
-    pub fn telemetry(&self) -> &Telemetry {
-        &self.telemetry
-    }
-
-    // --- State probes for exercise evaluation -----------------------------
-    //
-    // The scenario objective evaluator polls these between steps; they read
-    // the live model state (not SCADA's possibly-deceived view) so scoring
-    // reflects ground truth.
-
-    /// Whether a named switch (`Substation/Name`) is currently closed, or
-    /// `None` if the switch does not exist.
-    pub fn switch_is_closed(&self, name: &str) -> Option<bool> {
-        let id = self.power.switch_by_name(name)?;
-        Some(self.power.switch[id.index()].closed)
-    }
-
-    /// A bus's solved voltage magnitude in per-unit (0.0 when de-energized),
-    /// or `None` if the connectivity-node path is unknown.
-    pub fn bus_voltage_pu(&self, path: &str) -> Option<f64> {
-        let id = self.power.bus_by_name(path)?;
-        self.last_result.bus.get(id.index()).map(|b| b.vm_pu)
-    }
-
-    /// Whether the SCADA HMI currently shows an active alarm on `point`.
-    pub fn scada_alarm_active(&self, point: &str) -> bool {
-        self.scada
-            .as_ref()
-            .is_some_and(|s| s.active_alarms().iter().any(|(p, _)| p == point))
-    }
-
-    /// The SCADA HMI's current value for a tag (the *displayed* value — a
-    /// man-in-the-middle can make this diverge from ground truth).
-    pub fn scada_tag(&self, point: &str) -> Option<f64> {
-        self.scada.as_ref().and_then(|s| s.tag_value(point))
-    }
-
-    /// How many times a named IED's protection has tripped, or `None` if
-    /// the IED does not exist.
-    pub fn ied_trip_count(&self, name: &str) -> Option<usize> {
-        self.ieds.get(name).map(IedHandle::trip_count)
-    }
-
-    /// Takes the link between two named nodes up or down (failure
-    /// injection). Returns `false` if either name or the link is unknown.
-    pub fn set_link_state(&mut self, a: &str, b: &str, up: bool) -> bool {
-        match (self.net.node_by_name(a), self.net.node_by_name(b)) {
-            (Some(a), Some(b)) => self.net.set_link_state(a, b, up),
-            _ => false,
-        }
-    }
-
-    /// Changes the latency of the link between two named nodes (congestion
-    /// or tampering injection). Returns `false` if either name or the link
-    /// is unknown.
-    pub fn set_link_latency(&mut self, a: &str, b: &str, latency: SimDuration) -> bool {
-        match (self.net.node_by_name(a), self.net.node_by_name(b)) {
-            (Some(a), Some(b)) => self.net.set_link_latency(a, b, latency),
-            _ => false,
-        }
-    }
-
-    // --- Fault injection ---------------------------------------------------
-
-    /// Re-seeds the deterministic fault generator (see
-    /// [`RangeBuilder::fault_seed`]). Applies to all draws made after the
-    /// call.
-    pub fn set_fault_seed(&mut self, seed: u64) {
-        self.net.set_fault_seed(seed);
-    }
-
-    /// Installs (or, with a no-op profile, clears) an impairment profile on
-    /// the link between two named nodes. Returns `false` if either name or
-    /// the link is unknown.
-    pub fn set_link_fault(&mut self, a: &str, b: &str, fault: LinkFault) -> bool {
-        match (self.net.node_by_name(a), self.net.node_by_name(b)) {
-            (Some(a), Some(b)) => self.net.set_link_fault(a, b, fault),
-            _ => false,
-        }
-    }
-
-    /// Crashes a named host: its NIC goes silent and its applications stop
-    /// until restart. With `restart_after_ms` the range's watchdog brings it
-    /// back automatically; with `None` it stays down until
-    /// [`restart_host`](CyberRange::restart_host). Returns `false` for an
-    /// unknown host or a switch.
-    pub fn crash_host(&mut self, host: &str, restart_after_ms: Option<u64>) -> bool {
-        let Some(node) = self.node(host) else {
-            return false;
-        };
-        if !self.net.set_host_enabled(node, false) {
-            return false;
-        }
-        let now = self.net.now();
-        self.telemetry
-            .record(now.as_nanos(), || ObsEvent::DeviceCrashed {
-                host: host.to_string(),
-            });
-        if let Some(after) = restart_after_ms {
-            self.restart_plans
-                .push((node, host.to_string(), now.as_millis() + after));
-        }
-        true
-    }
-
-    /// Restarts a crashed host immediately. Returns `false` for an unknown
-    /// host or a switch.
-    pub fn restart_host(&mut self, host: &str) -> bool {
-        let Some(node) = self.node(host) else {
-            return false;
-        };
-        if !self.net.set_host_enabled(node, true) {
-            return false;
-        }
-        self.restart_plans.retain(|(n, _, _)| *n != node);
-        self.telemetry
-            .record(self.net.now().as_nanos(), || ObsEvent::DeviceRestarted {
-                host: host.to_string(),
-            });
-        true
-    }
-
-    /// Engages a sensor fault on one sampled value (by process-store key)
-    /// inside a named IED. The faulted value feeds both published
-    /// measurements and the IED's own protection functions. Returns `false`
-    /// for an unknown IED.
-    pub fn set_sensor_fault(&mut self, ied: &str, key: &str, fault: SensorFault) -> bool {
-        let Some(handle) = self.ieds.get(ied) else {
-            return false;
-        };
-        handle.set_sensor_fault(key, fault, self.net.now().as_millis());
-        true
-    }
-
-    /// Clears a sensor fault. Returns `false` if the IED is unknown or no
-    /// fault was engaged on `key`.
-    pub fn clear_sensor_fault(&mut self, ied: &str, key: &str) -> bool {
-        self.ieds
-            .get(ied)
-            .is_some_and(|handle| handle.clear_sensor_fault(key))
-    }
-
-    /// Configures (or disables, with `None`) the SCADA stale-tag window.
-    /// Returns `false` when no SCADA HMI is configured.
-    pub fn set_scada_stale_window(&mut self, window_ms: Option<u64>) -> bool {
-        match &self.scada {
-            Some(scada) => {
-                scada.set_stale_window_ms(window_ms);
-                true
-            }
-            None => false,
-        }
+    /// See [`CyberRange::instantiate`] (the initial solve re-runs).
+    pub fn restore_with(&mut self, telemetry: Telemetry) -> Result<(), RangeError> {
+        self.state = RangeState::instantiate(&self.model, &self.settings, telemetry)?;
+        Ok(())
     }
 
     /// Summary line for logs and the pipeline demonstration binary.
     pub fn summary(&self) -> String {
-        let trips: usize = self.ieds.values().map(IedHandle::trip_count).sum();
+        let trips: usize = self
+            .ieds
+            .values()
+            .map(sgcr_ied::IedHandle::trip_count)
+            .sum();
         format!(
             "cyber range: {} hosts, {} switches | {} | {} IEDs, {} PLCs, SCADA: {} | interval {} ms | {} solve errors, {} trips",
-            self.plan.hosts.len(),
-            self.plan.switches.len(),
+            self.model.plan.hosts.len(),
+            self.model.plan.switches.len(),
             self.power.summary(),
             self.ieds.len(),
             self.plcs.len(),
             self.scada.is_some(),
             self.interval.as_millis(),
-            self.solve_errors_total,
+            self.solve_errors_total(),
             trips,
         )
     }

@@ -1,0 +1,548 @@
+#![warn(missing_docs)]
+
+//! # sgcr-farm
+//!
+//! The multi-tenant **range farm**: one `Arc`-shared
+//! [`CompiledModel`] multiplexed into N independent cyber ranges (or full
+//! scored exercises) across a worker thread pool — the paper's "generated
+//! once, exercised many times" vision at server scale.
+//!
+//! Each tenant gets its own [`CyberRange`](sgcr_core::CyberRange) instantiated from the shared
+//! model (no XML or Structured Text is re-parsed per tenant), its own
+//! [`Telemetry`] journal/metrics, and a deterministic fault seed
+//! (`base_fault_seed + tenant index`), so every tenant's run is
+//! byte-replayable in isolation while the farm as a whole scales across
+//! cores. Because each range's co-simulation is single-threaded and
+//! deterministic, per-tenant outputs are independent of worker-thread
+//! scheduling.
+//!
+//! [`run_farm`] drives the whole fleet and returns a [`FarmReport`] with
+//! farm-level throughput (ranges/sec, steps/sec) and latency aggregates
+//! (p50/p99/max step wall time) plus per-tenant detail — the numbers the
+//! committed `BENCH_farm.json` trajectory tracks. With an output directory
+//! configured, every tenant streams `tenant-NNNN.journal.jsonl` and
+//! `tenant-NNNN.metrics.json` files as it finishes.
+//!
+//! ```no_run
+//! use sgcr_core::{CompiledModel, SgmlBundle};
+//! use sgcr_farm::{run_farm, FarmConfig};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let bundle = SgmlBundle::from_dir("examples/epic_bundle")?;
+//! let model = CompiledModel::shared(&bundle)?;
+//! let report = run_farm(
+//!     model,
+//!     &FarmConfig {
+//!         tenants: 128,
+//!         sim_seconds: 2,
+//!         ..FarmConfig::default()
+//!     },
+//! );
+//! println!("{}", report.to_text());
+//! # Ok(())
+//! # }
+//! ```
+
+use sgcr_core::{CompiledModel, RangeBuilder};
+use sgcr_net::SimDuration;
+use sgcr_obs::{json, Telemetry};
+use sgcr_scenario::{run_exercise, Scenario};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// Configuration of one farm run.
+#[derive(Debug, Clone)]
+pub struct FarmConfig {
+    /// Number of independent tenant ranges to instantiate and run.
+    pub tenants: usize,
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+    /// Co-simulated seconds each tenant runs.
+    pub sim_seconds: u64,
+    /// Per-tenant wall-clock budget for one co-simulation step, in
+    /// milliseconds. Steps over budget count as overruns.
+    pub step_budget_ms: Option<u64>,
+    /// Halt a tenant once it accumulates this many budget overruns
+    /// (0 = never halt). Ignored in scenario mode, where the exercise
+    /// engine owns the step loop and overruns are accounted post-hoc.
+    pub max_overruns: u64,
+    /// Tenant `i` runs under fault seed `base_fault_seed + i`.
+    pub base_fault_seed: u64,
+    /// Step-interval override for every tenant (`None` = the model's).
+    pub interval: Option<SimDuration>,
+    /// Run this scored exercise per tenant instead of a plain soak.
+    pub scenario: Option<Scenario>,
+    /// Directory for per-tenant `tenant-NNNN.journal.jsonl` /
+    /// `tenant-NNNN.metrics.json` files, written by workers as each tenant
+    /// finishes (`None` = keep everything in memory only).
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Default for FarmConfig {
+    fn default() -> FarmConfig {
+        FarmConfig {
+            tenants: 1,
+            threads: 0,
+            sim_seconds: 10,
+            step_budget_ms: None,
+            max_overruns: 0,
+            base_fault_seed: 0,
+            interval: None,
+            scenario: None,
+            out_dir: None,
+        }
+    }
+}
+
+/// One tenant's outcome.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Tenant index (also its journal file number and fault-seed offset).
+    pub tenant: usize,
+    /// Power-flow steps executed.
+    pub steps: u64,
+    /// Wall-clock seconds the tenant's whole run took.
+    pub wall_seconds: f64,
+    /// Median step wall time in seconds.
+    pub p50_step_seconds: f64,
+    /// 99th-percentile step wall time in seconds.
+    pub p99_step_seconds: f64,
+    /// Worst step wall time in seconds.
+    pub max_step_seconds: f64,
+    /// Steps that blew the configured budget.
+    pub budget_overruns: u64,
+    /// True when the tenant was halted early for exceeding `max_overruns`.
+    pub halted: bool,
+    /// Failed re-solves over the run (the range degrades gracefully).
+    pub solve_errors: u64,
+    /// `(earned, total)` exercise score, scenario mode only.
+    pub score: Option<(u32, u32)>,
+    /// Journal file path, when an output directory was configured.
+    pub journal_path: Option<String>,
+    /// Instantiation or exercise error, if the tenant never ran.
+    pub error: Option<String>,
+    /// Raw per-step wall times (seconds) shipped back for farm-level
+    /// percentile aggregation; not serialized per tenant.
+    step_samples: Vec<f64>,
+}
+
+/// The farm-level after-action report: throughput and latency aggregates
+/// over every tenant, plus per-tenant detail.
+#[derive(Debug, Clone)]
+pub struct FarmReport {
+    /// Tenants requested.
+    pub tenants: usize,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Co-simulated seconds per tenant.
+    pub sim_seconds: u64,
+    /// Wall-clock seconds for the whole farm run.
+    pub wall_seconds: f64,
+    /// Tenant ranges completed per wall-clock second.
+    pub ranges_per_sec: f64,
+    /// Power-flow steps executed across all tenants.
+    pub steps_total: u64,
+    /// Steps per wall-clock second across the farm.
+    pub steps_per_sec: f64,
+    /// Median step wall time across every tenant's steps, seconds.
+    pub p50_step_seconds: f64,
+    /// 99th-percentile step wall time across every tenant's steps, seconds.
+    pub p99_step_seconds: f64,
+    /// Worst step wall time across the farm, seconds.
+    pub max_step_seconds: f64,
+    /// The configured per-step budget, if any.
+    pub step_budget_ms: Option<u64>,
+    /// Budget overruns across all tenants.
+    pub budget_overruns: u64,
+    /// Tenants halted for exceeding `max_overruns`.
+    pub tenants_halted: usize,
+    /// Tenants that failed to instantiate or run.
+    pub tenants_failed: usize,
+    /// One-line inventory of the shared compiled model.
+    pub model_summary: String,
+    /// Per-tenant outcomes, ordered by tenant index.
+    pub per_tenant: Vec<TenantReport>,
+}
+
+impl FarmReport {
+    /// Human-readable multi-line summary.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "farm: {} tenants x {} s sim on {} threads | {}\n",
+            self.tenants, self.sim_seconds, self.threads, self.model_summary
+        ));
+        out.push_str(&format!(
+            "wall {:.2} s | {:.1} ranges/sec | {} steps ({:.0} steps/sec)\n",
+            self.wall_seconds, self.ranges_per_sec, self.steps_total, self.steps_per_sec
+        ));
+        out.push_str(&format!(
+            "step latency p50 {:.3} ms, p99 {:.3} ms, max {:.3} ms\n",
+            self.p50_step_seconds * 1e3,
+            self.p99_step_seconds * 1e3,
+            self.max_step_seconds * 1e3
+        ));
+        match self.step_budget_ms {
+            Some(budget) => out.push_str(&format!(
+                "budget {budget} ms/step: {} overruns, {} tenants halted, {} failed\n",
+                self.budget_overruns, self.tenants_halted, self.tenants_failed
+            )),
+            None => out.push_str(&format!(
+                "no step budget | {} tenants failed\n",
+                self.tenants_failed
+            )),
+        }
+        out
+    }
+
+    /// JSON form (stable key order) — the schema `BENCH_farm.json` commits.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"tenants\":{},", self.tenants));
+        out.push_str(&format!("\"threads\":{},", self.threads));
+        out.push_str(&format!("\"sim_seconds\":{},", self.sim_seconds));
+        out.push_str(&format!(
+            "\"wall_seconds\":{},",
+            json::number(self.wall_seconds)
+        ));
+        out.push_str(&format!(
+            "\"ranges_per_sec\":{},",
+            json::number(self.ranges_per_sec)
+        ));
+        out.push_str(&format!("\"steps_total\":{},", self.steps_total));
+        out.push_str(&format!(
+            "\"steps_per_sec\":{},",
+            json::number(self.steps_per_sec)
+        ));
+        out.push_str(&format!(
+            "\"p50_step_seconds\":{},",
+            json::number(self.p50_step_seconds)
+        ));
+        out.push_str(&format!(
+            "\"p99_step_seconds\":{},",
+            json::number(self.p99_step_seconds)
+        ));
+        out.push_str(&format!(
+            "\"max_step_seconds\":{},",
+            json::number(self.max_step_seconds)
+        ));
+        match self.step_budget_ms {
+            Some(budget) => out.push_str(&format!("\"step_budget_ms\":{budget},")),
+            None => out.push_str("\"step_budget_ms\":null,"),
+        }
+        out.push_str(&format!("\"budget_overruns\":{},", self.budget_overruns));
+        out.push_str(&format!("\"tenants_halted\":{},", self.tenants_halted));
+        out.push_str(&format!("\"tenants_failed\":{},", self.tenants_failed));
+        out.push_str(&format!(
+            "\"model_summary\":{},",
+            json::quote(&self.model_summary)
+        ));
+        out.push_str("\"per_tenant\":[");
+        for (i, t) in self.per_tenant.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            out.push_str(&format!("\"tenant\":{},", t.tenant));
+            out.push_str(&format!("\"steps\":{},", t.steps));
+            out.push_str(&format!(
+                "\"wall_seconds\":{},",
+                json::number(t.wall_seconds)
+            ));
+            out.push_str(&format!(
+                "\"p50_step_seconds\":{},",
+                json::number(t.p50_step_seconds)
+            ));
+            out.push_str(&format!(
+                "\"p99_step_seconds\":{},",
+                json::number(t.p99_step_seconds)
+            ));
+            out.push_str(&format!(
+                "\"max_step_seconds\":{},",
+                json::number(t.max_step_seconds)
+            ));
+            out.push_str(&format!("\"budget_overruns\":{},", t.budget_overruns));
+            out.push_str(&format!("\"halted\":{},", t.halted));
+            out.push_str(&format!("\"solve_errors\":{},", t.solve_errors));
+            match t.score {
+                Some((earned, total)) => out.push_str(&format!(
+                    "\"score\":{{\"earned\":{earned},\"total\":{total}}},"
+                )),
+                None => out.push_str("\"score\":null,"),
+            }
+            match &t.journal_path {
+                Some(path) => out.push_str(&format!("\"journal\":{},", json::quote(path))),
+                None => out.push_str("\"journal\":null,"),
+            }
+            match &t.error {
+                Some(error) => out.push_str(&format!("\"error\":{}", json::quote(error))),
+                None => out.push_str("\"error\":null"),
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Runs `config.tenants` independent ranges from one shared compiled model
+/// across a worker pool and aggregates the farm report.
+///
+/// Tenant instantiation or exercise failures never abort the farm; they are
+/// recorded on the tenant's report (`error`) and counted in
+/// [`FarmReport::tenants_failed`].
+pub fn run_farm(model: Arc<CompiledModel>, config: &FarmConfig) -> FarmReport {
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        config.threads
+    }
+    .min(config.tenants.max(1));
+
+    if let Some(dir) = &config.out_dir {
+        // Creating the sink directory up front keeps workers fs-race-free.
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            let mut report = empty_report(&model, config, threads);
+            report.tenants_failed = config.tenants;
+            report.per_tenant = (0..config.tenants)
+                .map(|tenant| failed_tenant(tenant, format!("cannot create out dir: {e}")))
+                .collect();
+            return report;
+        }
+    }
+
+    let wall_start = std::time::Instant::now();
+    let next_tenant = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<TenantReport>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next_tenant = &next_tenant;
+            let model = &model;
+            scope.spawn(move || loop {
+                let tenant = next_tenant.fetch_add(1, Ordering::Relaxed);
+                if tenant >= config.tenants {
+                    break;
+                }
+                // A send only fails if the receiver is gone, i.e. the farm
+                // is already being torn down — nothing left to report to.
+                let _ = tx.send(run_tenant(model, config, tenant));
+            });
+        }
+    });
+    drop(tx);
+
+    let mut per_tenant: Vec<TenantReport> = rx.iter().collect();
+    per_tenant.sort_by_key(|t| t.tenant);
+    let wall_seconds = wall_start.elapsed().as_secs_f64();
+
+    let mut all_steps: Vec<f64> = Vec::new();
+    let mut steps_total = 0u64;
+    let mut budget_overruns = 0u64;
+    let mut tenants_halted = 0usize;
+    let mut tenants_failed = 0usize;
+    for t in &per_tenant {
+        steps_total += t.steps;
+        budget_overruns += t.budget_overruns;
+        if t.halted {
+            tenants_halted += 1;
+        }
+        if t.error.is_some() {
+            tenants_failed += 1;
+        }
+    }
+    // Re-collect every tenant's percentile inputs for the farm aggregate:
+    // per-tenant reports carry their own percentiles, and the aggregate is
+    // computed over (p50, p99, max are not mergeable) the raw samples the
+    // workers shipped back.
+    for t in &per_tenant {
+        all_steps.extend_from_slice(&t.step_samples);
+    }
+
+    let completed = per_tenant.iter().filter(|t| t.error.is_none()).count();
+    FarmReport {
+        tenants: config.tenants,
+        threads,
+        sim_seconds: config.sim_seconds,
+        wall_seconds,
+        ranges_per_sec: if wall_seconds > 0.0 {
+            completed as f64 / wall_seconds
+        } else {
+            0.0
+        },
+        steps_total,
+        steps_per_sec: if wall_seconds > 0.0 {
+            steps_total as f64 / wall_seconds
+        } else {
+            0.0
+        },
+        p50_step_seconds: percentile(&mut all_steps, 0.50),
+        p99_step_seconds: percentile(&mut all_steps, 0.99),
+        max_step_seconds: all_steps.iter().copied().fold(0.0, f64::max),
+        step_budget_ms: config.step_budget_ms,
+        budget_overruns,
+        tenants_halted,
+        tenants_failed,
+        model_summary: model.summary(),
+        per_tenant,
+    }
+}
+
+/// Runs one tenant to completion and measures it. Never panics; failures
+/// land on the report's `error` field.
+fn run_tenant(model: &Arc<CompiledModel>, config: &FarmConfig, tenant: usize) -> TenantReport {
+    let telemetry = Telemetry::new();
+    let mut builder = RangeBuilder::from_model(model.clone())
+        .telemetry(telemetry.clone())
+        .fault_seed(config.base_fault_seed + tenant as u64);
+    if let Some(interval) = config.interval {
+        builder = builder.interval(interval);
+    }
+    let wall_start = std::time::Instant::now();
+    let mut range = match builder.build() {
+        Ok(range) => range,
+        Err(e) => return failed_tenant(tenant, e.to_string()),
+    };
+
+    let mut budget_overruns = 0u64;
+    let mut halted = false;
+    let mut score = None;
+
+    match &config.scenario {
+        Some(scenario) => {
+            // The exercise engine owns the step loop; budget accounting is
+            // post-hoc from the range's retained step statistics.
+            match run_exercise(&mut range, scenario) {
+                Ok(report) => {
+                    let s = report.score();
+                    score = Some((s.earned, s.total));
+                }
+                Err(e) => return failed_tenant(tenant, format!("exercise: {e}")),
+            }
+            if let Some(budget_ms) = config.step_budget_ms {
+                let budget = budget_ms as f64 / 1e3;
+                budget_overruns = range
+                    .step_stats()
+                    .filter(|s| s.total_seconds > budget)
+                    .count() as u64;
+            }
+        }
+        None => {
+            // Plain soak: drive the step loop directly so the budget can
+            // halt a runaway tenant live.
+            let end = range.now() + SimDuration::from_secs(config.sim_seconds);
+            while range.now() < end {
+                let step_start = std::time::Instant::now();
+                range.step();
+                if let Some(budget_ms) = config.step_budget_ms {
+                    if step_start.elapsed().as_secs_f64() * 1e3 > budget_ms as f64 {
+                        budget_overruns += 1;
+                        if config.max_overruns > 0 && budget_overruns >= config.max_overruns {
+                            halted = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let wall_seconds = wall_start.elapsed().as_secs_f64();
+
+    let mut step_samples: Vec<f64> = range.step_stats().map(|s| s.total_seconds).collect();
+    let report = TenantReport {
+        tenant,
+        steps: range.steps_total(),
+        wall_seconds,
+        p50_step_seconds: percentile(&mut step_samples, 0.50),
+        p99_step_seconds: percentile(&mut step_samples, 0.99),
+        max_step_seconds: step_samples.iter().copied().fold(0.0, f64::max),
+        budget_overruns,
+        halted,
+        solve_errors: range.solve_errors_total(),
+        score,
+        journal_path: None,
+        error: None,
+        step_samples,
+    };
+    match write_tenant_sinks(config, tenant, &telemetry) {
+        Ok(journal_path) => TenantReport {
+            journal_path,
+            ..report
+        },
+        Err(e) => TenantReport {
+            error: Some(format!("sink: {e}")),
+            ..report
+        },
+    }
+}
+
+/// Streams one finished tenant's journal and metrics to the output
+/// directory; returns the journal path written (if any).
+fn write_tenant_sinks(
+    config: &FarmConfig,
+    tenant: usize,
+    telemetry: &Telemetry,
+) -> std::io::Result<Option<String>> {
+    let Some(dir) = &config.out_dir else {
+        return Ok(None);
+    };
+    let journal = dir.join(format!("tenant-{tenant:04}.journal.jsonl"));
+    std::fs::write(&journal, telemetry.journal_jsonl())?;
+    let metrics = dir.join(format!("tenant-{tenant:04}.metrics.json"));
+    std::fs::write(&metrics, telemetry.snapshot().to_json())?;
+    Ok(Some(journal.to_string_lossy().into_owned()))
+}
+
+fn failed_tenant(tenant: usize, error: String) -> TenantReport {
+    TenantReport {
+        tenant,
+        steps: 0,
+        wall_seconds: 0.0,
+        p50_step_seconds: 0.0,
+        p99_step_seconds: 0.0,
+        max_step_seconds: 0.0,
+        budget_overruns: 0,
+        halted: false,
+        solve_errors: 0,
+        score: None,
+        journal_path: None,
+        error: Some(error),
+        step_samples: Vec::new(),
+    }
+}
+
+fn empty_report(model: &CompiledModel, config: &FarmConfig, threads: usize) -> FarmReport {
+    FarmReport {
+        tenants: config.tenants,
+        threads,
+        sim_seconds: config.sim_seconds,
+        wall_seconds: 0.0,
+        ranges_per_sec: 0.0,
+        steps_total: 0,
+        steps_per_sec: 0.0,
+        p50_step_seconds: 0.0,
+        p99_step_seconds: 0.0,
+        max_step_seconds: 0.0,
+        step_budget_ms: config.step_budget_ms,
+        budget_overruns: 0,
+        tenants_halted: 0,
+        tenants_failed: 0,
+        model_summary: model.summary(),
+        per_tenant: Vec::new(),
+    }
+}
+
+/// Nearest-rank percentile over an unsorted sample set (sorts in place;
+/// 0.0 for an empty set).
+fn percentile(samples: &mut [f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((samples.len() as f64 - 1.0) * q).round() as usize;
+    samples[rank.min(samples.len() - 1)]
+}

@@ -15,10 +15,10 @@
 //!
 //! ```no_run
 //! use sgcr_models::epic_bundle;
-//! use sgcr_core::CyberRange;
+//! use sgcr_core::{CompiledModel, CyberRange};
 //!
-//! let bundle = epic_bundle();
-//! let range = CyberRange::generate(&bundle)?;
+//! let model = CompiledModel::shared(&epic_bundle())?;
+//! let range = CyberRange::instantiate(model)?;
 //! assert_eq!(range.ieds.len(), 8);
 //! # Ok::<(), sgcr_core::RangeError>(())
 //! ```

@@ -279,7 +279,7 @@ fn validate(range: &CyberRange, scenario: &Scenario) -> Result<(), ExerciseError
             }
             StageAction::Fci { host, victim, .. } => {
                 check_attacker_host(&declared_hosts, &mut used_hosts, id, host)?;
-                if range.plan.host_ip(victim).is_none() {
+                if range.plan().host_ip(victim).is_none() {
                     return Err(err(format!(
                         "stage {id:?} targets unknown victim {victim:?}"
                     )));
@@ -293,7 +293,7 @@ fn validate(range: &CyberRange, scenario: &Scenario) -> Result<(), ExerciseError
             } => {
                 check_attacker_host(&declared_hosts, &mut used_hosts, id, host)?;
                 for victim in [victim_a, victim_b] {
-                    if range.plan.host_ip(victim).is_none() {
+                    if range.plan().host_ip(victim).is_none() {
                         return Err(err(format!(
                             "stage {id:?} targets unknown victim {victim:?}"
                         )));
@@ -516,7 +516,7 @@ impl Engine {
             } => {
                 // Victim resolution was validated; a race would only lose
                 // the stage, not the exercise.
-                let Some(victim_ip) = range.plan.host_ip(victim) else {
+                let Some(victim_ip) = range.plan().host_ip(victim) else {
                     self.stages[i].detail = format!("victim {victim:?} vanished");
                     self.stages[i].started_ms = Some(now_rel);
                     self.stages[i].ended_ms = Some(now_rel);
@@ -539,9 +539,10 @@ impl Engine {
                 duration_ms,
                 transform,
             } => {
-                let (Some(a), Some(b)) =
-                    (range.plan.host_ip(victim_a), range.plan.host_ip(victim_b))
-                else {
+                let (Some(a), Some(b)) = (
+                    range.plan().host_ip(victim_a),
+                    range.plan().host_ip(victim_b),
+                ) else {
                     self.stages[i].detail = "victim vanished".to_string();
                     self.stages[i].started_ms = Some(now_rel);
                     self.stages[i].ended_ms = Some(now_rel);
@@ -1018,6 +1019,7 @@ impl Engine {
 mod tests {
     use super::*;
     use crate::spec::Scenario;
+    use sgcr_core::CompiledModel;
     use sgcr_models::epic_bundle;
 
     fn scenario(xml: &str) -> Scenario {
@@ -1026,7 +1028,8 @@ mod tests {
 
     #[test]
     fn power_stage_with_reach_and_band_objectives() {
-        let mut range = CyberRange::generate(&epic_bundle()).unwrap();
+        let mut range =
+            CyberRange::instantiate(CompiledModel::shared(&epic_bundle()).unwrap()).unwrap();
         let s = scenario(
             r#"<Scenario name="t" durationMs="1500">
   <Stage id="open" t="300" kind="power" action="openSwitch" target="EPIC/CB_HOME"/>
@@ -1055,7 +1058,8 @@ mod tests {
 
     #[test]
     fn validation_rejects_misfit_scenarios() {
-        let range = CyberRange::generate(&epic_bundle()).unwrap();
+        let range =
+            CyberRange::instantiate(CompiledModel::shared(&epic_bundle()).unwrap()).unwrap();
         let cases = [
             // duplicate stage id
             r#"<Scenario name="t" durationMs="100"><Stage id="a" kind="power" action="openSwitch" target="EPIC/CB_GEN"/><Stage id="a" kind="power" action="openSwitch" target="EPIC/CB_GEN"/></Scenario>"#,
@@ -1082,7 +1086,8 @@ mod tests {
 
     #[test]
     fn fault_stages_apply_and_stale_alarm_fires() {
-        let mut range = CyberRange::generate(&epic_bundle()).unwrap();
+        let mut range =
+            CyberRange::instantiate(CompiledModel::shared(&epic_bundle()).unwrap()).unwrap();
         // Crash the MMS source of MicroVolt_pu after its first poll lands;
         // with a 1.5 s stale window the tag flips to quality `old` and the
         // staleness alarm raises long before the host restarts.
@@ -1111,7 +1116,8 @@ mod tests {
 
     #[test]
     fn validation_rejects_misfit_fault_stages() {
-        let range = CyberRange::generate(&epic_bundle()).unwrap();
+        let range =
+            CyberRange::instantiate(CompiledModel::shared(&epic_bundle()).unwrap()).unwrap();
         let cases = [
             // loss probability out of range
             r#"<Scenario name="t" durationMs="100"><Stage id="a" kind="linkFault" a="SCADA" b="ControlBus" loss="1.5"/></Scenario>"#,
@@ -1130,7 +1136,8 @@ mod tests {
 
     #[test]
     fn dependent_stage_waits_for_completion() {
-        let mut range = CyberRange::generate(&epic_bundle()).unwrap();
+        let mut range =
+            CyberRange::instantiate(CompiledModel::shared(&epic_bundle()).unwrap()).unwrap();
         let s = scenario(
             r#"<Scenario name="t" durationMs="1000">
   <Stage id="first" t="200" kind="power" action="openSwitch" target="EPIC/CB_HOME"/>

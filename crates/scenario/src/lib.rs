@@ -33,7 +33,8 @@
 //!
 //! let xml = std::fs::read_to_string("exercise01.scenario.xml")?;
 //! let scenario = Scenario::parse(&xml)?;
-//! let mut range = sgcr_core::CyberRange::generate(&sgcr_models::epic_bundle())?;
+//! let model = sgcr_core::CompiledModel::shared(&sgcr_models::epic_bundle())?;
+//! let mut range = sgcr_core::CyberRange::instantiate(model)?;
 //! let report = run_exercise(&mut range, &scenario)?;
 //! println!("{}", report.to_text());
 //! std::fs::write("report.json", report.to_json())?;

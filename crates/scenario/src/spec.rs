@@ -88,7 +88,7 @@ pub struct Scenario {
 }
 
 /// An attacker host placed on a named switch, like
-/// [`sgcr_core::CyberRange::add_host`].
+/// [`sgcr_core::RangeState::add_host`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct AttackerHost {
     /// Host name (referenced by cyber stages).

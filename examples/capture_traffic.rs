@@ -8,7 +8,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
 
 use sg_cyber_range::attack::CaptureSummary;
-use sg_cyber_range::core::CyberRange;
+use sg_cyber_range::core::{CompiledModel, CyberRange};
 use sg_cyber_range::models::epic_bundle;
 use sg_cyber_range::net::{pcap, SimDuration};
 
@@ -16,7 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "epic-capture.pcap".to_string());
-    let mut range = CyberRange::generate(&epic_bundle())?;
+    let mut range = CyberRange::instantiate(CompiledModel::shared(&epic_bundle())?)?;
 
     // Tap the SCADA workstation and one IED.
     let scada = range.node("SCADA").expect("SCADA host");

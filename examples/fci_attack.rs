@@ -10,7 +10,7 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
 
-use sg_cyber_range::core::CyberRange;
+use sg_cyber_range::core::{CompiledModel, CyberRange};
 use sg_cyber_range::models::epic_bundle;
 use sg_cyber_range::scenario::{run_exercise, Scenario};
 
@@ -18,7 +18,7 @@ const SCENARIO_XML: &str = include_str!("scenarios/epic_fci.scenario.xml");
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scenario = Scenario::parse(SCENARIO_XML)?;
-    let mut range = CyberRange::generate(&epic_bundle())?;
+    let mut range = CyberRange::instantiate(CompiledModel::shared(&epic_bundle())?)?;
     println!("== False Command Injection on the EPIC range ==");
     println!(
         "scenario {:?}: {} stages, {} objectives, {} ms\n",

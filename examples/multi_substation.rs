@@ -8,7 +8,7 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
 
-use sg_cyber_range::core::CyberRange;
+use sg_cyber_range::core::{CompiledModel, CyberRange};
 use sg_cyber_range::models::{multisub_bundle, MultiSubParams};
 use sg_cyber_range::net::SimDuration;
 
@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let generate_start = std::time::Instant::now();
-    let mut range = CyberRange::generate(&multisub_bundle(&params))?;
+    let mut range = CyberRange::instantiate(CompiledModel::shared(&multisub_bundle(&params))?)?;
     println!(
         "generated in {:.2} s: {}",
         generate_start.elapsed().as_secs_f64(),

@@ -8,7 +8,7 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
 
-use sg_cyber_range::core::CyberRange;
+use sg_cyber_range::core::{CompiledModel, CyberRange};
 use sg_cyber_range::ied::IedEventKind;
 use sg_cyber_range::models::epic_bundle;
 use sg_cyber_range::net::SimDuration;
@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Scenario 1: over-current on the smart-home feeder (PTOC) --------
     {
-        let mut range = CyberRange::generate(&epic_bundle())?;
+        let mut range = CyberRange::instantiate(CompiledModel::shared(&epic_bundle())?)?;
         range.run_for(SimDuration::from_secs(1));
         println!("scenario 1: smart-home feeder overload → TIED2 PTOC");
         let i_before = range
@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Scenario 2: over-voltage at generation (PTOV) --------------------
     {
-        let mut range = CyberRange::generate(&epic_bundle())?;
+        let mut range = CyberRange::instantiate(CompiledModel::shared(&epic_bundle())?)?;
         range.run_for(SimDuration::from_secs(1));
         println!("scenario 2: generator voltage excursion → GIED2 PTOV");
         for gen in range.power.gen.iter_mut() {
@@ -67,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Scenario 3: micro-grid undervoltage (PTUV) -----------------------
     {
-        let mut range = CyberRange::generate(&epic_bundle())?;
+        let mut range = CyberRange::instantiate(CompiledModel::shared(&epic_bundle())?)?;
         range.run_for(SimDuration::from_secs(1));
         println!("scenario 3: depressed micro-grid voltage → MIED1 PTUV");
         for gen in range.power.gen.iter_mut() {
@@ -86,7 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Scenario 4: interlock (CILO) --------------------------------------
     {
-        let mut range = CyberRange::generate(&epic_bundle())?;
+        let mut range = CyberRange::instantiate(CompiledModel::shared(&epic_bundle())?)?;
         println!("scenario 4: SIED1 close command blocked by CILO until CB_HOME closes");
         // Open CB_HOME first.
         range.store.set(

@@ -7,7 +7,7 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
 
-use sg_cyber_range::core::CyberRange;
+use sg_cyber_range::core::{CompiledModel, CyberRange};
 use sg_cyber_range::models::epic_bundle;
 use sg_cyber_range::net::SimDuration;
 
@@ -22,11 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         bundle.seds.len()
     );
 
-    let mut range = CyberRange::generate(&bundle)?;
+    let mut range = CyberRange::instantiate(CompiledModel::shared(&bundle)?)?;
     println!("\n{}\n", range.summary());
 
     println!("cyber topology (hosts):");
-    for host in &range.plan.hosts {
+    for host in &range.plan().hosts {
         println!(
             "  {:10} {:12} on {}",
             host.name,

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Load/soak harness for the multi-tenant range farm.
+#
+# Exports the built-in EPIC SG-ML model set, compiles it once, then multiplexes
+# TENANTS concurrent ranges across the machine's cores via `sgml_processor
+# serve`, writing per-tenant journals/metrics plus a machine-readable farm
+# report (ranges/sec, p50/p99/max step latency) to REPORT.
+#
+# Usage:
+#   scripts/farm_load_test.sh                 # 128 tenants x 2 s -> BENCH_farm.json
+#   TENANTS=512 SIM_SECONDS=10 scripts/farm_load_test.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TENANTS="${TENANTS:-128}"
+SIM_SECONDS="${SIM_SECONDS:-2}"
+STEP_BUDGET_MS="${STEP_BUDGET_MS:-250}"
+OUT_DIR="${OUT_DIR:-target/farm-load}"
+REPORT="${REPORT:-BENCH_farm.json}"
+BUNDLE="target/farm-load-bundle"
+
+cargo build --release --bin sgml_processor --example export_epic_model
+
+rm -rf "$BUNDLE" "$OUT_DIR"
+./target/release/examples/export_epic_model "$BUNDLE" >/dev/null
+
+./target/release/sgml_processor serve "$BUNDLE" \
+  --tenants "$TENANTS" \
+  --seconds "$SIM_SECONDS" \
+  --step-budget-ms "$STEP_BUDGET_MS" \
+  --fault-seed 42 \
+  --out "$OUT_DIR" \
+  --report "$REPORT"
+
+JOURNALS=$(ls "$OUT_DIR"/tenant-*.journal.jsonl 2>/dev/null | wc -l)
+if [ "$JOURNALS" -ne "$TENANTS" ]; then
+  echo "error: expected $TENANTS per-tenant journals in $OUT_DIR, found $JOURNALS" >&2
+  exit 1
+fi
+echo "ok: $JOURNALS per-tenant journals in $OUT_DIR/, farm report in $REPORT"

@@ -12,6 +12,10 @@
 //! sgml_processor exercise <bundle-dir> [--scenario <file>] [--report <file>]
 //!                      [--journal <file>] [--trace <file>] [--fault-seed <n>]
 //!                      [--no-check]
+//! sgml_processor serve <bundle-dir> [--tenants <n>] [--threads <n>]
+//!                      [--seconds <n>] [--scenario <file>] [--out <dir>]
+//!                      [--report <file>] [--step-budget-ms <n>]
+//!                      [--max-overruns <n>] [--fault-seed <n>] [--no-check]
 //! ```
 //!
 //! `build` compiles the bundle and prints the generated inventory without
@@ -52,11 +56,23 @@
 //! loss/jitter/corruption patterns. On `exercise` the flag overrides any
 //! `faultSeed=` attribute in the scenario XML.
 //!
+//! `serve` is the multi-tenant **range farm**: the bundle is compiled
+//! *once* into an immutable shared model, then `--tenants` independent
+//! ranges (or scored exercises, with `--scenario`) run concurrently across
+//! a worker thread pool. Tenant `i` uses fault seed `--fault-seed + i`, so
+//! every tenant is individually byte-replayable. With `--out <dir>` each
+//! tenant streams its own `tenant-NNNN.journal.jsonl` and
+//! `tenant-NNNN.metrics.json`; `--step-budget-ms` enforces a per-tenant
+//! wall-clock step budget (`--max-overruns` halts repeat offenders), and
+//! `--report` writes the farm throughput/latency report (ranges/sec, p50,
+//! p99, max step latency) as JSON — the schema `BENCH_farm.json` tracks.
+//!
 //! The pre-subcommand invocation forms (`sgml_processor <bundle-dir>
 //! [--run <seconds>] [--validate-only] …`) keep working as deprecated
 //! aliases and print a one-line migration hint on stderr.
 
-use sgcr_core::{RangeBuilder, SgmlBundle};
+use sgcr_core::{CompiledModel, RangeBuilder, SgmlBundle};
+use sgcr_farm::{run_farm, FarmConfig};
 use sgcr_lint::source::LoadedBundle;
 use sgcr_lint::{engine, json, lint_bundle, report, sarif};
 use sgcr_net::SimDuration;
@@ -72,10 +88,20 @@ const USAGE: &str = "usage: sgml_processor build <bundle-dir> [--dot]\n       \
                      [--cache <dir>] [--deny-warnings]\n       \
                      sgml_processor exercise <bundle-dir> [--scenario <file>] \
                      [--report <file>] [--journal <file>] [--trace <file>] \
-                     [--fault-seed <n>] [--no-check]";
+                     [--fault-seed <n>] [--no-check]\n       \
+                     sgml_processor serve <bundle-dir> [--tenants <n>] \
+                     [--threads <n>] [--seconds <n>] [--scenario <file>] \
+                     [--out <dir>] [--report <file>] [--step-budget-ms <n>] \
+                     [--max-overruns <n>] [--fault-seed <n>] [--no-check]";
 
 /// Default co-simulated duration for `run` when `--seconds` is omitted.
 const DEFAULT_RUN_SECONDS: u64 = 10;
+
+/// Default tenant count for `serve` when `--tenants` is omitted.
+const DEFAULT_SERVE_TENANTS: usize = 8;
+
+/// Default co-simulated seconds per tenant for `serve`.
+const DEFAULT_SERVE_SECONDS: u64 = 10;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -117,6 +143,19 @@ enum Cmd {
         fault_seed: Option<u64>,
         no_check: bool,
     },
+    Serve {
+        dir: String,
+        tenants: usize,
+        threads: usize,
+        seconds: u64,
+        scenario: Option<String>,
+        out: Option<String>,
+        report: Option<String>,
+        step_budget_ms: Option<u64>,
+        max_overruns: u64,
+        fault_seed: u64,
+        no_check: bool,
+    },
 }
 
 /// Parse result: the command plus an optional deprecation notice to print
@@ -138,6 +177,7 @@ fn parse_args(args: &[String]) -> Result<Parsed, String> {
         "run" => parse_run(&args[1..]),
         "lint" => parse_lint(&args[1..]),
         "exercise" => parse_exercise(&args[1..]),
+        "serve" => parse_serve(&args[1..]),
         "-h" | "--help" | "help" => Err(String::new()),
         _ => parse_legacy(args),
     }
@@ -303,6 +343,81 @@ fn parse_exercise(args: &[String]) -> Result<Parsed, String> {
     })
 }
 
+/// Parses a `--flag <n>` unsigned integer value.
+fn parse_uint(flag: &str, value: &str) -> Result<u64, String> {
+    value
+        .parse()
+        .map_err(|_| format!("`{flag}` expects an unsigned integer, found `{value}`"))
+}
+
+fn parse_serve(args: &[String]) -> Result<Parsed, String> {
+    let (dir, rest) = take_dir(args)?;
+    let mut tenants = DEFAULT_SERVE_TENANTS;
+    let mut threads = 0;
+    let mut seconds = DEFAULT_SERVE_SECONDS;
+    let mut scenario = None;
+    let mut out = None;
+    let mut report = None;
+    let mut step_budget_ms = None;
+    let mut max_overruns = 0;
+    let mut fault_seed = 0;
+    let mut no_check = false;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--tenants" => {
+                tenants = parse_uint("--tenants", flag_value(rest, &mut i, "--tenants")?)? as usize;
+            }
+            "--threads" => {
+                threads = parse_uint("--threads", flag_value(rest, &mut i, "--threads")?)? as usize;
+            }
+            "--seconds" => {
+                seconds = parse_uint("--seconds", flag_value(rest, &mut i, "--seconds")?)?;
+            }
+            "--scenario" => scenario = Some(flag_value(rest, &mut i, "--scenario")?.to_string()),
+            "--out" => out = Some(flag_value(rest, &mut i, "--out")?.to_string()),
+            "--report" => report = Some(flag_value(rest, &mut i, "--report")?.to_string()),
+            "--step-budget-ms" => {
+                step_budget_ms = Some(parse_uint(
+                    "--step-budget-ms",
+                    flag_value(rest, &mut i, "--step-budget-ms")?,
+                )?);
+            }
+            "--max-overruns" => {
+                max_overruns = parse_uint(
+                    "--max-overruns",
+                    flag_value(rest, &mut i, "--max-overruns")?,
+                )?;
+            }
+            "--fault-seed" => {
+                fault_seed = parse_fault_seed(flag_value(rest, &mut i, "--fault-seed")?)?;
+            }
+            "--no-check" => no_check = true,
+            other => return Err(format!("unknown argument `{other}` for `serve`")),
+        }
+        i += 1;
+    }
+    if tenants == 0 {
+        return Err(String::from("`--tenants` must be at least 1"));
+    }
+    Ok(Parsed {
+        cmd: Cmd::Serve {
+            dir,
+            tenants,
+            threads,
+            seconds,
+            scenario,
+            out,
+            report,
+            step_budget_ms,
+            max_overruns,
+            fault_seed,
+            no_check,
+        },
+        deprecation: None,
+    })
+}
+
 /// The pre-subcommand form: `<bundle-dir> [--run <seconds>] [--dot]
 /// [--validate-only] [--format text|json]`. Mapped onto the subcommands
 /// with a one-line deprecation notice.
@@ -444,6 +559,35 @@ fn main() -> ExitCode {
                     trace,
                     ..Sinks::default()
                 },
+                fault_seed,
+            )
+        }
+        Cmd::Serve {
+            dir,
+            tenants,
+            threads,
+            seconds,
+            scenario,
+            out,
+            report,
+            step_budget_ms,
+            max_overruns,
+            fault_seed,
+            no_check,
+        } => {
+            if let Some(code) = front_gate(&dir, no_check) {
+                return code;
+            }
+            serve(
+                &dir,
+                tenants,
+                threads,
+                seconds,
+                scenario.as_deref(),
+                out.as_deref(),
+                report.as_deref(),
+                step_budget_ms,
+                max_overruns,
                 fault_seed,
             )
         }
@@ -605,19 +749,26 @@ fn exercise(
     } else {
         Telemetry::new()
     };
-    let mut range = match RangeBuilder::new(&bundle)
-        .telemetry(telemetry.clone())
-        .build()
-    {
-        Ok(range) => range,
+    let model = match CompiledModel::shared(&bundle) {
+        Ok(model) => model,
         Err(e) => {
             eprintln!("error: model set does not compile:\n{e}");
             return ExitCode::FAILURE;
         }
     };
-    for d in &range.diagnostics {
+    for d in &model.diagnostics {
         eprintln!("  {d}");
     }
+    let mut range = match RangeBuilder::from_model(model)
+        .telemetry(telemetry.clone())
+        .build()
+    {
+        Ok(range) => range,
+        Err(e) => {
+            eprintln!("error: range cannot be instantiated:\n{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     eprintln!(
         "running exercise {:?} ({} stages, {} objectives, {} ms)…",
         scenario.name,
@@ -644,6 +795,104 @@ fn exercise(
         return ExitCode::FAILURE;
     }
     // Failed objectives are scored results, not tool failures.
+    ExitCode::SUCCESS
+}
+
+/// The multi-tenant range farm: compiles the bundle once, then multiplexes
+/// `tenants` independent ranges (or exercises) across a worker pool via
+/// `sgcr-farm`, streaming per-tenant journals/metrics and reporting farm
+/// throughput and step-latency percentiles.
+#[allow(clippy::too_many_arguments)] // mirrors the flat flag surface
+fn serve(
+    dir: &str,
+    tenants: usize,
+    threads: usize,
+    seconds: u64,
+    scenario_path: Option<&str>,
+    out: Option<&str>,
+    report_path: Option<&str>,
+    step_budget_ms: Option<u64>,
+    max_overruns: u64,
+    fault_seed: u64,
+) -> ExitCode {
+    let bundle = match SgmlBundle::from_dir(dir) {
+        Ok(bundle) => bundle,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenario = match scenario_path {
+        Some(path) => {
+            let xml = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("error: reading {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match Scenario::parse(&xml) {
+                Ok(scenario) => Some(scenario),
+                Err(e) => {
+                    eprintln!("error: invalid scenario: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+
+    let compile_start = std::time::Instant::now();
+    let model = match CompiledModel::shared(&bundle) {
+        Ok(model) => model,
+        Err(e) => {
+            eprintln!("error: model set does not compile:\n{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for d in &model.diagnostics {
+        eprintln!("  {d}");
+    }
+    eprintln!(
+        "compiled once in {:.1} ms: {}",
+        compile_start.elapsed().as_secs_f64() * 1e3,
+        model.summary()
+    );
+    eprintln!(
+        "serving {tenants} tenants x {seconds} s{}…",
+        match &scenario {
+            Some(s) => format!(" of exercise {:?}", s.name),
+            None => String::new(),
+        }
+    );
+
+    let config = FarmConfig {
+        tenants,
+        threads,
+        sim_seconds: seconds,
+        step_budget_ms,
+        max_overruns,
+        base_fault_seed: fault_seed,
+        interval: None,
+        scenario,
+        out_dir: out.map(std::path::PathBuf::from),
+    };
+    let farm_report = run_farm(model, &config);
+    print!("{}", farm_report.to_text());
+    if let Some(dir) = out {
+        eprintln!("per-tenant journals/metrics written to {dir}/");
+    }
+    if let Some(path) = report_path {
+        if let Err(e) = std::fs::write(path, farm_report.to_json()) {
+            eprintln!("error: cannot write report to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("farm report written to {path}");
+    }
+    if farm_report.tenants_failed > 0 {
+        eprintln!("error: {} tenant(s) failed", farm_report.tenants_failed);
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }
 
@@ -726,23 +975,30 @@ fn generate(
     } else {
         Telemetry::disabled()
     };
-    let mut builder = RangeBuilder::new(&bundle).telemetry(telemetry.clone());
+    let model = match CompiledModel::shared(&bundle) {
+        Ok(model) => model,
+        Err(e) => {
+            eprintln!("error: model set does not compile:\n{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for d in &model.diagnostics {
+        eprintln!("  {d}");
+    }
+    let mut builder = RangeBuilder::from_model(model).telemetry(telemetry.clone());
     if let Some(seed) = fault_seed {
         builder = builder.fault_seed(seed);
     }
     let mut range = match builder.build() {
         Ok(range) => range,
         Err(e) => {
-            eprintln!("error: model set does not compile:\n{e}");
+            eprintln!("error: range cannot be instantiated:\n{e}");
             return ExitCode::FAILURE;
         }
     };
-    for d in &range.diagnostics {
-        eprintln!("  {d}");
-    }
     println!("{}", range.summary());
     if dot {
-        println!("{}", range.plan.to_dot());
+        println!("{}", range.plan().to_dot());
     }
     if let Some(seconds) = run_seconds {
         eprintln!("running {seconds} s of co-simulated time…");
@@ -1002,6 +1258,58 @@ mod tests {
                 no_check: false,
             }
         );
+    }
+
+    #[test]
+    fn serve_subcommand_parses_all_flags() {
+        let parsed = parse_args(&argv(
+            "serve bundles/epic --tenants 128 --threads 4 --seconds 30 \
+             --scenario s.scenario.xml --out /tmp/farm --report farm.json \
+             --step-budget-ms 100 --max-overruns 5 --fault-seed 42 --no-check",
+        ))
+        .unwrap();
+        assert_eq!(
+            parsed.cmd,
+            Cmd::Serve {
+                dir: "bundles/epic".into(),
+                tenants: 128,
+                threads: 4,
+                seconds: 30,
+                scenario: Some("s.scenario.xml".into()),
+                out: Some("/tmp/farm".into()),
+                report: Some("farm.json".into()),
+                step_budget_ms: Some(100),
+                max_overruns: 5,
+                fault_seed: 42,
+                no_check: true,
+            }
+        );
+        assert!(parsed.deprecation.is_none());
+    }
+
+    #[test]
+    fn serve_defaults_are_sensible() {
+        let parsed = parse_args(&argv("serve bundles/epic")).unwrap();
+        match parsed.cmd {
+            Cmd::Serve {
+                tenants,
+                threads,
+                seconds,
+                fault_seed,
+                ..
+            } => {
+                assert_eq!(tenants, DEFAULT_SERVE_TENANTS);
+                assert_eq!(threads, 0); // one per core
+                assert_eq!(seconds, DEFAULT_SERVE_SECONDS);
+                assert_eq!(fault_seed, 0);
+            }
+            other => panic!("expected serve, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_rejects_zero_tenants() {
+        assert!(parse_args(&argv("serve bundles/epic --tenants 0")).is_err());
     }
 
     #[test]

@@ -32,12 +32,13 @@
 //! # Quickstart
 //!
 //! ```
-//! use sg_cyber_range::core::CyberRange;
+//! use sg_cyber_range::core::{CompiledModel, CyberRange};
 //! use sg_cyber_range::models::epic_bundle;
 //! use sg_cyber_range::net::SimDuration;
 //!
-//! // "Compile" the EPIC model set into an operational cyber range…
-//! let mut range = CyberRange::generate(&epic_bundle())?;
+//! // Compile the EPIC model set once, then instantiate an operational range…
+//! let model = CompiledModel::shared(&epic_bundle())?;
+//! let mut range = CyberRange::instantiate(model)?;
 //! // …and run two seconds of co-simulated cyber + physical time.
 //! range.run_for(SimDuration::from_secs(2));
 //! assert!(range.scada.as_ref().unwrap().polls_completed() > 0);
@@ -46,6 +47,7 @@
 
 pub use sgcr_attack as attack;
 pub use sgcr_core as core;
+pub use sgcr_farm as farm;
 pub use sgcr_faults as faults;
 pub use sgcr_iec61850 as iec61850;
 pub use sgcr_ied as ied;

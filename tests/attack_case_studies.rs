@@ -7,12 +7,15 @@ use sg_cyber_range::attack::{
     CaptureSummary, FciAttackApp, FciPlan, MitmApp, MitmPlan, ProtocolClass, ScanPlan, ScannerApp,
     Transform,
 };
-use sg_cyber_range::core::CyberRange;
+use sg_cyber_range::core::{CompiledModel, CyberRange};
 use sg_cyber_range::models::epic_bundle;
 use sg_cyber_range::net::{Ipv4Addr, SimDuration};
 
 fn epic_range() -> CyberRange {
-    CyberRange::generate(&epic_bundle()).expect("EPIC bundle must compile")
+    CyberRange::instantiate(
+        CompiledModel::shared(&epic_bundle()).expect("EPIC bundle must compile"),
+    )
+    .expect("EPIC bundle must compile")
 }
 
 #[test]
@@ -24,7 +27,7 @@ fn fci_attack_opens_breaker_and_changes_power_flow() {
 
     // Compromised node on the generation segment's switch.
     range.add_host("malware-host", Ipv4Addr::new(10, 0, 1, 66), "GenBus");
-    let victim = range.plan.host_ip("GIED1").unwrap();
+    let victim = range.plan().host_ip("GIED1").unwrap();
     let (attack, report) = FciAttackApp::new(FciPlan {
         victim,
         item: "GIED1LD0/CSWI1$CO$Pos$Oper$ctlVal".into(),
@@ -67,8 +70,8 @@ fn mitm_falsifies_scada_measurements_in_generated_range() {
     // SCADA sits on the control bus; its traffic to TIED1 crosses the WAN.
     // Position the attacker on the control bus and poison both ends.
     range.add_host("mitm-box", Ipv4Addr::new(10, 0, 5, 66), "ControlBus");
-    let scada_ip = range.plan.host_ip("SCADA").unwrap();
-    let tied1_ip = range.plan.host_ip("TIED1").unwrap();
+    let scada_ip = range.plan().host_ip("SCADA").unwrap();
+    let tied1_ip = range.plan().host_ip("TIED1").unwrap();
     let (mitm, handle) = MitmApp::new(MitmPlan {
         victim_a: scada_ip,
         victim_b: tied1_ip,
@@ -112,8 +115,8 @@ fn recon_scan_maps_the_generation_segment() {
     let report = report.lock().clone();
     assert!(report.finished);
     // GIED1 and GIED2 live on 10.0.1.x.
-    let gied1 = range.plan.host_ip("GIED1").unwrap();
-    let gied2 = range.plan.host_ip("GIED2").unwrap();
+    let gied1 = range.plan().host_ip("GIED1").unwrap();
+    let gied2 = range.plan().host_ip("GIED2").unwrap();
     let found: Vec<Ipv4Addr> = report.hosts.iter().map(|(ip, _)| *ip).collect();
     assert!(found.contains(&gied1), "{found:?}");
     assert!(found.contains(&gied2), "{found:?}");
@@ -141,8 +144,8 @@ fn mitm_drop_transform_denies_visibility_then_tcp_recovers() {
     assert!(fresh_before.updated_ms > 0);
 
     range.add_host("dropper", Ipv4Addr::new(10, 0, 5, 67), "ControlBus");
-    let scada_ip = range.plan.host_ip("SCADA").unwrap();
-    let tied1_ip = range.plan.host_ip("TIED1").unwrap();
+    let scada_ip = range.plan().host_ip("SCADA").unwrap();
+    let tied1_ip = range.plan().host_ip("TIED1").unwrap();
     let (mitm, handle) = MitmApp::new(MitmPlan {
         victim_a: scada_ip,
         victim_b: tied1_ip,

@@ -4,22 +4,25 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
 
-use sg_cyber_range::core::CyberRange;
+use sg_cyber_range::core::{CompiledModel, CyberRange};
 use sg_cyber_range::kvstore::Value;
 use sg_cyber_range::models::epic_bundle;
 use sg_cyber_range::net::SimDuration;
 
 fn epic_range() -> CyberRange {
-    CyberRange::generate(&epic_bundle()).expect("EPIC bundle must compile")
+    CyberRange::instantiate(
+        CompiledModel::shared(&epic_bundle()).expect("EPIC bundle must compile"),
+    )
+    .expect("EPIC bundle must compile")
 }
 
 #[test]
 fn generates_with_expected_inventory() {
     let range = epic_range();
     // 8 IEDs + CPLC + SCADA hosts; 5 segment switches + WAN backbone.
-    assert_eq!(range.plan.hosts.len(), 10);
-    assert_eq!(range.plan.switches.len(), 6);
-    assert!(range.plan.switches.iter().any(|s| s.is_wan));
+    assert_eq!(range.plan().hosts.len(), 10);
+    assert_eq!(range.plan().switches.len(), 6);
+    assert!(range.plan().switches.iter().any(|s| s.is_wan));
     assert_eq!(range.ieds.len(), 8);
     assert_eq!(range.plcs.len(), 1);
     assert!(range.scada.is_some());
@@ -33,11 +36,11 @@ fn generates_with_expected_inventory() {
     // No error-level diagnostics.
     assert!(
         !range
-            .diagnostics
+            .diagnostics()
             .iter()
             .any(|d| d.severity == sg_cyber_range::scl::Severity::Error),
         "{:?}",
-        range.diagnostics
+        range.diagnostics()
     );
 }
 
@@ -189,7 +192,7 @@ fn deterministic_across_runs() {
 fn missing_host_is_reported() {
     let mut bundle = epic_bundle();
     bundle.scada_host = Some("NO_SUCH_HOST".to_string());
-    match CyberRange::generate(&bundle) {
+    match CompiledModel::compile(&bundle) {
         Err(sg_cyber_range::core::RangeError::UnknownHost { host, .. }) => {
             assert_eq!(host, "NO_SUCH_HOST");
         }
@@ -202,9 +205,19 @@ fn malformed_model_is_reported() {
     let mut bundle = epic_bundle();
     bundle.ssds[0] = "<SCL><Header id=\"broken\"/>".to_string(); // truncated XML
     assert!(matches!(
-        CyberRange::generate(&bundle),
+        CompiledModel::compile(&bundle),
         Err(sg_cyber_range::core::RangeError::Model { what: "SSD", .. })
     ));
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_generate_shim_still_works() {
+    // `CyberRange::generate` / `RangeBuilder::new` stay as thin shims over
+    // compile + instantiate so pre-split callers keep working unchanged.
+    let range = CyberRange::generate(&epic_bundle()).expect("shim compiles the bundle");
+    assert_eq!(range.plan().hosts.len(), 10);
+    assert_eq!(range.steps_total(), 0);
 }
 
 #[test]

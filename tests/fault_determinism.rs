@@ -5,7 +5,7 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
 
-use sg_cyber_range::core::{CyberRange, RangeBuilder};
+use sg_cyber_range::core::{CompiledModel, CyberRange, RangeBuilder};
 use sg_cyber_range::faults::LinkFault;
 use sg_cyber_range::models::epic_bundle;
 use sg_cyber_range::net::SimDuration;
@@ -19,11 +19,12 @@ use sg_cyber_range::scada::Quality;
 fn faulted_run(seed: u64) -> (String, Vec<(String, u64)>) {
     let bundle = epic_bundle();
     let telemetry = Telemetry::new();
-    let mut range = RangeBuilder::new(&bundle)
-        .telemetry(telemetry.clone())
-        .fault_seed(seed)
-        .build()
-        .expect("EPIC bundle must compile");
+    let mut range =
+        RangeBuilder::from_model(CompiledModel::shared(&bundle).expect("bundle compiles"))
+            .telemetry(telemetry.clone())
+            .fault_seed(seed)
+            .build()
+            .expect("EPIC bundle must compile");
     let fault = LinkFault {
         loss: 0.15,
         jitter_ns: 2_000_000,
@@ -86,13 +87,81 @@ fn different_seed_changes_the_impairment_pattern() {
 }
 
 #[test]
+fn snapshot_restore_replays_byte_identically_from_shared_model() {
+    let model = CompiledModel::shared(&epic_bundle()).expect("EPIC bundle must compile");
+    let fault = LinkFault {
+        loss: 0.15,
+        jitter_ns: 2_000_000,
+        ..LinkFault::default()
+    };
+
+    // Two independent tenants stamped out from the *same* Arc'd model.
+    let first_telemetry = Telemetry::new();
+    let mut tenant_a = RangeBuilder::from_model(model.clone())
+        .telemetry(first_telemetry.clone())
+        .fault_seed(7)
+        .build()
+        .expect("instantiates from shared model");
+    let tenant_b = CyberRange::instantiate(model.clone()).expect("second tenant instantiates");
+    assert!(
+        std::sync::Arc::ptr_eq(tenant_a.model(), tenant_b.model()),
+        "tenants share one compiled model, not copies"
+    );
+
+    assert!(tenant_a.set_link_fault("SCADA", "ControlBus", fault));
+    tenant_a.run_for(SimDuration::from_secs(6));
+    let first_journal = first_telemetry.journal_jsonl();
+    assert!(tenant_a.steps_total() > 0);
+    assert_eq!(
+        tenant_b.steps_total(),
+        0,
+        "tenant A's run never leaks into B"
+    );
+
+    // Restoring the snapshot rewinds tenant A to generation zero; replaying
+    // the same fault under the same seed is byte-identical to the first run.
+    let snapshot = tenant_a.snapshot();
+    let replay_telemetry = Telemetry::new();
+    tenant_a
+        .restore_with(replay_telemetry.clone())
+        .expect("restore succeeds");
+    assert_eq!(
+        tenant_a.steps_total(),
+        0,
+        "restore rewinds to generation zero"
+    );
+    assert!(tenant_a.set_link_fault("SCADA", "ControlBus", fault));
+    tenant_a.run_for(SimDuration::from_secs(6));
+    assert_eq!(
+        strip_wall_clock(&first_journal),
+        strip_wall_clock(&replay_telemetry.journal_jsonl()),
+        "restored range must replay byte-identically (modulo wall-clock solve time)"
+    );
+
+    // A brand-new range instantiated from the snapshot replays identically
+    // too — the snapshot is a complete deterministic restart recipe.
+    let fresh_telemetry = Telemetry::new();
+    let mut fresh = snapshot
+        .instantiate(fresh_telemetry.clone())
+        .expect("snapshot instantiates");
+    assert!(fresh.set_link_fault("SCADA", "ControlBus", fault));
+    fresh.run_for(SimDuration::from_secs(6));
+    assert_eq!(
+        strip_wall_clock(&first_journal),
+        strip_wall_clock(&fresh_telemetry.journal_jsonl()),
+        "snapshot-instantiated range must replay byte-identically"
+    );
+}
+
+#[test]
 fn nonconvergence_holds_measurements_and_degrades_quality() {
     let bundle = epic_bundle();
     let telemetry = Telemetry::new();
-    let mut range = RangeBuilder::new(&bundle)
-        .telemetry(telemetry.clone())
-        .build()
-        .expect("EPIC bundle must compile");
+    let mut range =
+        RangeBuilder::from_model(CompiledModel::shared(&bundle).expect("bundle compiles"))
+            .telemetry(telemetry.clone())
+            .build()
+            .expect("EPIC bundle must compile");
     range.run_for(SimDuration::from_secs(2));
     let scada = range.scada.as_ref().unwrap().clone();
     assert_eq!(scada.tag("GenFeeder_kW").unwrap().quality, Quality::Good);
@@ -131,7 +200,9 @@ fn nonconvergence_holds_measurements_and_degrades_quality() {
 
 #[test]
 fn crashed_ied_recovers_after_scheduled_restart() {
-    let mut range = CyberRange::generate(&epic_bundle()).expect("EPIC compiles");
+    let mut range =
+        CyberRange::instantiate(CompiledModel::shared(&epic_bundle()).expect("EPIC compiles"))
+            .expect("EPIC compiles");
     range.run_for(SimDuration::from_secs(2));
     let scada = range.scada.as_ref().unwrap().clone();
     let before = scada.tag("MicroVolt_pu").unwrap();

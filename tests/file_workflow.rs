@@ -4,7 +4,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
 
 use sg_cyber_range::attack::{CaptureSummary, ProtocolClass};
-use sg_cyber_range::core::{CyberRange, SgmlBundle};
+use sg_cyber_range::core::{CompiledModel, CyberRange, SgmlBundle};
 use sg_cyber_range::models::epic_bundle;
 use sg_cyber_range::net::{pcap, SimDuration};
 
@@ -49,9 +49,12 @@ fn bundle_roundtrips_through_a_directory() {
     assert_eq!(a, b);
 
     // The reloaded bundle compiles and runs.
-    let mut range = CyberRange::generate(&reloaded).expect("reloaded bundle compiles");
+    let mut range = CyberRange::instantiate(
+        CompiledModel::shared(&reloaded).expect("reloaded bundle compiles"),
+    )
+    .expect("reloaded bundle compiles");
     range.run_for(SimDuration::from_secs(1));
-    assert!(range.solve_errors().is_empty());
+    assert!((range.solve_errors().len() == 0));
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -68,7 +71,9 @@ fn edited_model_changes_the_generated_range() {
     std::fs::write(&ssd_path, edited).unwrap();
 
     let bundle = SgmlBundle::from_dir(&dir).expect("reload");
-    let range = CyberRange::generate(&bundle).expect("edited bundle compiles");
+    let range =
+        CyberRange::instantiate(CompiledModel::shared(&bundle).expect("edited bundle compiles"))
+            .expect("edited bundle compiles");
     let load = range.power.load_by_name("EPIC/Load1").unwrap();
     assert_eq!(range.power.load[load.index()].p_mw, 0.03);
     let _ = std::fs::remove_dir_all(&dir);
@@ -86,7 +91,9 @@ fn missing_directory_and_empty_directory_are_reported() {
 
 #[test]
 fn range_traffic_exports_as_wireshark_compatible_pcap() {
-    let mut range = CyberRange::generate(&epic_bundle()).expect("compiles");
+    let mut range =
+        CyberRange::instantiate(CompiledModel::shared(&epic_bundle()).expect("compiles"))
+            .expect("compiles");
     let gied1 = range.node("GIED1").unwrap();
     range.net.enable_capture(gied1);
     range.run_for(SimDuration::from_secs(2));

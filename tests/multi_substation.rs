@@ -4,7 +4,7 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
 
-use sg_cyber_range::core::{CyberRange, IedConfig, SgmlBundle};
+use sg_cyber_range::core::{CompiledModel, CyberRange, IedConfig, SgmlBundle};
 use sg_cyber_range::ied::{BreakerMap, IedSpec, MeasurementMap, ProtectionSpec, RsvSpec};
 use sg_cyber_range::kvstore::{Keys, Value};
 use sg_cyber_range::models::{multisub_bundle, MultiSubParams};
@@ -21,7 +21,9 @@ fn small_params() -> MultiSubParams {
 #[test]
 fn consolidated_model_energizes_all_substations() {
     let bundle = multisub_bundle(&small_params());
-    let range = CyberRange::generate(&bundle).expect("multisub bundle compiles");
+    let range =
+        CyberRange::instantiate(CompiledModel::shared(&bundle).expect("multisub bundle compiles"))
+            .expect("multisub bundle compiles");
     // One slack (S1 GRID) energizes the whole chain through the SED ties.
     assert_eq!(range.power.ext_grid.len(), 1);
     for (i, bus) in range.power.bus.iter().enumerate() {
@@ -32,17 +34,18 @@ fn consolidated_model_energizes_all_substations() {
         );
     }
     // WAN switch joins the three station buses.
-    assert!(range.plan.switches.iter().any(|s| s.is_wan));
-    assert_eq!(range.plan.switches.len(), 4);
+    assert!(range.plan().switches.iter().any(|s| s.is_wan));
+    assert_eq!(range.plan().switches.len(), 4);
     // 9 IEDs + 1 SCADA.
-    assert_eq!(range.plan.hosts.len(), 10);
+    assert_eq!(range.plan().hosts.len(), 10);
     assert_eq!(range.ieds.len(), 9);
 }
 
 #[test]
 fn tie_outage_darkens_downstream_substations() {
     let bundle = multisub_bundle(&small_params());
-    let mut range = CyberRange::generate(&bundle).expect("compiles");
+    let mut range = CyberRange::instantiate(CompiledModel::shared(&bundle).expect("compiles"))
+        .expect("compiles");
     range.run_for(SimDuration::from_secs(1));
 
     // Cut the S2–S3 tie: S3 must go dark, S1/S2 stay up.
@@ -68,7 +71,8 @@ fn tie_outage_darkens_downstream_substations() {
 #[test]
 fn scada_polls_ieds_across_the_wan() {
     let bundle = multisub_bundle(&small_params());
-    let mut range = CyberRange::generate(&bundle).expect("compiles");
+    let mut range = CyberRange::instantiate(CompiledModel::shared(&bundle).expect("compiles"))
+        .expect("compiles");
     range.run_for(SimDuration::from_secs(3));
     let scada = range.scada.as_ref().unwrap();
     // One tag per substation's first IED, all polled across the WAN switch.
@@ -148,7 +152,10 @@ fn pdif_bundle() -> SgmlBundle {
 
 #[test]
 fn pdif_over_rsv_trips_on_current_divergence() {
-    let mut range = CyberRange::generate(&pdif_bundle()).expect("pdif bundle compiles");
+    let mut range = CyberRange::instantiate(
+        CompiledModel::shared(&pdif_bundle()).expect("pdif bundle compiles"),
+    )
+    .expect("pdif bundle compiles");
     // S2's "CT" on the tie initially agrees with S1's measurement: keep it
     // synced by copying the power-flow value for a while.
     for _ in 0..20 {
@@ -188,10 +195,12 @@ fn paper_profile_dimensions() {
     assert_eq!(bundle.ssds.len(), 5);
     assert_eq!(bundle.icds.len(), 104);
     assert_eq!(bundle.seds.len(), 4);
-    let range = CyberRange::generate(&bundle).expect("paper profile compiles");
+    let range =
+        CyberRange::instantiate(CompiledModel::shared(&bundle).expect("paper profile compiles"))
+            .expect("paper profile compiles");
     assert_eq!(range.ieds.len(), 104);
-    assert_eq!(range.plan.hosts.len(), 105); // + SCADA
-                                             // Physical model scale: 104 feeders + 5 main buses…
+    assert_eq!(range.plan().hosts.len(), 105); // + SCADA
+                                               // Physical model scale: 104 feeders + 5 main buses…
     assert_eq!(range.power.bus.len(), 104 * 2 + 5);
     assert_eq!(range.power.line.len(), 104 + 4);
     assert_eq!(range.power.load.len(), 104);

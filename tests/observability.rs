@@ -5,7 +5,7 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
 
-use sg_cyber_range::core::{CyberRange, RangeBuilder};
+use sg_cyber_range::core::{CompiledModel, CyberRange, RangeBuilder};
 use sg_cyber_range::models::epic_bundle;
 use sg_cyber_range::net::SimDuration;
 use sg_cyber_range::obs::{Event, Telemetry};
@@ -13,7 +13,7 @@ use sg_cyber_range::obs::{Event, Telemetry};
 fn instrumented_epic_range() -> (CyberRange, Telemetry) {
     let bundle = epic_bundle();
     let telemetry = Telemetry::new();
-    let range = RangeBuilder::new(&bundle)
+    let range = RangeBuilder::from_model(CompiledModel::shared(&bundle).expect("bundle compiles"))
         .telemetry(telemetry.clone())
         .build()
         .expect("EPIC bundle must compile");
@@ -156,10 +156,11 @@ fn disabled_telemetry_is_behaviorally_invisible() {
     // disabled and enabled; every SCADA tag must be byte-identical.
     let run = |telemetry: Telemetry| {
         let bundle = epic_bundle();
-        let mut range = RangeBuilder::new(&bundle)
-            .telemetry(telemetry)
-            .build()
-            .expect("EPIC bundle must compile");
+        let mut range =
+            RangeBuilder::from_model(CompiledModel::shared(&bundle).expect("bundle compiles"))
+                .telemetry(telemetry)
+                .build()
+                .expect("EPIC bundle must compile");
         range.run_for(SimDuration::from_secs(3));
         let scada = range.scada.as_ref().unwrap();
         let mut tags: Vec<(String, String)> = scada

@@ -3,7 +3,7 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // test code may panic
 
-use sg_cyber_range::core::CyberRange;
+use sg_cyber_range::core::{CompiledModel, CyberRange};
 use sg_cyber_range::models::epic_bundle;
 use sg_cyber_range::scenario::{run_exercise, ExerciseReport, Scenario};
 
@@ -11,7 +11,7 @@ use sg_cyber_range::scenario::{run_exercise, ExerciseReport, Scenario};
 fn run_shipped_scenario() -> ExerciseReport {
     let bundle = epic_bundle();
     let scenario = Scenario::parse(&bundle.scenarios[0]).unwrap();
-    let mut range = CyberRange::generate(&bundle).unwrap();
+    let mut range = CyberRange::instantiate(CompiledModel::shared(&bundle).unwrap()).unwrap();
     run_exercise(&mut range, &scenario).unwrap()
 }
 

@@ -8,7 +8,7 @@
 use sg_cyber_range::models::epic::epic_plc_config;
 use sg_cyber_range::models::epic_bundle;
 use sg_cyber_range::scenario::{run_exercise, Scenario};
-use sgcr_core::{CyberRange, PlcLogic};
+use sgcr_core::{CompiledModel, CyberRange, PlcLogic};
 use sgcr_plc::{check_program, parse_plcopen, parse_program, CheckSeverity};
 use std::collections::BTreeSet;
 
@@ -49,7 +49,8 @@ fn checker_accepts_every_epic_program() {
 fn epic_exercise_run_raises_no_plc_fault() {
     let bundle = epic_bundle();
     let scenario = Scenario::parse(&bundle.scenarios[0]).unwrap();
-    let mut range = CyberRange::generate(&bundle).expect("EPIC compiles");
+    let mut range = CyberRange::instantiate(CompiledModel::shared(&bundle).expect("EPIC compiles"))
+        .expect("EPIC compiles");
     run_exercise(&mut range, &scenario).expect("exercise runs");
     for (name, handle) in &range.plcs {
         let status = handle.lock();

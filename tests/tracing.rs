@@ -6,7 +6,7 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
 
-use sg_cyber_range::core::{CyberRange, RangeBuilder};
+use sg_cyber_range::core::{CompiledModel, CyberRange, RangeBuilder};
 use sg_cyber_range::models::epic_bundle;
 use sg_cyber_range::net::SimDuration;
 use sg_cyber_range::obs::{SpanRecord, Telemetry};
@@ -14,7 +14,7 @@ use sg_cyber_range::obs::{SpanRecord, Telemetry};
 fn traced_epic_range() -> (CyberRange, Telemetry) {
     let bundle = epic_bundle();
     let telemetry = Telemetry::with_tracing();
-    let range = RangeBuilder::new(&bundle)
+    let range = RangeBuilder::from_model(CompiledModel::shared(&bundle).expect("bundle compiles"))
         .telemetry(telemetry.clone())
         .build()
         .expect("EPIC bundle must compile");
@@ -130,10 +130,11 @@ fn tracing_is_behaviorally_invisible_and_deterministic() {
     // code paths (trip, GOOSE, PLC control, alarms) actually execute.
     let run = |telemetry: Telemetry| {
         let bundle = epic_bundle();
-        let mut range = RangeBuilder::new(&bundle)
-            .telemetry(telemetry)
-            .build()
-            .expect("EPIC bundle must compile");
+        let mut range =
+            RangeBuilder::from_model(CompiledModel::shared(&bundle).expect("bundle compiles"))
+                .telemetry(telemetry)
+                .build()
+                .expect("EPIC bundle must compile");
         range.run_for(SimDuration::from_secs(1));
         force_gen_feeder_overload(&mut range);
         range.run_for(SimDuration::from_secs(3));
@@ -160,10 +161,11 @@ fn tracing_is_behaviorally_invisible_and_deterministic() {
     let spans_of = || {
         let bundle = epic_bundle();
         let telemetry = Telemetry::with_tracing();
-        let mut range = RangeBuilder::new(&bundle)
-            .telemetry(telemetry.clone())
-            .build()
-            .expect("EPIC bundle must compile");
+        let mut range =
+            RangeBuilder::from_model(CompiledModel::shared(&bundle).expect("bundle compiles"))
+                .telemetry(telemetry.clone())
+                .build()
+                .expect("EPIC bundle must compile");
         range.run_for(SimDuration::from_secs(1));
         force_gen_feeder_overload(&mut range);
         range.run_for(SimDuration::from_secs(3));
@@ -178,10 +180,11 @@ fn journal_only_telemetry_records_no_spans() {
     // disabled: no span IDs are assigned and nothing is buffered.
     let bundle = epic_bundle();
     let telemetry = Telemetry::new();
-    let mut range = RangeBuilder::new(&bundle)
-        .telemetry(telemetry.clone())
-        .build()
-        .expect("EPIC bundle must compile");
+    let mut range =
+        RangeBuilder::from_model(CompiledModel::shared(&bundle).expect("bundle compiles"))
+            .telemetry(telemetry.clone())
+            .build()
+            .expect("EPIC bundle must compile");
     range.run_for(SimDuration::from_secs(2));
     assert!(!telemetry.is_tracing());
     assert!(!telemetry.tracer().is_enabled());

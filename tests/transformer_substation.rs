@@ -4,7 +4,7 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
 
-use sg_cyber_range::core::{CyberRange, SgmlBundle};
+use sg_cyber_range::core::{CompiledModel, CyberRange, SgmlBundle};
 use sg_cyber_range::net::SimDuration;
 
 const SSD: &str = r#"<SCL xmlns="http://www.iec.ch/61850/2003/SCL">
@@ -95,7 +95,9 @@ fn bundle() -> SgmlBundle {
 
 #[test]
 fn transformer_substation_compiles_and_solves() {
-    let range = CyberRange::generate(&bundle()).expect("HV/MV bundle compiles");
+    let range =
+        CyberRange::instantiate(CompiledModel::shared(&bundle()).expect("HV/MV bundle compiles"))
+            .expect("HV/MV bundle compiles");
     assert_eq!(range.power.trafo.len(), 1);
     let trafo = &range.power.trafo[0];
     assert_eq!(trafo.sn_mva, 40.0);
@@ -126,7 +128,8 @@ fn transformer_substation_compiles_and_solves() {
 
 #[test]
 fn transformer_measurements_reach_the_ied() {
-    let mut range = CyberRange::generate(&bundle()).expect("compiles");
+    let mut range = CyberRange::instantiate(CompiledModel::shared(&bundle()).expect("compiles"))
+        .expect("compiles");
     range.run_for(SimDuration::from_secs(1));
     let ied = &range.ieds["TRIED1"];
     let p = ied
@@ -139,7 +142,8 @@ fn transformer_measurements_reach_the_ied() {
 
 #[test]
 fn overcurrent_on_mv_feeder_trips_and_unloads_the_transformer() {
-    let mut range = CyberRange::generate(&bundle()).expect("compiles");
+    let mut range = CyberRange::instantiate(CompiledModel::shared(&bundle()).expect("compiles"))
+        .expect("compiles");
     range.run_for(SimDuration::from_secs(1));
     // The published branch current is the HV side: 18 MW @ 110 kV ≈ 0.095 kA.
     // Jump the load so it crosses the 0.12 kA pickup (~30 MW → 0.16 kA).
