@@ -14,7 +14,7 @@ use crate::range::{RangeError, StepStats};
 use sgcr_faults::{DegradationSignal, LinkFault, SensorFault};
 use sgcr_ied::{IedHandle, VirtualIedApp};
 use sgcr_kvstore::{ProcessStore, Value};
-use sgcr_net::{Ipv4Addr, LinkSpec, Network, NodeId, SimDuration, SimTime, SocketApp};
+use sgcr_net::{AppPlane, Ipv4Addr, LinkSpec, Network, NodeId, SimDuration, SimTime, SocketApp};
 use sgcr_obs::{buckets, Counter, Event as ObsEvent, Gauge, Histogram, Plane, Telemetry};
 use sgcr_plc::{PlcApp, PlcHandle, PlcRuntime};
 use sgcr_powerflow::{
@@ -108,12 +108,44 @@ pub struct RangeState {
     step_seconds_hist: Histogram,
     overrun_gauge: Gauge,
     overrun_counter: Counter,
+    /// Per-plane wall-time attribution histograms (`step.plane.*`); all
+    /// detached no-ops when telemetry is off.
+    plane_hists: PlaneHists,
     cmd_cursor: u64,
     node_by_name: HashMap<String, NodeId>,
     /// Simulation time of the next due power-flow step.
     next_step_at: SimTime,
     /// Simulation time of the previous power-flow step (profile window start).
     last_step_ms: u64,
+}
+
+/// Resolved `step.plane.*` histograms: where one co-simulation step's wall
+/// time goes. `power` is the power-flow solve, `net` is event-loop dispatch
+/// *outside* application code, and the rest attribute time spent inside the
+/// device applications by [`AppPlane`]. The timed intervals are disjoint
+/// sub-intervals of the step, so their sum never exceeds the step's total
+/// wall time.
+struct PlaneHists {
+    power: Histogram,
+    net: Histogram,
+    ied: Histogram,
+    plc: Histogram,
+    scada: Histogram,
+    other: Histogram,
+}
+
+impl PlaneHists {
+    fn resolve(telemetry: &Telemetry) -> PlaneHists {
+        let hist = |name: &str| telemetry.histogram(name, &buckets::LATENCY_SECONDS);
+        PlaneHists {
+            power: hist("step.plane.power_seconds"),
+            net: hist("step.plane.net_seconds"),
+            ied: hist("step.plane.ied_seconds"),
+            plc: hist("step.plane.plc_seconds"),
+            scada: hist("step.plane.scada_seconds"),
+            other: hist("step.plane.other_seconds"),
+        }
+    }
 }
 
 impl RangeState {
@@ -260,6 +292,7 @@ impl RangeState {
             step_seconds_hist: telemetry.histogram("range.step_seconds", &buckets::LATENCY_SECONDS),
             overrun_gauge: telemetry.gauge("range.step_overrun_ratio"),
             overrun_counter: telemetry.counter("range.step_overruns"),
+            plane_hists: PlaneHists::resolve(&telemetry),
             telemetry,
             cmd_cursor: 0,
             node_by_name,
@@ -329,16 +362,29 @@ impl RangeState {
 
     /// Runs one co-simulation step: advances the cyber side to the next due
     /// step time, then applies profiles/events → commands → solve → publish.
+    ///
+    /// The step's wall time is attributed per plane into the `step.plane.*`
+    /// histograms: power solve, net dispatch, and app execution by
+    /// [`AppPlane`] (IED / PLC / SCADA / other). Each timed interval is a
+    /// disjoint sub-interval of the step on the same monotonic clock, so the
+    /// summed plane time never exceeds the step's total wall time.
     pub fn step(&mut self) {
+        let wall_start = std::time::Instant::now();
         let due = self.next_step_at.max(self.net.now());
+        // App time accumulated between steps (the trailing remainder of
+        // `run_for`) belongs to no step; discard it so plane attribution
+        // stays within this step's wall-time envelope.
+        let _ = self.net.take_plane_nanos();
         self.net.run_until(due);
-        self.power_step(due);
+        let net_elapsed = wall_start.elapsed().as_secs_f64();
+        self.power_step(due, wall_start, net_elapsed);
         self.next_step_at = due + self.interval;
     }
 
     /// The physical half of one step, executed with the clock at `now`.
-    fn power_step(&mut self, now: SimTime) {
-        let wall_start = std::time::Instant::now();
+    /// `wall_start` is the instant the whole step (including the cyber
+    /// advance) began; `net_elapsed` is the wall time `run_until` took.
+    fn power_step(&mut self, now: SimTime, wall_start: std::time::Instant, net_elapsed: f64) {
         let t1 = now;
         let t0_ms = self.last_step_ms;
         self.last_step_ms = t1.as_millis();
@@ -466,6 +512,23 @@ impl RangeState {
         }
         let solve_seconds = solve_start.elapsed().as_secs_f64();
         let total_seconds = wall_start.elapsed().as_secs_f64();
+
+        if self.telemetry.is_enabled() {
+            let app_nanos = self.net.take_plane_nanos();
+            let ied = app_nanos[AppPlane::Ied.index()] as f64 * 1e-9;
+            let plc = app_nanos[AppPlane::Plc.index()] as f64 * 1e-9;
+            let scada = app_nanos[AppPlane::Scada.index()] as f64 * 1e-9;
+            let other = app_nanos[AppPlane::Other.index()] as f64 * 1e-9;
+            // Event-loop dispatch outside app code: the cyber advance's wall
+            // time minus the time spent inside applications.
+            let net_dispatch = (net_elapsed - (ied + plc + scada + other)).max(0.0);
+            self.plane_hists.power.observe(solve_seconds);
+            self.plane_hists.net.observe(net_dispatch);
+            self.plane_hists.ied.observe(ied);
+            self.plane_hists.plc.observe(plc);
+            self.plane_hists.scada.observe(scada);
+            self.plane_hists.other.observe(other);
+        }
 
         if self.step_stats.len() == self.step_stats_capacity {
             self.step_stats.pop_front();

@@ -21,7 +21,22 @@
 //! (p50/p99/max step wall time) plus per-tenant detail — the numbers the
 //! committed `BENCH_farm.json` trajectory tracks. With an output directory
 //! configured, every tenant streams `tenant-NNNN.journal.jsonl` and
-//! `tenant-NNNN.metrics.json` files as it finishes.
+//! `tenant-NNNN.metrics.json` files as it finishes, and the farm itself
+//! writes a `farm.journal.jsonl` with its `FarmStarted`/`FarmFinished`
+//! lifecycle events.
+//!
+//! ## Live observability
+//!
+//! While the farm runs, a collector thread periodically folds every live
+//! tenant's metric snapshot into a farm-level [`FarmAggregator`] (counters
+//! summed, gauges last-write, histograms bucket-merged) — memory bounded by
+//! O(buckets × tenants), never by step count — and samples the process RSS.
+//! With [`FarmConfig::status_addr`] set (CLI: `serve --status-addr`), a
+//! zero-dependency HTTP endpoint serves the aggregate as `/metrics`
+//! (Prometheus text exposition), `/status` (per-tenant JSON state), and
+//! `/healthz`. The final p50/p99 step latencies are estimated from the
+//! merged histograms, replacing the raw per-step sample vectors earlier
+//! versions held in memory.
 //!
 //! ```no_run
 //! use sgcr_core::{CompiledModel, SgmlBundle};
@@ -34,6 +49,7 @@
 //!     &FarmConfig {
 //!         tenants: 128,
 //!         sim_seconds: 2,
+//!         status_addr: Some("127.0.0.1:9644".to_string()),
 //!         ..FarmConfig::default()
 //!     },
 //! );
@@ -42,14 +58,30 @@
 //! # }
 //! ```
 
+mod status;
+
+pub use status::{http_get, StatusServer};
+
+use parking_lot::Mutex;
 use sgcr_core::{CompiledModel, RangeBuilder};
 use sgcr_net::SimDuration;
-use sgcr_obs::{json, Telemetry};
+use sgcr_obs::agg::{histogram_quantile, rss_bytes};
+use sgcr_obs::{
+    json, prom, Counter, Event as ObsEvent, FarmAggregator, Gauge, Histogram, Telemetry,
+};
 use sgcr_scenario::{run_exercise, Scenario};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// The aggregator key the farm's own telemetry (lifecycle counters, RSS
+/// gauges, sink-writer instruments) is folded under — outside any real
+/// tenant's index range.
+const FARM_SELF: usize = usize::MAX;
 
 /// Configuration of one farm run.
 #[derive(Debug, Clone)]
@@ -75,8 +107,16 @@ pub struct FarmConfig {
     pub scenario: Option<Scenario>,
     /// Directory for per-tenant `tenant-NNNN.journal.jsonl` /
     /// `tenant-NNNN.metrics.json` files, written by workers as each tenant
-    /// finishes (`None` = keep everything in memory only).
+    /// finishes, plus the farm-level `farm.journal.jsonl` (`None` = keep
+    /// everything in memory only).
     pub out_dir: Option<PathBuf>,
+    /// Bind address for the live `/metrics` + `/status` + `/healthz` HTTP
+    /// endpoint (e.g. `127.0.0.1:9644`); `None` = no endpoint. A bind
+    /// failure fails the farm up front, like an unwritable `out_dir`.
+    pub status_addr: Option<String>,
+    /// How often the collector thread folds live tenant snapshots into the
+    /// farm aggregate and samples RSS, in milliseconds (0 = default 250).
+    pub collect_interval_ms: u64,
 }
 
 impl Default for FarmConfig {
@@ -91,6 +131,8 @@ impl Default for FarmConfig {
             interval: None,
             scenario: None,
             out_dir: None,
+            status_addr: None,
+            collect_interval_ms: 0,
         }
     }
 }
@@ -104,11 +146,13 @@ pub struct TenantReport {
     pub steps: u64,
     /// Wall-clock seconds the tenant's whole run took.
     pub wall_seconds: f64,
-    /// Median step wall time in seconds.
+    /// Median step wall time in seconds, estimated from the tenant's
+    /// `range.step_seconds` histogram.
     pub p50_step_seconds: f64,
-    /// 99th-percentile step wall time in seconds.
+    /// 99th-percentile step wall time in seconds, estimated from the
+    /// tenant's `range.step_seconds` histogram.
     pub p99_step_seconds: f64,
-    /// Worst step wall time in seconds.
+    /// Worst step wall time in seconds (over the retained step window).
     pub max_step_seconds: f64,
     /// Steps that blew the configured budget.
     pub budget_overruns: u64,
@@ -122,9 +166,6 @@ pub struct TenantReport {
     pub journal_path: Option<String>,
     /// Instantiation or exercise error, if the tenant never ran.
     pub error: Option<String>,
-    /// Raw per-step wall times (seconds) shipped back for farm-level
-    /// percentile aggregation; not serialized per tenant.
-    step_samples: Vec<f64>,
 }
 
 /// The farm-level after-action report: throughput and latency aggregates
@@ -145,9 +186,11 @@ pub struct FarmReport {
     pub steps_total: u64,
     /// Steps per wall-clock second across the farm.
     pub steps_per_sec: f64,
-    /// Median step wall time across every tenant's steps, seconds.
+    /// Median step wall time across every tenant's steps, seconds —
+    /// estimated from the bucket-merged farm histogram.
     pub p50_step_seconds: f64,
-    /// 99th-percentile step wall time across every tenant's steps, seconds.
+    /// 99th-percentile step wall time across every tenant's steps, seconds —
+    /// estimated from the bucket-merged farm histogram.
     pub p99_step_seconds: f64,
     /// Worst step wall time across the farm, seconds.
     pub max_step_seconds: f64,
@@ -159,6 +202,18 @@ pub struct FarmReport {
     pub tenants_halted: usize,
     /// Tenants that failed to instantiate or run.
     pub tenants_failed: usize,
+    /// Journal records evicted across every tenant's bounded ring buffer.
+    pub journal_dropped: u64,
+    /// Spans evicted across every tenant's bounded span buffer.
+    pub spans_dropped: u64,
+    /// Peak process resident set size observed during the run, in bytes
+    /// (0 when the platform has no procfs).
+    pub rss_peak_bytes: u64,
+    /// Bytes of per-tenant journal/metrics sink files written.
+    pub journal_bytes_written: u64,
+    /// Wall-clock seconds workers spent blocked writing sink files — the
+    /// JSONL writer backpressure signal.
+    pub journal_write_seconds: f64,
     /// One-line inventory of the shared compiled model.
     pub model_summary: String,
     /// Per-tenant outcomes, ordered by tenant index.
@@ -193,6 +248,14 @@ impl FarmReport {
                 self.tenants_failed
             )),
         }
+        out.push_str(&format!(
+            "rss peak {:.1} MiB | sinks {} B in {:.3} s | {} journal / {} span records dropped\n",
+            self.rss_peak_bytes as f64 / (1024.0 * 1024.0),
+            self.journal_bytes_written,
+            self.journal_write_seconds,
+            self.journal_dropped,
+            self.spans_dropped
+        ));
         out
     }
 
@@ -234,6 +297,17 @@ impl FarmReport {
         out.push_str(&format!("\"budget_overruns\":{},", self.budget_overruns));
         out.push_str(&format!("\"tenants_halted\":{},", self.tenants_halted));
         out.push_str(&format!("\"tenants_failed\":{},", self.tenants_failed));
+        out.push_str(&format!("\"journal_dropped\":{},", self.journal_dropped));
+        out.push_str(&format!("\"spans_dropped\":{},", self.spans_dropped));
+        out.push_str(&format!("\"rss_peak_bytes\":{},", self.rss_peak_bytes));
+        out.push_str(&format!(
+            "\"journal_bytes_written\":{},",
+            self.journal_bytes_written
+        ));
+        out.push_str(&format!(
+            "\"journal_write_seconds\":{},",
+            json::number(self.journal_write_seconds)
+        ));
         out.push_str(&format!(
             "\"model_summary\":{},",
             json::quote(&self.model_summary)
@@ -286,21 +360,305 @@ impl FarmReport {
     }
 }
 
-/// Runs `config.tenants` independent ranges from one shared compiled model
-/// across a worker pool and aggregates the farm report.
-///
-/// Tenant instantiation or exercise failures never abort the farm; they are
-/// recorded on the tenant's report (`error`) and counted in
-/// [`FarmReport::tenants_failed`].
-pub fn run_farm(model: Arc<CompiledModel>, config: &FarmConfig) -> FarmReport {
-    let threads = if config.threads == 0 {
+/// A tenant's live lifecycle state, as reported on `/status`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+enum TenantState {
+    Pending = 0,
+    Running = 1,
+    Completed = 2,
+    Halted = 3,
+    Failed = 4,
+}
+
+impl TenantState {
+    fn from_u8(v: u8) -> TenantState {
+        match v {
+            1 => TenantState::Running,
+            2 => TenantState::Completed,
+            3 => TenantState::Halted,
+            4 => TenantState::Failed,
+            _ => TenantState::Pending,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            TenantState::Pending => "pending",
+            TenantState::Running => "running",
+            TenantState::Completed => "completed",
+            TenantState::Halted => "halted",
+            TenantState::Failed => "failed",
+        }
+    }
+}
+
+/// Lock-free per-tenant live counters behind `/status`.
+#[derive(Default)]
+struct TenantLive {
+    state: AtomicU8,
+    steps: AtomicU64,
+    overruns: AtomicU64,
+    solve_errors: AtomicU64,
+    /// Exercise score packed as `PRESENT | earned << 32 | total` (0 = none).
+    score: AtomicU64,
+}
+
+const SCORE_PRESENT: u64 = 1 << 63;
+
+/// State shared between the workers, the collector thread, and the status
+/// endpoint for one farm run.
+pub(crate) struct FarmShared {
+    tenants: usize,
+    threads: usize,
+    sim_seconds: u64,
+    step_budget_ms: Option<u64>,
+    scenario: bool,
+    live: Mutex<BTreeMap<usize, Telemetry>>,
+    aggregator: FarmAggregator,
+    per_tenant: Vec<TenantLive>,
+    shutdown: AtomicBool,
+    rss_peak: AtomicU64,
+    farm_telemetry: Telemetry,
+    ranges_total: Counter,
+    running_gauge: Gauge,
+    completed_gauge: Gauge,
+    halted_gauge: Gauge,
+    failed_gauge: Gauge,
+    rss_gauge: Gauge,
+    rss_peak_gauge: Gauge,
+    journal_bytes: Counter,
+    journal_write_hist: Histogram,
+}
+
+impl FarmShared {
+    fn new(config: &FarmConfig, threads: usize) -> FarmShared {
+        let farm_telemetry = Telemetry::new();
+        FarmShared {
+            tenants: config.tenants,
+            threads,
+            sim_seconds: config.sim_seconds,
+            step_budget_ms: config.step_budget_ms,
+            scenario: config.scenario.is_some(),
+            live: Mutex::new(BTreeMap::new()),
+            aggregator: FarmAggregator::new(),
+            per_tenant: (0..config.tenants).map(|_| TenantLive::default()).collect(),
+            shutdown: AtomicBool::new(false),
+            rss_peak: AtomicU64::new(0),
+            ranges_total: farm_telemetry.counter("farm.ranges_total"),
+            running_gauge: farm_telemetry.gauge("farm.tenants_running"),
+            completed_gauge: farm_telemetry.gauge("farm.tenants_completed"),
+            halted_gauge: farm_telemetry.gauge("farm.tenants_halted"),
+            failed_gauge: farm_telemetry.gauge("farm.tenants_failed"),
+            rss_gauge: farm_telemetry.gauge("farm.rss_bytes"),
+            rss_peak_gauge: farm_telemetry.gauge("farm.rss_peak_bytes"),
+            journal_bytes: farm_telemetry.counter("farm.journal_bytes_written"),
+            journal_write_hist: farm_telemetry.histogram(
+                "farm.journal_write_seconds",
+                &sgcr_obs::buckets::LATENCY_SECONDS,
+            ),
+            farm_telemetry,
+        }
+    }
+
+    fn tenant_started(&self, tenant: usize, telemetry: &Telemetry) {
+        self.per_tenant[tenant]
+            .state
+            .store(TenantState::Running as u8, Ordering::Relaxed);
+        self.live.lock().insert(tenant, telemetry.clone());
+    }
+
+    fn tenant_progress(&self, tenant: usize, steps: u64, overruns: u64) {
+        let live = &self.per_tenant[tenant];
+        live.steps.store(steps, Ordering::Relaxed);
+        live.overruns.store(overruns, Ordering::Relaxed);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn tenant_finished(
+        &self,
+        tenant: usize,
+        telemetry: &Telemetry,
+        state: TenantState,
+        steps: u64,
+        overruns: u64,
+        solve_errors: u64,
+        score: Option<(u32, u32)>,
+    ) {
+        self.live.lock().remove(&tenant);
+        self.aggregator.submit(tenant, telemetry.snapshot());
+        let live = &self.per_tenant[tenant];
+        live.steps.store(steps, Ordering::Relaxed);
+        live.overruns.store(overruns, Ordering::Relaxed);
+        live.solve_errors.store(solve_errors, Ordering::Relaxed);
+        if let Some((earned, total)) = score {
+            live.score.store(
+                SCORE_PRESENT | u64::from(earned) << 32 | u64::from(total),
+                Ordering::Relaxed,
+            );
+        }
+        live.state.store(state as u8, Ordering::Relaxed);
+        if state != TenantState::Failed {
+            self.ranges_total.inc();
+        }
+    }
+
+    /// One collector pass: folds every live tenant's snapshot plus the
+    /// farm's own instruments into the aggregator, and samples RSS.
+    pub(crate) fn collect(&self) {
+        let live: Vec<(usize, Telemetry)> = self
+            .live
+            .lock()
+            .iter()
+            .map(|(t, tel)| (*t, tel.clone()))
+            .collect();
+        for (tenant, telemetry) in live {
+            self.aggregator.submit(tenant, telemetry.snapshot());
+        }
+        if let Some(rss) = rss_bytes() {
+            self.rss_gauge.set(rss as f64);
+            let peak = self.rss_peak.fetch_max(rss, Ordering::Relaxed).max(rss);
+            self.rss_peak_gauge.set(peak as f64);
+        }
+        let (running, completed, halted, failed) = self.counts();
+        self.running_gauge.set(running as f64);
+        self.completed_gauge.set(completed as f64);
+        self.halted_gauge.set(halted as f64);
+        self.failed_gauge.set(failed as f64);
+        self.aggregator
+            .submit(FARM_SELF, self.farm_telemetry.snapshot());
+    }
+
+    fn counts(&self) -> (usize, usize, usize, usize) {
+        let mut counts = (0usize, 0usize, 0usize, 0usize);
+        for live in &self.per_tenant {
+            match TenantState::from_u8(live.state.load(Ordering::Relaxed)) {
+                TenantState::Running => counts.0 += 1,
+                TenantState::Completed => counts.1 += 1,
+                TenantState::Halted => counts.2 += 1,
+                TenantState::Failed => counts.3 += 1,
+                TenantState::Pending => {}
+            }
+        }
+        counts
+    }
+
+    fn finish(&self) {
+        self.collect();
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// The `/metrics` body: a fresh collect pass, then the merged farm
+    /// registry rendered as Prometheus text exposition.
+    pub(crate) fn metrics_text(&self) -> String {
+        self.collect();
+        prom::render(&self.aggregator.aggregate())
+    }
+
+    /// The `/status` body: deterministic-key JSON of farm and per-tenant
+    /// live state.
+    pub(crate) fn status_json(&self) -> String {
+        let (running, completed, halted, failed) = self.counts();
+        let mut out = String::with_capacity(256 + self.tenants * 96);
+        let _ = write!(
+            out,
+            "{{\"tenants\":{},\"threads\":{},\"sim_seconds\":{},\"scenario\":{},",
+            self.tenants, self.threads, self.sim_seconds, self.scenario
+        );
+        match self.step_budget_ms {
+            Some(budget) => {
+                let _ = write!(out, "\"step_budget_ms\":{budget},");
+            }
+            None => out.push_str("\"step_budget_ms\":null,"),
+        }
+        let _ = write!(
+            out,
+            "\"tenants_running\":{running},\"tenants_completed\":{completed},\"tenants_halted\":{halted},\"tenants_failed\":{failed},\"per_tenant\":["
+        );
+        for (tenant, live) in self.per_tenant.iter().enumerate() {
+            if tenant > 0 {
+                out.push(',');
+            }
+            let state = TenantState::from_u8(live.state.load(Ordering::Relaxed));
+            let _ = write!(
+                out,
+                "{{\"tenant\":{tenant},\"state\":{},\"steps\":{},\"budget_overruns\":{},\"solve_errors\":{},",
+                json::quote(state.name()),
+                live.steps.load(Ordering::Relaxed),
+                live.overruns.load(Ordering::Relaxed),
+                live.solve_errors.load(Ordering::Relaxed)
+            );
+            let score = live.score.load(Ordering::Relaxed);
+            if score & SCORE_PRESENT != 0 {
+                let _ = write!(
+                    out,
+                    "\"score\":{{\"earned\":{},\"total\":{}}}}}",
+                    (score >> 32) & 0x7fff_ffff,
+                    score & 0xffff_ffff
+                );
+            } else {
+                out.push_str("\"score\":null}");
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn effective_threads(config: &FarmConfig) -> usize {
+    if config.threads == 0 {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
     } else {
         config.threads
     }
-    .min(config.tenants.max(1));
+    .min(config.tenants.max(1))
+}
+
+/// Runs `config.tenants` independent ranges from one shared compiled model
+/// across a worker pool and aggregates the farm report.
+///
+/// Tenant instantiation or exercise failures never abort the farm; they are
+/// recorded on the tenant's report (`error`) and counted in
+/// [`FarmReport::tenants_failed`]. With [`FarmConfig::status_addr`] set,
+/// the live status endpoint is bound before any tenant starts; a bind
+/// failure fails the whole farm up front (like an unwritable `out_dir`).
+pub fn run_farm(model: Arc<CompiledModel>, config: &FarmConfig) -> FarmReport {
+    let server = match &config.status_addr {
+        Some(addr) => match StatusServer::bind(addr) {
+            Ok(server) => Some(server),
+            Err(e) => {
+                let threads = effective_threads(config);
+                let mut report = empty_report(&model, config, threads);
+                report.tenants_failed = config.tenants;
+                report.per_tenant = (0..config.tenants)
+                    .map(|tenant| {
+                        failed_tenant(tenant, format!("cannot bind status endpoint {addr}: {e}"))
+                    })
+                    .collect();
+                return report;
+            }
+        },
+        None => None,
+    };
+    run_farm_with_status(model, config, server)
+}
+
+/// [`run_farm`] with an explicitly pre-bound status endpoint (or none).
+///
+/// Binding separately lets callers bind port 0 and read the assigned
+/// address before the farm starts — the CLI and the tests both do this.
+pub fn run_farm_with_status(
+    model: Arc<CompiledModel>,
+    config: &FarmConfig,
+    server: Option<StatusServer>,
+) -> FarmReport {
+    let threads = effective_threads(config);
 
     if let Some(dir) = &config.out_dir {
         // Creating the sink directory up front keeps workers fs-race-free.
@@ -314,11 +672,47 @@ pub fn run_farm(model: Arc<CompiledModel>, config: &FarmConfig) -> FarmReport {
         }
     }
 
+    let shared = FarmShared::new(config, threads);
+    {
+        let (tenants, sim_seconds) = (config.tenants as u64, config.sim_seconds);
+        let threads = threads as u64;
+        shared
+            .farm_telemetry
+            .record(0u64, || ObsEvent::FarmStarted {
+                tenants,
+                threads,
+                sim_seconds,
+            });
+    }
+    let collect_interval = Duration::from_millis(if config.collect_interval_ms == 0 {
+        250
+    } else {
+        config.collect_interval_ms
+    });
+
     let wall_start = std::time::Instant::now();
     let next_tenant = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<TenantReport>();
 
+    let mut per_tenant: Vec<TenantReport> = Vec::new();
     std::thread::scope(|scope| {
+        let shared = &shared;
+        scope.spawn(move || {
+            // Collector: fold live snapshots until the farm winds down,
+            // waking often enough to notice shutdown promptly.
+            while !shared.is_shutdown() {
+                shared.collect();
+                let mut slept = Duration::ZERO;
+                while slept < collect_interval && !shared.is_shutdown() {
+                    let nap = Duration::from_millis(20).min(collect_interval - slept);
+                    std::thread::sleep(nap);
+                    slept += nap;
+                }
+            }
+        });
+        if let Some(server) = server {
+            scope.spawn(move || status::serve(server, shared));
+        }
         for _ in 0..threads {
             let tx = tx.clone();
             let next_tenant = &next_tenant;
@@ -330,24 +724,26 @@ pub fn run_farm(model: Arc<CompiledModel>, config: &FarmConfig) -> FarmReport {
                 }
                 // A send only fails if the receiver is gone, i.e. the farm
                 // is already being torn down — nothing left to report to.
-                let _ = tx.send(run_tenant(model, config, tenant));
+                let _ = tx.send(run_tenant(model, config, tenant, shared));
             });
         }
+        drop(tx);
+        per_tenant = rx.iter().collect();
+        // All workers are done; release the collector and the endpoint.
+        shared.finish();
     });
-    drop(tx);
-
-    let mut per_tenant: Vec<TenantReport> = rx.iter().collect();
     per_tenant.sort_by_key(|t| t.tenant);
     let wall_seconds = wall_start.elapsed().as_secs_f64();
 
-    let mut all_steps: Vec<f64> = Vec::new();
     let mut steps_total = 0u64;
     let mut budget_overruns = 0u64;
     let mut tenants_halted = 0usize;
     let mut tenants_failed = 0usize;
+    let mut max_step_seconds = 0.0f64;
     for t in &per_tenant {
         steps_total += t.steps;
         budget_overruns += t.budget_overruns;
+        max_step_seconds = max_step_seconds.max(t.max_step_seconds);
         if t.halted {
             tenants_halted += 1;
         }
@@ -355,12 +751,44 @@ pub fn run_farm(model: Arc<CompiledModel>, config: &FarmConfig) -> FarmReport {
             tenants_failed += 1;
         }
     }
-    // Re-collect every tenant's percentile inputs for the farm aggregate:
-    // per-tenant reports carry their own percentiles, and the aggregate is
-    // computed over (p50, p99, max are not mergeable) the raw samples the
-    // workers shipped back.
-    for t in &per_tenant {
-        all_steps.extend_from_slice(&t.step_samples);
+
+    // Farm-level latency percentiles from the bucket-merged histogram of
+    // every tenant's `range.step_seconds` — O(buckets × tenants) memory,
+    // replacing the raw per-step sample vectors the farm used to hold.
+    let merged = shared.aggregator.aggregate();
+    let (p50, p99) = merged
+        .histogram("range.step_seconds")
+        .map(|h| {
+            (
+                histogram_quantile(h, 0.50).min(max_step_seconds),
+                histogram_quantile(h, 0.99).min(max_step_seconds),
+            )
+        })
+        .unwrap_or((0.0, 0.0));
+
+    {
+        let (completed_n, halted_n, failed_n) = (
+            per_tenant
+                .iter()
+                .filter(|t| t.error.is_none() && !t.halted)
+                .count() as u64,
+            tenants_halted as u64,
+            tenants_failed as u64,
+        );
+        let t_end = config.sim_seconds.saturating_mul(1_000_000_000);
+        shared
+            .farm_telemetry
+            .record(t_end, || ObsEvent::FarmFinished {
+                tenants_completed: completed_n,
+                tenants_halted: halted_n,
+                tenants_failed: failed_n,
+            });
+    }
+    if let Some(dir) = &config.out_dir {
+        let _ = std::fs::write(
+            dir.join("farm.journal.jsonl"),
+            shared.farm_telemetry.journal_jsonl(),
+        );
     }
 
     let completed = per_tenant.iter().filter(|t| t.error.is_none()).count();
@@ -380,13 +808,18 @@ pub fn run_farm(model: Arc<CompiledModel>, config: &FarmConfig) -> FarmReport {
         } else {
             0.0
         },
-        p50_step_seconds: percentile(&mut all_steps, 0.50),
-        p99_step_seconds: percentile(&mut all_steps, 0.99),
-        max_step_seconds: all_steps.iter().copied().fold(0.0, f64::max),
+        p50_step_seconds: p50,
+        p99_step_seconds: p99,
+        max_step_seconds,
         step_budget_ms: config.step_budget_ms,
         budget_overruns,
         tenants_halted,
         tenants_failed,
+        journal_dropped: merged.journal_dropped,
+        spans_dropped: merged.spans_dropped,
+        rss_peak_bytes: shared.rss_peak.load(Ordering::Relaxed),
+        journal_bytes_written: shared.journal_bytes.get(),
+        journal_write_seconds: shared.journal_write_hist.sum(),
         model_summary: model.summary(),
         per_tenant,
     }
@@ -394,8 +827,14 @@ pub fn run_farm(model: Arc<CompiledModel>, config: &FarmConfig) -> FarmReport {
 
 /// Runs one tenant to completion and measures it. Never panics; failures
 /// land on the report's `error` field.
-fn run_tenant(model: &Arc<CompiledModel>, config: &FarmConfig, tenant: usize) -> TenantReport {
+fn run_tenant(
+    model: &Arc<CompiledModel>,
+    config: &FarmConfig,
+    tenant: usize,
+    shared: &FarmShared,
+) -> TenantReport {
     let telemetry = Telemetry::new();
+    shared.tenant_started(tenant, &telemetry);
     let mut builder = RangeBuilder::from_model(model.clone())
         .telemetry(telemetry.clone())
         .fault_seed(config.base_fault_seed + tenant as u64);
@@ -405,7 +844,10 @@ fn run_tenant(model: &Arc<CompiledModel>, config: &FarmConfig, tenant: usize) ->
     let wall_start = std::time::Instant::now();
     let mut range = match builder.build() {
         Ok(range) => range,
-        Err(e) => return failed_tenant(tenant, e.to_string()),
+        Err(e) => {
+            shared.tenant_finished(tenant, &telemetry, TenantState::Failed, 0, 0, 0, None);
+            return failed_tenant(tenant, e.to_string());
+        }
     };
 
     let mut budget_overruns = 0u64;
@@ -421,7 +863,18 @@ fn run_tenant(model: &Arc<CompiledModel>, config: &FarmConfig, tenant: usize) ->
                     let s = report.score();
                     score = Some((s.earned, s.total));
                 }
-                Err(e) => return failed_tenant(tenant, format!("exercise: {e}")),
+                Err(e) => {
+                    shared.tenant_finished(
+                        tenant,
+                        &telemetry,
+                        TenantState::Failed,
+                        range.steps_total(),
+                        0,
+                        range.solve_errors_total(),
+                        None,
+                    );
+                    return failed_tenant(tenant, format!("exercise: {e}"));
+                }
             }
             if let Some(budget_ms) = config.step_budget_ms {
                 let budget = budget_ms as f64 / 1e3;
@@ -443,32 +896,52 @@ fn run_tenant(model: &Arc<CompiledModel>, config: &FarmConfig, tenant: usize) ->
                         budget_overruns += 1;
                         if config.max_overruns > 0 && budget_overruns >= config.max_overruns {
                             halted = true;
+                            shared.tenant_progress(tenant, range.steps_total(), budget_overruns);
                             break;
                         }
                     }
                 }
+                shared.tenant_progress(tenant, range.steps_total(), budget_overruns);
             }
         }
     }
     let wall_seconds = wall_start.elapsed().as_secs_f64();
 
-    let mut step_samples: Vec<f64> = range.step_stats().map(|s| s.total_seconds).collect();
+    // Latency stats from the tenant's own step-seconds histogram — bounded
+    // by the bucket count, not the step count. The true max over the
+    // retained step window clamps the interpolated quantile estimates so
+    // p50 ≤ p99 ≤ max always holds.
+    let max_step_seconds = range
+        .step_stats()
+        .map(|s| s.total_seconds)
+        .fold(0.0, f64::max);
+    let snapshot = telemetry.snapshot();
+    let (p50, p99) = snapshot
+        .histogram("range.step_seconds")
+        .map(|h| {
+            (
+                histogram_quantile(h, 0.50).min(max_step_seconds),
+                histogram_quantile(h, 0.99).min(max_step_seconds),
+            )
+        })
+        .unwrap_or((0.0, 0.0));
+
     let report = TenantReport {
         tenant,
         steps: range.steps_total(),
         wall_seconds,
-        p50_step_seconds: percentile(&mut step_samples, 0.50),
-        p99_step_seconds: percentile(&mut step_samples, 0.99),
-        max_step_seconds: step_samples.iter().copied().fold(0.0, f64::max),
+        p50_step_seconds: p50,
+        p99_step_seconds: p99,
+        max_step_seconds,
         budget_overruns,
         halted,
         solve_errors: range.solve_errors_total(),
         score,
         journal_path: None,
         error: None,
-        step_samples,
     };
-    match write_tenant_sinks(config, tenant, &telemetry) {
+    let sink = write_tenant_sinks(config, tenant, &telemetry, shared);
+    let report = match sink {
         Ok(journal_path) => TenantReport {
             journal_path,
             ..report
@@ -477,23 +950,50 @@ fn run_tenant(model: &Arc<CompiledModel>, config: &FarmConfig, tenant: usize) ->
             error: Some(format!("sink: {e}")),
             ..report
         },
-    }
+    };
+    let state = if report.error.is_some() {
+        TenantState::Failed
+    } else if report.halted {
+        TenantState::Halted
+    } else {
+        TenantState::Completed
+    };
+    shared.tenant_finished(
+        tenant,
+        &telemetry,
+        state,
+        report.steps,
+        report.budget_overruns,
+        report.solve_errors,
+        report.score,
+    );
+    report
 }
 
 /// Streams one finished tenant's journal and metrics to the output
-/// directory; returns the journal path written (if any).
+/// directory; returns the journal path written (if any). Write volume and
+/// blocked time feed the farm's sink-backpressure instruments.
 fn write_tenant_sinks(
     config: &FarmConfig,
     tenant: usize,
     telemetry: &Telemetry,
+    shared: &FarmShared,
 ) -> std::io::Result<Option<String>> {
     let Some(dir) = &config.out_dir else {
         return Ok(None);
     };
+    let journal_text = telemetry.journal_jsonl();
+    let metrics_text = telemetry.snapshot().to_json();
+    let bytes = (journal_text.len() + metrics_text.len()) as u64;
+    let write_start = std::time::Instant::now();
     let journal = dir.join(format!("tenant-{tenant:04}.journal.jsonl"));
-    std::fs::write(&journal, telemetry.journal_jsonl())?;
+    std::fs::write(&journal, journal_text)?;
     let metrics = dir.join(format!("tenant-{tenant:04}.metrics.json"));
-    std::fs::write(&metrics, telemetry.snapshot().to_json())?;
+    std::fs::write(&metrics, metrics_text)?;
+    shared.journal_bytes.add(bytes);
+    shared
+        .journal_write_hist
+        .observe(write_start.elapsed().as_secs_f64());
     Ok(Some(journal.to_string_lossy().into_owned()))
 }
 
@@ -511,7 +1011,6 @@ fn failed_tenant(tenant: usize, error: String) -> TenantReport {
         score: None,
         journal_path: None,
         error: Some(error),
-        step_samples: Vec::new(),
     }
 }
 
@@ -531,18 +1030,12 @@ fn empty_report(model: &CompiledModel, config: &FarmConfig, threads: usize) -> F
         budget_overruns: 0,
         tenants_halted: 0,
         tenants_failed: 0,
+        journal_dropped: 0,
+        spans_dropped: 0,
+        rss_peak_bytes: 0,
+        journal_bytes_written: 0,
+        journal_write_seconds: 0.0,
         model_summary: model.summary(),
         per_tenant: Vec::new(),
     }
-}
-
-/// Nearest-rank percentile over an unsorted sample set (sorts in place;
-/// 0.0 for an empty set).
-fn percentile(samples: &mut [f64], q: f64) -> f64 {
-    if samples.is_empty() {
-        return 0.0;
-    }
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let rank = ((samples.len() as f64 - 1.0) * q).round() as usize;
-    samples[rank.min(samples.len() - 1)]
 }

@@ -1,0 +1,166 @@
+//! The farm's live observability endpoint: a zero-dependency HTTP server
+//! exposing `/metrics` (Prometheus text exposition), `/status`
+//! (deterministic JSON of per-tenant state), and `/healthz` over a plain
+//! `std::net::TcpListener`.
+//!
+//! The server is deliberately tiny: one thread, blocking per-request I/O
+//! with short timeouts, `Connection: close` semantics. It exists so a
+//! running `sgml_processor serve --status-addr …` can be scraped by
+//! Prometheus and watched by `sgml_processor watch` while thousands of
+//! tenants soak — not to be a general web server.
+
+use crate::FarmShared;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+/// How long one request may take to arrive / be answered before the
+/// connection is abandoned. Keeps a stuck client from wedging the endpoint.
+const IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// How often the accept loop re-checks the farm's shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// A bound (but not yet serving) status endpoint.
+///
+/// Binding is separated from serving so callers can bind port 0, read the
+/// kernel-assigned [`local_addr`](StatusServer::local_addr), and only then
+/// start the farm — the pattern the tests and the CLI's `--status-addr`
+/// share.
+#[derive(Debug)]
+pub struct StatusServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl StatusServer {
+    /// Binds the endpoint to `addr` (e.g. `127.0.0.1:9644`, or `…:0` for a
+    /// kernel-assigned port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (address in use, bad address, …).
+    pub fn bind(addr: &str) -> std::io::Result<StatusServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(StatusServer { listener, addr })
+    }
+
+    /// The address the endpoint actually listens on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+/// Serves requests until the farm signals shutdown. Runs on its own thread
+/// inside `run_farm`'s scope.
+pub(crate) fn serve(server: StatusServer, shared: &FarmShared) {
+    if server.listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !shared.is_shutdown() {
+        match server.listener.accept() {
+            Ok((stream, _)) => handle(stream, shared),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn handle(mut stream: TcpStream, shared: &FarmShared) {
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let Some(request_line) = read_request_line(&mut stream) else {
+        return;
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                shared.metrics_text(),
+            ),
+            "/status" => ("200 OK", "application/json", shared.status_json()),
+            "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found\n".to_string(),
+            ),
+        }
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+/// Reads up to the end of the request headers and returns the request line.
+fn read_request_line(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    let line = text.lines().next()?.trim().to_string();
+    if line.is_empty() {
+        None
+    } else {
+        Some(line)
+    }
+}
+
+/// Fetches `path` from a status endpoint with a minimal HTTP/1.1 GET and
+/// returns the response body. Shared by the `watch` dashboard and the tests.
+///
+/// # Errors
+///
+/// I/O errors propagate; a non-200 status or a malformed response maps to
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn http_get(addr: &str, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let bad = |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| bad("response without header terminator"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    if !status_line.contains(" 200 ") {
+        return Err(bad(&format!("unexpected status: {status_line}")));
+    }
+    Ok(body.to_string())
+}

@@ -13,7 +13,9 @@ use sgcr_iec61850::{
     SvPublisher, SvSubscriber, RGOOSE_PORT,
 };
 use sgcr_kvstore::{ProcessStore, Value};
-use sgcr_net::{ethertype, ConnId, EthernetFrame, HostCtx, Ipv4Addr, MacAddr, SimTime, SocketApp};
+use sgcr_net::{
+    ethertype, AppPlane, ConnId, EthernetFrame, HostCtx, Ipv4Addr, MacAddr, SimTime, SocketApp,
+};
 use sgcr_obs::{Counter, Event as ObsEvent, Plane, Telemetry, TimeNs, TraceCtx};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -836,6 +838,10 @@ impl VirtualIedApp {
 }
 
 impl SocketApp for VirtualIedApp {
+    fn plane(&self) -> AppPlane {
+        AppPlane::Ied
+    }
+
     fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
         self.mms.on_start(ctx);
         ctx.bind_udp(RGOOSE_PORT);

@@ -6,6 +6,51 @@ use crate::host::ConnId;
 use crate::sim::{Network, NodeId};
 use crate::time::{SimDuration, SimTime};
 
+/// The simulation plane an application's wall time is attributed to by
+/// per-step profiling (`step.plane.*` histograms).
+///
+/// Every dispatch into a [`SocketApp`] — timers, socket events, raw frames —
+/// is timed against the app's declared plane while the network's telemetry
+/// is enabled; the range's step loop turns the accumulated nanoseconds into
+/// per-plane attribution histograms.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum AppPlane {
+    /// Virtual IEDs: IEC 61850 servers, measurement sampling, protection.
+    Ied,
+    /// PLC scan cycles and control logic.
+    Plc,
+    /// SCADA/HMI masters, polling, and housekeeping.
+    Scada,
+    /// Everything else (attack tooling, test fixtures, ad-hoc apps).
+    #[default]
+    Other,
+}
+
+impl AppPlane {
+    /// Number of planes (the length of a per-plane accumulator array).
+    pub const COUNT: usize = 4;
+
+    /// A stable dense index for per-plane accumulator arrays.
+    pub fn index(self) -> usize {
+        match self {
+            AppPlane::Ied => 0,
+            AppPlane::Plc => 1,
+            AppPlane::Scada => 2,
+            AppPlane::Other => 3,
+        }
+    }
+
+    /// The plane's name as used in `step.plane.<name>_seconds` metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppPlane::Ied => "ied",
+            AppPlane::Plc => "plc",
+            AppPlane::Scada => "scada",
+            AppPlane::Other => "other",
+        }
+    }
+}
+
 /// An application running on an emulated host (virtual IED, PLC, SCADA,
 /// attacker tool, …).
 ///
@@ -15,6 +60,12 @@ use crate::time::{SimDuration, SimTime};
 /// event loop — there are no threads and no wall-clock time.
 #[allow(unused_variables)]
 pub trait SocketApp: Send {
+    /// The plane this app's execution time is attributed to in per-step
+    /// profiling. Defaults to [`AppPlane::Other`].
+    fn plane(&self) -> AppPlane {
+        AppPlane::Other
+    }
+
     /// Called once when the simulation starts (or when the app is attached).
     fn on_start(&mut self, ctx: &mut HostCtx<'_>) {}
 

@@ -49,7 +49,7 @@ mod sim;
 mod time;
 
 pub use addr::{ethertype, Ipv4Addr, MacAddr, ParseMacError};
-pub use app::{HostCtx, SocketApp};
+pub use app::{AppPlane, HostCtx, SocketApp};
 pub use frame::{
     internet_checksum, ipproto, ArpPacket, EthernetFrame, Ipv4Packet, TcpFlags, TcpSegment,
     UdpDatagram,

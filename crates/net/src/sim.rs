@@ -2,7 +2,7 @@
 //! event loop gluing host stacks to applications.
 
 use crate::addr::{ethertype, Ipv4Addr, MacAddr};
-use crate::app::{HostCtx, SocketApp};
+use crate::app::{AppPlane, HostCtx, SocketApp};
 use crate::frame::{ipproto, ArpPacket, EthernetFrame, Ipv4Packet, TcpSegment, UdpDatagram};
 use crate::host::{ConnId, HostState, SocketEvent, TcpOut};
 use crate::time::{SimDuration, SimTime};
@@ -90,6 +90,9 @@ struct HostNode {
     state: HostState,
     app: Option<Box<dyn SocketApp>>,
     meters: HostMeters,
+    /// The attached app's plane, cached at [`Network::attach_app`] so the
+    /// dispatch hot path never re-queries the trait object.
+    plane: AppPlane,
     /// False while the simulated device is crashed: incoming frames are
     /// dropped and app/TCP timers are deferred until restart.
     enabled: bool,
@@ -209,6 +212,12 @@ pub struct Network {
     /// fault-free runs never draw from it and stay byte-identical to
     /// pre-fault builds.
     fault_rng: FaultRng,
+    /// Whether app dispatches are wall-clock timed per plane. On exactly
+    /// when telemetry is enabled, so a disabled range never reads the clock.
+    profile_planes: bool,
+    /// Nanoseconds of app execution accumulated per [`AppPlane`] since the
+    /// last [`Network::take_plane_nanos`].
+    plane_nanos: [u64; AppPlane::COUNT],
 }
 
 impl Network {
@@ -229,6 +238,7 @@ impl Network {
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
         self.tracer = self.telemetry.tracer();
+        self.profile_planes = self.telemetry.is_enabled();
         self.frames_sent = self.telemetry.counter("net.frames_sent");
         self.frames_delivered = self.telemetry.counter("net.frames_delivered");
         self.frames_dropped = self.telemetry.counter("net.frames_dropped");
@@ -312,6 +322,7 @@ impl Network {
                 state: HostState::new(mac, ip),
                 app: None,
                 meters: HostMeters::default(),
+                plane: AppPlane::Other,
                 enabled: true,
             })),
         );
@@ -450,11 +461,22 @@ impl Network {
         match &mut self.nodes[node.index()].kind {
             NodeKind::Host(h) => {
                 assert!(h.app.is_none(), "host already has an app");
+                h.plane = app.plane();
                 h.app = Some(app);
             }
             NodeKind::Switch(_) => panic!("cannot attach an app to a switch"),
         }
         self.schedule(SimDuration::ZERO, Event::AppStart { node });
+    }
+
+    /// Takes (returns and resets) the nanoseconds of app execution
+    /// accumulated per plane since the previous call, indexed by
+    /// [`AppPlane::index`]. All zeros unless telemetry is enabled.
+    ///
+    /// The range's step loop calls this once per co-simulation step to build
+    /// the `step.plane.*` attribution histograms.
+    pub fn take_plane_nanos(&mut self) -> [u64; AppPlane::COUNT] {
+        std::mem::take(&mut self.plane_nanos)
     }
 
     /// Looks up a node by name.
@@ -1040,13 +1062,19 @@ impl Network {
     where
         F: FnOnce(&mut dyn SocketApp, &mut HostCtx<'_>),
     {
-        let mut app = match &mut self.nodes[node.index()].kind {
-            NodeKind::Host(h) => h.app.take(),
-            NodeKind::Switch(_) => None,
+        let (mut app, plane) = match &mut self.nodes[node.index()].kind {
+            NodeKind::Host(h) => (h.app.take(), h.plane),
+            NodeKind::Switch(_) => (None, AppPlane::Other),
         };
         if let Some(a) = app.as_mut() {
+            let started = self.profile_planes.then(std::time::Instant::now);
             let mut ctx = HostCtx { net: self, node };
             f(a.as_mut(), &mut ctx);
+            if let Some(started) = started {
+                let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                self.plane_nanos[plane.index()] =
+                    self.plane_nanos[plane.index()].saturating_add(nanos);
+            }
         }
         if let NodeKind::Host(h) = &mut self.nodes[node.index()].kind {
             if h.app.is_none() {

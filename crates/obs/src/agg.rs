@@ -1,0 +1,351 @@
+//! Streaming aggregation of per-tenant metric snapshots into one farm-level
+//! registry.
+//!
+//! The range farm used to keep every step's wall time in a raw `Vec<f64>` per
+//! tenant so it could compute p50/p99 at the end — O(steps) memory, which a
+//! soak run holding thousands of tenants for hours cannot afford. This module
+//! replaces that with *mergeable fixed-bucket histograms*: each tenant's
+//! [`MetricsSnapshot`] is folded into one aggregate whose memory is
+//! O(buckets × tenants) regardless of how many steps ran.
+//!
+//! Fold semantics:
+//!
+//! * counters — summed,
+//! * gauges — last write wins (tenants are folded in ascending id order, so
+//!   the result is deterministic),
+//! * histograms — bucket-merged via [`merge_histogram`],
+//! * `journal_dropped` / `spans_dropped` — summed.
+//!
+//! Because snapshots are *cumulative*, the aggregator keeps only the latest
+//! snapshot per tenant and re-folds on demand; re-submitting a tenant
+//! replaces its contribution instead of double-counting it.
+
+use crate::snapshot::{HistogramSnapshot, MetricsSnapshot};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Merges `from` into `into`, bucket by bucket.
+///
+/// When both histograms share the same bucket bounds (the common case: every
+/// tenant of a farm registers the same instruments) counts add element-wise.
+/// With differing bounds, each `from` bucket is attributed to the first
+/// `into` bucket whose upper bound can hold it — a conservative fold that
+/// never loses observations (the `+Inf` bucket catches everything) at the
+/// cost of coarser attribution.
+pub fn merge_histogram(into: &mut HistogramSnapshot, from: &HistogramSnapshot) {
+    if from.count == 0 && from.buckets.iter().all(|(_, c)| *c == 0) {
+        return;
+    }
+    if into.buckets.is_empty() {
+        *into = from.clone();
+        return;
+    }
+    let same_bounds = into.buckets.len() == from.buckets.len()
+        && into
+            .buckets
+            .iter()
+            .zip(&from.buckets)
+            .all(|((a, _), (b, _))| a.total_cmp(b).is_eq());
+    if same_bounds {
+        for ((_, a), (_, b)) in into.buckets.iter_mut().zip(&from.buckets) {
+            *a += b;
+        }
+    } else {
+        let last = into.buckets.len() - 1;
+        for (bound, count) in &from.buckets {
+            if *count == 0 {
+                continue;
+            }
+            let index = into
+                .buckets
+                .iter()
+                .position(|(b, _)| bound <= b)
+                .unwrap_or(last);
+            into.buckets[index].1 += count;
+        }
+    }
+    into.count += from.count;
+    into.sum += from.sum;
+}
+
+/// Estimates the `q`-quantile (`0.0 ..= 1.0`) of a bucketed histogram using
+/// Prometheus-style linear interpolation within the holding bucket.
+///
+/// The first bucket is assumed to start at 0 (all recorded quantities are
+/// non-negative wall times and counts); a quantile landing in the `+Inf`
+/// overflow bucket returns the largest finite bound, and an empty histogram
+/// returns 0.0. The estimate is an upper-ish bound within one bucket's
+/// width — callers holding the true max should clamp with it.
+pub fn histogram_quantile(h: &HistogramSnapshot, q: f64) -> f64 {
+    if h.count == 0 || h.buckets.is_empty() {
+        return 0.0;
+    }
+    let rank = q.clamp(0.0, 1.0) * h.count as f64;
+    let mut cumulative = 0u64;
+    let mut lower = 0.0f64;
+    for (bound, count) in &h.buckets {
+        let before = cumulative as f64;
+        cumulative += count;
+        if *count > 0 && cumulative as f64 >= rank {
+            if !bound.is_finite() {
+                return lower;
+            }
+            let fraction = ((rank - before) / *count as f64).clamp(0.0, 1.0);
+            return lower + (bound - lower) * fraction;
+        }
+        if bound.is_finite() {
+            lower = *bound;
+        }
+    }
+    lower
+}
+
+/// Folds per-tenant [`MetricsSnapshot`]s into one farm-level snapshot.
+///
+/// Thread-safe: worker threads [`submit`](FarmAggregator::submit) while a
+/// collector thread [`aggregate`](FarmAggregator::aggregate)s. Memory is
+/// bounded by one snapshot per tenant (O(buckets × tenants)), never by the
+/// number of steps any tenant has run.
+#[derive(Debug, Default)]
+pub struct FarmAggregator {
+    latest: Mutex<BTreeMap<usize, MetricsSnapshot>>,
+}
+
+impl FarmAggregator {
+    /// An empty aggregator.
+    pub fn new() -> FarmAggregator {
+        FarmAggregator::default()
+    }
+
+    /// Records `snapshot` as tenant `tenant`'s latest cumulative state,
+    /// replacing any earlier submission from the same tenant.
+    pub fn submit(&self, tenant: usize, snapshot: MetricsSnapshot) {
+        self.latest.lock().insert(tenant, snapshot);
+    }
+
+    /// How many tenants have submitted at least one snapshot.
+    pub fn tenants(&self) -> usize {
+        self.latest.lock().len()
+    }
+
+    /// The latest snapshot submitted by `tenant`, if any.
+    pub fn latest(&self, tenant: usize) -> Option<MetricsSnapshot> {
+        self.latest.lock().get(&tenant).cloned()
+    }
+
+    /// Folds every tenant's latest snapshot (ascending tenant id) into one
+    /// farm-level snapshot.
+    pub fn aggregate(&self) -> MetricsSnapshot {
+        let latest = self.latest.lock();
+        let mut counters: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<&str, f64> = BTreeMap::new();
+        let mut histograms: BTreeMap<&str, HistogramSnapshot> = BTreeMap::new();
+        let mut journal_dropped = 0u64;
+        let mut spans_dropped = 0u64;
+        for snapshot in latest.values() {
+            for (name, value) in &snapshot.counters {
+                *counters.entry(name).or_insert(0) += value;
+            }
+            for (name, value) in &snapshot.gauges {
+                gauges.insert(name, *value);
+            }
+            for (name, h) in &snapshot.histograms {
+                merge_histogram(
+                    histograms.entry(name).or_insert_with(|| HistogramSnapshot {
+                        count: 0,
+                        sum: 0.0,
+                        buckets: Vec::new(),
+                    }),
+                    h,
+                );
+            }
+            journal_dropped += snapshot.journal_dropped;
+            spans_dropped += snapshot.spans_dropped;
+        }
+        MetricsSnapshot {
+            counters: counters
+                .into_iter()
+                .map(|(n, v)| (n.to_string(), v))
+                .collect(),
+            gauges: gauges
+                .into_iter()
+                .map(|(n, v)| (n.to_string(), v))
+                .collect(),
+            histograms: histograms
+                .into_iter()
+                .map(|(n, h)| (n.to_string(), h))
+                .collect(),
+            journal_dropped,
+            spans_dropped,
+        }
+    }
+}
+
+/// The process's resident set size in bytes, read from `/proc/self/statm`.
+///
+/// Returns `None` on platforms without procfs (the farm exports the gauge
+/// only when a reading is available). The page size is taken as 4 KiB, the
+/// fixed base page size on every Linux target this workspace builds for.
+#[cfg(target_os = "linux")]
+pub fn rss_bytes() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let resident: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(resident * 4096)
+}
+
+/// The process's resident set size in bytes (`None`: no procfs here).
+#[cfg(not(target_os = "linux"))]
+pub fn rss_bytes() -> Option<u64> {
+    None
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::{buckets, Telemetry};
+
+    fn hist(values: &[f64]) -> HistogramSnapshot {
+        let t = Telemetry::new();
+        let h = t.histogram("h", &buckets::LATENCY_SECONDS);
+        for v in values {
+            h.observe(*v);
+        }
+        t.snapshot().histogram("h").unwrap().clone()
+    }
+
+    #[test]
+    fn merge_same_bounds_adds_bucketwise() {
+        let mut a = hist(&[0.0005, 0.002]);
+        let b = hist(&[0.002, 20.0]);
+        merge_histogram(&mut a, &b);
+        assert_eq!(a.count, 4);
+        assert!((a.sum - 20.0045).abs() < 1e-9);
+        assert_eq!(a.buckets.iter().map(|(_, c)| c).sum::<u64>(), 4);
+        assert_eq!(a.buckets.last().unwrap().1, 1, "+Inf holds 20.0");
+    }
+
+    #[test]
+    fn merge_into_empty_clones() {
+        let mut acc = HistogramSnapshot {
+            count: 0,
+            sum: 0.0,
+            buckets: Vec::new(),
+        };
+        let b = hist(&[0.01]);
+        merge_histogram(&mut acc, &b);
+        assert_eq!(acc, b);
+    }
+
+    #[test]
+    fn merge_mismatched_bounds_folds_at_upper_bound() {
+        let t = Telemetry::new();
+        let coarse = t.histogram("c", &[0.1, 1.0]);
+        coarse.observe(0.05);
+        let mut into = t.snapshot().histogram("c").unwrap().clone();
+        let from = hist(&[0.0005, 20.0]); // finer bounds + an overflow
+        merge_histogram(&mut into, &from);
+        assert_eq!(into.count, 3);
+        assert_eq!(
+            into.buckets.iter().map(|(_, c)| c).sum::<u64>(),
+            3,
+            "no observation lost"
+        );
+        assert_eq!(into.buckets.last().unwrap().1, 1, "overflow stays overflow");
+    }
+
+    #[test]
+    fn quantile_interpolates_and_orders() {
+        let h = hist(&[0.0004, 0.0004, 0.0004, 0.02]);
+        let p50 = histogram_quantile(&h, 0.50);
+        let p99 = histogram_quantile(&h, 0.99);
+        assert!(p50 > 0.0 && p50 <= 0.0005, "p50 lands in (1e-4, 5e-4]");
+        assert!(p99 >= p50, "quantiles are monotonic in q");
+        assert!(p99 <= 0.05, "p99 bounded by holding bucket");
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum: 0.0,
+            buckets: Vec::new(),
+        };
+        assert_eq!(histogram_quantile(&empty, 0.99), 0.0);
+        let overflow = hist(&[100.0]);
+        assert_eq!(
+            histogram_quantile(&overflow, 0.99),
+            10.0,
+            "+Inf quantile returns the largest finite bound"
+        );
+    }
+
+    #[test]
+    fn aggregator_replaces_not_adds() {
+        let agg = FarmAggregator::new();
+        let t = Telemetry::new();
+        t.counter("range.steps").add(5);
+        agg.submit(0, t.snapshot());
+        t.counter("range.steps").add(5);
+        agg.submit(0, t.snapshot()); // cumulative resubmission
+        let farm = agg.aggregate();
+        assert_eq!(
+            farm.counter("range.steps"),
+            Some(10),
+            "latest cumulative snapshot wins; no double counting"
+        );
+        assert_eq!(agg.tenants(), 1);
+    }
+
+    #[test]
+    fn aggregator_folds_across_tenants() {
+        let agg = FarmAggregator::new();
+        for tenant in 0..3usize {
+            let t = Telemetry::new();
+            t.counter("range.steps").add(10);
+            t.gauge("range.overrun_ratio").set(tenant as f64);
+            t.histogram("range.step_seconds", &buckets::LATENCY_SECONDS)
+                .observe(0.001 * (tenant + 1) as f64);
+            agg.submit(tenant, t.snapshot());
+        }
+        let farm = agg.aggregate();
+        assert_eq!(farm.counter("range.steps"), Some(30), "counters sum");
+        assert_eq!(
+            farm.gauge("range.overrun_ratio"),
+            Some(2.0),
+            "gauges take the last tenant's write"
+        );
+        let h = farm.histogram("range.step_seconds").unwrap();
+        assert_eq!(h.count, 3, "histograms merge");
+        assert!((h.sum - 0.006).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_memory_is_bucket_bound_not_step_bound() {
+        // Two aggregates built from runs of very different lengths hold the
+        // exact same number of buckets: O(buckets), never O(steps).
+        let sizes: Vec<usize> = [10usize, 10_000]
+            .iter()
+            .map(|steps| {
+                let agg = FarmAggregator::new();
+                let t = Telemetry::new();
+                let h = t.histogram("range.step_seconds", &buckets::LATENCY_SECONDS);
+                for i in 0..*steps {
+                    h.observe(1e-6 * i as f64);
+                }
+                agg.submit(0, t.snapshot());
+                let farm = agg.aggregate();
+                farm.histogram("range.step_seconds").unwrap().buckets.len()
+            })
+            .collect();
+        assert_eq!(sizes[0], sizes[1]);
+        assert_eq!(sizes[0], buckets::LATENCY_SECONDS.len() + 1);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn rss_probe_reads_something_positive() {
+        let rss = rss_bytes().expect("procfs available on linux");
+        assert!(rss > 0);
+    }
+}

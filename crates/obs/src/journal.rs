@@ -173,6 +173,24 @@ pub enum Event {
         /// The silent publisher.
         publisher: String,
     },
+    /// A range farm began a batch run.
+    FarmStarted {
+        /// Tenants requested.
+        tenants: u64,
+        /// Worker threads in the pool.
+        threads: u64,
+        /// Simulated seconds each tenant will run.
+        sim_seconds: u64,
+    },
+    /// A range farm finished its batch run.
+    FarmFinished {
+        /// Tenants that completed their full simulation.
+        tenants_completed: u64,
+        /// Tenants halted early by the step-budget overrun limit.
+        tenants_halted: u64,
+        /// Tenants that failed outright.
+        tenants_failed: u64,
+    },
     /// An event from outside the built-in instrumentation.
     Custom {
         /// Event name.
@@ -210,6 +228,8 @@ impl Event {
             Event::MeasurementsRecovered { .. } => "MeasurementsRecovered",
             Event::TagStale { .. } => "TagStale",
             Event::GooseExpired { .. } => "GooseExpired",
+            Event::FarmStarted { .. } => "FarmStarted",
+            Event::FarmFinished { .. } => "FarmFinished",
             Event::Custom { .. } => "Custom",
         }
     }
@@ -336,6 +356,26 @@ impl EventRecord {
                     ",\"ied\":{},\"publisher\":{}",
                     json_str(ied),
                     json_str(publisher)
+                );
+            }
+            Event::FarmStarted {
+                tenants,
+                threads,
+                sim_seconds,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"tenants\":{tenants},\"threads\":{threads},\"sim_seconds\":{sim_seconds}"
+                );
+            }
+            Event::FarmFinished {
+                tenants_completed,
+                tenants_halted,
+                tenants_failed,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"tenants_completed\":{tenants_completed},\"tenants_halted\":{tenants_halted},\"tenants_failed\":{tenants_failed}"
                 );
             }
             Event::Custom { name, detail } => {

@@ -37,12 +37,15 @@
 //! assert_eq!(telemetry.events().len(), 1);
 //! ```
 
+pub mod agg;
 mod journal;
 pub mod json;
 mod metric;
+pub mod prom;
 mod snapshot;
 mod trace;
 
+pub use agg::FarmAggregator;
 pub use journal::{Event, EventRecord};
 pub use metric::{buckets, Counter, Gauge, Histogram};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot};

@@ -1,0 +1,138 @@
+//! Prometheus text exposition (version 0.0.4) of a [`MetricsSnapshot`].
+//!
+//! Zero-dependency: the format is line-oriented text. Metric names are the
+//! registry names with every non-alphanumeric character mapped to `_` and an
+//! `sgcr_` namespace prefix (`farm.ranges_total` → `sgcr_farm_ranges_total`,
+//! `step.plane.plc_seconds` → `sgcr_step_plane_plc_seconds`). Histograms are
+//! exported with *cumulative* `_bucket{le="…"}` series (the snapshot stores
+//! per-bucket counts), a `_sum`, and a `_count`, ending in `le="+Inf"` as the
+//! format requires. Ordering is stable: counters, gauges, histograms — each
+//! already name-sorted in the snapshot — then the journal/span drop counters.
+
+use crate::snapshot::MetricsSnapshot;
+use std::fmt::Write as _;
+
+/// Renders the snapshot in Prometheus text exposition format.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    for (name, value) in &snapshot.counters {
+        let prom = metric_name(name);
+        let _ = writeln!(out, "# HELP {prom} range counter {name}");
+        let _ = writeln!(out, "# TYPE {prom} counter");
+        let _ = writeln!(out, "{prom} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let prom = metric_name(name);
+        let _ = writeln!(out, "# HELP {prom} range gauge {name}");
+        let _ = writeln!(out, "# TYPE {prom} gauge");
+        let _ = writeln!(out, "{prom} {}", number(*value));
+    }
+    for (name, h) in &snapshot.histograms {
+        let prom = metric_name(name);
+        let _ = writeln!(out, "# HELP {prom} range histogram {name}");
+        let _ = writeln!(out, "# TYPE {prom} histogram");
+        let mut cumulative = 0u64;
+        for (bound, count) in &h.buckets {
+            cumulative += count;
+            let le = if bound.is_finite() {
+                number(*bound)
+            } else {
+                "+Inf".to_string()
+            };
+            let _ = writeln!(out, "{prom}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{prom}_sum {}", number(h.sum));
+        let _ = writeln!(out, "{prom}_count {}", h.count);
+    }
+    for (prom, name, value) in [
+        (
+            "sgcr_journal_dropped_total",
+            "journal records evicted by the ring-buffer bound",
+            snapshot.journal_dropped,
+        ),
+        (
+            "sgcr_spans_dropped_total",
+            "spans evicted by the span-buffer bound",
+            snapshot.spans_dropped,
+        ),
+    ] {
+        let _ = writeln!(out, "# HELP {prom} {name}");
+        let _ = writeln!(out, "# TYPE {prom} counter");
+        let _ = writeln!(out, "{prom} {value}");
+    }
+    out
+}
+
+/// Maps a registry metric name to a legal Prometheus metric name.
+pub fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("sgcr_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Formats a sample value; Prometheus spells non-finite floats `NaN`,
+/// `+Inf`, `-Inf`.
+fn number(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::{buckets, Telemetry};
+
+    #[test]
+    fn names_are_namespaced_and_sanitized() {
+        assert_eq!(metric_name("farm.ranges_total"), "sgcr_farm_ranges_total");
+        assert_eq!(
+            metric_name("step.plane.plc_seconds"),
+            "sgcr_step_plane_plc_seconds"
+        );
+        assert_eq!(metric_name("a-b c"), "sgcr_a_b_c");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_in_inf() {
+        let t = Telemetry::new();
+        let h = t.histogram("range.step_seconds", &buckets::LATENCY_SECONDS);
+        h.observe(0.0004);
+        h.observe(0.0004);
+        h.observe(20.0);
+        let text = render(&t.snapshot());
+        assert!(text.contains("# TYPE sgcr_range_step_seconds histogram"));
+        assert!(text.contains("sgcr_range_step_seconds_bucket{le=\"0.0005\"} 2"));
+        assert!(text.contains("sgcr_range_step_seconds_bucket{le=\"10\"} 2"));
+        assert!(text.contains("sgcr_range_step_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("sgcr_range_step_seconds_count 3"));
+        let inf_line = text
+            .lines()
+            .position(|l| l.contains("le=\"+Inf\""))
+            .unwrap();
+        let sum_line = text
+            .lines()
+            .position(|l| l.starts_with("sgcr_range_step_seconds_sum"))
+            .unwrap();
+        assert!(inf_line < sum_line, "+Inf bucket precedes _sum");
+    }
+
+    #[test]
+    fn drop_counters_always_present() {
+        let text = render(&Telemetry::new().snapshot());
+        assert!(text.contains("sgcr_journal_dropped_total 0"));
+        assert!(text.contains("sgcr_spans_dropped_total 0"));
+    }
+}

@@ -9,7 +9,9 @@ use sgcr_iec61850::{
     DataValue, GooseSubscriber, MmsClient, MmsPdu, MmsRequest, MmsResponse, MMS_PORT,
 };
 use sgcr_modbus::{ModbusServerApp, SharedRegisters};
-use sgcr_net::{ethertype, ConnId, EthernetFrame, HostCtx, Ipv4Addr, SimDuration, SocketApp};
+use sgcr_net::{
+    ethertype, AppPlane, ConnId, EthernetFrame, HostCtx, Ipv4Addr, SimDuration, SocketApp,
+};
 use sgcr_obs::{Counter, Event as ObsEvent, Plane, Telemetry, TraceCtx};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -370,6 +372,10 @@ impl PlcApp {
 }
 
 impl SocketApp for PlcApp {
+    fn plane(&self) -> AppPlane {
+        AppPlane::Plc
+    }
+
     fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
         self.modbus.on_start(ctx);
         for server in self.servers() {

@@ -6,7 +6,7 @@ use parking_lot::Mutex;
 use sgcr_faults::DegradationSignal;
 use sgcr_iec61850::{DataValue, MmsClient, MmsPdu, MmsRequest, MmsResponse};
 use sgcr_modbus::{ModbusClient, Request as ModbusRequest, Response as ModbusResponse};
-use sgcr_net::{ConnId, HostCtx, Ipv4Addr, SimDuration, SocketApp};
+use sgcr_net::{AppPlane, ConnId, HostCtx, Ipv4Addr, SimDuration, SocketApp};
 use sgcr_obs::{Counter, Event as ObsEvent, Plane, Telemetry, TimeNs, TraceCtx, Tracer};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -585,6 +585,10 @@ impl ScadaApp {
 }
 
 impl SocketApp for ScadaApp {
+    fn plane(&self) -> AppPlane {
+        AppPlane::Scada
+    }
+
     fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
         for (i, source) in self.config.sources.clone().iter().enumerate() {
             let ip: Ipv4Addr = match source.ip.parse() {

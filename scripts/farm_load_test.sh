@@ -6,6 +6,10 @@
 # serve`, writing per-tenant journals/metrics plus a machine-readable farm
 # report (ranges/sec, p50/p99/max step latency) to REPORT.
 #
+# The latest full report is kept in REPORT (BENCH_farm.json); every run also
+# appends a timestamped summary line to HISTORY (BENCH_farm.jsonl) so the
+# farm's throughput/latency trajectory accumulates across runs.
+#
 # Usage:
 #   scripts/farm_load_test.sh                 # 128 tenants x 2 s -> BENCH_farm.json
 #   TENANTS=512 SIM_SECONDS=10 scripts/farm_load_test.sh
@@ -17,6 +21,7 @@ SIM_SECONDS="${SIM_SECONDS:-2}"
 STEP_BUDGET_MS="${STEP_BUDGET_MS:-250}"
 OUT_DIR="${OUT_DIR:-target/farm-load}"
 REPORT="${REPORT:-BENCH_farm.json}"
+HISTORY="${HISTORY:-BENCH_farm.jsonl}"
 BUNDLE="target/farm-load-bundle"
 
 cargo build --release --bin sgml_processor --example export_epic_model
@@ -37,4 +42,19 @@ if [ "$JOURNALS" -ne "$TENANTS" ]; then
   echo "error: expected $TENANTS per-tenant journals in $OUT_DIR, found $JOURNALS" >&2
   exit 1
 fi
-echo "ok: $JOURNALS per-tenant journals in $OUT_DIR/, farm report in $REPORT"
+
+# Append a timestamped one-line summary of this run (farm-level fields only,
+# no per_tenant detail) to the history file; REPORT keeps the full latest run.
+python3 - "$REPORT" "$HISTORY" <<'PY'
+import json, sys, datetime
+report_path, history_path = sys.argv[1], sys.argv[2]
+with open(report_path) as f:
+    report = json.load(f)
+entry = {"timestamp": datetime.datetime.now(datetime.timezone.utc)
+         .isoformat(timespec="seconds")}
+entry.update({k: v for k, v in report.items() if k != "per_tenant"})
+with open(history_path, "a") as f:
+    f.write(json.dumps(entry, sort_keys=False) + "\n")
+PY
+
+echo "ok: $JOURNALS per-tenant journals in $OUT_DIR/, farm report in $REPORT (history: $HISTORY)"

@@ -15,7 +15,9 @@
 //! sgml_processor serve <bundle-dir> [--tenants <n>] [--threads <n>]
 //!                      [--seconds <n>] [--scenario <file>] [--out <dir>]
 //!                      [--report <file>] [--step-budget-ms <n>]
-//!                      [--max-overruns <n>] [--fault-seed <n>] [--no-check]
+//!                      [--max-overruns <n>] [--fault-seed <n>]
+//!                      [--status-addr <host:port>] [--no-check]
+//! sgml_processor watch <host:port> [--interval-ms <n>] [--iterations <n>]
 //! ```
 //!
 //! `build` compiles the bundle and prints the generated inventory without
@@ -66,6 +68,15 @@
 //! wall-clock step budget (`--max-overruns` halts repeat offenders), and
 //! `--report` writes the farm throughput/latency report (ranges/sec, p50,
 //! p99, max step latency) as JSON — the schema `BENCH_farm.json` tracks.
+//! `--status-addr <host:port>` additionally serves the farm's live state
+//! over HTTP while it runs: `/metrics` is the bucket-merged farm metric
+//! registry in Prometheus text exposition format, `/status` is
+//! deterministic per-tenant JSON, `/healthz` is a liveness probe.
+//!
+//! `watch` is the companion dashboard: it polls a running farm's
+//! `--status-addr` endpoint every `--interval-ms` (default 1000) and
+//! redraws a per-tenant state table until the farm finishes (or
+//! `--iterations` polls have been made).
 //!
 //! The pre-subcommand invocation forms (`sgml_processor <bundle-dir>
 //! [--run <seconds>] [--validate-only] …`) keep working as deprecated
@@ -92,7 +103,10 @@ const USAGE: &str = "usage: sgml_processor build <bundle-dir> [--dot]\n       \
                      sgml_processor serve <bundle-dir> [--tenants <n>] \
                      [--threads <n>] [--seconds <n>] [--scenario <file>] \
                      [--out <dir>] [--report <file>] [--step-budget-ms <n>] \
-                     [--max-overruns <n>] [--fault-seed <n>] [--no-check]";
+                     [--max-overruns <n>] [--fault-seed <n>] \
+                     [--status-addr <host:port>] [--no-check]\n       \
+                     sgml_processor watch <host:port> [--interval-ms <n>] \
+                     [--iterations <n>]";
 
 /// Default co-simulated duration for `run` when `--seconds` is omitted.
 const DEFAULT_RUN_SECONDS: u64 = 10;
@@ -154,7 +168,13 @@ enum Cmd {
         step_budget_ms: Option<u64>,
         max_overruns: u64,
         fault_seed: u64,
+        status_addr: Option<String>,
         no_check: bool,
+    },
+    Watch {
+        addr: String,
+        interval_ms: u64,
+        iterations: Option<u64>,
     },
 }
 
@@ -178,6 +198,7 @@ fn parse_args(args: &[String]) -> Result<Parsed, String> {
         "lint" => parse_lint(&args[1..]),
         "exercise" => parse_exercise(&args[1..]),
         "serve" => parse_serve(&args[1..]),
+        "watch" => parse_watch(&args[1..]),
         "-h" | "--help" | "help" => Err(String::new()),
         _ => parse_legacy(args),
     }
@@ -361,6 +382,7 @@ fn parse_serve(args: &[String]) -> Result<Parsed, String> {
     let mut step_budget_ms = None;
     let mut max_overruns = 0;
     let mut fault_seed = 0;
+    let mut status_addr = None;
     let mut no_check = false;
     let mut i = 0;
     while i < rest.len() {
@@ -392,6 +414,9 @@ fn parse_serve(args: &[String]) -> Result<Parsed, String> {
             "--fault-seed" => {
                 fault_seed = parse_fault_seed(flag_value(rest, &mut i, "--fault-seed")?)?;
             }
+            "--status-addr" => {
+                status_addr = Some(flag_value(rest, &mut i, "--status-addr")?.to_string());
+            }
             "--no-check" => no_check = true,
             other => return Err(format!("unknown argument `{other}` for `serve`")),
         }
@@ -412,7 +437,39 @@ fn parse_serve(args: &[String]) -> Result<Parsed, String> {
             step_budget_ms,
             max_overruns,
             fault_seed,
+            status_addr,
             no_check,
+        },
+        deprecation: None,
+    })
+}
+
+fn parse_watch(args: &[String]) -> Result<Parsed, String> {
+    let (addr, rest) = take_dir(args).map_err(|e| e.replace("<bundle-dir>", "<host:port>"))?;
+    let mut interval_ms = 1000;
+    let mut iterations = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--interval-ms" => {
+                interval_ms =
+                    parse_uint("--interval-ms", flag_value(rest, &mut i, "--interval-ms")?)?;
+            }
+            "--iterations" => {
+                iterations = Some(parse_uint(
+                    "--iterations",
+                    flag_value(rest, &mut i, "--iterations")?,
+                )?);
+            }
+            other => return Err(format!("unknown argument `{other}` for `watch`")),
+        }
+        i += 1;
+    }
+    Ok(Parsed {
+        cmd: Cmd::Watch {
+            addr,
+            interval_ms,
+            iterations,
         },
         deprecation: None,
     })
@@ -573,6 +630,7 @@ fn main() -> ExitCode {
             step_budget_ms,
             max_overruns,
             fault_seed,
+            status_addr,
             no_check,
         } => {
             if let Some(code) = front_gate(&dir, no_check) {
@@ -589,8 +647,14 @@ fn main() -> ExitCode {
                 step_budget_ms,
                 max_overruns,
                 fault_seed,
+                status_addr,
             )
         }
+        Cmd::Watch {
+            addr,
+            interval_ms,
+            iterations,
+        } => watch(&addr, interval_ms, iterations),
     }
 }
 
@@ -814,6 +878,7 @@ fn serve(
     step_budget_ms: Option<u64>,
     max_overruns: u64,
     fault_seed: u64,
+    status_addr: Option<String>,
 ) -> ExitCode {
     let bundle = match SgmlBundle::from_dir(dir) {
         Ok(bundle) => bundle,
@@ -865,6 +930,9 @@ fn serve(
             None => String::new(),
         }
     );
+    if let Some(addr) = &status_addr {
+        eprintln!("live status endpoint on http://{addr}/ (/metrics /status /healthz)");
+    }
 
     let config = FarmConfig {
         tenants,
@@ -876,6 +944,8 @@ fn serve(
         interval: None,
         scenario,
         out_dir: out.map(std::path::PathBuf::from),
+        status_addr,
+        collect_interval_ms: 0,
     };
     let farm_report = run_farm(model, &config);
     print!("{}", farm_report.to_text());
@@ -894,6 +964,98 @@ fn serve(
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// Polls a running farm's `--status-addr` endpoint and redraws a per-tenant
+/// dashboard until the endpoint goes away (the farm finished) or
+/// `--iterations` polls have been made.
+fn watch(addr: &str, interval_ms: u64, iterations: Option<u64>) -> ExitCode {
+    let mut polled = 0u64;
+    let mut ever_connected = false;
+    loop {
+        match sgcr_farm::http_get(addr, "/status") {
+            Ok(body) => {
+                ever_connected = true;
+                match render_watch(&body) {
+                    Ok(frame) => {
+                        // ANSI clear-screen + cursor-home, then the frame.
+                        print!("\x1b[2J\x1b[H{frame}");
+                        use std::io::Write as _;
+                        let _ = std::io::stdout().flush();
+                    }
+                    Err(e) => {
+                        eprintln!("error: malformed /status response from {addr}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            Err(e) => {
+                if ever_connected {
+                    println!("status endpoint {addr} closed — farm finished");
+                    return ExitCode::SUCCESS;
+                }
+                eprintln!("error: cannot reach {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        polled += 1;
+        if let Some(max) = iterations {
+            if polled >= max {
+                return ExitCode::SUCCESS;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(50)));
+    }
+}
+
+/// Renders one `/status` JSON document as a watch dashboard frame. Pure, so
+/// the dashboard is unit-testable without a live farm.
+fn render_watch(body: &str) -> Result<String, String> {
+    use sgcr_obs::json::{self as obs_json, Value};
+    let doc = obs_json::parse(body)?;
+    let uint = |v: &Value, key: &str| v.get(key).and_then(Value::as_u64).unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "farm: {} tenants on {} threads x {} s sim{}\n",
+        uint(&doc, "tenants"),
+        uint(&doc, "threads"),
+        uint(&doc, "sim_seconds"),
+        match doc.get("step_budget_ms").and_then(Value::as_u64) {
+            Some(ms) => format!(" | budget {ms} ms/step"),
+            None => String::new(),
+        }
+    ));
+    out.push_str(&format!(
+        "running {} | completed {} | halted {} | failed {}\n\n",
+        uint(&doc, "tenants_running"),
+        uint(&doc, "tenants_completed"),
+        uint(&doc, "tenants_halted"),
+        uint(&doc, "tenants_failed"),
+    ));
+    out.push_str("tenant  state      steps      overruns  solve_errs  score\n");
+    let tenants = doc
+        .get("per_tenant")
+        .and_then(Value::as_array)
+        .ok_or("missing per_tenant array")?;
+    for t in tenants {
+        let score = match t.get("score") {
+            Some(score) if score.get("earned").is_some() => format!(
+                "{}/{}",
+                score.get("earned").and_then(Value::as_u64).unwrap_or(0),
+                score.get("total").and_then(Value::as_u64).unwrap_or(0)
+            ),
+            _ => String::from("-"),
+        };
+        out.push_str(&format!(
+            "{:>6}  {:<9}  {:>9}  {:>8}  {:>10}  {score}\n",
+            uint(t, "tenant"),
+            t.get("state").and_then(Value::as_str).unwrap_or("?"),
+            uint(t, "steps"),
+            uint(t, "budget_overruns"),
+            uint(t, "solve_errors"),
+        ));
+    }
+    Ok(out)
 }
 
 /// Writes whichever observability sinks were requested; false on I/O error.
@@ -1265,7 +1427,8 @@ mod tests {
         let parsed = parse_args(&argv(
             "serve bundles/epic --tenants 128 --threads 4 --seconds 30 \
              --scenario s.scenario.xml --out /tmp/farm --report farm.json \
-             --step-budget-ms 100 --max-overruns 5 --fault-seed 42 --no-check",
+             --step-budget-ms 100 --max-overruns 5 --fault-seed 42 \
+             --status-addr 127.0.0.1:9644 --no-check",
         ))
         .unwrap();
         assert_eq!(
@@ -1281,10 +1444,65 @@ mod tests {
                 step_budget_ms: Some(100),
                 max_overruns: 5,
                 fault_seed: 42,
+                status_addr: Some("127.0.0.1:9644".into()),
                 no_check: true,
             }
         );
         assert!(parsed.deprecation.is_none());
+    }
+
+    #[test]
+    fn serve_status_addr_is_optional() {
+        let parsed = parse_args(&argv("serve bundles/epic")).unwrap();
+        match parsed.cmd {
+            Cmd::Serve { status_addr, .. } => assert!(status_addr.is_none()),
+            other => panic!("expected serve, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watch_subcommand_parses_flags_and_defaults() {
+        let parsed = parse_args(&argv(
+            "watch 127.0.0.1:9644 --interval-ms 250 --iterations 3",
+        ))
+        .unwrap();
+        assert_eq!(
+            parsed.cmd,
+            Cmd::Watch {
+                addr: "127.0.0.1:9644".into(),
+                interval_ms: 250,
+                iterations: Some(3),
+            }
+        );
+        let parsed = parse_args(&argv("watch 127.0.0.1:9644")).unwrap();
+        assert_eq!(
+            parsed.cmd,
+            Cmd::Watch {
+                addr: "127.0.0.1:9644".into(),
+                interval_ms: 1000,
+                iterations: None,
+            }
+        );
+        assert!(parse_args(&argv("watch")).is_err());
+        assert!(parse_args(&argv("watch 127.0.0.1:9644 --bogus")).is_err());
+    }
+
+    #[test]
+    fn watch_dashboard_renders_status_json() {
+        let body = r#"{"tenants":2,"threads":2,"sim_seconds":5,"scenario":false,
+            "step_budget_ms":100,"tenants_running":1,"tenants_completed":1,
+            "tenants_halted":0,"tenants_failed":0,"per_tenant":[
+            {"tenant":0,"state":"completed","steps":50,"budget_overruns":0,
+             "solve_errors":0,"score":{"earned":3,"total":4}},
+            {"tenant":1,"state":"running","steps":12,"budget_overruns":2,
+             "solve_errors":1,"score":null}]}"#;
+        let frame = render_watch(body).unwrap();
+        assert!(frame.contains("farm: 2 tenants on 2 threads x 5 s sim | budget 100 ms/step"));
+        assert!(frame.contains("running 1 | completed 1 | halted 0 | failed 0"));
+        assert!(frame.contains("completed"));
+        assert!(frame.contains("3/4"));
+        assert!(frame.lines().count() >= 6);
+        assert!(render_watch("not json").is_err());
     }
 
     #[test]

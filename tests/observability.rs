@@ -178,3 +178,67 @@ fn disabled_telemetry_is_behaviorally_invisible() {
     let lit = run(Telemetry::new());
     assert_eq!(dark, lit, "telemetry must not perturb the simulation");
 }
+
+#[test]
+fn per_plane_step_profile_partitions_step_wall_time() {
+    // Every step's wall time is attributed across the co-simulation planes
+    // (power solve, network dispatch, PLC scans, IED processing, SCADA
+    // housekeeping, other apps); the attributed slices are disjoint
+    // sub-intervals of the step, so their sum can never exceed the total
+    // step wall time.
+    let (mut range, telemetry) = instrumented_epic_range();
+    for _ in 0..30 {
+        range.step();
+    }
+    let snapshot = telemetry.snapshot();
+    let total = snapshot
+        .histogram("range.step_seconds")
+        .expect("step wall-time histogram registered");
+    assert_eq!(total.count, range.steps_total());
+
+    let planes = ["power", "net", "ied", "plc", "scada", "other"];
+    let mut plane_sum = 0.0;
+    for plane in planes {
+        let name = format!("step.plane.{plane}_seconds");
+        let h = snapshot
+            .histogram(&name)
+            .unwrap_or_else(|| panic!("{name} histogram registered"));
+        assert_eq!(h.count, range.steps_total(), "{name} observes every step");
+        plane_sum += h.sum;
+    }
+    assert!(plane_sum > 0.0, "plane attribution must be nonzero");
+    assert!(
+        plane_sum <= total.sum * (1.0 + 1e-9) + 1e-12,
+        "summed plane time {plane_sum} exceeds total step time {}",
+        total.sum
+    );
+    // The EPIC range has real IEDs, a PLC, and SCADA attached, so at least
+    // one application plane must have accumulated wall time.
+    let app_planes: f64 = ["ied", "plc", "scada"]
+        .iter()
+        .map(|p| {
+            snapshot
+                .histogram(&format!("step.plane.{p}_seconds"))
+                .map(|h| h.sum)
+                .unwrap_or(0.0)
+        })
+        .sum();
+    assert!(app_planes > 0.0, "application planes accumulate wall time");
+}
+
+#[test]
+fn disabled_telemetry_registers_no_plane_profile() {
+    // The profiling path must stay zero-overhead when telemetry is off:
+    // the disabled snapshot carries no instruments at all.
+    let bundle = epic_bundle();
+    let mut range =
+        RangeBuilder::from_model(CompiledModel::shared(&bundle).expect("bundle compiles"))
+            .telemetry(Telemetry::disabled())
+            .build()
+            .expect("EPIC bundle must compile");
+    for _ in 0..5 {
+        range.step();
+    }
+    let snapshot = Telemetry::disabled().snapshot();
+    assert!(snapshot.histograms.is_empty());
+}

@@ -73,6 +73,19 @@ fn one_model_serves_one_hundred_tenants_with_per_tenant_journals() {
     // each other; per-tenant journals are still deterministic per seed.
     let a = std::fs::read_to_string(report.per_tenant[0].journal_path.as_ref().unwrap()).unwrap();
     assert!(a.contains("\"type\""), "journal is JSONL events");
+
+    // The farm writes its own lifecycle journal next to the tenant sinks.
+    let farm_journal =
+        std::fs::read_to_string(scratch.0.join("farm.journal.jsonl")).expect("farm journal");
+    assert!(farm_journal.contains("\"type\":\"FarmStarted\""));
+    assert!(farm_journal.contains("\"type\":\"FarmFinished\""));
+    assert!(farm_journal.contains("\"tenants\":100"));
+    assert!(farm_journal.contains("\"tenants_completed\":100"));
+
+    // Sink-writer backpressure instrumentation: the farm accounted bytes
+    // and wall time for every tenant's journal/metrics files.
+    assert!(report.journal_bytes_written > 0);
+    assert!(report.journal_write_seconds > 0.0);
 }
 
 #[test]
