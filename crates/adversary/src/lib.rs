@@ -1,0 +1,200 @@
+//! Autonomous adversary plane for the smart grid cyber range.
+//!
+//! Two layers, mirroring the split argued for by "AI-based Attacker
+//! Models for Enhancing Multi-Stage Cyberattack Simulations" over the
+//! substrate of "Graph-based Model of Smart Grid Architectures":
+//!
+//! 1. **[`graph`]** — [`AttackGraph::derive`] walks a compiled SG-ML
+//!    model (network plan, IED protection/GOOSE specs, PLC bindings,
+//!    SCADA blueprint) into a typed graph of attacker-relevant nodes,
+//!    every edge labeled with the attack primitive that traverses it
+//!    (scan, ARP MitM, FCI, trip, observe). Node ordering is
+//!    deterministic; JSON and DOT exporters feed the
+//!    `sgml_processor attack-graph` CLI.
+//! 2. **[`plan`](mod@plan)** — a seeded deterministic planner ([`plan::plan`])
+//!    searches the graph for a multi-stage campaign (scan → ARP MitM →
+//!    FCI) reaching a declared goal within an action budget. All
+//!    randomness comes from the SplitMix64 [`sgcr_faults::FaultRng`], so
+//!    the same seed replays the same campaign byte-for-byte.
+//!
+//! The planner emits neutral [`CampaignPlan`] data; `sgcr-scenario`
+//! converts it into ordinary exercise stages so objectives, journal
+//! events, spans, and after-action reports work unchanged.
+
+pub mod graph;
+pub mod plan;
+
+pub use graph::{AlarmDir, AttackGraph, Edge, EdgeKind, HostRole, Node, PointAddr, Primitive};
+pub use plan::{
+    plan, CampaignPlan, Goal, PlanError, PlanRequest, PlannedAction, PlannedHost, PlannedStart,
+    PlannedStep, PlannedTransform,
+};
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use sgcr_core::{CompiledModel, SgmlBundle};
+
+    fn epic_graph() -> AttackGraph {
+        let bundle: SgmlBundle = sgcr_models::epic_bundle();
+        let model = CompiledModel::compile(&bundle).expect("EPIC compiles");
+        AttackGraph::derive(&model)
+    }
+
+    #[test]
+    fn derives_protection_and_goose_edges_for_epic() {
+        let graph = epic_graph();
+        // GIED1's PTOC trips the generator breaker.
+        assert!(
+            graph.has_edge(
+                "host:GIED1",
+                "breaker:EPIC/CB_GEN",
+                EdgeKind::ProtectionTrips
+            ),
+            "missing GIED1 -> EPIC/CB_GEN protection edge"
+        );
+        // CPLC subscribes to GIED1's GOOSE control block.
+        assert!(
+            graph.has_edge("host:GIED1", "host:CPLC", EdgeKind::GooseSubscription),
+            "missing GIED1 -> CPLC GOOSE subscription edge"
+        );
+        // The generator breaker is operable over MMS from GIED1.
+        assert!(
+            graph.has_edge(
+                "host:GIED1",
+                "breaker:EPIC/CB_GEN",
+                EdgeKind::BreakerControl
+            ),
+            "missing GIED1 -> EPIC/CB_GEN breaker-control edge"
+        );
+    }
+
+    #[test]
+    fn graph_exports_are_deterministic() {
+        let a = epic_graph().to_json();
+        let b = epic_graph().to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"nodes\":["));
+        let dot = epic_graph().to_dot();
+        assert!(dot.starts_with("digraph attack_graph"));
+        assert!(dot.contains("breaker:EPIC/CB_GEN"));
+    }
+
+    #[test]
+    fn plans_breaker_campaign_and_replays_byte_identically() {
+        let graph = epic_graph();
+        let request = PlanRequest {
+            goal: "breakerOpen:EPIC/CB_GEN",
+            budget: 4,
+            seed: 7,
+            ..PlanRequest::default()
+        };
+        let first = plan(&graph, &request).expect("plannable goal");
+        let second = plan(&graph, &request).expect("plannable goal");
+        assert_eq!(first.to_json(), second.to_json());
+        assert!(
+            first.steps.len() >= 2,
+            "campaign should be multi-stage, got {}",
+            first.steps.len()
+        );
+        assert_eq!(first.steps[0].action.kind(), "scan");
+        let strike = first.steps.last().expect("non-empty plan");
+        assert_eq!(strike.action.kind(), "fci");
+        match &strike.action {
+            PlannedAction::Fci { item, value, .. } => {
+                assert!(
+                    item.contains("CSWI"),
+                    "strike item {item:?} is not a CSWI operate"
+                );
+                assert!(!value, "breakerOpen must forge an open command");
+            }
+            other => panic!("unexpected strike {other:?}"),
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let graph = epic_graph();
+        let base = PlanRequest {
+            goal: "breakerOpen:EPIC/CB_GEN",
+            budget: 4,
+            seed: 7,
+            ..PlanRequest::default()
+        };
+        let first = plan(&graph, &base).expect("plannable goal");
+        let diverged = (1..64).any(|seed| {
+            let other = plan(
+                &graph,
+                &PlanRequest {
+                    seed,
+                    ..base.clone()
+                },
+            )
+            .expect("plannable goal");
+            other.to_json() != first.to_json()
+        });
+        assert!(diverged, "64 seeds produced identical plans");
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        let graph = epic_graph();
+        let err = |goal: &str, budget: u32| {
+            plan(
+                &graph,
+                &PlanRequest {
+                    goal,
+                    budget,
+                    seed: 1,
+                    ..PlanRequest::default()
+                },
+            )
+            .expect_err("must fail")
+        };
+        assert!(matches!(err("open sesame", 4), PlanError::BadGoal { .. }));
+        assert!(matches!(
+            err("breakerOpen:EPIC/CB_NOPE", 4),
+            PlanError::UnknownTarget { .. }
+        ));
+        assert!(matches!(
+            err("breakerOpen:EPIC/CB_GEN", 1),
+            PlanError::BudgetTooSmall {
+                needed: 2,
+                budget: 1,
+                ..
+            }
+        ));
+        // GenProt_trip is a state-bit alarm: edge-triggered, not forgeable
+        // by traffic transforms.
+        assert!(matches!(
+            err("scadaAlarm:GenProt_trip", 4),
+            PlanError::Unreachable { .. }
+        ));
+    }
+
+    #[test]
+    fn plans_scada_alarm_campaign() {
+        let graph = epic_graph();
+        let campaign = plan(
+            &graph,
+            &PlanRequest {
+                goal: "scadaAlarm:GenFeeder_kW",
+                budget: 3,
+                seed: 11,
+                ..PlanRequest::default()
+            },
+        )
+        .expect("threshold alarm is reachable");
+        let strike = campaign.steps.last().expect("non-empty plan");
+        match &strike.action {
+            PlannedAction::Mitm { transform, .. } => {
+                assert!(matches!(
+                    transform,
+                    PlannedTransform::ScaleModbusRegisters(f) if *f > 1.0
+                ));
+            }
+            other => panic!("unexpected strike {other:?}"),
+        }
+    }
+}

@@ -52,6 +52,13 @@ impl NetworkPlan {
         self.host(name).map(|h| h.ip)
     }
 
+    /// Finds a planned host by IPv4 address — the reverse lookup attack
+    /// tooling needs when mapping captured/configured addresses (PLC
+    /// bindings, SCADA sources) back to named hosts.
+    pub fn host_by_ip(&self, ip: Ipv4Addr) -> Option<&PlannedHost> {
+        self.hosts.iter().find(|h| h.ip == ip)
+    }
+
     /// Renders the topology in Graphviz dot format — the artifact behind
     /// the paper's Figure 4 ("Generated Cyber Network Topology").
     pub fn to_dot(&self) -> String {

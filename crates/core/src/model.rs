@@ -101,6 +101,16 @@ pub struct CompiledModel {
 }
 
 impl CompiledModel {
+    /// Finds a compiled IED spec by name.
+    pub fn ied(&self, name: &str) -> Option<&IedSpec> {
+        self.ieds.iter().find(|i| i.name == name)
+    }
+
+    /// Finds a compiled PLC by host name.
+    pub fn plc(&self, name: &str) -> Option<&CompiledPlc> {
+        self.plcs.iter().find(|p| p.name == name)
+    }
+
     /// Compiles an SG-ML bundle into an immutable model — the complete
     /// parse/consolidate/generate pipeline of the paper's Figures 2–3, run
     /// exactly once per bundle.

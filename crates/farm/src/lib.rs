@@ -67,7 +67,8 @@ use sgcr_core::{CompiledModel, RangeBuilder};
 use sgcr_net::SimDuration;
 use sgcr_obs::agg::{histogram_quantile, rss_bytes};
 use sgcr_obs::{
-    json, prom, Counter, Event as ObsEvent, FarmAggregator, Gauge, Histogram, Telemetry,
+    json, prom, Counter, Event as ObsEvent, FarmAggregator, Gauge, Histogram, HistogramSnapshot,
+    Telemetry,
 };
 use sgcr_scenario::{run_exercise, Scenario};
 use std::collections::BTreeMap;
@@ -82,6 +83,22 @@ use std::time::Duration;
 /// gauges, sink-writer instruments) is folded under — outside any real
 /// tenant's index range.
 const FARM_SELF: usize = usize::MAX;
+
+/// `(p50, p99)` step-latency estimates from a bucketed step-seconds
+/// histogram, clamped by the true observed maximum.
+///
+/// [`histogram_quantile`] interpolates linearly inside the holding bucket,
+/// so an estimate can overshoot every recorded sample by up to one bucket's
+/// width; clamping with the exactly-tracked max restores the invariant
+/// `p50 ≤ p99 ≤ max`. A missing or empty histogram reports `(0.0, 0.0)`.
+fn clamped_step_quantiles(h: Option<&HistogramSnapshot>, max_step_seconds: f64) -> (f64, f64) {
+    h.map_or((0.0, 0.0), |h| {
+        (
+            histogram_quantile(h, 0.50).min(max_step_seconds),
+            histogram_quantile(h, 0.99).min(max_step_seconds),
+        )
+    })
+}
 
 /// Configuration of one farm run.
 #[derive(Debug, Clone)]
@@ -756,15 +773,8 @@ pub fn run_farm_with_status(
     // every tenant's `range.step_seconds` — O(buckets × tenants) memory,
     // replacing the raw per-step sample vectors the farm used to hold.
     let merged = shared.aggregator.aggregate();
-    let (p50, p99) = merged
-        .histogram("range.step_seconds")
-        .map(|h| {
-            (
-                histogram_quantile(h, 0.50).min(max_step_seconds),
-                histogram_quantile(h, 0.99).min(max_step_seconds),
-            )
-        })
-        .unwrap_or((0.0, 0.0));
+    let (p50, p99) =
+        clamped_step_quantiles(merged.histogram("range.step_seconds"), max_step_seconds);
 
     {
         let (completed_n, halted_n, failed_n) = (
@@ -916,15 +926,8 @@ fn run_tenant(
         .map(|s| s.total_seconds)
         .fold(0.0, f64::max);
     let snapshot = telemetry.snapshot();
-    let (p50, p99) = snapshot
-        .histogram("range.step_seconds")
-        .map(|h| {
-            (
-                histogram_quantile(h, 0.50).min(max_step_seconds),
-                histogram_quantile(h, 0.99).min(max_step_seconds),
-            )
-        })
-        .unwrap_or((0.0, 0.0));
+    let (p50, p99) =
+        clamped_step_quantiles(snapshot.histogram("range.step_seconds"), max_step_seconds);
 
     let report = TenantReport {
         tenant,
@@ -1037,5 +1040,44 @@ fn empty_report(model: &CompiledModel, config: &FarmConfig, threads: usize) -> F
         journal_write_seconds: 0.0,
         model_summary: model.summary(),
         per_tenant: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
+mod tests {
+    use super::*;
+
+    /// The interpolated quantile estimate can overshoot every recorded
+    /// sample by up to one bucket's width; the clamp pins the reported
+    /// percentiles to the exactly-tracked true max.
+    #[test]
+    fn quantile_estimates_are_clamped_by_true_max() {
+        // Three samples, all ≤ 4 ms, landing in the (1 ms, 10 ms] bucket:
+        // interpolation places p99 near the bucket's upper bound (~9.9 ms),
+        // well past anything that was actually observed.
+        let h = HistogramSnapshot {
+            count: 3,
+            sum: 0.009,
+            buckets: vec![(0.001, 0), (0.010, 3), (f64::INFINITY, 0)],
+        };
+        let true_max = 0.004;
+        assert!(
+            histogram_quantile(&h, 0.99) > true_max,
+            "fixture must make the raw estimate overshoot the true max"
+        );
+
+        let (p50, p99) = clamped_step_quantiles(Some(&h), true_max);
+        assert!(p50 <= p99, "p50 {p50} must not exceed p99 {p99}");
+        assert!(
+            p99 <= true_max,
+            "p99 {p99} must be clamped to max {true_max}"
+        );
+        assert!(p50 > 0.0, "clamp must not zero out a populated histogram");
+    }
+
+    #[test]
+    fn missing_histogram_reports_zero_percentiles() {
+        assert_eq!(clamped_step_quantiles(None, 1.0), (0.0, 0.0));
     }
 }

@@ -27,6 +27,7 @@ pub fn default_passes() -> Vec<Box<dyn LintPass>> {
         Box::new(passes::protection::ProtectionPass),
         Box::new(passes::orphan::OrphanPass),
         Box::new(passes::scenario::ScenarioPass),
+        Box::new(passes::adversary::AdversaryPass),
         Box::new(passes::st_logic::StLogicPass),
         Box::new(passes::st_logic::ScadaBindingPass),
     ]

@@ -9,8 +9,10 @@
 //! | [`orphan`] | `SG05xx` | does every file contribute to the bundle? |
 //! | [`scenario`] | `SG5xxx` | do exercise scenarios fit the bundle? |
 //! | [`st_logic`] | `SG6xxx` | is the PLC control logic semantically sound? |
+//! | [`adversary`] | `SG7xxx` | can every `<Adversary>` goal actually be planned? |
 
 pub mod addr;
+pub mod adversary;
 pub mod orphan;
 pub mod protection;
 pub mod scenario;

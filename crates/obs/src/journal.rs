@@ -127,6 +127,26 @@ pub enum Event {
         /// Whether the objective passed.
         passed: bool,
     },
+    /// The adversary planner produced a campaign for a declared goal.
+    AdversaryPlanned {
+        /// The declared goal (`breakerOpen:EPIC/CB_GEN`).
+        goal: String,
+        /// The planner seed.
+        seed: u64,
+        /// Number of campaign stages planned.
+        stages: u64,
+    },
+    /// A planner-emitted campaign stage began executing.
+    AdversaryActionStarted {
+        /// Planned stage id (`adv-scan`, `adv-mitm`, `adv-strike`).
+        stage: String,
+    },
+    /// The adversary's goal objective passed — the campaign reached its
+    /// declared goal.
+    AdversaryGoalReached {
+        /// The goal objective's id.
+        objective: String,
+    },
     /// A fault was injected (or cleared) on a range element.
     FaultInjected {
         /// The link, host, or IED the fault applies to.
@@ -221,6 +241,9 @@ impl Event {
             Event::StageStarted { .. } => "StageStarted",
             Event::StageEnded { .. } => "StageEnded",
             Event::ObjectiveResolved { .. } => "ObjectiveResolved",
+            Event::AdversaryPlanned { .. } => "AdversaryPlanned",
+            Event::AdversaryActionStarted { .. } => "AdversaryActionStarted",
+            Event::AdversaryGoalReached { .. } => "AdversaryGoalReached",
             Event::FaultInjected { .. } => "FaultInjected",
             Event::DeviceCrashed { .. } => "DeviceCrashed",
             Event::DeviceRestarted { .. } => "DeviceRestarted",
@@ -329,6 +352,19 @@ impl EventRecord {
                     ",\"objective\":{},\"passed\":{passed}",
                     json_str(objective)
                 );
+            }
+            Event::AdversaryPlanned { goal, seed, stages } => {
+                let _ = write!(
+                    out,
+                    ",\"goal\":{},\"seed\":{seed},\"stages\":{stages}",
+                    json_str(goal)
+                );
+            }
+            Event::AdversaryActionStarted { stage } => {
+                let _ = write!(out, ",\"stage\":{}", json_str(stage));
+            }
+            Event::AdversaryGoalReached { objective } => {
+                let _ = write!(out, ",\"objective\":{}", json_str(objective));
             }
             Event::FaultInjected { target, detail } => {
                 let _ = write!(

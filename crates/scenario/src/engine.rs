@@ -16,7 +16,13 @@
 //! after-action report is byte-identical run after run.
 
 use crate::report::{ExerciseReport, ObjectiveOutcome, StageOutcome};
-use crate::spec::{Check, LinkEffect, Scenario, StageAction, StageStart, TransformSpec};
+use crate::spec::{
+    Adversary, AttackerHost, Check, LinkEffect, Objective, Scenario, Stage, StageAction,
+    StageStart, TransformSpec,
+};
+use sgcr_adversary::{
+    AttackGraph, CampaignPlan, Goal, PlanRequest, PlannedAction, PlannedStart, PlannedTransform,
+};
 use sgcr_attack::{
     FciAttackApp, FciHandle, FciPlan, MitmApp, MitmHandle, MitmPlan, ScanHandle, ScanPlan,
     ScannerApp, Transform,
@@ -96,6 +102,9 @@ struct Engine {
     base_ms: u64,
     stages: Vec<StageRt>,
     objectives: Vec<ObjectiveRt>,
+    /// Ids of planner-emitted campaign stages, when an `<Adversary>` was
+    /// declared — they journal as adversary actions, not scenario stages.
+    adversary_stages: BTreeSet<String>,
 }
 
 /// Runs a parsed scenario against a running range and returns the scored
@@ -120,6 +129,19 @@ pub fn run_exercise(
     range: &mut CyberRange,
     scenario: &Scenario,
 ) -> Result<ExerciseReport, ExerciseError> {
+    // An <Adversary> declaration expands into ordinary hosts, stages, and a
+    // goal objective before validation, so everything downstream — scoring,
+    // journal, report — treats the campaign like a hand-written scenario.
+    let mut adversary_stages = BTreeSet::new();
+    let expanded: Option<Scenario> = match &scenario.adversary {
+        Some(adv) => {
+            let plan = plan_adversary(range, scenario, adv)?;
+            adversary_stages = plan.steps.iter().map(|s| s.id.clone()).collect();
+            Some(expand_adversary(scenario, &plan))
+        }
+        None => None,
+    };
+    let scenario: &Scenario = expanded.as_ref().unwrap_or(scenario);
     validate(range, scenario)?;
 
     if let Some(seed) = scenario.fault_seed {
@@ -164,6 +186,7 @@ pub fn run_exercise(
                 },
             })
             .collect(),
+        adversary_stages,
     };
 
     loop {
@@ -177,6 +200,148 @@ pub fn run_exercise(
     let end_rel = range.now().as_millis().saturating_sub(base_ms);
     engine.poll(range, scenario, end_rel, true);
     Ok(engine.into_report(range, scenario, end_rel))
+}
+
+/// Derives the attack graph and runs the seeded planner for an
+/// `<Adversary>` declaration, under an `adversary.plan` span.
+fn plan_adversary(
+    range: &CyberRange,
+    scenario: &Scenario,
+    adv: &Adversary,
+) -> Result<CampaignPlan, ExerciseError> {
+    let now = range.now();
+    let mut span = range
+        .telemetry()
+        .tracer()
+        .open("adversary.plan", Plane::Range, None, now);
+    if span.is_recording() {
+        span.attr("goal", adv.goal.clone());
+        span.attr("seed", adv.seed.to_string());
+        span.attr("budget", adv.budget.to_string());
+    }
+
+    let graph = AttackGraph::derive(range.model());
+    let reserved_names: Vec<String> = scenario.hosts.iter().map(|h| h.name.clone()).collect();
+    let reserved_ips: Vec<Ipv4Addr> = scenario
+        .hosts
+        .iter()
+        .filter_map(|h| h.ip.parse().ok())
+        .collect();
+    let result = sgcr_adversary::plan(
+        &graph,
+        &PlanRequest {
+            goal: &adv.goal,
+            budget: adv.budget,
+            seed: adv.seed,
+            reserved_names: &reserved_names,
+            reserved_ips: &reserved_ips,
+        },
+    );
+    span.end(range.now());
+    let plan = result.map_err(|e| err(format!("adversary: {e}")))?;
+    range.telemetry().record(now, || Event::AdversaryPlanned {
+        goal: adv.goal.clone(),
+        seed: adv.seed,
+        stages: plan.steps.len() as u64,
+    });
+    Ok(plan)
+}
+
+/// Rewrites the scenario with the campaign's hosts, stages, and goal
+/// objective appended, so the ordinary engine machinery runs it.
+fn expand_adversary(scenario: &Scenario, plan: &CampaignPlan) -> Scenario {
+    let mut expanded = scenario.clone();
+    let pos = scenario
+        .adversary
+        .as_ref()
+        .map(|a| a.pos)
+        .unwrap_or_default();
+    for host in &plan.hosts {
+        expanded.hosts.push(AttackerHost {
+            name: host.name.clone(),
+            ip: host.ip.to_string(),
+            switch: host.switch.clone(),
+            pos,
+        });
+    }
+    for step in &plan.steps {
+        let start = match &step.start {
+            PlannedStart::At(t) => StageStart::At(*t),
+            PlannedStart::After { step, delay_ms } => StageStart::After {
+                stage: step.clone(),
+                delay_ms: *delay_ms,
+            },
+        };
+        let action = match &step.action {
+            PlannedAction::Scan {
+                host,
+                first,
+                last,
+                ports,
+            } => StageAction::Scan {
+                host: host.clone(),
+                first: first.to_string(),
+                last: last.to_string(),
+                ports: ports.clone(),
+            },
+            PlannedAction::Mitm {
+                host,
+                victim_a,
+                victim_b,
+                duration_ms,
+                transform,
+            } => StageAction::Mitm {
+                host: host.clone(),
+                victim_a: victim_a.clone(),
+                victim_b: victim_b.clone(),
+                duration_ms: *duration_ms,
+                transform: match transform {
+                    PlannedTransform::PassThrough => TransformSpec::PassThrough,
+                    PlannedTransform::ScaleModbusRegisters(f) => {
+                        TransformSpec::ScaleModbusRegisters(*f)
+                    }
+                    PlannedTransform::ScaleMmsFloats(f) => TransformSpec::ScaleMmsFloats(*f),
+                },
+            },
+            PlannedAction::Fci {
+                host,
+                victim,
+                item,
+                value,
+            } => StageAction::Fci {
+                host: host.clone(),
+                victim: victim.clone(),
+                item: item.clone(),
+                value: *value,
+                interrogate: true,
+            },
+        };
+        expanded.stages.push(Stage {
+            id: step.id.clone(),
+            start,
+            action,
+            pos,
+        });
+    }
+    expanded.objectives.push(Objective {
+        id: CampaignPlan::OBJECTIVE_ID.to_string(),
+        points: 1,
+        after: Some(plan.objective_after.clone()),
+        within_ms: i64::try_from(plan.objective_within_ms).unwrap_or(i64::MAX),
+        check: match &plan.goal {
+            Goal::BreakerOpen { switch } => Check::BreakerOpen {
+                switch: switch.clone(),
+            },
+            Goal::BreakerClosed { switch } => Check::BreakerClosed {
+                switch: switch.clone(),
+            },
+            Goal::ScadaAlarm { point } => Check::ScadaAlarm {
+                point: point.clone(),
+            },
+        },
+        pos,
+    });
+    expanded
 }
 
 /// Rejects scenarios that do not fit the range before anything mutates.
@@ -684,13 +849,28 @@ impl Engine {
         };
 
         let now = range.now();
-        range.telemetry().record(now, || Event::StageStarted {
-            stage: stage.id.clone(),
-        });
-        let mut span = range
-            .telemetry()
-            .tracer()
-            .open("scenario.stage", Plane::Range, None, now);
+        let is_adversary = self.adversary_stages.contains(&stage.id);
+        if is_adversary {
+            range
+                .telemetry()
+                .record(now, || Event::AdversaryActionStarted {
+                    stage: stage.id.clone(),
+                });
+        } else {
+            range.telemetry().record(now, || Event::StageStarted {
+                stage: stage.id.clone(),
+            });
+        }
+        let mut span = range.telemetry().tracer().open(
+            if is_adversary {
+                "adversary.action"
+            } else {
+                "scenario.stage"
+            },
+            Plane::Range,
+            None,
+            now,
+        );
         if span.is_recording() {
             span.attr("stage", stage.id.clone());
             span.attr("kind", stage.action.kind());
@@ -954,6 +1134,15 @@ impl Engine {
             span.attr("outcome", if passed { "pass" } else { "fail" });
         }
         span.end(now);
+        // The campaign's goal objective passing IS the adversary reaching
+        // its declared goal.
+        if passed && !self.adversary_stages.is_empty() && id == CampaignPlan::OBJECTIVE_ID {
+            range
+                .telemetry()
+                .record(now, || Event::AdversaryGoalReached {
+                    objective: id.clone(),
+                });
+        }
         self.objectives[i].resolution = Resolution::Done {
             passed,
             at_ms,

@@ -49,6 +49,6 @@ pub use engine::{run_exercise, ExerciseError};
 pub use report::{ExerciseReport, ObjectiveOutcome, Score, StageOutcome};
 pub use sgcr_powerflow::ScenarioAction;
 pub use spec::{
-    AttackerHost, Check, LinkEffect, Objective, Pos, Scenario, ScenarioError, Stage, StageAction,
-    StageStart, TransformSpec,
+    Adversary, AttackerHost, Check, LinkEffect, Objective, Pos, Scenario, ScenarioError, Stage,
+    StageAction, StageStart, TransformSpec,
 };

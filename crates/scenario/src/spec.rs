@@ -81,10 +81,31 @@ pub struct Scenario {
     pub stale_ms: Option<u64>,
     /// Attacker hosts to add to the range before the exercise starts.
     pub hosts: Vec<AttackerHost>,
+    /// Autonomous adversary declaration, when present: the engine derives
+    /// an attack graph and plans a campaign instead of (or alongside)
+    /// hand-written cyber stages.
+    pub adversary: Option<Adversary>,
     /// Stages in declaration order.
     pub stages: Vec<Stage>,
     /// Objectives in declaration order.
     pub objectives: Vec<Objective>,
+}
+
+/// An `<Adversary goal="…" budget="…" seed="…"/>` declaration: a
+/// goal-driven red agent whose campaign is planned from the derived
+/// attack graph rather than hand-scripted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Adversary {
+    /// The declared goal, `<kind>:<target>` (e.g. `breakerOpen:EPIC/CB_GEN`,
+    /// `scadaAlarm:MicroVolt_pu`).
+    pub goal: String,
+    /// Maximum number of campaign actions the planner may spend.
+    pub budget: u32,
+    /// Planner seed — the same seed replays the same campaign
+    /// byte-identically.
+    pub seed: u64,
+    /// Source position in the scenario file.
+    pub pos: Pos,
 }
 
 /// An attacker host placed on a named switch, like
@@ -413,6 +434,7 @@ impl Scenario {
             fault_seed: root.attr_parse("faultSeed"),
             stale_ms: root.attr_parse("staleMs"),
             hosts: Vec::new(),
+            adversary: None,
             stages: Vec::new(),
             objectives: Vec::new(),
         };
@@ -422,6 +444,17 @@ impl Scenario {
                 ip: attr_req(&host_el, "Host", "ip")?,
                 switch: attr_req(&host_el, "Host", "switch")?,
                 pos: Pos::of(&host_el),
+            });
+        }
+        for adv_el in root.children_named("Adversary") {
+            if scenario.adversary.is_some() {
+                return Err(err("at most one <Adversary> is allowed"));
+            }
+            scenario.adversary = Some(Adversary {
+                goal: attr_req(&adv_el, "Adversary", "goal")?,
+                budget: adv_el.attr_parse("budget").unwrap_or(4),
+                seed: adv_el.attr_parse("seed").unwrap_or(0),
+                pos: Pos::of(&adv_el),
             });
         }
         for stage_el in root.children_named("Stage") {
@@ -453,6 +486,12 @@ impl Scenario {
             doc.set_attr(e, "name", &host.name);
             doc.set_attr(e, "ip", &host.ip);
             doc.set_attr(e, "switch", &host.switch);
+        }
+        if let Some(adv) = &self.adversary {
+            let e = doc.add_element(root, "Adversary");
+            doc.set_attr(e, "goal", &adv.goal);
+            doc.set_attr(e, "budget", &adv.budget.to_string());
+            doc.set_attr(e, "seed", &adv.seed.to_string());
         }
         for stage in &self.stages {
             write_stage(&mut doc, root, stage);
@@ -900,6 +939,7 @@ mod tests {
 
     const SAMPLE: &str = r#"<Scenario name="demo" description="two-plane demo" durationMs="8000" faultSeed="42" staleMs="1500">
   <Host name="malware-host" ip="10.0.1.66" switch="GenBus"/>
+  <Adversary goal="breakerOpen:EPIC/CB_GEN" budget="4" seed="7"/>
   <Stage id="recon" t="500" kind="scan" host="malware-host" first="10.0.1.11" last="10.0.1.14" ports="102,502"/>
   <Stage id="strike" after="recon" delayMs="500" kind="fci" host="malware-host" victim="GIED1" item="GIED1LD0/CSWI1$CO$Pos$Oper$ctlVal" value="false" interrogate="true"/>
   <Stage id="shed" t="3000" kind="power" action="setLoad" target="EPIC/MicroLoad" value="0.2"/>
@@ -922,6 +962,16 @@ mod tests {
         assert_eq!(s.fault_seed, Some(42));
         assert_eq!(s.stale_ms, Some(1500));
         assert_eq!(s.hosts.len(), 1);
+        assert_eq!(
+            s.adversary,
+            Some(Adversary {
+                goal: "breakerOpen:EPIC/CB_GEN".into(),
+                budget: 4,
+                seed: 7,
+                pos: s.adversary.as_ref().map(|a| a.pos).unwrap_or_default(),
+            })
+        );
+        assert!(s.adversary.as_ref().is_some_and(|a| a.pos.line > 0));
         assert_eq!(s.stages.len(), 8);
         assert_eq!(s.objectives.len(), 4);
         assert_eq!(
@@ -982,6 +1032,9 @@ mod tests {
             for h in &mut s.hosts {
                 h.pos = Pos::default();
             }
+            if let Some(a) = &mut s.adversary {
+                a.pos = Pos::default();
+            }
             for st in &mut s.stages {
                 st.pos = Pos::default();
             }
@@ -1012,6 +1065,15 @@ mod tests {
         .is_err());
         assert!(Scenario::parse(
             r#"<Scenario><Stage id="x" kind="power" action="openSwitch" target="S/CB"/></Scenario>"#
+        )
+        .is_err());
+        // <Adversary> needs a goal, and only one declaration is allowed.
+        assert!(
+            Scenario::parse(r#"<Scenario durationMs="1"><Adversary budget="4"/></Scenario>"#)
+                .is_err()
+        );
+        assert!(Scenario::parse(
+            r#"<Scenario durationMs="1"><Adversary goal="a:b"/><Adversary goal="c:d"/></Scenario>"#
         )
         .is_err());
     }

@@ -184,6 +184,27 @@ codes! {
     /// A SCADA tag polls a PLC output register/coil that no located
     /// variable drives.
     SCADA_TAG_UNDRIVEN = ("SG6021", "SCADA tag is bound to a PLC output nothing drives");
+
+    // --- SG7xxx: autonomous adversary plane --------------------------------
+    /// An `<Adversary goal=…>` attribute does not follow the
+    /// `kind:target` grammar (`breakerOpen:`, `breakerClosed:`,
+    /// `scadaAlarm:`).
+    ADVERSARY_BAD_GOAL = ("SG7001", "adversary goal does not parse");
+    /// The goal names a breaker or SCADA point absent from the derived
+    /// attack graph.
+    ADVERSARY_UNKNOWN_TARGET =
+        ("SG7002", "adversary goal names a target the attack graph does not contain");
+    /// The target exists but no attack-primitive path in the derived
+    /// graph reaches it.
+    ADVERSARY_UNREACHABLE_GOAL =
+        ("SG7003", "adversary goal is unreachable with the available attack primitives");
+    /// Every path to the goal needs more actions than `budget=` allows.
+    ADVERSARY_BUDGET_TOO_SMALL =
+        ("SG7004", "adversary budget is too small for any path to the goal");
+    /// The scenario mixes `<Adversary>` with a manual cyber stage against
+    /// the same victim the planned campaign attacks — the two will race.
+    ADVERSARY_CONFLICTING_STAGE =
+        ("SG7005", "manual cyber stage targets the same victim as the planned adversary campaign");
 }
 
 /// Looks a code up in the registry.

@@ -1,0 +1,71 @@
+//! Autonomous adversary campaign on the EPIC range: instead of hand-writing
+//! attack stages, the scenario declares only a *goal* — the seeded planner
+//! derives the attack graph from the compiled model, picks a path, and
+//! expands it into a scored multi-stage campaign
+//! (`examples/scenarios/epic_adversary.scenario.xml` carries nothing but an
+//! `<Adversary>` element and one baseline objective).
+//!
+//! ```text
+//! cargo run --example adversary_campaign
+//! ```
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/example code may panic
+
+use sg_cyber_range::adversary::{plan, AttackGraph, PlanRequest};
+use sg_cyber_range::core::{CompiledModel, CyberRange};
+use sg_cyber_range::models::epic_bundle;
+use sg_cyber_range::scenario::{run_exercise, Scenario};
+
+const SCENARIO_XML: &str = include_str!("scenarios/epic_adversary.scenario.xml");
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bundle = epic_bundle();
+    let model = CompiledModel::shared(&bundle)?;
+    let scenario = Scenario::parse(SCENARIO_XML)?;
+    let adv = scenario
+        .adversary
+        .as_ref()
+        .expect("scenario declares an adversary");
+
+    println!("== Autonomous adversary on the EPIC range ==");
+    println!(
+        "goal {:?}, budget {} actions, seed {}\n",
+        adv.goal, adv.budget, adv.seed
+    );
+
+    // What the planner sees: the attack graph derived from the same
+    // compiled model the range instantiates from.
+    let graph = AttackGraph::derive(&model);
+    println!(
+        "attack graph: {} nodes, {} edges (try `sgml_processor attack-graph <bundle> --format dot`)",
+        graph.nodes.len(),
+        graph.edges.len()
+    );
+
+    // The campaign the seeded planner commits to — the exercise engine
+    // replans this identically from the <Adversary> element below.
+    let campaign = plan(
+        &graph,
+        &PlanRequest {
+            goal: &adv.goal,
+            budget: adv.budget,
+            seed: adv.seed,
+            ..PlanRequest::default()
+        },
+    )?;
+    println!("\nplanned campaign ({} stages):", campaign.steps.len());
+    for step in &campaign.steps {
+        println!("  {:<12} {:?}", step.id, step.action.kind());
+    }
+
+    let mut range = CyberRange::instantiate(model)?;
+    let report = run_exercise(&mut range, &scenario)?;
+    println!();
+    print!("{}", report.to_text());
+
+    // The goal objective is scored like any hand-written one.
+    println!("\nphysical impact:");
+    let cb = range.power.switch_by_name("EPIC/CB_GEN").unwrap();
+    println!("  CB_GEN closed: {}", range.power.switch[cb.index()].closed);
+    Ok(())
+}

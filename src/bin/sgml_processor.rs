@@ -82,6 +82,7 @@
 //! [--run <seconds>] [--validate-only] …`) keep working as deprecated
 //! aliases and print a one-line migration hint on stderr.
 
+use sgcr_adversary::AttackGraph;
 use sgcr_core::{CompiledModel, RangeBuilder, SgmlBundle};
 use sgcr_farm::{run_farm, FarmConfig};
 use sgcr_lint::source::LoadedBundle;
@@ -100,6 +101,8 @@ const USAGE: &str = "usage: sgml_processor build <bundle-dir> [--dot]\n       \
                      sgml_processor exercise <bundle-dir> [--scenario <file>] \
                      [--report <file>] [--journal <file>] [--trace <file>] \
                      [--fault-seed <n>] [--no-check]\n       \
+                     sgml_processor attack-graph <bundle-dir> \
+                     [--format json|dot]\n       \
                      sgml_processor serve <bundle-dir> [--tenants <n>] \
                      [--threads <n>] [--seconds <n>] [--scenario <file>] \
                      [--out <dir>] [--report <file>] [--step-budget-ms <n>] \
@@ -122,6 +125,14 @@ enum Format {
     Text,
     Json,
     Sarif,
+}
+
+/// Output format for `attack-graph` (no SARIF — it is a graph, not a
+/// diagnostic list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GraphFormat {
+    Json,
+    Dot,
 }
 
 /// A fully parsed invocation.
@@ -176,6 +187,10 @@ enum Cmd {
         interval_ms: u64,
         iterations: Option<u64>,
     },
+    AttackGraph {
+        dir: String,
+        format: GraphFormat,
+    },
 }
 
 /// Parse result: the command plus an optional deprecation notice to print
@@ -199,6 +214,7 @@ fn parse_args(args: &[String]) -> Result<Parsed, String> {
         "exercise" => parse_exercise(&args[1..]),
         "serve" => parse_serve(&args[1..]),
         "watch" => parse_watch(&args[1..]),
+        "attack-graph" => parse_attack_graph(&args[1..]),
         "-h" | "--help" | "help" => Err(String::new()),
         _ => parse_legacy(args),
     }
@@ -475,6 +491,31 @@ fn parse_watch(args: &[String]) -> Result<Parsed, String> {
     })
 }
 
+fn parse_attack_graph(args: &[String]) -> Result<Parsed, String> {
+    let (dir, rest) = take_dir(args)?;
+    let mut format = GraphFormat::Json;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--format" => {
+                format = match flag_value(rest, &mut i, "--format")? {
+                    "json" => GraphFormat::Json,
+                    "dot" => GraphFormat::Dot,
+                    other => {
+                        return Err(format!("`--format` expects json|dot, found `{other}`"));
+                    }
+                };
+            }
+            other => return Err(format!("unknown argument `{other}` for `attack-graph`")),
+        }
+        i += 1;
+    }
+    Ok(Parsed {
+        cmd: Cmd::AttackGraph { dir, format },
+        deprecation: None,
+    })
+}
+
 /// The pre-subcommand form: `<bundle-dir> [--run <seconds>] [--dot]
 /// [--validate-only] [--format text|json]`. Mapped onto the subcommands
 /// with a one-line deprecation notice.
@@ -655,6 +696,7 @@ fn main() -> ExitCode {
             interval_ms,
             iterations,
         } => watch(&addr, interval_ms, iterations),
+        Cmd::AttackGraph { dir, format } => attack_graph(&dir, format),
     }
 }
 
@@ -859,6 +901,31 @@ fn exercise(
         return ExitCode::FAILURE;
     }
     // Failed objectives are scored results, not tool failures.
+    ExitCode::SUCCESS
+}
+
+/// Derives the attack graph from the compiled model and prints it — the
+/// adversary plane's view of the bundle, for inspection and tooling.
+fn attack_graph(dir: &str, format: GraphFormat) -> ExitCode {
+    let bundle = match SgmlBundle::from_dir(dir) {
+        Ok(bundle) => bundle,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let model = match CompiledModel::compile(&bundle) {
+        Ok(model) => model,
+        Err(e) => {
+            eprintln!("error: model set does not compile:\n{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let graph = AttackGraph::derive(&model);
+    match format {
+        GraphFormat::Json => println!("{}", graph.to_json()),
+        GraphFormat::Dot => print!("{}", graph.to_dot()),
+    }
     ExitCode::SUCCESS
 }
 
@@ -1420,6 +1487,33 @@ mod tests {
                 no_check: false,
             }
         );
+    }
+
+    #[test]
+    fn attack_graph_subcommand_parses() {
+        let parsed = parse_args(&argv("attack-graph bundles/epic")).unwrap();
+        assert_eq!(
+            parsed.cmd,
+            Cmd::AttackGraph {
+                dir: "bundles/epic".into(),
+                format: GraphFormat::Json,
+            }
+        );
+        let parsed = parse_args(&argv("attack-graph bundles/epic --format dot")).unwrap();
+        assert_eq!(
+            parsed.cmd,
+            Cmd::AttackGraph {
+                dir: "bundles/epic".into(),
+                format: GraphFormat::Dot,
+            }
+        );
+    }
+
+    #[test]
+    fn attack_graph_rejects_bad_format() {
+        assert!(parse_args(&argv("attack-graph bundles/epic --format sarif")).is_err());
+        assert!(parse_args(&argv("attack-graph bundles/epic --dot")).is_err());
+        assert!(parse_args(&argv("attack-graph")).is_err());
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! | [`kvstore`] | `sgcr-kvstore` | cyber↔physical process cache (MySQL substitute) |
 //! | [`attack`] | `sgcr-attack` | FCI, ARP-spoof MITM, scanning, capture analysis |
 //! | [`scenario`] | `sgcr-scenario` | declarative exercises: scenario XML → staged attacks → scored reports |
+//! | [`adversary`] | `sgcr-adversary` | attack-graph derivation + seeded goal-driven campaign planning |
 //! | [`models`] | `sgcr-models` | EPIC testbed + synthetic multi-substation model generators |
 //! | [`xml`] | `sgcr-xml` | self-contained XML parser/writer |
 //!
@@ -45,6 +46,7 @@
 //! # Ok::<(), sg_cyber_range::core::RangeError>(())
 //! ```
 
+pub use sgcr_adversary as adversary;
 pub use sgcr_attack as attack;
 pub use sgcr_core as core;
 pub use sgcr_farm as farm;
