@@ -48,6 +48,7 @@
 //! # Ok::<(), sgcr_core::RangeError>(())
 //! ```
 
+mod checkpoint;
 mod files;
 mod fingerprint;
 mod keymap;
@@ -58,6 +59,7 @@ mod state;
 pub mod compile;
 pub mod sgml;
 
+pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_VERSION};
 pub use files::BundleIoError;
 pub use fingerprint::{fnv1a_64, Fingerprint};
 pub use keymap::{

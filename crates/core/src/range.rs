@@ -386,6 +386,15 @@ impl CyberRange {
         }
     }
 
+    /// Captures a deterministic *mid-run* checkpoint: the replay position of
+    /// this tenant — step count, simulation clock, fault-RNG stream state,
+    /// full process store with write versions, and a bit-exact digest of the
+    /// power solution. Cheap and read-only; call it between steps. See
+    /// [`Checkpoint`](crate::Checkpoint) for the resume contract.
+    pub fn checkpoint(&self) -> crate::Checkpoint {
+        crate::Checkpoint::capture(&self.model, &self.settings, &self.state)
+    }
+
     /// Rewinds this range to generation zero in place: fresh network, fresh
     /// devices, fresh power state, simulation clock back at 0 — an instant
     /// exercise restart. The existing telemetry handle is kept, so restart

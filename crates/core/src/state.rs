@@ -700,6 +700,12 @@ impl RangeState {
         &self.telemetry
     }
 
+    /// The store version up to which cyber-side commands have been consumed
+    /// — part of the deterministic replay position a checkpoint verifies.
+    pub(crate) fn cmd_cursor(&self) -> u64 {
+        self.cmd_cursor
+    }
+
     // --- State probes for exercise evaluation -----------------------------
     //
     // The scenario objective evaluator polls these between steps; they read

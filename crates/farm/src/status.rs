@@ -1,15 +1,20 @@
-//! The farm's live observability endpoint: a zero-dependency HTTP server
-//! exposing `/metrics` (Prometheus text exposition), `/status`
+//! The farm's live observability and lifecycle endpoint: a zero-dependency
+//! HTTP server exposing `/metrics` (Prometheus text exposition), `/status`
 //! (deterministic JSON of per-tenant state), and `/healthz` over a plain
-//! `std::net::TcpListener`.
+//! `std::net::TcpListener`, plus the dynamic tenant lifecycle API —
+//! `POST /tenants` (admit a tenant mid-run; 429 over capacity) and
+//! `DELETE /tenants/<id>` (graceful drain).
 //!
 //! The server is deliberately tiny: one thread, blocking per-request I/O
 //! with short timeouts, `Connection: close` semantics. It exists so a
 //! running `sgml_processor serve --status-addr …` can be scraped by
-//! Prometheus and watched by `sgml_processor watch` while thousands of
-//! tenants soak — not to be a general web server.
+//! Prometheus, watched by `sgml_processor watch`, and administered while
+//! thousands of tenants soak — not to be a general web server. Hostile or
+//! malformed input (oversized request heads, truncated headers, unknown
+//! methods) is answered with a best-effort 4xx and the connection closed;
+//! the accept loop itself never panics or wedges on a bad client.
 
-use crate::FarmShared;
+use crate::{AdmitRejected, FarmShared};
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::time::Duration;
@@ -20,6 +25,13 @@ const IO_TIMEOUT: Duration = Duration::from_millis(500);
 
 /// How often the accept loop re-checks the farm's shutdown flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Largest request head (request line + headers) accepted before the
+/// request is rejected as oversized.
+const MAX_REQUEST_HEAD: usize = 8192;
+
+const TEXT_PLAIN: &str = "text/plain; charset=utf-8";
+const APP_JSON: &str = "application/json";
 
 /// A bound (but not yet serving) status endpoint.
 ///
@@ -69,40 +81,125 @@ pub(crate) fn serve(server: StatusServer, shared: &FarmShared) {
     }
 }
 
+/// The outcome of reading one request head off a connection.
+enum RequestHead {
+    /// A complete head (terminated by a blank line) arrived.
+    Complete(String),
+    /// The head exceeded [`MAX_REQUEST_HEAD`] without terminating.
+    Oversized,
+    /// The client sent something but hung up (or timed out) mid-head.
+    Truncated,
+    /// The client connected and went away without sending a byte.
+    Empty,
+}
+
 fn handle(mut stream: TcpStream, shared: &FarmShared) {
     if stream.set_nonblocking(false).is_err() {
         return;
     }
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let Some(request_line) = read_request_line(&mut stream) else {
-        return;
+    let head = match read_request_head(&mut stream) {
+        RequestHead::Complete(head) => head,
+        RequestHead::Oversized => {
+            respond(
+                &mut stream,
+                "431 Request Header Fields Too Large",
+                TEXT_PLAIN,
+                "request head too large\n",
+            );
+            return;
+        }
+        RequestHead::Truncated => {
+            respond(
+                &mut stream,
+                "400 Bad Request",
+                TEXT_PLAIN,
+                "truncated request\n",
+            );
+            return;
+        }
+        RequestHead::Empty => return,
     };
+    let request_line = head.lines().next().unwrap_or("").trim();
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let (status, content_type, body) = if method != "GET" {
-        (
-            "405 Method Not Allowed",
-            "text/plain; charset=utf-8",
-            "method not allowed\n".to_string(),
-        )
-    } else {
-        match path {
+    let Some(path) = parts.next() else {
+        respond(
+            &mut stream,
+            "400 Bad Request",
+            TEXT_PLAIN,
+            "malformed request line\n",
+        );
+        return;
+    };
+    let (status, content_type, body) = route(method, path, shared);
+    respond(&mut stream, status, content_type, &body);
+}
+
+/// Maps one parsed request onto a response triple.
+fn route(method: &str, path: &str, shared: &FarmShared) -> (&'static str, &'static str, String) {
+    let not_found = || ("404 Not Found", TEXT_PLAIN, "not found\n".to_string());
+    match method {
+        "GET" => match path {
             "/metrics" => (
                 "200 OK",
                 "text/plain; version=0.0.4; charset=utf-8",
                 shared.metrics_text(),
             ),
-            "/status" => ("200 OK", "application/json", shared.status_json()),
-            "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
-            _ => (
-                "404 Not Found",
-                "text/plain; charset=utf-8",
-                "not found\n".to_string(),
-            ),
-        }
-    };
+            "/status" => ("200 OK", APP_JSON, shared.status_json()),
+            "/healthz" => ("200 OK", TEXT_PLAIN, "ok\n".to_string()),
+            _ => not_found(),
+        },
+        "POST" => match path {
+            "/tenants" => match shared.admit() {
+                Ok(tenant) => (
+                    "201 Created",
+                    APP_JSON,
+                    format!("{{\"tenant\":{tenant}}}\n"),
+                ),
+                Err(AdmitRejected::AtCapacity) => (
+                    "429 Too Many Requests",
+                    TEXT_PLAIN,
+                    "farm at tenant capacity\n".to_string(),
+                ),
+                Err(AdmitRejected::Closed) => (
+                    "503 Service Unavailable",
+                    TEXT_PLAIN,
+                    "farm is finishing; admissions closed\n".to_string(),
+                ),
+            },
+            _ => not_found(),
+        },
+        "DELETE" => match path.strip_prefix("/tenants/") {
+            Some(id) => match id.parse::<usize>() {
+                Ok(tenant) if shared.drain(tenant) => (
+                    "202 Accepted",
+                    APP_JSON,
+                    format!("{{\"tenant\":{tenant},\"draining\":true}}\n"),
+                ),
+                Ok(_) => (
+                    "404 Not Found",
+                    TEXT_PLAIN,
+                    "unknown or already-terminal tenant\n".to_string(),
+                ),
+                Err(_) => (
+                    "400 Bad Request",
+                    TEXT_PLAIN,
+                    "tenant id must be a non-negative integer\n".to_string(),
+                ),
+            },
+            None => not_found(),
+        },
+        _ => (
+            "405 Method Not Allowed",
+            TEXT_PLAIN,
+            "method not allowed\n".to_string(),
+        ),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
     let _ = write!(
         stream,
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
@@ -111,8 +208,9 @@ fn handle(mut stream: TcpStream, shared: &FarmShared) {
     let _ = stream.flush();
 }
 
-/// Reads up to the end of the request headers and returns the request line.
-fn read_request_line(stream: &mut TcpStream) -> Option<String> {
+/// Reads one request head off the connection, classifying malformed input
+/// instead of guessing at it.
+fn read_request_head(stream: &mut TcpStream) -> RequestHead {
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
     loop {
@@ -120,20 +218,54 @@ fn read_request_line(stream: &mut TcpStream) -> Option<String> {
             Ok(0) => break,
             Ok(n) => {
                 buf.extend_from_slice(&chunk[..n]);
-                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
-                    break;
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+                    return RequestHead::Complete(String::from_utf8_lossy(&buf).into_owned());
+                }
+                if buf.len() > MAX_REQUEST_HEAD {
+                    return RequestHead::Oversized;
                 }
             }
             Err(_) => break,
         }
     }
-    let text = String::from_utf8_lossy(&buf);
-    let line = text.lines().next()?.trim().to_string();
-    if line.is_empty() {
-        None
+    if buf.is_empty() {
+        RequestHead::Empty
     } else {
-        Some(line)
+        RequestHead::Truncated
     }
+}
+
+/// Sends one bodyless HTTP/1.1 request to a status endpoint and returns the
+/// numeric status code plus the response body. The building block for the
+/// lifecycle API clients (`POST /tenants`, `DELETE /tenants/<id>`) and for
+/// the hostile-input tests.
+///
+/// # Errors
+///
+/// I/O errors propagate; a response without a valid status line or header
+/// terminator maps to [`std::io::ErrorKind::InvalidData`].
+pub fn http_request(addr: &str, method: &str, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let bad = |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| bad("response without header terminator"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let code = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse::<u16>().ok())
+        .ok_or_else(|| bad(&format!("malformed status line: {status_line}")))?;
+    Ok((code, body.to_string()))
 }
 
 /// Fetches `path` from a status endpoint with a minimal HTTP/1.1 GET and
@@ -144,23 +276,12 @@ fn read_request_line(stream: &mut TcpStream) -> Option<String> {
 /// I/O errors propagate; a non-200 status or a malformed response maps to
 /// [`std::io::ErrorKind::InvalidData`].
 pub fn http_get(addr: &str, path: &str) -> std::io::Result<String> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
-    write!(
-        stream,
-        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
-    )?;
-    stream.flush()?;
-    let mut response = String::new();
-    stream.read_to_string(&mut response)?;
-    let bad = |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
-    let (head, body) = response
-        .split_once("\r\n\r\n")
-        .ok_or_else(|| bad("response without header terminator"))?;
-    let status_line = head.lines().next().unwrap_or("");
-    if !status_line.contains(" 200 ") {
-        return Err(bad(&format!("unexpected status: {status_line}")));
+    let (code, body) = http_request(addr, "GET", path)?;
+    if code != 200 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("unexpected status: {code}"),
+        ));
     }
-    Ok(body.to_string())
+    Ok(body)
 }

@@ -48,6 +48,14 @@ impl FaultRng {
         FaultRng { state: seed }
     }
 
+    /// The generator's current internal state. Together with the SplitMix64
+    /// recurrence this fully determines every future draw, so equal states
+    /// are the replay-safe notion of "same position in the decision stream"
+    /// a mid-run checkpoint needs to verify.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Returns the next 64 uniformly distributed bits.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);

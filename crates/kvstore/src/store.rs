@@ -165,6 +165,19 @@ impl ProcessStore {
         changes
     }
 
+    /// A point-in-time copy of every entry *with* its write version, sorted
+    /// by key — the store's contribution to a mid-run checkpoint. Unlike
+    /// [`snapshot`](ProcessStore::snapshot), the per-entry versions are
+    /// preserved so two deterministic runs can be compared write-for-write,
+    /// not just value-for-value.
+    pub fn dump(&self) -> Vec<(String, Entry)> {
+        let map = self.inner.map.read();
+        let mut dump: Vec<(String, Entry)> =
+            map.iter().map(|(k, e)| (k.clone(), e.clone())).collect();
+        dump.sort_by(|a, b| a.0.cmp(&b.0));
+        dump
+    }
+
     /// A point-in-time copy of the whole store, sorted by key.
     pub fn snapshot(&self) -> Vec<(String, Value)> {
         let map = self.inner.map.read();

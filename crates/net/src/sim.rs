@@ -399,6 +399,14 @@ impl Network {
         self.fault_rng = FaultRng::new(seed);
     }
 
+    /// The fault generator's current internal state — the replay position of
+    /// the decision stream. Two deterministic runs that agree here have made
+    /// exactly the same fault draws, which is what checkpoint verification
+    /// compares.
+    pub fn fault_rng_state(&self) -> u64 {
+        self.fault_rng.state()
+    }
+
     /// Installs (or, with a no-op profile, clears) an impairment profile on
     /// the link between two nodes. Returns `false` if no direct link exists.
     pub fn set_link_fault(&mut self, a: NodeId, b: NodeId, fault: LinkFault) -> bool {

@@ -133,6 +133,14 @@ impl FarmAggregator {
         self.latest.lock().get(&tenant).cloned()
     }
 
+    /// Removes `tenant`'s contribution entirely, returning whether it was
+    /// present. Long-lived farms evict drained/retired tenants so the
+    /// aggregate (and the `/metrics` scrape built from it) stays bounded by
+    /// the *live* tenant population, not by everything ever admitted.
+    pub fn evict(&self, tenant: usize) -> bool {
+        self.latest.lock().remove(&tenant).is_some()
+    }
+
     /// Folds every tenant's latest snapshot (ascending tenant id) into one
     /// farm-level snapshot.
     pub fn aggregate(&self) -> MetricsSnapshot {

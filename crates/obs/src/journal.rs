@@ -211,6 +211,31 @@ pub enum Event {
         /// Tenants that failed outright.
         tenants_failed: u64,
     },
+    /// The farm supervisor captured a mid-run checkpoint of a tenant.
+    TenantCheckpointed {
+        /// The checkpointed tenant's index.
+        tenant: u64,
+        /// Co-simulation steps the tenant had executed at capture.
+        steps: u64,
+    },
+    /// The farm supervisor restarted a halted/crashed tenant from its last
+    /// checkpoint.
+    TenantRestarted {
+        /// The restarted tenant's index.
+        tenant: u64,
+        /// Restart count for this tenant, including this one.
+        restarts: u64,
+        /// Steps recovered from the checkpoint (0: restarted from scratch).
+        from_steps: u64,
+    },
+    /// The farm supervisor's circuit breaker opened: the tenant exhausted
+    /// its restart budget and will not be retried.
+    TenantGivenUp {
+        /// The abandoned tenant's index.
+        tenant: u64,
+        /// How many restarts were attempted before giving up.
+        restarts: u64,
+    },
     /// An event from outside the built-in instrumentation.
     Custom {
         /// Event name.
@@ -253,6 +278,9 @@ impl Event {
             Event::GooseExpired { .. } => "GooseExpired",
             Event::FarmStarted { .. } => "FarmStarted",
             Event::FarmFinished { .. } => "FarmFinished",
+            Event::TenantCheckpointed { .. } => "TenantCheckpointed",
+            Event::TenantRestarted { .. } => "TenantRestarted",
+            Event::TenantGivenUp { .. } => "TenantGivenUp",
             Event::Custom { .. } => "Custom",
         }
     }
@@ -413,6 +441,22 @@ impl EventRecord {
                     out,
                     ",\"tenants_completed\":{tenants_completed},\"tenants_halted\":{tenants_halted},\"tenants_failed\":{tenants_failed}"
                 );
+            }
+            Event::TenantCheckpointed { tenant, steps } => {
+                let _ = write!(out, ",\"tenant\":{tenant},\"steps\":{steps}");
+            }
+            Event::TenantRestarted {
+                tenant,
+                restarts,
+                from_steps,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"tenant\":{tenant},\"restarts\":{restarts},\"from_steps\":{from_steps}"
+                );
+            }
+            Event::TenantGivenUp { tenant, restarts } => {
+                let _ = write!(out, ",\"tenant\":{tenant},\"restarts\":{restarts}");
             }
             Event::Custom { name, detail } => {
                 let _ = write!(

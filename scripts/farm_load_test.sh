@@ -43,6 +43,19 @@ if [ "$JOURNALS" -ne "$TENANTS" ]; then
   exit 1
 fi
 
+# A load run with failed or given-up tenants is a failed run, full stop —
+# don't let a green exit code paper over a broken farm.
+FAILED=$(python3 - "$REPORT" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+print(report.get("tenants_failed", 0) + report.get("tenants_given_up", 0))
+PY
+)
+if [ "$FAILED" -ne 0 ]; then
+  echo "error: $FAILED tenants failed or were given up; see $REPORT" >&2
+  exit 1
+fi
+
 # Append a timestamped one-line summary of this run (farm-level fields only,
 # no per_tenant detail) to the history file; REPORT keeps the full latest run.
 python3 - "$REPORT" "$HISTORY" <<'PY'

@@ -15,8 +15,10 @@
 //! sgml_processor serve <bundle-dir> [--tenants <n>] [--threads <n>]
 //!                      [--seconds <n>] [--scenario <file>] [--out <dir>]
 //!                      [--report <file>] [--step-budget-ms <n>]
-//!                      [--max-overruns <n>] [--fault-seed <n>]
-//!                      [--status-addr <host:port>] [--no-check]
+//!                      [--max-overruns <n>] [--max-restarts <n>]
+//!                      [--restart-backoff-ms <n>] [--admit-max <n>]
+//!                      [--fault-seed <n>] [--status-addr <host:port>]
+//!                      [--no-check]
 //! sgml_processor watch <host:port> [--interval-ms <n>] [--iterations <n>]
 //! ```
 //!
@@ -71,12 +73,21 @@
 //! `--status-addr <host:port>` additionally serves the farm's live state
 //! over HTTP while it runs: `/metrics` is the bucket-merged farm metric
 //! registry in Prometheus text exposition format, `/status` is
-//! deterministic per-tenant JSON, `/healthz` is a liveness probe.
+//! deterministic per-tenant JSON, `/healthz` is a liveness probe — and the
+//! same endpoint is the dynamic lifecycle API (`POST /tenants` admits a
+//! tenant mid-run, `DELETE /tenants/<id>` drains one gracefully).
+//! `--max-restarts` turns on the farm supervisor: halted or crashed
+//! tenants restart from their last mid-run checkpoint with exponential
+//! backoff (base `--restart-backoff-ms`, default 100) until the restart
+//! budget is exhausted; `--admit-max` caps how many extra tenants the
+//! lifecycle API may admit beyond the initial fleet.
 //!
 //! `watch` is the companion dashboard: it polls a running farm's
 //! `--status-addr` endpoint every `--interval-ms` (default 1000) and
 //! redraws a per-tenant state table until the farm finishes (or
-//! `--iterations` polls have been made).
+//! `--iterations` polls have been made). Transient scrape failures are
+//! retried with capped exponential backoff instead of killing the
+//! dashboard; only repeated consecutive failures end it.
 //!
 //! The pre-subcommand invocation forms (`sgml_processor <bundle-dir>
 //! [--run <seconds>] [--validate-only] …`) keep working as deprecated
@@ -106,8 +117,10 @@ const USAGE: &str = "usage: sgml_processor build <bundle-dir> [--dot]\n       \
                      sgml_processor serve <bundle-dir> [--tenants <n>] \
                      [--threads <n>] [--seconds <n>] [--scenario <file>] \
                      [--out <dir>] [--report <file>] [--step-budget-ms <n>] \
-                     [--max-overruns <n>] [--fault-seed <n>] \
-                     [--status-addr <host:port>] [--no-check]\n       \
+                     [--max-overruns <n>] [--max-restarts <n>] \
+                     [--restart-backoff-ms <n>] [--admit-max <n>] \
+                     [--fault-seed <n>] [--status-addr <host:port>] \
+                     [--no-check]\n       \
                      sgml_processor watch <host:port> [--interval-ms <n>] \
                      [--iterations <n>]";
 
@@ -178,6 +191,9 @@ enum Cmd {
         report: Option<String>,
         step_budget_ms: Option<u64>,
         max_overruns: u64,
+        max_restarts: u64,
+        restart_backoff_ms: u64,
+        admit_max: usize,
         fault_seed: u64,
         status_addr: Option<String>,
         no_check: bool,
@@ -397,6 +413,9 @@ fn parse_serve(args: &[String]) -> Result<Parsed, String> {
     let mut report = None;
     let mut step_budget_ms = None;
     let mut max_overruns = 0;
+    let mut max_restarts = 0;
+    let mut restart_backoff_ms = 0;
+    let mut admit_max = 0;
     let mut fault_seed = 0;
     let mut status_addr = None;
     let mut no_check = false;
@@ -427,6 +446,22 @@ fn parse_serve(args: &[String]) -> Result<Parsed, String> {
                     flag_value(rest, &mut i, "--max-overruns")?,
                 )?;
             }
+            "--max-restarts" => {
+                max_restarts = parse_uint(
+                    "--max-restarts",
+                    flag_value(rest, &mut i, "--max-restarts")?,
+                )?;
+            }
+            "--restart-backoff-ms" => {
+                restart_backoff_ms = parse_uint(
+                    "--restart-backoff-ms",
+                    flag_value(rest, &mut i, "--restart-backoff-ms")?,
+                )?;
+            }
+            "--admit-max" => {
+                admit_max =
+                    parse_uint("--admit-max", flag_value(rest, &mut i, "--admit-max")?)? as usize;
+            }
             "--fault-seed" => {
                 fault_seed = parse_fault_seed(flag_value(rest, &mut i, "--fault-seed")?)?;
             }
@@ -452,6 +487,9 @@ fn parse_serve(args: &[String]) -> Result<Parsed, String> {
             report,
             step_budget_ms,
             max_overruns,
+            max_restarts,
+            restart_backoff_ms,
+            admit_max,
             fault_seed,
             status_addr,
             no_check,
@@ -670,6 +708,9 @@ fn main() -> ExitCode {
             report,
             step_budget_ms,
             max_overruns,
+            max_restarts,
+            restart_backoff_ms,
+            admit_max,
             fault_seed,
             status_addr,
             no_check,
@@ -679,16 +720,21 @@ fn main() -> ExitCode {
             }
             serve(
                 &dir,
-                tenants,
-                threads,
-                seconds,
-                scenario.as_deref(),
-                out.as_deref(),
-                report.as_deref(),
-                step_budget_ms,
-                max_overruns,
-                fault_seed,
-                status_addr,
+                ServeOptions {
+                    tenants,
+                    threads,
+                    seconds,
+                    scenario,
+                    out,
+                    report,
+                    step_budget_ms,
+                    max_overruns,
+                    max_restarts,
+                    restart_backoff_ms,
+                    admit_max,
+                    fault_seed,
+                    status_addr,
+                },
             )
         }
         Cmd::Watch {
@@ -929,24 +975,46 @@ fn attack_graph(dir: &str, format: GraphFormat) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `serve` subcommand's flag surface, bundled so it can grow without
+/// the function signature sprawling.
+struct ServeOptions {
+    tenants: usize,
+    threads: usize,
+    seconds: u64,
+    scenario: Option<String>,
+    out: Option<String>,
+    report: Option<String>,
+    step_budget_ms: Option<u64>,
+    max_overruns: u64,
+    max_restarts: u64,
+    restart_backoff_ms: u64,
+    admit_max: usize,
+    fault_seed: u64,
+    status_addr: Option<String>,
+}
+
 /// The multi-tenant range farm: compiles the bundle once, then multiplexes
 /// `tenants` independent ranges (or exercises) across a worker pool via
 /// `sgcr-farm`, streaming per-tenant journals/metrics and reporting farm
 /// throughput and step-latency percentiles.
-#[allow(clippy::too_many_arguments)] // mirrors the flat flag surface
-fn serve(
-    dir: &str,
-    tenants: usize,
-    threads: usize,
-    seconds: u64,
-    scenario_path: Option<&str>,
-    out: Option<&str>,
-    report_path: Option<&str>,
-    step_budget_ms: Option<u64>,
-    max_overruns: u64,
-    fault_seed: u64,
-    status_addr: Option<String>,
-) -> ExitCode {
+fn serve(dir: &str, opts: ServeOptions) -> ExitCode {
+    let ServeOptions {
+        tenants,
+        threads,
+        seconds,
+        scenario,
+        out,
+        report,
+        step_budget_ms,
+        max_overruns,
+        max_restarts,
+        restart_backoff_ms,
+        admit_max,
+        fault_seed,
+        status_addr,
+    } = opts;
+    let (scenario_path, out, report_path) =
+        (scenario.as_deref(), out.as_deref(), report.as_deref());
     let bundle = match SgmlBundle::from_dir(dir) {
         Ok(bundle) => bundle,
         Err(e) => {
@@ -998,7 +1066,13 @@ fn serve(
         }
     );
     if let Some(addr) = &status_addr {
-        eprintln!("live status endpoint on http://{addr}/ (/metrics /status /healthz)");
+        eprintln!(
+            "live status endpoint on http://{addr}/ (/metrics /status /healthz; \
+             POST /tenants, DELETE /tenants/<id>)"
+        );
+    }
+    if max_restarts > 0 {
+        eprintln!("supervisor on: up to {max_restarts} restart(s)/tenant from mid-run checkpoints");
     }
 
     let config = FarmConfig {
@@ -1013,6 +1087,9 @@ fn serve(
         out_dir: out.map(std::path::PathBuf::from),
         status_addr,
         collect_interval_ms: 0,
+        restart_max: max_restarts,
+        restart_backoff_ms,
+        admit_max,
     };
     let farm_report = run_farm(model, &config);
     print!("{}", farm_report.to_text());
@@ -1033,16 +1110,33 @@ fn serve(
     ExitCode::SUCCESS
 }
 
+/// How many consecutive failed scrapes `watch` tolerates (each retried
+/// with capped exponential backoff) before concluding the endpoint is gone.
+const WATCH_MAX_FAILURES: u32 = 6;
+
+/// The `watch` retry backoff before attempt number `failures`: doubling
+/// from 100 ms, capped at 2 s.
+fn watch_backoff(failures: u32) -> std::time::Duration {
+    std::time::Duration::from_millis((100u64 << failures.saturating_sub(1).min(5)).min(2000))
+}
+
 /// Polls a running farm's `--status-addr` endpoint and redraws a per-tenant
 /// dashboard until the endpoint goes away (the farm finished) or
 /// `--iterations` polls have been made.
+///
+/// A failed scrape does not kill the dashboard: it is retried with capped
+/// exponential backoff, and only [`WATCH_MAX_FAILURES`] consecutive
+/// failures end the session — success if the farm was ever reached (it
+/// finished and closed the endpoint), failure if it never was.
 fn watch(addr: &str, interval_ms: u64, iterations: Option<u64>) -> ExitCode {
     let mut polled = 0u64;
     let mut ever_connected = false;
+    let mut failures = 0u32;
     loop {
         match sgcr_farm::http_get(addr, "/status") {
             Ok(body) => {
                 ever_connected = true;
+                failures = 0;
                 match render_watch(&body) {
                     Ok(frame) => {
                         // ANSI clear-screen + cursor-home, then the frame.
@@ -1057,12 +1151,23 @@ fn watch(addr: &str, interval_ms: u64, iterations: Option<u64>) -> ExitCode {
                 }
             }
             Err(e) => {
-                if ever_connected {
-                    println!("status endpoint {addr} closed — farm finished");
-                    return ExitCode::SUCCESS;
+                failures += 1;
+                if failures >= WATCH_MAX_FAILURES {
+                    if ever_connected {
+                        println!("status endpoint {addr} closed — farm finished");
+                        return ExitCode::SUCCESS;
+                    }
+                    eprintln!("error: cannot reach {addr} after {failures} attempts: {e}");
+                    return ExitCode::FAILURE;
                 }
-                eprintln!("error: cannot reach {addr}: {e}");
-                return ExitCode::FAILURE;
+                let backoff = watch_backoff(failures);
+                eprintln!(
+                    "warning: scrape of {addr} failed ({e}); retry {failures}/{} in {} ms",
+                    WATCH_MAX_FAILURES - 1,
+                    backoff.as_millis()
+                );
+                std::thread::sleep(backoff);
+                continue;
             }
         }
         polled += 1;
@@ -1093,13 +1198,15 @@ fn render_watch(body: &str) -> Result<String, String> {
         }
     ));
     out.push_str(&format!(
-        "running {} | completed {} | halted {} | failed {}\n\n",
+        "running {} | completed {} | halted {} | failed {} | given up {} | drained {}\n\n",
         uint(&doc, "tenants_running"),
         uint(&doc, "tenants_completed"),
         uint(&doc, "tenants_halted"),
         uint(&doc, "tenants_failed"),
+        uint(&doc, "tenants_given_up"),
+        uint(&doc, "tenants_drained"),
     ));
-    out.push_str("tenant  state      steps      overruns  solve_errs  score\n");
+    out.push_str("tenant  state      steps      overruns  solve_errs  restarts  score\n");
     let tenants = doc
         .get("per_tenant")
         .and_then(Value::as_array)
@@ -1114,12 +1221,13 @@ fn render_watch(body: &str) -> Result<String, String> {
             _ => String::from("-"),
         };
         out.push_str(&format!(
-            "{:>6}  {:<9}  {:>9}  {:>8}  {:>10}  {score}\n",
+            "{:>6}  {:<9}  {:>9}  {:>8}  {:>10}  {:>8}  {score}\n",
             uint(t, "tenant"),
             t.get("state").and_then(Value::as_str).unwrap_or("?"),
             uint(t, "steps"),
             uint(t, "budget_overruns"),
             uint(t, "solve_errors"),
+            uint(t, "restarts"),
         ));
     }
     Ok(out)
@@ -1521,7 +1629,8 @@ mod tests {
         let parsed = parse_args(&argv(
             "serve bundles/epic --tenants 128 --threads 4 --seconds 30 \
              --scenario s.scenario.xml --out /tmp/farm --report farm.json \
-             --step-budget-ms 100 --max-overruns 5 --fault-seed 42 \
+             --step-budget-ms 100 --max-overruns 5 --max-restarts 3 \
+             --restart-backoff-ms 50 --admit-max 16 --fault-seed 42 \
              --status-addr 127.0.0.1:9644 --no-check",
         ))
         .unwrap();
@@ -1537,6 +1646,9 @@ mod tests {
                 report: Some("farm.json".into()),
                 step_budget_ms: Some(100),
                 max_overruns: 5,
+                max_restarts: 3,
+                restart_backoff_ms: 50,
+                admit_max: 16,
                 fault_seed: 42,
                 status_addr: Some("127.0.0.1:9644".into()),
                 no_check: true,
@@ -1608,15 +1720,31 @@ mod tests {
                 threads,
                 seconds,
                 fault_seed,
+                max_restarts,
+                restart_backoff_ms,
+                admit_max,
                 ..
             } => {
                 assert_eq!(tenants, DEFAULT_SERVE_TENANTS);
                 assert_eq!(threads, 0); // one per core
                 assert_eq!(seconds, DEFAULT_SERVE_SECONDS);
                 assert_eq!(fault_seed, 0);
+                assert_eq!(max_restarts, 0); // supervision off by default
+                assert_eq!(restart_backoff_ms, 0); // 0 = library default
+                assert_eq!(admit_max, 0); // no dynamic headroom by default
             }
             other => panic!("expected serve, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn watch_backoff_doubles_and_caps() {
+        assert_eq!(watch_backoff(1).as_millis(), 100);
+        assert_eq!(watch_backoff(2).as_millis(), 200);
+        assert_eq!(watch_backoff(3).as_millis(), 400);
+        assert_eq!(watch_backoff(5).as_millis(), 1600);
+        assert_eq!(watch_backoff(6).as_millis(), 2000);
+        assert_eq!(watch_backoff(60).as_millis(), 2000);
     }
 
     #[test]
